@@ -1,0 +1,78 @@
+//! Criterion benches: the `simnet` substrate — round engine throughput,
+//! connectivity computation, disjoint-path extraction and relay
+//! transmission.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use simnet::routing::{CopyAction, RelayNetwork};
+use simnet::{vertex_connectivity, vertex_disjoint_paths, NodeId, RoundEngine, Topology};
+use std::collections::BTreeSet;
+
+fn bench_engine_broadcast(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_broadcast_rounds");
+    for n in [8usize, 16, 32] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut engine = RoundEngine::<u64>::new(Topology::complete(n), 1);
+                engine.run(3, |ctx| ctx.broadcast(ctx.round() as u64))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_connectivity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vertex_connectivity");
+    for (k, n) in [(3usize, 10usize), (4, 16), (5, 24)] {
+        let topo = Topology::harary(k, n);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("H{k}_{n}")),
+            &topo,
+            |b, topo| b.iter(|| vertex_connectivity(topo.graph())),
+        );
+    }
+    group.finish();
+}
+
+fn bench_disjoint_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("disjoint_paths");
+    for (k, n) in [(4usize, 12usize), (5, 20)] {
+        let topo = Topology::harary(k, n);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("H{k}_{n}")),
+            &topo,
+            |b, topo| {
+                b.iter(|| vertex_disjoint_paths(topo.graph(), NodeId::new(0), NodeId::new(n / 2)))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_relay_transmit(c: &mut Criterion) {
+    let topo = Topology::harary(4, 12);
+    let net = RelayNetwork::new(&topo, 1, 2).expect("connectivity 4 suffices");
+    let faulty: BTreeSet<NodeId> = [NodeId::new(3), NodeId::new(7)].into_iter().collect();
+    c.bench_function("relay_transmit_h4_12", |b| {
+        b.iter(|| {
+            let mut adv = |_: simnet::routing::RelayHop| CopyAction::Replace(9u32);
+            net.transmit(NodeId::new(0), NodeId::new(6), &42u32, &faulty, &mut adv)
+        })
+    });
+}
+
+fn bench_relay_build(c: &mut Criterion) {
+    let topo = Topology::harary(4, 12);
+    c.bench_function("relay_network_build_h4_12", |b| {
+        b.iter(|| RelayNetwork::new(&topo, 1, 2).expect("suffices"))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_engine_broadcast,
+    bench_connectivity,
+    bench_disjoint_paths,
+    bench_relay_transmit,
+    bench_relay_build
+);
+criterion_main!(benches);

@@ -1,0 +1,99 @@
+//! Criterion benches: core primitives — `VOTE(α, β)`, EIG view
+//! resolution, path enumeration and the condition checker.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use degradable::path::paths_of_length;
+use degradable::{check_degradable, vote, EigView, Params, Path, RunRecord, Val, VoteRule};
+use simnet::NodeId;
+use std::collections::{BTreeMap, BTreeSet};
+
+fn bench_vote(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vote");
+    for size in [8usize, 64, 512] {
+        let values: Vec<Val> = (0..size)
+            .map(|i| if i % 3 == 0 { Val::Value(7) } else { Val::Value(i as u64 % 5) })
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(size), &values, |b, values| {
+            b.iter(|| vote(values.len() / 2, values))
+        });
+    }
+    group.finish();
+}
+
+fn bench_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("path_enumeration");
+    for (n, len) in [(7usize, 3usize), (10, 3), (10, 4)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{n}_len{len}")),
+            &(n, len),
+            |b, &(n, len)| b.iter(|| paths_of_length(NodeId::new(0), n, len)),
+        );
+    }
+    group.finish();
+}
+
+fn filled_view(n: usize, depth: usize, me: NodeId) -> EigView<u64> {
+    let mut view = EigView::new(n, depth, me);
+    for level in 1..=depth {
+        for path in paths_of_length(NodeId::new(0), n, level) {
+            if !path.contains(me) {
+                view.record(path.clone(), Val::Value((path.len() % 3) as u64));
+            }
+        }
+    }
+    view
+}
+
+fn bench_resolve(c: &mut Criterion) {
+    let mut group = c.benchmark_group("eig_resolve");
+    for (n, m) in [(5usize, 1usize), (7, 2), (10, 3)] {
+        let view = filled_view(n, m + 1, NodeId::new(1));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{n}_m{m}")),
+            &(view, m),
+            |b, (view, m)| {
+                b.iter(|| view.resolve(NodeId::new(0), VoteRule::Degradable { m: *m }))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_condition_check(c: &mut Criterion) {
+    let n = 16usize;
+    let record: RunRecord<u64> = RunRecord {
+        params: Params::new(2, 5).unwrap(),
+        n,
+        sender: NodeId::new(0),
+        sender_value: Val::Value(7),
+        faulty: (11..16).map(NodeId::new).collect::<BTreeSet<_>>(),
+        decisions: (1..n)
+            .map(|i| {
+                (
+                    NodeId::new(i),
+                    if i % 4 == 0 { Val::Default } else { Val::Value(7) },
+                )
+            })
+            .collect::<BTreeMap<_, _>>(),
+    };
+    c.bench_function("check_degradable_n16", |b| {
+        b.iter(|| check_degradable(&record))
+    });
+}
+
+fn bench_path_ops(c: &mut Criterion) {
+    let path = Path::root(NodeId::new(0))
+        .child(NodeId::new(3))
+        .child(NodeId::new(5));
+    c.bench_function("path_children_n12", |b| b.iter(|| path.children(12)));
+}
+
+criterion_group!(
+    benches,
+    bench_vote,
+    bench_paths,
+    bench_resolve,
+    bench_condition_check,
+    bench_path_ops
+);
+criterion_main!(benches);

@@ -1,0 +1,133 @@
+//! Criterion benches: end-to-end protocol executions.
+//!
+//! BYZ(m,m) (reference and message-passing executors) against the OM(m)
+//! and Crusader baselines across system sizes — the performance half of
+//! experiment P1.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use degradable::adversary::Strategy;
+use degradable::baselines::{run_crusader, run_om};
+use degradable::{run_protocol, ByzInstance, Params, Scenario, Val};
+use simnet::NodeId;
+use std::collections::{BTreeMap, BTreeSet};
+
+fn strategies_for(n: usize, f: usize) -> BTreeMap<NodeId, Strategy<u64>> {
+    (n - f..n)
+        .map(|i| (NodeId::new(i), Strategy::ConstantLie(Val::Value(9))))
+        .collect()
+}
+
+fn bench_byz_reference(c: &mut Criterion) {
+    let mut group = c.benchmark_group("byz_reference");
+    for (n, m, u) in [(5usize, 1usize, 2usize), (7, 2, 2), (9, 2, 4), (10, 3, 3)] {
+        let inst = ByzInstance::new(n, Params::new(m, u).unwrap(), NodeId::new(0)).unwrap();
+        let strategies = strategies_for(n, u);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{n}_m{m}_u{u}")),
+            &(inst, strategies),
+            |b, (inst, strategies)| {
+                b.iter(|| {
+                    Scenario {
+                        instance: *inst,
+                        sender_value: Val::Value(1),
+                        strategies: strategies.clone(),
+                    }
+                    .run()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_byz_protocol(c: &mut Criterion) {
+    let mut group = c.benchmark_group("byz_protocol_message_passing");
+    for (n, m, u) in [(5usize, 1usize, 2usize), (7, 2, 2), (9, 2, 4)] {
+        let inst = ByzInstance::new(n, Params::new(m, u).unwrap(), NodeId::new(0)).unwrap();
+        let strategies = strategies_for(n, u);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{n}_m{m}_u{u}")),
+            &(inst, strategies),
+            |b, (inst, strategies)| {
+                b.iter(|| run_protocol(inst, &Val::Value(1), strategies, 7))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_baselines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baselines");
+    for (n, m) in [(4usize, 1usize), (7, 2), (10, 3)] {
+        let faulty: BTreeSet<NodeId> = (n - m..n).map(NodeId::new).collect();
+        group.bench_with_input(
+            BenchmarkId::new("om", format!("n{n}_m{m}")),
+            &(n, m, faulty.clone()),
+            |b, (n, m, faulty)| {
+                b.iter(|| {
+                    let mut fab =
+                        |_: &degradable::Path, _: NodeId, _: &Val| Val::Value(9);
+                    run_om(*n, *m, NodeId::new(0), &Val::Value(1), faulty, &mut fab)
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("crusader", format!("n{n}_t{m}")),
+            &(n, m, faulty.clone()),
+            |b, (n, t, faulty)| {
+                b.iter(|| {
+                    let mut fab =
+                        |_: &degradable::Path, _: NodeId, _: &Val| Val::Value(9);
+                    run_crusader(*n, *t, NodeId::new(0), &Val::Value(1), faulty, &mut fab)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_signed_messages(c: &mut Criterion) {
+    use degradable::sm::run_sm_honest;
+    let mut group = c.benchmark_group("signed_messages");
+    for (n, m) in [(4usize, 1usize), (7, 2), (10, 3)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{n}_m{m}")),
+            &(n, m),
+            |b, &(n, m)| b.iter(|| run_sm_honest(n, m, NodeId::new(0), &Val::Value(1))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_tradeoff_cost(c: &mut Criterion) {
+    // Fixed N = 10: the cost of choosing m (full-agreement strength).
+    let mut group = c.benchmark_group("tradeoff_cost_n10");
+    for params in degradable::analysis::tradeoffs(10) {
+        let inst = ByzInstance::new(10, params, NodeId::new(0)).unwrap();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(params.to_string().replace('/', "_")),
+            &inst,
+            |b, inst| {
+                b.iter(|| {
+                    Scenario {
+                        instance: *inst,
+                        sender_value: Val::Value(1),
+                        strategies: BTreeMap::new(),
+                    }
+                    .run()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_byz_reference,
+    bench_byz_protocol,
+    bench_baselines,
+    bench_signed_messages,
+    bench_tradeoff_cost
+);
+criterion_main!(benches);

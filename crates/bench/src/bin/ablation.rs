@@ -1,0 +1,145 @@
+//! **Experiment A1 (ablation)** — why algorithm BYZ is built the way it
+//! is. Two knobs distinguish BYZ from Lamport's OM on the same EIG
+//! message pattern:
+//!
+//! 1. the fold: `VOTE(n'-1-m, n'-1)` **threshold** vote instead of strict
+//!    majority;
+//! 2. the depth: `m+1` rounds.
+//!
+//! Ablating either destroys the degraded guarantee:
+//!
+//! * with the *majority* fold (i.e. plain OM) at `N = 2m+u+1`, adversaries
+//!   with `m < f <= u` make fault-free receivers adopt a **foreign value**
+//!   (D.3 violated) — majority is too eager; the higher threshold is what
+//!   forces "sender's value or `V_d`";
+//! * with depth `m` (one round short), `f <= m` already breaks D.1/D.2 —
+//!   the recursion depth is exactly the classic requirement.
+//!
+//! The un-ablated configuration passes the identical sweeps (control
+//! rows).
+
+use agreement_bench::print_table;
+use degradable::adversary::Strategy;
+use degradable::conditions::{check_degradable, RunRecord};
+use degradable::eig::{run_eig, VoteRule};
+use degradable::{Params, Val};
+use simnet::{NodeId, SimRng};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Runs the EIG pattern with an explicit rule/depth and checks the
+/// degradable conditions.
+fn sweep(
+    params: Params,
+    rule: VoteRule,
+    depth: usize,
+    f_range: std::ops::RangeInclusive<usize>,
+) -> (usize, usize) {
+    let n = params.min_nodes();
+    let mut runs = 0usize;
+    let mut violations = 0usize;
+    for f in f_range {
+        let mut rng = SimRng::seed(0xAB1 + f as u64);
+        for placement in 0..10usize {
+            let faulty: BTreeSet<NodeId> = rng
+                .choose_indices(n, f)
+                .into_iter()
+                .map(NodeId::new)
+                .collect();
+            for (_, strat) in Strategy::battery(1, 2, placement as u64) {
+                let strategies: BTreeMap<NodeId, Strategy<u64>> =
+                    faulty.iter().map(|&i| (i, strat.clone())).collect();
+                let mut fab = |p: &degradable::Path, r: NodeId, t: &Val| {
+                    strategies.get(&p.last()).expect("faulty").claim(p, r, t)
+                };
+                let decisions = run_eig(
+                    n,
+                    NodeId::new(0),
+                    depth,
+                    rule,
+                    &Val::Value(1),
+                    &faulty,
+                    &mut fab,
+                );
+                let record = RunRecord {
+                    params,
+                    n,
+                    sender: NodeId::new(0),
+                    sender_value: Val::Value(1),
+                    faulty: faulty.clone(),
+                    decisions,
+                };
+                runs += 1;
+                if check_degradable(&record).is_violated() {
+                    violations += 1;
+                }
+            }
+            if f == 0 {
+                break;
+            }
+        }
+    }
+    (violations, runs)
+}
+
+fn main() {
+    println!("A1: ablation of BYZ's design choices (threshold fold, m+1 rounds)");
+    let mut ablation_story = true;
+
+    // Ablation 1: majority fold (i.e. plain OM's rule). A wrong value can
+    // carry a majority of the u faulty votes plus nothing else only when
+    // u > (N-1)/2 = (2m+u)/2, i.e. u > 2m — test exactly there, with the
+    // un-ablated control alongside.
+    let mut rows = Vec::new();
+    for (m, u) in [(1usize, 3usize), (1, 4), (2, 5)] {
+        let params = Params::new(m, u).expect("u >= m");
+        let depth = params.rounds();
+        let (v_ctrl, r_ctrl) = sweep(params, VoteRule::Degradable { m }, depth, m + 1..=u);
+        let (v_major, r_major) = sweep(params, VoteRule::Majority, depth, m + 1..=u);
+        ablation_story &= v_ctrl == 0 && v_major > 0;
+        rows.push(vec![
+            params.to_string(),
+            format!("{v_ctrl}/{r_ctrl}"),
+            format!("{v_major}/{r_major}"),
+        ]);
+    }
+    print_table(
+        "ablation 1 — fold rule, degraded regime (m < f <= u), u > 2m",
+        &["params", "BYZ threshold vote (control)", "majority fold"],
+        &rows,
+    );
+    println!("(for u <= 2m the battery found no majority-fold break at these sizes: a wrong");
+    println!(" value then needs more votes than u faults can supply; the threshold vote is");
+    println!(" what extends the guarantee to every u >= m.)");
+
+    // Ablation 2: one round short (depth m instead of m+1) breaks even the
+    // classic regime f <= m.
+    let mut rows = Vec::new();
+    for (m, u) in [(1usize, 2usize), (1, 3), (2, 3)] {
+        let params = Params::new(m, u).expect("u >= m");
+        let depth = params.rounds();
+        let (v_ctrl, r_ctrl) = sweep(params, VoteRule::Degradable { m }, depth, 0..=m);
+        let (v_shallow, r_shallow) =
+            sweep(params, VoteRule::Degradable { m }, depth - 1, 0..=m);
+        ablation_story &= v_ctrl == 0 && v_shallow > 0;
+        rows.push(vec![
+            params.to_string(),
+            format!("{v_ctrl}/{r_ctrl}"),
+            format!("{v_shallow}/{r_shallow}"),
+        ]);
+    }
+    print_table(
+        "ablation 2 — recursion depth, classic regime (f <= m)",
+        &["params", "depth m+1 (control)", "depth m"],
+        &rows,
+    );
+
+    println!("\nreading: swapping the threshold vote for majority reintroduces foreign-value");
+    println!("adoption in the degraded regime (where u > 2m); cutting one round breaks even");
+    println!("the classic regime. Both of the paper's design choices are load-bearing.");
+    if ablation_story {
+        println!("\nRESULT: ablations break exactly where the proofs need the ablated feature");
+    } else {
+        println!("\nRESULT: ablation did not behave as expected");
+        std::process::exit(1);
+    }
+}

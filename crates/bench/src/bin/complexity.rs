@@ -1,0 +1,90 @@
+//! **Experiment P1 (analysis half)** — message and storage complexity of
+//! algorithm BYZ versus the baselines, analytically and as measured on the
+//! message-passing executor (the counts must coincide exactly).
+//!
+//! The paper presents BYZ "with no attempt … to present an efficient
+//! algorithm"; this table documents what the recursion costs and how the
+//! degradable trade-off changes it: for fixed `N`, choosing a smaller `m`
+//! (and larger `u`) shrinks the recursion depth and the message count
+//! exponentially — the price of full agreement is paid in messages.
+
+use agreement_bench::{print_csv, print_table};
+use degradable::analysis::{message_complexity, storage_complexity, tradeoffs};
+use degradable::{run_protocol, ByzInstance, Val};
+use simnet::NodeId;
+use std::collections::BTreeMap;
+
+fn main() {
+    println!("P1: message/storage complexity of BYZ(m,m) and the N-node trade-off");
+
+    // Per-(N, m) costs, validated against the protocol executor.
+    let mut rows = Vec::new();
+    let mut csv = Vec::new();
+    let mut all_match = true;
+    for n in [4usize, 5, 7, 9, 11, 13] {
+        for params in tradeoffs(n) {
+            let inst = ByzInstance::new(n, params, NodeId::new(0)).expect("maximal u fits");
+            let depth = inst.depth();
+            let analytic = message_complexity(n, depth);
+            let measured = run_protocol(&inst, &Val::Value(1), &BTreeMap::new(), 1)
+                .net
+                .sent as u128;
+            let matches = analytic == measured;
+            all_match &= matches;
+            rows.push(vec![
+                n.to_string(),
+                params.to_string(),
+                depth.to_string(),
+                analytic.to_string(),
+                measured.to_string(),
+                storage_complexity(n, depth).to_string(),
+                if matches { "=" } else { "MISMATCH" }.to_string(),
+            ]);
+            csv.push(vec![
+                n.to_string(),
+                params.m().to_string(),
+                params.u().to_string(),
+                analytic.to_string(),
+            ]);
+        }
+    }
+    print_table(
+        "BYZ cost per (N, m/u): rounds, messages (analytic vs measured), stored paths",
+        &["N", "params", "rounds", "messages (analytic)", "messages (measured)", "paths", "check"],
+        &rows,
+    );
+    print_csv("complexity", &["n", "m", "u", "messages"], &csv);
+
+    // Protocol family comparison at fixed tolerance.
+    use degradable::analysis::{crusader_message_complexity, sm_honest_message_complexity};
+    let mut rows = Vec::new();
+    for m in 1..=3usize {
+        let n_om = 3 * m + 1;
+        let n_sm = m + 2;
+        rows.push(vec![
+            m.to_string(),
+            format!("OM({m}) @ N={n_om}: {}", message_complexity(n_om, m + 1)),
+            format!("Crusader @ N={n_om}: {}", crusader_message_complexity(n_om)),
+            format!("SM({m}) @ N={n_sm}: {} (honest)", sm_honest_message_complexity(n_sm)),
+            format!(
+                "BYZ({m},{m}) @ N={}: {}",
+                3 * m + 1,
+                message_complexity(3 * m + 1, m + 1)
+            ),
+        ]);
+    }
+    print_table(
+        "protocol family cost at tolerance m (minimum nodes each)",
+        &["m", "oral (OM)", "crusader", "signed (SM)", "degradable m/m"],
+        &rows,
+    );
+
+    println!("\nreading: at fixed N, trading m down (u up) cuts rounds and messages —");
+    println!("e.g. at N = 13: 4/4 vs 1/10 vs 0/12 differ by orders of magnitude.");
+    if all_match {
+        println!("\nRESULT: protocol executor matches the closed-form counts exactly");
+    } else {
+        println!("\nRESULT: MISMATCH");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,101 @@
+//! **Experiment E11** — deadline tuning under relaxed absence detection
+//! (Section 6.1 companion).
+//!
+//! With more than `m` faults, clock synchronization may be degraded and a
+//! fault-free node may falsely time out another fault-free node's message.
+//! BYZ stays *safe* under this relaxation (D.3/D.4 hold — see the
+//! `relaxed_absence` integration tests) but not *free*: every false
+//! timeout pushes receivers toward `V_d`. This experiment quantifies the
+//! trade: sweeping the round deadline against a heavy-tailed latency
+//! distribution, how much of the fault-free receivers' mass degrades from
+//! the sender's value to the default — while the safety conditions hold at
+//! every point.
+
+use agreement_bench::{pct, print_csv, print_table};
+use degradable::adversary::Strategy;
+use degradable::{check_degradable, run_protocol_with, ByzInstance, Params, Val};
+use simnet::{LatencyModel, NodeId};
+use std::collections::{BTreeMap, BTreeSet};
+
+fn main() {
+    println!("E11: round-deadline tuning under heavy-tailed latency (Section 6.1 regime)");
+    let inst = ByzInstance::new(6, Params::new(1, 3).expect("1 <= 3"), NodeId::new(0))
+        .expect("6 = 2m+u+1");
+    // m < f <= u puts the system in the relaxation regime (false timeouts
+    // between fault-free nodes are permitted). The two faulty nodes behave
+    // *truthfully* — a Byzantine node may — so that every degradation in
+    // the sweep is attributable to the timeout process alone.
+    let strategies: BTreeMap<NodeId, Strategy<u64>> = [
+        (NodeId::new(4), Strategy::Truthful),
+        (NodeId::new(5), Strategy::Truthful),
+    ]
+    .into_iter()
+    .collect();
+    let faulty: BTreeSet<NodeId> = strategies.keys().copied().collect();
+    let latency = LatencyModel::Uniform { lo: 1, hi: 150 };
+    let trials = 400usize;
+
+    let mut rows = Vec::new();
+    let mut csv = Vec::new();
+    let mut always_safe = true;
+    for deadline in [20u64, 60, 100, 140, 200] {
+        let mut sender_value_decisions = 0usize;
+        let mut default_decisions = 0usize;
+        let mut late_total = 0usize;
+        let mut satisfied = 0usize;
+        for seed in 0..trials as u64 {
+            let run = run_protocol_with(&inst, &Val::Value(7), &strategies, seed, |e| {
+                e.with_latency(latency).with_deadline(deadline)
+            });
+            late_total += run.net.late;
+            let record = run.record(&inst, Val::Value(7), faulty.clone());
+            if check_degradable(&record).is_satisfied() {
+                satisfied += 1;
+            } else {
+                always_safe = false;
+            }
+            for (_, v) in record.fault_free_decisions() {
+                if v == Val::Value(7) {
+                    sender_value_decisions += 1;
+                } else if v.is_default() {
+                    default_decisions += 1;
+                }
+            }
+        }
+        let total = sender_value_decisions + default_decisions;
+        rows.push(vec![
+            deadline.to_string(),
+            format!("{:.1}", late_total as f64 / trials as f64),
+            pct(sender_value_decisions as f64 / total.max(1) as f64),
+            pct(default_decisions as f64 / total.max(1) as f64),
+            format!("{satisfied}/{trials}"),
+        ]);
+        csv.push(vec![
+            deadline.to_string(),
+            format!("{}", sender_value_decisions as f64 / total.max(1) as f64),
+            format!("{}", default_decisions as f64 / total.max(1) as f64),
+        ]);
+    }
+    print_table(
+        "1/3-degradable, N=6, f=2 (truthful), uniform latency 1..150, 400 seeded runs per row",
+        &[
+            "deadline",
+            "avg late msgs/run",
+            "fault-free decisions = sender value",
+            "= V_d",
+            "conditions held",
+        ],
+        &rows,
+    );
+    print_csv("timeout_tuning", &["deadline", "p_sender_value", "p_default"], &csv);
+
+    println!("\nreading: tighter deadlines convert liveness (deciding the sender's value)");
+    println!("into degradation (deciding V_d), but never into unsafety — the conditions");
+    println!("column must stay full at every deadline, exactly the Section 6.1 claim.");
+    if always_safe {
+        println!("\nRESULT: matches Section 6.1 — timeouts degrade, never corrupt");
+    } else {
+        println!("\nRESULT: MISMATCH");
+        std::process::exit(1);
+    }
+}

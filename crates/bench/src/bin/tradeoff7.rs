@@ -1,0 +1,112 @@
+//! **Experiment E3** — the Section 2 trade-off: "given a system consisting
+//! of 7 nodes, one may achieve 2/2-degradable, 1/4-degradable, or
+//! 0/6-degradable agreement".
+//!
+//! For each configuration the fault count `f` is swept from 0 to 6; every
+//! combination of (fault placement sample, strategy battery member,
+//! sender value) is run and the applicable guarantee is checked:
+//!
+//! * `f <= m`: full Byzantine agreement (D.1/D.2);
+//! * `m < f <= u`: degraded agreement (D.3/D.4);
+//! * `f > u`: no promise (reported as `beyond u`).
+
+use agreement_bench::print_table;
+use degradable::adversary::Strategy;
+use degradable::analysis::tradeoffs;
+use degradable::{ByzInstance, Scenario, Val, Verdict};
+use simnet::{NodeId, SimRng};
+use std::collections::BTreeMap;
+
+const N: usize = 7;
+const PLACEMENTS_PER_F: usize = 8;
+
+fn main() {
+    println!("E3: the 7-node trade-off (Section 2)");
+    let configs = tradeoffs(N);
+    println!(
+        "available maximal configurations: {}",
+        configs
+            .iter()
+            .map(|p| p.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+
+    let mut rows = Vec::new();
+    let mut all_ok = true;
+    for params in &configs {
+        let mut cells = vec![params.to_string()];
+        for f in 0..N {
+            let mut runs = 0usize;
+            let mut violations = 0usize;
+            let mut degraded_runs = 0usize;
+            let mut rng = SimRng::seed(0xE3 + f as u64);
+            for placement in 0..PLACEMENTS_PER_F {
+                let faulty = rng.choose_indices(N, f);
+                for (_, strat) in Strategy::battery(1, 2, placement as u64) {
+                    let strategies: BTreeMap<NodeId, Strategy<u64>> = faulty
+                        .iter()
+                        .map(|&i| (NodeId::new(i), strat.clone()))
+                        .collect();
+                    let instance = ByzInstance::new(N, *params, NodeId::new(0))
+                        .expect("7 nodes fit all three configs");
+                    let sc = Scenario {
+                        instance,
+                        sender_value: Val::Value(1),
+                        strategies,
+                    };
+                    runs += 1;
+                    match sc.verdict() {
+                        Verdict::Satisfied(s) => {
+                            if matches!(
+                                s.condition,
+                                degradable::Condition::D3 | degradable::Condition::D4
+                            ) {
+                                degraded_runs += 1;
+                            }
+                        }
+                        Verdict::Violated(_) => violations += 1,
+                        Verdict::BeyondU { .. } => {}
+                    }
+                }
+                if f == 0 {
+                    break; // only one empty placement
+                }
+            }
+            let label = if violations > 0 {
+                all_ok = false;
+                format!("VIOLATED {violations}/{runs}")
+            } else if f <= params.m() {
+                "full".to_string()
+            } else if f <= params.u() {
+                if degraded_runs > 0 {
+                    "degraded".to_string()
+                } else {
+                    "degraded*".to_string() // conditions held as full agreement
+                }
+            } else {
+                "beyond u".to_string()
+            };
+            cells.push(label);
+        }
+        rows.push(cells);
+    }
+
+    let headers: Vec<String> = std::iter::once("config".to_string())
+        .chain((0..N).map(|f| format!("f={f}")))
+        .collect();
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    print_table("guarantee achieved per fault count", &header_refs, &rows);
+    println!(
+        "\nlegend: full = D.1/D.2 (Byzantine agreement); degraded = D.3/D.4 (classes with V_d);"
+    );
+    println!("        degraded* = degraded regime but every sampled adversary still produced full agreement;");
+    println!("        beyond u = outside the contract, nothing checked.");
+
+    if all_ok {
+        println!("\nRESULT: matches the paper — 2/2, 1/4 and 0/6 all achievable with 7 nodes");
+    } else {
+        println!("\nRESULT: MISMATCH (violations inside the contract)");
+        std::process::exit(1);
+    }
+}

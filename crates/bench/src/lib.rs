@@ -1,0 +1,74 @@
+//! Shared helpers for the experiment binaries: fixed-width table printing
+//! and tiny CSV emission (hand-rolled to avoid extra dependencies).
+//!
+//! Each binary under `src/bin/` regenerates one table or figure of the
+//! paper; see `DESIGN.md` (per-experiment index) and `EXPERIMENTS.md`
+//! (paper-vs-measured record).
+
+/// Prints a fixed-width ASCII table with a header row and separator.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        let mut line = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            line.push_str(&format!("{:<w$}  ", cell, w = widths.get(i).copied().unwrap_or(8)));
+        }
+        println!("{}", line.trim_end());
+    };
+    fmt_row(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    println!(
+        "{}",
+        widths
+            .iter()
+            .map(|w| "-".repeat(*w))
+            .collect::<Vec<_>>()
+            .join("  ")
+    );
+    for row in rows {
+        fmt_row(row);
+    }
+}
+
+/// Formats a fraction as a percentage with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", 100.0 * x)
+}
+
+/// Emits a CSV block to stdout (for machine-readable capture by `tee`).
+pub fn print_csv(name: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n#csv {name}");
+    println!("{}", headers.join(","));
+    for row in rows {
+        println!("{}", row.join(","));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.5), "50.0%");
+        assert_eq!(pct(0.0), "0.0%");
+        assert_eq!(pct(1.0), "100.0%");
+    }
+
+    #[test]
+    fn tables_do_not_panic() {
+        print_table(
+            "t",
+            &["a", "bee"],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
+        );
+        print_csv("t", &["a"], &[vec!["x".into()]]);
+    }
+}

@@ -1,0 +1,231 @@
+//! A fly-by-wire control loop — the paper's motivating safety scenario.
+//!
+//! > "if a controller in a fly-by-wire system receives a default value
+//! > from the computer, as a safety precaution it can inform the pilot of
+//! > the problem."
+//!
+//! A simple discretized pitch-control plant: each cycle the sensor reads
+//! the pitch error, the channel system computes a correction, and the
+//! actuator applies it. The three external outcomes map to:
+//!
+//! * **Correct** → the proper correction is applied; the error shrinks;
+//! * **Default** → the actuator *holds* (safe action) and the pilot is
+//!   alerted; the error drifts by the disturbance only;
+//! * **Incorrect** → a wrong correction is applied; the error can grow —
+//!   if it leaves the safe envelope the flight is lost.
+//!
+//! The experiment compares the Figure 1(a) 3-channel Byzantine system with
+//! the Figure 1(b) 4-channel 1/2-degradable system under identical
+//! two-fault bursts: the former can crash, the latter degrades safely.
+
+use crate::system::{Architecture, ChannelSystem, ExternalOutcome};
+use degradable::adversary::Strategy;
+use degradable::Val;
+use serde::{Deserialize, Serialize};
+use simnet::{NodeId, SimRng};
+use std::collections::BTreeMap;
+
+/// Configuration of one flight.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FlightConfig {
+    /// Number of control cycles to fly.
+    pub cycles: usize,
+    /// Pitch error beyond which the flight is lost.
+    pub safe_envelope: i64,
+    /// Per-cycle disturbance magnitude.
+    pub disturbance: i64,
+    /// Cycle at which a two-channel fault burst begins.
+    pub burst_start: usize,
+    /// Length of the fault burst in cycles.
+    pub burst_len: usize,
+    /// RNG seed for the disturbance sequence.
+    pub seed: u64,
+}
+
+impl Default for FlightConfig {
+    fn default() -> Self {
+        FlightConfig {
+            cycles: 60,
+            safe_envelope: 1_000,
+            disturbance: 40,
+            burst_start: 20,
+            burst_len: 10,
+            seed: 2024,
+        }
+    }
+}
+
+/// Result of one flight.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlightReport {
+    /// Architecture label.
+    pub architecture: String,
+    /// Pitch error trajectory (one entry per cycle).
+    pub trajectory: Vec<i64>,
+    /// Cycles with a correct actuation.
+    pub correct_cycles: usize,
+    /// Cycles where the actuator held and the pilot was alerted.
+    pub pilot_alerts: usize,
+    /// Cycles where a wrong correction was applied.
+    pub wrong_actuations: usize,
+    /// Whether the error ever left the safe envelope.
+    pub crashed: bool,
+}
+
+/// The pitch correction a fault-free channel computes for sensor reading
+/// `err`: proportional control, gain 1/2 (toward zero).
+fn control_law(err: i64) -> i64 {
+    -err / 2
+}
+
+/// Encodes a pitch error as the u64 sensor word (two's-complement-ish
+/// offset encoding so the agreement layer sees plain u64s).
+fn encode(err: i64) -> u64 {
+    (err + (1 << 40)) as u64
+}
+
+/// Inverse of [`encode`].
+#[cfg(test)]
+fn decode(word: u64) -> i64 {
+    word as i64 - (1 << 40)
+}
+
+/// Flies one flight with the given channel-system architecture. During the
+/// burst window, two channels are Byzantine and collude on a wrong sensor
+/// value (the worst case for a 3-channel system, which then computes and
+/// agrees on a wrong correction).
+pub fn fly(arch: Architecture, config: FlightConfig) -> FlightReport {
+    let system = ChannelSystem::new(arch);
+    let mut rng = SimRng::seed(config.seed);
+    let mut err: i64 = 200;
+    let mut trajectory = Vec::with_capacity(config.cycles);
+    let mut correct_cycles = 0;
+    let mut pilot_alerts = 0;
+    let mut wrong_actuations = 0;
+    let mut crashed = false;
+
+    for cycle in 0..config.cycles {
+        let sensor = encode(err);
+        let in_burst =
+            cycle >= config.burst_start && cycle < config.burst_start + config.burst_len;
+        let strategies: BTreeMap<NodeId, Strategy<u64>> = if in_burst {
+            // Two colluding channels pretend the pitch error is huge and
+            // opposite, aiming to push the plane the wrong way.
+            let fake = encode(-4 * err.max(100));
+            [
+                (NodeId::new(1), Strategy::ConstantLie(Val::Value(fake))),
+                (NodeId::new(2), Strategy::ConstantLie(Val::Value(fake))),
+            ]
+            .into_iter()
+            .collect()
+        } else {
+            BTreeMap::new()
+        };
+
+        let report = system.run_cycle(sensor, &strategies);
+        let correction = match report.outcome {
+            ExternalOutcome::Correct => {
+                correct_cycles += 1;
+                control_law(err)
+            }
+            ExternalOutcome::Default => {
+                pilot_alerts += 1;
+                0 // hold: the safe action
+            }
+            ExternalOutcome::Incorrect => {
+                wrong_actuations += 1;
+                // The voted (wrong) output corresponds to the control law
+                // applied to the colluders' fake reading.
+                match report.voted.value() {
+                    Some(_) => {
+                        let fake = -4 * err.max(100);
+                        control_law(fake)
+                    }
+                    None => 0,
+                }
+            }
+        };
+
+        let disturbance =
+            (rng.below(2 * config.disturbance as u64 + 1)) as i64 - config.disturbance;
+        err += correction + disturbance;
+        trajectory.push(err);
+        if err.abs() > config.safe_envelope {
+            crashed = true;
+            break;
+        }
+    }
+
+    FlightReport {
+        architecture: arch.label(),
+        trajectory,
+        correct_cycles,
+        pilot_alerts,
+        wrong_actuations,
+        crashed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use degradable::Params;
+
+    fn byz() -> Architecture {
+        Architecture::Byzantine { m: 1 }
+    }
+
+    fn deg() -> Architecture {
+        Architecture::Degradable {
+            params: Params::new(1, 2).unwrap(),
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        for err in [-1_000_000i64, -1, 0, 1, 123_456] {
+            assert_eq!(decode(encode(err)), err);
+        }
+    }
+
+    #[test]
+    fn clean_flight_stays_in_envelope() {
+        let config = FlightConfig {
+            burst_len: 0,
+            ..FlightConfig::default()
+        };
+        for arch in [byz(), deg()] {
+            let r = fly(arch, config);
+            assert!(!r.crashed, "{}: {:?}", r.architecture, r.trajectory);
+            assert_eq!(r.wrong_actuations, 0);
+            assert_eq!(r.pilot_alerts, 0);
+        }
+    }
+
+    #[test]
+    fn byzantine_system_crashes_under_burst() {
+        let r = fly(byz(), FlightConfig::default());
+        assert!(r.wrong_actuations > 0, "{r:?}");
+        assert!(r.crashed, "expected the 3-channel system to leave the envelope: {r:?}");
+    }
+
+    #[test]
+    fn degradable_system_degrades_safely_under_burst() {
+        let r = fly(deg(), FlightConfig::default());
+        assert_eq!(r.wrong_actuations, 0, "{r:?}");
+        assert!(r.pilot_alerts > 0, "the pilot should have been alerted: {r:?}");
+        assert!(!r.crashed, "{r:?}");
+    }
+
+    #[test]
+    fn degradable_resumes_after_burst() {
+        let config = FlightConfig {
+            cycles: 80,
+            ..FlightConfig::default()
+        };
+        let r = fly(deg(), config);
+        assert!(!r.crashed);
+        // After the burst ends the system returns to correct operation.
+        assert!(r.correct_cycles >= config.cycles - config.burst_len - 1);
+    }
+}

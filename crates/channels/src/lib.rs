@@ -1,0 +1,72 @@
+//! # channels — the multiple-channel application of Section 3
+//!
+//! The paper motivates degradable agreement with fault-tolerant
+//! multiple-channel systems (Figure 1): a sensor distributes a value to
+//! redundant computation channels whose outputs an external entity votes
+//! over. This crate models both architectures and their recovery
+//! behaviour:
+//!
+//! * [`system`] — the sensor / channels / external-voter pipeline for the
+//!   Byzantine (Figure 1a), degradable (Figure 1b) and naive architectures,
+//!   with the B.1–B.2 / C.1–C.3 outcome classification;
+//! * [`recovery`] — forward recovery (fault masking), backward recovery
+//!   (retry on default) and the safe action, with statistics;
+//! * [`flybywire`] — the paper's fly-by-wire safety scenario as a closed
+//!   control loop: the Byzantine system crashes under a two-fault burst,
+//!   the degradable system alerts the pilot and holds;
+//! * [`montecarlo`] — parallel reliability sweeps quantifying
+//!   correct / default / incorrect probabilities per architecture;
+//! * [`replica`] — a replicated command log over degradable agreement:
+//!   logs diverge only by detectable holes, repaired by backward recovery;
+//! * [`reliability`] — closed-form binomial outcome bounds per
+//!   architecture, cross-validated against the Monte Carlo sweeps;
+//! * [`fusion`] — the multi-sensor variant Section 3 mentions: several
+//!   sensors measure one quantity, channels fuse agreed readings.
+//!
+//! ```
+//! use channels::prelude::*;
+//! use degradable::Params;
+//! use std::collections::BTreeMap;
+//!
+//! // Figure 1(b): 4 channels, 1/2-degradable distribution, 3-of-4 vote.
+//! let system = ChannelSystem::new(Architecture::Degradable {
+//!     params: Params::new(1, 2)?,
+//! });
+//! let report = system.run_cycle(42, &BTreeMap::new());
+//! assert_eq!(report.outcome, ExternalOutcome::Correct);
+//! # Ok::<(), degradable::ParamsError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod flybywire;
+pub mod fusion;
+pub mod montecarlo;
+pub mod recovery;
+pub mod reliability;
+pub mod replica;
+pub mod system;
+
+pub use flybywire::{fly, FlightConfig, FlightReport};
+pub use fusion::{run_fusion, Fused, FusionConfig, FusionOutcome};
+pub use montecarlo::{design_limit, run_monte_carlo, MonteCarloConfig, OutcomeCounts, SweepResult};
+pub use recovery::{CycleResolution, RecoveryDriver, RecoveryPolicy, RecoveryStats};
+pub use reliability::{bounds, mission_safety, ReliabilityBounds};
+pub use replica::{LogViolation, ReplicatedLog, SlotReport};
+pub use system::{channel_compute, Architecture, ChannelSystem, CycleReport, ExternalOutcome};
+
+/// Convenience glob import.
+pub mod prelude {
+    pub use crate::flybywire::{fly, FlightConfig, FlightReport};
+    pub use crate::fusion::{run_fusion, Fused, FusionConfig, FusionOutcome};
+    pub use crate::montecarlo::{
+        design_limit, run_monte_carlo, MonteCarloConfig, OutcomeCounts, SweepResult,
+    };
+    pub use crate::recovery::{CycleResolution, RecoveryDriver, RecoveryPolicy, RecoveryStats};
+    pub use crate::reliability::{bounds, mission_safety, ReliabilityBounds};
+    pub use crate::replica::{LogViolation, ReplicatedLog, SlotReport};
+    pub use crate::system::{
+        channel_compute, Architecture, ChannelSystem, CycleReport, ExternalOutcome,
+    };
+}

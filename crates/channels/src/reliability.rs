@@ -1,0 +1,207 @@
+//! Closed-form reliability bounds for the Figure 1 architectures.
+//!
+//! With independent per-channel fault probability `p`, the number of
+//! faulty channels is binomial; the paper's conditions then give hard
+//! bounds on the external entity's outcome probabilities:
+//!
+//! * Byzantine `3m`-channel system: `P(correct) >= P(f <= m)` (B.1), and
+//!   all mass beyond `m` may be **silently unsafe**:
+//!   `P(incorrect) <= P(f > m)` with no detection guarantee;
+//! * degradable `2m+u`-channel system: `P(correct) >= P(f <= m)` (C.1),
+//!   `P(correct or default) >= P(f <= u)` (C.2), so
+//!   `P(incorrect) <= P(f > u)` — typically orders of magnitude smaller.
+//!
+//! These analytic bounds are cross-validated against the Monte Carlo
+//! sweeps of [`crate::montecarlo`] (tests below and experiment E8).
+
+use crate::system::Architecture;
+use serde::{Deserialize, Serialize};
+
+/// `C(n, k)` as `f64` (exact for the small `n` used here).
+fn binomial(n: usize, k: usize) -> f64 {
+    if k > n {
+        return 0.0;
+    }
+    let k = k.min(n - k);
+    let mut num = 1.0f64;
+    let mut den = 1.0f64;
+    for i in 0..k {
+        num *= (n - i) as f64;
+        den *= (i + 1) as f64;
+    }
+    num / den
+}
+
+/// `P(f = k)` for `channels` independent faults with probability `p`.
+pub fn p_exactly(channels: usize, k: usize, p: f64) -> f64 {
+    binomial(channels, k) * p.powi(k as i32) * (1.0 - p).powi((channels - k) as i32)
+}
+
+/// `P(f <= k)`.
+pub fn p_at_most(channels: usize, k: usize, p: f64) -> f64 {
+    (0..=k.min(channels)).map(|i| p_exactly(channels, i, p)).sum()
+}
+
+/// Analytic outcome bounds for one architecture at fault probability `p`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReliabilityBounds {
+    /// Lower bound on the probability of a correct external output.
+    pub p_correct_min: f64,
+    /// Lower bound on the probability of a correct-or-default (safe)
+    /// output.
+    pub p_safe_min: f64,
+    /// Upper bound on the probability of an incorrect (unsafe) output.
+    pub p_incorrect_max: f64,
+}
+
+/// Computes the bounds implied by the paper's conditions.
+pub fn bounds(arch: Architecture, p: f64) -> ReliabilityBounds {
+    let c = arch.channel_count();
+    match arch {
+        Architecture::Byzantine { m } => {
+            let within = p_at_most(c, m, p);
+            ReliabilityBounds {
+                p_correct_min: within,
+                // beyond m the B-system detects nothing: safe mass = within
+                p_safe_min: within,
+                p_incorrect_max: 1.0 - within,
+            }
+        }
+        Architecture::Degradable { params } => {
+            let within_m = p_at_most(c, params.m(), p);
+            let within_u = p_at_most(c, params.u(), p);
+            ReliabilityBounds {
+                p_correct_min: within_m,
+                p_safe_min: within_u,
+                p_incorrect_max: 1.0 - within_u,
+            }
+        }
+        Architecture::Crusader { t } => {
+            let within = p_at_most(c, t, p);
+            ReliabilityBounds {
+                p_correct_min: within,
+                p_safe_min: within,
+                p_incorrect_max: 1.0 - within,
+            }
+        }
+        Architecture::Naive { .. } => ReliabilityBounds {
+            // the naive system only promises anything with zero faults
+            p_correct_min: p_at_most(c, 0, p),
+            p_safe_min: p_at_most(c, 0, p),
+            p_incorrect_max: 1.0 - p_at_most(c, 0, p),
+        },
+    }
+}
+
+/// Probability that a mission of `cycles` independent cycles completes
+/// with **no unsafe outcome**, lower-bounded from the per-cycle bound.
+pub fn mission_safety(arch: Architecture, p: f64, cycles: usize) -> f64 {
+    (1.0 - bounds(arch, p).p_incorrect_max).powi(cycles as i32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::montecarlo::{run_monte_carlo, MonteCarloConfig};
+    use degradable::Params;
+
+    fn byz() -> Architecture {
+        Architecture::Byzantine { m: 1 }
+    }
+
+    fn deg() -> Architecture {
+        Architecture::Degradable {
+            params: Params::new(1, 2).unwrap(),
+        }
+    }
+
+    #[test]
+    fn binomial_basics() {
+        assert_eq!(binomial(4, 0), 1.0);
+        assert_eq!(binomial(4, 2), 6.0);
+        assert_eq!(binomial(4, 4), 1.0);
+        assert_eq!(binomial(4, 5), 0.0);
+    }
+
+    #[test]
+    fn distribution_sums_to_one() {
+        for &p in &[0.0, 0.1, 0.5, 0.9] {
+            let total: f64 = (0..=4).map(|k| p_exactly(4, k, p)).sum();
+            assert!((total - 1.0).abs() < 1e-12, "p={p}: {total}");
+        }
+    }
+
+    #[test]
+    fn degradable_unsafe_bound_dominates_byzantine() {
+        // P(f > u) << P(f > m) at equal p: the degradable system's unsafe
+        // exposure is strictly smaller for every p in (0, 1).
+        for &p in &[0.01, 0.05, 0.1, 0.2, 0.3] {
+            let b = bounds(byz(), p);
+            let d = bounds(deg(), p);
+            assert!(
+                d.p_incorrect_max < b.p_incorrect_max,
+                "p={p}: {d:?} vs {b:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn monte_carlo_within_analytic_bounds() {
+        for &p in &[0.1, 0.25] {
+            let cfg = MonteCarloConfig {
+                channel_fault_p: p,
+                trials: 3_000,
+                seed: 0xB0B,
+                workers: 4,
+            };
+            for arch in [byz(), deg()] {
+                let mc = run_monte_carlo(arch, cfg).overall;
+                let b = bounds(arch, p);
+                // statistical slack: 3 sigma of a binomial proportion
+                let slack = 3.0 * (0.25f64 / cfg.trials as f64).sqrt();
+                assert!(
+                    mc.p_incorrect() <= b.p_incorrect_max + slack,
+                    "{arch:?} p={p}: measured {} > bound {}",
+                    mc.p_incorrect(),
+                    b.p_incorrect_max
+                );
+                assert!(
+                    mc.p_correct() + slack >= b.p_correct_min,
+                    "{arch:?} p={p}: correct {} < bound {}",
+                    mc.p_correct(),
+                    b.p_correct_min
+                );
+                assert!(
+                    mc.p_correct() + mc.p_default() + slack >= b.p_safe_min,
+                    "{arch:?} p={p}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mission_safety_monotone_in_cycles() {
+        let one = mission_safety(deg(), 0.1, 1);
+        let many = mission_safety(deg(), 0.1, 100);
+        assert!(many < one);
+        assert!(many > 0.0);
+    }
+
+    #[test]
+    fn mission_safety_ordering() {
+        // Over a 1000-cycle mission at p = 0.05 the degradable system is
+        // dramatically more likely to stay safe.
+        let b = mission_safety(byz(), 0.05, 1000);
+        let d = mission_safety(deg(), 0.05, 1000);
+        assert!(d > b, "degradable {d} vs byzantine {b}");
+        assert!(d > 0.5, "degradable mission safety too low: {d}");
+    }
+
+    #[test]
+    fn zero_p_is_perfect() {
+        let b = bounds(deg(), 0.0);
+        assert_eq!(b.p_correct_min, 1.0);
+        assert_eq!(b.p_incorrect_max, 0.0);
+        assert_eq!(mission_safety(deg(), 0.0, 10_000), 1.0);
+    }
+}

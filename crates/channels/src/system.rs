@@ -1,0 +1,406 @@
+//! The multiple-channel fault-tolerant system of Section 3 (Figure 1).
+//!
+//! A **sender** (e.g. a sensor) distributes its value to computation
+//! **channels**; every channel applies the same deterministic computation;
+//! an **external entity** (e.g. a controller) votes over the channel
+//! outputs:
+//!
+//! * Figure 1(a): `3m` channels, Byzantine agreement (OM) distribution,
+//!   majority vote — conditions **B.1**, **B.2**;
+//! * Figure 1(b): `2m+u` channels, `m/u`-degradable agreement
+//!   distribution, `(m+u)`-out-of-`(2m+u)` vote — conditions **C.1**,
+//!   **C.2**, **C.3**.
+//!
+//! Node ids: the sender is node 0; channel `i` is node `i` (1-based).
+
+use degradable::adversary::Strategy;
+use degradable::baselines::run_om;
+use degradable::{ByzInstance, Params, Scenario, Val};
+use serde::{Deserialize, Serialize};
+use simnet::NodeId;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The deterministic per-channel computation applied to the agreed input.
+/// A degraded (`V_d`) input propagates to a degraded output: the channel
+/// enters its safe state instead of computing.
+pub fn channel_compute(input: &Val) -> Val {
+    input
+        .as_ref()
+        .map(|&x| x.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(17))
+}
+
+/// Which distribution protocol and voter the system uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Architecture {
+    /// Figure 1(a): `3m` channels, OM(m) distribution, majority vote.
+    Byzantine {
+        /// Design fault tolerance `m` (channels = `3m`).
+        m: usize,
+    },
+    /// Figure 1(b): `2m+u` channels, BYZ distribution,
+    /// `(m+u)`-out-of-`(2m+u)` vote.
+    Degradable {
+        /// Agreement parameters (channels = `2m+u`).
+        params: Params,
+    },
+    /// Strawman: channels trust the sender directly, majority vote.
+    Naive {
+        /// Number of channels.
+        channels: usize,
+    },
+    /// Dolev's Crusader agreement distribution (the paper's reference
+    /// \[2\]): `3t` channels, majority vote. Cheaper than OM (two rounds
+    /// regardless of `t`) with the same `f <= t` usefulness window.
+    Crusader {
+        /// Design fault tolerance `t` (channels = `3t`).
+        t: usize,
+    },
+}
+
+impl Architecture {
+    /// Number of channels in this architecture.
+    pub fn channel_count(&self) -> usize {
+        match *self {
+            Architecture::Byzantine { m } => 3 * m,
+            Architecture::Degradable { params } => 2 * params.m() + params.u(),
+            Architecture::Naive { channels } => channels,
+            Architecture::Crusader { t } => 3 * t,
+        }
+    }
+
+    /// Total node count (sender + channels).
+    pub fn node_count(&self) -> usize {
+        self.channel_count() + 1
+    }
+
+    /// The external entity's vote threshold.
+    pub fn vote_threshold(&self) -> usize {
+        match *self {
+            // Strict majority of the channels.
+            Architecture::Byzantine { m } => 3 * m / 2 + 1,
+            Architecture::Degradable { params } => params.m() + params.u(),
+            Architecture::Naive { channels } => channels / 2 + 1,
+            Architecture::Crusader { t } => 3 * t / 2 + 1,
+        }
+    }
+
+    /// Short label for experiment output.
+    pub fn label(&self) -> String {
+        match *self {
+            Architecture::Byzantine { m } => format!("byzantine(3m={}, m={m})", 3 * m),
+            Architecture::Degradable { params } => {
+                format!("degradable({} ch, {params})", self.channel_count())
+            }
+            Architecture::Naive { channels } => format!("naive({channels} ch)"),
+            Architecture::Crusader { t } => format!("crusader(3t={}, t={t})", 3 * t),
+        }
+    }
+}
+
+/// What the external entity obtained, relative to ground truth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ExternalOutcome {
+    /// The vote produced the correct computation result.
+    Correct,
+    /// The vote produced the default value or no value — the safe case
+    /// (triggers backward recovery or a safe action).
+    Default,
+    /// The vote produced a wrong value — the unsafe case.
+    Incorrect,
+}
+
+/// Full report of one system cycle.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CycleReport {
+    /// The value each channel agreed on as its input.
+    pub channel_inputs: BTreeMap<NodeId, Val>,
+    /// The value each channel output (faulty channels output garbage).
+    pub channel_outputs: BTreeMap<NodeId, Val>,
+    /// What the external entity's vote produced.
+    pub voted: Val,
+    /// Classification against ground truth.
+    pub outcome: ExternalOutcome,
+    /// Number of distinct input classes among fault-free channels
+    /// (condition B.2 / C.3: 1 up to `m` faults, at most 2 up to `u`).
+    pub fault_free_input_classes: usize,
+}
+
+/// One multiple-channel system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChannelSystem {
+    arch: Architecture,
+}
+
+impl ChannelSystem {
+    /// Creates a system with the given architecture.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the architecture has no channels (e.g. `Byzantine{m: 0}`).
+    pub fn new(arch: Architecture) -> Self {
+        assert!(arch.channel_count() > 0, "a system needs channels");
+        ChannelSystem { arch }
+    }
+
+    /// The architecture.
+    pub fn architecture(&self) -> Architecture {
+        self.arch
+    }
+
+    /// Runs one cycle: distribute `sensor_value` to the channels with the
+    /// architecture's protocol (nodes in `strategies` are faulty), compute,
+    /// and vote at the external entity.
+    pub fn run_cycle(
+        &self,
+        sensor_value: u64,
+        strategies: &BTreeMap<NodeId, Strategy<u64>>,
+    ) -> CycleReport {
+        let n = self.arch.node_count();
+        let sender = NodeId::new(0);
+        let faulty: BTreeSet<NodeId> = strategies.keys().copied().collect();
+        let sv = Val::Value(sensor_value);
+
+        // 1. Distribution.
+        let channel_inputs: BTreeMap<NodeId, Val> = match self.arch {
+            Architecture::Byzantine { m } => {
+                let strategies = strategies.clone();
+                let mut fab = move |p: &degradable::Path, r: NodeId, t: &Val| {
+                    strategies
+                        .get(&p.last())
+                        .expect("faulty relayer")
+                        .claim(p, r, t)
+                };
+                run_om(n, m, sender, &sv, &faulty, &mut fab)
+            }
+            Architecture::Degradable { params } => {
+                let instance =
+                    ByzInstance::new(n, params, sender).expect("2m+u channels + sender");
+                Scenario {
+                    instance,
+                    sender_value: sv,
+                    strategies: strategies.clone(),
+                }
+                .run()
+                .decisions
+            }
+            Architecture::Naive { .. } => {
+                let strategies = strategies.clone();
+                let mut fab = move |p: &degradable::Path, r: NodeId, t: &Val| {
+                    strategies
+                        .get(&p.last())
+                        .expect("faulty relayer")
+                        .claim(p, r, t)
+                };
+                degradable::baselines::naive_broadcast(n, sender, &sv, &faulty, &mut fab)
+            }
+            Architecture::Crusader { t } => {
+                let strategies = strategies.clone();
+                let mut fab = move |p: &degradable::Path, r: NodeId, tr: &Val| {
+                    strategies
+                        .get(&p.last())
+                        .expect("faulty relayer")
+                        .claim(p, r, tr)
+                };
+                degradable::baselines::run_crusader(n, t, sender, &sv, &faulty, &mut fab)
+            }
+        };
+
+        // 2. Computation: fault-free channels compute on their agreed
+        // input; a faulty channel behaves like an honest channel fed its
+        // strategy's claim — the paper's dangerous case ("two of the
+        // channels obtained the same incorrect value from the sender"),
+        // where colluding liars produce *matching* wrong outputs.
+        let output_path = degradable::Path::root(sender);
+        let channel_outputs: BTreeMap<NodeId, Val> = channel_inputs
+            .iter()
+            .map(|(&ch, input)| {
+                let out = match strategies.get(&ch) {
+                    Some(s) => channel_compute(&s.claim(
+                        &output_path.child(ch),
+                        sender, // stand-in for the external entity
+                        input,
+                    )),
+                    None => channel_compute(input),
+                };
+                (ch, out)
+            })
+            .collect();
+
+        // 3. External vote.
+        let outputs: Vec<Val> = channel_outputs.values().cloned().collect();
+        let voted = degradable::vote(self.arch.vote_threshold(), &outputs);
+
+        // 4. Classification.
+        let truth = channel_compute(&Val::Value(sensor_value));
+        let outcome = if voted == truth {
+            ExternalOutcome::Correct
+        } else if voted.is_default() {
+            ExternalOutcome::Default
+        } else {
+            ExternalOutcome::Incorrect
+        };
+
+        let classes = channel_inputs
+            .iter()
+            .filter(|(ch, _)| !faulty.contains(ch))
+            .map(|(_, v)| *v)
+            .collect::<BTreeSet<Val>>()
+            .len();
+
+        CycleReport {
+            channel_inputs,
+            channel_outputs,
+            voted,
+            outcome,
+            fault_free_input_classes: classes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn byz3() -> ChannelSystem {
+        ChannelSystem::new(Architecture::Byzantine { m: 1 })
+    }
+
+    fn deg4() -> ChannelSystem {
+        ChannelSystem::new(Architecture::Degradable {
+            params: Params::new(1, 2).unwrap(),
+        })
+    }
+
+    #[test]
+    fn architecture_counts() {
+        assert_eq!(byz3().architecture().channel_count(), 3);
+        assert_eq!(byz3().architecture().vote_threshold(), 2);
+        assert_eq!(deg4().architecture().channel_count(), 4);
+        assert_eq!(deg4().architecture().vote_threshold(), 3);
+    }
+
+    #[test]
+    fn fault_free_cycle_correct_everywhere() {
+        for sys in [byz3(), deg4()] {
+            let r = sys.run_cycle(42, &BTreeMap::new());
+            assert_eq!(r.outcome, ExternalOutcome::Correct, "{:?}", sys);
+            assert_eq!(r.fault_free_input_classes, 1);
+        }
+    }
+
+    #[test]
+    fn b1_one_faulty_channel_masked() {
+        // Figure 1(a): one lying channel, fault-free sender: majority vote
+        // still correct (B.1), channels in identical states (B.2).
+        let strategies: BTreeMap<_, _> =
+            [(n(2), Strategy::ConstantLie(Val::Value(1)))].into_iter().collect();
+        let r = byz3().run_cycle(42, &strategies);
+        assert_eq!(r.outcome, ExternalOutcome::Correct);
+        assert_eq!(r.fault_free_input_classes, 1);
+    }
+
+    #[test]
+    fn b_system_fails_with_two_faults() {
+        // Figure 1(a) with two colluding channel faults (f = 2 > m = 1):
+        // the external entity can receive an incorrect value — the failure
+        // mode that motivates degradable agreement. The colluders must
+        // agree on their garbage: make them lie identically at the
+        // distribution layer *and* both channels output the same wrong
+        // computation; here we let their (hash-based) outputs differ, so
+        // the 2-of-3 vote fails to the default instead — still a B-system
+        // guarantee loss (no correct output), captured as != Correct.
+        let strategies: BTreeMap<_, _> = [
+            (n(2), Strategy::ConstantLie(Val::Value(1))),
+            (n(3), Strategy::ConstantLie(Val::Value(1))),
+        ]
+        .into_iter()
+        .collect();
+        let r = byz3().run_cycle(42, &strategies);
+        assert_ne!(r.outcome, ExternalOutcome::Correct);
+    }
+
+    #[test]
+    fn c1_up_to_m_faults_correct() {
+        let strategies: BTreeMap<_, _> =
+            [(n(1), Strategy::ConstantLie(Val::Value(1)))].into_iter().collect();
+        let r = deg4().run_cycle(42, &strategies);
+        assert_eq!(r.outcome, ExternalOutcome::Correct);
+        assert_eq!(r.fault_free_input_classes, 1);
+    }
+
+    #[test]
+    fn c2_up_to_u_faults_correct_or_default() {
+        // Sweep every pair of faulty channels and a diverse strategy
+        // battery: the external entity must never obtain an incorrect
+        // value (C.2).
+        for a in 1..=4usize {
+            for b in (a + 1)..=4usize {
+                for (name, strat) in Strategy::battery(42, 13, 7) {
+                    let strategies: BTreeMap<_, _> =
+                        [(n(a), strat.clone()), (n(b), strat.clone())].into_iter().collect();
+                    let r = deg4().run_cycle(42, &strategies);
+                    assert_ne!(
+                        r.outcome,
+                        ExternalOutcome::Incorrect,
+                        "channels {a},{b} strategy {name}"
+                    );
+                    // C.3: at most two classes among fault-free channels.
+                    assert!(r.fault_free_input_classes <= 2);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn crusader_arch_within_t_is_correct() {
+        let sys = ChannelSystem::new(Architecture::Crusader { t: 1 });
+        assert_eq!(sys.architecture().channel_count(), 3);
+        for ch in 1..=3usize {
+            for (name, strat) in Strategy::battery(42, 13, 1) {
+                let strategies: BTreeMap<_, _> = [(n(ch), strat)].into_iter().collect();
+                let r = sys.run_cycle(42, &strategies);
+                assert_eq!(r.outcome, ExternalOutcome::Correct, "ch {ch} strategy {name}");
+            }
+        }
+    }
+
+    #[test]
+    fn crusader_arch_beyond_t_can_fail_unsafely() {
+        let sys = ChannelSystem::new(Architecture::Crusader { t: 1 });
+        let strategies: BTreeMap<_, _> = [
+            (n(2), Strategy::ConstantLie(Val::Value(1))),
+            (n(3), Strategy::ConstantLie(Val::Value(1))),
+        ]
+        .into_iter()
+        .collect();
+        let r = sys.run_cycle(42, &strategies);
+        assert_eq!(r.outcome, ExternalOutcome::Incorrect, "{r:?}");
+    }
+
+    #[test]
+    fn naive_system_fails_with_faulty_sender() {
+        let sys = ChannelSystem::new(Architecture::Naive { channels: 3 });
+        let strategies: BTreeMap<_, _> = [(
+            n(0),
+            Strategy::TwoFaced {
+                even: Val::Value(1),
+                odd: Val::Value(2),
+            },
+        )]
+        .into_iter()
+        .collect();
+        let r = sys.run_cycle(42, &strategies);
+        // Channels received split values: no guarantee; states diverge.
+        assert!(r.fault_free_input_classes > 1);
+    }
+
+    #[test]
+    fn degraded_input_propagates_to_safe_state() {
+        assert_eq!(channel_compute(&Val::Default), Val::Default);
+        assert_ne!(channel_compute(&Val::Value(1)), Val::Value(1));
+    }
+}

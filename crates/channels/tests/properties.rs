@@ -1,0 +1,122 @@
+//! Property-based tests for the channel-system application.
+
+use channels::prelude::*;
+use degradable::adversary::Strategy;
+use degradable::{Params, Val};
+use proptest::prelude::*;
+use simnet::{NodeId, SimRng};
+use std::collections::{BTreeMap, BTreeSet};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// C.2: the degradable system's external entity never obtains an
+    /// incorrect value with a fault-free sender and f <= u — for any
+    /// sampled placement and strategy mix.
+    #[test]
+    fn degradable_system_never_incorrect_within_u(
+        sensor in 0u64..1_000_000,
+        seed in 0u64..10_000,
+        f in 0usize..3,
+    ) {
+        let system = ChannelSystem::new(Architecture::Degradable {
+            params: Params::new(1, 2).unwrap(),
+        });
+        let mut rng = SimRng::seed(seed);
+        let battery = Strategy::battery(sensor, sensor ^ 0xBAD, seed);
+        let mut strategies: BTreeMap<NodeId, Strategy<u64>> = BTreeMap::new();
+        for i in rng.choose_indices(4, f) {
+            let (_, s) = battery[rng.below(battery.len() as u64) as usize].clone();
+            strategies.insert(NodeId::new(i + 1), s);
+        }
+        let r = system.run_cycle(sensor, &strategies);
+        prop_assert_ne!(r.outcome, ExternalOutcome::Incorrect);
+        prop_assert!(r.fault_free_input_classes <= 2);
+        if f <= 1 {
+            prop_assert_eq!(r.outcome, ExternalOutcome::Correct);
+        }
+    }
+
+    /// B.1: the Byzantine system is always correct within its design
+    /// limit.
+    #[test]
+    fn byzantine_system_correct_within_m(
+        sensor in 0u64..1_000_000,
+        seed in 0u64..10_000,
+        ch in 1usize..4,
+        strat_idx in 0usize..6,
+    ) {
+        let system = ChannelSystem::new(Architecture::Byzantine { m: 1 });
+        let battery = Strategy::battery(sensor, sensor ^ 0xBAD, seed);
+        let (_, s) = battery[strat_idx % battery.len()].clone();
+        let strategies: BTreeMap<NodeId, Strategy<u64>> =
+            [(NodeId::new(ch), s)].into_iter().collect();
+        let r = system.run_cycle(sensor, &strategies);
+        prop_assert_eq!(r.outcome, ExternalOutcome::Correct);
+        prop_assert_eq!(r.fault_free_input_classes, 1);
+    }
+
+    /// Replicated log: non-hole slots never conflict across fault-free
+    /// replicas, for any command stream and any f <= u fault scenario.
+    #[test]
+    fn replica_log_no_conflicts(
+        commands in proptest::collection::vec(0u64..1_000, 1..8),
+        seed in 0u64..5_000,
+        f in 0usize..3,
+    ) {
+        let mut log = ReplicatedLog::new(Params::new(1, 2).unwrap());
+        let mut rng = SimRng::seed(seed);
+        let faulty_idx = rng.choose_indices(4, f);
+        let faulty: BTreeSet<NodeId> =
+            faulty_idx.iter().map(|&i| NodeId::new(i + 1)).collect();
+        for (slot, &c) in commands.iter().enumerate() {
+            let battery = Strategy::battery(c, c ^ 1, seed + slot as u64);
+            let strategies: BTreeMap<NodeId, Strategy<u64>> = faulty
+                .iter()
+                .map(|&node| {
+                    let (_, s) = battery[rng.below(battery.len() as u64) as usize].clone();
+                    (node, s)
+                })
+                .collect();
+            log.append(c, &strategies);
+        }
+        prop_assert!(log.check(&faulty, f).is_none());
+    }
+
+    /// Repair is idempotent and never creates conflicts.
+    #[test]
+    fn replica_repair_safe(command in 0u64..1_000, seed in 0u64..2_000) {
+        let mut log = ReplicatedLog::new(Params::new(1, 2).unwrap());
+        let silent: BTreeMap<NodeId, Strategy<u64>> = [
+            (NodeId::new(1), Strategy::Silent),
+            (NodeId::new(2), Strategy::Silent),
+        ]
+        .into_iter()
+        .collect();
+        log.append(command, &silent);
+        let _ = seed;
+        log.repair(0, command, &BTreeMap::new());
+        log.repair(0, command, &BTreeMap::new());
+        prop_assert!(log.check(&BTreeSet::new(), 0).is_none());
+        for i in 1..5 {
+            prop_assert_eq!(log.log_of(NodeId::new(i))[0], Val::Value(command));
+        }
+    }
+
+    /// Safe flights: without faults the control loop never leaves the
+    /// envelope regardless of disturbance seed.
+    #[test]
+    fn clean_flights_safe(seed in 0u64..2_000) {
+        let config = FlightConfig {
+            burst_len: 0,
+            seed,
+            ..FlightConfig::default()
+        };
+        let r = fly(
+            Architecture::Degradable { params: Params::new(1, 2).unwrap() },
+            config,
+        );
+        prop_assert!(!r.crashed);
+        prop_assert_eq!(r.wrong_actuations, 0);
+    }
+}

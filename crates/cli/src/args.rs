@@ -1,0 +1,479 @@
+//! Hand-rolled argument parsing for `dagree`.
+
+use degradable::{Strategy, Val};
+use simnet::NodeId;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Usage text printed on parse errors and `--help`.
+pub const USAGE: &str = "\
+dagree — explore m/u-degradable agreement (Vaidya 1993)
+
+USAGE:
+  dagree run --nodes N --m M --u U [--value V] [--faulty SPEC] [--explain NODE]
+  dagree search --nodes N --m M --u U [--below-bound] [--method exhaustive|random|hillclimb]
+  dagree table [--max-m M] [--max-u U]
+  dagree tradeoffs --nodes N
+  dagree topology --kind KIND [--m M --u U]
+  dagree certify --m M --u U [--budget B]
+  dagree flight --arch byzantine|degradable|crusader
+  dagree help
+
+FAULTY SPEC:
+  comma-separated entries `node:strategy[:value]`, e.g.
+  `3:constant-lie:9,4:silent` or `0:two-faced:1:2`.
+  strategies: silent | truthful | constant-lie:V | two-faced:A:B |
+              pretend-sender-said:V | random-lie:SEED
+
+TOPOLOGY KIND:
+  complete:N | ring:N | harary:K:N | hypercube:D | wheel:N | sender-cut:K:N
+
+EXAMPLES:
+  dagree run --nodes 5 --m 1 --u 2 --value 42 --faulty 3:constant-lie:7,4:constant-lie:7
+  dagree run --nodes 5 --m 1 --u 2 --faulty 4:silent --explain 1
+  dagree search --nodes 4 --m 1 --u 2 --below-bound --method exhaustive
+  dagree topology --kind harary:4:8 --m 1 --u 2
+";
+
+/// A parsed subcommand.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `dagree run`
+    Run {
+        /// Node count.
+        nodes: usize,
+        /// Strong threshold.
+        m: usize,
+        /// Degraded threshold.
+        u: usize,
+        /// Sender value.
+        value: u64,
+        /// Faulty nodes with strategies.
+        faulty: BTreeMap<NodeId, Strategy<u64>>,
+        /// Receiver to narrate, if any.
+        explain: Option<NodeId>,
+    },
+    /// `dagree search`
+    Search {
+        /// Node count (defaults to the bound, or one below with
+        /// `below_bound`).
+        nodes: usize,
+        /// Strong threshold.
+        m: usize,
+        /// Degraded threshold.
+        u: usize,
+        /// Whether the instance is deliberately below the node bound.
+        below_bound: bool,
+        /// Search method.
+        method: SearchMethod,
+    },
+    /// `dagree table`
+    Table {
+        /// Largest `m` row.
+        max_m: usize,
+        /// Largest `u` column.
+        max_u: usize,
+    },
+    /// `dagree tradeoffs`
+    Tradeoffs {
+        /// Node count.
+        nodes: usize,
+    },
+    /// `dagree topology`
+    Topology {
+        /// The topology specification string.
+        kind: String,
+        /// Optional params to check the Theorem 3 requirement against.
+        params: Option<(usize, usize)>,
+    },
+    /// `dagree certify`
+    Certify {
+        /// Strong threshold.
+        m: usize,
+        /// Degraded threshold.
+        u: usize,
+        /// Per-configuration adversary budget.
+        budget: u128,
+    },
+    /// `dagree flight`
+    Flight {
+        /// Architecture name.
+        arch: String,
+    },
+    /// `dagree help`
+    Help,
+}
+
+/// Search methods for `dagree search`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SearchMethod {
+    /// Full enumeration over a small domain.
+    Exhaustive,
+    /// Seeded randomized tables.
+    Random,
+    /// Coordinate-ascent.
+    HillClimb,
+}
+
+/// A parse failure with a human-readable description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, ParseError> {
+    Err(ParseError(msg.into()))
+}
+
+/// Extracts `--flag value` pairs and standalone `--switches`.
+struct Flags<'a> {
+    pairs: BTreeMap<&'a str, &'a str>,
+    switches: Vec<&'a str>,
+}
+
+fn collect_flags(args: &[String]) -> Result<Flags<'_>, ParseError> {
+    let mut pairs = BTreeMap::new();
+    let mut switches = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = args[i].as_str();
+        if !a.starts_with("--") {
+            return err(format!("unexpected argument `{a}`"));
+        }
+        match a {
+            "--below-bound" => {
+                switches.push(a);
+                i += 1;
+            }
+            _ => {
+                let Some(v) = args.get(i + 1) else {
+                    return err(format!("flag `{a}` needs a value"));
+                };
+                pairs.insert(a, v.as_str());
+                i += 2;
+            }
+        }
+    }
+    Ok(Flags { pairs, switches })
+}
+
+fn req_usize(flags: &Flags<'_>, name: &str) -> Result<usize, ParseError> {
+    match flags.pairs.get(name) {
+        None => err(format!("missing required flag `{name}`")),
+        Some(v) => v
+            .parse()
+            .map_err(|_| ParseError(format!("`{name}` expects a number, got `{v}`"))),
+    }
+}
+
+fn opt_usize(flags: &Flags<'_>, name: &str, default: usize) -> Result<usize, ParseError> {
+    match flags.pairs.get(name) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| ParseError(format!("`{name}` expects a number, got `{v}`"))),
+    }
+}
+
+/// Parses a faulty-node specification (see [`USAGE`]).
+pub fn parse_faulty(spec: &str) -> Result<BTreeMap<NodeId, Strategy<u64>>, ParseError> {
+    let mut out = BTreeMap::new();
+    if spec.trim().is_empty() {
+        return Ok(out);
+    }
+    for entry in spec.split(',') {
+        let parts: Vec<&str> = entry.split(':').collect();
+        if parts.len() < 2 {
+            return err(format!("faulty entry `{entry}` needs `node:strategy`"));
+        }
+        let node: usize = parts[0]
+            .parse()
+            .map_err(|_| ParseError(format!("bad node id `{}`", parts[0])))?;
+        let strategy = match (parts[1], parts.len()) {
+            ("silent", 2) => Strategy::Silent,
+            ("truthful", 2) => Strategy::Truthful,
+            ("constant-lie", 3) => Strategy::ConstantLie(Val::Value(parse_u64(parts[2])?)),
+            ("two-faced", 4) => Strategy::TwoFaced {
+                even: Val::Value(parse_u64(parts[2])?),
+                odd: Val::Value(parse_u64(parts[3])?),
+            },
+            ("pretend-sender-said", 3) => {
+                Strategy::PretendSenderSaid(Val::Value(parse_u64(parts[2])?))
+            }
+            ("random-lie", 3) => Strategy::RandomLie {
+                domain: vec![Val::Default, Val::Value(1), Val::Value(2)],
+                seed: parse_u64(parts[2])?,
+            },
+            _ => return err(format!("unknown strategy spec `{entry}`")),
+        };
+        out.insert(NodeId::new(node), strategy);
+    }
+    Ok(out)
+}
+
+fn parse_u64(s: &str) -> Result<u64, ParseError> {
+    s.parse()
+        .map_err(|_| ParseError(format!("expected a number, got `{s}`")))
+}
+
+/// Parses a full argument vector (without the program name).
+pub fn parse_args(argv: &[String]) -> Result<Command, ParseError> {
+    let Some(sub) = argv.first() else {
+        return Ok(Command::Help);
+    };
+    let rest = &argv[1..];
+    match sub.as_str() {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "run" => {
+            let flags = collect_flags(rest)?;
+            let faulty = match flags.pairs.get("--faulty") {
+                Some(spec) => parse_faulty(spec)?,
+                None => BTreeMap::new(),
+            };
+            let explain = match flags.pairs.get("--explain") {
+                Some(v) => Some(NodeId::new(v.parse().map_err(|_| {
+                    ParseError(format!("`--explain` expects a node id, got `{v}`"))
+                })?)),
+                None => None,
+            };
+            Ok(Command::Run {
+                nodes: req_usize(&flags, "--nodes")?,
+                m: req_usize(&flags, "--m")?,
+                u: req_usize(&flags, "--u")?,
+                value: flags
+                    .pairs
+                    .get("--value")
+                    .map(|v| parse_u64(v))
+                    .transpose()?
+                    .unwrap_or(42),
+                faulty,
+                explain,
+            })
+        }
+        "search" => {
+            let flags = collect_flags(rest)?;
+            let method = match flags.pairs.get("--method").copied().unwrap_or("exhaustive") {
+                "exhaustive" => SearchMethod::Exhaustive,
+                "random" => SearchMethod::Random,
+                "hillclimb" => SearchMethod::HillClimb,
+                other => return err(format!("unknown search method `{other}`")),
+            };
+            Ok(Command::Search {
+                nodes: req_usize(&flags, "--nodes")?,
+                m: req_usize(&flags, "--m")?,
+                u: req_usize(&flags, "--u")?,
+                below_bound: flags.switches.contains(&"--below-bound"),
+                method,
+            })
+        }
+        "table" => {
+            let flags = collect_flags(rest)?;
+            Ok(Command::Table {
+                max_m: opt_usize(&flags, "--max-m", 3)?,
+                max_u: opt_usize(&flags, "--max-u", 6)?,
+            })
+        }
+        "tradeoffs" => {
+            let flags = collect_flags(rest)?;
+            Ok(Command::Tradeoffs {
+                nodes: req_usize(&flags, "--nodes")?,
+            })
+        }
+        "certify" => {
+            let flags = collect_flags(rest)?;
+            let budget = match flags.pairs.get("--budget") {
+                None => 50_000_000u128,
+                Some(v) => v
+                    .parse()
+                    .map_err(|_| ParseError(format!("bad `--budget` value `{v}`")))?,
+            };
+            Ok(Command::Certify {
+                m: req_usize(&flags, "--m")?,
+                u: req_usize(&flags, "--u")?,
+                budget,
+            })
+        }
+        "flight" => {
+            let flags = collect_flags(rest)?;
+            let arch = flags
+                .pairs
+                .get("--arch")
+                .copied()
+                .unwrap_or("degradable")
+                .to_string();
+            Ok(Command::Flight { arch })
+        }
+        "topology" => {
+            let flags = collect_flags(rest)?;
+            let kind = flags
+                .pairs
+                .get("--kind")
+                .copied()
+                .ok_or_else(|| ParseError("missing required flag `--kind`".into()))?
+                .to_string();
+            let params = match (flags.pairs.get("--m"), flags.pairs.get("--u")) {
+                (Some(m), Some(u)) => Some((
+                    m.parse()
+                        .map_err(|_| ParseError(format!("bad `--m` value `{m}`")))?,
+                    u.parse()
+                        .map_err(|_| ParseError(format!("bad `--u` value `{u}`")))?,
+                )),
+                (None, None) => None,
+                _ => return err("`--m` and `--u` must be given together"),
+            };
+            Ok(Command::Topology { kind, params })
+        }
+        other => err(format!("unknown subcommand `{other}`")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_run_minimal() {
+        let cmd = parse_args(&sv(&["run", "--nodes", "5", "--m", "1", "--u", "2"])).unwrap();
+        match cmd {
+            Command::Run {
+                nodes, m, u, value, faulty, explain,
+            } => {
+                assert_eq!((nodes, m, u, value), (5, 1, 2, 42));
+                assert!(faulty.is_empty());
+                assert!(explain.is_none());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_run_full() {
+        let cmd = parse_args(&sv(&[
+            "run", "--nodes", "5", "--m", "1", "--u", "2", "--value", "9", "--faulty",
+            "3:constant-lie:7,4:silent", "--explain", "1",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Run { value, faulty, explain, .. } => {
+                assert_eq!(value, 9);
+                assert_eq!(faulty.len(), 2);
+                assert_eq!(faulty[&NodeId::new(4)], Strategy::Silent);
+                assert_eq!(explain, Some(NodeId::new(1)));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_faulty_variants() {
+        let f = parse_faulty("0:two-faced:1:2,3:pretend-sender-said:5,4:random-lie:99").unwrap();
+        assert_eq!(f.len(), 3);
+        assert!(matches!(f[&NodeId::new(0)], Strategy::TwoFaced { .. }));
+        assert!(matches!(f[&NodeId::new(4)], Strategy::RandomLie { seed: 99, .. }));
+    }
+
+    #[test]
+    fn parse_faulty_rejects_garbage() {
+        assert!(parse_faulty("3").is_err());
+        assert!(parse_faulty("x:silent").is_err());
+        assert!(parse_faulty("3:mystery").is_err());
+        assert!(parse_faulty("3:constant-lie").is_err());
+    }
+
+    #[test]
+    fn parse_search() {
+        let cmd = parse_args(&sv(&[
+            "search", "--nodes", "4", "--m", "1", "--u", "2", "--below-bound", "--method",
+            "hillclimb",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Search {
+                nodes: 4,
+                m: 1,
+                u: 2,
+                below_bound: true,
+                method: SearchMethod::HillClimb,
+            }
+        );
+    }
+
+    #[test]
+    fn parse_table_defaults() {
+        assert_eq!(
+            parse_args(&sv(&["table"])).unwrap(),
+            Command::Table { max_m: 3, max_u: 6 }
+        );
+    }
+
+    #[test]
+    fn parse_topology() {
+        let cmd = parse_args(&sv(&[
+            "topology", "--kind", "harary:4:8", "--m", "1", "--u", "2",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Topology {
+                kind: "harary:4:8".into(),
+                params: Some((1, 2)),
+            }
+        );
+    }
+
+    #[test]
+    fn topology_requires_both_params() {
+        assert!(parse_args(&sv(&["topology", "--kind", "ring:5", "--m", "1"])).is_err());
+    }
+
+    #[test]
+    fn missing_flags_are_reported() {
+        let e = parse_args(&sv(&["run", "--nodes", "5"])).unwrap_err();
+        assert!(e.0.contains("--m"));
+    }
+
+    #[test]
+    fn parse_certify() {
+        assert_eq!(
+            parse_args(&sv(&["certify", "--m", "1", "--u", "2"])).unwrap(),
+            Command::Certify { m: 1, u: 2, budget: 50_000_000 }
+        );
+        assert_eq!(
+            parse_args(&sv(&["certify", "--m", "1", "--u", "1", "--budget", "99"])).unwrap(),
+            Command::Certify { m: 1, u: 1, budget: 99 }
+        );
+    }
+
+    #[test]
+    fn parse_flight() {
+        assert_eq!(
+            parse_args(&sv(&["flight", "--arch", "byzantine"])).unwrap(),
+            Command::Flight { arch: "byzantine".into() }
+        );
+        assert_eq!(
+            parse_args(&sv(&["flight"])).unwrap(),
+            Command::Flight { arch: "degradable".into() }
+        );
+    }
+
+    #[test]
+    fn empty_argv_is_help() {
+        assert_eq!(parse_args(&[]).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn unknown_subcommand_rejected() {
+        assert!(parse_args(&sv(&["frobnicate"])).is_err());
+    }
+}

@@ -1,0 +1,399 @@
+//! Subcommand implementations; each returns the text to print.
+
+use crate::args::{Command, SearchMethod, USAGE};
+use degradable::analysis::{min_nodes_table, tradeoffs, MinNodesCell};
+use degradable::{
+    check_degradable, explain_receiver, ByzInstance, ExhaustiveSearch, HillClimbSearch, Params,
+    RandomizedSearch, Scenario, Val, Verdict,
+};
+use simnet::{vertex_connectivity, NodeId, Topology};
+use std::fmt::Write as _;
+
+/// Runs the parsed command and returns its output.
+pub fn dispatch(cmd: &Command) -> String {
+    match cmd {
+        Command::Help => USAGE.to_string(),
+        Command::Run {
+            nodes,
+            m,
+            u,
+            value,
+            faulty,
+            explain,
+        } => run_cmd(*nodes, *m, *u, *value, faulty, *explain),
+        Command::Search {
+            nodes,
+            m,
+            u,
+            below_bound,
+            method,
+        } => search_cmd(*nodes, *m, *u, *below_bound, *method),
+        Command::Table { max_m, max_u } => table_cmd(*max_m, *max_u),
+        Command::Tradeoffs { nodes } => tradeoffs_cmd(*nodes),
+        Command::Topology { kind, params } => topology_cmd(kind, *params),
+        Command::Certify { m, u, budget } => certify_cmd(*m, *u, *budget),
+        Command::Flight { arch } => flight_cmd(arch),
+    }
+}
+
+fn certify_cmd(m: usize, u: usize, budget: u128) -> String {
+    let params = match Params::new(m, u) {
+        Ok(p) => p,
+        Err(e) => return format!("error: {e}"),
+    };
+    let n = params.min_nodes();
+    match degradable::certify(params, n, budget) {
+        Err(e) => format!("error: {e}"),
+        Ok(report) => {
+            if report.certified() {
+                format!(
+                    "CERTIFIED: {params} at N = {n}\n\
+                     every sender x every fault set (f <= {u}) x every adversary over {{V_d,1,2}}\n\
+                     {} configurations, {} adversary tables — no violation (Theorem 1, machine-checked)",
+                    report.configurations, report.adversaries
+                )
+            } else {
+                format!(
+                    "VIOLATION at {params}, N = {n}: {:?}",
+                    report.violation.map(|w| w.violation)
+                )
+            }
+        }
+    }
+}
+
+fn flight_cmd(arch: &str) -> String {
+    use channels::prelude::*;
+    let arch = match arch {
+        "byzantine" => Architecture::Byzantine { m: 1 },
+        "crusader" => Architecture::Crusader { t: 1 },
+        "degradable" => Architecture::Degradable {
+            params: Params::new(1, 2).expect("1 <= 2"),
+        },
+        other => return format!("error: unknown architecture `{other}`"),
+    };
+    let report = fly(arch, FlightConfig::default());
+    let mut out = String::new();
+    let _ = writeln!(out, "flight on {}:", report.architecture);
+    let _ = writeln!(out, "  correct actuations : {}", report.correct_cycles);
+    let _ = writeln!(out, "  pilot alerts (hold): {}", report.pilot_alerts);
+    let _ = writeln!(out, "  wrong actuations   : {}", report.wrong_actuations);
+    let _ = writeln!(
+        out,
+        "  outcome            : {}",
+        if report.crashed { "LEFT SAFE ENVELOPE" } else { "completed safely" }
+    );
+    out
+}
+
+fn make_instance(nodes: usize, m: usize, u: usize, allow_below: bool) -> Result<ByzInstance, String> {
+    let params = Params::new(m, u).map_err(|e| e.to_string())?;
+    let result = if allow_below {
+        ByzInstance::new_below_bound(nodes, params, NodeId::new(0))
+    } else {
+        ByzInstance::new(nodes, params, NodeId::new(0))
+    };
+    result.map_err(|e| e.to_string())
+}
+
+fn run_cmd(
+    nodes: usize,
+    m: usize,
+    u: usize,
+    value: u64,
+    faulty: &std::collections::BTreeMap<NodeId, degradable::Strategy<u64>>,
+    explain: Option<NodeId>,
+) -> String {
+    let instance = match make_instance(nodes, m, u, false) {
+        Ok(i) => i,
+        Err(e) => return format!("error: {e}"),
+    };
+    let scenario = Scenario {
+        instance,
+        sender_value: Val::Value(value),
+        strategies: faulty.clone(),
+    };
+    let record = scenario.run();
+    let mut out = String::new();
+    let _ = writeln!(out, "{instance}");
+    let _ = writeln!(out, "sender value: {value}; f = {}", record.f());
+    for (r, v) in record.fault_free_decisions() {
+        let _ = writeln!(out, "  fault-free {r} decided {v}");
+    }
+    match check_degradable(&record) {
+        Verdict::Satisfied(s) => {
+            let _ = writeln!(
+                out,
+                "verdict: condition {} satisfied ({} fault-free nodes agree on one value)",
+                s.condition, s.largest_agreeing
+            );
+        }
+        Verdict::Violated(v) => {
+            let _ = writeln!(out, "verdict: VIOLATED — {v}");
+        }
+        Verdict::BeyondU { f } => {
+            let _ = writeln!(out, "verdict: f = {f} > u — no promise applies");
+        }
+    }
+    if let Some(r) = explain {
+        let _ = writeln!(out, "\n{}", explain_receiver(&scenario, r));
+    }
+    out
+}
+
+fn search_cmd(nodes: usize, m: usize, u: usize, below_bound: bool, method: SearchMethod) -> String {
+    let instance = match make_instance(nodes, m, u, below_bound) {
+        Ok(i) => i,
+        Err(e) => return format!("error: {e}"),
+    };
+    let faulty: std::collections::BTreeSet<NodeId> =
+        (nodes.saturating_sub(u)..nodes).map(NodeId::new).collect();
+    let domain = vec![Val::Default, Val::Value(1), Val::Value(2)];
+    let witness = match method {
+        SearchMethod::Exhaustive => {
+            let search = ExhaustiveSearch::new(instance, Val::Value(1), faulty, domain);
+            match search.find_violation() {
+                Ok(w) => w,
+                Err(e) => return format!("error: {e}"),
+            }
+        }
+        SearchMethod::Random => {
+            RandomizedSearch::new(instance, Val::Value(1), domain)
+                .with_trials(3_000)
+                .find_violation(u)
+                .0
+        }
+        SearchMethod::HillClimb => {
+            HillClimbSearch::new(instance, Val::Value(1), faulty, domain).find_violation()
+        }
+    };
+    match witness {
+        None => format!(
+            "no violating adversary found for {instance} ({method:?})\n\
+             (at N >= 2m+u+1 = {} this is Theorem 1 at work)",
+            2 * m + u + 1
+        ),
+        Some(w) => {
+            let mut out = String::new();
+            let _ = writeln!(out, "VIOLATION found for {instance}: {}", w.violation);
+            let _ = writeln!(out, "fault-free decisions:");
+            for (r, v) in w.record.fault_free_decisions() {
+                let _ = writeln!(out, "  {r} decided {v}");
+            }
+            let _ = writeln!(out, "adversary claim table ({} entries):", w.assignment.len());
+            for ((path, receiver), value) in w.assignment.iter().take(12) {
+                let _ = writeln!(out, "  {path} -> {receiver}: {value}");
+            }
+            if w.assignment.len() > 12 {
+                let _ = writeln!(out, "  … {} more", w.assignment.len() - 12);
+            }
+            out
+        }
+    }
+}
+
+fn table_cmd(max_m: usize, max_u: usize) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "minimum nodes for m/u-degradable agreement (2m+u+1):");
+    let _ = write!(out, "m\\u ");
+    for u in 1..=max_u {
+        let _ = write!(out, "{u:>4}");
+    }
+    let _ = writeln!(out);
+    for (mi, row) in min_nodes_table(max_m, max_u).iter().enumerate() {
+        let _ = write!(out, "{:>3} ", mi + 1);
+        for cell in row {
+            match cell {
+                MinNodesCell::Invalid => {
+                    let _ = write!(out, "{:>4}", "-");
+                }
+                MinNodesCell::Nodes(n) => {
+                    let _ = write!(out, "{n:>4}");
+                }
+            }
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+fn tradeoffs_cmd(nodes: usize) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "maximal (m, u) configurations for {nodes} nodes:");
+    let list = tradeoffs(nodes);
+    if list.is_empty() {
+        let _ = writeln!(out, "  none (need at least 2 nodes)");
+    }
+    for p in list {
+        let _ = writeln!(
+            out,
+            "  {p}: Byzantine agreement up to {} faults, degraded up to {} (connectivity >= {})",
+            p.m(),
+            p.u(),
+            p.min_connectivity()
+        );
+    }
+    out
+}
+
+/// Parses a topology specification like `harary:4:8`.
+pub fn parse_topology(kind: &str) -> Result<Topology, String> {
+    let parts: Vec<&str> = kind.split(':').collect();
+    let num = |i: usize| -> Result<usize, String> {
+        parts
+            .get(i)
+            .ok_or_else(|| format!("`{kind}` is missing a parameter"))?
+            .parse()
+            .map_err(|_| format!("bad number in `{kind}`"))
+    };
+    match parts[0] {
+        "complete" => Ok(Topology::complete(num(1)?)),
+        "ring" => Ok(Topology::ring(num(1)?)),
+        "harary" => Ok(Topology::harary(num(1)?, num(2)?)),
+        "hypercube" => Ok(Topology::hypercube(num(1)?)),
+        "wheel" => Ok(Topology::wheel(num(1)?)),
+        "sender-cut" => Ok(degradable::sender_cut_topology(num(2)?, num(1)?)),
+        other => Err(format!("unknown topology kind `{other}`")),
+    }
+}
+
+fn topology_cmd(kind: &str, params: Option<(usize, usize)>) -> String {
+    let topo = match parse_topology(kind) {
+        Ok(t) => t,
+        Err(e) => return format!("error: {e}"),
+    };
+    let kappa = vertex_connectivity(topo.graph());
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{}: {} nodes, {} edges, vertex connectivity {}",
+        topo.name(),
+        topo.node_count(),
+        topo.graph().edge_count(),
+        kappa
+    );
+    if let Some(cut) = simnet::minimum_vertex_cut(topo.graph()) {
+        let names: Vec<String> = cut.iter().map(|n| n.to_string()).collect();
+        let _ = writeln!(out, "a minimum vertex cut: {{{}}}", names.join(", "));
+    } else {
+        let _ = writeln!(out, "no vertex cut (complete graph)");
+    }
+    if let Some((m, u)) = params {
+        match Params::new(m, u) {
+            Err(e) => {
+                let _ = writeln!(out, "error: {e}");
+            }
+            Ok(p) => {
+                let need = p.min_connectivity();
+                let _ = writeln!(
+                    out,
+                    "{p} needs connectivity >= {need}: {}",
+                    if kappa >= need {
+                        "SUFFICIENT (Theorem 3)"
+                    } else {
+                        "INSUFFICIENT — a cut adversary defeats agreement here"
+                    }
+                );
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::parse_faulty;
+
+    #[test]
+    fn run_clean_scenario() {
+        let out = run_cmd(5, 1, 2, 42, &Default::default(), None);
+        assert!(out.contains("condition D.1 satisfied"), "{out}");
+    }
+
+    #[test]
+    fn run_degraded_scenario() {
+        let faulty = parse_faulty("3:constant-lie:7,4:constant-lie:7").unwrap();
+        let out = run_cmd(5, 1, 2, 42, &faulty, None);
+        assert!(out.contains("condition D.3 satisfied"), "{out}");
+    }
+
+    #[test]
+    fn run_with_explanation() {
+        let faulty = parse_faulty("4:silent").unwrap();
+        let out = run_cmd(5, 1, 2, 42, &faulty, Some(NodeId::new(1)));
+        assert!(out.contains("view of receiver n1"), "{out}");
+    }
+
+    #[test]
+    fn run_rejects_too_few_nodes() {
+        let out = run_cmd(4, 1, 2, 42, &Default::default(), None);
+        assert!(out.contains("error"), "{out}");
+    }
+
+    #[test]
+    fn search_below_bound_finds_break() {
+        let out = search_cmd(4, 1, 2, true, SearchMethod::Exhaustive);
+        assert!(out.contains("VIOLATION found"), "{out}");
+    }
+
+    #[test]
+    fn search_at_bound_is_clean() {
+        let out = search_cmd(5, 1, 2, false, SearchMethod::Exhaustive);
+        assert!(out.contains("no violating adversary"), "{out}");
+    }
+
+    #[test]
+    fn table_renders() {
+        let out = table_cmd(2, 3);
+        assert!(out.contains("m\\u"));
+        assert!(out.contains('7')); // (2,2) -> 7
+    }
+
+    #[test]
+    fn tradeoffs_renders() {
+        let out = tradeoffs_cmd(7);
+        assert!(out.contains("2/2-degradable"));
+        assert!(out.contains("0/6-degradable"));
+    }
+
+    #[test]
+    fn topology_kinds_parse() {
+        for kind in ["complete:5", "ring:6", "harary:3:8", "hypercube:3", "wheel:6", "sender-cut:3:8"] {
+            assert!(parse_topology(kind).is_ok(), "{kind}");
+        }
+        assert!(parse_topology("torus:3").is_err());
+        assert!(parse_topology("harary:3").is_err());
+    }
+
+    #[test]
+    fn topology_verdicts() {
+        let out = topology_cmd("harary:4:8", Some((1, 2)));
+        assert!(out.contains("SUFFICIENT"), "{out}");
+        let out = topology_cmd("ring:8", Some((1, 2)));
+        assert!(out.contains("INSUFFICIENT"), "{out}");
+    }
+
+    #[test]
+    fn certify_small_instance() {
+        let out = certify_cmd(1, 1, 1_000_000);
+        assert!(out.contains("CERTIFIED"), "{out}");
+    }
+
+    #[test]
+    fn certify_rejects_bad_params() {
+        assert!(certify_cmd(2, 1, 1_000).contains("error"));
+    }
+
+    #[test]
+    fn flight_variants() {
+        assert!(flight_cmd("degradable").contains("completed safely"));
+        assert!(flight_cmd("byzantine").contains("LEFT SAFE ENVELOPE"));
+        assert!(flight_cmd("warp").contains("error"));
+    }
+
+    #[test]
+    fn dispatch_help() {
+        assert!(dispatch(&Command::Help).contains("USAGE"));
+    }
+}

@@ -1,0 +1,51 @@
+//! Implementation of the `dagree` command-line explorer.
+//!
+//! Argument parsing is hand-rolled (no external dependency) and lives in
+//! [`args`]; each subcommand is a function in [`commands`] returning the
+//! text to print, which keeps everything unit-testable without spawning
+//! processes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod commands;
+
+pub use args::{parse_args, Command, ParseError};
+
+/// Entry point shared by the binary and the tests: parse and dispatch.
+///
+/// # Errors
+///
+/// Returns a usage/parse error message when the arguments are invalid.
+pub fn run(argv: &[String]) -> Result<String, String> {
+    let cmd = parse_args(argv).map_err(|e| format!("{e}\n\n{}", args::USAGE))?;
+    Ok(commands::dispatch(&cmd))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn run_dispatches_table() {
+        let out = run(&sv(&["table"])).unwrap();
+        assert!(out.contains("minimum nodes"));
+    }
+
+    #[test]
+    fn run_reports_parse_errors_with_usage() {
+        let err = run(&sv(&["bogus"])).unwrap_err();
+        assert!(err.contains("unknown subcommand"));
+        assert!(err.contains("USAGE"));
+    }
+
+    #[test]
+    fn empty_argv_prints_usage() {
+        assert!(run(&[]).unwrap().contains("USAGE"));
+    }
+}

@@ -1,0 +1,12 @@
+//! `dagree` — command-line explorer for m/u-degradable agreement.
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match degradable_cli::run(&argv) {
+        Ok(text) => println!("{text}"),
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,224 @@
+//! Hardware clock models.
+//!
+//! Time is modelled in integer **microticks** (`u64`). A clock maps real
+//! time to a local reading through an initial offset and a drift rate;
+//! faulty clocks misreport arbitrarily — including *two-faced* misreporting
+//! (different readings to different observers in the same instant), the
+//! clock-domain analogue of a Byzantine node, which is what makes
+//! synchronization beyond `n/3` faults impossible \[Dolev-Halpern-Strong\].
+
+use serde::{Deserialize, Serialize};
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+/// How a clock misbehaves.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ClockFault {
+    /// Reads correctly (offset + drift within spec).
+    None,
+    /// Reports a pseudo-random value to each (observer, instant) pair —
+    /// the fully Byzantine clock. `spread` bounds how far the garbage can
+    /// wander from real time.
+    Arbitrary {
+        /// Hash seed (determinism).
+        seed: u64,
+        /// Maximum distance of the fabricated reading from real time.
+        spread: u64,
+    },
+    /// Frozen at a fixed reading.
+    Stuck {
+        /// The reading it always reports.
+        at: u64,
+    },
+    /// Runs at a grossly wrong rate.
+    Racing {
+        /// Parts-per-million beyond the healthy drift bound.
+        extra_ppm: i64,
+    },
+    /// Reports `real + deltas[observer]` — the *targeted* two-faced clock
+    /// of the Dolev–Halpern–Strong impossibility argument, which tells
+    /// each observer a different tailored time to hold the fault-free
+    /// clocks apart.
+    PerObserver {
+        /// Offset per observer index (missing entries read as 0).
+        deltas: [i64; 8],
+    },
+}
+
+/// One clock: initial offset, drift rate, and optional fault.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Clock {
+    offset: i64,
+    drift_ppm: i64,
+    fault: ClockFault,
+}
+
+impl Clock {
+    /// A healthy clock with the given initial offset (microticks) and
+    /// drift (parts per million).
+    pub fn healthy(offset: i64, drift_ppm: i64) -> Self {
+        Clock {
+            offset,
+            drift_ppm,
+            fault: ClockFault::None,
+        }
+    }
+
+    /// A clock with an explicit fault mode.
+    pub fn faulty(offset: i64, drift_ppm: i64, fault: ClockFault) -> Self {
+        Clock {
+            offset,
+            drift_ppm,
+            fault,
+        }
+    }
+
+    /// Whether this clock is fault-free.
+    pub fn is_healthy(&self) -> bool {
+        matches!(self.fault, ClockFault::None)
+    }
+
+    /// The fault mode.
+    pub fn fault(&self) -> ClockFault {
+        self.fault
+    }
+
+    /// The reading this clock reports to `observer` at real time `real`
+    /// (microticks). Healthy clocks report the same value to every
+    /// observer; an [`ClockFault::Arbitrary`] clock is two-faced.
+    pub fn read_for(&self, observer: usize, real: u64) -> u64 {
+        match self.fault {
+            ClockFault::None => self.nominal(real),
+            ClockFault::Arbitrary { seed, spread } => {
+                let mut h = DefaultHasher::new();
+                (seed, observer, real).hash(&mut h);
+                let jitter = h.finish() % (2 * spread + 1);
+                (real + jitter).saturating_sub(spread)
+            }
+            ClockFault::Stuck { at } => at,
+            ClockFault::Racing { extra_ppm } => {
+                let skewed = real as i128 * (1_000_000 + self.drift_ppm as i128 + extra_ppm as i128)
+                    / 1_000_000;
+                (skewed + self.offset as i128).max(0) as u64
+            }
+            ClockFault::PerObserver { deltas } => {
+                let d = deltas.get(observer).copied().unwrap_or(0);
+                (real as i128 + d as i128).max(0) as u64
+            }
+        }
+    }
+
+    /// The reading a healthy observer-independent clock would show.
+    pub fn nominal(&self, real: u64) -> u64 {
+        let drifted = real as i128 * (1_000_000 + self.drift_ppm as i128) / 1_000_000;
+        (drifted + self.offset as i128).max(0) as u64
+    }
+}
+
+/// Builds an ensemble of `n` clocks: healthy ones with offsets in
+/// `[-max_offset, +max_offset]` and drifts in `[-max_drift_ppm,
+/// +max_drift_ppm]`, with the clocks listed in `faulty` replaced by
+/// [`ClockFault::Arbitrary`] clocks.
+pub fn ensemble(
+    n: usize,
+    max_offset: i64,
+    max_drift_ppm: i64,
+    faulty: &[usize],
+    seed: u64,
+) -> Vec<Clock> {
+    use rand::RngCore;
+    let mut rng = simnet::SimRng::seed(seed);
+    (0..n)
+        .map(|i| {
+            let offset = (rng.next_u64() % (2 * max_offset as u64 + 1)) as i64 - max_offset;
+            let drift = if max_drift_ppm == 0 {
+                0
+            } else {
+                (rng.next_u64() % (2 * max_drift_ppm as u64 + 1)) as i64 - max_drift_ppm
+            };
+            if faulty.contains(&i) {
+                Clock::faulty(
+                    offset,
+                    drift,
+                    ClockFault::Arbitrary {
+                        seed: seed ^ (i as u64).wrapping_mul(0x9E37_79B9),
+                        spread: 1_000_000,
+                    },
+                )
+            } else {
+                Clock::healthy(offset, drift)
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn healthy_clock_is_observer_independent() {
+        let c = Clock::healthy(500, 100);
+        assert_eq!(c.read_for(0, 1_000_000), c.read_for(7, 1_000_000));
+    }
+
+    #[test]
+    fn healthy_clock_offset_and_drift() {
+        let c = Clock::healthy(500, 100); // +100 ppm
+        // At t = 1_000_000: drifted = 1_000_100; +500 = 1_000_600.
+        assert_eq!(c.nominal(1_000_000), 1_000_600);
+    }
+
+    #[test]
+    fn arbitrary_clock_is_two_faced() {
+        let c = Clock::faulty(
+            0,
+            0,
+            ClockFault::Arbitrary {
+                seed: 3,
+                spread: 10_000,
+            },
+        );
+        // Overwhelmingly likely to differ for at least one pair:
+        let readings: Vec<u64> = (0..8).map(|o| c.read_for(o, 1_000_000)).collect();
+        let distinct: std::collections::BTreeSet<_> = readings.iter().collect();
+        assert!(distinct.len() > 1, "expected two-faced readings");
+    }
+
+    #[test]
+    fn arbitrary_clock_is_deterministic() {
+        let c = Clock::faulty(0, 0, ClockFault::Arbitrary { seed: 3, spread: 10 });
+        assert_eq!(c.read_for(2, 999), c.read_for(2, 999));
+    }
+
+    #[test]
+    fn stuck_clock_never_moves() {
+        let c = Clock::faulty(0, 0, ClockFault::Stuck { at: 42 });
+        assert_eq!(c.read_for(0, 0), 42);
+        assert_eq!(c.read_for(1, 10_000_000), 42);
+    }
+
+    #[test]
+    fn racing_clock_runs_fast() {
+        let c = Clock::faulty(0, 0, ClockFault::Racing { extra_ppm: 500_000 });
+        assert!(c.read_for(0, 1_000_000) > 1_400_000);
+    }
+
+    #[test]
+    fn ensemble_respects_fault_list() {
+        let clocks = ensemble(5, 100, 10, &[1, 3], 7);
+        assert_eq!(clocks.len(), 5);
+        for (i, c) in clocks.iter().enumerate() {
+            assert_eq!(c.is_healthy(), !(i == 1 || i == 3));
+        }
+    }
+
+    #[test]
+    fn ensemble_offsets_bounded() {
+        let clocks = ensemble(20, 100, 0, &[], 9);
+        for c in clocks {
+            let r = c.nominal(1_000_000);
+            assert!((999_900..=1_000_100).contains(&r));
+        }
+    }
+}

@@ -1,0 +1,310 @@
+//! Interactive-convergence clock synchronization (the CNV algorithm of
+//! Lamport & Melliar-Smith), the classical baseline the paper's Section 6
+//! builds on.
+//!
+//! Every resynchronization period each node reads every clock, replaces
+//! readings farther than `delta` from its own with its own reading
+//! (egocentric clipping), and adjusts its correction by the average
+//! difference. With fewer than `n/3` faulty clocks the fault-free clocks
+//! stay within a bounded skew; with `n/3` or more, two-faced clocks can
+//! drive them apart — exactly the impossibility \[refs 3, 5 of the paper\]
+//! that motivates *degradable* clock synchronization.
+
+use crate::clock::Clock;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a convergence run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConvergenceConfig {
+    /// Clipping window: readings farther than this from the reader's own
+    /// clock are discarded (replaced by the reader's own reading).
+    pub delta: u64,
+    /// Microticks between resynchronizations.
+    pub period: u64,
+    /// Number of resynchronization rounds to simulate.
+    pub rounds: usize,
+}
+
+impl Default for ConvergenceConfig {
+    fn default() -> Self {
+        ConvergenceConfig {
+            delta: 2_000,
+            period: 1_000_000,
+            rounds: 10,
+        }
+    }
+}
+
+/// Result of a convergence run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConvergenceOutcome {
+    /// Maximum pairwise skew among fault-free *corrected* clocks after each
+    /// round (microticks).
+    pub skew_per_round: Vec<u64>,
+    /// Final corrections per node.
+    pub corrections: Vec<i64>,
+}
+
+impl ConvergenceOutcome {
+    /// Final skew (after the last round).
+    pub fn final_skew(&self) -> u64 {
+        *self.skew_per_round.last().unwrap_or(&0)
+    }
+}
+
+/// Runs the interactive-convergence algorithm.
+///
+/// `healthy` flags which clocks are fault-free (used only for *measuring*
+/// skew — the algorithm itself treats all clocks uniformly, as it must).
+pub fn run_convergence(
+    clocks: &[Clock],
+    healthy: &[bool],
+    config: ConvergenceConfig,
+) -> ConvergenceOutcome {
+    let n = clocks.len();
+    assert_eq!(healthy.len(), n, "one health flag per clock");
+    let mut corrections: Vec<i64> = vec![0; n];
+    let mut skew_per_round = Vec::with_capacity(config.rounds);
+
+    for round in 1..=config.rounds {
+        let now = config.period * round as u64;
+        // Each node i reads every clock j (j may report observer-dependent
+        // garbage) and computes the clipped average difference.
+        let new_corrections: Vec<i64> = (0..n)
+            .map(|i| {
+                let own = clocks[i].read_for(i, now) as i64 + corrections[i];
+                let mut sum: i128 = 0;
+                for j in 0..n {
+                    let theirs = clocks[j].read_for(i, now) as i64 + corrections[j];
+                    let diff = theirs - own;
+                    if diff.unsigned_abs() <= config.delta {
+                        sum += diff as i128;
+                    }
+                    // else: egocentric replacement by own reading (diff 0)
+                }
+                corrections[i] + (sum / n as i128) as i64
+            })
+            .collect();
+        corrections = new_corrections;
+
+        // Measure skew among fault-free corrected clocks.
+        let corrected: Vec<i64> = (0..n)
+            .filter(|&i| healthy[i])
+            .map(|i| clocks[i].nominal(now) as i64 + corrections[i])
+            .collect();
+        let skew = match (corrected.iter().max(), corrected.iter().min()) {
+            (Some(&max), Some(&min)) => (max - min) as u64,
+            _ => 0,
+        };
+        skew_per_round.push(skew);
+    }
+    ConvergenceOutcome {
+        skew_per_round,
+        corrections,
+    }
+}
+
+/// The *consistency*-family baseline (Lamport & Melliar-Smith's COM, the
+/// sibling of CNV): instead of egocentric averaging, every node's reading
+/// is distributed by a Byzantine-agreement instance (OM) and each node
+/// adjusts to the median of the agreed vector. Tolerates `f < n/3` like
+/// CNV but reaches *exact* agreement on the correction each round (all
+/// fault-free clocks land on the same value), at the cost of OM's message
+/// complexity. The degradable variant of exactly this scheme is
+/// `clocksync::degradable_sync` — swap OM for BYZ and the `n/3` wall turns
+/// into the `m`/`u` ladder.
+pub fn run_consistency_sync(
+    clocks: &[Clock],
+    healthy: &[bool],
+    m: usize,
+    config: ConvergenceConfig,
+) -> ConvergenceOutcome {
+    use degradable::baselines::run_om;
+    use degradable::{AgreementValue, Val};
+    use simnet::NodeId;
+    use std::collections::BTreeSet;
+
+    let n = clocks.len();
+    assert_eq!(healthy.len(), n, "one health flag per clock");
+    assert!(n > 3 * m, "OM-based sync needs n > 3m");
+    let faulty: BTreeSet<NodeId> = (0..n)
+        .filter(|&i| !healthy[i])
+        .map(NodeId::new)
+        .collect();
+    let mut corrections: Vec<i64> = vec![0; n];
+    let mut skew_per_round = Vec::with_capacity(config.rounds);
+
+    for round in 1..=config.rounds {
+        let now = config.period * round as u64;
+        // Gather each node's agreed vector of corrected readings.
+        let mut vectors: Vec<Vec<Val>> = vec![vec![AgreementValue::Default; n]; n];
+        for s in 0..n {
+            let sender = NodeId::new(s);
+            let own = (clocks[s].read_for(s, now) as i64 + corrections[s]).max(0) as u64;
+            // A faulty clock's broadcast: two-faced readings per receiver.
+            let mut fab = |_p: &degradable::Path, r: NodeId, _t: &Val| {
+                Val::Value(clocks[s].read_for(r.index(), now))
+            };
+            let decisions = run_om(n, m, sender, &Val::Value(own), &faulty, &mut fab);
+            for (r, v) in decisions {
+                vectors[r.index()][s] = v;
+            }
+            vectors[s][s] = Val::Value(own);
+        }
+        // Median adjustment per fault-free node.
+        for i in 0..n {
+            if !healthy[i] {
+                continue;
+            }
+            let mut vals: Vec<u64> = vectors[i].iter().filter_map(|v| v.value().copied()).collect();
+            vals.sort_unstable();
+            if !vals.is_empty() {
+                let target = vals[vals.len() / 2] as i64;
+                let raw = clocks[i].read_for(i, now) as i64;
+                corrections[i] = target - raw;
+            }
+        }
+        let corrected: Vec<i64> = (0..n)
+            .filter(|&i| healthy[i])
+            .map(|i| clocks[i].nominal(now) as i64 + corrections[i])
+            .collect();
+        let skew = match (corrected.iter().max(), corrected.iter().min()) {
+            (Some(&max), Some(&min)) => (max - min) as u64,
+            _ => 0,
+        };
+        skew_per_round.push(skew);
+    }
+    ConvergenceOutcome {
+        skew_per_round,
+        corrections,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::{ensemble, Clock, ClockFault};
+
+    fn healthy_flags(n: usize, faulty: &[usize]) -> Vec<bool> {
+        (0..n).map(|i| !faulty.contains(&i)).collect()
+    }
+
+    #[test]
+    fn fault_free_ensemble_converges() {
+        let clocks = ensemble(4, 1_000, 0, &[], 11);
+        let out = run_convergence(&clocks, &healthy_flags(4, &[]), ConvergenceConfig::default());
+        // Initial spread up to 2000; after convergence the skew shrinks.
+        assert!(
+            out.final_skew() <= 2,
+            "expected tight sync, got skew {}",
+            out.final_skew()
+        );
+    }
+
+    #[test]
+    fn tolerates_less_than_a_third() {
+        // n = 4, one Byzantine clock: skew stays within the window.
+        let clocks = ensemble(4, 1_000, 0, &[3], 13);
+        let out = run_convergence(&clocks, &healthy_flags(4, &[3]), ConvergenceConfig::default());
+        assert!(
+            out.final_skew() <= ConvergenceConfig::default().delta,
+            "skew {} exceeded delta",
+            out.final_skew()
+        );
+    }
+
+    #[test]
+    fn breaks_at_a_third() {
+        // n = 3 with 1 Byzantine clock (f = n/3): the Dolev-Halpern-Strong
+        // two-faced clock tells node 0 a time just below its window and
+        // node 1 a time just above its window, pulling them apart every
+        // round. The same adversary against n = 4 (one extra healthy
+        // clock) is contained.
+        let mk = |n: usize| {
+            let mut clocks = vec![
+                Clock::healthy(-900, 0),
+                Clock::healthy(900, 0),
+                Clock::faulty(
+                    0,
+                    0,
+                    ClockFault::PerObserver {
+                        deltas: [-2_800, 2_800, 0, 0, 0, 0, 0, 0],
+                    },
+                ),
+            ];
+            for _ in 3..n {
+                clocks.push(Clock::healthy(0, 0));
+            }
+            clocks
+        };
+        let cfg = ConvergenceConfig {
+            delta: 2_000,
+            period: 1_000_000,
+            rounds: 12,
+        };
+        let three = run_convergence(&mk(3), &healthy_flags(3, &[2]), cfg);
+        let four = run_convergence(&mk(4), &healthy_flags(4, &[2]), cfg);
+        // With f = n/3 the adversary pins the fault-free clocks apart at
+        // (or beyond) their initial 1800-tick spread — convergence never
+        // happens; with f < n/3 the same adversary is averaged away.
+        assert!(
+            three.final_skew() >= 1_800,
+            "n=3 should fail to converge, got {}",
+            three.final_skew()
+        );
+        assert!(
+            four.final_skew() <= 10,
+            "n=4 should converge tightly, got {}",
+            four.final_skew()
+        );
+    }
+
+    #[test]
+    fn consistency_sync_exact_agreement() {
+        // COM lands every fault-free clock on the same median: zero skew
+        // with zero drift, even under a two-faced faulty clock.
+        let clocks = ensemble(4, 1_000, 0, &[3], 7);
+        let healthy = healthy_flags(4, &[3]);
+        let out = run_consistency_sync(&clocks, &healthy, 1, ConvergenceConfig::default());
+        assert_eq!(out.final_skew(), 0, "{:?}", out.skew_per_round);
+    }
+
+    #[test]
+    fn consistency_sync_bounds_drift() {
+        let clocks = ensemble(7, 1_000, 100, &[5, 6], 9);
+        let healthy = healthy_flags(7, &[5, 6]);
+        let out = run_consistency_sync(&clocks, &healthy, 2, ConvergenceConfig::default());
+        // re-divergence between rounds is bounded by drift-per-period
+        for (round, &skew) in out.skew_per_round.iter().enumerate() {
+            assert!(skew <= 400, "round {round}: {skew}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "n > 3m")]
+    fn consistency_sync_needs_om_bound() {
+        let clocks = ensemble(3, 100, 0, &[], 1);
+        run_consistency_sync(&clocks, &[true, true, true], 1, ConvergenceConfig::default());
+    }
+
+    #[test]
+    fn skew_history_has_one_entry_per_round() {
+        let clocks = ensemble(5, 500, 0, &[], 3);
+        let cfg = ConvergenceConfig {
+            rounds: 7,
+            ..ConvergenceConfig::default()
+        };
+        let out = run_convergence(&clocks, &healthy_flags(5, &[]), cfg);
+        assert_eq!(out.skew_per_round.len(), 7);
+    }
+
+    #[test]
+    fn drift_is_repeatedly_corrected() {
+        // With drift but periodic resync, skew stays bounded across rounds.
+        let clocks = ensemble(5, 500, 50, &[], 21);
+        let out = run_convergence(&clocks, &healthy_flags(5, &[]), ConvergenceConfig::default());
+        for (round, &skew) in out.skew_per_round.iter().enumerate() {
+            assert!(skew < 1_000, "round {round}: skew {skew} diverged");
+        }
+    }
+}

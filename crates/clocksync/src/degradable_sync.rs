@@ -1,0 +1,431 @@
+//! `m/u`-degradable clock synchronization (Section 6.1 of the paper).
+//!
+//! The paper *formulates* the problem and conjectures achievability with
+//! more than `2m + u` clocks:
+//!
+//! 1. if at most `m` clocks are faulty, **all** fault-free clocks must be
+//!    synchronized and approximate real time;
+//! 2. if more than `m` but at most `u` clocks are faulty then **either**
+//!    at least `m+1` fault-free clocks are synchronized and approximate
+//!    real time, **or** at least `m+1` fault-free clocks detect the
+//!    existence of more than `m` faulty clocks.
+//!
+//! This module implements the candidate protocol the paper's observation
+//! suggests — distribute every clock reading by `m/u`-degradable agreement
+//! and exploit the default value as a fault signal — and evaluates it
+//! empirically (the paper offers no proof; our experiments report the
+//! fraction of scenarios in which the two conditions held).
+//!
+//! **Protocol.** Each node broadcasts its reading via one BYZ instance.
+//! Every node `i` ends with a vector `A_i` of `n` agreed entries, some of
+//! which may be `V_d`.
+//!
+//! * *Detection:* with `f <= m` faults, D.1 guarantees every fault-free
+//!   sender's entry is its true (non-default) reading, so at most `f <= m`
+//!   entries of `A_i` can be `V_d`. Hence `#V_d(A_i) > m` is a **sound**
+//!   detector of "more than `m` faults".
+//! * *Adjustment:* node `i` sets its clock to the median of the
+//!   non-default entries of `A_i`. With `f <= m`, all fault-free nodes
+//!   hold identical vectors (D.1/D.2), at most `m < (n-m)/2` entries are
+//!   adversarial, and the median is bracketed by fault-free readings: all
+//!   fault-free clocks land on the *same* value within the fault-free
+//!   reading envelope — condition 1 holds by construction.
+
+use crate::clock::Clock;
+use degradable::adversary::Strategy;
+use degradable::{ByzInstance, Params, Scenario, Val};
+use serde::{Deserialize, Serialize};
+use simnet::NodeId;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Configuration for one degradable-sync round.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SyncConfig {
+    /// Agreement parameters.
+    pub params: Params,
+    /// Two corrected fault-free clocks within this many microticks count
+    /// as synchronized.
+    pub sync_tolerance: u64,
+    /// A corrected clock within this many microticks of real time counts
+    /// as approximating real time.
+    pub real_time_tolerance: u64,
+}
+
+/// Outcome of one degradable-sync round.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SyncOutcome {
+    /// Corrected reading per fault-free node.
+    pub corrected: BTreeMap<NodeId, u64>,
+    /// Fault-free nodes whose vectors exposed more than `m` defaults (the
+    /// detection signal).
+    pub detectors: BTreeSet<NodeId>,
+    /// Size of the largest set of fault-free nodes that are pairwise
+    /// synchronized *and* approximate real time.
+    pub synchronized_class: usize,
+    /// Whether condition 1 of the problem statement held (checked when
+    /// `f <= m`).
+    pub condition1: Option<bool>,
+    /// Whether condition 2 held (checked when `m < f <= u`).
+    pub condition2: Option<bool>,
+}
+
+/// Runs one round of the candidate degradable clock-sync protocol.
+///
+/// `clocks[i]` is node `i`'s clock; nodes in `strategies` are Byzantine
+/// and lie per their strategy in every agreement instance (including their
+/// own broadcast, where the "truthful" value is their possibly-garbage
+/// clock reading).
+///
+/// # Panics
+///
+/// Panics if `clocks.len()` does not satisfy the `2m+u+1` node bound.
+pub fn run_degradable_sync(
+    clocks: &[Clock],
+    strategies: &BTreeMap<NodeId, Strategy<u64>>,
+    config: SyncConfig,
+    real_time: u64,
+) -> SyncOutcome {
+    run_degradable_sync_corrected(clocks, &vec![0; clocks.len()], strategies, config, real_time)
+}
+
+/// Like [`run_degradable_sync`] but with an existing per-node correction
+/// applied to every reading — the building block of
+/// [`run_periodic_sync`], where corrections accumulate across
+/// resynchronization rounds.
+///
+/// # Panics
+///
+/// Panics if the clock/correction lengths differ or the node bound is
+/// violated.
+pub fn run_degradable_sync_corrected(
+    clocks: &[Clock],
+    corrections: &[i64],
+    strategies: &BTreeMap<NodeId, Strategy<u64>>,
+    config: SyncConfig,
+    real_time: u64,
+) -> SyncOutcome {
+    assert_eq!(clocks.len(), corrections.len(), "one correction per clock");
+    let n = clocks.len();
+    let params = config.params;
+    assert!(
+        params.admits(n),
+        "need at least {} clocks for {params}",
+        params.min_nodes()
+    );
+    let faulty: BTreeSet<NodeId> = strategies.keys().copied().collect();
+    let f = faulty.len();
+
+    // One degradable-agreement instance per sender; build each node's
+    // agreed vector.
+    let mut vectors: BTreeMap<NodeId, Vec<Val>> = NodeId::all(n)
+        .map(|r| (r, vec![Val::Default; n]))
+        .collect();
+    for s in NodeId::all(n) {
+        let raw = clocks[s.index()].read_for(s.index(), real_time);
+        let reading = (raw as i128 + corrections[s.index()] as i128).max(0) as u64;
+        let instance =
+            ByzInstance::new(n, params, s).expect("bound checked above");
+        let scenario = Scenario {
+            instance,
+            sender_value: Val::Value(reading),
+            strategies: strategies.clone(),
+        };
+        let record = scenario.run();
+        for (r, v) in record.decisions {
+            vectors.get_mut(&r).expect("receiver exists")[s.index()] = v;
+        }
+        // The sender trusts its own reading.
+        vectors.get_mut(&s).expect("sender exists")[s.index()] = Val::Value(reading);
+    }
+
+    // Detection + adjustment for every fault-free node.
+    let mut corrected = BTreeMap::new();
+    let mut detectors = BTreeSet::new();
+    for i in NodeId::all(n) {
+        if faulty.contains(&i) {
+            continue;
+        }
+        let vector = &vectors[&i];
+        let defaults = vector.iter().filter(|v| v.is_default()).count();
+        if defaults > params.m() {
+            detectors.insert(i);
+        }
+        let mut readings: Vec<u64> = vector.iter().filter_map(|v| v.value().copied()).collect();
+        readings.sort_unstable();
+        let adjusted = if readings.is_empty() {
+            clocks[i.index()].nominal(real_time)
+        } else {
+            readings[readings.len() / 2]
+        };
+        corrected.insert(i, adjusted);
+    }
+
+    // Largest synchronized-and-accurate class.
+    let accurate: Vec<u64> = corrected
+        .values()
+        .copied()
+        .filter(|&c| c.abs_diff(real_time) <= config.real_time_tolerance)
+        .collect();
+    let synchronized_class = accurate
+        .iter()
+        .map(|&a| {
+            accurate
+                .iter()
+                .filter(|&&b| a.abs_diff(b) <= config.sync_tolerance)
+                .count()
+        })
+        .max()
+        .unwrap_or(0);
+
+    let (condition1, condition2) = if f <= params.m() {
+        (Some(synchronized_class == corrected.len()), None)
+    } else if f <= params.u() {
+        (
+            None,
+            Some(synchronized_class > params.m() || detectors.len() > params.m()),
+        )
+    } else {
+        (None, None)
+    };
+
+    SyncOutcome {
+        corrected,
+        detectors,
+        synchronized_class,
+        condition1,
+        condition2,
+    }
+}
+
+/// Configuration of a periodic (multi-round) degradable-sync simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PeriodicConfig {
+    /// Per-round sync configuration.
+    pub sync: SyncConfig,
+    /// Microticks between resynchronizations.
+    pub period: u64,
+    /// Number of resynchronization rounds.
+    pub rounds: usize,
+}
+
+/// Result of a periodic simulation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PeriodicOutcome {
+    /// Max pairwise skew among fault-free corrected clocks after each
+    /// round's adjustment.
+    pub skew_per_round: Vec<u64>,
+    /// Number of fault-free detectors per round.
+    pub detectors_per_round: Vec<usize>,
+    /// Rounds in which the applicable paper condition failed (empirical
+    /// counterexamples to the conjecture — expected empty).
+    pub failed_rounds: Vec<usize>,
+}
+
+/// Runs `rounds` resynchronizations: each round the candidate protocol
+/// produces adjusted clock values; the resulting per-node corrections
+/// carry into the next round, while drift keeps pulling the clocks apart
+/// between rounds.
+pub fn run_periodic_sync(
+    clocks: &[Clock],
+    strategies: &BTreeMap<NodeId, Strategy<u64>>,
+    config: PeriodicConfig,
+) -> PeriodicOutcome {
+    let n = clocks.len();
+    let faulty: BTreeSet<NodeId> = strategies.keys().copied().collect();
+    let mut corrections: Vec<i64> = vec![0; n];
+    let mut skew_per_round = Vec::with_capacity(config.rounds);
+    let mut detectors_per_round = Vec::with_capacity(config.rounds);
+    let mut failed_rounds = Vec::new();
+
+    for round in 1..=config.rounds {
+        let now = config.period * round as u64;
+        let out =
+            run_degradable_sync_corrected(clocks, &corrections, strategies, config.sync, now);
+        // Fold the adjustment into each fault-free node's correction; a
+        // node that detected too many faults keeps its old correction
+        // (the "safe" choice — it knows its vector is untrustworthy).
+        for (&node, &adjusted) in &out.corrected {
+            if out.detectors.contains(&node) {
+                continue;
+            }
+            let raw = clocks[node.index()].read_for(node.index(), now) as i64;
+            corrections[node.index()] = adjusted as i64 - raw;
+        }
+        // Measure the post-adjustment skew among fault-free clocks.
+        let values: Vec<i64> = NodeId::all(n)
+            .filter(|v| !faulty.contains(v))
+            .map(|v| clocks[v.index()].nominal(now) as i64 + corrections[v.index()])
+            .collect();
+        let skew = match (values.iter().max(), values.iter().min()) {
+            (Some(&max), Some(&min)) => (max - min) as u64,
+            _ => 0,
+        };
+        skew_per_round.push(skew);
+        detectors_per_round.push(out.detectors.len());
+        let ok = match (out.condition1, out.condition2) {
+            (Some(c1), _) => c1,
+            (_, Some(c2)) => c2,
+            _ => true,
+        };
+        if !ok {
+            failed_rounds.push(round);
+        }
+    }
+    PeriodicOutcome {
+        skew_per_round,
+        detectors_per_round,
+        failed_rounds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::ensemble;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn config(m: usize, u: usize) -> SyncConfig {
+        SyncConfig {
+            params: Params::new(m, u).unwrap(),
+            sync_tolerance: 10,
+            real_time_tolerance: 2_000,
+        }
+    }
+
+    const T: u64 = 10_000_000;
+
+    #[test]
+    fn no_faults_all_synchronized() {
+        let clocks = ensemble(5, 1_000, 0, &[], 3);
+        let out = run_degradable_sync(&clocks, &BTreeMap::new(), config(1, 2), T);
+        assert_eq!(out.condition1, Some(true));
+        assert_eq!(out.synchronized_class, 5);
+        assert!(out.detectors.is_empty());
+    }
+
+    #[test]
+    fn f_le_m_all_synchronized_despite_liar() {
+        let clocks = ensemble(5, 1_000, 0, &[4], 5);
+        let strategies: BTreeMap<_, _> =
+            [(n(4), Strategy::ConstantLie(Val::Value(99_999_999)))].into_iter().collect();
+        let out = run_degradable_sync(&clocks, &strategies, config(1, 2), T);
+        assert_eq!(out.condition1, Some(true), "{out:?}");
+        // Median rejects the single outlier: everyone lands within the
+        // fault-free envelope.
+        for c in out.corrected.values() {
+            assert!(c.abs_diff(T) <= 2_000);
+        }
+    }
+
+    #[test]
+    fn beyond_m_condition2_holds_with_silent_faults() {
+        // Two silent faults (f = u = 2 > m = 1): every fault-free node sees
+        // 2 > m defaults and detects.
+        let clocks = ensemble(5, 1_000, 0, &[3, 4], 7);
+        let strategies: BTreeMap<_, _> = [
+            (n(3), Strategy::Silent),
+            (n(4), Strategy::Silent),
+        ]
+        .into_iter()
+        .collect();
+        let out = run_degradable_sync(&clocks, &strategies, config(1, 2), T);
+        assert_eq!(out.condition2, Some(true), "{out:?}");
+        assert!(out.detectors.len() >= 2);
+    }
+
+    #[test]
+    fn beyond_m_condition2_holds_with_lying_faults() {
+        // Two consistent liars: no defaults anywhere, so detection stays
+        // silent — but then all fault-free vectors coincide and the median
+        // synchronizes all 3 >= m+1 fault-free clocks.
+        let clocks = ensemble(5, 1_000, 0, &[3, 4], 9);
+        let strategies: BTreeMap<_, _> = [
+            (n(3), Strategy::ConstantLie(Val::Value(T + 1_500))),
+            (n(4), Strategy::ConstantLie(Val::Value(T - 1_500))),
+        ]
+        .into_iter()
+        .collect();
+        let out = run_degradable_sync(&clocks, &strategies, config(1, 2), T);
+        assert_eq!(out.condition2, Some(true), "{out:?}");
+    }
+
+    #[test]
+    fn battery_of_adversaries_preserves_condition2() {
+        // Sweep the strategy battery at f = u across several seeds; the
+        // conjecture's conditions should hold in every run (empirical
+        // validation — the paper gives no proof).
+        for seed in 0..10u64 {
+            for (name, strat) in Strategy::battery(T, T + 50_000, seed) {
+                let clocks = ensemble(7, 1_000, 0, &[5, 6], seed);
+                let strategies: BTreeMap<_, _> = [
+                    (n(5), strat.clone()),
+                    (n(6), strat.clone()),
+                ]
+                .into_iter()
+                .collect();
+                let out = run_degradable_sync(&clocks, &strategies, config(1, 4), T);
+                assert_eq!(
+                    out.condition2,
+                    Some(true),
+                    "strategy {name} seed {seed}: {out:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least")]
+    fn node_bound_enforced() {
+        let clocks = ensemble(4, 1_000, 0, &[], 3);
+        run_degradable_sync(&clocks, &BTreeMap::new(), config(1, 2), T);
+    }
+
+    fn periodic(m: usize, u: usize, rounds: usize) -> PeriodicConfig {
+        PeriodicConfig {
+            sync: config(m, u),
+            period: 1_000_000,
+            rounds,
+        }
+    }
+
+    #[test]
+    fn periodic_sync_bounds_drifting_clocks() {
+        // Drifting fault-free clocks re-diverge between rounds; periodic
+        // resync keeps the skew within the drift-per-period envelope.
+        let clocks = ensemble(5, 1_000, 100, &[], 13); // up to ±100 ppm
+        let out = run_periodic_sync(&clocks, &BTreeMap::new(), periodic(1, 2, 8));
+        assert!(out.failed_rounds.is_empty());
+        for (round, &skew) in out.skew_per_round.iter().enumerate() {
+            // ±100 ppm over 1e6 ticks = ±100 ticks of fresh divergence.
+            assert!(skew <= 400, "round {round}: skew {skew}");
+        }
+    }
+
+    #[test]
+    fn periodic_sync_with_liar_stays_synchronized() {
+        let clocks = ensemble(5, 1_000, 50, &[4], 17);
+        let strategies: BTreeMap<_, _> =
+            [(n(4), Strategy::ConstantLie(Val::Value(77)))].into_iter().collect();
+        let out = run_periodic_sync(&clocks, &strategies, periodic(1, 2, 8));
+        assert!(out.failed_rounds.is_empty(), "{out:?}");
+        assert!(*out.skew_per_round.last().unwrap() <= 400);
+    }
+
+    #[test]
+    fn periodic_sync_beyond_m_keeps_condition2() {
+        let clocks = ensemble(5, 1_000, 50, &[3, 4], 19);
+        let strategies: BTreeMap<_, _> = [
+            (n(3), Strategy::Silent),
+            (n(4), Strategy::Silent),
+        ]
+        .into_iter()
+        .collect();
+        let out = run_periodic_sync(&clocks, &strategies, periodic(1, 2, 6));
+        assert!(out.failed_rounds.is_empty(), "{out:?}");
+        // Silent faults are detected every round.
+        assert!(out.detectors_per_round.iter().all(|&d| d >= 2));
+    }
+}

@@ -1,0 +1,166 @@
+//! Hardware clock synchronization and witness clocks (Section 6.2).
+//!
+//! The paper's engineering alternative to degradable clock sync: clock
+//! hardware is orders of magnitude simpler than a processor, so clock
+//! failures can be budgeted separately — "a processor being faulty does not
+//! necessarily imply that the associated clock hardware is faulty as well".
+//! Two mechanisms are modelled:
+//!
+//! * **Decoupled fault budgets** ([`HardwareEnsemble`]): `n` processors
+//!   each paired with a clock; processor faults may exceed `n/3` while
+//!   clock faults stay below a third of the *clock* population, keeping
+//!   classical synchronization viable for the timing plane.
+//! * **Witness clocks** (paper's analogy to Pâris's witnesses): `w` extra
+//!   standalone clocks raise the clock population to `n + w`, tolerating
+//!   `floor((n + w - 1) / 3)` clock faults — more than the processor
+//!   population alone could.
+
+use crate::clock::Clock;
+use crate::convergence::{run_convergence, ConvergenceConfig, ConvergenceOutcome};
+use serde::{Deserialize, Serialize};
+
+/// A system of `n` processors with attached clocks plus optional witness
+/// clocks.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HardwareEnsemble {
+    processor_count: usize,
+    clocks: Vec<Clock>,
+    clock_faulty: Vec<bool>,
+}
+
+impl HardwareEnsemble {
+    /// Builds an ensemble: `processor_clocks[i]` serves processor `i`;
+    /// `witnesses` are standalone clocks with no processor attached.
+    /// `clock_faulty` flags which of the `processor_clocks.len() +
+    /// witnesses.len()` clocks are faulty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the flag vector length does not match the clock count.
+    pub fn new(processor_clocks: Vec<Clock>, witnesses: Vec<Clock>, clock_faulty: Vec<bool>) -> Self {
+        let processor_count = processor_clocks.len();
+        let mut clocks = processor_clocks;
+        clocks.extend(witnesses);
+        assert_eq!(
+            clock_faulty.len(),
+            clocks.len(),
+            "one fault flag per clock (processors + witnesses)"
+        );
+        HardwareEnsemble {
+            processor_count,
+            clocks,
+            clock_faulty,
+        }
+    }
+
+    /// Number of processors.
+    pub fn processor_count(&self) -> usize {
+        self.processor_count
+    }
+
+    /// Total clock count (processors + witnesses).
+    pub fn clock_count(&self) -> usize {
+        self.clocks.len()
+    }
+
+    /// Number of faulty clocks.
+    pub fn clock_fault_count(&self) -> usize {
+        self.clock_faulty.iter().filter(|&&f| f).count()
+    }
+
+    /// Maximum clock faults tolerable by classical synchronization over
+    /// this clock population: `floor((count - 1) / 3)` (strictly less than
+    /// a third).
+    pub fn tolerable_clock_faults(&self) -> usize {
+        (self.clock_count().saturating_sub(1)) / 3
+    }
+
+    /// Whether the clock plane can synchronize (clock faults strictly
+    /// below a third of the clock population).
+    pub fn clock_plane_viable(&self) -> bool {
+        self.clock_fault_count() <= self.tolerable_clock_faults()
+    }
+
+    /// Runs interactive convergence over the whole clock population
+    /// (witnesses included).
+    pub fn synchronize(&self, config: ConvergenceConfig) -> ConvergenceOutcome {
+        let healthy: Vec<bool> = self.clock_faulty.iter().map(|f| !f).collect();
+        run_convergence(&self.clocks, &healthy, config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::ensemble;
+
+    fn flags(total: usize, faulty: &[usize]) -> Vec<bool> {
+        (0..total).map(|i| faulty.contains(&i)).collect()
+    }
+
+    #[test]
+    fn witnesses_raise_tolerance() {
+        // The paper's Figure 1(b) example: 5 nodes (sender + 4 channels);
+        // adding two witness clocks tolerates two clock failures.
+        let base = HardwareEnsemble::new(
+            ensemble(5, 500, 0, &[], 1),
+            vec![],
+            flags(5, &[]),
+        );
+        assert_eq!(base.tolerable_clock_faults(), 1);
+        let with_witnesses = HardwareEnsemble::new(
+            ensemble(5, 500, 0, &[], 1),
+            ensemble(2, 500, 0, &[], 2),
+            flags(7, &[]),
+        );
+        assert_eq!(with_witnesses.tolerable_clock_faults(), 2);
+    }
+
+    #[test]
+    fn clock_plane_viability() {
+        let e = HardwareEnsemble::new(
+            ensemble(4, 500, 0, &[0], 1),
+            vec![],
+            flags(4, &[0]),
+        );
+        assert_eq!(e.clock_fault_count(), 1);
+        assert!(e.clock_plane_viable());
+        let e2 = HardwareEnsemble::new(
+            ensemble(4, 500, 0, &[0, 1], 1),
+            vec![],
+            flags(4, &[0, 1]),
+        );
+        assert!(!e2.clock_plane_viable());
+    }
+
+    #[test]
+    fn synchronization_with_witnesses_survives_two_clock_faults() {
+        // 5 processor clocks (2 faulty) + 2 healthy witnesses: 2 <= (7-1)/3.
+        let e = HardwareEnsemble::new(
+            ensemble(5, 500, 0, &[3, 4], 5),
+            ensemble(2, 500, 0, &[], 6),
+            flags(7, &[3, 4]),
+        );
+        assert!(e.clock_plane_viable());
+        let out = e.synchronize(ConvergenceConfig::default());
+        assert!(
+            out.final_skew() <= ConvergenceConfig::default().delta,
+            "skew {}",
+            out.final_skew()
+        );
+    }
+
+    #[test]
+    fn processor_faults_do_not_count_against_clock_plane() {
+        // 5 processors, 3 of them Byzantine (> n/3!) but with healthy
+        // clocks: the clock plane stays viable — the Section 6.2 argument.
+        let e = HardwareEnsemble::new(
+            ensemble(5, 500, 0, &[], 9),
+            vec![],
+            flags(5, &[]),
+        );
+        assert!(e.clock_plane_viable());
+        let out = e.synchronize(ConvergenceConfig::default());
+        assert!(out.final_skew() <= 2);
+    }
+}

@@ -1,0 +1,60 @@
+//! # clocksync — clock models and degradable clock synchronization
+//!
+//! Substrate for Section 6 of Vaidya's *Degradable Agreement in the
+//! Presence of Byzantine Faults* (1993). Algorithm BYZ needs detectable
+//! message absence, hence synchronized clocks — but software clock
+//! synchronization itself dies at a third of the clocks faulty, which is
+//! exactly the regime degradable agreement targets (`u` may exceed `N/3`).
+//! The paper offers three answers, all modelled here:
+//!
+//! * [`convergence`] — the classical interactive-convergence algorithm
+//!   (works below `n/3` clock faults; the baseline and its breaking point);
+//! * [`degradable_sync`] — the paper's **`m/u`-degradable clock
+//!   synchronization** problem and a candidate protocol built on
+//!   degradable agreement itself (the paper conjectures achievability with
+//!   more than `2m+u` clocks; we validate the candidate empirically);
+//! * [`hardware`] — the engineering alternative of Section 6.2: decoupled
+//!   clock-hardware fault budgets and witness clocks.
+//!
+//! ```
+//! use clocksync::prelude::*;
+//! use degradable::Params;
+//! use std::collections::BTreeMap;
+//!
+//! let clocks = ensemble(5, 1_000, 0, &[], 42);
+//! let config = SyncConfig {
+//!     params: Params::new(1, 2)?,
+//!     sync_tolerance: 10,
+//!     real_time_tolerance: 2_000,
+//! };
+//! let out = run_degradable_sync(&clocks, &BTreeMap::new(), config, 1_000_000);
+//! assert_eq!(out.condition1, Some(true));
+//! # Ok::<(), degradable::ParamsError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod convergence;
+pub mod degradable_sync;
+pub mod hardware;
+
+pub use clock::{ensemble, Clock, ClockFault};
+pub use convergence::{run_consistency_sync, run_convergence, ConvergenceConfig, ConvergenceOutcome};
+pub use degradable_sync::{
+    run_degradable_sync, run_degradable_sync_corrected, run_periodic_sync, PeriodicConfig,
+    PeriodicOutcome, SyncConfig, SyncOutcome,
+};
+pub use hardware::HardwareEnsemble;
+
+/// Convenience glob import.
+pub mod prelude {
+    pub use crate::clock::{ensemble, Clock, ClockFault};
+    pub use crate::convergence::{run_consistency_sync, run_convergence, ConvergenceConfig, ConvergenceOutcome};
+    pub use crate::degradable_sync::{
+        run_degradable_sync, run_degradable_sync_corrected, run_periodic_sync, PeriodicConfig,
+        PeriodicOutcome, SyncConfig, SyncOutcome,
+    };
+    pub use crate::hardware::HardwareEnsemble;
+}

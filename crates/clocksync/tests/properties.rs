@@ -1,0 +1,103 @@
+//! Property-based tests for the clock subsystem.
+
+use clocksync::prelude::*;
+use degradable::adversary::Strategy;
+use degradable::Params;
+use proptest::prelude::*;
+use simnet::NodeId;
+use std::collections::BTreeMap;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Fault-free convergence always tightens the skew below the initial
+    /// spread.
+    #[test]
+    fn convergence_tightens(n in 3usize..9, seed in 0u64..500) {
+        let clocks = ensemble(n, 1_000, 0, &[], seed);
+        let healthy = vec![true; n];
+        let out = run_convergence(&clocks, &healthy, ConvergenceConfig::default());
+        prop_assert!(out.final_skew() <= 2_000);
+        // and strictly improves on the worst possible initial spread
+        prop_assert!(out.final_skew() < 2_000 || out.skew_per_round[0] == 2_000);
+    }
+
+    /// Below a third of faulty clocks, skew stays bounded by the clipping
+    /// window.
+    #[test]
+    fn below_third_bounded(extra in 0usize..5, seed in 0u64..500) {
+        let n = 4 + extra;
+        let clocks = ensemble(n, 1_000, 0, &[0], seed);
+        let healthy: Vec<bool> = (0..n).map(|i| i != 0).collect();
+        let cfg = ConvergenceConfig::default();
+        let out = run_convergence(&clocks, &healthy, cfg);
+        prop_assert!(out.final_skew() <= cfg.delta, "skew {}", out.final_skew());
+    }
+
+    /// Degradable sync condition 1 holds for every sampled f <= m scenario.
+    #[test]
+    fn degradable_sync_condition1(seed in 0u64..300, strat_idx in 0usize..6) {
+        let params = Params::new(1, 2).unwrap();
+        let clocks = ensemble(5, 1_000, 0, &[4], seed);
+        let battery = Strategy::battery(10_000_000, 10_100_000, seed);
+        let (_, strat) = battery[strat_idx % battery.len()].clone();
+        let strategies: BTreeMap<NodeId, Strategy<u64>> =
+            [(NodeId::new(4), strat)].into_iter().collect();
+        let config = SyncConfig {
+            params,
+            sync_tolerance: 10,
+            real_time_tolerance: 2_000,
+        };
+        let out = run_degradable_sync(&clocks, &strategies, config, 10_000_000);
+        prop_assert_eq!(out.condition1, Some(true), "{:?}", out);
+    }
+
+    /// Degradable sync condition 2 holds for every sampled m < f <= u
+    /// scenario (empirical support for the paper's conjecture).
+    #[test]
+    fn degradable_sync_condition2(seed in 0u64..300, strat_idx in 0usize..6, f in 2usize..3) {
+        let params = Params::new(1, 2).unwrap();
+        let faulty: Vec<usize> = (5 - f..5).collect();
+        let clocks = ensemble(5, 1_000, 0, &faulty, seed);
+        let battery = Strategy::battery(10_000_000, 10_100_000, seed);
+        let (_, strat) = battery[strat_idx % battery.len()].clone();
+        let strategies: BTreeMap<NodeId, Strategy<u64>> = faulty
+            .iter()
+            .map(|&i| (NodeId::new(i), strat.clone()))
+            .collect();
+        let config = SyncConfig {
+            params,
+            sync_tolerance: 10,
+            real_time_tolerance: 2_000,
+        };
+        let out = run_degradable_sync(&clocks, &strategies, config, 10_000_000);
+        prop_assert_eq!(out.condition2, Some(true), "{:?}", out);
+    }
+
+    /// Healthy clock readings stay within offset+drift bounds.
+    #[test]
+    fn healthy_reading_bounds(offset in -1_000i64..1_000, drift in -50i64..50,
+                              t in 1u64..100_000_000) {
+        let c = Clock::healthy(offset, drift);
+        let r = c.nominal(t) as i128;
+        let ideal = t as i128;
+        let max_err = offset.unsigned_abs() as i128 + (ideal * 50 / 1_000_000) + 1;
+        prop_assert!((r - ideal).abs() <= max_err, "reading {} vs {}", r, ideal);
+    }
+
+    /// Witness clocks never lower the tolerable fault budget.
+    #[test]
+    fn witnesses_monotone(n in 3usize..8, w in 0usize..4) {
+        let base = HardwareEnsemble::new(
+            ensemble(n, 100, 0, &[], 1),
+            vec![],
+            vec![false; n],
+        );
+        let extended = HardwareEnsemble::new(
+            ensemble(n, 100, 0, &[], 1),
+            ensemble(w, 100, 0, &[], 2),
+            vec![false; n + w],
+        );
+        prop_assert!(extended.tolerable_clock_faults() >= base.tolerable_clock_faults());
+    }
+}

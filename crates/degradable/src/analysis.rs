@@ -1,0 +1,172 @@
+//! Closed-form analysis: resource bounds, trade-off enumeration and message
+//! complexity of algorithm BYZ.
+
+use crate::params::Params;
+use crate::path::path_count;
+use serde::{Deserialize, Serialize};
+
+/// One cell of the paper's Section 2 table (minimum node counts).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MinNodesCell {
+    /// `u < m`: the parameter pair is invalid (printed "-" in the paper).
+    Invalid,
+    /// Minimum node count `2m + u + 1`.
+    Nodes(usize),
+}
+
+/// The Section 2 table: minimum number of nodes necessary for
+/// `m/u`-degradable agreement, for `m` in `1..=max_m` and `u` in
+/// `1..=max_u`. Rows are `m`, columns are `u`.
+pub fn min_nodes_table(max_m: usize, max_u: usize) -> Vec<Vec<MinNodesCell>> {
+    (1..=max_m)
+        .map(|m| {
+            (1..=max_u)
+                .map(|u| match Params::new(m, u) {
+                    Ok(p) => MinNodesCell::Nodes(p.min_nodes()),
+                    Err(_) => MinNodesCell::Invalid,
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// All maximal `(m, u)` trade-offs available in an `n`-node system: for
+/// each `m` with `3m + 1 <= n`, the largest `u` such that `2m + u + 1 <= n`
+/// (and `u >= m`). For the paper's 7-node example this yields
+/// `(0, 6), (1, 4), (2, 2)`.
+pub fn tradeoffs(n: usize) -> Vec<Params> {
+    let mut out = Vec::new();
+    let mut m = 0usize;
+    loop {
+        if 2 * m + m + 1 > n {
+            break;
+        }
+        let u = n - 1 - 2 * m;
+        if u < m {
+            break;
+        }
+        out.push(Params::new(m, u).expect("u >= m by construction"));
+        m += 1;
+    }
+    out
+}
+
+/// Total number of point-to-point messages sent by the EIG unfolding of
+/// BYZ(m, m) (or OM(m)) on `n` fully connected nodes:
+/// `Σ_{ℓ=1}^{depth} (n-1)(n-2)…(n-ℓ)` — at level `ℓ` every path of length
+/// `ℓ` is one message to each of its `n - ℓ` receivers.
+pub fn message_complexity(n: usize, depth: usize) -> u128 {
+    (1..=depth)
+        .map(|l| path_count(n, l) * (n - l) as u128)
+        .sum()
+}
+
+/// Number of distinct relay paths materialized by a depth-`depth` EIG run
+/// (storage complexity per receiver is bounded by this).
+pub fn storage_complexity(n: usize, depth: usize) -> u128 {
+    (1..=depth).map(|l| path_count(n, l)).sum()
+}
+
+/// Messages sent by Crusader agreement on `n` nodes: one sender round plus
+/// one full echo round — `(n-1) + (n-1)(n-2)`, independent of `t`.
+pub fn crusader_message_complexity(n: usize) -> u128 {
+    let n = n as u128;
+    (n - 1) + (n - 1) * (n - 2)
+}
+
+/// Messages sent by SM(m) in the **fault-free** case: the sender's
+/// broadcast plus each receiver relaying the single new value once —
+/// `(n-1) + (n-1)(n-2)`, independent of `m` (later rounds carry nothing
+/// new). A faulty sender signing `k` distinct values multiplies the relay
+/// term by up to `k`.
+pub fn sm_honest_message_complexity(n: usize) -> u128 {
+    crusader_message_complexity(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_matches_formula() {
+        let t = min_nodes_table(3, 6);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t[0].len(), 6);
+        // m=1, u=1 -> 4; m=1, u=4 -> 7; m=2, u=1 -> invalid; m=3, u=3 -> 10.
+        assert_eq!(t[0][0], MinNodesCell::Nodes(4));
+        assert_eq!(t[0][3], MinNodesCell::Nodes(7));
+        assert_eq!(t[1][0], MinNodesCell::Invalid);
+        assert_eq!(t[2][2], MinNodesCell::Nodes(10));
+    }
+
+    #[test]
+    fn invalid_cells_below_diagonal() {
+        let t = min_nodes_table(3, 6);
+        for (mi, row) in t.iter().enumerate() {
+            for (ui, cell) in row.iter().enumerate() {
+                let (m, u) = (mi + 1, ui + 1);
+                if u < m {
+                    assert_eq!(*cell, MinNodesCell::Invalid);
+                } else {
+                    assert_eq!(*cell, MinNodesCell::Nodes(2 * m + u + 1));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn seven_node_tradeoffs() {
+        let t = tradeoffs(7);
+        let pairs: Vec<(usize, usize)> = t.iter().map(|p| (p.m(), p.u())).collect();
+        assert_eq!(pairs, vec![(0, 6), (1, 4), (2, 2)]);
+    }
+
+    #[test]
+    fn four_node_tradeoffs() {
+        let t = tradeoffs(4);
+        let pairs: Vec<(usize, usize)> = t.iter().map(|p| (p.m(), p.u())).collect();
+        assert_eq!(pairs, vec![(0, 3), (1, 1)]);
+    }
+
+    #[test]
+    fn message_complexity_small_cases() {
+        // n=4, depth 2 (BYZ(1,1)): level 1: 3 msgs; level 2: 3 paths x 2
+        // receivers = 6. Total 9.
+        assert_eq!(message_complexity(4, 2), 9);
+        // n=7, depth 3 (BYZ(2,2)): 6 + 6*5 + 30*4 = 156.
+        assert_eq!(message_complexity(7, 3), 156);
+    }
+
+    #[test]
+    fn storage_complexity_counts_paths() {
+        assert_eq!(storage_complexity(4, 2), 1 + 3);
+        assert_eq!(storage_complexity(7, 3), 1 + 6 + 30);
+    }
+
+    #[test]
+    fn crusader_formula() {
+        assert_eq!(crusader_message_complexity(4), 3 + 6);
+        assert_eq!(crusader_message_complexity(7), 6 + 30);
+        // Crusader equals the first two EIG levels:
+        assert_eq!(crusader_message_complexity(7), message_complexity(7, 2));
+    }
+
+    #[test]
+    fn byz_dominates_crusader_beyond_two_rounds() {
+        for n in [7usize, 10, 13] {
+            assert!(message_complexity(n, 3) > crusader_message_complexity(n));
+        }
+    }
+
+    #[test]
+    fn complexity_grows_with_depth() {
+        for n in [5usize, 8, 11] {
+            let mut prev = 0u128;
+            for depth in 1..4 {
+                let c = message_complexity(n, depth);
+                assert!(c > prev);
+                prev = c;
+            }
+        }
+    }
+}

@@ -1,0 +1,308 @@
+//! Baseline agreement protocols the paper builds on or compares against.
+//!
+//! * [`naive_broadcast`] — the sender just sends; no fault tolerance. The
+//!   strawman of Section 3's motivation.
+//! * [`run_om`] — Lamport–Shostak–Pease OM(m) oral-messages Byzantine
+//!   agreement \[paper ref 7\]: identical message pattern to BYZ but with a
+//!   strict-majority fold; satisfies D.1/D.2 for `f <= m` when `N > 3m` and
+//!   promises nothing beyond `m`.
+//! * [`run_crusader`] — Dolev's Crusader agreement \[paper ref 2\]: two
+//!   rounds; fault-free receivers either agree on the sender's value or
+//!   detect the sender as faulty (decide `V_d`), for `f < N/3`, and all
+//!   non-default deciders agree.
+//! * [`run_interactive_consistency`] — Pease–Shostak–Lamport interactive
+//!   consistency \[paper ref 9\]: every node runs OM as sender; all
+//!   fault-free nodes obtain the same vector. Provided for the Bhandari
+//!   discussion in Section 2 (his impossibility result applies to IC-style
+//!   algorithms, *not* to `m/u`-degradable agreement).
+
+use crate::eig::{run_eig, Fabricate, VoteRule};
+use crate::value::AgreementValue;
+use crate::vote::k_of_n;
+use simnet::NodeId;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The no-protection baseline: every receiver takes whatever the sender
+/// (or the adversary, if the sender is faulty) tells it.
+pub fn naive_broadcast<V: Clone + Ord>(
+    n: usize,
+    sender: NodeId,
+    sender_value: &AgreementValue<V>,
+    faulty: &BTreeSet<NodeId>,
+    fabricate: Fabricate<'_, V>,
+) -> BTreeMap<NodeId, AgreementValue<V>> {
+    run_eig(
+        n,
+        sender,
+        1,
+        VoteRule::Majority, // depth 1: the rule is never applied, leaves only
+        sender_value,
+        faulty,
+        fabricate,
+    )
+}
+
+/// Lamport's OM(m): `m+1` rounds, majority fold. Requires `n > 3m` for its
+/// guarantee.
+///
+/// # Panics
+///
+/// Panics if `sender` is out of range.
+pub fn run_om<V: Clone + Ord>(
+    n: usize,
+    m: usize,
+    sender: NodeId,
+    sender_value: &AgreementValue<V>,
+    faulty: &BTreeSet<NodeId>,
+    fabricate: Fabricate<'_, V>,
+) -> BTreeMap<NodeId, AgreementValue<V>> {
+    run_eig(
+        n,
+        sender,
+        m + 1,
+        VoteRule::Majority,
+        sender_value,
+        faulty,
+        fabricate,
+    )
+}
+
+/// Dolev's Crusader agreement: sender round, echo round, then accept a
+/// value held by at least `n - 1 - t` of the receiver's `n - 1` gathered
+/// values (`t` = tolerated fault count), else decide `V_d`. For `f <= t`
+/// and `n > 3t`: a fault-free sender's value is accepted by all fault-free
+/// receivers (at least `n-1-t` of the values are honest copies), and any
+/// two fault-free receivers accepting non-default values accept the same
+/// one (each accepted value is echoed by at least `n-1-t-(t-1) = n-2t`
+/// fault-free receivers, and `2(n-2t) > n-t` when `n > 3t`, forcing a
+/// common fault-free echoer).
+pub fn run_crusader<V: Clone + Ord>(
+    n: usize,
+    t: usize,
+    sender: NodeId,
+    sender_value: &AgreementValue<V>,
+    faulty: &BTreeSet<NodeId>,
+    fabricate: Fabricate<'_, V>,
+) -> BTreeMap<NodeId, AgreementValue<V>> {
+    // Reuse the EIG plumbing at depth 2 to gather each receiver's n-1
+    // values (own receipt + echoes), then apply the n-t threshold.
+    use crate::path::{paths_of_length, Path};
+
+    // Build the level-1 and level-2 value tables exactly as run_eig does,
+    // but resolve with the crusader threshold instead of a recursive fold.
+    let root = Path::root(sender);
+    let mut level1: Vec<Option<AgreementValue<V>>> = vec![None; n];
+    for r in NodeId::all(n) {
+        if r == sender {
+            continue;
+        }
+        let v = if faulty.contains(&sender) {
+            fabricate(&root, r, sender_value)
+        } else {
+            sender_value.clone()
+        };
+        level1[r.index()] = Some(v);
+    }
+    let mut echoes: BTreeMap<Path, Vec<Option<AgreementValue<V>>>> = BTreeMap::new();
+    for sigma in paths_of_length(sender, n, 1) {
+        for child in sigma.children(n) {
+            let relayer = child.last();
+            let truthful = level1[relayer.index()]
+                .clone()
+                .expect("every receiver has a level-1 value");
+            let mut vals = vec![None; n];
+            for r in NodeId::all(n) {
+                if child.contains(r) {
+                    continue;
+                }
+                let v = if faulty.contains(&relayer) {
+                    fabricate(&child, r, &truthful)
+                } else {
+                    truthful.clone()
+                };
+                vals[r.index()] = Some(v);
+            }
+            echoes.insert(child, vals);
+        }
+    }
+    let threshold = n - 1 - t;
+    let mut decisions = BTreeMap::new();
+    for r in NodeId::all(n) {
+        if r == sender {
+            continue;
+        }
+        let mut gathered: Vec<AgreementValue<V>> = vec![level1[r.index()]
+            .clone()
+            .expect("receiver has its own value")];
+        for (path, vals) in &echoes {
+            if path.last() != r {
+                if let Some(v) = vals[r.index()].clone() {
+                    gathered.push(v);
+                }
+            }
+        }
+        let decision = crate::vote::vote(threshold, &gathered);
+        decisions.insert(r, decision);
+    }
+    decisions
+}
+
+/// Behaviour function for interactive consistency: the first `NodeId` is
+/// the instance's sender, the rest mirror [`crate::eig::Fabricate`].
+pub type IcFabricate<'a, V> =
+    &'a mut dyn FnMut(NodeId, &crate::path::Path, NodeId, &AgreementValue<V>) -> AgreementValue<V>;
+
+/// Interactive consistency: every node acts as OM(m) sender for its own
+/// value; each fault-free node ends with a vector of `n` agreed values.
+///
+/// `values[i]` is node `i`'s private value. Returns, per receiver, the full
+/// agreed vector (the receiver's own slot holds its own value).
+pub fn run_interactive_consistency<V: Clone + Ord>(
+    n: usize,
+    m: usize,
+    values: &[AgreementValue<V>],
+    faulty: &BTreeSet<NodeId>,
+    fabricate: IcFabricate<'_, V>,
+) -> BTreeMap<NodeId, Vec<AgreementValue<V>>> {
+    assert_eq!(values.len(), n, "one private value per node");
+    let mut vectors: BTreeMap<NodeId, Vec<AgreementValue<V>>> = NodeId::all(n)
+        .map(|r| (r, vec![AgreementValue::Default; n]))
+        .collect();
+    for s in NodeId::all(n) {
+        let mut fab = |p: &crate::path::Path, r: NodeId, t: &AgreementValue<V>| {
+            fabricate(s, p, r, t)
+        };
+        let decisions = run_om(n, m, s, &values[s.index()], faulty, &mut fab);
+        for (r, v) in decisions {
+            vectors.get_mut(&r).expect("receiver exists")[s.index()] = v;
+        }
+        // The sender's own slot is its own value.
+        vectors.get_mut(&s).expect("sender exists")[s.index()] = values[s.index()].clone();
+    }
+    vectors
+}
+
+/// The external-entity vote of Section 3: `k`-out-of-`n` over channel
+/// outputs, `V_d` when no value reaches `k` (re-exported convenience over
+/// [`crate::vote::k_of_n`]).
+pub fn external_vote<V: Clone + Ord>(k: usize, outputs: &[V]) -> Option<V> {
+    k_of_n(k, outputs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::path::Path;
+    use crate::value::Val;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn honest() -> impl FnMut(&Path, NodeId, &Val) -> Val {
+        |_: &Path, _: NodeId, t: &Val| *t
+    }
+
+    #[test]
+    fn naive_broadcast_trusts_sender() {
+        let mut fab = honest();
+        let d = naive_broadcast(4, n(0), &Val::Value(3), &BTreeSet::new(), &mut fab);
+        assert!(d.values().all(|v| *v == Val::Value(3)));
+    }
+
+    #[test]
+    fn naive_broadcast_splits_under_faulty_sender() {
+        let faulty: BTreeSet<_> = [n(0)].into_iter().collect();
+        let mut fab = |_p: &Path, r: NodeId, _t: &Val| Val::Value(r.index() as u64);
+        let d = naive_broadcast(4, n(0), &Val::Value(3), &faulty, &mut fab);
+        let distinct: BTreeSet<_> = d.values().collect();
+        assert!(distinct.len() > 1, "no protection expected");
+    }
+
+    #[test]
+    fn om1_tolerates_one_traitor() {
+        // Classic 4-node OM(1): faulty receiver cannot break agreement.
+        let faulty: BTreeSet<_> = [n(3)].into_iter().collect();
+        let mut fab = |_p: &Path, _r: NodeId, _t: &Val| Val::Value(99);
+        let d = run_om(4, 1, n(0), &Val::Value(7), &faulty, &mut fab);
+        for r in [1, 2] {
+            assert_eq!(d[&n(r)], Val::Value(7));
+        }
+    }
+
+    #[test]
+    fn om1_faulty_sender_consistency() {
+        let faulty: BTreeSet<_> = [n(0)].into_iter().collect();
+        let mut fab = |_p: &Path, r: NodeId, _t: &Val| Val::Value(r.index() as u64 % 2);
+        let d = run_om(4, 1, n(0), &Val::Value(7), &faulty, &mut fab);
+        let distinct: BTreeSet<_> = d.values().collect();
+        assert_eq!(distinct.len(), 1, "IC1 violated: {d:?}");
+    }
+
+    #[test]
+    fn om_breaks_beyond_m() {
+        // OM(1) with two traitors on 4 nodes can disagree — contrast with
+        // degradable agreement's D.3/D.4 which still constrain the split.
+        let faulty: BTreeSet<_> = [n(2), n(3)].into_iter().collect();
+        let mut fab = |p: &Path, r: NodeId, _t: &Val| {
+            Val::Value((p.len() + r.index()) as u64 % 3)
+        };
+        let d = run_om(4, 1, n(0), &Val::Value(7), &faulty, &mut fab);
+        // Receiver 1 is the only fault-free receiver; nothing to check for
+        // agreement, but it may well hold a wrong value:
+        assert!(d.contains_key(&n(1)));
+    }
+
+    #[test]
+    fn crusader_fault_free_sender() {
+        let faulty: BTreeSet<_> = [n(3)].into_iter().collect();
+        let mut fab = |_p: &Path, _r: NodeId, _t: &Val| Val::Value(50);
+        let d = run_crusader(4, 1, n(0), &Val::Value(7), &faulty, &mut fab);
+        for r in [1, 2] {
+            assert_eq!(d[&n(r)], Val::Value(7));
+        }
+    }
+
+    #[test]
+    fn crusader_faulty_sender_non_default_agree() {
+        let faulty: BTreeSet<_> = [n(0)].into_iter().collect();
+        let mut fab = |_p: &Path, r: NodeId, _t: &Val| {
+            Val::Value(if r.index() <= 1 { 1 } else { 2 })
+        };
+        let d = run_crusader(4, 1, n(0), &Val::Value(7), &faulty, &mut fab);
+        let nondefault: BTreeSet<_> = d.values().filter(|v| !v.is_default()).collect();
+        assert!(nondefault.len() <= 1, "crusader property violated: {d:?}");
+    }
+
+    #[test]
+    fn interactive_consistency_vectors_match() {
+        let values: Vec<Val> = (0..4).map(|i| Val::Value(10 + i)).collect();
+        let faulty: BTreeSet<_> = [n(3)].into_iter().collect();
+        let mut fab = |_s: NodeId, _p: &Path, r: NodeId, _t: &Val| Val::Value(r.index() as u64);
+        let vecs = run_interactive_consistency(4, 1, &values, &faulty, &mut fab);
+        // All fault-free nodes agree on the slots of all *other* nodes.
+        for s in 0..4usize {
+            let slot: BTreeSet<_> = [0, 1, 2]
+                .iter()
+                .filter(|&&r| r != s)
+                .map(|&r| vecs[&n(r)][s])
+                .collect();
+            assert_eq!(slot.len(), 1, "slot {s} disagrees: {vecs:?}");
+        }
+        // Fault-free slots carry the true values.
+        #[allow(clippy::needless_range_loop)]
+        for s in 0..3usize {
+            for r in 0..3usize {
+                if r != s {
+                    assert_eq!(vecs[&n(r)][s], Val::Value(10 + s as u64));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn external_vote_threshold() {
+        assert_eq!(external_vote(3, &[1u64, 1, 1, 2]), Some(1));
+        assert_eq!(external_vote(3, &[1u64, 1, 2, 2]), None);
+    }
+}

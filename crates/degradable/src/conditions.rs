@@ -1,0 +1,603 @@
+//! Checkers for the paper's agreement conditions.
+//!
+//! `m/u`-degradable agreement (Section 2) requires, with `f` faulty nodes:
+//!
+//! * `f <= m`:
+//!   * **D.1** — fault-free sender: all fault-free receivers agree on the
+//!     sender's value;
+//!   * **D.2** — faulty sender: all fault-free receivers agree on one
+//!     identical value.
+//! * `m < f <= u`:
+//!   * **D.3** — fault-free sender: fault-free receivers split into at most
+//!     two classes, one agreeing on the sender's value, the other on `V_d`;
+//!   * **D.4** — faulty sender: at most two classes, one on `V_d`, the
+//!     other on some single identical value.
+//!
+//! The corollary checked by [`largest_fault_free_class`]: with
+//! `N > 2m + u`, at least `m + 1` fault-free nodes (sender included) agree
+//! on an identical value whenever `f <= u`.
+//!
+//! These checkers consume a [`RunRecord`] — a protocol-agnostic snapshot of
+//! one execution — so the same code audits BYZ, the baselines, the
+//! message-passing executor and the sparse-network executor.
+
+use crate::params::Params;
+use crate::value::AgreementValue;
+use serde::{Deserialize, Serialize};
+use simnet::NodeId;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Snapshot of one agreement execution, sufficient to decide every paper
+/// condition.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunRecord<V: Ord> {
+    /// Agreement parameters in force.
+    pub params: Params,
+    /// Total number of nodes (sender + receivers).
+    pub n: usize,
+    /// The designated sender.
+    pub sender: NodeId,
+    /// The sender's (intended) value. For a faulty sender this is the
+    /// nominal value it was given; conditions D.2/D.4 do not reference it.
+    pub sender_value: AgreementValue<V>,
+    /// The set of faulty nodes (any fault kind).
+    pub faulty: BTreeSet<NodeId>,
+    /// Every receiver's decision (faulty receivers' entries are ignored by
+    /// the checkers).
+    pub decisions: BTreeMap<NodeId, AgreementValue<V>>,
+}
+
+impl<V: Clone + Ord> RunRecord<V> {
+    /// The number of faulty nodes (`f`).
+    pub fn f(&self) -> usize {
+        self.faulty.len()
+    }
+
+    /// Whether the sender is faulty.
+    pub fn sender_faulty(&self) -> bool {
+        self.faulty.contains(&self.sender)
+    }
+
+    /// Decisions of the fault-free receivers only, in id order.
+    pub fn fault_free_decisions(&self) -> BTreeMap<NodeId, AgreementValue<V>> {
+        self.decisions
+            .iter()
+            .filter(|(r, _)| !self.faulty.contains(r))
+            .map(|(r, v)| (*r, v.clone()))
+            .collect()
+    }
+
+    /// Groups the fault-free receivers by decided value, descending by
+    /// class size (ties broken by value order).
+    pub fn classes(&self) -> Vec<(AgreementValue<V>, usize)> {
+        let mut counts: BTreeMap<AgreementValue<V>, usize> = BTreeMap::new();
+        for v in self.fault_free_decisions().values() {
+            *counts.entry(v.clone()).or_insert(0) += 1;
+        }
+        let mut classes: Vec<_> = counts.into_iter().collect();
+        classes.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        classes
+    }
+}
+
+/// The condition that applied to a satisfied run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Condition {
+    /// Fault-free sender, `f <= m`.
+    D1,
+    /// Faulty sender, `f <= m`.
+    D2,
+    /// Fault-free sender, `m < f <= u`.
+    D3,
+    /// Faulty sender, `m < f <= u`.
+    D4,
+}
+
+impl fmt::Display for Condition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Condition::D1 => write!(f, "D.1"),
+            Condition::D2 => write!(f, "D.2"),
+            Condition::D3 => write!(f, "D.3"),
+            Condition::D4 => write!(f, "D.4"),
+        }
+    }
+}
+
+/// Evidence of a satisfied condition.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Satisfaction<V: Ord> {
+    /// Which condition applied.
+    pub condition: Condition,
+    /// Fault-free receiver classes, largest first.
+    pub classes: Vec<(AgreementValue<V>, usize)>,
+    /// Size of the largest class of *fault-free nodes* (sender included if
+    /// fault-free) agreeing on one identical value.
+    pub largest_agreeing: usize,
+}
+
+/// A condition violation, with the offending evidence.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Violation<V: Ord> {
+    /// D.1: a fault-free receiver decided something other than the
+    /// fault-free sender's value.
+    NotSenderValue {
+        /// The offending receiver.
+        receiver: NodeId,
+        /// What it decided.
+        decided: AgreementValue<V>,
+    },
+    /// D.2: fault-free receivers decided differing values.
+    Disagreement {
+        /// The distinct decisions observed.
+        values: Vec<AgreementValue<V>>,
+    },
+    /// D.3: a fault-free receiver decided a value that is neither the
+    /// sender's value nor `V_d`.
+    ForeignValue {
+        /// The offending receiver.
+        receiver: NodeId,
+        /// What it decided.
+        decided: AgreementValue<V>,
+    },
+    /// D.4: two fault-free receivers decided two distinct non-default
+    /// values.
+    TwoNonDefault {
+        /// First non-default decision.
+        a: AgreementValue<V>,
+        /// Second, different non-default decision.
+        b: AgreementValue<V>,
+    },
+}
+
+impl<V: Ord + fmt::Debug> fmt::Display for Violation<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::NotSenderValue { receiver, decided } => {
+                write!(f, "D.1 violated: {receiver} decided {decided:?} instead of the sender's value")
+            }
+            Violation::Disagreement { values } => {
+                write!(f, "D.2 violated: fault-free receivers split over {values:?}")
+            }
+            Violation::ForeignValue { receiver, decided } => {
+                write!(f, "D.3 violated: {receiver} decided foreign value {decided:?}")
+            }
+            Violation::TwoNonDefault { a, b } => {
+                write!(f, "D.4 violated: two non-default decisions {a:?} and {b:?}")
+            }
+        }
+    }
+}
+
+/// Overall verdict for one run.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Verdict<V: Ord> {
+    /// The applicable condition holds.
+    Satisfied(Satisfaction<V>),
+    /// `f > u`: the definition makes no promise; nothing to check.
+    BeyondU {
+        /// Observed fault count.
+        f: usize,
+    },
+    /// The applicable condition is violated.
+    Violated(Violation<V>),
+}
+
+impl<V: Ord> Verdict<V> {
+    /// Whether the run satisfied its applicable condition.
+    pub fn is_satisfied(&self) -> bool {
+        matches!(self, Verdict::Satisfied(_))
+    }
+
+    /// Whether the run violated its applicable condition.
+    pub fn is_violated(&self) -> bool {
+        matches!(self, Verdict::Violated(_))
+    }
+}
+
+/// Size of the largest class of fault-free **nodes** (receivers plus the
+/// sender, when fault-free) agreeing on one identical value. The paper's
+/// Section 2 observation promises this is at least `m + 1` whenever
+/// `N > 2m + u` and `f <= u`.
+pub fn largest_fault_free_class<V: Clone + Ord>(rec: &RunRecord<V>) -> usize {
+    let mut counts: BTreeMap<AgreementValue<V>, usize> = BTreeMap::new();
+    for v in rec.fault_free_decisions().values() {
+        *counts.entry(v.clone()).or_insert(0) += 1;
+    }
+    if !rec.sender_faulty() {
+        *counts.entry(rec.sender_value.clone()).or_insert(0) += 1;
+    }
+    counts.values().copied().max().unwrap_or(0)
+}
+
+/// Checks the applicable `m/u`-degradable agreement condition for `rec`.
+pub fn check_degradable<V: Clone + Ord>(rec: &RunRecord<V>) -> Verdict<V> {
+    let f = rec.f();
+    let (m, u) = (rec.params.m(), rec.params.u());
+    if f > u {
+        return Verdict::BeyondU { f };
+    }
+    let decisions = rec.fault_free_decisions();
+    let satisfied = |condition: Condition| {
+        Verdict::Satisfied(Satisfaction {
+            condition,
+            classes: rec.classes(),
+            largest_agreeing: largest_fault_free_class(rec),
+        })
+    };
+    match (rec.sender_faulty(), f <= m) {
+        (false, true) => {
+            // D.1: everyone decides the sender's value.
+            for (r, v) in &decisions {
+                if *v != rec.sender_value {
+                    return Verdict::Violated(Violation::NotSenderValue {
+                        receiver: *r,
+                        decided: v.clone(),
+                    });
+                }
+            }
+            satisfied(Condition::D1)
+        }
+        (true, true) => {
+            // D.2: all identical.
+            let distinct: BTreeSet<_> = decisions.values().cloned().collect();
+            if distinct.len() > 1 {
+                return Verdict::Violated(Violation::Disagreement {
+                    values: distinct.into_iter().collect(),
+                });
+            }
+            satisfied(Condition::D2)
+        }
+        (false, false) => {
+            // D.3: every decision is the sender's value or V_d.
+            for (r, v) in &decisions {
+                if *v != rec.sender_value && !v.is_default() {
+                    return Verdict::Violated(Violation::ForeignValue {
+                        receiver: *r,
+                        decided: v.clone(),
+                    });
+                }
+            }
+            satisfied(Condition::D3)
+        }
+        (true, false) => {
+            // D.4: at most one distinct non-default decision.
+            let nondefault: BTreeSet<_> = decisions
+                .values()
+                .filter(|v| !v.is_default())
+                .cloned()
+                .collect();
+            if nondefault.len() > 1 {
+                let mut it = nondefault.into_iter();
+                let a = it.next().expect("len > 1");
+                let b = it.next().expect("len > 1");
+                return Verdict::Violated(Violation::TwoNonDefault { a, b });
+            }
+            satisfied(Condition::D4)
+        }
+    }
+}
+
+/// Checks the classic interactive-consistency-style conditions for the OM
+/// baseline (IC1: all fault-free receivers agree; IC2: if the sender is
+/// fault-free they agree on its value). Valid promise only for `f <= m`.
+pub fn check_byzantine<V: Clone + Ord>(rec: &RunRecord<V>) -> Verdict<V> {
+    let f = rec.f();
+    let m = rec.params.m();
+    if f > m {
+        return Verdict::BeyondU { f };
+    }
+    // Reuse the degradable checker: for f <= m it checks exactly IC1/IC2.
+    check_degradable(rec)
+}
+
+/// Checks **weak** Byzantine agreement (Lamport, the paper's reference
+/// \[6\]): for `f <= m`, all fault-free receivers must agree on one
+/// identical value (agreement), and the agreed value must be the sender's
+/// **only when no node at all is faulty** (weak validity). Any protocol
+/// satisfying the strong conditions also satisfies these; the checker
+/// exists so the baselines can be audited against the exact contract the
+/// paper's opening sentence cites ("Byzantine agreement (weak \[6\] or
+/// otherwise \[7\])").
+pub fn check_weak_byzantine<V: Clone + Ord>(rec: &RunRecord<V>) -> Verdict<V> {
+    let f = rec.f();
+    let m = rec.params.m();
+    if f > m {
+        return Verdict::BeyondU { f };
+    }
+    let decisions = rec.fault_free_decisions();
+    let distinct: BTreeSet<_> = decisions.values().cloned().collect();
+    if distinct.len() > 1 {
+        return Verdict::Violated(Violation::Disagreement {
+            values: distinct.into_iter().collect(),
+        });
+    }
+    if f == 0 {
+        if let Some((r, v)) = decisions.iter().find(|(_, v)| **v != rec.sender_value) {
+            return Verdict::Violated(Violation::NotSenderValue {
+                receiver: *r,
+                decided: v.clone(),
+            });
+        }
+    }
+    Verdict::Satisfied(Satisfaction {
+        condition: if rec.sender_faulty() {
+            Condition::D2
+        } else {
+            Condition::D1
+        },
+        classes: rec.classes(),
+        largest_agreeing: largest_fault_free_class(rec),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Val;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn record(
+        m: usize,
+        u: usize,
+        nn: usize,
+        faulty: &[usize],
+        sender_value: Val,
+        decisions: &[(usize, Val)],
+    ) -> RunRecord<u64> {
+        RunRecord {
+            params: Params::new(m, u).unwrap(),
+            n: nn,
+            sender: n(0),
+            sender_value,
+            faulty: faulty.iter().map(|&i| n(i)).collect(),
+            decisions: decisions.iter().map(|&(i, v)| (n(i), v)).collect(),
+        }
+    }
+
+    #[test]
+    fn d1_satisfied() {
+        let rec = record(
+            1,
+            2,
+            5,
+            &[3],
+            Val::Value(7),
+            &[(1, Val::Value(7)), (2, Val::Value(7)), (3, Val::Value(0)), (4, Val::Value(7))],
+        );
+        let v = check_degradable(&rec);
+        match v {
+            Verdict::Satisfied(s) => {
+                assert_eq!(s.condition, Condition::D1);
+                assert_eq!(s.largest_agreeing, 4); // 3 receivers + sender
+            }
+            other => panic!("expected satisfied, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn d1_violated_by_wrong_value() {
+        let rec = record(
+            1,
+            2,
+            5,
+            &[3],
+            Val::Value(7),
+            &[(1, Val::Value(7)), (2, Val::Default), (3, Val::Value(0)), (4, Val::Value(7))],
+        );
+        assert!(matches!(
+            check_degradable(&rec),
+            Verdict::Violated(Violation::NotSenderValue { receiver, .. }) if receiver == n(2)
+        ));
+    }
+
+    #[test]
+    fn d2_satisfied_even_on_default() {
+        let rec = record(
+            1,
+            2,
+            5,
+            &[0],
+            Val::Value(7),
+            &[(1, Val::Default), (2, Val::Default), (3, Val::Default), (4, Val::Default)],
+        );
+        match check_degradable(&rec) {
+            Verdict::Satisfied(s) => assert_eq!(s.condition, Condition::D2),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn d2_violated_by_split() {
+        let rec = record(
+            1,
+            2,
+            5,
+            &[0],
+            Val::Value(7),
+            &[(1, Val::Value(1)), (2, Val::Value(2)), (3, Val::Value(1)), (4, Val::Value(1))],
+        );
+        assert!(check_degradable(&rec).is_violated());
+    }
+
+    #[test]
+    fn d3_satisfied_two_classes() {
+        let rec = record(
+            1,
+            2,
+            5,
+            &[3, 4],
+            Val::Value(7),
+            &[(1, Val::Value(7)), (2, Val::Default), (3, Val::Value(0)), (4, Val::Value(0))],
+        );
+        match check_degradable(&rec) {
+            Verdict::Satisfied(s) => {
+                assert_eq!(s.condition, Condition::D3);
+                // sender + receiver 1 agree on 7
+                assert_eq!(s.largest_agreeing, 2);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn d3_violated_by_foreign_value() {
+        let rec = record(
+            1,
+            2,
+            5,
+            &[3, 4],
+            Val::Value(7),
+            &[(1, Val::Value(9)), (2, Val::Default), (3, Val::Value(0)), (4, Val::Value(0))],
+        );
+        assert!(matches!(
+            check_degradable(&rec),
+            Verdict::Violated(Violation::ForeignValue { decided: Val::Value(9), .. })
+        ));
+    }
+
+    #[test]
+    fn d4_satisfied_one_nondefault_class() {
+        let rec = record(
+            1,
+            2,
+            5,
+            &[0, 4],
+            Val::Value(7),
+            &[(1, Val::Value(3)), (2, Val::Default), (3, Val::Value(3)), (4, Val::Value(0))],
+        );
+        match check_degradable(&rec) {
+            Verdict::Satisfied(s) => assert_eq!(s.condition, Condition::D4),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn d4_violated_by_two_nondefault() {
+        let rec = record(
+            1,
+            2,
+            5,
+            &[0, 4],
+            Val::Value(7),
+            &[(1, Val::Value(3)), (2, Val::Value(5)), (3, Val::Value(3)), (4, Val::Value(0))],
+        );
+        assert!(matches!(
+            check_degradable(&rec),
+            Verdict::Violated(Violation::TwoNonDefault { .. })
+        ));
+    }
+
+    #[test]
+    fn beyond_u_is_out_of_scope() {
+        let rec = record(
+            1,
+            2,
+            5,
+            &[1, 2, 3],
+            Val::Value(7),
+            &[(1, Val::Value(0)), (2, Val::Value(0)), (3, Val::Value(0)), (4, Val::Value(8))],
+        );
+        assert!(matches!(check_degradable(&rec), Verdict::BeyondU { f: 3 }));
+    }
+
+    #[test]
+    fn byzantine_checker_scope() {
+        // f = 2 > m = 1: the OM baseline promises nothing.
+        let rec = record(
+            1,
+            1,
+            4,
+            &[2, 3],
+            Val::Value(7),
+            &[(1, Val::Value(9)), (2, Val::Value(0)), (3, Val::Value(0))],
+        );
+        assert!(matches!(check_byzantine(&rec), Verdict::BeyondU { f: 2 }));
+    }
+
+    #[test]
+    fn weak_byzantine_allows_non_sender_value_with_faults() {
+        // f = 1 <= m, everyone agrees on a value that is NOT the sender's:
+        // strong validity would reject this; weak validity accepts it.
+        let rec = record(
+            1,
+            1,
+            4,
+            &[3],
+            Val::Value(7),
+            &[(1, Val::Value(9)), (2, Val::Value(9)), (3, Val::Value(0))],
+        );
+        assert!(check_weak_byzantine(&rec).is_satisfied());
+        assert!(check_byzantine(&rec).is_violated());
+    }
+
+    #[test]
+    fn weak_byzantine_demands_validity_without_faults() {
+        let rec = record(
+            1,
+            1,
+            4,
+            &[],
+            Val::Value(7),
+            &[(1, Val::Value(9)), (2, Val::Value(9)), (3, Val::Value(9))],
+        );
+        assert!(matches!(
+            check_weak_byzantine(&rec),
+            Verdict::Violated(Violation::NotSenderValue { .. })
+        ));
+    }
+
+    #[test]
+    fn weak_byzantine_demands_agreement() {
+        let rec = record(
+            1,
+            1,
+            4,
+            &[0],
+            Val::Value(7),
+            &[(1, Val::Value(1)), (2, Val::Value(2)), (3, Val::Value(1))],
+        );
+        assert!(check_weak_byzantine(&rec).is_violated());
+    }
+
+    #[test]
+    fn classes_sorted_by_size() {
+        let rec = record(
+            1,
+            2,
+            6,
+            &[5],
+            Val::Value(7),
+            &[
+                (1, Val::Default),
+                (2, Val::Value(7)),
+                (3, Val::Value(7)),
+                (4, Val::Default),
+                (5, Val::Value(1)),
+            ],
+        );
+        let classes = rec.classes();
+        assert_eq!(classes.len(), 2);
+        assert_eq!(classes[0].1, 2);
+    }
+
+    #[test]
+    fn largest_class_counts_sender() {
+        // Sender fault-free with value 7; only one receiver decides 7, two
+        // decide V_d: largest class is V_d at 2... plus sender's 7-class is
+        // also 2; max = 2.
+        let rec = record(
+            1,
+            2,
+            5,
+            &[4, 3],
+            Val::Value(7),
+            &[(1, Val::Value(7)), (2, Val::Default), (3, Val::Default), (4, Val::Default)],
+        );
+        assert_eq!(largest_fault_free_class(&rec), 2);
+    }
+}

@@ -1,0 +1,175 @@
+//! Human-readable narration of a BYZ execution.
+//!
+//! For small systems it is genuinely illuminating to watch the recursion
+//! fold: which relay paths carried lies, where `VOTE` filtered them, and
+//! why a receiver landed on the sender's value or on `V_d`. This module
+//! renders that story from a [`Scenario`]:
+//!
+//! ```
+//! use degradable::{explain_receiver, ByzInstance, Params, Scenario, Strategy, Val};
+//! use simnet::NodeId;
+//!
+//! let scenario = Scenario {
+//!     instance: ByzInstance::new(5, Params::new(1, 2)?, NodeId::new(0))?,
+//!     sender_value: Val::Value(42),
+//!     strategies: [(NodeId::new(4), Strategy::ConstantLie(Val::Value(7)))]
+//!         .into_iter()
+//!         .collect(),
+//! };
+//! let text = explain_receiver(&scenario, NodeId::new(1));
+//! assert!(text.contains("decides"));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use crate::adversary::Scenario;
+use crate::eig::FoldStep;
+use crate::value::AgreementValue;
+use simnet::NodeId;
+use std::fmt::Write as _;
+use std::hash::Hash;
+
+/// Renders the complete fold of `receiver`'s view in `scenario`: every
+/// recorded path value, every internal vote, and the final decision.
+///
+/// # Panics
+///
+/// Panics if `receiver` is the sender or out of range.
+pub fn explain_receiver<V>(scenario: &Scenario<V>, receiver: NodeId) -> String
+where
+    V: Clone + Ord + Hash + std::fmt::Display,
+{
+    let instance = &scenario.instance;
+    assert!(
+        receiver != instance.sender() && receiver.index() < instance.n(),
+        "receiver must be a non-sender node of the instance"
+    );
+    let (_, outcome) = scenario.run_full();
+    let view = &outcome.views[&receiver];
+    let faulty = scenario.faulty();
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{instance}; sender value {}; faulty: {}",
+        scenario.sender_value_display(),
+        if faulty.is_empty() {
+            "none".to_string()
+        } else {
+            faulty
+                .iter()
+                .map(|f| f.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        }
+    );
+    let _ = writeln!(out, "view of receiver {receiver}:");
+    for (path, value) in view.entries() {
+        let liar = faulty.contains(&path.last());
+        let _ = writeln!(
+            out,
+            "  {path} -> {value}{}",
+            if liar { "   (relayed by a faulty node)" } else { "" }
+        );
+    }
+    let (decision, steps) = view.resolve_traced(instance.sender(), instance.rule());
+    let _ = writeln!(out, "folds (deepest first):");
+    for FoldStep {
+        path,
+        gathered,
+        result,
+    } in &steps
+    {
+        let n_level = instance.n() - path.len();
+        let m = instance.params().m();
+        let gathered_s = gathered
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join(", ");
+        let _ = writeln!(
+            out,
+            "  at {path}: VOTE({}, {}) of [{gathered_s}] = {result}",
+            n_level - m,
+            n_level
+        );
+    }
+    let _ = writeln!(out, "receiver {receiver} decides {decision}");
+    out
+}
+
+impl<V: std::fmt::Display> Scenario<V> {
+    fn sender_value_display(&self) -> String {
+        match &self.sender_value {
+            AgreementValue::Default => "V_d".to_string(),
+            AgreementValue::Value(v) => v.to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::Strategy;
+    use crate::byz::ByzInstance;
+    use crate::params::Params;
+    use crate::value::Val;
+    use std::collections::BTreeMap;
+
+    fn scenario() -> Scenario<u64> {
+        Scenario {
+            instance: ByzInstance::new(5, Params::new(1, 2).unwrap(), NodeId::new(0)).unwrap(),
+            sender_value: Val::Value(42),
+            strategies: [
+                (NodeId::new(3), Strategy::ConstantLie(Val::Value(7))),
+                (NodeId::new(4), Strategy::ConstantLie(Val::Value(7))),
+            ]
+            .into_iter()
+            .collect::<BTreeMap<_, _>>(),
+        }
+    }
+
+    #[test]
+    fn explanation_names_the_parts() {
+        let text = explain_receiver(&scenario(), NodeId::new(1));
+        assert!(text.contains("BYZ(1,1) on 5 nodes"));
+        assert!(text.contains("faulty: n3, n4"));
+        assert!(text.contains("view of receiver n1"));
+        assert!(text.contains("VOTE(3, 4)"));
+        assert!(text.contains("decides"));
+    }
+
+    #[test]
+    fn explanation_marks_faulty_relays() {
+        let text = explain_receiver(&scenario(), NodeId::new(1));
+        assert!(text.contains("(relayed by a faulty node)"));
+    }
+
+    #[test]
+    fn decision_in_explanation_matches_run() {
+        let sc = scenario();
+        let record = sc.run();
+        let text = explain_receiver(&sc, NodeId::new(2));
+        let expected = format!("receiver n2 decides {}", record.decisions[&NodeId::new(2)]);
+        assert!(text.contains(&expected), "{text}");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-sender")]
+    fn sender_cannot_be_explained() {
+        explain_receiver(&scenario(), NodeId::new(0));
+    }
+
+    #[test]
+    fn traced_resolution_matches_untraced() {
+        let sc = scenario();
+        let (_, outcome) = sc.run_full();
+        for (r, view) in &outcome.views {
+            let (traced, steps) = view.resolve_traced(NodeId::new(0), sc.instance.rule());
+            assert_eq!(traced, view.resolve(NodeId::new(0), sc.instance.rule()));
+            assert!(!steps.is_empty());
+            // the last (outermost) step is the root fold
+            assert_eq!(steps.last().unwrap().path.len(), 1);
+            assert_eq!(&steps.last().unwrap().result, &outcome.decisions[r]);
+        }
+    }
+}

@@ -1,0 +1,312 @@
+//! Degradable **interactive consistency** and the Bhandari boundary.
+//!
+//! Section 2 of the paper contrasts `m/u`-degradable agreement with
+//! Bhandari's impossibility result: algorithms that achieve *interactive
+//! consistency* (every node agrees on a vector of all `N` private values
+//! \[Pease–Shostak–Lamport\]) up to `⌊(N-1)/3⌋` faults **cannot** degrade
+//! gracefully beyond `N/3` faults. The paper notes this does not
+//! contradict degradable agreement because (i) it concerns IC, not
+//! single-sender agreement, and (ii) degradable agreement deliberately
+//! gives up full agreement above `m < ⌊(N-1)/3⌋`.
+//!
+//! This module makes the comparison executable:
+//!
+//! * [`run_degradable_ic`] — `N` parallel BYZ instances, one per sender,
+//!   yielding per-node vectors with degradable per-entry guarantees:
+//!   * `f <= m`: all fault-free nodes hold **identical** vectors whose
+//!     fault-free entries are the true values (classic IC1/IC2);
+//!   * `m < f <= u`: per entry, fault-free nodes split into at most two
+//!     classes (one on `V_d`), and fault-free senders' entries are the
+//!     true value or `V_d` — never a fabricated value.
+//! * [`check_degradable_ic`] — the corresponding condition checker.
+//!
+//! The experiment `bhandari_ic` shows the boundary: a max-strength classic
+//! IC algorithm (`m = ⌊(N-1)/3⌋` via OM) collapses arbitrarily at
+//! `f = m+1`, while degradable IC with a *smaller* `m` keeps its degraded
+//! guarantee up to `u > N/3` faults — the trade Bhandari's theorem says
+//! you must make.
+
+use crate::adversary::Strategy;
+use crate::byz::ByzInstance;
+use crate::params::Params;
+use crate::value::AgreementValue;
+use serde::{Deserialize, Serialize};
+use simnet::NodeId;
+use std::collections::{BTreeMap, BTreeSet};
+use std::hash::Hash;
+
+/// Result of a degradable interactive-consistency round.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IcOutcome<V: Ord> {
+    /// Parameters in force.
+    pub params: Params,
+    /// Private value of each node (ground truth; faulty senders' entries
+    /// are their nominal values and are not constrained by the checker).
+    pub truth: Vec<AgreementValue<V>>,
+    /// The fault set.
+    pub faulty: BTreeSet<NodeId>,
+    /// Per fault-free node, the agreed vector of `n` entries.
+    pub vectors: BTreeMap<NodeId, Vec<AgreementValue<V>>>,
+}
+
+/// Violations of the degradable-IC conditions.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum IcViolation<V: Ord> {
+    /// `f <= m` but two fault-free nodes hold different vectors.
+    VectorsDiffer {
+        /// First holder.
+        a: NodeId,
+        /// Second holder.
+        b: NodeId,
+        /// The disagreeing slot.
+        slot: usize,
+    },
+    /// A fault-free sender's entry is neither its value nor (when
+    /// `f > m`) the default.
+    WrongEntry {
+        /// The holder of the bad entry.
+        holder: NodeId,
+        /// The slot (sender index).
+        slot: usize,
+        /// What was held.
+        held: AgreementValue<V>,
+    },
+    /// `m < f <= u` but some slot has more than two fault-free classes or
+    /// two distinct non-default classes.
+    SlotSplit {
+        /// The offending slot.
+        slot: usize,
+        /// The distinct non-default values observed.
+        values: Vec<AgreementValue<V>>,
+    },
+}
+
+/// Runs degradable interactive consistency: one BYZ instance per sender.
+///
+/// # Panics
+///
+/// Panics if `values.len()` violates the `2m+u+1` bound for `params`.
+pub fn run_degradable_ic<V: Clone + Ord + Hash>(
+    params: Params,
+    values: &[AgreementValue<V>],
+    strategies: &BTreeMap<NodeId, Strategy<V>>,
+) -> IcOutcome<V> {
+    let n = values.len();
+    assert!(params.admits(n), "need at least {} nodes", params.min_nodes());
+    let faulty: BTreeSet<NodeId> = strategies.keys().copied().collect();
+    let mut vectors: BTreeMap<NodeId, Vec<AgreementValue<V>>> = NodeId::all(n)
+        .filter(|r| !faulty.contains(r))
+        .map(|r| (r, vec![AgreementValue::Default; n]))
+        .collect();
+    for s in NodeId::all(n) {
+        let instance = ByzInstance::new(n, params, s).expect("bound checked");
+        let scenario = crate::adversary::Scenario {
+            instance,
+            sender_value: values[s.index()].clone(),
+            strategies: strategies.clone(),
+        };
+        let record = scenario.run();
+        for (r, v) in record.decisions {
+            if let Some(vec) = vectors.get_mut(&r) {
+                vec[s.index()] = v;
+            }
+        }
+        // a fault-free sender trusts its own value
+        if let Some(vec) = vectors.get_mut(&s) {
+            vec[s.index()] = values[s.index()].clone();
+        }
+    }
+    IcOutcome {
+        params,
+        truth: values.to_vec(),
+        faulty,
+        vectors,
+    }
+}
+
+/// Checks the degradable-IC conditions for `outcome`. Returns the first
+/// violation found, or `None` when all applicable conditions hold (or
+/// `f > u`, where nothing is promised).
+pub fn check_degradable_ic<V: Clone + Ord>(outcome: &IcOutcome<V>) -> Option<IcViolation<V>> {
+    let f = outcome.faulty.len();
+    let (m, u) = (outcome.params.m(), outcome.params.u());
+    if f > u {
+        return None;
+    }
+    let n = outcome.truth.len();
+    let holders: Vec<NodeId> = outcome.vectors.keys().copied().collect();
+
+    if f <= m {
+        // identical vectors everywhere...
+        for w in holders.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            for slot in 0..n {
+                if outcome.vectors[&a][slot] != outcome.vectors[&b][slot] {
+                    return Some(IcViolation::VectorsDiffer { a, b, slot });
+                }
+            }
+        }
+        // ...and true entries for fault-free senders.
+        for &holder in &holders {
+            for slot in 0..n {
+                let sender = NodeId::new(slot);
+                if !outcome.faulty.contains(&sender) && holder != sender {
+                    let held = &outcome.vectors[&holder][slot];
+                    if *held != outcome.truth[slot] {
+                        return Some(IcViolation::WrongEntry {
+                            holder,
+                            slot,
+                            held: held.clone(),
+                        });
+                    }
+                }
+            }
+        }
+        return None;
+    }
+
+    // m < f <= u: per slot, entries for fault-free senders must be the true
+    // value or V_d, and non-default entries must agree per slot.
+    for slot in 0..n {
+        let sender = NodeId::new(slot);
+        let sender_ok = !outcome.faulty.contains(&sender);
+        let mut nondefault: BTreeSet<AgreementValue<V>> = BTreeSet::new();
+        for &holder in &holders {
+            if holder == sender {
+                continue;
+            }
+            let held = &outcome.vectors[&holder][slot];
+            if sender_ok && *held != outcome.truth[slot] && !held.is_default() {
+                return Some(IcViolation::WrongEntry {
+                    holder,
+                    slot,
+                    held: held.clone(),
+                });
+            }
+            if !held.is_default() {
+                nondefault.insert(held.clone());
+            }
+        }
+        if nondefault.len() > 1 {
+            return Some(IcViolation::SlotSplit {
+                slot,
+                values: nondefault.into_iter().collect(),
+            });
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Val;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn values(nn: usize) -> Vec<Val> {
+        (0..nn).map(|i| Val::Value(100 + i as u64)).collect()
+    }
+
+    #[test]
+    fn fault_free_ic_is_exact() {
+        let params = Params::new(1, 2).unwrap();
+        let out = run_degradable_ic(params, &values(5), &BTreeMap::new());
+        assert!(check_degradable_ic(&out).is_none());
+        for vec in out.vectors.values() {
+            assert_eq!(*vec, values(5));
+        }
+    }
+
+    #[test]
+    fn one_fault_identical_vectors() {
+        let params = Params::new(1, 2).unwrap();
+        let strategies: BTreeMap<_, _> = [(
+            n(4),
+            Strategy::TwoFaced {
+                even: Val::Value(1),
+                odd: Val::Value(2),
+            },
+        )]
+        .into_iter()
+        .collect();
+        let out = run_degradable_ic(params, &values(5), &strategies);
+        assert!(check_degradable_ic(&out).is_none(), "{out:?}");
+        // All fault-free vectors identical (IC with f <= m):
+        let vecs: BTreeSet<_> = out.vectors.values().cloned().collect();
+        assert_eq!(vecs.len(), 1);
+    }
+
+    #[test]
+    fn two_faults_degrade_gracefully() {
+        let params = Params::new(1, 2).unwrap();
+        let strategies: BTreeMap<_, _> = [
+            (n(3), Strategy::ConstantLie(Val::Value(9))),
+            (n(4), Strategy::ConstantLie(Val::Value(9))),
+        ]
+        .into_iter()
+        .collect();
+        let out = run_degradable_ic(params, &values(5), &strategies);
+        assert!(check_degradable_ic(&out).is_none(), "{out:?}");
+    }
+
+    #[test]
+    fn beyond_u_unchecked() {
+        let params = Params::new(1, 2).unwrap();
+        let strategies: BTreeMap<_, _> = (2..5)
+            .map(|i| (n(i), Strategy::ConstantLie(Val::Value(9))))
+            .collect();
+        let out = run_degradable_ic(params, &values(5), &strategies);
+        assert!(check_degradable_ic(&out).is_none(), "f > u promises nothing");
+    }
+
+    #[test]
+    fn battery_sweep_never_violates() {
+        let params = Params::new(1, 4).unwrap();
+        for f in 0..=4usize {
+            for (name, strat) in Strategy::battery(100, 200, 3) {
+                let strategies: BTreeMap<_, _> = (7 - f..7)
+                    .map(|i| (n(i), strat.clone()))
+                    .collect();
+                let out = run_degradable_ic(params, &values(7), &strategies);
+                assert!(
+                    check_degradable_ic(&out).is_none(),
+                    "f={f} strategy {name}: {:?}",
+                    check_degradable_ic(&out)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn checker_catches_planted_wrong_entry() {
+        let params = Params::new(1, 2).unwrap();
+        let mut out = run_degradable_ic(params, &values(5), &BTreeMap::new());
+        // Plant a fabricated entry for a fault-free sender and mark two
+        // nodes faulty so the degraded branch applies.
+        out.faulty.insert(n(3));
+        out.faulty.insert(n(4));
+        out.vectors.remove(&n(3));
+        out.vectors.remove(&n(4));
+        out.vectors.get_mut(&n(1)).unwrap()[0] = Val::Value(999);
+        assert!(matches!(
+            check_degradable_ic(&out),
+            Some(IcViolation::WrongEntry { slot: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn checker_catches_vector_divergence_below_m() {
+        let params = Params::new(1, 2).unwrap();
+        let mut out = run_degradable_ic(params, &values(5), &BTreeMap::new());
+        out.faulty.insert(n(4));
+        out.vectors.remove(&n(4));
+        out.vectors.get_mut(&n(1)).unwrap()[4] = Val::Value(999);
+        assert!(matches!(
+            check_degradable_ic(&out),
+            Some(IcViolation::VectorsDiffer { .. }) | Some(IcViolation::WrongEntry { .. })
+        ));
+    }
+}

@@ -1,0 +1,181 @@
+//! The `(m, u)` parameter pair defining `m/u`-degradable agreement.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Error constructing [`Params`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParamsError {
+    /// `u < m`: the degraded threshold must dominate the strong one.
+    UStrictlyBelowM {
+        /// Offending `m`.
+        m: usize,
+        /// Offending `u`.
+        u: usize,
+    },
+}
+
+impl fmt::Display for ParamsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            ParamsError::UStrictlyBelowM { m, u } => {
+                write!(f, "invalid degradable-agreement parameters: u = {u} < m = {m}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParamsError {}
+
+/// Parameters of `m/u`-degradable agreement (Section 2 of the paper):
+///
+/// * with at most `m` faulty nodes, full Byzantine agreement (D.1, D.2);
+/// * with more than `m` but at most `u` faulty nodes, degraded agreement
+///   (D.3, D.4): fault-free receivers split into at most two classes, one
+///   of which holds the default value `V_d`.
+///
+/// Invariant: `m <= u`. When `m == u`, degradable agreement coincides with
+/// Lamport's Byzantine agreement.
+///
+/// ```
+/// use degradable::Params;
+/// let p = Params::new(1, 2)?;
+/// assert_eq!(p.min_nodes(), 5);        // 2m + u + 1
+/// assert_eq!(p.min_connectivity(), 4); // m + u + 1
+/// # Ok::<(), degradable::ParamsError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Params {
+    m: usize,
+    u: usize,
+}
+
+impl Params {
+    /// Creates the parameter pair.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamsError::UStrictlyBelowM`] if `u < m`.
+    pub fn new(m: usize, u: usize) -> Result<Self, ParamsError> {
+        if u < m {
+            Err(ParamsError::UStrictlyBelowM { m, u })
+        } else {
+            Ok(Params { m, u })
+        }
+    }
+
+    /// Classic Byzantine agreement tolerating `m` faults (`m == u`).
+    pub fn byzantine(m: usize) -> Self {
+        Params { m, u: m }
+    }
+
+    /// The strong fault threshold `m`.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// The degraded fault threshold `u`.
+    pub fn u(&self) -> usize {
+        self.u
+    }
+
+    /// Minimum number of nodes (`2m + u + 1`, Theorem 2; also sufficient,
+    /// Theorem 1).
+    pub fn min_nodes(&self) -> usize {
+        2 * self.m + self.u + 1
+    }
+
+    /// Minimum network connectivity (`m + u + 1`, Theorem 3).
+    pub fn min_connectivity(&self) -> usize {
+        self.m + self.u + 1
+    }
+
+    /// Whether a system of `n` nodes satisfies the `n > 2m + u` requirement
+    /// of algorithm BYZ.
+    pub fn admits(&self, n: usize) -> bool {
+        n >= self.min_nodes()
+    }
+
+    /// Number of protocol rounds used by our BYZ implementation:
+    /// `m + 1` for `m >= 1`, and 2 for the reconstructed `m = 0` base case
+    /// (sender round + echo round; see `byz` module docs).
+    pub fn rounds(&self) -> usize {
+        self.m.max(1) + 1
+    }
+
+    /// Whether this instance is plain Byzantine agreement (`m == u`).
+    pub fn is_classic(&self) -> bool {
+        self.m == self.u
+    }
+}
+
+impl fmt::Display for Params {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}-degradable", self.m, self.u)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_params() {
+        let p = Params::new(1, 4).unwrap();
+        assert_eq!(p.m(), 1);
+        assert_eq!(p.u(), 4);
+        assert_eq!(p.min_nodes(), 7);
+        assert_eq!(p.min_connectivity(), 6);
+    }
+
+    #[test]
+    fn invalid_params() {
+        assert_eq!(
+            Params::new(3, 2),
+            Err(ParamsError::UStrictlyBelowM { m: 3, u: 2 })
+        );
+    }
+
+    #[test]
+    fn byzantine_special_case() {
+        let p = Params::byzantine(2);
+        assert!(p.is_classic());
+        assert_eq!(p.min_nodes(), 7); // 3m + 1
+    }
+
+    #[test]
+    fn seven_node_tradeoffs_from_paper() {
+        // "given a system consisting of 7 nodes, one may achieve:
+        //  2/2-degradable, 1/4-degradable, or 0/6-degradable agreement."
+        for (m, u) in [(2, 2), (1, 4), (0, 6)] {
+            assert_eq!(Params::new(m, u).unwrap().min_nodes(), 7);
+        }
+    }
+
+    #[test]
+    fn rounds_counts() {
+        assert_eq!(Params::new(0, 3).unwrap().rounds(), 2);
+        assert_eq!(Params::new(1, 2).unwrap().rounds(), 2);
+        assert_eq!(Params::new(2, 2).unwrap().rounds(), 3);
+        assert_eq!(Params::new(3, 4).unwrap().rounds(), 4);
+    }
+
+    #[test]
+    fn admits_threshold() {
+        let p = Params::new(1, 2).unwrap();
+        assert!(!p.admits(4));
+        assert!(p.admits(5));
+        assert!(p.admits(6));
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Params::new(1, 4).unwrap().to_string(), "1/4-degradable");
+    }
+
+    #[test]
+    fn error_display() {
+        let e = Params::new(2, 1).unwrap_err();
+        assert!(e.to_string().contains("u = 1 < m = 2"));
+    }
+}

@@ -1,0 +1,304 @@
+//! Message-passing execution of algorithm BYZ on the `simnet` round engine.
+//!
+//! The reference executor in [`crate::eig`] computes decisions directly
+//! from the adversary's behaviour function; this module runs the *actual
+//! protocol*: real envelopes tagged with relay paths, lock-step rounds,
+//! absence detection, and per-node state. Integration tests assert that
+//! the two executors produce identical decisions on identical scenarios —
+//! the message-passing layer adds (and the tests exercise) the mechanics
+//! the paper assumes away: authenticated sources, per-round delivery, and
+//! detectable absence.
+//!
+//! Honest nodes validate incoming envelopes: the path must have the
+//! claimed sender as its last element (the engine stamps true sources, so
+//! a faulty node cannot impersonate — assumption (c) of the paper), must
+//! not contain the receiver, and must match the current round's level.
+//! Invalid envelopes are dropped, which maps any protocol-confused faulty
+//! node onto the silent/absent case.
+
+use crate::adversary::Strategy;
+use crate::byz::ByzInstance;
+use crate::conditions::RunRecord;
+use crate::eig::EigView;
+use crate::path::Path;
+use crate::value::AgreementValue;
+use simnet::{NodeId, RoundEngine, Topology};
+use std::collections::BTreeMap;
+use std::hash::Hash;
+
+/// A protocol message: the relay path and the claimed value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ByzMsg<V> {
+    /// Relay path; its last element must be the true sender of the
+    /// envelope.
+    pub path: Path,
+    /// The claimed value for that path.
+    pub value: AgreementValue<V>,
+}
+
+/// Result of one message-passing execution.
+#[derive(Debug, Clone)]
+pub struct ProtocolRun<V: Ord> {
+    /// Every receiver's decision.
+    pub decisions: BTreeMap<NodeId, AgreementValue<V>>,
+    /// Network statistics from the engine.
+    pub net: simnet::Outcome,
+}
+
+impl<V: Clone + Ord> ProtocolRun<V> {
+    /// Packages the run for condition checking.
+    pub fn record(
+        &self,
+        instance: &ByzInstance,
+        sender_value: AgreementValue<V>,
+        faulty: std::collections::BTreeSet<NodeId>,
+    ) -> RunRecord<V> {
+        RunRecord {
+            params: instance.params(),
+            n: instance.n(),
+            sender: instance.sender(),
+            sender_value,
+            faulty,
+            decisions: self.decisions.clone(),
+        }
+    }
+}
+
+/// Runs BYZ as a real message-passing protocol on a fully connected
+/// `simnet` topology.
+///
+/// Nodes listed in `strategies` are Byzantine and misbehave accordingly
+/// ([`Strategy::Silent`] nodes genuinely send nothing, exercising absence
+/// detection). `seed` drives the engine (only relevant when a latency
+/// model or omission faults are configured via `engine_setup`).
+pub fn run_protocol<V: Clone + Ord + Hash>(
+    instance: &ByzInstance,
+    sender_value: &AgreementValue<V>,
+    strategies: &BTreeMap<NodeId, Strategy<V>>,
+    seed: u64,
+) -> ProtocolRun<V> {
+    run_protocol_with(instance, sender_value, strategies, seed, |e| e)
+}
+
+/// Like [`run_protocol`], with a hook to customize the engine (fault plan,
+/// latency model, deadline, tracing) before the run.
+pub fn run_protocol_with<V: Clone + Ord + Hash>(
+    instance: &ByzInstance,
+    sender_value: &AgreementValue<V>,
+    strategies: &BTreeMap<NodeId, Strategy<V>>,
+    seed: u64,
+    engine_setup: impl FnOnce(RoundEngine<ByzMsg<V>>) -> RoundEngine<ByzMsg<V>>,
+) -> ProtocolRun<V> {
+    let n = instance.n();
+    let sender = instance.sender();
+    let depth = instance.depth();
+    let mut engine = engine_setup(RoundEngine::new(Topology::complete(n), seed));
+
+    let mut views: Vec<EigView<V>> = (0..n)
+        .map(|i| EigView::new(n, depth, NodeId::new(i)))
+        .collect();
+
+    // Sending a fabricated (or truthful) value to one receiver; Silent
+    // strategies suppress the message entirely.
+    let claim_for = |me: NodeId,
+                     child: &Path,
+                     receiver: NodeId,
+                     truthful: &AgreementValue<V>|
+     -> Option<AgreementValue<V>> {
+        match strategies.get(&me) {
+            None => Some(truthful.clone()),
+            Some(Strategy::Silent) => None,
+            Some(s) => Some(s.claim(child, receiver, truthful)),
+        }
+    };
+
+    let net = engine.run_with(depth + 1, |i, ctx| {
+        let me = NodeId::new(i);
+        let round = ctx.round();
+        // 1. Record this round's deliveries (level = round).
+        let mut to_relay: Vec<(Path, AgreementValue<V>)> = Vec::new();
+        if round >= 1 {
+            for (src, msg) in ctx.inbox().to_vec() {
+                let valid = msg.path.len() == round
+                    && msg.path.last() == src
+                    && !msg.path.contains(me);
+                if !valid {
+                    continue; // malformed claim: treated as absent
+                }
+                views[i].record(msg.path.clone(), msg.value.clone());
+                if round < depth {
+                    to_relay.push((msg.path, msg.value));
+                }
+            }
+        }
+        // 2. Send this round's messages.
+        if round == 0 {
+            if me == sender {
+                let root = Path::root(sender);
+                for r in NodeId::all(n) {
+                    if r == sender {
+                        continue;
+                    }
+                    if let Some(v) = claim_for(me, &root, r, sender_value) {
+                        ctx.send(r, ByzMsg {
+                            path: root.clone(),
+                            value: v,
+                        });
+                    }
+                }
+            }
+        } else {
+            for (path, value) in to_relay {
+                let child = path.child(me);
+                for r in NodeId::all(n) {
+                    if child.contains(r) {
+                        continue;
+                    }
+                    if let Some(v) = claim_for(me, &child, r, &value) {
+                        ctx.send(r, ByzMsg {
+                            path: child.clone(),
+                            value: v,
+                        });
+                    }
+                }
+            }
+        }
+    });
+
+    let decisions = NodeId::all(n)
+        .filter(|r| *r != sender)
+        .map(|r| (r, views[r.index()].resolve(sender, instance.rule())))
+        .collect();
+    ProtocolRun { decisions, net }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::Scenario;
+    use crate::analysis::message_complexity;
+    use crate::params::Params;
+    use crate::value::Val;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn instance(nodes: usize, m: usize, u: usize) -> ByzInstance {
+        ByzInstance::new(nodes, Params::new(m, u).unwrap(), n(0)).unwrap()
+    }
+
+    #[test]
+    fn fault_free_run_delivers_sender_value() {
+        let inst = instance(5, 1, 2);
+        let run = run_protocol(&inst, &Val::Value(7), &BTreeMap::new(), 1);
+        assert_eq!(run.decisions.len(), 4);
+        assert!(run.decisions.values().all(|v| *v == Val::Value(7)));
+    }
+
+    #[test]
+    fn message_count_matches_formula() {
+        for (nodes, m, u) in [(5usize, 1usize, 2usize), (7, 2, 2), (4, 1, 1)] {
+            let inst = instance(nodes, m, u);
+            let run = run_protocol(&inst, &Val::Value(1), &BTreeMap::new(), 1);
+            assert_eq!(
+                run.net.sent as u128,
+                message_complexity(nodes, inst.depth()),
+                "N={nodes} m={m}"
+            );
+        }
+    }
+
+    #[test]
+    fn silent_node_sends_nothing() {
+        let inst = instance(5, 1, 2);
+        let strategies: BTreeMap<_, _> = [(n(3), Strategy::Silent)].into_iter().collect();
+        let full = run_protocol(&inst, &Val::Value(7), &BTreeMap::new(), 1);
+        let run = run_protocol(&inst, &Val::Value(7), &strategies, 1);
+        assert!(run.net.sent < full.net.sent);
+        // Fault-free receivers still decide the sender's value.
+        for r in [1, 2, 4] {
+            assert_eq!(run.decisions[&n(r)], Val::Value(7));
+        }
+    }
+
+    #[test]
+    fn protocol_matches_reference_executor() {
+        // Same scenarios through both executors must give identical
+        // decisions.
+        #[allow(clippy::type_complexity)]
+        let cases: Vec<(usize, usize, usize, Vec<(usize, Strategy<u64>)>)> = vec![
+            (5, 1, 2, vec![(3, Strategy::ConstantLie(Val::Value(9)))]),
+            (
+                5,
+                1,
+                2,
+                vec![
+                    (3, Strategy::ConstantLie(Val::Value(9))),
+                    (4, Strategy::TwoFaced {
+                        even: Val::Value(1),
+                        odd: Val::Value(2),
+                    }),
+                ],
+            ),
+            (
+                7,
+                2,
+                2,
+                vec![
+                    (0, Strategy::TwoFaced {
+                        even: Val::Value(1),
+                        odd: Val::Value(2),
+                    }),
+                    (6, Strategy::RandomLie {
+                        domain: vec![Val::Default, Val::Value(1), Val::Value(2)],
+                        seed: 11,
+                    }),
+                ],
+            ),
+            (5, 0, 4, vec![(2, Strategy::Silent), (3, Strategy::PretendSenderSaid(Val::Value(5)))]),
+        ];
+        for (nodes, m, u, strat) in cases {
+            let inst = instance(nodes, m, u);
+            let strategies: BTreeMap<NodeId, Strategy<u64>> =
+                strat.into_iter().map(|(i, s)| (n(i), s)).collect();
+            let sc = Scenario {
+                instance: inst,
+                sender_value: Val::Value(7),
+                strategies: strategies.clone(),
+            };
+            let reference = sc.run().decisions;
+            let protocol = run_protocol(&inst, &Val::Value(7), &strategies, 3).decisions;
+            assert_eq!(reference, protocol, "N={nodes} m={m} u={u}");
+        }
+    }
+
+    #[test]
+    fn faulty_sender_two_faced_protocol() {
+        let inst = instance(5, 1, 2);
+        let strategies: BTreeMap<_, _> = [(
+            n(0),
+            Strategy::TwoFaced {
+                even: Val::Value(1),
+                odd: Val::Value(2),
+            },
+        )]
+        .into_iter()
+        .collect();
+        let run = run_protocol(&inst, &Val::Value(0), &strategies, 1);
+        // f = 1 <= m: all fault-free receivers must agree (D.2).
+        let distinct: std::collections::BTreeSet<_> = run.decisions.values().collect();
+        assert_eq!(distinct.len(), 1, "{:?}", run.decisions);
+    }
+
+    #[test]
+    fn record_packaging() {
+        let inst = instance(5, 1, 2);
+        let strategies: BTreeMap<_, _> = [(n(4), Strategy::Silent)].into_iter().collect();
+        let run = run_protocol(&inst, &Val::Value(7), &strategies, 1);
+        let rec = run.record(&inst, Val::Value(7), [n(4)].into_iter().collect());
+        assert_eq!(rec.f(), 1);
+        assert!(!rec.sender_faulty());
+        assert!(crate::conditions::check_degradable(&rec).is_satisfied());
+    }
+}

@@ -1,0 +1,275 @@
+//! Batched agreement: many concurrent BYZ instances multiplexed over one
+//! message-passing execution.
+//!
+//! A deployed system rarely runs one agreement at a time — interactive
+//! consistency needs `N` instances (one per sender), a replicated log
+//! pipelines slots, and the channel systems of Section 3 agree on a stream
+//! of sensor readings. [`run_batch`] runs any number of instances
+//! *concurrently* on the `simnet` round engine: every envelope carries an
+//! instance id, all instances advance in lock-step (they share the `m+1`
+//! round structure), and each node folds one [`EigView`] per instance at
+//! the end.
+//!
+//! The faulty nodes' strategies apply uniformly across instances (the
+//! same Byzantine node misbehaves everywhere), which matches the fault
+//! model: `f` counts *nodes*, not (node, instance) pairs.
+//!
+//! Integration tests assert that a batch is decision-identical to running
+//! the same instances one at a time — multiplexing is purely a transport
+//! optimization: one engine run instead of `K`, with the same total
+//! message count.
+
+use crate::adversary::Strategy;
+use crate::eig::EigView;
+use crate::params::Params;
+use crate::path::Path;
+use crate::value::AgreementValue;
+use simnet::{NodeId, RoundEngine, Topology};
+use std::collections::BTreeMap;
+use std::hash::Hash;
+
+/// One instance of a batch: who sends what.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchInstance<V> {
+    /// The designated sender.
+    pub sender: NodeId,
+    /// The sender's value.
+    pub value: AgreementValue<V>,
+}
+
+/// A multiplexed protocol message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchMsg<V> {
+    /// Which instance this envelope belongs to.
+    pub instance: u32,
+    /// Relay path within that instance.
+    pub path: Path,
+    /// Claimed value.
+    pub value: AgreementValue<V>,
+}
+
+/// Result of a batched execution.
+#[derive(Debug, Clone)]
+pub struct BatchRun<V: Ord> {
+    /// Per instance (in input order): every receiver's decision.
+    pub decisions: Vec<BTreeMap<NodeId, AgreementValue<V>>>,
+    /// Network statistics of the single multiplexed engine run.
+    pub net: simnet::Outcome,
+}
+
+/// Runs `instances` concurrently over one engine execution.
+///
+/// # Panics
+///
+/// Panics if any instance's sender is out of range, or `n` violates the
+/// node bound for `params`.
+pub fn run_batch<V: Clone + Ord + Hash>(
+    params: Params,
+    n: usize,
+    instances: &[BatchInstance<V>],
+    strategies: &BTreeMap<NodeId, Strategy<V>>,
+    seed: u64,
+) -> BatchRun<V> {
+    assert!(params.admits(n), "need at least {} nodes", params.min_nodes());
+    let depth = params.rounds();
+    let rule = crate::eig::VoteRule::Degradable { m: params.m() };
+    for inst in instances {
+        assert!(inst.sender.index() < n, "sender {} out of range", inst.sender);
+    }
+    let mut engine: RoundEngine<BatchMsg<V>> = RoundEngine::new(Topology::complete(n), seed);
+
+    // views[node][instance]
+    let mut views: Vec<Vec<EigView<V>>> = (0..n)
+        .map(|i| {
+            instances
+                .iter()
+                .map(|_| EigView::new(n, depth, NodeId::new(i)))
+                .collect()
+        })
+        .collect();
+
+    let claim_for = |me: NodeId,
+                     child: &Path,
+                     receiver: NodeId,
+                     truthful: &AgreementValue<V>|
+     -> Option<AgreementValue<V>> {
+        match strategies.get(&me) {
+            None => Some(truthful.clone()),
+            Some(Strategy::Silent) => None,
+            Some(s) => Some(s.claim(child, receiver, truthful)),
+        }
+    };
+
+    let net = engine.run_with(depth + 1, |i, ctx| {
+        let me = NodeId::new(i);
+        let round = ctx.round();
+        let mut to_relay: Vec<(u32, Path, AgreementValue<V>)> = Vec::new();
+        if round >= 1 {
+            for (src, msg) in ctx.inbox().to_vec() {
+                let idx = msg.instance as usize;
+                let valid = idx < instances.len()
+                    && msg.path.len() == round
+                    && msg.path.last() == src
+                    && !msg.path.contains(me);
+                if !valid {
+                    continue;
+                }
+                views[i][idx].record(msg.path.clone(), msg.value.clone());
+                if round < depth {
+                    to_relay.push((msg.instance, msg.path, msg.value));
+                }
+            }
+        }
+        if round == 0 {
+            for (idx, inst) in instances.iter().enumerate() {
+                if inst.sender != me {
+                    continue;
+                }
+                let root = Path::root(inst.sender);
+                for r in NodeId::all(n) {
+                    if r == me {
+                        continue;
+                    }
+                    if let Some(v) = claim_for(me, &root, r, &inst.value) {
+                        ctx.send(r, BatchMsg {
+                            instance: idx as u32,
+                            path: root.clone(),
+                            value: v,
+                        });
+                    }
+                }
+            }
+        } else {
+            for (instance, path, value) in to_relay {
+                let child = path.child(me);
+                for r in NodeId::all(n) {
+                    if child.contains(r) {
+                        continue;
+                    }
+                    if let Some(v) = claim_for(me, &child, r, &value) {
+                        ctx.send(r, BatchMsg {
+                            instance,
+                            path: child.clone(),
+                            value: v,
+                        });
+                    }
+                }
+            }
+        }
+    });
+
+    let decisions = instances
+        .iter()
+        .enumerate()
+        .map(|(idx, inst)| {
+            NodeId::all(n)
+                .filter(|r| *r != inst.sender)
+                .map(|r| (r, views[r.index()][idx].resolve(inst.sender, rule)))
+                .collect()
+        })
+        .collect();
+    BatchRun { decisions, net }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::byz::ByzInstance;
+    use crate::protocol::run_protocol;
+    use crate::value::Val;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn params() -> Params {
+        Params::new(1, 2).unwrap()
+    }
+
+    #[test]
+    fn batch_matches_sequential_runs() {
+        let strategies: BTreeMap<NodeId, Strategy<u64>> = [
+            (n(3), Strategy::ConstantLie(Val::Value(9))),
+            (
+                n(4),
+                Strategy::TwoFaced {
+                    even: Val::Value(1),
+                    odd: Val::Value(2),
+                },
+            ),
+        ]
+        .into_iter()
+        .collect();
+        let instances: Vec<BatchInstance<u64>> = vec![
+            BatchInstance { sender: n(0), value: Val::Value(10) },
+            BatchInstance { sender: n(1), value: Val::Value(20) },
+            BatchInstance { sender: n(4), value: Val::Value(30) },
+        ];
+        let batch = run_batch(params(), 5, &instances, &strategies, 1);
+        for (i, inst) in instances.iter().enumerate() {
+            let single = ByzInstance::new(5, params(), inst.sender).unwrap();
+            let solo = run_protocol(&single, &inst.value, &strategies, 1);
+            assert_eq!(batch.decisions[i], solo.decisions, "instance {i}");
+        }
+    }
+
+    #[test]
+    fn batch_message_count_is_sum_of_singles() {
+        let instances: Vec<BatchInstance<u64>> = (0..4)
+            .map(|i| BatchInstance {
+                sender: n(i),
+                value: Val::Value(i as u64),
+            })
+            .collect();
+        let batch = run_batch(params(), 5, &instances, &BTreeMap::new(), 1);
+        let single = crate::analysis::message_complexity(5, params().rounds());
+        assert_eq!(batch.net.sent as u128, 4 * single);
+        // ... but only one engine run: depth+1 rounds total.
+        assert_eq!(batch.net.rounds_run, params().rounds() + 1);
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let batch = run_batch::<u64>(params(), 5, &[], &BTreeMap::new(), 1);
+        assert!(batch.decisions.is_empty());
+        assert_eq!(batch.net.sent, 0);
+    }
+
+    #[test]
+    fn interactive_consistency_via_batch() {
+        // One instance per sender = IC; every fault-free node's vector
+        // must match the dedicated IC runner's (degradable variant).
+        let values: Vec<Val> = (0..5).map(|i| Val::Value(100 + i as u64)).collect();
+        let strategies: BTreeMap<NodeId, Strategy<u64>> =
+            [(n(4), Strategy::ConstantLie(Val::Value(9)))].into_iter().collect();
+        let instances: Vec<BatchInstance<u64>> = (0..5)
+            .map(|i| BatchInstance {
+                sender: n(i),
+                value: values[i],
+            })
+            .collect();
+        let batch = run_batch(params(), 5, &instances, &strategies, 1);
+        let ic = crate::ic::run_degradable_ic(params(), &values, &strategies);
+        for (slot, decisions) in batch.decisions.iter().enumerate() {
+            for (r, vec) in &ic.vectors {
+                if *r == n(slot) {
+                    continue; // senders trust themselves in the IC runner
+                }
+                assert_eq!(
+                    decisions[r], vec[slot],
+                    "slot {slot}, receiver {r}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn sender_range_checked() {
+        let instances = vec![BatchInstance {
+            sender: n(9),
+            value: Val::Value(1),
+        }];
+        run_batch(params(), 5, &instances, &BTreeMap::new(), 1);
+    }
+}

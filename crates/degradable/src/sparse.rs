@@ -1,0 +1,420 @@
+//! Algorithm BYZ over sparse topologies (Theorem 3).
+//!
+//! BYZ assumes full connectivity; on a sparse network every point-to-point
+//! message instead travels over `m+u+1` vertex-disjoint paths
+//! ([`simnet::RelayNetwork`]) and is accepted under the degradable delivery
+//! rule. The composite guarantees (module docs of [`simnet::routing`]):
+//!
+//! * `f <= m` — all messages between fault-free nodes delivered intact:
+//!   BYZ behaves exactly as on the complete graph, so D.1/D.2 hold;
+//! * `m < f <= u` — messages between fault-free nodes are delivered intact
+//!   **or absent** (`V_d`), never altered: exactly the relaxed assumptions
+//!   of Section 6.1 under which D.3/D.4 still hold.
+//!
+//! Below the Theorem 3 bound (connectivity `<= m+u`) the adversary can
+//! place its faults on a vertex cut and fully control the traffic between
+//! the two sides; [`run_sparse`] with `allow_below_bound` exposes that
+//! failure mode for the connectivity experiments.
+
+use crate::adversary::Strategy;
+use crate::byz::ByzInstance;
+use crate::conditions::RunRecord;
+use crate::eig::EigView;
+use crate::path::{paths_of_length, Path};
+use crate::value::AgreementValue;
+use simnet::routing::{CopyAction, RelayError, RelayHop, RelayNetwork};
+use simnet::routing::Delivery;
+use simnet::{NodeId, Topology};
+use std::collections::{BTreeMap, BTreeSet};
+use std::hash::Hash;
+
+/// How faulty *intermediate* nodes treat protocol traffic relayed through
+/// them (their behaviour as protocol *participants* is still governed by
+/// their [`Strategy`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RelayCorruption<V> {
+    /// Forward everything unchanged (faults attack only as participants).
+    Forward,
+    /// Drop every copy passing through.
+    DropAll,
+    /// Replace every copy with a fixed value.
+    ReplaceWith(AgreementValue<V>),
+}
+
+impl<V: Clone> RelayCorruption<V> {
+    fn action(&self, _hop: RelayHop) -> CopyAction<AgreementValue<V>> {
+        match self {
+            RelayCorruption::Forward => CopyAction::Forward,
+            RelayCorruption::DropAll => CopyAction::Drop,
+            RelayCorruption::ReplaceWith(v) => CopyAction::Replace(v.clone()),
+        }
+    }
+}
+
+/// Result of a sparse-network execution.
+#[derive(Debug, Clone)]
+pub struct SparseRun<V: Ord> {
+    /// Every receiver's decision.
+    pub decisions: BTreeMap<NodeId, AgreementValue<V>>,
+    /// Count of point-to-point transmissions whose delivery degraded to
+    /// absent at the relay layer (between *fault-free* endpoint pairs).
+    pub degraded_deliveries: usize,
+}
+
+impl<V: Clone + Ord> SparseRun<V> {
+    /// Packages the run for condition checking.
+    pub fn record(
+        &self,
+        instance: &ByzInstance,
+        sender_value: AgreementValue<V>,
+        faulty: BTreeSet<NodeId>,
+    ) -> RunRecord<V> {
+        RunRecord {
+            params: instance.params(),
+            n: instance.n(),
+            sender: instance.sender(),
+            sender_value,
+            faulty,
+            decisions: self.decisions.clone(),
+        }
+    }
+}
+
+/// Runs BYZ over `topo`, relaying every point-to-point message across
+/// vertex-disjoint paths with degradable delivery.
+///
+/// With `allow_below_bound = false` the topology must provide `m+u+1`
+/// disjoint paths between every pair (Theorem 3's sufficient condition);
+/// otherwise an error is returned. With `allow_below_bound = true` the run
+/// proceeds with however many paths exist — used to demonstrate failures
+/// below the bound.
+///
+/// # Errors
+///
+/// [`RelayError::InsufficientConnectivity`] when the bound is enforced and
+/// violated.
+pub fn run_sparse<V: Clone + Ord + Hash>(
+    instance: &ByzInstance,
+    topo: &Topology,
+    sender_value: &AgreementValue<V>,
+    strategies: &BTreeMap<NodeId, Strategy<V>>,
+    corruption: &RelayCorruption<V>,
+    allow_below_bound: bool,
+) -> Result<SparseRun<V>, RelayError> {
+    let params = instance.params();
+    let relay = if allow_below_bound {
+        RelayNetwork::new_unchecked(topo, params.m(), params.u())
+    } else {
+        RelayNetwork::new(topo, params.m(), params.u())?
+    };
+    let n = instance.n();
+    let sender = instance.sender();
+    let depth = instance.depth();
+    let faulty: BTreeSet<NodeId> = strategies.keys().copied().collect();
+    let mut degraded = 0usize;
+
+    // transmit src -> dst through the relay fabric.
+    let send =
+        |src: NodeId, dst: NodeId, value: &AgreementValue<V>, degraded: &mut usize| {
+            let mut adversary = |hop: RelayHop| corruption.action(hop);
+            let d = relay.transmit(src, dst, value, &faulty, &mut adversary);
+            match d {
+                Delivery::Accepted(v) => Some(v),
+                Delivery::Absent => {
+                    if !faulty.contains(&src) && !faulty.contains(&dst) {
+                        *degraded += 1;
+                    }
+                    None
+                }
+            }
+        };
+
+    // store[path][r]: value receiver r holds for path (None = absent).
+    let mut store: BTreeMap<Path, Vec<Option<AgreementValue<V>>>> = BTreeMap::new();
+
+    // Level 1.
+    let root = Path::root(sender);
+    let mut root_vals: Vec<Option<AgreementValue<V>>> = vec![None; n];
+    for r in NodeId::all(n) {
+        if r == sender {
+            continue;
+        }
+        let claimed: Option<AgreementValue<V>> = match strategies.get(&sender) {
+            None => Some(sender_value.clone()),
+            Some(Strategy::Silent) => None,
+            Some(s) => Some(s.claim(&root, r, sender_value)),
+        };
+        root_vals[r.index()] = claimed.and_then(|v| send(sender, r, &v, &mut degraded));
+    }
+    store.insert(root.clone(), root_vals);
+
+    // Levels 2..=depth.
+    for level in 2..=depth {
+        for sigma in paths_of_length(sender, n, level - 1) {
+            for child in sigma.children(n) {
+                let relayer = child.last();
+                // What the relayer holds for sigma (absent reads as V_d).
+                let held: AgreementValue<V> = store[&sigma][relayer.index()]
+                    .clone()
+                    .unwrap_or_default();
+                let mut vals: Vec<Option<AgreementValue<V>>> = vec![None; n];
+                for r in NodeId::all(n) {
+                    if child.contains(r) {
+                        continue;
+                    }
+                    let claimed: Option<AgreementValue<V>> = match strategies.get(&relayer) {
+                        None => Some(held.clone()),
+                        Some(Strategy::Silent) => None,
+                        Some(s) => Some(s.claim(&child, r, &held)),
+                    };
+                    vals[r.index()] =
+                        claimed.and_then(|v| send(relayer, r, &v, &mut degraded));
+                }
+                store.insert(child, vals);
+            }
+        }
+    }
+
+    // Fold.
+    let mut decisions = BTreeMap::new();
+    for r in NodeId::all(n) {
+        if r == sender {
+            continue;
+        }
+        let mut view = EigView::new(n, depth, r);
+        for (path, vals) in &store {
+            if path.contains(r) {
+                continue;
+            }
+            if let Some(v) = vals[r.index()].clone() {
+                view.record(path.clone(), v);
+            }
+        }
+        decisions.insert(r, view.resolve(sender, instance.rule()));
+    }
+    Ok(SparseRun {
+        decisions,
+        degraded_deliveries: degraded,
+    })
+}
+
+/// The Theorem 3 proof topology: the sender (node 0) is connected *only*
+/// to a cut `F = {1, …, cut_size}`, while all other nodes (and the cut)
+/// form a complete subgraph. The graph's vertex connectivity is exactly
+/// `cut_size` (removing `F` isolates the sender), so choosing
+/// `cut_size = m+u` realizes the "connectivity `m+u`" premise of the
+/// theorem's impossibility argument with a maximally connected remainder.
+pub fn sender_cut_topology(n: usize, cut_size: usize) -> Topology {
+    assert!(cut_size + 1 < n, "need at least one node beyond the cut");
+    let mut g = simnet::Graph::empty(n);
+    for a in 1..n {
+        for b in (a + 1)..n {
+            g.add_edge(NodeId::new(a), NodeId::new(b));
+        }
+    }
+    for c in 1..=cut_size {
+        g.add_edge(NodeId::new(0), NodeId::new(c));
+    }
+    Topology::from_graph(format!("sender-cut({cut_size},{n})"), g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conditions::check_degradable;
+    use crate::params::Params;
+    use crate::value::Val;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn instance(nodes: usize, m: usize, u: usize) -> ByzInstance {
+        ByzInstance::new(nodes, Params::new(m, u).unwrap(), n(0)).unwrap()
+    }
+
+    #[test]
+    fn complete_topology_matches_reference() {
+        let inst = instance(5, 1, 2);
+        let strategies: BTreeMap<_, _> =
+            [(n(3), Strategy::ConstantLie(Val::Value(9)))].into_iter().collect();
+        let sparse = run_sparse(
+            &inst,
+            &Topology::complete(5),
+            &Val::Value(7),
+            &strategies,
+            &RelayCorruption::Forward,
+            false,
+        )
+        .unwrap();
+        let sc = crate::adversary::Scenario {
+            instance: inst,
+            sender_value: Val::Value(7),
+            strategies,
+        };
+        assert_eq!(sparse.decisions, sc.run().decisions);
+        assert_eq!(sparse.degraded_deliveries, 0);
+    }
+
+    #[test]
+    fn harary_at_connectivity_bound_satisfies_conditions() {
+        // 1/2-degradable on 8 nodes over H(4,8): connectivity exactly
+        // m+u+1 = 4. Two faults, corrupting both as participants and as
+        // relays.
+        let inst = instance(8, 1, 2);
+        let topo = Topology::harary(4, 8);
+        let strategies: BTreeMap<_, _> = [
+            (n(3), Strategy::ConstantLie(Val::Value(9))),
+            (n(5), Strategy::ConstantLie(Val::Value(9))),
+        ]
+        .into_iter()
+        .collect();
+        let run = run_sparse(
+            &inst,
+            &topo,
+            &Val::Value(7),
+            &strategies,
+            &RelayCorruption::ReplaceWith(Val::Value(9)),
+            false,
+        )
+        .unwrap();
+        let rec = run.record(&inst, Val::Value(7), [n(3), n(5)].into_iter().collect());
+        let verdict = check_degradable(&rec);
+        assert!(verdict.is_satisfied(), "{verdict:?}");
+    }
+
+    #[test]
+    fn single_fault_on_sparse_graph_gives_full_agreement() {
+        // f = 1 <= m: despite relays through the faulty node, D.1 holds
+        // with the *sender's exact value* (no degradation).
+        let inst = instance(8, 1, 2);
+        let topo = Topology::harary(4, 8);
+        let strategies: BTreeMap<_, _> =
+            [(n(4), Strategy::ConstantLie(Val::Value(9)))].into_iter().collect();
+        let run = run_sparse(
+            &inst,
+            &topo,
+            &Val::Value(7),
+            &strategies,
+            &RelayCorruption::ReplaceWith(Val::Value(9)),
+            false,
+        )
+        .unwrap();
+        for r in 1..8 {
+            if r == 4 {
+                continue;
+            }
+            assert_eq!(run.decisions[&n(r)], Val::Value(7), "receiver {r}");
+        }
+    }
+
+    #[test]
+    fn below_connectivity_bound_rejected_by_default() {
+        let inst = instance(8, 1, 2);
+        let topo = Topology::harary(3, 8); // connectivity 3 < 4
+        let err = run_sparse(
+            &inst,
+            &topo,
+            &Val::Value(7),
+            &BTreeMap::new(),
+            &RelayCorruption::Forward,
+            false,
+        )
+        .unwrap_err();
+        assert!(matches!(err, RelayError::InsufficientConnectivity { .. }));
+    }
+
+    #[test]
+    fn cut_adversary_breaks_below_connectivity_bound() {
+        // The Theorem 3 proof structure for (m,u) = (1,2): the sender's
+        // only links go through a cut F of size m+u = 3; the subset
+        // F_2 = {2,3} of size u is faulty, corrupting crossing copies to 9
+        // and lying 9 as protocol participants. A sender message reaches
+        // each receiver over 3 disjoint paths: one honest copy (7, via
+        // node 1) and two corrupted (9) — with only k = m+u paths the
+        // acceptance rule sees u = k-m copies of 9 and just m < m+1 honest
+        // copies, so it accepts the *wrong* value. Every fault-free
+        // receiver beyond the cut then decides 9 while the fault-free
+        // sender sent 7: D.3 violated with f = u faults.
+        let params = Params::new(1, 2).unwrap();
+        let inst = ByzInstance::new(8, params, n(0)).unwrap();
+        let topo = sender_cut_topology(8, 3);
+        assert_eq!(simnet::vertex_connectivity(topo.graph()), 3);
+        let f2 = [n(2), n(3)];
+        let strategies: BTreeMap<_, _> = f2
+            .iter()
+            .map(|&c| (c, Strategy::ConstantLie(Val::Value(9))))
+            .collect();
+        let run = run_sparse(
+            &inst,
+            &topo,
+            &Val::Value(7),
+            &strategies,
+            &RelayCorruption::ReplaceWith(Val::Value(9)),
+            true,
+        )
+        .unwrap();
+        let rec = run.record(&inst, Val::Value(7), f2.into_iter().collect());
+        let verdict = check_degradable(&rec);
+        assert!(
+            verdict.is_violated(),
+            "expected violation below connectivity bound: {verdict:?}"
+        );
+    }
+
+    #[test]
+    fn same_cut_attack_harmless_at_connectivity_bound() {
+        // Control: widen the cut to m+u+1 = 4. The same adversary can no
+        // longer force a wrong acceptance (2 corrupted copies of 4 never
+        // reach the k-m = 3 threshold); deliveries degrade to absent at
+        // worst and D.3 holds.
+        let params = Params::new(1, 2).unwrap();
+        let inst = ByzInstance::new(8, params, n(0)).unwrap();
+        let topo = sender_cut_topology(8, 4);
+        assert_eq!(simnet::vertex_connectivity(topo.graph()), 4);
+        let f2 = [n(2), n(3)];
+        let strategies: BTreeMap<_, _> = f2
+            .iter()
+            .map(|&c| (c, Strategy::ConstantLie(Val::Value(9))))
+            .collect();
+        let run = run_sparse(
+            &inst,
+            &topo,
+            &Val::Value(7),
+            &strategies,
+            &RelayCorruption::ReplaceWith(Val::Value(9)),
+            false,
+        )
+        .unwrap();
+        let rec = run.record(&inst, Val::Value(7), f2.into_iter().collect());
+        let verdict = check_degradable(&rec);
+        assert!(verdict.is_satisfied(), "{verdict:?}");
+    }
+
+    #[test]
+    fn degraded_deliveries_counted() {
+        // With f = u = 2 > m = 1 faults acting as relay droppers on a
+        // minimal-connectivity graph, some fault-free pair loses messages.
+        let inst = instance(8, 1, 2);
+        let topo = Topology::harary(4, 8);
+        let strategies: BTreeMap<_, _> = [
+            (n(2), Strategy::Truthful),
+            (n(6), Strategy::Truthful),
+        ]
+        .into_iter()
+        .collect();
+        let run = run_sparse(
+            &inst,
+            &topo,
+            &Val::Value(7),
+            &strategies,
+            &RelayCorruption::DropAll,
+            false,
+        )
+        .unwrap();
+        assert!(run.degraded_deliveries > 0);
+        // Conditions must still hold (degraded, not broken).
+        let rec = run.record(&inst, Val::Value(7), [n(2), n(6)].into_iter().collect());
+        assert!(check_degradable(&rec).is_satisfied());
+    }
+}

@@ -1,0 +1,137 @@
+//! Agreement values and the distinguished default value `V_d`.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A value circulating in an agreement protocol: either a proper value of
+/// type `V` or the **default value `V_d`**, which the paper requires to be
+/// *distinguishable from all other values*.
+///
+/// Encoding the default as a dedicated enum variant (rather than a reserved
+/// bit pattern of `V`) makes that distinguishability a type-level
+/// guarantee: no proper value can collide with `V_d`.
+///
+/// ```
+/// use degradable::AgreementValue;
+/// let v: AgreementValue<u64> = AgreementValue::Value(7);
+/// assert!(!v.is_default());
+/// assert!(AgreementValue::<u64>::Default.is_default());
+/// assert_ne!(v, AgreementValue::Default);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum AgreementValue<V> {
+    /// The default value `V_d`.
+    Default,
+    /// A proper (non-default) value.
+    Value(V),
+}
+
+/// The value type used throughout the experiments: 64-bit payloads.
+pub type Val = AgreementValue<u64>;
+
+impl<V> AgreementValue<V> {
+    /// Whether this is the default value `V_d`.
+    pub fn is_default(&self) -> bool {
+        matches!(self, AgreementValue::Default)
+    }
+
+    /// The proper value, if any.
+    pub fn value(&self) -> Option<&V> {
+        match self {
+            AgreementValue::Default => None,
+            AgreementValue::Value(v) => Some(v),
+        }
+    }
+
+    /// Consumes `self`, returning the proper value if any.
+    pub fn into_value(self) -> Option<V> {
+        match self {
+            AgreementValue::Default => None,
+            AgreementValue::Value(v) => Some(v),
+        }
+    }
+
+    /// Maps the proper value, preserving `Default`.
+    pub fn map<W>(self, f: impl FnOnce(V) -> W) -> AgreementValue<W> {
+        match self {
+            AgreementValue::Default => AgreementValue::Default,
+            AgreementValue::Value(v) => AgreementValue::Value(f(v)),
+        }
+    }
+
+    /// Borrowing variant of [`AgreementValue::map`].
+    pub fn as_ref(&self) -> AgreementValue<&V> {
+        match self {
+            AgreementValue::Default => AgreementValue::Default,
+            AgreementValue::Value(v) => AgreementValue::Value(v),
+        }
+    }
+}
+
+impl<V> Default for AgreementValue<V> {
+    /// The `Default` trait instance is, fittingly, `V_d`.
+    fn default() -> Self {
+        AgreementValue::Default
+    }
+}
+
+impl<V> From<V> for AgreementValue<V> {
+    fn from(v: V) -> Self {
+        AgreementValue::Value(v)
+    }
+}
+
+impl<V: fmt::Display> fmt::Display for AgreementValue<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AgreementValue::Default => write!(f, "V_d"),
+            AgreementValue::Value(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_distinguishable() {
+        assert_ne!(Val::Default, Val::Value(0));
+        assert_ne!(Val::Default, Val::Value(u64::MAX));
+        assert_eq!(Val::Default, Val::Default);
+    }
+
+    #[test]
+    fn accessors() {
+        let v = Val::Value(3);
+        assert_eq!(v.value(), Some(&3));
+        assert_eq!(v.into_value(), Some(3));
+        assert_eq!(Val::Default.value(), None);
+        assert!(Val::default().is_default());
+    }
+
+    #[test]
+    fn map_preserves_default() {
+        assert_eq!(Val::Default.map(|x| x + 1), Val::Default);
+        assert_eq!(Val::Value(1).map(|x| x + 1), Val::Value(2));
+    }
+
+    #[test]
+    fn display_marks_default() {
+        assert_eq!(Val::Default.to_string(), "V_d");
+        assert_eq!(Val::Value(9).to_string(), "9");
+    }
+
+    #[test]
+    fn from_value() {
+        let v: Val = 5u64.into();
+        assert_eq!(v, Val::Value(5));
+    }
+
+    #[test]
+    fn ordering_puts_default_first() {
+        // Not semantically required, but relied upon for deterministic
+        // BTreeMap iteration in vote counting.
+        assert!(Val::Default < Val::Value(0));
+    }
+}

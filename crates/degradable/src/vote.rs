@@ -1,0 +1,161 @@
+//! The `VOTE(α, β)` primitive of Section 4, and the majority vote used by
+//! the Lamport–Shostak–Pease baseline.
+//!
+//! > Define VOTE(α, β) of values `w_1 … w_β` as ω if at least α of the
+//! > values are equal to ω, else VOTE(α, β) is defined to be the default
+//! > value `V_d`. Also, in case of a tie, define VOTE(α, β) = `V_d`.
+//!
+//! Paper examples (reproduced in the tests below): `VOTE(2,4)` of
+//! `1, 2, 2, 3` is `2`; of `1, 2, 0, 3` is `V_d`; of `1, 2, 2, 1` is `V_d`
+//! because of the tie.
+
+use crate::value::AgreementValue;
+use std::collections::BTreeMap;
+
+/// `VOTE(α, β)` where `β = values.len()`: returns the unique value with at
+/// least `alpha` occurrences, or `V_d` if there is none or the threshold is
+/// reached by more than one distinct value (a tie).
+///
+/// `V_d` itself can win the vote (e.g. when most inputs are absent); that
+/// is consistent with the paper, where vote inputs at inner recursion
+/// levels may legitimately be `V_d`.
+///
+/// # Panics
+///
+/// Panics if `alpha == 0` (a zero threshold is meaningless and would make
+/// every value a winner).
+pub fn vote<V: Clone + Ord>(
+    alpha: usize,
+    values: &[AgreementValue<V>],
+) -> AgreementValue<V> {
+    assert!(alpha > 0, "vote threshold must be positive");
+    let mut counts: BTreeMap<&AgreementValue<V>, usize> = BTreeMap::new();
+    for v in values {
+        *counts.entry(v).or_insert(0) += 1;
+    }
+    let mut winner: Option<&AgreementValue<V>> = None;
+    for (&v, &c) in &counts {
+        if c >= alpha {
+            if winner.is_some() {
+                return AgreementValue::Default; // tie
+            }
+            winner = Some(v);
+        }
+    }
+    winner.cloned().unwrap_or(AgreementValue::Default)
+}
+
+/// Strict-majority vote: the value held by more than half the inputs, or
+/// `V_d` if none. This is the `majority` of Lamport's OM algorithm, with
+/// the paper's `V_d` in the role of OM's default (`RETREAT`).
+pub fn majority<V: Clone + Ord>(values: &[AgreementValue<V>]) -> AgreementValue<V> {
+    if values.is_empty() {
+        return AgreementValue::Default;
+    }
+    vote(values.len() / 2 + 1, values)
+}
+
+/// `k`-out-of-`n` vote over raw values (no default input): `Some(v)` if at
+/// least `k` of the inputs equal `v` (unique by `k > n/2` or by tie-check),
+/// `None` otherwise. Used by the external entity of Section 3
+/// (`(m+u)`-out-of-`(2m+u)` vote).
+pub fn k_of_n<V: Clone + Ord>(k: usize, values: &[V]) -> Option<V> {
+    assert!(k > 0, "vote threshold must be positive");
+    let mut counts: BTreeMap<&V, usize> = BTreeMap::new();
+    for v in values {
+        *counts.entry(v).or_insert(0) += 1;
+    }
+    let mut winner = None;
+    for (&v, &c) in &counts {
+        if c >= k {
+            if winner.is_some() {
+                return None;
+            }
+            winner = Some(v);
+        }
+    }
+    winner.cloned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Val;
+
+    fn vals(xs: &[u64]) -> Vec<Val> {
+        xs.iter().map(|&x| Val::Value(x)).collect()
+    }
+
+    #[test]
+    fn paper_example_winner() {
+        // VOTE(2,4) of 1, 2, 2, 3 is 2
+        assert_eq!(vote(2, &vals(&[1, 2, 2, 3])), Val::Value(2));
+    }
+
+    #[test]
+    fn paper_example_no_winner() {
+        // VOTE(2,4) of 1, 2, 0, 3 is V_d
+        assert_eq!(vote(2, &vals(&[1, 2, 0, 3])), Val::Default);
+    }
+
+    #[test]
+    fn paper_example_tie() {
+        // VOTE(2,4) of 1, 2, 2, 1 is V_d because of the tie
+        assert_eq!(vote(2, &vals(&[1, 2, 2, 1])), Val::Default);
+    }
+
+    #[test]
+    fn default_can_win() {
+        let xs = vec![Val::Default, Val::Default, Val::Value(1)];
+        assert_eq!(vote(2, &xs), Val::Default);
+    }
+
+    #[test]
+    fn default_participates_in_ties() {
+        let xs = vec![Val::Default, Val::Default, Val::Value(1), Val::Value(1)];
+        assert_eq!(vote(2, &xs), Val::Default);
+    }
+
+    #[test]
+    fn unanimity_threshold() {
+        assert_eq!(vote(3, &vals(&[4, 4, 4])), Val::Value(4));
+        assert_eq!(vote(3, &vals(&[4, 4, 5])), Val::Default);
+    }
+
+    #[test]
+    fn empty_input_yields_default() {
+        assert_eq!(vote::<u64>(1, &[]), Val::Default);
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold must be positive")]
+    fn zero_threshold_panics() {
+        vote::<u64>(0, &[]);
+    }
+
+    #[test]
+    fn majority_basics() {
+        assert_eq!(majority(&vals(&[1, 1, 2])), Val::Value(1));
+        assert_eq!(majority(&vals(&[1, 2, 3])), Val::Default);
+        assert_eq!(majority::<u64>(&[]), Val::Default);
+        // Exactly half is not a majority:
+        assert_eq!(majority(&vals(&[1, 1, 2, 2])), Val::Default);
+    }
+
+    #[test]
+    fn k_of_n_basics() {
+        assert_eq!(k_of_n(3, &[5u64, 5, 5, 9]), Some(5));
+        assert_eq!(k_of_n(3, &[5u64, 5, 9, 9]), None);
+        // Two values reaching k is a tie -> None:
+        assert_eq!(k_of_n(2, &[5u64, 5, 9, 9]), None);
+        assert_eq!(k_of_n::<u64>(1, &[]), None);
+    }
+
+    #[test]
+    fn vote_is_permutation_invariant() {
+        let a = vals(&[3, 1, 3, 2, 3]);
+        let mut b = a.clone();
+        b.reverse();
+        assert_eq!(vote(3, &a), vote(3, &b));
+    }
+}

@@ -1,0 +1,453 @@
+//! Vertex connectivity and vertex-disjoint paths (Menger's theorem).
+//!
+//! The node-connectivity lower bound of the paper (Theorem 3: connectivity
+//! `>= m+u+1` is necessary for `m/u`-degradable agreement) is exercised by
+//! experiments that need to *measure* the connectivity of a topology and to
+//! *extract* a maximum set of internally-vertex-disjoint paths between node
+//! pairs (used by [`crate::routing`] to emulate reliable/degradable links
+//! over sparse networks).
+//!
+//! Implementation: unit-capacity max-flow (Dinic's algorithm) on the
+//! standard vertex-split transformation. Systems in this workspace have at
+//! most a few hundred nodes, so the `O(n^2)` pair loop in
+//! [`vertex_connectivity`] is comfortably fast.
+
+use crate::graph::Graph;
+use crate::id::NodeId;
+
+/// A directed arc in the flow network.
+#[derive(Debug, Clone)]
+struct Arc {
+    to: usize,
+    cap: i64,
+}
+
+/// Minimal Dinic max-flow.
+#[derive(Debug)]
+struct Dinic {
+    arcs: Vec<Arc>,
+    // adjacency: for each node, indices into `arcs`
+    adj: Vec<Vec<usize>>,
+    level: Vec<i32>,
+    iter: Vec<usize>,
+}
+
+impl Dinic {
+    fn new(n: usize) -> Self {
+        Dinic {
+            arcs: Vec::new(),
+            adj: vec![Vec::new(); n],
+            level: vec![-1; n],
+            iter: vec![0; n],
+        }
+    }
+
+    fn add_arc(&mut self, from: usize, to: usize, cap: i64) -> usize {
+        let id = self.arcs.len();
+        self.arcs.push(Arc { to, cap });
+        self.arcs.push(Arc { to: from, cap: 0 });
+        self.adj[from].push(id);
+        self.adj[to].push(id + 1);
+        id
+    }
+
+    fn bfs(&mut self, s: usize, t: usize) -> bool {
+        self.level.iter_mut().for_each(|l| *l = -1);
+        let mut queue = std::collections::VecDeque::new();
+        self.level[s] = 0;
+        queue.push_back(s);
+        while let Some(v) = queue.pop_front() {
+            for &a in &self.adj[v] {
+                let arc = &self.arcs[a];
+                if arc.cap > 0 && self.level[arc.to] < 0 {
+                    self.level[arc.to] = self.level[v] + 1;
+                    queue.push_back(arc.to);
+                }
+            }
+        }
+        self.level[t] >= 0
+    }
+
+    fn dfs(&mut self, v: usize, t: usize, f: i64) -> i64 {
+        if v == t {
+            return f;
+        }
+        while self.iter[v] < self.adj[v].len() {
+            let a = self.adj[v][self.iter[v]];
+            let (to, cap) = (self.arcs[a].to, self.arcs[a].cap);
+            if cap > 0 && self.level[v] < self.level[to] {
+                let d = self.dfs(to, t, f.min(cap));
+                if d > 0 {
+                    self.arcs[a].cap -= d;
+                    self.arcs[a ^ 1].cap += d;
+                    return d;
+                }
+            }
+            self.iter[v] += 1;
+        }
+        0
+    }
+
+    fn max_flow(&mut self, s: usize, t: usize, limit: i64) -> i64 {
+        let mut flow = 0;
+        while flow < limit && self.bfs(s, t) {
+            self.iter.iter_mut().for_each(|i| *i = 0);
+            loop {
+                let f = self.dfs(s, t, limit - flow);
+                if f == 0 {
+                    break;
+                }
+                flow += f;
+            }
+        }
+        flow
+    }
+}
+
+/// Builds the vertex-split flow network for internally-disjoint `s`-`t`
+/// paths: every vertex `v ∉ {s, t}` becomes `v_in -> v_out` with capacity 1;
+/// `s` and `t` are not split. Returns (dinic, index of `s_out`, `t_in`).
+fn build_split_network(g: &Graph, s: NodeId, t: NodeId) -> (Dinic, usize, usize) {
+    let n = g.node_count();
+    // node v: v_in = 2v, v_out = 2v+1
+    let mut d = Dinic::new(2 * n);
+    for v in g.nodes() {
+        let cap = if v == s || v == t { i64::MAX / 4 } else { 1 };
+        d.add_arc(2 * v.index(), 2 * v.index() + 1, cap);
+    }
+    for (a, b) in g.edges() {
+        // Edge arcs are unbounded so that every min cut consists of split
+        // (vertex) arcs — required for cut extraction. The one exception is
+        // a direct s-t edge, which must count as exactly one path.
+        let cap = if (a == s && b == t) || (a == t && b == s) {
+            1
+        } else {
+            i64::MAX / 8
+        };
+        d.add_arc(2 * a.index() + 1, 2 * b.index(), cap);
+        d.add_arc(2 * b.index() + 1, 2 * a.index(), cap);
+    }
+    (d, 2 * s.index() + 1, 2 * t.index())
+}
+
+/// Maximum number of internally-vertex-disjoint paths between `s` and `t`
+/// (a direct edge counts as one path).
+///
+/// # Panics
+///
+/// Panics if `s == t` or either id is out of range.
+pub fn local_connectivity(g: &Graph, s: NodeId, t: NodeId) -> usize {
+    assert!(s != t, "local connectivity requires distinct endpoints");
+    assert!(s.index() < g.node_count() && t.index() < g.node_count());
+    let (mut d, src, dst) = build_split_network(g, s, t);
+    d.max_flow(src, dst, i64::MAX / 4) as usize
+}
+
+/// The vertex connectivity `κ(G)`: the minimum number of nodes whose removal
+/// disconnects the graph (defined as `n-1` for complete graphs, 0 for
+/// disconnected or trivial graphs).
+pub fn vertex_connectivity(g: &Graph) -> usize {
+    let n = g.node_count();
+    if n <= 1 {
+        return 0;
+    }
+    if g.is_complete() {
+        return n - 1;
+    }
+    if !g.is_connected() {
+        return 0;
+    }
+    // κ = min over non-adjacent pairs of local connectivity.
+    let mut best = n - 1;
+    for a in g.nodes() {
+        for b in g.nodes() {
+            if a < b && !g.has_edge(a, b) {
+                best = best.min(local_connectivity(g, a, b));
+            }
+        }
+    }
+    best
+}
+
+/// Extracts a maximum set of internally-vertex-disjoint `s`-`t` paths.
+///
+/// Each returned path starts with `s` and ends with `t`; the interiors are
+/// pairwise disjoint. The number of paths equals
+/// [`local_connectivity`]`(g, s, t)`.
+///
+/// # Panics
+///
+/// Panics if `s == t` or either id is out of range.
+pub fn vertex_disjoint_paths(g: &Graph, s: NodeId, t: NodeId) -> Vec<Vec<NodeId>> {
+    assert!(s != t, "need distinct endpoints");
+    let (mut d, src, dst) = build_split_network(g, s, t);
+    let k = d.max_flow(src, dst, i64::MAX / 4);
+
+    // Decompose the flow: arcs with positive flow are those whose reverse
+    // arc has positive capacity (cap of arc id^1 > 0 beyond its original 0).
+    // Record per-node outgoing flow arcs and walk from s.
+    let n2 = d.adj.len();
+    let mut out_flow: Vec<Vec<usize>> = vec![Vec::new(); n2];
+    for (id, _) in d.arcs.iter().enumerate().step_by(2) {
+        // forward arc `id`: flow = cap of reverse arc (id+1) since reverse
+        // started at 0.
+        if d.arcs[id + 1].cap > 0 {
+            let from = d.arcs[id + 1].to;
+            out_flow[from].push(id);
+        }
+    }
+    let mut paths = Vec::with_capacity(k as usize);
+    for _ in 0..k {
+        let mut path = vec![s];
+        let mut cur = src;
+        while cur != dst {
+            let arc_id = out_flow[cur]
+                .pop()
+                .expect("flow conservation guarantees an outgoing unit");
+            let next = d.arcs[arc_id].to;
+            // Entering a v_in node (even index) means we arrived at vertex
+            // next/2; record it when it is a vertex entry.
+            if next % 2 == 0 {
+                path.push(NodeId::new(next / 2));
+                if next == dst {
+                    cur = next;
+                    continue;
+                }
+                // traverse the split arc v_in -> v_out (consume its unit)
+                let split_arc = out_flow[next]
+                    .pop()
+                    .expect("vertex split arc must carry the unit");
+                cur = d.arcs[split_arc].to;
+            } else {
+                cur = next;
+            }
+        }
+        paths.push(path);
+    }
+    paths
+}
+
+/// Returns a **minimum vertex cut** of the graph: a smallest set of nodes
+/// whose removal disconnects it, or `None` for complete or trivial graphs
+/// (which have no vertex cut).
+///
+/// Used by the Theorem 3 experiments: with connectivity `<= m+u`, the
+/// adversary places its faults on a minimum cut `F`, splits it into
+/// `F_1` (`|F_1| = m`) and `F_2`, and defeats degradable agreement exactly
+/// as in the paper's proof sketch.
+pub fn minimum_vertex_cut(g: &Graph) -> Option<std::collections::BTreeSet<NodeId>> {
+    let n = g.node_count();
+    if n <= 1 || g.is_complete() {
+        return None;
+    }
+    if !g.is_connected() {
+        return Some(std::collections::BTreeSet::new());
+    }
+    let mut best: Option<(usize, NodeId, NodeId)> = None;
+    for a in g.nodes() {
+        for b in g.nodes() {
+            if a < b && !g.has_edge(a, b) {
+                let k = local_connectivity(g, a, b);
+                if best.is_none_or(|(bk, _, _)| k < bk) {
+                    best = Some((k, a, b));
+                }
+            }
+        }
+    }
+    let (_, s, t) = best?;
+    // Re-run the flow and extract the cut from the residual graph: a split
+    // arc v_in -> v_out with v_in reachable from s_out and v_out not
+    // reachable is a cut vertex.
+    let (mut d, src, dst) = build_split_network(g, s, t);
+    d.max_flow(src, dst, i64::MAX / 4);
+    // BFS on residual arcs.
+    let mut reach = vec![false; d.adj.len()];
+    let mut queue = std::collections::VecDeque::new();
+    reach[src] = true;
+    queue.push_back(src);
+    while let Some(v) = queue.pop_front() {
+        for &a in &d.adj[v] {
+            let arc = &d.arcs[a];
+            if arc.cap > 0 && !reach[arc.to] {
+                reach[arc.to] = true;
+                queue.push_back(arc.to);
+            }
+        }
+    }
+    let mut cut = std::collections::BTreeSet::new();
+    for v in g.nodes() {
+        if v == s || v == t {
+            continue;
+        }
+        let (vin, vout) = (2 * v.index(), 2 * v.index() + 1);
+        if reach[vin] && !reach[vout] {
+            cut.insert(v);
+        }
+    }
+    debug_assert!(!g.is_connected_without(&cut), "extracted cut must disconnect");
+    Some(cut)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::Topology;
+    use std::collections::BTreeSet;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn complete_graph_connectivity() {
+        let t = Topology::complete(6);
+        assert_eq!(vertex_connectivity(t.graph()), 5);
+    }
+
+    #[test]
+    fn disconnected_graph_connectivity_zero() {
+        let g = Graph::empty(4);
+        assert_eq!(vertex_connectivity(&g), 0);
+    }
+
+    #[test]
+    fn cycle_local_connectivity() {
+        let t = Topology::ring(6);
+        assert_eq!(local_connectivity(t.graph(), n(0), n(3)), 2);
+    }
+
+    #[test]
+    fn direct_edge_counts_as_path() {
+        let mut g = Graph::empty(2);
+        g.add_edge(n(0), n(1));
+        assert_eq!(local_connectivity(&g, n(0), n(1)), 1);
+        let paths = vertex_disjoint_paths(&g, n(0), n(1));
+        assert_eq!(paths, vec![vec![n(0), n(1)]]);
+    }
+
+    #[test]
+    fn adjacent_pair_in_complete_graph() {
+        let t = Topology::complete(5);
+        // 1 direct path + 3 two-hop paths
+        assert_eq!(local_connectivity(t.graph(), n(0), n(1)), 4);
+        let paths = vertex_disjoint_paths(t.graph(), n(0), n(1));
+        assert_eq!(paths.len(), 4);
+        assert_paths_valid_and_disjoint(t.graph(), &paths, n(0), n(1));
+    }
+
+    fn assert_paths_valid_and_disjoint(
+        g: &Graph,
+        paths: &[Vec<NodeId>],
+        s: NodeId,
+        t: NodeId,
+    ) {
+        let mut interior_seen = BTreeSet::new();
+        for p in paths {
+            assert_eq!(*p.first().unwrap(), s);
+            assert_eq!(*p.last().unwrap(), t);
+            for w in p.windows(2) {
+                assert!(g.has_edge(w[0], w[1]), "missing edge {}-{}", w[0], w[1]);
+            }
+            for &v in &p[1..p.len() - 1] {
+                assert!(interior_seen.insert(v), "interior vertex {v} reused");
+                assert!(v != s && v != t);
+            }
+        }
+    }
+
+    #[test]
+    fn harary_paths_count_matches_connectivity() {
+        for (k, nn) in [(2, 7), (3, 8), (4, 9), (5, 10)] {
+            let t = Topology::harary(k, nn);
+            for target in 1..nn {
+                let paths = vertex_disjoint_paths(t.graph(), n(0), n(target));
+                assert!(
+                    paths.len() >= k,
+                    "H({k},{nn}) 0->{target}: only {} paths",
+                    paths.len()
+                );
+                assert_paths_valid_and_disjoint(t.graph(), &paths, n(0), n(target));
+            }
+        }
+    }
+
+    #[test]
+    fn path_graph_has_single_route() {
+        let t = Topology::path(5);
+        let paths = vertex_disjoint_paths(t.graph(), n(0), n(4));
+        assert_eq!(paths.len(), 1);
+        assert_eq!(paths[0], vec![n(0), n(1), n(2), n(3), n(4)]);
+    }
+
+    #[test]
+    fn grid_corner_to_corner() {
+        let t = Topology::grid(3, 3);
+        let paths = vertex_disjoint_paths(t.graph(), n(0), n(8));
+        assert_eq!(paths.len(), 2);
+        assert_paths_valid_and_disjoint(t.graph(), &paths, n(0), n(8));
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct endpoints")]
+    fn same_endpoint_panics() {
+        let t = Topology::complete(3);
+        local_connectivity(t.graph(), n(1), n(1));
+    }
+
+    #[test]
+    fn minimum_cut_of_ring() {
+        let t = Topology::ring(6);
+        let cut = minimum_vertex_cut(t.graph()).expect("rings have cuts");
+        assert_eq!(cut.len(), 2);
+        assert!(!t.graph().is_connected_without(&cut));
+    }
+
+    #[test]
+    fn minimum_cut_of_harary_matches_k() {
+        for (k, nn) in [(2, 6), (3, 8), (4, 9)] {
+            let t = Topology::harary(k, nn);
+            let cut = minimum_vertex_cut(t.graph()).expect("non-complete");
+            assert_eq!(cut.len(), k, "H({k},{nn})");
+            assert!(!t.graph().is_connected_without(&cut));
+        }
+    }
+
+    #[test]
+    fn complete_graph_has_no_cut() {
+        let t = Topology::complete(5);
+        assert_eq!(minimum_vertex_cut(t.graph()), None);
+    }
+
+    #[test]
+    fn star_cut_is_center() {
+        let t = Topology::star(5);
+        let cut = minimum_vertex_cut(t.graph()).unwrap();
+        assert_eq!(cut, [n(0)].into_iter().collect::<BTreeSet<_>>());
+    }
+
+    #[test]
+    fn removing_a_cut_matches_connectivity() {
+        // In H_{3,8}, removing any 2 nodes must leave the graph connected,
+        // and there exists a 3-node cut.
+        let t = Topology::harary(3, 8);
+        let g = t.graph();
+        for a in 0..8 {
+            for b in (a + 1)..8 {
+                let cut: BTreeSet<_> = [n(a), n(b)].into_iter().collect();
+                assert!(g.is_connected_without(&cut));
+            }
+        }
+        let mut found_cut = false;
+        for a in 0..8 {
+            for b in (a + 1)..8 {
+                for c in (b + 1)..8 {
+                    let cut: BTreeSet<_> = [n(a), n(b), n(c)].into_iter().collect();
+                    if !g.is_connected_without(&cut) {
+                        found_cut = true;
+                    }
+                }
+            }
+        }
+        assert!(found_cut, "a 3-cut must exist in H_{{3,8}}");
+    }
+}

@@ -1,0 +1,537 @@
+//! Lock-step synchronous round engine.
+//!
+//! The engine implements the paper's system model directly:
+//!
+//! * execution proceeds in numbered rounds;
+//! * a message sent in round `r` is delivered at the start of round `r+1`
+//!   (if it survives faults, links and the deadline);
+//! * a receiver can *detect absence*: its inbox simply lacks an entry from
+//!   the silent sender, and [`RoundCtx::from`] returns `None`;
+//! * the source of every delivered message is authentic ([`RoundCtx`]
+//!   stamps the true sender; processes cannot forge the `src` field —
+//!   matching the paper's "oral messages" assumption (c)).
+//!
+//! Processes are either closures (see [`RoundEngine::run`]) or stateful
+//! [`Process`] implementations (see [`RoundEngine::run_processes`]).
+
+use crate::fault::{FaultPlan, FaultSchedule};
+use crate::id::NodeId;
+use crate::latency::LatencyModel;
+use crate::rng::SimRng;
+use crate::topology::Topology;
+use crate::trace::{Trace, TraceEvent};
+
+/// Per-node, per-round context handed to process logic.
+#[derive(Debug)]
+pub struct RoundCtx<'a, M> {
+    me: NodeId,
+    round: usize,
+    n: usize,
+    inbox: &'a [(NodeId, M)],
+    peers: &'a [NodeId],
+    outbox: Vec<(NodeId, M)>,
+}
+
+impl<'a, M: Clone> RoundCtx<'a, M> {
+    /// This node's id.
+    pub fn me(&self) -> NodeId {
+        self.me
+    }
+
+    /// The current round number (0-based).
+    pub fn round(&self) -> usize {
+        self.round
+    }
+
+    /// Total number of nodes in the system.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Ids of this node's direct neighbours, ascending.
+    pub fn peers(&self) -> Vec<NodeId> {
+        self.peers.to_vec()
+    }
+
+    /// Messages delivered at the start of this round, as `(src, payload)`
+    /// sorted by source id (stable for determinism). Multiple messages from
+    /// the same source are all present.
+    pub fn inbox(&self) -> &[(NodeId, M)] {
+        self.inbox
+    }
+
+    /// First message from `src` this round, if any. `None` means the
+    /// message is *detectably absent* (paper assumption (b)).
+    pub fn from(&self, src: NodeId) -> Option<&M> {
+        self.inbox
+            .iter()
+            .find(|(s, _)| *s == src)
+            .map(|(_, m)| m)
+    }
+
+    /// Whether no message from `src` arrived this round.
+    pub fn absent(&self, src: NodeId) -> bool {
+        self.from(src).is_none()
+    }
+
+    /// Queues a message to `to` (delivered next round if a link exists).
+    pub fn send(&mut self, to: NodeId, msg: M) {
+        self.outbox.push((to, msg));
+    }
+
+    /// Queues `msg` to every direct neighbour.
+    pub fn broadcast(&mut self, msg: M) {
+        for &p in self.peers {
+            self.outbox.push((p, msg.clone()));
+        }
+    }
+}
+
+/// A stateful per-node process.
+pub trait Process<M> {
+    /// Called once per round with the messages delivered this round; queue
+    /// outgoing messages through the context.
+    fn on_round(&mut self, ctx: &mut RoundCtx<'_, M>);
+}
+
+impl<M, F: FnMut(&mut RoundCtx<'_, M>)> Process<M> for F {
+    fn on_round(&mut self, ctx: &mut RoundCtx<'_, M>) {
+        self(ctx)
+    }
+}
+
+/// Aggregate statistics of a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Outcome {
+    /// Rounds executed.
+    pub rounds_run: usize,
+    /// Messages handed to the engine by processes.
+    pub sent: usize,
+    /// Messages delivered before the deadline.
+    pub delivered: usize,
+    /// Messages dropped by crash faults.
+    pub dropped_crash: usize,
+    /// Messages dropped by omission faults.
+    pub dropped_omission: usize,
+    /// Messages that arrived after the deadline (absent to the receiver).
+    pub late: usize,
+    /// Messages discarded for lack of a topology link.
+    pub no_link: usize,
+}
+
+/// The synchronous round engine.
+///
+/// ```
+/// use simnet::prelude::*;
+///
+/// let mut engine = RoundEngine::<u32>::new(Topology::complete(3), 1);
+/// let outcome = engine.run(1, |ctx| {
+///     ctx.broadcast(ctx.me().index() as u32);
+/// });
+/// assert_eq!(outcome.sent, 6); // 3 nodes x 2 peers
+/// ```
+#[derive(Debug)]
+pub struct RoundEngine<M> {
+    topo: Topology,
+    rng: SimRng,
+    faults: FaultPlan,
+    schedule: Option<FaultSchedule>,
+    latency: LatencyModel,
+    deadline: u64,
+    trace: Option<Trace>,
+    _marker: std::marker::PhantomData<M>,
+}
+
+impl<M: Clone> RoundEngine<M> {
+    /// Creates an engine over `topo` with the given seed, no faults, zero
+    /// latency and an infinite deadline.
+    pub fn new(topo: Topology, seed: u64) -> Self {
+        RoundEngine {
+            topo,
+            rng: SimRng::seed(seed),
+            faults: FaultPlan::healthy(),
+            schedule: None,
+            latency: LatencyModel::Zero,
+            deadline: u64::MAX,
+            trace: None,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Sets the fault plan.
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Sets a time-varying fault schedule (overrides the static plan).
+    #[must_use]
+    pub fn with_fault_schedule(mut self, schedule: FaultSchedule) -> Self {
+        self.schedule = Some(schedule);
+        self
+    }
+
+    /// Sets the latency model.
+    #[must_use]
+    pub fn with_latency(mut self, latency: LatencyModel) -> Self {
+        self.latency = latency;
+        self
+    }
+
+    /// Sets the round deadline: messages with sampled latency strictly
+    /// greater than `deadline` are late (absent to the receiver).
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: u64) -> Self {
+        self.deadline = deadline;
+        self
+    }
+
+    /// Enables event tracing.
+    #[must_use]
+    pub fn with_trace(mut self) -> Self {
+        self.trace = Some(Trace::new());
+        self
+    }
+
+    /// The recorded trace, if tracing was enabled.
+    pub fn trace(&self) -> Option<&Trace> {
+        self.trace.as_ref()
+    }
+
+    /// The topology this engine runs on.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// The fault plan.
+    pub fn faults(&self) -> &FaultPlan {
+        &self.faults
+    }
+
+    /// Runs `rounds` rounds where every node executes the same closure.
+    pub fn run(&mut self, rounds: usize, mut step: impl FnMut(&mut RoundCtx<'_, M>)) -> Outcome {
+        self.run_with(rounds, |_, ctx| step(ctx))
+    }
+
+    /// Runs `rounds` rounds with per-node stateful processes;
+    /// `processes[i]` drives node `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `processes.len()` differs from the node count.
+    pub fn run_processes(
+        &mut self,
+        rounds: usize,
+        processes: &mut [Box<dyn Process<M>>],
+    ) -> Outcome {
+        assert_eq!(
+            processes.len(),
+            self.topo.node_count(),
+            "one process per node required"
+        );
+        self.run_with(rounds, |i, ctx| processes[i].on_round(ctx))
+    }
+
+    /// Core loop: `step(i, ctx)` is invoked for node `i` each round.
+    pub fn run_with(
+        &mut self,
+        rounds: usize,
+        mut step: impl FnMut(usize, &mut RoundCtx<'_, M>),
+    ) -> Outcome {
+        let n = self.topo.node_count();
+        let mut outcome = Outcome::default();
+        let peers: Vec<Vec<NodeId>> = (0..n)
+            .map(|i| self.topo.graph().neighbors(NodeId::new(i)).collect())
+            .collect();
+        let mut inboxes: Vec<Vec<(NodeId, M)>> = vec![Vec::new(); n];
+
+        for round in 0..rounds {
+            let active: FaultPlan = match &self.schedule {
+                Some(s) => s.active(round),
+                None => self.faults.clone(),
+            };
+            let mut next_inboxes: Vec<Vec<(NodeId, M)>> = vec![Vec::new(); n];
+            for i in 0..n {
+                let me = NodeId::new(i);
+                // Sort inbox by source for determinism.
+                inboxes[i].sort_by_key(|(s, _)| *s);
+                let mut ctx = RoundCtx {
+                    me,
+                    round,
+                    n,
+                    inbox: &inboxes[i],
+                    peers: &peers[i],
+                    outbox: Vec::new(),
+                };
+                step(i, &mut ctx);
+                let outbox = ctx.outbox;
+                for (dst, msg) in outbox {
+                    outcome.sent += 1;
+                    if let Some(t) = self.trace.as_mut() {
+                        t.record(TraceEvent::Sent {
+                            round,
+                            src: me,
+                            dst,
+                        });
+                    }
+                    if active.crashed(me, round) {
+                        outcome.dropped_crash += 1;
+                        if let Some(t) = self.trace.as_mut() {
+                            t.record(TraceEvent::DroppedCrash {
+                                round,
+                                src: me,
+                                dst,
+                            });
+                        }
+                        continue;
+                    }
+                    let om = active.omission_p(me);
+                    if om > 0.0 && self.rng.chance(om) {
+                        outcome.dropped_omission += 1;
+                        if let Some(t) = self.trace.as_mut() {
+                            t.record(TraceEvent::DroppedOmission {
+                                round,
+                                src: me,
+                                dst,
+                            });
+                        }
+                        continue;
+                    }
+                    if !self.topo.graph().has_edge(me, dst) {
+                        outcome.no_link += 1;
+                        if let Some(t) = self.trace.as_mut() {
+                            t.record(TraceEvent::NoLink {
+                                round,
+                                src: me,
+                                dst,
+                            });
+                        }
+                        continue;
+                    }
+                    let latency =
+                        self.latency.sample(&mut self.rng) + active.extra_delay(me);
+                    if latency > self.deadline {
+                        outcome.late += 1;
+                        if let Some(t) = self.trace.as_mut() {
+                            t.record(TraceEvent::Late {
+                                round,
+                                src: me,
+                                dst,
+                                latency,
+                            });
+                        }
+                        continue;
+                    }
+                    outcome.delivered += 1;
+                    if let Some(t) = self.trace.as_mut() {
+                        t.record(TraceEvent::Delivered {
+                            round,
+                            src: me,
+                            dst,
+                            latency,
+                        });
+                    }
+                    next_inboxes[dst.index()].push((me, msg.clone()));
+                }
+            }
+            inboxes = next_inboxes;
+            outcome.rounds_run += 1;
+        }
+        outcome
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::FaultKind;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn broadcast_delivers_next_round() {
+        let mut engine = RoundEngine::<u64>::new(Topology::complete(3), 1);
+        let mut seen: Vec<Vec<u64>> = vec![Vec::new(); 3];
+        engine.run_with(2, |i, ctx| {
+            if ctx.round() == 0 {
+                ctx.broadcast(10 + i as u64);
+            } else {
+                seen[i] = ctx.inbox().iter().map(|(_, m)| *m).collect();
+            }
+        });
+        assert_eq!(seen[0], vec![11, 12]);
+        assert_eq!(seen[1], vec![10, 12]);
+        assert_eq!(seen[2], vec![10, 11]);
+    }
+
+    #[test]
+    fn crash_fault_silences_sender() {
+        let faults = FaultPlan::healthy().with(n(0), FaultKind::Crash { from_round: 0 });
+        let mut engine = RoundEngine::<u8>::new(Topology::complete(3), 1).with_faults(faults);
+        let mut got_from_zero = false;
+        let outcome = engine.run_with(2, |i, ctx| {
+            if ctx.round() == 0 {
+                ctx.broadcast(1);
+            } else if i != 0 && !ctx.absent(n(0)) {
+                got_from_zero = true;
+            }
+        });
+        assert!(!got_from_zero, "crashed node must be absent");
+        assert_eq!(outcome.dropped_crash, 2);
+    }
+
+    #[test]
+    fn absence_is_detectable() {
+        let mut engine = RoundEngine::<u8>::new(Topology::complete(3), 1);
+        let mut absent_seen = false;
+        engine.run_with(2, |i, ctx| {
+            if ctx.round() == 0 && i != 1 {
+                ctx.broadcast(7); // node 1 stays silent
+            }
+            if ctx.round() == 1 && i == 0 {
+                absent_seen = ctx.absent(n(1)) && !ctx.absent(n(2));
+            }
+        });
+        assert!(absent_seen);
+    }
+
+    #[test]
+    fn messages_to_non_neighbors_are_discarded() {
+        let mut engine = RoundEngine::<u8>::new(Topology::path(3), 1);
+        let outcome = engine.run_with(2, |i, ctx| {
+            if ctx.round() == 0 && i == 0 {
+                ctx.send(n(2), 5); // no 0-2 edge in a path
+                ctx.send(n(1), 5);
+            }
+        });
+        assert_eq!(outcome.no_link, 1);
+        assert_eq!(outcome.delivered, 1);
+    }
+
+    #[test]
+    fn deadline_makes_slow_messages_absent() {
+        let mut engine = RoundEngine::<u8>::new(Topology::complete(2), 3)
+            .with_latency(LatencyModel::Fixed(10))
+            .with_deadline(5);
+        let mut delivered_any = false;
+        let outcome = engine.run_with(2, |_, ctx| {
+            if ctx.round() == 0 {
+                ctx.broadcast(1);
+            } else if !ctx.inbox().is_empty() {
+                delivered_any = true;
+            }
+        });
+        assert!(!delivered_any);
+        assert_eq!(outcome.late, 2);
+    }
+
+    #[test]
+    fn delay_fault_pushes_past_deadline() {
+        let faults = FaultPlan::healthy().with(n(0), FaultKind::Delay { extra: 100 });
+        let mut engine = RoundEngine::<u8>::new(Topology::complete(2), 3)
+            .with_faults(faults)
+            .with_deadline(50);
+        let outcome = engine.run_with(2, |_, ctx| {
+            if ctx.round() == 0 {
+                ctx.broadcast(1);
+            }
+        });
+        assert_eq!(outcome.late, 1); // node 0's message
+        assert_eq!(outcome.delivered, 1); // node 1's message
+    }
+
+    #[test]
+    fn trace_records_dispositions() {
+        let mut engine = RoundEngine::<u8>::new(Topology::complete(2), 1).with_trace();
+        engine.run_with(2, |_, ctx| {
+            if ctx.round() == 0 {
+                ctx.broadcast(1);
+            }
+        });
+        let trace = engine.trace().unwrap();
+        assert_eq!(trace.count(|e| matches!(e, TraceEvent::Sent { .. })), 2);
+        assert_eq!(
+            trace.count(|e| matches!(e, TraceEvent::Delivered { .. })),
+            2
+        );
+    }
+
+    #[test]
+    fn fault_schedule_bursts_and_recovers() {
+        use crate::fault::FaultSchedule;
+        // Node 0 crashes only during rounds 1..3.
+        let schedule = FaultSchedule::healthy()
+            .then_from(1, FaultPlan::healthy().with(n(0), FaultKind::Crash { from_round: 0 }))
+            .then_from(3, FaultPlan::healthy());
+        let mut engine =
+            RoundEngine::<u8>::new(Topology::complete(2), 1).with_fault_schedule(schedule);
+        let mut heard_from_zero = [false; 5];
+        engine.run_with(5, |i, ctx| {
+            ctx.broadcast(1);
+            if i == 1 && ctx.round() > 0 {
+                heard_from_zero[ctx.round()] = !ctx.absent(n(0));
+            }
+        });
+        // round r inbox reflects sends of round r-1: silent in 1..3.
+        assert!(heard_from_zero[1]); // sent in round 0 (healthy)
+        assert!(!heard_from_zero[2]); // sent in round 1 (crashed)
+        assert!(!heard_from_zero[3]); // sent in round 2 (crashed)
+        assert!(heard_from_zero[4]); // sent in round 3 (recovered)
+    }
+
+    #[test]
+    fn identical_seeds_identical_outcomes() {
+        let faults = FaultPlan::healthy().with(n(1), FaultKind::Omission { p: 0.5 });
+        let run = |seed: u64| {
+            let mut engine =
+                RoundEngine::<u8>::new(Topology::complete(4), seed).with_faults(faults.clone());
+            engine.run_with(3, |_, ctx| {
+                ctx.broadcast(0);
+            })
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9).dropped_omission, 0); // at least one drop at p=0.5 over 9 msgs (seed-checked)
+    }
+
+    #[test]
+    fn stateful_processes_via_trait_objects() {
+        // A per-node counter process: counts messages it has received and
+        // gossips its running total.
+        struct Counter {
+            received: usize,
+        }
+        impl Process<u64> for Counter {
+            fn on_round(&mut self, ctx: &mut RoundCtx<'_, u64>) {
+                self.received += ctx.inbox().len();
+                ctx.broadcast(self.received as u64);
+            }
+        }
+        let mut engine = RoundEngine::<u64>::new(Topology::complete(3), 1);
+        let mut procs: Vec<Box<dyn Process<u64>>> =
+            (0..3).map(|_| Box::new(Counter { received: 0 }) as Box<dyn Process<u64>>).collect();
+        let out = engine.run_processes(3, &mut procs);
+        assert_eq!(out.rounds_run, 3);
+        // every node broadcasts each round: 3 nodes x 2 peers x 3 rounds
+        assert_eq!(out.sent, 18);
+        assert_eq!(out.delivered, 18);
+    }
+
+    #[test]
+    #[should_panic(expected = "one process per node")]
+    fn process_count_checked() {
+        let mut engine = RoundEngine::<u64>::new(Topology::complete(3), 1);
+        let mut procs: Vec<Box<dyn Process<u64>>> = Vec::new();
+        engine.run_processes(1, &mut procs);
+    }
+
+    #[test]
+    fn closure_run_variant() {
+        let mut engine = RoundEngine::<u32>::new(Topology::complete(3), 1);
+        let outcome = engine.run(1, |ctx| ctx.broadcast(1));
+        assert_eq!(outcome.sent, 6);
+        assert_eq!(outcome.rounds_run, 1);
+    }
+}

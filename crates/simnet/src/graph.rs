@@ -1,0 +1,245 @@
+//! Undirected simple graphs.
+//!
+//! The protocols in this workspace run on systems of at most a few hundred
+//! nodes, so the representation favours clarity: an adjacency-set vector.
+
+use crate::id::NodeId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// An undirected simple graph over nodes `0..n`.
+///
+/// ```
+/// use simnet::{Graph, NodeId};
+/// let mut g = Graph::empty(3);
+/// g.add_edge(NodeId::new(0), NodeId::new(1));
+/// assert!(g.has_edge(NodeId::new(1), NodeId::new(0)));
+/// assert_eq!(g.degree(NodeId::new(2)), 0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Graph {
+    adj: Vec<BTreeSet<usize>>,
+}
+
+impl Graph {
+    /// Creates a graph with `n` nodes and no edges.
+    pub fn empty(n: usize) -> Self {
+        Graph {
+            adj: vec![BTreeSet::new(); n],
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.adj.iter().map(BTreeSet::len).sum::<usize>() / 2
+    }
+
+    /// Adds the undirected edge `{a, b}`. Self-loops are ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` or `b` is out of range.
+    pub fn add_edge(&mut self, a: NodeId, b: NodeId) {
+        let (a, b) = (a.index(), b.index());
+        assert!(a < self.adj.len() && b < self.adj.len(), "node out of range");
+        if a == b {
+            return;
+        }
+        self.adj[a].insert(b);
+        self.adj[b].insert(a);
+    }
+
+    /// Removes the undirected edge `{a, b}` if present.
+    pub fn remove_edge(&mut self, a: NodeId, b: NodeId) {
+        let (a, b) = (a.index(), b.index());
+        if a < self.adj.len() && b < self.adj.len() {
+            self.adj[a].remove(&b);
+            self.adj[b].remove(&a);
+        }
+    }
+
+    /// Whether the edge `{a, b}` exists.
+    pub fn has_edge(&self, a: NodeId, b: NodeId) -> bool {
+        self.adj
+            .get(a.index())
+            .is_some_and(|s| s.contains(&b.index()))
+    }
+
+    /// Degree of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.adj[v.index()].len()
+    }
+
+    /// Minimum degree over all nodes (0 for the empty graph).
+    pub fn min_degree(&self) -> usize {
+        self.adj.iter().map(BTreeSet::len).min().unwrap_or(0)
+    }
+
+    /// Iterator over the neighbours of `v` in ascending order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn neighbors(&self, v: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.adj[v.index()].iter().map(|&i| NodeId::new(i))
+    }
+
+    /// Iterator over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + Clone {
+        NodeId::all(self.node_count())
+    }
+
+    /// Iterator over all edges as `(a, b)` with `a < b`.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.adj.iter().enumerate().flat_map(|(a, nbrs)| {
+            nbrs.iter()
+                .filter(move |&&b| a < b)
+                .map(move |&b| (NodeId::new(a), NodeId::new(b)))
+        })
+    }
+
+    /// Whether the graph is connected (the empty graph counts as connected).
+    pub fn is_connected(&self) -> bool {
+        let n = self.node_count();
+        if n <= 1 {
+            return true;
+        }
+        self.reachable_from(NodeId::new(0), &BTreeSet::new()).len() == n
+    }
+
+    /// Whether every pair of distinct nodes is adjacent.
+    pub fn is_complete(&self) -> bool {
+        let n = self.node_count();
+        self.adj.iter().all(|s| s.len() == n - 1)
+    }
+
+    /// Set of nodes reachable from `start` without passing through any node
+    /// in `blocked` (the start itself is returned even if blocked-free paths
+    /// exist only trivially; if `start` is blocked the result is empty).
+    pub fn reachable_from(&self, start: NodeId, blocked: &BTreeSet<NodeId>) -> BTreeSet<NodeId> {
+        let mut seen = BTreeSet::new();
+        if blocked.contains(&start) || start.index() >= self.node_count() {
+            return seen;
+        }
+        let mut stack = vec![start];
+        seen.insert(start);
+        while let Some(v) = stack.pop() {
+            for w in self.neighbors(v) {
+                if !blocked.contains(&w) && seen.insert(w) {
+                    stack.push(w);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Returns the graph with the nodes in `removed` (and incident edges)
+    /// conceptually deleted, as a blocked-set wrapper check: convenience for
+    /// "does removing this set disconnect the graph?".
+    pub fn is_connected_without(&self, removed: &BTreeSet<NodeId>) -> bool {
+        let survivors: Vec<NodeId> = self.nodes().filter(|v| !removed.contains(v)).collect();
+        match survivors.first() {
+            None => true,
+            Some(&s) => self.reachable_from(s, removed).len() == survivors.len(),
+        }
+    }
+}
+
+impl fmt::Display for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Graph(n={}, e={})", self.node_count(), self.edge_count())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn empty_graph_basics() {
+        let g = Graph::empty(4);
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 0);
+        assert!(!g.is_connected());
+        assert!(!g.is_complete());
+    }
+
+    #[test]
+    fn add_and_remove_edges() {
+        let mut g = Graph::empty(3);
+        g.add_edge(n(0), n(1));
+        g.add_edge(n(1), n(2));
+        assert_eq!(g.edge_count(), 2);
+        assert!(g.is_connected());
+        g.remove_edge(n(0), n(1));
+        assert_eq!(g.edge_count(), 1);
+        assert!(!g.is_connected());
+    }
+
+    #[test]
+    fn self_loops_ignored() {
+        let mut g = Graph::empty(2);
+        g.add_edge(n(0), n(0));
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn duplicate_edges_ignored() {
+        let mut g = Graph::empty(2);
+        g.add_edge(n(0), n(1));
+        g.add_edge(n(1), n(0));
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn reachability_with_blocked_cut() {
+        // Path 0-1-2: blocking node 1 separates 0 from 2.
+        let mut g = Graph::empty(3);
+        g.add_edge(n(0), n(1));
+        g.add_edge(n(1), n(2));
+        let blocked: BTreeSet<_> = [n(1)].into_iter().collect();
+        let reach = g.reachable_from(n(0), &blocked);
+        assert!(reach.contains(&n(0)));
+        assert!(!reach.contains(&n(2)));
+        assert!(!g.is_connected_without(&blocked));
+    }
+
+    #[test]
+    fn edges_iterator_is_ordered_pairs() {
+        let mut g = Graph::empty(3);
+        g.add_edge(n(2), n(0));
+        g.add_edge(n(1), n(2));
+        let e: Vec<_> = g.edges().collect();
+        assert_eq!(e, vec![(n(0), n(2)), (n(1), n(2))]);
+    }
+
+    #[test]
+    fn single_node_is_connected() {
+        assert!(Graph::empty(1).is_connected());
+        assert!(Graph::empty(0).is_connected());
+    }
+
+    #[test]
+    fn min_degree_tracks_smallest() {
+        let mut g = Graph::empty(3);
+        g.add_edge(n(0), n(1));
+        assert_eq!(g.min_degree(), 0);
+        g.add_edge(n(1), n(2));
+        g.add_edge(n(0), n(2));
+        assert_eq!(g.min_degree(), 2);
+    }
+}

@@ -1,0 +1,84 @@
+//! Node identifiers.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a node (processor) in a simulated system.
+///
+/// Node ids are dense indices `0..n`. The newtype prevents mixing node
+/// indices with round numbers, path positions and other `usize` quantities
+/// that circulate in agreement protocols.
+///
+/// ```
+/// use simnet::NodeId;
+/// let a = NodeId::new(3);
+/// assert_eq!(a.index(), 3);
+/// assert_eq!(a.to_string(), "n3");
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct NodeId(usize);
+
+impl NodeId {
+    /// Creates a node id from its dense index.
+    pub const fn new(index: usize) -> Self {
+        NodeId(index)
+    }
+
+    /// Returns the dense index of this node.
+    pub const fn index(self) -> usize {
+        self.0
+    }
+
+    /// Iterator over the ids `0..n`.
+    pub fn all(n: usize) -> impl Iterator<Item = NodeId> + Clone {
+        (0..n).map(NodeId)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<usize> for NodeId {
+    fn from(index: usize) -> Self {
+        NodeId(index)
+    }
+}
+
+impl From<NodeId> for usize {
+    fn from(id: NodeId) -> usize {
+        id.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let id = NodeId::new(42);
+        assert_eq!(usize::from(id), 42);
+        assert_eq!(NodeId::from(42usize), id);
+    }
+
+    #[test]
+    fn all_enumerates_in_order() {
+        let ids: Vec<_> = NodeId::all(4).collect();
+        assert_eq!(ids, vec![NodeId::new(0), NodeId::new(1), NodeId::new(2), NodeId::new(3)]);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(NodeId::new(0).to_string(), "n0");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(NodeId::new(1) < NodeId::new(2));
+    }
+}

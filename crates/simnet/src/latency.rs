@@ -1,0 +1,132 @@
+//! Per-message latency models and round deadlines.
+//!
+//! The paper's synchronous model assumes the absence of a message is
+//! detectable, which in practice means a round deadline (timeout). Section 6
+//! observes that when clock synchronization degrades (more than `m` faulty
+//! nodes), a fault-free node may *falsely* time out a message from another
+//! fault-free node — and that algorithm BYZ remains correct under this
+//! relaxation. [`LatencyModel`] plus [`crate::engine::RoundEngine`]'s
+//! deadline reproduce exactly that failure mode: a message whose sampled
+//! latency exceeds the deadline is treated as absent by the receiver.
+
+use crate::rng::SimRng;
+use serde::{Deserialize, Serialize};
+
+/// Distribution of message latencies, in abstract time units.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Default)]
+pub enum LatencyModel {
+    /// All messages arrive instantly (never late). The paper's base model.
+    #[default]
+    Zero,
+    /// Every message takes exactly `units`.
+    Fixed(u64),
+    /// Uniform in `[lo, hi]` (inclusive).
+    Uniform {
+        /// Minimum latency.
+        lo: u64,
+        /// Maximum latency.
+        hi: u64,
+    },
+    /// Mostly `base`, but with probability `spike_p` the message takes
+    /// `base + spike` instead — a simple heavy-tail used to trigger
+    /// occasional timeouts between fault-free nodes.
+    Spike {
+        /// Common-case latency.
+        base: u64,
+        /// Probability of a slow message.
+        spike_p: f64,
+        /// Additional latency of a slow message.
+        spike: u64,
+    },
+}
+
+impl LatencyModel {
+    /// Samples a latency for one message.
+    pub fn sample(&self, rng: &mut SimRng) -> u64 {
+        match *self {
+            LatencyModel::Zero => 0,
+            LatencyModel::Fixed(units) => units,
+            LatencyModel::Uniform { lo, hi } => {
+                debug_assert!(lo <= hi, "uniform bounds inverted");
+                lo + rng.below(hi - lo + 1)
+            }
+            LatencyModel::Spike {
+                base,
+                spike_p,
+                spike,
+            } => {
+                if rng.chance(spike_p) {
+                    base + spike
+                } else {
+                    base
+                }
+            }
+        }
+    }
+
+    /// The largest latency this model can produce (used to pick safe
+    /// deadlines).
+    pub fn worst_case(&self) -> u64 {
+        match *self {
+            LatencyModel::Zero => 0,
+            LatencyModel::Fixed(units) => units,
+            LatencyModel::Uniform { hi, .. } => hi,
+            LatencyModel::Spike { base, spike, .. } => base + spike,
+        }
+    }
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_is_always_zero() {
+        let mut rng = SimRng::seed(1);
+        assert_eq!(LatencyModel::Zero.sample(&mut rng), 0);
+        assert_eq!(LatencyModel::Zero.worst_case(), 0);
+    }
+
+    #[test]
+    fn fixed_is_constant() {
+        let mut rng = SimRng::seed(1);
+        let m = LatencyModel::Fixed(17);
+        for _ in 0..10 {
+            assert_eq!(m.sample(&mut rng), 17);
+        }
+    }
+
+    #[test]
+    fn uniform_stays_in_bounds() {
+        let mut rng = SimRng::seed(2);
+        let m = LatencyModel::Uniform { lo: 3, hi: 9 };
+        for _ in 0..500 {
+            let v = m.sample(&mut rng);
+            assert!((3..=9).contains(&v));
+        }
+        assert_eq!(m.worst_case(), 9);
+    }
+
+    #[test]
+    fn spike_hits_both_branches() {
+        let mut rng = SimRng::seed(3);
+        let m = LatencyModel::Spike {
+            base: 1,
+            spike_p: 0.5,
+            spike: 10,
+        };
+        let mut saw_base = false;
+        let mut saw_spike = false;
+        for _ in 0..200 {
+            match m.sample(&mut rng) {
+                1 => saw_base = true,
+                11 => saw_spike = true,
+                other => panic!("unexpected latency {other}"),
+            }
+        }
+        assert!(saw_base && saw_spike);
+        assert_eq!(m.worst_case(), 11);
+    }
+}

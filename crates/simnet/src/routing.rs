@@ -1,0 +1,405 @@
+//! Point-to-point relay over vertex-disjoint paths with *degradable
+//! delivery* semantics.
+//!
+//! Algorithm BYZ assumes a fully connected network. Theorem 3 of the paper
+//! shows connectivity `m+u+1` is necessary, and remarks it is also
+//! sufficient. Sufficiency is realised by the classic technique of sending
+//! each point-to-point message over `k >= m+u+1` internally-vertex-disjoint
+//! paths (Menger) and letting the receiver vote over the arriving copies.
+//!
+//! The acceptance rule implemented by [`DegradableLink`] is:
+//!
+//! > accept ω iff at least `k - m` copies carry ω **and** no other value is
+//! > carried by `m+1` or more copies; otherwise treat the message as
+//! > **absent**.
+//!
+//! With `k >= m+u+1` disjoint paths and at most `f` faulty nodes (each
+//! faulty node can corrupt at most one path, by disjointness; endpoints are
+//! excluded), this yields exactly the relaxed message assumptions of
+//! Section 6.1 of the paper:
+//!
+//! * `f <= m`  → every fault-free → fault-free message is delivered
+//!   correctly (at least `k-m` honest copies; corrupt values reach at most
+//!   `m < m+1` copies);
+//! * `m < f <= u` → a fault-free → fault-free message is delivered
+//!   correctly **or declared absent**, never altered (a wrong value would
+//!   need `k-m >= u+1 > f` corrupt copies).
+//!
+//! BYZ remains `m/u`-degradably correct under exactly these conditions, so
+//! composing BYZ with this relay gives degradable agreement on any topology
+//! of connectivity at least `m+u+1`.
+
+use crate::connectivity::vertex_disjoint_paths;
+use crate::id::NodeId;
+use crate::topology::Topology;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Outcome of transmitting one logical message over a degradable link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Delivery<V> {
+    /// The receiver accepted this value.
+    Accepted(V),
+    /// The receiver could not authenticate any value; the message is
+    /// treated as absent (protocols map this to the default value `V_d`).
+    Absent,
+}
+
+impl<V> Delivery<V> {
+    /// The accepted value, if any.
+    pub fn accepted(self) -> Option<V> {
+        match self {
+            Delivery::Accepted(v) => Some(v),
+            Delivery::Absent => None,
+        }
+    }
+}
+
+/// What a faulty relay node does to a copy passing through it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CopyAction<V> {
+    /// Forward unchanged (a faulty node may behave correctly).
+    Forward,
+    /// Drop the copy.
+    Drop,
+    /// Replace the payload.
+    Replace(V),
+}
+
+/// Context handed to a relay adversary for each (faulty node, path copy).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RelayHop {
+    /// The faulty node the copy is passing through.
+    pub node: NodeId,
+    /// Original sender of the logical message.
+    pub src: NodeId,
+    /// Final destination.
+    pub dst: NodeId,
+    /// Index of the disjoint path carrying this copy.
+    pub path_index: usize,
+}
+
+/// The degradable acceptance rule, parameterized by `m` (the strong fault
+/// threshold).
+///
+/// `resolve` takes the per-path copies that reached the receiver (`None`
+/// for dropped copies) and applies the rule documented at module level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DegradableLink {
+    m: usize,
+}
+
+impl DegradableLink {
+    /// Creates the rule for strong threshold `m`.
+    pub fn new(m: usize) -> Self {
+        DegradableLink { m }
+    }
+
+    /// Applies the acceptance rule to the copies received over `k` disjoint
+    /// paths.
+    pub fn resolve<V: Clone + Ord>(&self, copies: &[Option<V>]) -> Delivery<V> {
+        let k = copies.len();
+        if k == 0 {
+            return Delivery::Absent;
+        }
+        let mut counts: BTreeMap<&V, usize> = BTreeMap::new();
+        for v in copies.iter().flatten() {
+            *counts.entry(v).or_insert(0) += 1;
+        }
+        let accept_threshold = k.saturating_sub(self.m);
+        let mut winner: Option<&V> = None;
+        for (&v, &c) in &counts {
+            if c >= accept_threshold {
+                if winner.is_some() {
+                    return Delivery::Absent; // two values above threshold: ambiguous
+                }
+                winner = Some(v);
+            }
+        }
+        match winner {
+            None => Delivery::Absent,
+            Some(w) => {
+                // Block if any *other* value has m+1 or more copies.
+                for (&v, &c) in &counts {
+                    if v != w && c > self.m {
+                        return Delivery::Absent;
+                    }
+                }
+                Delivery::Accepted(w.clone())
+            }
+        }
+    }
+}
+
+/// Error constructing a [`RelayNetwork`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RelayError {
+    /// Some ordered pair has fewer than the required number of disjoint
+    /// paths (connectivity below `m+u+1`).
+    InsufficientConnectivity {
+        /// The deficient pair.
+        pair: (NodeId, NodeId),
+        /// Paths found.
+        found: usize,
+        /// Paths required.
+        required: usize,
+    },
+}
+
+impl fmt::Display for RelayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelayError::InsufficientConnectivity {
+                pair,
+                found,
+                required,
+            } => write!(
+                f,
+                "pair {}-{} has only {found} disjoint paths, {required} required",
+                pair.0, pair.1
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RelayError {}
+
+/// A relay fabric: precomputed vertex-disjoint paths for every ordered node
+/// pair plus the degradable acceptance rule.
+#[derive(Debug, Clone)]
+pub struct RelayNetwork {
+    paths: BTreeMap<(NodeId, NodeId), Vec<Vec<NodeId>>>,
+    link: DegradableLink,
+    required: usize,
+}
+
+impl RelayNetwork {
+    /// Builds a relay fabric for `m/u` agreement over `topo`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RelayError::InsufficientConnectivity`] if some pair of
+    /// nodes is joined by fewer than `m+u+1` internally-disjoint paths —
+    /// i.e. the topology violates the Theorem 3 bound.
+    pub fn new(topo: &Topology, m: usize, u: usize) -> Result<Self, RelayError> {
+        let required = m + u + 1;
+        let net = Self::new_unchecked(topo, m, u);
+        for (&pair, paths) in &net.paths {
+            if paths.len() < required {
+                return Err(RelayError::InsufficientConnectivity {
+                    pair,
+                    found: paths.len(),
+                    required,
+                });
+            }
+        }
+        Ok(net)
+    }
+
+    /// Builds the fabric without enforcing the connectivity bound; pairs
+    /// simply use however many disjoint paths exist. Used by experiments
+    /// that demonstrate failure *below* the Theorem 3 bound.
+    pub fn new_unchecked(topo: &Topology, m: usize, _u: usize) -> Self {
+        let g = topo.graph();
+        let n = g.node_count();
+        let mut paths = BTreeMap::new();
+        for a in 0..n {
+            for b in 0..n {
+                if a == b {
+                    continue;
+                }
+                let (s, t) = (NodeId::new(a), NodeId::new(b));
+                paths.insert((s, t), vertex_disjoint_paths(g, s, t));
+            }
+        }
+        RelayNetwork {
+            paths,
+            link: DegradableLink::new(m),
+            required: m + _u + 1,
+        }
+    }
+
+    /// Number of disjoint paths available between `src` and `dst`.
+    pub fn path_count(&self, src: NodeId, dst: NodeId) -> usize {
+        self.paths.get(&(src, dst)).map_or(0, Vec::len)
+    }
+
+    /// The disjoint paths used for `src -> dst`.
+    pub fn paths(&self, src: NodeId, dst: NodeId) -> &[Vec<NodeId>] {
+        self.paths
+            .get(&(src, dst))
+            .map_or(&[], Vec::as_slice)
+    }
+
+    /// Required path count (`m+u+1`).
+    pub fn required_paths(&self) -> usize {
+        self.required
+    }
+
+    /// Transmits `value` from `src` to `dst`. Faulty intermediate nodes
+    /// (members of `faulty`, excluding the endpoints) act through
+    /// `adversary`. Returns the receiver-side delivery.
+    pub fn transmit<V: Clone + Ord>(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+        value: &V,
+        faulty: &BTreeSet<NodeId>,
+        adversary: &mut impl FnMut(RelayHop) -> CopyAction<V>,
+    ) -> Delivery<V> {
+        let paths = self.paths(src, dst);
+        let mut copies: Vec<Option<V>> = Vec::with_capacity(paths.len());
+        for (path_index, path) in paths.iter().enumerate() {
+            let mut copy = Some(value.clone());
+            for &hop in &path[1..path.len() - 1] {
+                if faulty.contains(&hop) {
+                    match adversary(RelayHop {
+                        node: hop,
+                        src,
+                        dst,
+                        path_index,
+                    }) {
+                        CopyAction::Forward => {}
+                        CopyAction::Drop => {
+                            copy = None;
+                            break;
+                        }
+                        CopyAction::Replace(v) => copy = Some(v),
+                    }
+                }
+            }
+            copies.push(copy);
+        }
+        self.link.resolve(&copies)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::Topology;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn replace_all(wrong: u32) -> impl FnMut(RelayHop) -> CopyAction<u32> {
+        move |_| CopyAction::Replace(wrong)
+    }
+
+    #[test]
+    fn resolve_accepts_unanimous() {
+        let link = DegradableLink::new(1);
+        let copies = vec![Some(5u32), Some(5), Some(5), Some(5)];
+        assert_eq!(link.resolve(&copies), Delivery::Accepted(5));
+    }
+
+    #[test]
+    fn resolve_tolerates_m_corruptions() {
+        let link = DegradableLink::new(1);
+        // k = 4, m = 1: 3 honest copies >= k-m = 3, wrong has 1 < m+1 = 2.
+        let copies = vec![Some(5u32), Some(9), Some(5), Some(5)];
+        assert_eq!(link.resolve(&copies), Delivery::Accepted(5));
+    }
+
+    #[test]
+    fn resolve_blocks_competing_value() {
+        let link = DegradableLink::new(1);
+        // wrong value reaches m+1 = 2 copies -> absent even though 5 has 3...
+        // (k=5 here, accept threshold 4, 5 has only 3 -> absent anyway; craft
+        // a sharper case: k=4, 5 has 3 >= 3, 9 has 2 >= 2 is impossible with
+        // k=4; instead verify threshold failure)
+        let copies = vec![Some(5u32), Some(9), Some(9), Some(5)];
+        assert_eq!(link.resolve(&copies), Delivery::Absent);
+    }
+
+    #[test]
+    fn resolve_absent_on_drops() {
+        let link = DegradableLink::new(1);
+        let copies = vec![Some(5u32), None, None, Some(5)];
+        assert_eq!(link.resolve(&copies), Delivery::Absent);
+    }
+
+    #[test]
+    fn resolve_empty_is_absent() {
+        let link = DegradableLink::new(0);
+        assert_eq!(link.resolve::<u32>(&[]), Delivery::Absent);
+    }
+
+    #[test]
+    fn relay_on_sufficient_connectivity_delivers() {
+        // m=1, u=2 needs connectivity 4: use complete(6) (connectivity 5).
+        let topo = Topology::complete(6);
+        let net = RelayNetwork::new(&topo, 1, 2).expect("K6 is 5-connected");
+        // One faulty intermediate replacing everything:
+        let faulty: BTreeSet<_> = [n(2)].into_iter().collect();
+        let d = net.transmit(n(0), n(1), &42u32, &faulty, &mut replace_all(7));
+        assert_eq!(d, Delivery::Accepted(42));
+    }
+
+    #[test]
+    fn relay_never_accepts_wrong_value() {
+        let topo = Topology::harary(4, 8); // connectivity 4 = m+u+1 for (1,2)
+        let net = RelayNetwork::new(&topo, 1, 2).expect("H(4,8) suffices");
+        for fcount in 1..=2usize {
+            let faulty: BTreeSet<_> = (2..2 + fcount).map(n).collect();
+            for dst in 1..8 {
+                if faulty.contains(&n(dst)) {
+                    continue;
+                }
+                let d = net.transmit(n(0), n(dst), &42u32, &faulty, &mut replace_all(7));
+                assert_ne!(d, Delivery::Accepted(7), "wrong value accepted");
+                if fcount <= 1 {
+                    assert_eq!(d, Delivery::Accepted(42), "f<=m must deliver");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn insufficient_connectivity_is_reported() {
+        let topo = Topology::ring(6); // connectivity 2 < 4
+        let err = RelayNetwork::new(&topo, 1, 2).unwrap_err();
+        assert!(matches!(
+            err,
+            RelayError::InsufficientConnectivity { required: 4, .. }
+        ));
+    }
+
+    #[test]
+    fn unchecked_fabric_degrades_below_bound() {
+        // Ring: 2 disjoint paths; one faulty node on each side of the ring
+        // can drop both copies -> absent; f=2 > m=0 here so degradation is
+        // the allowed behaviour.
+        let topo = Topology::ring(6);
+        let net = RelayNetwork::new_unchecked(&topo, 0, 1);
+        let faulty: BTreeSet<_> = [n(1), n(5)].into_iter().collect();
+        let mut drop_all = |_: RelayHop| CopyAction::<u32>::Drop;
+        let d = net.transmit(n(0), n(3), &42u32, &faulty, &mut drop_all);
+        assert_eq!(d, Delivery::Absent);
+    }
+
+    #[test]
+    fn accessors() {
+        let topo = Topology::complete(5);
+        let net = RelayNetwork::new(&topo, 1, 1).expect("K5 is 4-connected");
+        assert_eq!(net.required_paths(), 3);
+        assert_eq!(net.path_count(n(0), n(1)), 4);
+        assert_eq!(net.paths(n(0), n(1)).len(), 4);
+        assert_eq!(net.path_count(n(0), n(0)), 0);
+        assert_eq!(Delivery::Accepted(5u32).accepted(), Some(5));
+        assert_eq!(Delivery::<u32>::Absent.accepted(), None);
+    }
+
+    #[test]
+    fn faulty_endpoints_do_not_corrupt_relay() {
+        // The destination being "faulty" does not alter relay copies (its
+        // decisions are arbitrary at the protocol layer instead).
+        let topo = Topology::complete(5);
+        let net = RelayNetwork::new_unchecked(&topo, 1, 1);
+        let faulty: BTreeSet<_> = [n(0), n(1)].into_iter().collect();
+        let d = net.transmit(n(0), n(1), &42u32, &faulty, &mut replace_all(7));
+        assert_eq!(d, Delivery::Accepted(42));
+    }
+}

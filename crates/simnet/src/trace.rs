@@ -1,0 +1,175 @@
+//! Execution traces.
+//!
+//! When enabled, the round engine records one [`TraceEvent`] per message
+//! disposition, so experiments can audit *why* a receiver observed a value
+//! as absent (crash? omission? late? no such link?) and tests can assert on
+//! mechanism rather than just outcome.
+
+use crate::id::NodeId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One message-level event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// A process handed a message to the engine.
+    Sent {
+        /// Sending round.
+        round: usize,
+        /// Source node.
+        src: NodeId,
+        /// Destination node.
+        dst: NodeId,
+    },
+    /// The message arrived before the deadline and was delivered.
+    Delivered {
+        /// Sending round.
+        round: usize,
+        /// Source node.
+        src: NodeId,
+        /// Destination node.
+        dst: NodeId,
+        /// Sampled latency.
+        latency: u64,
+    },
+    /// Dropped because the sender had crashed.
+    DroppedCrash {
+        /// Sending round.
+        round: usize,
+        /// Source node.
+        src: NodeId,
+        /// Destination node.
+        dst: NodeId,
+    },
+    /// Dropped by the sender's omission fault.
+    DroppedOmission {
+        /// Sending round.
+        round: usize,
+        /// Source node.
+        src: NodeId,
+        /// Destination node.
+        dst: NodeId,
+    },
+    /// Arrived after the round deadline; the receiver saw it as absent.
+    Late {
+        /// Sending round.
+        round: usize,
+        /// Source node.
+        src: NodeId,
+        /// Destination node.
+        dst: NodeId,
+        /// Sampled latency (exceeds the deadline).
+        latency: u64,
+    },
+    /// Discarded because the topology has no `src`-`dst` link.
+    NoLink {
+        /// Sending round.
+        round: usize,
+        /// Source node.
+        src: NodeId,
+        /// Destination node.
+        dst: NodeId,
+    },
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            TraceEvent::Sent { round, src, dst } => write!(f, "[r{round}] {src}->{dst} sent"),
+            TraceEvent::Delivered {
+                round,
+                src,
+                dst,
+                latency,
+            } => write!(f, "[r{round}] {src}->{dst} delivered (lat {latency})"),
+            TraceEvent::DroppedCrash { round, src, dst } => {
+                write!(f, "[r{round}] {src}->{dst} dropped: crash")
+            }
+            TraceEvent::DroppedOmission { round, src, dst } => {
+                write!(f, "[r{round}] {src}->{dst} dropped: omission")
+            }
+            TraceEvent::Late {
+                round,
+                src,
+                dst,
+                latency,
+            } => write!(f, "[r{round}] {src}->{dst} late (lat {latency})"),
+            TraceEvent::NoLink { round, src, dst } => {
+                write!(f, "[r{round}] {src}->{dst} discarded: no link")
+            }
+        }
+    }
+}
+
+/// An append-only event log.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Appends an event.
+    pub fn record(&mut self, event: TraceEvent) {
+        self.events.push(event);
+    }
+
+    /// All events in order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Count of events matching a predicate.
+    pub fn count(&self, pred: impl Fn(&TraceEvent) -> bool) -> usize {
+        self.events.iter().filter(|e| pred(e)).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_count() {
+        let mut t = Trace::new();
+        assert!(t.is_empty());
+        t.record(TraceEvent::Sent {
+            round: 0,
+            src: NodeId::new(0),
+            dst: NodeId::new(1),
+        });
+        t.record(TraceEvent::Late {
+            round: 0,
+            src: NodeId::new(0),
+            dst: NodeId::new(1),
+            latency: 99,
+        });
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.count(|e| matches!(e, TraceEvent::Late { .. })), 1);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let e = TraceEvent::Delivered {
+            round: 3,
+            src: NodeId::new(1),
+            dst: NodeId::new(2),
+            latency: 5,
+        };
+        assert_eq!(e.to_string(), "[r3] n1->n2 delivered (lat 5)");
+    }
+}

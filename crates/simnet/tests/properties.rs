@@ -1,0 +1,124 @@
+//! Property-based tests for the simulator substrate.
+
+use proptest::prelude::*;
+use simnet::prelude::*;
+use std::collections::BTreeSet;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Message conservation: everything handed to the engine is delivered
+    /// or accounted for by exactly one drop reason.
+    #[test]
+    fn message_conservation(n in 2usize..10, rounds in 1usize..4, seed in 0u64..1_000,
+                            crash in 0usize..10, om_p in 0u32..100) {
+        let mut faults = FaultPlan::healthy();
+        if crash < n {
+            faults.insert(NodeId::new(crash), FaultKind::Crash { from_round: 1 });
+        }
+        let om_node = NodeId::new((crash + 1) % n);
+        faults.insert(om_node, FaultKind::Omission { p: om_p as f64 / 100.0 });
+        let mut engine = RoundEngine::<u8>::new(Topology::complete(n), seed)
+            .with_faults(faults);
+        let out = engine.run(rounds, |ctx| ctx.broadcast(1));
+        prop_assert_eq!(
+            out.sent,
+            out.delivered + out.dropped_crash + out.dropped_omission + out.late + out.no_link
+        );
+    }
+
+    /// Identical seeds give identical outcomes even under stochastic
+    /// faults and latency.
+    #[test]
+    fn engine_determinism(n in 2usize..8, seed in 0u64..1_000) {
+        let mk = || {
+            let faults = FaultPlan::healthy()
+                .with(NodeId::new(0), FaultKind::Omission { p: 0.4 });
+            let mut engine = RoundEngine::<u8>::new(Topology::complete(n), seed)
+                .with_faults(faults)
+                .with_latency(LatencyModel::Uniform { lo: 0, hi: 10 })
+                .with_deadline(7);
+            engine.run(3, |ctx| ctx.broadcast(2))
+        };
+        prop_assert_eq!(mk(), mk());
+    }
+
+    /// A fault-free broadcast on a complete graph reaches every peer.
+    #[test]
+    fn broadcast_reaches_all(n in 2usize..10, seed in 0u64..100) {
+        let mut engine = RoundEngine::<u64>::new(Topology::complete(n), seed);
+        let mut seen = vec![0usize; n];
+        engine.run_with(2, |i, ctx| {
+            if ctx.round() == 0 {
+                ctx.broadcast(9);
+            } else {
+                seen[i] = ctx.inbox().len();
+            }
+        });
+        for (i, &count) in seen.iter().enumerate() {
+            prop_assert_eq!(count, n - 1, "node {} inbox", i);
+        }
+    }
+
+    /// Harary graphs use the minimum edge count `ceil(k*n/2)`.
+    #[test]
+    fn harary_edge_minimality(k in 2usize..5, extra in 0usize..6) {
+        let n = k + 2 + extra;
+        let topo = Topology::harary(k, n);
+        prop_assert_eq!(topo.graph().edge_count(), (k * n).div_ceil(2));
+    }
+
+    /// Fault plans partition the nodes.
+    #[test]
+    fn fault_plan_partition(n in 1usize..12, picks in proptest::collection::btree_set(0usize..12, 0..6)) {
+        let mut plan = FaultPlan::healthy();
+        for &p in picks.iter().filter(|&&p| p < n) {
+            plan.insert(NodeId::new(p), FaultKind::Byzantine);
+        }
+        let faulty = plan.faulty_set();
+        let free: BTreeSet<NodeId> = plan.fault_free(n).into_iter().collect();
+        prop_assert_eq!(faulty.len() + free.len(), n);
+        prop_assert!(faulty.intersection(&free).next().is_none());
+    }
+
+    /// Graph edge add/remove round-trips.
+    #[test]
+    fn edge_roundtrip(n in 2usize..10, a in 0usize..10, b in 0usize..10) {
+        let (a, b) = (a % n, b % n);
+        prop_assume!(a != b);
+        let mut g = Graph::empty(n);
+        let (na, nb) = (NodeId::new(a), NodeId::new(b));
+        g.add_edge(na, nb);
+        prop_assert!(g.has_edge(na, nb) && g.has_edge(nb, na));
+        g.remove_edge(nb, na);
+        prop_assert!(!g.has_edge(na, nb));
+        prop_assert_eq!(g.edge_count(), 0);
+    }
+
+    /// Local connectivity is symmetric (undirected graphs).
+    #[test]
+    fn local_connectivity_symmetric(k in 2usize..5, extra in 0usize..4, t in 1usize..10) {
+        let n = k + 3 + extra;
+        let topo = Topology::harary(k, n);
+        let t = NodeId::new(1 + t % (n - 1));
+        let s = NodeId::new(0);
+        prop_assert_eq!(
+            local_connectivity(topo.graph(), s, t),
+            local_connectivity(topo.graph(), t, s)
+        );
+    }
+
+    /// The degradable link rule never accepts a value that appears on
+    /// fewer than k-m paths.
+    #[test]
+    fn link_rule_threshold_sound(
+        copies in proptest::collection::vec(proptest::option::of(0u8..4), 1..10),
+        m in 0usize..3,
+    ) {
+        let link = DegradableLink::new(m);
+        if let Delivery::Accepted(v) = link.resolve(&copies) {
+            let count = copies.iter().flatten().filter(|&&c| c == v).count();
+            prop_assert!(count >= copies.len().saturating_sub(m));
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! Quickstart: 1/2-degradable agreement among five nodes.
+//!
+//! Run with: `cargo run --example quickstart`
+//!
+//! One sender (node 0) distributes the value 42 to four receivers using
+//! algorithm BYZ. We run three fault situations and check the paper's
+//! conditions each time:
+//!
+//! 1. no faults                 -> everyone decides 42          (D.1)
+//! 2. one Byzantine receiver    -> everyone still decides 42    (D.1)
+//! 3. two colluding receivers -> fault-free receivers decide 42 or the
+//!    default value V_d (D.3)
+
+use degradable::{check_degradable, ByzInstance, Params, Scenario, Strategy, Val, Verdict};
+use simnet::NodeId;
+use std::collections::BTreeMap;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // m = 1 (full Byzantine agreement up to 1 fault),
+    // u = 2 (degraded agreement up to 2 faults),
+    // which needs 2m + u + 1 = 5 nodes.
+    let params = Params::new(1, 2)?;
+    let instance = ByzInstance::new(5, params, NodeId::new(0))?;
+    println!("instance: {instance}");
+
+    let situations: Vec<(&str, BTreeMap<NodeId, Strategy<u64>>)> = vec![
+        ("no faults", BTreeMap::new()),
+        (
+            "one Byzantine receiver (n4 lies '7' everywhere)",
+            [(NodeId::new(4), Strategy::ConstantLie(Val::Value(7)))]
+                .into_iter()
+                .collect(),
+        ),
+        (
+            "two colluding receivers (n3, n4 lie '7')",
+            [
+                (NodeId::new(3), Strategy::ConstantLie(Val::Value(7))),
+                (NodeId::new(4), Strategy::ConstantLie(Val::Value(7))),
+            ]
+            .into_iter()
+            .collect(),
+        ),
+    ];
+
+    for (label, strategies) in situations {
+        let scenario = Scenario {
+            instance,
+            sender_value: Val::Value(42),
+            strategies,
+        };
+        let record = scenario.run();
+        println!("\n--- {label} (f = {}) ---", record.f());
+        for (receiver, decision) in record.fault_free_decisions() {
+            println!("  fault-free {receiver} decided {decision}");
+        }
+        match check_degradable(&record) {
+            Verdict::Satisfied(s) => println!(
+                "  => condition {} satisfied; {} fault-free nodes agree on one value",
+                s.condition, s.largest_agreeing
+            ),
+            Verdict::Violated(v) => println!("  => VIOLATION: {v}"),
+            Verdict::BeyondU { f } => println!("  => f = {f} exceeds u: no promise"),
+        }
+    }
+    Ok(())
+}

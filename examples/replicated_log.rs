@@ -1,0 +1,86 @@
+//! A replicated command log over degradable agreement.
+//!
+//! Run with: `cargo run --example replicated_log`
+//!
+//! Node 0 sequences commands to four replicas through 1/2-degradable
+//! agreement. During a two-fault window the fault-free replicas' logs
+//! diverge only by *holes* (`V_d` slots) — never by conflicting commands —
+//! and a later repair round (backward recovery) fills the holes once the
+//! transient clears. The run finishes with an execution narration of one
+//! slot, showing exactly how the VOTE folds filtered the lies.
+
+use channels::prelude::*;
+use degradable::{explain_receiver, ByzInstance, Params, Scenario, Strategy, Val};
+use simnet::NodeId;
+use std::collections::BTreeMap;
+
+fn render(log: &ReplicatedLog, replicas: usize) -> String {
+    let mut out = String::new();
+    for i in 1..=replicas {
+        let cells: Vec<String> = log
+            .log_of(NodeId::new(i))
+            .iter()
+            .map(|v| match v {
+                Val::Value(c) => format!("{c:>3}"),
+                Val::Default => "  ·".to_string(),
+            })
+            .collect();
+        out.push_str(&format!("  replica n{i}: [{}]\n", cells.join(" ")));
+    }
+    out
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let params = Params::new(1, 2)?;
+    let mut log = ReplicatedLog::new(params);
+    println!(
+        "replicated log: {} nodes, {params} agreement per slot",
+        log.node_count()
+    );
+
+    // Commands 0..9; replicas 1 and 2 fail silently for slots 3..6.
+    let burst: BTreeMap<NodeId, Strategy<u64>> = [
+        (NodeId::new(1), Strategy::Silent),
+        (NodeId::new(2), Strategy::Silent),
+    ]
+    .into_iter()
+    .collect();
+    for c in 0..10u64 {
+        let strategies = if (3..6).contains(&c) { burst.clone() } else { BTreeMap::new() };
+        let report = log.append(100 + c, &strategies);
+        if !report.holes.is_empty() {
+            println!(
+                "slot {}: degraded — {} fault-free replica(s) recorded a hole",
+                report.slot,
+                report.holes.len()
+            );
+        }
+    }
+    println!("\nlogs after the faulty window (· = hole):");
+    print!("{}", render(&log, 4));
+
+    // Backward recovery: repair the degraded slots now that the transient
+    // cleared.
+    for slot in 3..6usize {
+        log.repair(slot, 100 + slot as u64, &BTreeMap::new());
+    }
+    println!("\nlogs after repair:");
+    print!("{}", render(&log, 4));
+    assert!(log.check(&Default::default(), 0).is_none());
+    println!("\nall replica logs identical again; no conflicting slot ever existed.");
+
+    // Bonus: narrate one agreement fold under two lying nodes.
+    println!("\n--- anatomy of one degraded agreement instance ---");
+    let scenario = Scenario {
+        instance: ByzInstance::new(5, params, NodeId::new(0))?,
+        sender_value: Val::Value(103),
+        strategies: [
+            (NodeId::new(1), Strategy::ConstantLie(Val::Value(7))),
+            (NodeId::new(2), Strategy::ConstantLie(Val::Value(7))),
+        ]
+        .into_iter()
+        .collect(),
+    };
+    print!("{}", explain_receiver(&scenario, NodeId::new(3)));
+    Ok(())
+}

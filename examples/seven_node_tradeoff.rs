@@ -1,0 +1,59 @@
+//! The 7-node trade-off of Section 2.
+//!
+//! Run with: `cargo run --example seven_node_tradeoff`
+//!
+//! "Given a system consisting of 7 nodes, one may achieve 2/2-degradable
+//! agreement, or 1/4-degradable agreement, or 0/6-degradable agreement" —
+//! the capability to achieve Byzantine agreement can be traded for
+//! degraded agreement up to a larger number of faults.
+//!
+//! We subject all three configurations to the same three-fault attack:
+//! only the configurations with u >= 3 keep any guarantee, and they hold.
+
+use degradable::analysis::tradeoffs;
+use degradable::{check_degradable, ByzInstance, Scenario, Strategy, Val, Verdict};
+use simnet::NodeId;
+use std::collections::BTreeMap;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    const N: usize = 7;
+    println!("maximal (m, u) configurations of a {N}-node system:");
+    for p in tradeoffs(N) {
+        println!(
+            "  {p:<16} -> Byzantine agreement up to {} faults, degraded up to {}",
+            p.m(),
+            p.u()
+        );
+    }
+
+    // One attack, three contracts: three colluding lying receivers.
+    let strategies: BTreeMap<NodeId, Strategy<u64>> = (4..7)
+        .map(|i| (NodeId::new(i), Strategy::ConstantLie(Val::Value(9))))
+        .collect();
+    println!("\nattack: receivers n4, n5, n6 collude and lie '9'; sender honestly sends 1\n");
+
+    for params in tradeoffs(N) {
+        let instance = ByzInstance::new(N, params, NodeId::new(0))?;
+        let record = Scenario {
+            instance,
+            sender_value: Val::Value(1),
+            strategies: strategies.clone(),
+        }
+        .run();
+        let decisions: Vec<String> = record
+            .fault_free_decisions()
+            .iter()
+            .map(|(r, v)| format!("{r}={v}"))
+            .collect();
+        let verdict = match check_degradable(&record) {
+            Verdict::Satisfied(s) => format!("{} holds", s.condition),
+            Verdict::Violated(v) => format!("VIOLATED: {v}"),
+            Verdict::BeyondU { f } => format!("f = {f} > u: no promise (allowed to be anything)"),
+        };
+        println!("{:<16} {}  [{}]", params.to_string(), verdict, decisions.join(" "));
+    }
+
+    println!("\nreading: 2/2 makes no promise at f=3; 1/4 and 0/6 degrade gracefully —");
+    println!("every fault-free receiver lands on the sender's value or V_d.");
+    Ok(())
+}

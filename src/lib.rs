@@ -1,0 +1,27 @@
+//! Umbrella crate for the reproduction of Vaidya's *Degradable Agreement
+//! in the Presence of Byzantine Faults* (1993).
+//!
+//! The functionality lives in the member crates, re-exported here for
+//! convenience; the repository-level `examples/` and `tests/` compile
+//! against this crate.
+//!
+//! ```
+//! use degradable_agreement_repro::degradable::{ByzInstance, Params, Scenario, Val};
+//! use degradable_agreement_repro::simnet::NodeId;
+//!
+//! let instance = ByzInstance::new(5, Params::new(1, 2)?, NodeId::new(0))?;
+//! let record = Scenario {
+//!     instance,
+//!     sender_value: Val::Value(42),
+//!     strategies: Default::default(),
+//! }
+//! .run();
+//! assert!(record.fault_free_decisions().values().all(|v| *v == Val::Value(42)));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+#![forbid(unsafe_code)]
+
+pub use channels;
+pub use clocksync;
+pub use degradable;
+pub use simnet;

@@ -1,0 +1,101 @@
+//! Mid-protocol failures and time-varying fault schedules.
+//!
+//! The paper's fault model counts a node as faulty for the whole
+//! execution; a node that *crashes part-way through* the protocol is a
+//! special case of Byzantine behaviour (it behaved correctly, then went
+//! silent). These tests drive that case through the engine's
+//! [`FaultSchedule`]: the process logic is honest, the engine kills its
+//! messages from a chosen round on, and the agreement conditions must
+//! still hold with the crashed node counted in `f`.
+
+use degradable::{check_degradable, run_protocol_with, ByzInstance, Params, Val};
+use simnet::{FaultKind, FaultPlan, FaultSchedule, NodeId};
+use std::collections::{BTreeMap, BTreeSet};
+
+fn crash_from(node: usize, round: usize) -> FaultPlan {
+    FaultPlan::healthy().with(NodeId::new(node), FaultKind::Crash { from_round: round })
+}
+
+#[test]
+fn mid_protocol_crash_within_m_keeps_full_agreement() {
+    // BYZ(2,2) on 7 nodes runs depth+1 = 4 engine rounds; node 5 is honest
+    // in round 0..2 and silent from round 2 (its level-3 relays vanish).
+    let inst = ByzInstance::new(7, Params::new(2, 2).unwrap(), NodeId::new(0)).unwrap();
+    let schedule = FaultSchedule::healthy().then_from(2, crash_from(5, 0));
+    let run = run_protocol_with(&inst, &Val::Value(7), &BTreeMap::new(), 1, |e| {
+        e.with_fault_schedule(schedule)
+    });
+    let faulty: BTreeSet<NodeId> = [NodeId::new(5)].into_iter().collect();
+    let record = run.record(&inst, Val::Value(7), faulty);
+    let verdict = check_degradable(&record);
+    assert!(verdict.is_satisfied(), "{verdict:?}");
+    // f = 1 <= m = 2: D.1 demands everyone decides 7.
+    for (r, v) in record.fault_free_decisions() {
+        assert_eq!(v, Val::Value(7), "receiver {r}");
+    }
+}
+
+#[test]
+fn staggered_crashes_within_u_stay_degraded() {
+    // 1/2-degradable on 5 nodes: node 3 crashes from round 1, node 4 from
+    // round 2 — two mid-protocol failures, f = 2 = u.
+    let inst = ByzInstance::new(5, Params::new(1, 2).unwrap(), NodeId::new(0)).unwrap();
+    let schedule = FaultSchedule::healthy()
+        .then_from(1, crash_from(3, 0))
+        .then_from(2, {
+            FaultPlan::healthy()
+                .with(NodeId::new(3), FaultKind::Crash { from_round: 0 })
+                .with(NodeId::new(4), FaultKind::Crash { from_round: 0 })
+        });
+    let run = run_protocol_with(&inst, &Val::Value(7), &BTreeMap::new(), 1, |e| {
+        e.with_fault_schedule(schedule)
+    });
+    let faulty: BTreeSet<NodeId> = [NodeId::new(3), NodeId::new(4)].into_iter().collect();
+    let record = run.record(&inst, Val::Value(7), faulty);
+    let verdict = check_degradable(&record);
+    assert!(verdict.is_satisfied(), "{verdict:?}");
+}
+
+#[test]
+fn crashed_sender_mid_broadcast_is_condition_d2_or_d4() {
+    // The sender emits its round-0 messages and dies... or dies first: with
+    // crash from round 0 nothing is ever sent — every receiver decides V_d
+    // identically (D.2 with f = 1 <= m).
+    let inst = ByzInstance::new(5, Params::new(1, 2).unwrap(), NodeId::new(0)).unwrap();
+    let schedule = FaultSchedule::constant(crash_from(0, 0));
+    let run = run_protocol_with(&inst, &Val::Value(7), &BTreeMap::new(), 1, |e| {
+        e.with_fault_schedule(schedule)
+    });
+    let faulty: BTreeSet<NodeId> = [NodeId::new(0)].into_iter().collect();
+    let record = run.record(&inst, Val::Value(7), faulty);
+    let verdict = check_degradable(&record);
+    assert!(verdict.is_satisfied(), "{verdict:?}");
+    for (_, v) in record.fault_free_decisions() {
+        assert_eq!(v, Val::Default);
+    }
+}
+
+#[test]
+fn recovery_after_burst_is_clean_for_fresh_instances() {
+    // A burst that ends before a later instance starts must not affect it:
+    // fresh protocol run after the burst window is fault-free.
+    let inst = ByzInstance::new(5, Params::new(1, 2).unwrap(), NodeId::new(0)).unwrap();
+    // Burst covers rounds 0..2 of *this* run — then heals.
+    let schedule = FaultSchedule::healthy()
+        .then_from(0, crash_from(2, 0))
+        .then_from(2, FaultPlan::healthy());
+    let run = run_protocol_with(&inst, &Val::Value(7), &BTreeMap::new(), 1, |e| {
+        e.with_fault_schedule(schedule)
+    });
+    // Node 2's early silence makes it "faulty" for this run.
+    let faulty: BTreeSet<NodeId> = [NodeId::new(2)].into_iter().collect();
+    let record = run.record(&inst, Val::Value(7), faulty);
+    assert!(check_degradable(&record).is_satisfied());
+
+    // A brand-new run with a healthy schedule: all clean, full agreement.
+    let run = run_protocol_with(&inst, &Val::Value(7), &BTreeMap::new(), 1, |e| e);
+    let record = run.record(&inst, Val::Value(7), BTreeSet::new());
+    for (_, v) in record.fault_free_decisions() {
+        assert_eq!(v, Val::Value(7));
+    }
+}

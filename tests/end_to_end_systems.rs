@@ -1,0 +1,144 @@
+//! End-to-end integration across the workspace crates: the Section 3
+//! channel system with recovery, the fly-by-wire loop, and degradable
+//! clock synchronization driving message timeouts — the full stack the
+//! paper sketches, wired together.
+
+use channels::prelude::*;
+use clocksync::prelude::*;
+use degradable::adversary::Strategy;
+use degradable::{Params, Val};
+use simnet::NodeId;
+use std::collections::BTreeMap;
+
+#[test]
+fn channel_system_with_recovery_full_story() {
+    // 4-channel degradable system: a transient double fault degrades one
+    // cycle, recovery retries, the mission completes with zero unsafe
+    // actions.
+    let system = ChannelSystem::new(Architecture::Degradable {
+        params: Params::new(1, 2).unwrap(),
+    });
+    let mut driver = RecoveryDriver::new(system, RecoveryPolicy { max_retries: 3 });
+    for cycle in 0..20u64 {
+        let transient = cycle == 7;
+        driver.run_cycle(1000 + cycle, |attempt| {
+            if transient && attempt == 0 {
+                [
+                    (NodeId::new(1), Strategy::Silent),
+                    (NodeId::new(2), Strategy::Silent),
+                ]
+                .into_iter()
+                .collect()
+            } else {
+                BTreeMap::new()
+            }
+        });
+    }
+    let stats = driver.stats();
+    assert_eq!(stats.cycles(), 20);
+    assert_eq!(stats.forward, 19);
+    assert_eq!(stats.backward, 1);
+    assert!(stats.is_safe());
+}
+
+#[test]
+fn architectures_disagree_exactly_where_the_paper_says() {
+    // Identical double-fault attack against both Figure 1 architectures:
+    // B-system -> incorrect (unsafe), C-system -> default (safe).
+    let attack = |_: usize| -> BTreeMap<NodeId, Strategy<u64>> {
+        [
+            (NodeId::new(1), Strategy::ConstantLie(Val::Value(555))),
+            (NodeId::new(2), Strategy::ConstantLie(Val::Value(555))),
+        ]
+        .into_iter()
+        .collect()
+    };
+    let b = ChannelSystem::new(Architecture::Byzantine { m: 1 })
+        .run_cycle(42, &attack(0));
+    let c = ChannelSystem::new(Architecture::Degradable {
+        params: Params::new(1, 2).unwrap(),
+    })
+    .run_cycle(42, &attack(0));
+    assert_eq!(b.outcome, ExternalOutcome::Incorrect, "{b:?}");
+    assert_eq!(c.outcome, ExternalOutcome::Default, "{c:?}");
+}
+
+#[test]
+fn flight_outcomes_match_the_motivation() {
+    let config = FlightConfig::default();
+    let byz = fly(Architecture::Byzantine { m: 1 }, config);
+    let deg = fly(
+        Architecture::Degradable {
+            params: Params::new(1, 2).unwrap(),
+        },
+        config,
+    );
+    assert!(byz.crashed, "3-channel system should crash: {byz:?}");
+    assert!(!deg.crashed, "4-channel degradable system should survive: {deg:?}");
+    assert_eq!(deg.wrong_actuations, 0);
+    assert!(deg.pilot_alerts > 0);
+}
+
+#[test]
+fn clock_sync_conditions_across_fault_counts() {
+    // One round of degradable clock sync per fault count on 7 clocks with
+    // 1/4 parameters, lying clock nodes included.
+    let params = Params::new(1, 4).unwrap();
+    let config = SyncConfig {
+        params,
+        sync_tolerance: 10,
+        real_time_tolerance: 2_000,
+    };
+    for f in 0..=4usize {
+        let faulty: Vec<usize> = (7 - f..7).collect();
+        let clocks = ensemble(7, 1_000, 0, &faulty, 5);
+        let strategies: BTreeMap<NodeId, Strategy<u64>> = faulty
+            .iter()
+            .map(|&i| (NodeId::new(i), Strategy::ConstantLie(Val::Value(99_000_000))))
+            .collect();
+        let out = run_degradable_sync(&clocks, &strategies, config, 10_000_000);
+        match (out.condition1, out.condition2) {
+            (Some(c1), _) => assert!(c1, "f={f}: condition 1 failed: {out:?}"),
+            (_, Some(c2)) => assert!(c2, "f={f}: condition 2 failed: {out:?}"),
+            _ => unreachable!("f <= u always checks something"),
+        }
+    }
+}
+
+#[test]
+fn witness_clocks_keep_timing_plane_alive_while_processors_fail() {
+    // Section 6.2 composition: 5 processors of which 3 are Byzantine at
+    // the *processor* level (beyond N/3!), but only 1 clock is faulty and
+    // 2 witnesses are added: the clock plane synchronizes, which is what
+    // BYZ needs for absence detection.
+    let e = HardwareEnsemble::new(
+        ensemble(5, 500, 0, &[4], 11),
+        ensemble(2, 500, 0, &[], 13),
+        (0..7).map(|i| i == 4).collect(),
+    );
+    assert!(e.clock_plane_viable());
+    let sync = e.synchronize(ConvergenceConfig::default());
+    assert!(sync.final_skew() <= 2_000);
+
+    // ... and with the clock plane alive, degradable agreement over the 5
+    // processors (params 1/2, 3 of 5 faulty is beyond u, so use f = 2):
+    let inst = degradable::ByzInstance::new(
+        5,
+        Params::new(1, 2).unwrap(),
+        NodeId::new(0),
+    )
+    .unwrap();
+    let strategies: BTreeMap<NodeId, Strategy<u64>> = [
+        (NodeId::new(3), Strategy::ConstantLie(Val::Value(9))),
+        (NodeId::new(4), Strategy::ConstantLie(Val::Value(9))),
+    ]
+    .into_iter()
+    .collect();
+    let record = degradable::Scenario {
+        instance: inst,
+        sender_value: Val::Value(7),
+        strategies,
+    }
+    .run();
+    assert!(degradable::check_degradable(&record).is_satisfied());
+}

@@ -1,0 +1,171 @@
+//! Cross-executor equivalence: the reference executor (`eig::run_eig`),
+//! the message-passing executor (`protocol::run_protocol` on the simnet
+//! round engine) and the sparse executor on a complete topology must
+//! produce identical decisions for identical scenarios.
+
+use degradable::adversary::Strategy;
+use degradable::sparse::{run_sparse, RelayCorruption};
+use degradable::{run_protocol, ByzInstance, Params, Scenario, Val};
+use simnet::{NodeId, SimRng, Topology};
+use std::collections::BTreeMap;
+
+fn random_scenario(
+    n: usize,
+    m: usize,
+    u: usize,
+    f: usize,
+    rng: &mut SimRng,
+) -> (ByzInstance, BTreeMap<NodeId, Strategy<u64>>) {
+    let inst = ByzInstance::new(n, Params::new(m, u).expect("u >= m"), NodeId::new(0))
+        .expect("node bound");
+    let faulty = rng.choose_indices(n, f);
+    let battery = Strategy::battery(1, 2, rng.below(1 << 20));
+    let strategies = faulty
+        .into_iter()
+        .map(|i| {
+            let (_, s) = battery[rng.below(battery.len() as u64) as usize].clone();
+            (NodeId::new(i), s)
+        })
+        .collect();
+    (inst, strategies)
+}
+
+#[test]
+fn reference_equals_protocol_across_random_scenarios() {
+    let rng = SimRng::seed(0xE001);
+    for (n, m, u) in [(4usize, 1usize, 1usize), (5, 1, 2), (6, 1, 3), (7, 2, 2), (8, 2, 3)] {
+        for f in 0..=u {
+            for trial in 0..6usize {
+                let mut trial_rng = rng.fork((n * 100 + f * 10 + trial) as u64);
+                let (inst, strategies) = random_scenario(n, m, u, f, &mut trial_rng);
+                let reference = Scenario {
+                    instance: inst,
+                    sender_value: Val::Value(7),
+                    strategies: strategies.clone(),
+                }
+                .run()
+                .decisions;
+                let protocol =
+                    run_protocol(&inst, &Val::Value(7), &strategies, 42).decisions;
+                assert_eq!(
+                    reference, protocol,
+                    "divergence at n={n} m={m} u={u} f={f} trial={trial}: {strategies:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn reference_equals_sparse_on_complete_topology() {
+    let rng = SimRng::seed(0xE002);
+    for (n, m, u) in [(5usize, 1usize, 2usize), (7, 2, 2)] {
+        for f in 0..=u {
+            for trial in 0..4usize {
+                let mut trial_rng = rng.fork((n * 100 + f * 10 + trial) as u64);
+                let (inst, strategies) = random_scenario(n, m, u, f, &mut trial_rng);
+                let reference = Scenario {
+                    instance: inst,
+                    sender_value: Val::Value(7),
+                    strategies: strategies.clone(),
+                }
+                .run()
+                .decisions;
+                let sparse = run_sparse(
+                    &inst,
+                    &Topology::complete(n),
+                    &Val::Value(7),
+                    &strategies,
+                    &RelayCorruption::Forward,
+                    false,
+                )
+                .expect("complete graph has full connectivity")
+                .decisions;
+                assert_eq!(
+                    reference, sparse,
+                    "sparse divergence at n={n} m={m} u={u} f={f} trial={trial}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn equivalence_holds_at_larger_scale() {
+    // N = 10, m = 3: depth-4 recursion, ~5.8k messages per run.
+    let rng = SimRng::seed(0xB16);
+    let mut trial_rng = rng.fork(1);
+    let (inst, strategies) = random_scenario(10, 3, 3, 3, &mut trial_rng);
+    let reference = Scenario {
+        instance: inst,
+        sender_value: Val::Value(7),
+        strategies: strategies.clone(),
+    }
+    .run()
+    .decisions;
+    let protocol = run_protocol(&inst, &Val::Value(7), &strategies, 5).decisions;
+    assert_eq!(reference, protocol);
+}
+
+#[test]
+#[ignore = "scale probe: ~110k messages; run with --ignored"]
+fn equivalence_at_maximum_tested_scale() {
+    // N = 13, m = 4 (the largest instance in the paper's table): depth-5
+    // recursion, 108 384 messages. Documents the practical scale ceiling
+    // of the exhaustive EIG representation.
+    let rng = SimRng::seed(0xB17);
+    let mut trial_rng = rng.fork(1);
+    let (inst, strategies) = random_scenario(13, 4, 4, 4, &mut trial_rng);
+    let reference = Scenario {
+        instance: inst,
+        sender_value: Val::Value(7),
+        strategies: strategies.clone(),
+    }
+    .run()
+    .decisions;
+    let protocol = run_protocol(&inst, &Val::Value(7), &strategies, 5);
+    assert_eq!(protocol.net.sent, 108_384);
+    assert_eq!(reference, protocol.decisions);
+}
+
+#[test]
+fn batch_executor_equals_sequential_for_random_batches() {
+    use degradable::{run_batch, BatchInstance};
+    let rng = SimRng::seed(0xBA7);
+    for trial in 0..5u64 {
+        let mut trial_rng = rng.fork(trial);
+        let (inst, strategies) = random_scenario(5, 1, 2, (trial % 3) as usize, &mut trial_rng);
+        let instances: Vec<BatchInstance<u64>> = (0..4)
+            .map(|k| BatchInstance {
+                sender: NodeId::new(k % 5),
+                value: Val::Value(100 + k as u64),
+            })
+            .collect();
+        let batch = run_batch(inst.params(), 5, &instances, &strategies, 9);
+        for (k, bi) in instances.iter().enumerate() {
+            let single =
+                degradable::ByzInstance::new(5, inst.params(), bi.sender).expect("bound");
+            let solo = run_protocol(&single, &bi.value, &strategies, 9);
+            assert_eq!(batch.decisions[k], solo.decisions, "trial {trial} instance {k}");
+        }
+    }
+}
+
+#[test]
+fn protocol_seed_independence_without_stochastic_faults() {
+    // Engine seeds only matter for latency/omission sampling; a pure
+    // Byzantine scenario must be seed-independent.
+    let inst = ByzInstance::new(7, Params::new(2, 2).unwrap(), NodeId::new(0)).unwrap();
+    let strategies: BTreeMap<NodeId, Strategy<u64>> = [
+        (NodeId::new(0), Strategy::TwoFaced {
+            even: Val::Value(1),
+            odd: Val::Value(2),
+        }),
+        (NodeId::new(6), Strategy::Silent),
+    ]
+    .into_iter()
+    .collect();
+    let a = run_protocol(&inst, &Val::Value(7), &strategies, 1).decisions;
+    let b = run_protocol(&inst, &Val::Value(7), &strategies, 999).decisions;
+    assert_eq!(a, b);
+}

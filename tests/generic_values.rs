@@ -1,0 +1,99 @@
+//! The agreement machinery is generic over the value type; these tests
+//! drive it with `String` payloads and a custom ordered struct to make
+//! sure nothing silently assumes `u64`.
+
+use degradable::adversary::Strategy;
+use degradable::{check_degradable, run_protocol, AgreementValue, ByzInstance, Params, Scenario};
+use simnet::NodeId;
+use std::collections::BTreeMap;
+
+type SVal = AgreementValue<String>;
+
+fn sval(s: &str) -> SVal {
+    AgreementValue::Value(s.to_string())
+}
+
+#[test]
+fn string_values_through_reference_executor() {
+    let instance = ByzInstance::new(5, Params::new(1, 2).unwrap(), NodeId::new(0)).unwrap();
+    let scenario: Scenario<String> = Scenario {
+        instance,
+        sender_value: sval("set-throttle=42"),
+        strategies: [
+            (NodeId::new(3), Strategy::ConstantLie(sval("set-throttle=9999"))),
+            (NodeId::new(4), Strategy::ConstantLie(sval("set-throttle=9999"))),
+        ]
+        .into_iter()
+        .collect(),
+    };
+    let record = scenario.run();
+    assert!(check_degradable(&record).is_satisfied());
+    for (_, v) in record.fault_free_decisions() {
+        assert!(
+            v == sval("set-throttle=42") || v.is_default(),
+            "unexpected decision {v:?}"
+        );
+    }
+}
+
+#[test]
+fn string_values_through_message_passing() {
+    let instance = ByzInstance::new(5, Params::new(1, 2).unwrap(), NodeId::new(0)).unwrap();
+    let strategies: BTreeMap<NodeId, Strategy<String>> = [(
+        NodeId::new(4),
+        Strategy::TwoFaced {
+            even: sval("left"),
+            odd: sval("right"),
+        },
+    )]
+    .into_iter()
+    .collect();
+    let run = run_protocol(&instance, &sval("climb"), &strategies, 3);
+    for r in [1usize, 2, 3] {
+        assert_eq!(run.decisions[&NodeId::new(r)], sval("climb"));
+    }
+}
+
+#[test]
+fn custom_ordered_type() {
+    // A composite command type: anything Clone + Ord + Hash works.
+    #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+    struct Command {
+        target: u16,
+        magnitude: i32,
+    }
+    let cmd = AgreementValue::Value(Command {
+        target: 7,
+        magnitude: -3,
+    });
+    let instance = ByzInstance::new(4, Params::new(1, 1).unwrap(), NodeId::new(0)).unwrap();
+    let scenario = Scenario {
+        instance,
+        sender_value: cmd.clone(),
+        strategies: [(
+            NodeId::new(3),
+            Strategy::ConstantLie(AgreementValue::Value(Command {
+                target: 7,
+                magnitude: 9_999,
+            })),
+        )]
+        .into_iter()
+        .collect::<BTreeMap<_, _>>(),
+    };
+    let record = scenario.run();
+    assert!(check_degradable(&record).is_satisfied());
+    for (_, v) in record.fault_free_decisions() {
+        assert_eq!(v, cmd);
+    }
+}
+
+#[test]
+fn default_value_is_distinguishable_from_empty_string() {
+    // The type-level V_d guarantee: even the "empty" proper value is not
+    // the default.
+    assert_ne!(sval(""), SVal::Default);
+    let vote = degradable::vote(2, &[SVal::Default, SVal::Default, sval("")]);
+    assert!(vote.is_default());
+    let vote = degradable::vote(2, &[sval(""), sval(""), SVal::Default]);
+    assert_eq!(vote, sval(""));
+}

@@ -1,0 +1,325 @@
+//! Property-based tests over the workspace's core invariants.
+
+use degradable::adversary::Strategy;
+use degradable::{
+    check_degradable, k_of_n, largest_fault_free_class, majority, vote, ByzInstance, Params,
+    Scenario, Val, Verdict,
+};
+use proptest::prelude::*;
+use proptest::strategy::Strategy as _;
+use simnet::routing::{CopyAction, RelayHop, RelayNetwork};
+use simnet::{vertex_connectivity, vertex_disjoint_paths, NodeId, SimRng, Topology};
+use std::collections::{BTreeMap, BTreeSet};
+
+fn arb_vals(max_len: usize) -> impl proptest::strategy::Strategy<Value = Vec<Val>> {
+    proptest::collection::vec(
+        prop_oneof![
+            Just(Val::Default),
+            (0u64..6).prop_map(Val::Value),
+        ],
+        0..max_len,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// VOTE is permutation-invariant.
+    #[test]
+    fn vote_permutation_invariant(vals in arb_vals(24), alpha in 1usize..8, rot in 0usize..24) {
+        let mut rotated = vals.clone();
+        let len = rotated.len();
+        if len > 0 {
+            rotated.rotate_left(rot % len);
+        }
+        prop_assert_eq!(vote(alpha, &vals), vote(alpha, &rotated));
+    }
+
+    /// A non-default VOTE winner occurs at least alpha times and uniquely so.
+    #[test]
+    fn vote_winner_is_sound(vals in arb_vals(24), alpha in 1usize..8) {
+        let w = vote(alpha, &vals);
+        let count = |v: &Val| vals.iter().filter(|x| *x == v).count();
+        match w {
+            Val::Default => {
+                // either V_d itself won (>= alpha and unique), or no unique
+                // winner exists
+                let winners: Vec<_> = {
+                    let mut distinct: Vec<Val> = vals.clone();
+                    distinct.sort();
+                    distinct.dedup();
+                    distinct.into_iter().filter(|v| count(v) >= alpha).collect()
+                };
+                prop_assert!(
+                    winners.len() != 1 || winners[0] == Val::Default,
+                    "vote returned V_d but unique winner {winners:?} exists"
+                );
+            }
+            ref w => {
+                prop_assert!(count(w) >= alpha);
+                // uniqueness: no other value also reaches alpha
+                let mut others: Vec<Val> = vals.clone();
+                others.sort();
+                others.dedup();
+                for o in others {
+                    if o != *w {
+                        prop_assert!(count(&o) < alpha, "tie should yield V_d");
+                    }
+                }
+            }
+        }
+    }
+
+    /// Majority agrees with a direct count.
+    #[test]
+    fn majority_matches_count(vals in arb_vals(16)) {
+        let w = majority(&vals);
+        if let Val::Value(x) = w {
+            let c = vals.iter().filter(|v| **v == Val::Value(x)).count();
+            prop_assert!(2 * c > vals.len());
+        }
+    }
+
+    /// k_of_n returns a value only when it truly has k copies.
+    #[test]
+    fn k_of_n_sound(vals in proptest::collection::vec(0u64..5, 0..16), k in 1usize..6) {
+        if let Some(w) = k_of_n(k, &vals) {
+            prop_assert!(vals.iter().filter(|v| **v == w).count() >= k);
+        }
+    }
+
+    /// Harary graphs have exactly the requested connectivity.
+    #[test]
+    fn harary_connectivity_exact(k in 1usize..5, extra in 0usize..6) {
+        let n = (k + 2 + extra).max(k + 1);
+        let topo = Topology::harary(k, n);
+        prop_assert_eq!(vertex_connectivity(topo.graph()), k.min(n - 1));
+    }
+
+    /// Disjoint-path extraction returns genuinely disjoint, valid paths.
+    #[test]
+    fn disjoint_paths_valid(k in 2usize..5, extra in 0usize..5, t in 1usize..12) {
+        let n = k + 3 + extra;
+        let topo = Topology::harary(k, n);
+        let target = NodeId::new(1 + t % (n - 1));
+        let paths = vertex_disjoint_paths(topo.graph(), NodeId::new(0), target);
+        prop_assert!(paths.len() >= k);
+        let mut interior = BTreeSet::new();
+        for p in &paths {
+            prop_assert_eq!(p[0], NodeId::new(0));
+            prop_assert_eq!(*p.last().unwrap(), target);
+            for w in p.windows(2) {
+                prop_assert!(topo.graph().has_edge(w[0], w[1]));
+            }
+            for &v in &p[1..p.len() - 1] {
+                prop_assert!(interior.insert(v), "interior vertex reused");
+            }
+        }
+    }
+
+    /// THE core theorem: BYZ never violates m/u-degradable agreement at
+    /// N = 2m+u+1 for any battery adversary with f <= u.
+    #[test]
+    fn byz_never_violates_within_u(
+        m in 0usize..3,
+        du in 0usize..3,
+        f_frac in 0usize..100,
+        placement_seed in 0u64..10_000,
+        strat_idx in 0usize..6,
+        sender_value in 0u64..4,
+    ) {
+        let u = m + du;
+        let params = Params::new(m, u).expect("u >= m");
+        let n = params.min_nodes();
+        let f = f_frac % (u + 1);
+        let mut rng = SimRng::seed(placement_seed);
+        let faulty = rng.choose_indices(n, f);
+        let battery = Strategy::battery(sender_value, sender_value + 1, placement_seed);
+        let (_, strat) = battery[strat_idx % battery.len()].clone();
+        let strategies: BTreeMap<NodeId, Strategy<u64>> = faulty
+            .into_iter()
+            .map(|i| (NodeId::new(i), strat.clone()))
+            .collect();
+        let instance = ByzInstance::new(n, params, NodeId::new(0)).expect("at bound");
+        let record = Scenario {
+            instance,
+            sender_value: Val::Value(sender_value),
+            strategies,
+        }
+        .run();
+        let verdict = check_degradable(&record);
+        prop_assert!(verdict.is_satisfied(), "{verdict:?} for {record:?}");
+        // ... and the m+1 corollary:
+        if record.f() <= u {
+            prop_assert!(largest_fault_free_class(&record) > m);
+        }
+    }
+
+    /// Per-node mixed strategies (not all faulty nodes alike) also never
+    /// violate the conditions.
+    #[test]
+    fn byz_never_violates_with_mixed_strategies(
+        seed in 0u64..10_000,
+        f in 0usize..4,
+    ) {
+        let params = Params::new(1, 3).expect("1 <= 3");
+        let n = params.min_nodes(); // 6
+        let mut rng = SimRng::seed(seed);
+        let faulty = rng.choose_indices(n, f.min(3));
+        let battery = Strategy::battery(1, 2, seed);
+        let strategies: BTreeMap<NodeId, Strategy<u64>> = faulty
+            .into_iter()
+            .map(|i| {
+                let (_, s) = battery[rng.below(battery.len() as u64) as usize].clone();
+                (NodeId::new(i), s)
+            })
+            .collect();
+        let instance = ByzInstance::new(n, params, NodeId::new(0)).expect("bound");
+        let verdict = Scenario {
+            instance,
+            sender_value: Val::Value(1),
+            strategies,
+        }
+        .verdict();
+        prop_assert!(verdict.is_satisfied() , "{verdict:?}");
+    }
+
+    /// The degradable relay never accepts a wrong value when faults stay
+    /// within u, on any Harary topology meeting the connectivity bound.
+    #[test]
+    fn relay_never_accepts_wrong_value(
+        m in 0usize..2,
+        du in 0usize..2,
+        seed in 0u64..5_000,
+    ) {
+        let u = m + du;
+        let k = m + u + 1;
+        let n = (k + 3).max(6);
+        let topo = Topology::harary(k, n);
+        let net = RelayNetwork::new(&topo, m, u).expect("harary meets the bound");
+        let mut rng = SimRng::seed(seed);
+        let f = (rng.below((u + 1) as u64)) as usize;
+        let faulty: BTreeSet<NodeId> = rng
+            .choose_indices(n, f)
+            .into_iter()
+            .map(NodeId::new)
+            .collect();
+        let src = NodeId::new(0);
+        let dst = NodeId::new(1 + (rng.below((n - 1) as u64)) as usize);
+        if src == dst || faulty.contains(&src) || faulty.contains(&dst) {
+            return Ok(());
+        }
+        let mut adversary = |_: RelayHop| CopyAction::Replace(99u64);
+        let d = net.transmit(src, dst, &42u64, &faulty, &mut adversary);
+        prop_assert_ne!(d, simnet::routing::Delivery::Accepted(99));
+        if f <= m {
+            prop_assert_eq!(d, simnet::routing::Delivery::Accepted(42));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// SM consistency: under a two-faced sender plus a randomly-withholding
+    /// faulty relayer, all fault-free receivers decide identically (the
+    /// signed-messages guarantee holds for any withholding pattern).
+    #[test]
+    fn sm_consistency_under_random_withholding(mask in 0u64..u64::MAX, n in 4usize..7) {
+        use degradable::sm::{run_sm, SmAdversary, SmRelayAction};
+        let m = 2usize;
+        let faulty: BTreeSet<NodeId> = [NodeId::new(0), NodeId::new(1)].into_iter().collect();
+        let mut sender_claims =
+            |r: NodeId| Some(Val::Value(if r.index().is_multiple_of(2) { 1 } else { 2 }));
+        let mut relay_action = move |relayer: NodeId, chain: &[NodeId], r: NodeId| {
+            if relayer != NodeId::new(1) {
+                return SmRelayAction::Forward;
+            }
+            let bit = (chain.len() * 7 + r.index()) % 64;
+            if mask & (1 << bit) != 0 {
+                SmRelayAction::Withhold
+            } else {
+                SmRelayAction::Forward
+            }
+        };
+        let d = run_sm(
+            n,
+            m,
+            NodeId::new(0),
+            &Val::Value(0),
+            &faulty,
+            &mut SmAdversary {
+                sender_claims: &mut sender_claims,
+                relay_action: &mut relay_action,
+            },
+        );
+        let distinct: BTreeSet<_> = d
+            .iter()
+            .filter(|(r, _)| !faulty.contains(r))
+            .map(|(_, v)| *v)
+            .collect();
+        prop_assert!(distinct.len() <= 1, "{d:?}");
+    }
+
+    /// Degradable IC never violates its per-slot conditions for battery
+    /// adversaries with f <= u.
+    #[test]
+    fn degradable_ic_conditions(seed in 0u64..5_000, f in 0usize..3, strat_idx in 0usize..6) {
+        use degradable::ic::{check_degradable_ic, run_degradable_ic};
+        let params = Params::new(1, 2).unwrap();
+        let n = 5usize;
+        let values: Vec<Val> = (0..n).map(|i| Val::Value(100 + i as u64)).collect();
+        let mut rng = SimRng::seed(seed);
+        let battery = Strategy::battery(1, 2, seed);
+        let (_, strat) = battery[strat_idx % battery.len()].clone();
+        let strategies: BTreeMap<NodeId, Strategy<u64>> = rng
+            .choose_indices(n, f)
+            .into_iter()
+            .map(|i| (NodeId::new(i), strat.clone()))
+            .collect();
+        let out = run_degradable_ic(params, &values, &strategies);
+        prop_assert!(check_degradable_ic(&out).is_none(), "{:?}", check_degradable_ic(&out));
+    }
+
+    /// OM satisfies IC1/IC2 for f <= m when n > 3m (the baseline's classic
+    /// guarantee, checked through the same condition machinery).
+    #[test]
+    fn om_baseline_guarantee(seed in 0u64..5_000, m in 1usize..3, f_pick in 0usize..3) {
+        let n = 3 * m + 1;
+        let f = f_pick % (m + 1);
+        let mut rng = SimRng::seed(seed);
+        let faulty_idx = rng.choose_indices(n, f);
+        let battery = Strategy::battery(1, 2, seed);
+        let strategies: BTreeMap<NodeId, Strategy<u64>> = faulty_idx
+            .iter()
+            .map(|&i| {
+                let (_, s) = battery[rng.below(battery.len() as u64) as usize].clone();
+                (NodeId::new(i), s)
+            })
+            .collect();
+        let faulty: BTreeSet<NodeId> = strategies.keys().copied().collect();
+        let strategies2 = strategies.clone();
+        let mut fab = move |p: &degradable::Path, r: NodeId, t: &Val| {
+            strategies2.get(&p.last()).expect("faulty").claim(p, r, t)
+        };
+        let decisions = degradable::baselines::run_om(
+            n, m, NodeId::new(0), &Val::Value(1), &faulty, &mut fab,
+        );
+        let record = degradable::RunRecord {
+            params: Params::byzantine(m),
+            n,
+            sender: NodeId::new(0),
+            sender_value: Val::Value(1),
+            faulty,
+            decisions,
+        };
+        let verdict = degradable::check_byzantine(&record);
+        prop_assert!(
+            matches!(verdict, Verdict::Satisfied(_) | Verdict::BeyondU { .. }),
+            "{verdict:?}"
+        );
+        if record.f() <= m {
+            prop_assert!(verdict.is_satisfied());
+        }
+    }
+}
