@@ -11,7 +11,13 @@ fn bench_vote(c: &mut Criterion) {
     let mut group = c.benchmark_group("vote");
     for size in [8usize, 64, 512] {
         let values: Vec<Val> = (0..size)
-            .map(|i| if i % 3 == 0 { Val::Value(7) } else { Val::Value(i as u64 % 5) })
+            .map(|i| {
+                if i % 3 == 0 {
+                    Val::Value(7)
+                } else {
+                    Val::Value(i as u64 % 5)
+                }
+            })
             .collect();
         group.bench_with_input(BenchmarkId::from_parameter(size), &values, |b, values| {
             b.iter(|| vote(values.len() / 2, values))
@@ -51,9 +57,7 @@ fn bench_resolve(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("n{n}_m{m}")),
             &(view, m),
-            |b, (view, m)| {
-                b.iter(|| view.resolve(NodeId::new(0), VoteRule::Degradable { m: *m }))
-            },
+            |b, (view, m)| b.iter(|| view.resolve(NodeId::new(0), VoteRule::Degradable { m: *m })),
         );
     }
     group.finish();
@@ -71,7 +75,11 @@ fn bench_condition_check(c: &mut Criterion) {
             .map(|i| {
                 (
                     NodeId::new(i),
-                    if i % 4 == 0 { Val::Default } else { Val::Value(7) },
+                    if i % 4 == 0 {
+                        Val::Default
+                    } else {
+                        Val::Value(7)
+                    },
                 )
             })
             .collect::<BTreeMap<_, _>>(),

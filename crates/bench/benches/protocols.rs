@@ -48,9 +48,7 @@ fn bench_byz_protocol(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("n{n}_m{m}_u{u}")),
             &(inst, strategies),
-            |b, (inst, strategies)| {
-                b.iter(|| run_protocol(inst, &Val::Value(1), strategies, 7))
-            },
+            |b, (inst, strategies)| b.iter(|| run_protocol(inst, &Val::Value(1), strategies, 7)),
         );
     }
     group.finish();
@@ -65,8 +63,7 @@ fn bench_baselines(c: &mut Criterion) {
             &(n, m, faulty.clone()),
             |b, (n, m, faulty)| {
                 b.iter(|| {
-                    let mut fab =
-                        |_: &degradable::Path, _: NodeId, _: &Val| Val::Value(9);
+                    let mut fab = |_: &degradable::Path, _: NodeId, _: &Val| Val::Value(9);
                     run_om(*n, *m, NodeId::new(0), &Val::Value(1), faulty, &mut fab)
                 })
             },
@@ -76,8 +73,7 @@ fn bench_baselines(c: &mut Criterion) {
             &(n, m, faulty.clone()),
             |b, (n, t, faulty)| {
                 b.iter(|| {
-                    let mut fab =
-                        |_: &degradable::Path, _: NodeId, _: &Val| Val::Value(9);
+                    let mut fab = |_: &degradable::Path, _: NodeId, _: &Val| Val::Value(9);
                     run_crusader(*n, *t, NodeId::new(0), &Val::Value(1), faulty, &mut fab)
                 })
             },

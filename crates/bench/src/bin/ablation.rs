@@ -16,30 +16,36 @@
 //!   the recursion depth is exactly the classic requirement.
 //!
 //! The un-ablated configuration passes the identical sweeps (control
-//! rows).
+//! rows). Each `(m, u)` case runs its control and ablated sweeps on a
+//! [`harness::SweepRunner`] worker; results land in a JSON report under
+//! `results/`.
 
-use agreement_bench::print_table;
 use degradable::adversary::Strategy;
 use degradable::conditions::{check_degradable, RunRecord};
 use degradable::eig::{run_eig, VoteRule};
 use degradable::{Params, Val};
+use harness::report::Table;
+use harness::{Report, RunArgs, SweepRunner};
 use simnet::{NodeId, SimRng};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Runs the EIG pattern with an explicit rule/depth and checks the
-/// degradable conditions.
+/// degradable conditions. Placements come from `rng`, forked per fault
+/// count.
 fn sweep(
     params: Params,
     rule: VoteRule,
     depth: usize,
     f_range: std::ops::RangeInclusive<usize>,
+    placements: usize,
+    rng: &SimRng,
 ) -> (usize, usize) {
     let n = params.min_nodes();
     let mut runs = 0usize;
     let mut violations = 0usize;
     for f in f_range {
-        let mut rng = SimRng::seed(0xAB1 + f as u64);
-        for placement in 0..10usize {
+        let mut rng = rng.fork(f as u64);
+        for placement in 0..placements {
             let faulty: BTreeSet<NodeId> = rng
                 .choose_indices(n, f)
                 .into_iter()
@@ -83,55 +89,102 @@ fn sweep(
 
 fn main() {
     println!("A1: ablation of BYZ's design choices (threshold fold, m+1 rounds)");
-    let mut ablation_story = true;
+    let args = RunArgs::parse();
+    let placements = args.trials_or(10);
+    let runner = SweepRunner::new(args.workers_or(4));
+    let seed = args.seed_or(0xAB1);
 
     // Ablation 1: majority fold (i.e. plain OM's rule). A wrong value can
     // carry a majority of the u faulty votes plus nothing else only when
     // u > (N-1)/2 = (2m+u)/2, i.e. u > 2m — test exactly there, with the
     // un-ablated control alongside.
-    let mut rows = Vec::new();
-    for (m, u) in [(1usize, 3usize), (1, 4), (2, 5)] {
+    let fold_cases = [(1usize, 3usize), (1, 4), (2, 5)];
+    let fold_rows = runner.map(seed, &fold_cases, |_, &(m, u), rng| {
         let params = Params::new(m, u).expect("u >= m");
         let depth = params.rounds();
-        let (v_ctrl, r_ctrl) = sweep(params, VoteRule::Degradable { m }, depth, m + 1..=u);
-        let (v_major, r_major) = sweep(params, VoteRule::Majority, depth, m + 1..=u);
-        ablation_story &= v_ctrl == 0 && v_major > 0;
-        rows.push(vec![
-            params.to_string(),
-            format!("{v_ctrl}/{r_ctrl}"),
-            format!("{v_major}/{r_major}"),
-        ]);
-    }
-    print_table(
-        "ablation 1 — fold rule, degraded regime (m < f <= u), u > 2m",
-        &["params", "BYZ threshold vote (control)", "majority fold"],
-        &rows,
-    );
-    println!("(for u <= 2m the battery found no majority-fold break at these sizes: a wrong");
-    println!(" value then needs more votes than u faults can supply; the threshold vote is");
-    println!(" what extends the guarantee to every u >= m.)");
+        let ctrl = sweep(
+            params,
+            VoteRule::Degradable { m },
+            depth,
+            m + 1..=u,
+            placements,
+            &rng,
+        );
+        let major = sweep(
+            params,
+            VoteRule::Majority,
+            depth,
+            m + 1..=u,
+            placements,
+            &rng,
+        );
+        (params.to_string(), ctrl, major)
+    });
+    let mut ablation_story = fold_rows
+        .iter()
+        .all(|(_, (v_ctrl, _), (v_major, _))| *v_ctrl == 0 && *v_major > 0);
 
     // Ablation 2: one round short (depth m instead of m+1) breaks even the
     // classic regime f <= m.
-    let mut rows = Vec::new();
-    for (m, u) in [(1usize, 2usize), (1, 3), (2, 3)] {
+    let depth_cases = [(1usize, 2usize), (1, 3), (2, 3)];
+    let depth_rows = runner.map(seed ^ 0xD, &depth_cases, |_, &(m, u), rng| {
         let params = Params::new(m, u).expect("u >= m");
         let depth = params.rounds();
-        let (v_ctrl, r_ctrl) = sweep(params, VoteRule::Degradable { m }, depth, 0..=m);
-        let (v_shallow, r_shallow) =
-            sweep(params, VoteRule::Degradable { m }, depth - 1, 0..=m);
-        ablation_story &= v_ctrl == 0 && v_shallow > 0;
-        rows.push(vec![
-            params.to_string(),
-            format!("{v_ctrl}/{r_ctrl}"),
-            format!("{v_shallow}/{r_shallow}"),
-        ]);
+        let ctrl = sweep(
+            params,
+            VoteRule::Degradable { m },
+            depth,
+            0..=m,
+            placements,
+            &rng,
+        );
+        let shallow = sweep(
+            params,
+            VoteRule::Degradable { m },
+            depth - 1,
+            0..=m,
+            placements,
+            &rng,
+        );
+        (params.to_string(), ctrl, shallow)
+    });
+    ablation_story &= depth_rows
+        .iter()
+        .all(|(_, (v_ctrl, _), (v_shallow, _))| *v_ctrl == 0 && *v_shallow > 0);
+
+    // (params label, control (violations, runs), ablated (violations, runs))
+    type AblationRow = (String, (usize, usize), (usize, usize));
+    let as_cells = |rows: &[AblationRow]| -> Vec<Vec<String>> {
+        rows.iter()
+            .map(|(p, (vc, rc), (va, ra))| {
+                vec![p.clone(), format!("{vc}/{rc}"), format!("{va}/{ra}")]
+            })
+            .collect()
+    };
+    let mut report = Report::new("ablation");
+    report
+        .set_meta("placements_per_f", placements)
+        .set_meta("seed", seed)
+        .set_meta("workers", runner.workers())
+        .set_metric("ablation_story_holds", ablation_story)
+        .add_table(Table::with_rows(
+            "ablation 1 — fold rule, degraded regime (m < f <= u), u > 2m",
+            &["params", "BYZ threshold vote (control)", "majority fold"],
+            as_cells(&fold_rows),
+        ))
+        .add_table(Table::with_rows(
+            "ablation 2 — recursion depth, classic regime (f <= m)",
+            &["params", "depth m+1 (control)", "depth m"],
+            as_cells(&depth_rows),
+        ));
+    report.print_tables();
+    println!("(for u <= 2m the battery found no majority-fold break at these sizes: a wrong");
+    println!(" value then needs more votes than u faults can supply; the threshold vote is");
+    println!(" what extends the guarantee to every u >= m.)");
+    match report.write(args.out_path()) {
+        Ok(path) => println!("\nreport: {}", path.display()),
+        Err(e) => eprintln!("\nreport write failed: {e}"),
     }
-    print_table(
-        "ablation 2 — recursion depth, classic regime (f <= m)",
-        &["params", "depth m+1 (control)", "depth m"],
-        &rows,
-    );
 
     println!("\nreading: swapping the threshold vote for majority reintroduces foreign-value");
     println!("adoption in the degraded regime (where u > 2m); cutting one round breaks even");

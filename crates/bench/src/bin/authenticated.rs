@@ -65,7 +65,14 @@ fn om_row(n: usize, m: usize, faulty_receivers: usize) -> (String, bool) {
     };
     let d = run_om(n, m, NodeId::new(0), &Val::Value(0), &faulty, &mut fab);
     let ok = consistent(&d, &faulty);
-    (format!("{} [{}]", if ok { "agree" } else { "SPLIT" }, summarize(&d, &faulty)), ok)
+    (
+        format!(
+            "{} [{}]",
+            if ok { "agree" } else { "SPLIT" },
+            summarize(&d, &faulty)
+        ),
+        ok,
+    )
 }
 
 fn sm_row(n: usize, m: usize, faulty_receivers: usize) -> (String, bool) {
@@ -95,7 +102,14 @@ fn sm_row(n: usize, m: usize, faulty_receivers: usize) -> (String, bool) {
         },
     );
     let ok = consistent(&d, &faulty);
-    (format!("{} [{}]", if ok { "agree" } else { "SPLIT" }, summarize(&d, &faulty)), ok)
+    (
+        format!(
+            "{} [{}]",
+            if ok { "agree" } else { "SPLIT" },
+            summarize(&d, &faulty)
+        ),
+        ok,
+    )
 }
 
 fn byz_row(n: usize, m: usize, u: usize, faulty_receivers: usize) -> (String, bool) {
@@ -187,7 +201,13 @@ fn main() {
 
     print_table(
         "fault-free receiver decisions per protocol",
-        &["N", "faults", "oral (OM)", "signed (SM)", "degradable (BYZ)"],
+        &[
+            "N",
+            "faults",
+            "oral (OM)",
+            "signed (SM)",
+            "degradable (BYZ)",
+        ],
         &rows,
     );
 

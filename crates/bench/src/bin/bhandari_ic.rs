@@ -97,10 +97,19 @@ fn main() {
             f.to_string(),
             format!(
                 "{}{}",
-                if classic { "consistent" } else { "INCONSISTENT" },
+                if classic {
+                    "consistent"
+                } else {
+                    "INCONSISTENT"
+                },
                 if f > 2 { " (no promise)" } else { "" }
             ),
-            if degr { "degraded guarantee holds" } else { "VIOLATED" }.to_string(),
+            if degr {
+                "degraded guarantee holds"
+            } else {
+                "VIOLATED"
+            }
+            .to_string(),
         ]);
     }
     print_table(

@@ -25,15 +25,24 @@ fn main() {
     // Part 1: interactive convergence baseline.
     let mut rows = Vec::new();
     let cfg = ConvergenceConfig::default();
-    for (n, faulty) in [(4usize, vec![]), (4, vec![3]), (3, vec![2]), (7, vec![5, 6])] {
+    for (n, faulty) in [
+        (4usize, vec![]),
+        (4, vec![3]),
+        (3, vec![2]),
+        (7, vec![5, 6]),
+    ] {
         let clocks: Vec<Clock> = if n == 3 && faulty == vec![2] {
             // the targeted two-faced clock that defeats n = 3
             vec![
                 Clock::healthy(-900, 0),
                 Clock::healthy(900, 0),
-                Clock::faulty(0, 0, ClockFault::PerObserver {
-                    deltas: [-2_800, 2_800, 0, 0, 0, 0, 0, 0],
-                }),
+                Clock::faulty(
+                    0,
+                    0,
+                    ClockFault::PerObserver {
+                        deltas: [-2_800, 2_800, 0, 0, 0, 0, 0, 0],
+                    },
+                ),
             ]
         } else {
             ensemble(n, 1_000, 10, &faulty, 17)
@@ -43,7 +52,14 @@ fn main() {
         rows.push(vec![
             n.to_string(),
             faulty.len().to_string(),
-            format!("{}", if 3 * faulty.len() < n { "f < n/3" } else { "f >= n/3" }),
+            format!(
+                "{}",
+                if 3 * faulty.len() < n {
+                    "f < n/3"
+                } else {
+                    "f >= n/3"
+                }
+            ),
             out.skew_per_round
                 .iter()
                 .map(u64::to_string)
@@ -74,9 +90,7 @@ fn main() {
             let mut rng = SimRng::seed(0xC10C + f as u64);
             for trial in 0..12usize {
                 let faulty_idx = rng.choose_indices(n, f);
-                for (_, strat) in
-                    Strategy::battery(10_000_000, 10_050_000, trial as u64)
-                {
+                for (_, strat) in Strategy::battery(10_000_000, 10_050_000, trial as u64) {
                     let clocks = ensemble(n, 1_000, 0, &faulty_idx, 31 + trial as u64);
                     let strategies: BTreeMap<NodeId, Strategy<u64>> = faulty_idx
                         .iter()
@@ -127,13 +141,20 @@ fn main() {
     let mut rows = Vec::new();
     for (label, faulty, strat) in [
         ("no faults", vec![], None),
-        ("1 liar (f<=m)", vec![4usize], Some(Strategy::ConstantLie(degradable::Val::Value(77)))),
+        (
+            "1 liar (f<=m)",
+            vec![4usize],
+            Some(Strategy::ConstantLie(degradable::Val::Value(77))),
+        ),
         ("2 silent (m<f<=u)", vec![3, 4], Some(Strategy::Silent)),
     ] {
         let clocks = ensemble(5, 1_000, 100, &faulty, 23);
         let strategies: BTreeMap<NodeId, Strategy<u64>> = match &strat {
             None => BTreeMap::new(),
-            Some(s) => faulty.iter().map(|&i| (NodeId::new(i), s.clone())).collect(),
+            Some(s) => faulty
+                .iter()
+                .map(|&i| (NodeId::new(i), s.clone()))
+                .collect(),
         };
         let out = run_periodic_sync(
             &clocks,
@@ -161,7 +182,11 @@ fn main() {
     }
     print_table(
         "periodic degradable sync under ±100ppm drift (1/2, n=5): skew after each resync",
-        &["scenario", "skew per round (microticks)", "condition failures"],
+        &[
+            "scenario",
+            "skew per round (microticks)",
+            "condition failures",
+        ],
         &rows,
     );
 
@@ -178,7 +203,9 @@ fn main() {
         );
         let viable = e.clock_plane_viable();
         let skew = if viable {
-            e.synchronize(ConvergenceConfig::default()).final_skew().to_string()
+            e.synchronize(ConvergenceConfig::default())
+                .final_skew()
+                .to_string()
         } else {
             "-".to_string()
         };
@@ -193,7 +220,14 @@ fn main() {
     }
     print_table(
         "hardware clock plane (Section 6.2): witnesses raise the clock-fault budget",
-        &["processors", "witness clocks", "clock faults", "tolerable", "viable", "final skew"],
+        &[
+            "processors",
+            "witness clocks",
+            "clock faults",
+            "tolerable",
+            "viable",
+            "final skew",
+        ],
         &rows,
     );
 

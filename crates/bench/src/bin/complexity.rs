@@ -7,65 +7,82 @@
 //! degradable trade-off changes it: for fixed `N`, choosing a smaller `m`
 //! (and larger `u`) shrinks the recursion depth and the message count
 //! exponentially — the price of full agreement is paid in messages.
+//!
+//! The per-`(N, m/u)` measurements fan out over [`harness::SweepRunner`]
+//! workers (the larger grid points dominate); the tables are written as a
+//! JSON report under `results/`.
 
-use agreement_bench::{print_csv, print_table};
+use agreement_bench::print_csv;
 use degradable::analysis::{message_complexity, storage_complexity, tradeoffs};
 use degradable::{run_protocol, ByzInstance, Val};
+use harness::report::Table;
+use harness::{Report, RunArgs, SweepRunner};
 use simnet::NodeId;
 use std::collections::BTreeMap;
 
 fn main() {
     println!("P1: message/storage complexity of BYZ(m,m) and the N-node trade-off");
+    let args = RunArgs::parse();
 
-    // Per-(N, m) costs, validated against the protocol executor.
+    // Per-(N, m) costs, validated against the protocol executor. Each grid
+    // point is an independent protocol run, fanned out over workers.
+    let grid: Vec<(usize, degradable::Params)> = [4usize, 5, 7, 9, 11, 13]
+        .into_iter()
+        .flat_map(|n| tradeoffs(n).into_iter().map(move |p| (n, p)))
+        .collect();
+    let runner = SweepRunner::new(args.workers_or(4));
+    let points = runner.map(args.seed_or(1), &grid, |_, &(n, params), _rng| {
+        let inst = ByzInstance::new(n, params, NodeId::new(0)).expect("maximal u fits");
+        let depth = inst.depth();
+        let analytic = message_complexity(n, depth);
+        let measured = run_protocol(&inst, &Val::Value(1), &BTreeMap::new(), 1)
+            .net
+            .sent as u128;
+        (n, params, depth, analytic, measured)
+    });
+    let all_match = points
+        .iter()
+        .all(|&(_, _, _, analytic, measured)| analytic == measured);
+
     let mut rows = Vec::new();
     let mut csv = Vec::new();
-    let mut all_match = true;
-    for n in [4usize, 5, 7, 9, 11, 13] {
-        for params in tradeoffs(n) {
-            let inst = ByzInstance::new(n, params, NodeId::new(0)).expect("maximal u fits");
-            let depth = inst.depth();
-            let analytic = message_complexity(n, depth);
-            let measured = run_protocol(&inst, &Val::Value(1), &BTreeMap::new(), 1)
-                .net
-                .sent as u128;
-            let matches = analytic == measured;
-            all_match &= matches;
-            rows.push(vec![
-                n.to_string(),
-                params.to_string(),
-                depth.to_string(),
-                analytic.to_string(),
-                measured.to_string(),
-                storage_complexity(n, depth).to_string(),
-                if matches { "=" } else { "MISMATCH" }.to_string(),
-            ]);
-            csv.push(vec![
-                n.to_string(),
-                params.m().to_string(),
-                params.u().to_string(),
-                analytic.to_string(),
-            ]);
-        }
+    for &(n, params, depth, analytic, measured) in &points {
+        rows.push(vec![
+            n.to_string(),
+            params.to_string(),
+            depth.to_string(),
+            analytic.to_string(),
+            measured.to_string(),
+            storage_complexity(n, depth).to_string(),
+            if analytic == measured {
+                "="
+            } else {
+                "MISMATCH"
+            }
+            .to_string(),
+        ]);
+        csv.push(vec![
+            n.to_string(),
+            params.m().to_string(),
+            params.u().to_string(),
+            analytic.to_string(),
+        ]);
     }
-    print_table(
-        "BYZ cost per (N, m/u): rounds, messages (analytic vs measured), stored paths",
-        &["N", "params", "rounds", "messages (analytic)", "messages (measured)", "paths", "check"],
-        &rows,
-    );
-    print_csv("complexity", &["n", "m", "u", "messages"], &csv);
 
     // Protocol family comparison at fixed tolerance.
     use degradable::analysis::{crusader_message_complexity, sm_honest_message_complexity};
-    let mut rows = Vec::new();
+    let mut family_rows = Vec::new();
     for m in 1..=3usize {
         let n_om = 3 * m + 1;
         let n_sm = m + 2;
-        rows.push(vec![
+        family_rows.push(vec![
             m.to_string(),
             format!("OM({m}) @ N={n_om}: {}", message_complexity(n_om, m + 1)),
             format!("Crusader @ N={n_om}: {}", crusader_message_complexity(n_om)),
-            format!("SM({m}) @ N={n_sm}: {} (honest)", sm_honest_message_complexity(n_sm)),
+            format!(
+                "SM({m}) @ N={n_sm}: {} (honest)",
+                sm_honest_message_complexity(n_sm)
+            ),
             format!(
                 "BYZ({m},{m}) @ N={}: {}",
                 3 * m + 1,
@@ -73,11 +90,41 @@ fn main() {
             ),
         ]);
     }
-    print_table(
-        "protocol family cost at tolerance m (minimum nodes each)",
-        &["m", "oral (OM)", "crusader", "signed (SM)", "degradable m/m"],
-        &rows,
-    );
+
+    let mut report = Report::new("complexity");
+    report
+        .set_meta("workers", runner.workers())
+        .set_metric("analytic_matches_measured", all_match)
+        .add_table(Table::with_rows(
+            "BYZ cost per (N, m/u): rounds, messages (analytic vs measured), stored paths",
+            &[
+                "N",
+                "params",
+                "rounds",
+                "messages (analytic)",
+                "messages (measured)",
+                "paths",
+                "check",
+            ],
+            rows,
+        ))
+        .add_table(Table::with_rows(
+            "protocol family cost at tolerance m (minimum nodes each)",
+            &[
+                "m",
+                "oral (OM)",
+                "crusader",
+                "signed (SM)",
+                "degradable m/m",
+            ],
+            family_rows,
+        ));
+    report.print_tables();
+    print_csv("complexity", &["n", "m", "u", "messages"], &csv);
+    match report.write(args.out_path()) {
+        Ok(path) => println!("\nreport: {}", path.display()),
+        Err(e) => eprintln!("\nreport write failed: {e}"),
+    }
 
     println!("\nreading: at fixed N, trading m down (u up) cuts rounds and messages —");
     println!("e.g. at N = 13: 4/4 vs 1/10 vs 0/12 differ by orders of magnitude.");

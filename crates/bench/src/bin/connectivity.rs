@@ -32,12 +32,7 @@ fn main() {
         let mut suff_ok = true;
         for fcase in 1..=u {
             let strategies: BTreeMap<NodeId, Strategy<u64>> = (1..=fcase)
-                .map(|i| {
-                    (
-                        NodeId::new(n - i),
-                        Strategy::ConstantLie(Val::Value(9)),
-                    )
-                })
+                .map(|i| (NodeId::new(n - i), Strategy::ConstantLie(Val::Value(9))))
                 .collect();
             let faulty = strategies.keys().copied().collect();
             let run = run_sparse(
@@ -59,7 +54,11 @@ fn main() {
             topo.name().to_string(),
             format!("{kappa} (= m+u+1 = {kappa_req})"),
             "battery f=1..u".into(),
-            if suff_ok { "all conditions hold".into() } else { "VIOLATION".to_string() },
+            if suff_ok {
+                "all conditions hold".into()
+            } else {
+                "VIOLATION".to_string()
+            },
         ]);
         all_ok &= suff_ok;
 

@@ -15,7 +15,13 @@ use std::collections::BTreeMap;
 
 fn placements(channels: usize, f: usize) -> Vec<Vec<usize>> {
     // all f-subsets of 1..=channels
-    fn rec(start: usize, channels: usize, f: usize, acc: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+    fn rec(
+        start: usize,
+        channels: usize,
+        f: usize,
+        acc: &mut Vec<usize>,
+        out: &mut Vec<Vec<usize>>,
+    ) {
         if acc.len() == f {
             out.push(acc.clone());
             return;
@@ -82,22 +88,46 @@ fn main() {
             // f <= u demands no incorrect.
             let cond = match (arch, f) {
                 (Architecture::Byzantine { m }, f) if f <= m => {
-                    if counts[0] == runs { "B.1 holds" } else { "B.1 VIOLATED" }
+                    if counts[0] == runs {
+                        "B.1 holds"
+                    } else {
+                        "B.1 VIOLATED"
+                    }
                 }
                 (Architecture::Byzantine { .. }, _) => {
-                    if counts[2] > 0 { "fails unsafely (expected)" } else { "no promise" }
+                    if counts[2] > 0 {
+                        "fails unsafely (expected)"
+                    } else {
+                        "no promise"
+                    }
                 }
                 (Architecture::Degradable { params }, f) if f <= params.m() => {
-                    if counts[0] == runs { "C.1 holds" } else { "C.1 VIOLATED" }
+                    if counts[0] == runs {
+                        "C.1 holds"
+                    } else {
+                        "C.1 VIOLATED"
+                    }
                 }
                 (Architecture::Degradable { .. }, _) => {
-                    if counts[2] == 0 && class_bound_ok { "C.2 & C.3 hold" } else { "C.2/C.3 VIOLATED" }
+                    if counts[2] == 0 && class_bound_ok {
+                        "C.2 & C.3 hold"
+                    } else {
+                        "C.2/C.3 VIOLATED"
+                    }
                 }
                 (Architecture::Crusader { t }, f) if f <= t => {
-                    if counts[0] == runs { "correct (within t)" } else { "VIOLATED" }
+                    if counts[0] == runs {
+                        "correct (within t)"
+                    } else {
+                        "VIOLATED"
+                    }
                 }
                 (Architecture::Crusader { .. }, _) => {
-                    if counts[2] > 0 { "fails unsafely (expected)" } else { "no promise" }
+                    if counts[2] > 0 {
+                        "fails unsafely (expected)"
+                    } else {
+                        "no promise"
+                    }
                 }
                 (Architecture::Naive { .. }, _) => "n/a",
             };
@@ -124,7 +154,15 @@ fn main() {
     }
     print_table(
         "external-entity outcomes by architecture and fault count (fault-free sender)",
-        &["architecture", "f", "runs", "correct", "default", "incorrect", "condition"],
+        &[
+            "architecture",
+            "f",
+            "runs",
+            "correct",
+            "default",
+            "incorrect",
+            "condition",
+        ],
         &rows,
     );
     print_csv(

@@ -3,10 +3,15 @@
 //! the structured below-bound adversary (u colluding constant liars with a
 //! fault-free sender) breaks BYZ. The violation region must end exactly at
 //! `N = 2m+u+1`.
+//!
+//! Runs through [`harness::SweepRunner`] (one worker task per `(m, u)`
+//! row) and writes a versioned JSON report under `results/`.
 
-use agreement_bench::{print_csv, print_table};
+use agreement_bench::print_csv;
 use degradable::adversary::Strategy;
 use degradable::{ByzInstance, Params, Scenario, Val};
+use harness::report::Table;
+use harness::{Report, RunArgs, SweepRunner};
 use simnet::NodeId;
 use std::collections::BTreeMap;
 
@@ -39,6 +44,7 @@ fn verdict_at(n: usize, m: usize, u: usize) -> &'static str {
 
 fn main() {
     println!("E4: node-count sweep around the 2m+u+1 bound (Theorem 2)");
+    let args = RunArgs::parse();
     let cases = [(1usize, 1usize), (1, 2), (1, 3), (2, 2), (2, 3), (3, 3)];
     let max_n = 14usize;
 
@@ -47,31 +53,45 @@ fn main() {
         .collect();
     let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
 
-    let mut rows = Vec::new();
-    let mut threshold_exact = true;
-    for (m, u) in cases {
+    // Each (m, u) row is an independent deterministic sweep; the runner
+    // fans the rows out over workers and keeps them in case order.
+    let runner = SweepRunner::new(args.workers_or(4));
+    let per_case = runner.map(args.seed_or(0xE4), &cases, |_, &(m, u), _rng| {
         let n_min = 2 * m + u + 1;
         let mut cells = vec![format!("{m}/{u} ({n_min})")];
+        let mut exact = true;
         for n in 3..=max_n {
             let v = verdict_at(n, m, u);
             // The bound must be exact: violated at N = n_min - 1 (when the
             // scenario is runnable), ok from n_min on.
             if n >= n_min && v == "VIOLATED" {
-                threshold_exact = false;
+                exact = false;
             }
             if n == n_min - 1 && v == "ok" && m >= 1 {
-                threshold_exact = false;
+                exact = false;
             }
             cells.push(v.to_string());
         }
-        rows.push(cells);
-    }
-    print_table(
-        "structured adversary outcome per node count (ok / VIOLATED / · = inapplicable)",
-        &header_refs,
-        &rows,
-    );
+        (cells, exact)
+    });
+    let threshold_exact = per_case.iter().all(|(_, exact)| *exact);
+    let rows: Vec<Vec<String>> = per_case.into_iter().map(|(cells, _)| cells).collect();
+
+    let mut report = Report::new("node_bound_sweep");
+    report
+        .set_meta("workers", runner.workers())
+        .set_metric("threshold_exact", threshold_exact)
+        .add_table(Table::with_rows(
+            "structured adversary outcome per node count (ok / VIOLATED / · = inapplicable)",
+            &header_refs,
+            rows.clone(),
+        ));
+    report.print_tables();
     print_csv("node_bound_sweep", &header_refs, &rows);
+    match report.write(args.out_path()) {
+        Ok(path) => println!("\nreport: {}", path.display()),
+        Err(e) => eprintln!("\nreport write failed: {e}"),
+    }
 
     if threshold_exact {
         println!("\nRESULT: matches Theorem 2 — the violation region ends exactly at N = 2m+u+1");

@@ -7,13 +7,20 @@
 //! unsafe probability grows with the fault rate; the degradable 4-channel
 //! system converts those cases into safe defaults whenever `f <= u`
 //! (its residual unsafe probability comes only from trials with `f > u`).
+//!
+//! Every sweep point runs through [`harness::SweepRunner`] (inside
+//! [`run_monte_carlo`]); `--trials N` shrinks the sweep for CI smoke runs
+//! and the JSON report lands under `results/`.
 
-use agreement_bench::{pct, print_csv, print_table};
+use agreement_bench::{pct, print_csv};
 use channels::prelude::*;
 use degradable::Params;
+use harness::report::Table;
+use harness::{Report, RunArgs};
 
 fn main() {
     println!("E8: Monte Carlo reliability sweep (Section 3 motivation)");
+    let args = RunArgs::parse();
     let archs = [
         Architecture::Naive { channels: 3 },
         Architecture::Byzantine { m: 1 },
@@ -22,7 +29,9 @@ fn main() {
         },
     ];
     let ps = [0.02f64, 0.05, 0.1, 0.2, 0.3];
-    let trials = 4_000usize;
+    let trials = args.trials_or(4_000);
+    let seed = args.seed_or(0xE8);
+    let workers = args.workers_or(8);
 
     let mut rows = Vec::new();
     let mut csv = Vec::new();
@@ -34,13 +43,12 @@ fn main() {
                 MonteCarloConfig {
                     channel_fault_p: p,
                     trials,
-                    seed: 0xE8,
-                    workers: 8,
+                    seed,
+                    workers,
                 },
             );
             let o = result.overall;
-            if matches!(arch, Architecture::Degradable { .. })
-                && result.within_design.incorrect > 0
+            if matches!(arch, Architecture::Degradable { .. }) && result.within_design.incorrect > 0
             {
                 deg_safe_within_design = false;
             }
@@ -62,24 +70,38 @@ fn main() {
             ]);
         }
     }
-    print_table(
-        &format!("external outcome probabilities ({trials} trials per point, fault-free sender)"),
-        &[
-            "architecture",
-            "p(channel fault)",
-            "P(correct)",
-            "P(default)",
-            "P(incorrect)",
-            "P(incorrect | f<=design)",
-            "trials beyond design",
-        ],
-        &rows,
-    );
+
+    let mut report = Report::new("reliability");
+    report
+        .set_meta("trials_per_point", trials)
+        .set_meta("seed", seed)
+        .set_meta("workers", workers)
+        .set_metric("deg_safe_within_design", deg_safe_within_design)
+        .add_table(Table::with_rows(
+            format!(
+                "external outcome probabilities ({trials} trials per point, fault-free sender)"
+            ),
+            &[
+                "architecture",
+                "p(channel fault)",
+                "P(correct)",
+                "P(default)",
+                "P(incorrect)",
+                "P(incorrect | f<=design)",
+                "trials beyond design",
+            ],
+            rows,
+        ));
+    report.print_tables();
     print_csv(
         "reliability_sweep",
         &["architecture", "p", "p_correct", "p_default", "p_incorrect"],
         &csv,
     );
+    match report.write(args.out_path()) {
+        Ok(path) => println!("\nreport: {}", path.display()),
+        Err(e) => eprintln!("\nreport write failed: {e}"),
+    }
 
     println!("\nreading: the degradable system's P(incorrect | f <= u) column must be 0 —");
     println!("all unsafe mass is converted into safe defaults within the design envelope.");

@@ -56,7 +56,8 @@ fn main() {
                 let out = run_fusion(config, N, &readings, &strategies);
                 runs += 1;
                 let estimates = out.distinct_estimates();
-                if estimates.len() <= 1 && out.fused.values().all(|x| matches!(x, Fused::Estimate(_)))
+                if estimates.len() <= 1
+                    && out.fused.values().all(|x| matches!(x, Fused::Estimate(_)))
                 {
                     identical_runs += 1;
                 }

@@ -33,14 +33,23 @@ fn main() {
             if report.certified() {
                 "CERTIFIED".to_string()
             } else {
-                format!("VIOLATION: {:?}", report.violation.as_ref().map(|w| &w.violation))
+                format!(
+                    "VIOLATION: {:?}",
+                    report.violation.as_ref().map(|w| &w.violation)
+                )
             },
             format!("{secs:.2}s"),
         ]);
     }
     print_table(
         "Theorem 1, machine-checked for small instances",
-        &["instance", "configurations", "adversary tables", "outcome", "time"],
+        &[
+            "instance",
+            "configurations",
+            "adversary tables",
+            "outcome",
+            "time",
+        ],
         &rows,
     );
 
@@ -50,8 +59,8 @@ fn main() {
     for (m, u) in [(1usize, 1usize), (1, 2)] {
         let params = Params::new(m, u).expect("u >= m");
         let n = params.min_nodes() - 1;
-        let inst = degradable::ByzInstance::new_below_bound(n, params, NodeId::new(0))
-            .expect("in range");
+        let inst =
+            degradable::ByzInstance::new_below_bound(n, params, NodeId::new(0)).expect("in range");
         let faulty: BTreeSet<NodeId> = (n - u..n).map(NodeId::new).collect();
         let search = ExhaustiveSearch::new(
             inst,

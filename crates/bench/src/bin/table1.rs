@@ -9,20 +9,89 @@
 //! Certification method per cell: exhaustive enumeration of all
 //! deterministic adversaries over the domain `{V_d, α, β}` where feasible,
 //! seeded randomized search otherwise (the method column says which).
+//! Cells certify independently, so they fan out over
+//! [`harness::SweepRunner`] workers; `--trials` bounds the randomized
+//! search and the JSON report lands under `results/`.
 
-use agreement_bench::{print_csv, print_table};
+use agreement_bench::print_csv;
 use degradable::analysis::{min_nodes_table, MinNodesCell};
 use degradable::lower_bound::{same_adversary_at_bound, violation_below_bound};
 use degradable::{ByzInstance, ExhaustiveSearch, Params, RandomizedSearch, Val};
+use harness::report::Table;
+use harness::{Report, RunArgs, SweepRunner};
 use simnet::NodeId;
 use std::collections::BTreeSet;
 
 const MAX_M: usize = 3;
 const MAX_U: usize = 6;
-const RAND_TRIALS: usize = 2_000;
+
+fn certify(m: usize, u: usize, rand_trials: usize, search_seed: u64) -> Vec<String> {
+    let params = Params::new(m, u).expect("u >= m");
+    let n_min = params.min_nodes();
+
+    let below = violation_below_bound(m, u);
+    let at = same_adversary_at_bound(m, u);
+
+    // Search at the bound: exhaustive when the space is small enough,
+    // randomized otherwise. Fault set: the u highest-numbered receivers
+    // (the structurally worst placement for D.3).
+    let sender = NodeId::new(0);
+    let inst = ByzInstance::new(n_min, params, sender).expect("at bound");
+    let faulty: BTreeSet<NodeId> = (n_min - u..n_min).map(NodeId::new).collect();
+    let domain = vec![Val::Default, Val::Value(1), Val::Value(2)];
+    let search = ExhaustiveSearch::new(inst, Val::Value(1), faulty, domain.clone());
+    let (method, clean) = if search.combination_count() <= 2_000_000 {
+        let witness = search.find_violation().expect("budget checked");
+        (
+            format!("exhaustive ({} combos)", search.combination_count()),
+            witness.is_none(),
+        )
+    } else {
+        let rs = RandomizedSearch::new(inst, Val::Value(1), domain)
+            .with_trials(rand_trials)
+            .with_seed(search_seed);
+        let mut clean = true;
+        for f in 1..=u {
+            if rs.find_violation(f).0.is_some() {
+                clean = false;
+            }
+        }
+        (
+            format!("randomized ({rand_trials} trials x f=1..{u})"),
+            clean,
+        )
+    };
+
+    vec![
+        format!("{m}/{u}"),
+        n_min.to_string(),
+        if below.is_violated() {
+            "violated (as required)"
+        } else {
+            "UNEXPECTED"
+        }
+        .to_string(),
+        if at.is_satisfied() {
+            "clean"
+        } else {
+            "UNEXPECTED"
+        }
+        .to_string(),
+        if clean {
+            "no violation found"
+        } else {
+            "VIOLATION FOUND"
+        }
+        .to_string(),
+        method,
+    ]
+}
 
 fn main() {
     println!("T1: minimum nodes for m/u-degradable agreement (paper, Section 2)");
+    let args = RunArgs::parse();
+    let rand_trials = args.trials_or(2_000);
+    let seed = args.seed_or(0xA11CE);
 
     // The paper's table.
     let table = min_nodes_table(MAX_M, MAX_U);
@@ -42,79 +111,51 @@ fn main() {
                 .collect()
         })
         .collect();
-    print_table("minimum nodes 2m+u+1 (\"-\" = invalid u < m)", &header_refs, &rows);
-    print_csv(
-        "table1_min_nodes",
-        &header_refs,
-        &rows,
-    );
 
-    // Empirical certification.
-    let mut cert_rows = Vec::new();
-    for m in 1..=MAX_M {
-        for u in m..=MAX_U {
-            let params = Params::new(m, u).expect("u >= m");
-            let n_min = params.min_nodes();
+    // Empirical certification: one independent unit of work per (m, u)
+    // cell, fanned out over workers in cell order.
+    let cells: Vec<(usize, usize)> = (1..=MAX_M)
+        .flat_map(|m| (m..=MAX_U).map(move |u| (m, u)))
+        .collect();
+    let runner = SweepRunner::new(args.workers_or(4));
+    let cert_rows = runner.map(seed, &cells, |_, &(m, u), _rng| {
+        certify(m, u, rand_trials, seed)
+    });
 
-            let below = violation_below_bound(m, u);
-            let at = same_adversary_at_bound(m, u);
+    let mut report = Report::new("table1");
+    report
+        .set_meta("rand_trials", rand_trials)
+        .set_meta("search_seed", seed)
+        .set_meta("workers", runner.workers())
+        .add_table(Table::with_rows(
+            "minimum nodes 2m+u+1 (\"-\" = invalid u < m)",
+            &header_refs,
+            rows.clone(),
+        ))
+        .add_table(Table::with_rows(
+            "threshold certification",
+            &[
+                "m/u",
+                "N_min",
+                "BYZ at N_min-1",
+                "structured adversary at N_min",
+                "search at N_min",
+                "method",
+            ],
+            cert_rows.clone(),
+        ));
+    report.print_tables();
+    print_csv("table1_min_nodes", &header_refs, &rows);
 
-            // Search at the bound: exhaustive when the space is small
-            // enough, randomized otherwise. Fault set: the u
-            // highest-numbered receivers (the structurally worst
-            // placement for D.3).
-            let sender = NodeId::new(0);
-            let inst = ByzInstance::new(n_min, params, sender).expect("at bound");
-            let faulty: BTreeSet<NodeId> =
-                (n_min - u..n_min).map(NodeId::new).collect();
-            let domain = vec![Val::Default, Val::Value(1), Val::Value(2)];
-            let search = ExhaustiveSearch::new(inst, Val::Value(1), faulty, domain.clone());
-            let (method, clean) = if search.combination_count() <= 2_000_000 {
-                let witness = search.find_violation().expect("budget checked");
-                (
-                    format!("exhaustive ({} combos)", search.combination_count()),
-                    witness.is_none(),
-                )
-            } else {
-                let rs = RandomizedSearch::new(inst, Val::Value(1), domain)
-                    .with_trials(RAND_TRIALS)
-                    .with_seed(0xA11CE);
-                let mut clean = true;
-                for f in 1..=u {
-                    if rs.find_violation(f).0.is_some() {
-                        clean = false;
-                    }
-                }
-                (format!("randomized ({RAND_TRIALS} trials x f=1..{u})"), clean)
-            };
-
-            cert_rows.push(vec![
-                format!("{m}/{u}"),
-                n_min.to_string(),
-                if below.is_violated() { "violated (as required)" } else { "UNEXPECTED" }
-                    .to_string(),
-                if at.is_satisfied() { "clean" } else { "UNEXPECTED" }.to_string(),
-                if clean { "no violation found" } else { "VIOLATION FOUND" }.to_string(),
-                method,
-            ]);
-        }
+    let bad = cert_rows.iter().any(|r| {
+        r.iter()
+            .any(|c| c.contains("UNEXPECTED") || c.contains("VIOLATION FOUND"))
+    });
+    report.set_metric("threshold_certified", !bad);
+    match report.write(args.out_path()) {
+        Ok(path) => println!("\nreport: {}", path.display()),
+        Err(e) => eprintln!("\nreport write failed: {e}"),
     }
-    print_table(
-        "threshold certification",
-        &[
-            "m/u",
-            "N_min",
-            "BYZ at N_min-1",
-            "structured adversary at N_min",
-            "search at N_min",
-            "method",
-        ],
-        &cert_rows,
-    );
-
-    let bad = cert_rows
-        .iter()
-        .any(|r| r.iter().any(|c| c.contains("UNEXPECTED") || c.contains("VIOLATION FOUND")));
     if bad {
         println!("\nRESULT: MISMATCH with the paper's bound");
         std::process::exit(1);

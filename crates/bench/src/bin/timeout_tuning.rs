@@ -10,15 +10,31 @@
 //! distribution, how much of the fault-free receivers' mass degrades from
 //! the sender's value to the default — while the safety conditions hold at
 //! every point.
+//!
+//! Per deadline, the seeded runs fan out over [`harness::SweepRunner`]
+//! workers (each trial's protocol seed derived from the master seed and
+//! trial index); `--trials` shrinks the sweep and the JSON report lands
+//! under `results/`.
 
-use agreement_bench::{pct, print_csv, print_table};
+use agreement_bench::{pct, print_csv};
 use degradable::adversary::Strategy;
 use degradable::{check_degradable, run_protocol_with, ByzInstance, Params, Val};
+use harness::report::Table;
+use harness::{Report, RunArgs, SweepRunner};
 use simnet::{LatencyModel, NodeId};
 use std::collections::{BTreeMap, BTreeSet};
 
+#[derive(Default)]
+struct DeadlineStats {
+    sender_value_decisions: usize,
+    default_decisions: usize,
+    late_total: usize,
+    satisfied: usize,
+}
+
 fn main() {
     println!("E11: round-deadline tuning under heavy-tailed latency (Section 6.1 regime)");
+    let args = RunArgs::parse();
     let inst = ByzInstance::new(6, Params::new(1, 3).expect("1 <= 3"), NodeId::new(0))
         .expect("6 = 2m+u+1");
     // m < f <= u puts the system in the relaxation regime (false timeouts
@@ -33,61 +49,96 @@ fn main() {
     .collect();
     let faulty: BTreeSet<NodeId> = strategies.keys().copied().collect();
     let latency = LatencyModel::Uniform { lo: 1, hi: 150 };
-    let trials = 400usize;
+    let trials = args.trials_or(400);
+    let master_seed = args.seed_or(0xE11);
+    let runner = SweepRunner::new(args.workers_or(4));
 
     let mut rows = Vec::new();
     let mut csv = Vec::new();
     let mut always_safe = true;
     for deadline in [20u64, 60, 100, 140, 200] {
-        let mut sender_value_decisions = 0usize;
-        let mut default_decisions = 0usize;
-        let mut late_total = 0usize;
-        let mut satisfied = 0usize;
-        for seed in 0..trials as u64 {
-            let run = run_protocol_with(&inst, &Val::Value(7), &strategies, seed, |e| {
-                e.with_latency(latency).with_deadline(deadline)
-            });
-            late_total += run.net.late;
-            let record = run.record(&inst, Val::Value(7), faulty.clone());
-            if check_degradable(&record).is_satisfied() {
-                satisfied += 1;
-            } else {
-                always_safe = false;
-            }
-            for (_, v) in record.fault_free_decisions() {
-                if v == Val::Value(7) {
-                    sender_value_decisions += 1;
-                } else if v.is_default() {
-                    default_decisions += 1;
+        let stats = runner.fold(
+            master_seed.wrapping_add(deadline),
+            trials,
+            |_, mut rng| {
+                let run = run_protocol_with(
+                    &inst,
+                    &Val::Value(7),
+                    &strategies,
+                    rng.below(u64::MAX),
+                    |e| e.with_latency(latency).with_deadline(deadline),
+                );
+                let late = run.net.late;
+                let record = run.record(&inst, Val::Value(7), faulty.clone());
+                let safe = check_degradable(&record).is_satisfied();
+                let mut sender_value = 0usize;
+                let mut default = 0usize;
+                for (_, v) in record.fault_free_decisions() {
+                    if v == Val::Value(7) {
+                        sender_value += 1;
+                    } else if v.is_default() {
+                        default += 1;
+                    }
                 }
-            }
-        }
-        let total = sender_value_decisions + default_decisions;
+                (late, safe, sender_value, default)
+            },
+            DeadlineStats::default(),
+            |mut acc, (late, safe, sender_value, default)| {
+                acc.late_total += late;
+                acc.satisfied += usize::from(safe);
+                acc.sender_value_decisions += sender_value;
+                acc.default_decisions += default;
+                acc
+            },
+        );
+        always_safe &= stats.satisfied == trials;
+        let total = stats.sender_value_decisions + stats.default_decisions;
         rows.push(vec![
             deadline.to_string(),
-            format!("{:.1}", late_total as f64 / trials as f64),
-            pct(sender_value_decisions as f64 / total.max(1) as f64),
-            pct(default_decisions as f64 / total.max(1) as f64),
-            format!("{satisfied}/{trials}"),
+            format!("{:.1}", stats.late_total as f64 / trials.max(1) as f64),
+            pct(stats.sender_value_decisions as f64 / total.max(1) as f64),
+            pct(stats.default_decisions as f64 / total.max(1) as f64),
+            format!("{}/{trials}", stats.satisfied),
         ]);
         csv.push(vec![
             deadline.to_string(),
-            format!("{}", sender_value_decisions as f64 / total.max(1) as f64),
-            format!("{}", default_decisions as f64 / total.max(1) as f64),
+            format!(
+                "{}",
+                stats.sender_value_decisions as f64 / total.max(1) as f64
+            ),
+            format!("{}", stats.default_decisions as f64 / total.max(1) as f64),
         ]);
     }
-    print_table(
-        "1/3-degradable, N=6, f=2 (truthful), uniform latency 1..150, 400 seeded runs per row",
-        &[
-            "deadline",
-            "avg late msgs/run",
-            "fault-free decisions = sender value",
-            "= V_d",
-            "conditions held",
-        ],
-        &rows,
+
+    let mut report = Report::new("timeout_tuning");
+    report
+        .set_meta("trials_per_deadline", trials)
+        .set_meta("seed", master_seed)
+        .set_meta("workers", runner.workers())
+        .set_metric("always_safe", always_safe)
+        .add_table(Table::with_rows(
+            format!(
+                "1/3-degradable, N=6, f=2 (truthful), uniform latency 1..150, {trials} seeded runs per row"
+            ),
+            &[
+                "deadline",
+                "avg late msgs/run",
+                "fault-free decisions = sender value",
+                "= V_d",
+                "conditions held",
+            ],
+            rows,
+        ));
+    report.print_tables();
+    print_csv(
+        "timeout_tuning",
+        &["deadline", "p_sender_value", "p_default"],
+        &csv,
     );
-    print_csv("timeout_tuning", &["deadline", "p_sender_value", "p_default"], &csv);
+    match report.write(args.out_path()) {
+        Ok(path) => println!("\nreport: {}", path.display()),
+        Err(e) => eprintln!("\nreport write failed: {e}"),
+    }
 
     println!("\nreading: tighter deadlines convert liveness (deciding the sender's value)");
     println!("into degradation (deciding V_d), but never into unsafety — the conditions");

@@ -9,19 +9,79 @@
 //! * `f <= m`: full Byzantine agreement (D.1/D.2);
 //! * `m < f <= u`: degraded agreement (D.3/D.4);
 //! * `f > u`: no promise (reported as `beyond u`).
+//!
+//! Each `(config, f)` cell is an independent sweep fanned out over
+//! [`harness::SweepRunner`] workers (placements drawn from the cell's
+//! derived RNG), and the grid is written as a JSON report under `results/`.
 
-use agreement_bench::print_table;
 use degradable::adversary::Strategy;
 use degradable::analysis::tradeoffs;
-use degradable::{ByzInstance, Scenario, Val, Verdict};
+use degradable::{ByzInstance, Params, Scenario, Val, Verdict};
+use harness::report::Table;
+use harness::{Report, RunArgs, SweepRunner};
 use simnet::{NodeId, SimRng};
 use std::collections::BTreeMap;
 
 const N: usize = 7;
 const PLACEMENTS_PER_F: usize = 8;
 
+/// One grid cell: all sampled adversaries for one `(params, f)` pair.
+fn cell(params: Params, f: usize, placements: usize, mut rng: SimRng) -> (String, bool) {
+    let mut runs = 0usize;
+    let mut violations = 0usize;
+    let mut degraded_runs = 0usize;
+    for placement in 0..placements {
+        let faulty = rng.choose_indices(N, f);
+        for (_, strat) in Strategy::battery(1, 2, placement as u64) {
+            let strategies: BTreeMap<NodeId, Strategy<u64>> = faulty
+                .iter()
+                .map(|&i| (NodeId::new(i), strat.clone()))
+                .collect();
+            let instance =
+                ByzInstance::new(N, params, NodeId::new(0)).expect("7 nodes fit all three configs");
+            let sc = Scenario {
+                instance,
+                sender_value: Val::Value(1),
+                strategies,
+            };
+            runs += 1;
+            match sc.verdict() {
+                Verdict::Satisfied(s) => {
+                    if matches!(
+                        s.condition,
+                        degradable::Condition::D3 | degradable::Condition::D4
+                    ) {
+                        degraded_runs += 1;
+                    }
+                }
+                Verdict::Violated(_) => violations += 1,
+                Verdict::BeyondU { .. } => {}
+            }
+        }
+        if f == 0 {
+            break; // only one empty placement
+        }
+    }
+    let label = if violations > 0 {
+        format!("VIOLATED {violations}/{runs}")
+    } else if f <= params.m() {
+        "full".to_string()
+    } else if f <= params.u() {
+        if degraded_runs > 0 {
+            "degraded".to_string()
+        } else {
+            "degraded*".to_string() // conditions held as full agreement
+        }
+    } else {
+        "beyond u".to_string()
+    };
+    (label, violations == 0)
+}
+
 fn main() {
     println!("E3: the 7-node trade-off (Section 2)");
+    let args = RunArgs::parse();
+    let placements = args.trials_or(PLACEMENTS_PER_F);
     let configs = tradeoffs(N);
     println!(
         "available maximal configurations: {}",
@@ -32,76 +92,51 @@ fn main() {
             .join(", ")
     );
 
-    let mut rows = Vec::new();
-    let mut all_ok = true;
-    for params in &configs {
-        let mut cells = vec![params.to_string()];
-        for f in 0..N {
-            let mut runs = 0usize;
-            let mut violations = 0usize;
-            let mut degraded_runs = 0usize;
-            let mut rng = SimRng::seed(0xE3 + f as u64);
-            for placement in 0..PLACEMENTS_PER_F {
-                let faulty = rng.choose_indices(N, f);
-                for (_, strat) in Strategy::battery(1, 2, placement as u64) {
-                    let strategies: BTreeMap<NodeId, Strategy<u64>> = faulty
-                        .iter()
-                        .map(|&i| (NodeId::new(i), strat.clone()))
-                        .collect();
-                    let instance = ByzInstance::new(N, *params, NodeId::new(0))
-                        .expect("7 nodes fit all three configs");
-                    let sc = Scenario {
-                        instance,
-                        sender_value: Val::Value(1),
-                        strategies,
-                    };
-                    runs += 1;
-                    match sc.verdict() {
-                        Verdict::Satisfied(s) => {
-                            if matches!(
-                                s.condition,
-                                degradable::Condition::D3 | degradable::Condition::D4
-                            ) {
-                                degraded_runs += 1;
-                            }
-                        }
-                        Verdict::Violated(_) => violations += 1,
-                        Verdict::BeyondU { .. } => {}
-                    }
-                }
-                if f == 0 {
-                    break; // only one empty placement
-                }
-            }
-            let label = if violations > 0 {
-                all_ok = false;
-                format!("VIOLATED {violations}/{runs}")
-            } else if f <= params.m() {
-                "full".to_string()
-            } else if f <= params.u() {
-                if degraded_runs > 0 {
-                    "degraded".to_string()
-                } else {
-                    "degraded*".to_string() // conditions held as full agreement
-                }
-            } else {
-                "beyond u".to_string()
-            };
-            cells.push(label);
-        }
-        rows.push(cells);
-    }
+    let grid: Vec<(Params, usize)> = configs
+        .iter()
+        .flat_map(|&params| (0..N).map(move |f| (params, f)))
+        .collect();
+    let runner = SweepRunner::new(args.workers_or(4));
+    let labels = runner.map(args.seed_or(0xE3), &grid, |_, &(params, f), rng| {
+        cell(params, f, placements, rng)
+    });
+    let all_ok = labels.iter().all(|(_, ok)| *ok);
+
+    // Regroup the flat grid into one row per configuration.
+    let rows: Vec<Vec<String>> = configs
+        .iter()
+        .enumerate()
+        .map(|(ci, params)| {
+            std::iter::once(params.to_string())
+                .chain(labels[ci * N..(ci + 1) * N].iter().map(|(l, _)| l.clone()))
+                .collect()
+        })
+        .collect();
 
     let headers: Vec<String> = std::iter::once("config".to_string())
         .chain((0..N).map(|f| format!("f={f}")))
         .collect();
     let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
-    print_table("guarantee achieved per fault count", &header_refs, &rows);
+    let mut report = Report::new("tradeoff7");
+    report
+        .set_meta("placements_per_f", placements)
+        .set_meta("workers", runner.workers())
+        .set_metric("all_ok", all_ok)
+        .add_table(Table::with_rows(
+            "guarantee achieved per fault count",
+            &header_refs,
+            rows,
+        ));
+    report.print_tables();
     println!(
         "\nlegend: full = D.1/D.2 (Byzantine agreement); degraded = D.3/D.4 (classes with V_d);"
     );
     println!("        degraded* = degraded regime but every sampled adversary still produced full agreement;");
     println!("        beyond u = outside the contract, nothing checked.");
+    match report.write(args.out_path()) {
+        Ok(path) => println!("\nreport: {}", path.display()),
+        Err(e) => eprintln!("\nreport write failed: {e}"),
+    }
 
     if all_ok {
         println!("\nRESULT: matches the paper — 2/2, 1/4 and 0/6 all achievable with 7 nodes");

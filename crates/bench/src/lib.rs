@@ -1,55 +1,16 @@
-//! Shared helpers for the experiment binaries: fixed-width table printing
-//! and tiny CSV emission (hand-rolled to avoid extra dependencies).
+//! Shared helpers for the experiment binaries.
+//!
+//! Table/CSV printing and percentage formatting moved into
+//! [`harness::report`] (where the JSON report writer lives); this crate
+//! re-exports them so the experiment binaries keep one import path.
 //!
 //! Each binary under `src/bin/` regenerates one table or figure of the
 //! paper; see `DESIGN.md` (per-experiment index) and `EXPERIMENTS.md`
-//! (paper-vs-measured record).
+//! (paper-vs-measured record). Binaries route their sweeps through
+//! [`harness::SweepRunner`] and write versioned JSON reports under
+//! `results/` (override with `--out`; see [`harness::RunArgs`]).
 
-/// Prints a fixed-width ASCII table with a header row and separator.
-pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
-    println!("\n== {title} ==");
-    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
-    for row in rows {
-        for (i, cell) in row.iter().enumerate() {
-            if i < widths.len() {
-                widths[i] = widths[i].max(cell.len());
-            }
-        }
-    }
-    let fmt_row = |cells: &[String]| {
-        let mut line = String::new();
-        for (i, cell) in cells.iter().enumerate() {
-            line.push_str(&format!("{:<w$}  ", cell, w = widths.get(i).copied().unwrap_or(8)));
-        }
-        println!("{}", line.trim_end());
-    };
-    fmt_row(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>());
-    println!(
-        "{}",
-        widths
-            .iter()
-            .map(|w| "-".repeat(*w))
-            .collect::<Vec<_>>()
-            .join("  ")
-    );
-    for row in rows {
-        fmt_row(row);
-    }
-}
-
-/// Formats a fraction as a percentage with one decimal.
-pub fn pct(x: f64) -> String {
-    format!("{:.1}%", 100.0 * x)
-}
-
-/// Emits a CSV block to stdout (for machine-readable capture by `tee`).
-pub fn print_csv(name: &str, headers: &[&str], rows: &[Vec<String>]) {
-    println!("\n#csv {name}");
-    println!("{}", headers.join(","));
-    for row in rows {
-        println!("{}", row.join(","));
-    }
-}
+pub use harness::report::{pct, print_csv, print_table};
 
 #[cfg(test)]
 mod tests {
@@ -70,5 +31,16 @@ mod tests {
             &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
         );
         print_csv("t", &["a"], &[vec!["x".into()]]);
+    }
+
+    #[test]
+    fn wide_rows_get_real_widths() {
+        // Regression: rows wider than the header list used to print at a
+        // hard-coded width of 8.
+        print_table(
+            "t",
+            &["a"],
+            &[vec!["1".into(), "a-wide-trailing-cell".into()]],
+        );
     }
 }

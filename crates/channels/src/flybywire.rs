@@ -106,8 +106,7 @@ pub fn fly(arch: Architecture, config: FlightConfig) -> FlightReport {
 
     for cycle in 0..config.cycles {
         let sensor = encode(err);
-        let in_burst =
-            cycle >= config.burst_start && cycle < config.burst_start + config.burst_len;
+        let in_burst = cycle >= config.burst_start && cycle < config.burst_start + config.burst_len;
         let strategies: BTreeMap<NodeId, Strategy<u64>> = if in_burst {
             // Two colluding channels pretend the pitch error is huge and
             // opposite, aiming to push the plane the wrong way.
@@ -206,14 +205,20 @@ mod tests {
     fn byzantine_system_crashes_under_burst() {
         let r = fly(byz(), FlightConfig::default());
         assert!(r.wrong_actuations > 0, "{r:?}");
-        assert!(r.crashed, "expected the 3-channel system to leave the envelope: {r:?}");
+        assert!(
+            r.crashed,
+            "expected the 3-channel system to leave the envelope: {r:?}"
+        );
     }
 
     #[test]
     fn degradable_system_degrades_safely_under_burst() {
         let r = fly(deg(), FlightConfig::default());
         assert_eq!(r.wrong_actuations, 0, "{r:?}");
-        assert!(r.pilot_alerts > 0, "the pilot should have been alerted: {r:?}");
+        assert!(
+            r.pilot_alerts > 0,
+            "the pilot should have been alerted: {r:?}"
+        );
         assert!(!r.crashed, "{r:?}");
     }
 

@@ -112,8 +112,8 @@ pub fn run_fusion(
 
     for (s_idx, &reading) in readings.iter().enumerate() {
         let sensor = NodeId::new(s_idx);
-        let instance = ByzInstance::new(total_nodes, config.params, sensor)
-            .expect("bound checked above");
+        let instance =
+            ByzInstance::new(total_nodes, config.params, sensor).expect("bound checked above");
         let record = Scenario {
             instance,
             sender_value: Val::Value(reading),
@@ -175,8 +175,9 @@ mod tests {
 
     #[test]
     fn one_lying_sensor_is_medianed_out() {
-        let strategies: BTreeMap<_, _> =
-            [(n(1), Strategy::ConstantLie(Val::Value(9_999_999)))].into_iter().collect();
+        let strategies: BTreeMap<_, _> = [(n(1), Strategy::ConstantLie(Val::Value(9_999_999)))]
+            .into_iter()
+            .collect();
         let out = run_fusion(config(), 7, &READINGS, &strategies);
         let estimates = out.distinct_estimates();
         assert_eq!(estimates.len(), 1);
@@ -188,8 +189,9 @@ mod tests {
 
     #[test]
     fn one_faulty_channel_does_not_disturb_others() {
-        let strategies: BTreeMap<_, _> =
-            [(n(5), Strategy::ConstantLie(Val::Value(5)))].into_iter().collect();
+        let strategies: BTreeMap<_, _> = [(n(5), Strategy::ConstantLie(Val::Value(5)))]
+            .into_iter()
+            .collect();
         let out = run_fusion(config(), 7, &READINGS, &strategies);
         // fault-free channels (3,4,6) fuse identically
         assert_eq!(out.fused.len(), 3);
@@ -239,8 +241,9 @@ mod tests {
 
     #[test]
     fn within_m_no_holes_for_fault_free_sensors() {
-        let strategies: BTreeMap<_, _> =
-            [(n(6), Strategy::ConstantLie(Val::Value(1)))].into_iter().collect();
+        let strategies: BTreeMap<_, _> = [(n(6), Strategy::ConstantLie(Val::Value(1)))]
+            .into_iter()
+            .collect();
         let out = run_fusion(config(), 7, &READINGS, &strategies);
         // f = 1 <= m: D.1 per fault-free sensor instance: no holes at all
         // (the only faulty node is a channel).

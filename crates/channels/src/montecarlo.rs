@@ -7,10 +7,13 @@
 //! outcomes into *default* (safe) outcomes once faults exceed `m`.
 //!
 //! Trials are independent and seeded; they are distributed over worker
-//! threads with `crossbeam` scoped threads.
+//! threads by [`harness::SweepRunner`], which derives each trial's RNG
+//! from `(seed, trial_index)` — so the sweep's result is bit-identical
+//! for any worker count.
 
 use crate::system::{Architecture, ChannelSystem, ExternalOutcome};
 use degradable::adversary::Strategy;
+use harness::SweepRunner;
 use serde::{Deserialize, Serialize};
 use simnet::{NodeId, SimRng};
 use std::collections::BTreeMap;
@@ -55,7 +58,8 @@ impl OutcomeCounts {
         }
     }
 
-    fn merge(&mut self, other: OutcomeCounts) {
+    /// Accumulates another count set (e.g. when aggregating shards).
+    pub fn merge(&mut self, other: OutcomeCounts) {
         self.correct += other.correct;
         self.default += other.default;
         self.incorrect += other.incorrect;
@@ -102,7 +106,8 @@ pub struct SweepResult {
 }
 
 impl SweepResult {
-    fn merge(&mut self, other: SweepResult) {
+    /// Accumulates another sweep's counts (e.g. when aggregating shards).
+    pub fn merge(&mut self, other: SweepResult) {
         self.overall.merge(other.overall);
         self.within_design.merge(other.within_design);
         self.beyond_design.merge(other.beyond_design);
@@ -138,43 +143,29 @@ fn run_trial(system: &ChannelSystem, rng: &mut SimRng, p: f64) -> (usize, Extern
 }
 
 /// Runs the sweep for one architecture, parallelized over workers.
+///
+/// Results depend only on the config (not the worker count): trial `i`
+/// draws from `SimRng::derive(config.seed, i)` via the shared
+/// [`SweepRunner`].
 pub fn run_monte_carlo(arch: Architecture, config: MonteCarloConfig) -> SweepResult {
     let system = ChannelSystem::new(arch);
     let limit = design_limit(arch);
-    let workers = config.workers.max(1);
-    let per_worker = config.trials / workers;
-    let remainder = config.trials % workers;
-    let mut totals = SweepResult::default();
-
-    crossbeam::scope(|scope| {
-        let mut handles = Vec::new();
-        for w in 0..workers {
-            let system = &system;
-            let trials = per_worker + usize::from(w < remainder);
-            let seed = config.seed;
-            let p = config.channel_fault_p;
-            handles.push(scope.spawn(move |_| {
-                let mut counts = SweepResult::default();
-                let base = SimRng::seed(seed);
-                let mut rng = base.fork(w as u64);
-                for _ in 0..trials {
-                    let (f, outcome) = run_trial(system, &mut rng, p);
-                    counts.overall.add(outcome);
-                    if f <= limit {
-                        counts.within_design.add(outcome);
-                    } else {
-                        counts.beyond_design.add(outcome);
-                    }
-                }
-                counts
-            }));
-        }
-        for h in handles {
-            totals.merge(h.join().expect("worker panicked"));
-        }
-    })
-    .expect("scope failed");
-    totals
+    let p = config.channel_fault_p;
+    SweepRunner::new(config.workers).fold(
+        config.seed,
+        config.trials,
+        |_, mut rng| run_trial(&system, &mut rng, p),
+        SweepResult::default(),
+        |mut counts, (f, outcome)| {
+            counts.overall.add(outcome);
+            if f <= limit {
+                counts.within_design.add(outcome);
+            } else {
+                counts.beyond_design.add(outcome);
+            }
+            counts
+        },
+    )
 }
 
 #[cfg(test)]
@@ -240,6 +231,24 @@ mod tests {
         let a = run_monte_carlo(deg(), config(500, 0.2));
         let b = run_monte_carlo(deg(), config(500, 0.2));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn results_are_worker_count_independent() {
+        let with_workers = |workers| {
+            run_monte_carlo(
+                deg(),
+                MonteCarloConfig {
+                    channel_fault_p: 0.2,
+                    trials: 300,
+                    seed: 99,
+                    workers,
+                },
+            )
+        };
+        let reference = with_workers(1);
+        assert_eq!(with_workers(2), reference);
+        assert_eq!(with_workers(8), reference);
     }
 
     #[test]

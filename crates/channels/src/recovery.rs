@@ -112,7 +112,9 @@ impl RecoveryDriver {
         mut faults_for_attempt: impl FnMut(usize) -> BTreeMap<NodeId, Strategy<u64>>,
     ) -> CycleResolution {
         for attempt in 0..=self.policy.max_retries {
-            let report = self.system.run_cycle(sensor_value, &faults_for_attempt(attempt));
+            let report = self
+                .system
+                .run_cycle(sensor_value, &faults_for_attempt(attempt));
             match report.outcome {
                 ExternalOutcome::Correct => {
                     return if attempt == 0 {
@@ -172,7 +174,11 @@ mod tests {
     fn one_fault_is_masked_forward() {
         let mut d = deg4_driver();
         let r = d.run_cycle(42, |_| [(n(2), lie(1))].into_iter().collect());
-        assert_eq!(r, CycleResolution::Forward, "m-masked fault is forward recovery");
+        assert_eq!(
+            r,
+            CycleResolution::Forward,
+            "m-masked fault is forward recovery"
+        );
     }
 
     #[test]
@@ -225,7 +231,9 @@ mod tests {
         let mut saw_failure = false;
         for v in 0..50u64 {
             let r = d.run_cycle(v, |_| {
-                [(n(2), lie(v ^ 1)), (n(3), lie(v ^ 1))].into_iter().collect()
+                [(n(2), lie(v ^ 1)), (n(3), lie(v ^ 1))]
+                    .into_iter()
+                    .collect()
             });
             if r == CycleResolution::UndetectedFailure {
                 saw_failure = true;

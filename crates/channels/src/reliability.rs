@@ -39,7 +39,9 @@ pub fn p_exactly(channels: usize, k: usize, p: f64) -> f64 {
 
 /// `P(f <= k)`.
 pub fn p_at_most(channels: usize, k: usize, p: f64) -> f64 {
-    (0..=k.min(channels)).map(|i| p_exactly(channels, i, p)).sum()
+    (0..=k.min(channels))
+        .map(|i| p_exactly(channels, i, p))
+        .sum()
 }
 
 /// Analytic outcome bounds for one architecture at fault probability `p`.

@@ -186,8 +186,7 @@ impl ReplicatedLog {
                 value: Val::Value(c),
             })
             .collect();
-        let batch =
-            degradable::run_batch(self.params, self.n, &instances, strategies, 0xBA7C);
+        let batch = degradable::run_batch(self.params, self.n, &instances, strategies, 0xBA7C);
         let mut reports = Vec::with_capacity(commands.len());
         for decisions in batch.decisions {
             let slot = self.len();
@@ -245,7 +244,11 @@ impl ReplicatedLog {
                     match nonhole {
                         None => nonhole = Some(c),
                         Some(prev) if prev != c => {
-                            return Some(LogViolation::ConflictingSlot { slot, a: prev, b: c })
+                            return Some(LogViolation::ConflictingSlot {
+                                slot,
+                                a: prev,
+                                b: c,
+                            })
                         }
                         _ => {}
                     }
@@ -313,8 +316,9 @@ mod tests {
     #[test]
     fn one_fault_logs_still_identical() {
         let mut log = log12();
-        let strategies: BTreeMap<_, _> =
-            [(n(4), Strategy::ConstantLie(Val::Value(99)))].into_iter().collect();
+        let strategies: BTreeMap<_, _> = [(n(4), Strategy::ConstantLie(Val::Value(99)))]
+            .into_iter()
+            .collect();
         for c in 0..10u64 {
             log.append(c, &strategies);
         }
@@ -346,12 +350,9 @@ mod tests {
     fn repair_fills_holes_after_transient() {
         let mut log = log12();
         // Slot 0 appended under a double fault that forces holes:
-        let silent: BTreeMap<_, _> = [
-            (n(1), Strategy::Silent),
-            (n(2), Strategy::Silent),
-        ]
-        .into_iter()
-        .collect();
+        let silent: BTreeMap<_, _> = [(n(1), Strategy::Silent), (n(2), Strategy::Silent)]
+            .into_iter()
+            .collect();
         let r = log.append(7, &silent);
         assert!(!r.holes.is_empty(), "expected degraded slot: {r:?}");
         // Transient cleared: repair with no faults.
@@ -377,19 +378,20 @@ mod tests {
         .collect();
         log.repair(0, 8, &strategies);
         for i in 1..5 {
-            assert_eq!(log.log_of(n(i))[0], Val::Value(7), "replica {i} overwritten");
+            assert_eq!(
+                log.log_of(n(i))[0],
+                Val::Value(7),
+                "replica {i} overwritten"
+            );
         }
     }
 
     #[test]
     fn states_diverge_only_by_holes() {
         let mut log = log12();
-        let strategies: BTreeMap<_, _> = [
-            (n(3), Strategy::Silent),
-            (n(4), Strategy::Silent),
-        ]
-        .into_iter()
-        .collect();
+        let strategies: BTreeMap<_, _> = [(n(3), Strategy::Silent), (n(4), Strategy::Silent)]
+            .into_iter()
+            .collect();
         for c in 0..5u64 {
             log.append(c, &strategies);
         }

@@ -173,8 +173,7 @@ impl ChannelSystem {
                 run_om(n, m, sender, &sv, &faulty, &mut fab)
             }
             Architecture::Degradable { params } => {
-                let instance =
-                    ByzInstance::new(n, params, sender).expect("2m+u channels + sender");
+                let instance = ByzInstance::new(n, params, sender).expect("2m+u channels + sender");
                 Scenario {
                     instance,
                     sender_value: sv,
@@ -296,8 +295,9 @@ mod tests {
     fn b1_one_faulty_channel_masked() {
         // Figure 1(a): one lying channel, fault-free sender: majority vote
         // still correct (B.1), channels in identical states (B.2).
-        let strategies: BTreeMap<_, _> =
-            [(n(2), Strategy::ConstantLie(Val::Value(1)))].into_iter().collect();
+        let strategies: BTreeMap<_, _> = [(n(2), Strategy::ConstantLie(Val::Value(1)))]
+            .into_iter()
+            .collect();
         let r = byz3().run_cycle(42, &strategies);
         assert_eq!(r.outcome, ExternalOutcome::Correct);
         assert_eq!(r.fault_free_input_classes, 1);
@@ -325,8 +325,9 @@ mod tests {
 
     #[test]
     fn c1_up_to_m_faults_correct() {
-        let strategies: BTreeMap<_, _> =
-            [(n(1), Strategy::ConstantLie(Val::Value(1)))].into_iter().collect();
+        let strategies: BTreeMap<_, _> = [(n(1), Strategy::ConstantLie(Val::Value(1)))]
+            .into_iter()
+            .collect();
         let r = deg4().run_cycle(42, &strategies);
         assert_eq!(r.outcome, ExternalOutcome::Correct);
         assert_eq!(r.fault_free_input_classes, 1);
@@ -340,8 +341,9 @@ mod tests {
         for a in 1..=4usize {
             for b in (a + 1)..=4usize {
                 for (name, strat) in Strategy::battery(42, 13, 7) {
-                    let strategies: BTreeMap<_, _> =
-                        [(n(a), strat.clone()), (n(b), strat.clone())].into_iter().collect();
+                    let strategies: BTreeMap<_, _> = [(n(a), strat.clone()), (n(b), strat.clone())]
+                        .into_iter()
+                        .collect();
                     let r = deg4().run_cycle(42, &strategies);
                     assert_ne!(
                         r.outcome,
@@ -363,7 +365,11 @@ mod tests {
             for (name, strat) in Strategy::battery(42, 13, 1) {
                 let strategies: BTreeMap<_, _> = [(n(ch), strat)].into_iter().collect();
                 let r = sys.run_cycle(42, &strategies);
-                assert_eq!(r.outcome, ExternalOutcome::Correct, "ch {ch} strategy {name}");
+                assert_eq!(
+                    r.outcome,
+                    ExternalOutcome::Correct,
+                    "ch {ch} strategy {name}"
+                );
             }
         }
     }

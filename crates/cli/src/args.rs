@@ -346,7 +346,12 @@ mod tests {
         let cmd = parse_args(&sv(&["run", "--nodes", "5", "--m", "1", "--u", "2"])).unwrap();
         match cmd {
             Command::Run {
-                nodes, m, u, value, faulty, explain,
+                nodes,
+                m,
+                u,
+                value,
+                faulty,
+                explain,
             } => {
                 assert_eq!((nodes, m, u, value), (5, 1, 2, 42));
                 assert!(faulty.is_empty());
@@ -359,12 +364,28 @@ mod tests {
     #[test]
     fn parse_run_full() {
         let cmd = parse_args(&sv(&[
-            "run", "--nodes", "5", "--m", "1", "--u", "2", "--value", "9", "--faulty",
-            "3:constant-lie:7,4:silent", "--explain", "1",
+            "run",
+            "--nodes",
+            "5",
+            "--m",
+            "1",
+            "--u",
+            "2",
+            "--value",
+            "9",
+            "--faulty",
+            "3:constant-lie:7,4:silent",
+            "--explain",
+            "1",
         ]))
         .unwrap();
         match cmd {
-            Command::Run { value, faulty, explain, .. } => {
+            Command::Run {
+                value,
+                faulty,
+                explain,
+                ..
+            } => {
                 assert_eq!(value, 9);
                 assert_eq!(faulty.len(), 2);
                 assert_eq!(faulty[&NodeId::new(4)], Strategy::Silent);
@@ -379,7 +400,10 @@ mod tests {
         let f = parse_faulty("0:two-faced:1:2,3:pretend-sender-said:5,4:random-lie:99").unwrap();
         assert_eq!(f.len(), 3);
         assert!(matches!(f[&NodeId::new(0)], Strategy::TwoFaced { .. }));
-        assert!(matches!(f[&NodeId::new(4)], Strategy::RandomLie { seed: 99, .. }));
+        assert!(matches!(
+            f[&NodeId::new(4)],
+            Strategy::RandomLie { seed: 99, .. }
+        ));
     }
 
     #[test]
@@ -393,7 +417,15 @@ mod tests {
     #[test]
     fn parse_search() {
         let cmd = parse_args(&sv(&[
-            "search", "--nodes", "4", "--m", "1", "--u", "2", "--below-bound", "--method",
+            "search",
+            "--nodes",
+            "4",
+            "--m",
+            "1",
+            "--u",
+            "2",
+            "--below-bound",
+            "--method",
             "hillclimb",
         ]))
         .unwrap();
@@ -420,7 +452,13 @@ mod tests {
     #[test]
     fn parse_topology() {
         let cmd = parse_args(&sv(&[
-            "topology", "--kind", "harary:4:8", "--m", "1", "--u", "2",
+            "topology",
+            "--kind",
+            "harary:4:8",
+            "--m",
+            "1",
+            "--u",
+            "2",
         ]))
         .unwrap();
         assert_eq!(
@@ -447,11 +485,19 @@ mod tests {
     fn parse_certify() {
         assert_eq!(
             parse_args(&sv(&["certify", "--m", "1", "--u", "2"])).unwrap(),
-            Command::Certify { m: 1, u: 2, budget: 50_000_000 }
+            Command::Certify {
+                m: 1,
+                u: 2,
+                budget: 50_000_000
+            }
         );
         assert_eq!(
             parse_args(&sv(&["certify", "--m", "1", "--u", "1", "--budget", "99"])).unwrap(),
-            Command::Certify { m: 1, u: 1, budget: 99 }
+            Command::Certify {
+                m: 1,
+                u: 1,
+                budget: 99
+            }
         );
     }
 
@@ -459,11 +505,15 @@ mod tests {
     fn parse_flight() {
         assert_eq!(
             parse_args(&sv(&["flight", "--arch", "byzantine"])).unwrap(),
-            Command::Flight { arch: "byzantine".into() }
+            Command::Flight {
+                arch: "byzantine".into()
+            }
         );
         assert_eq!(
             parse_args(&sv(&["flight"])).unwrap(),
-            Command::Flight { arch: "degradable".into() }
+            Command::Flight {
+                arch: "degradable".into()
+            }
         );
     }
 

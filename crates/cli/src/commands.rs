@@ -81,12 +81,21 @@ fn flight_cmd(arch: &str) -> String {
     let _ = writeln!(
         out,
         "  outcome            : {}",
-        if report.crashed { "LEFT SAFE ENVELOPE" } else { "completed safely" }
+        if report.crashed {
+            "LEFT SAFE ENVELOPE"
+        } else {
+            "completed safely"
+        }
     );
     out
 }
 
-fn make_instance(nodes: usize, m: usize, u: usize, allow_below: bool) -> Result<ByzInstance, String> {
+fn make_instance(
+    nodes: usize,
+    m: usize,
+    u: usize,
+    allow_below: bool,
+) -> Result<ByzInstance, String> {
     let params = Params::new(m, u).map_err(|e| e.to_string())?;
     let result = if allow_below {
         ByzInstance::new_below_bound(nodes, params, NodeId::new(0))
@@ -180,7 +189,11 @@ fn search_cmd(nodes: usize, m: usize, u: usize, below_bound: bool, method: Searc
             for (r, v) in w.record.fault_free_decisions() {
                 let _ = writeln!(out, "  {r} decided {v}");
             }
-            let _ = writeln!(out, "adversary claim table ({} entries):", w.assignment.len());
+            let _ = writeln!(
+                out,
+                "adversary claim table ({} entries):",
+                w.assignment.len()
+            );
             for ((path, receiver), value) in w.assignment.iter().take(12) {
                 let _ = writeln!(out, "  {path} -> {receiver}: {value}");
             }
@@ -359,7 +372,14 @@ mod tests {
 
     #[test]
     fn topology_kinds_parse() {
-        for kind in ["complete:5", "ring:6", "harary:3:8", "hypercube:3", "wheel:6", "sender-cut:3:8"] {
+        for kind in [
+            "complete:5",
+            "ring:6",
+            "harary:3:8",
+            "hypercube:3",
+            "wheel:6",
+            "sender-cut:3:8",
+        ] {
             assert!(parse_topology(kind).is_ok(), "{kind}");
         }
         assert!(parse_topology("torus:3").is_err());

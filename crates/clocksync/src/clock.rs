@@ -97,7 +97,8 @@ impl Clock {
             }
             ClockFault::Stuck { at } => at,
             ClockFault::Racing { extra_ppm } => {
-                let skewed = real as i128 * (1_000_000 + self.drift_ppm as i128 + extra_ppm as i128)
+                let skewed = real as i128
+                    * (1_000_000 + self.drift_ppm as i128 + extra_ppm as i128)
                     / 1_000_000;
                 (skewed + self.offset as i128).max(0) as u64
             }
@@ -165,7 +166,7 @@ mod tests {
     #[test]
     fn healthy_clock_offset_and_drift() {
         let c = Clock::healthy(500, 100); // +100 ppm
-        // At t = 1_000_000: drifted = 1_000_100; +500 = 1_000_600.
+                                          // At t = 1_000_000: drifted = 1_000_100; +500 = 1_000_600.
         assert_eq!(c.nominal(1_000_000), 1_000_600);
     }
 
@@ -187,7 +188,14 @@ mod tests {
 
     #[test]
     fn arbitrary_clock_is_deterministic() {
-        let c = Clock::faulty(0, 0, ClockFault::Arbitrary { seed: 3, spread: 10 });
+        let c = Clock::faulty(
+            0,
+            0,
+            ClockFault::Arbitrary {
+                seed: 3,
+                spread: 10,
+            },
+        );
         assert_eq!(c.read_for(2, 999), c.read_for(2, 999));
     }
 

@@ -127,10 +127,7 @@ pub fn run_consistency_sync(
     let n = clocks.len();
     assert_eq!(healthy.len(), n, "one health flag per clock");
     assert!(n > 3 * m, "OM-based sync needs n > 3m");
-    let faulty: BTreeSet<NodeId> = (0..n)
-        .filter(|&i| !healthy[i])
-        .map(NodeId::new)
-        .collect();
+    let faulty: BTreeSet<NodeId> = (0..n).filter(|&i| !healthy[i]).map(NodeId::new).collect();
     let mut corrections: Vec<i64> = vec![0; n];
     let mut skew_per_round = Vec::with_capacity(config.rounds);
 
@@ -156,7 +153,10 @@ pub fn run_consistency_sync(
             if !healthy[i] {
                 continue;
             }
-            let mut vals: Vec<u64> = vectors[i].iter().filter_map(|v| v.value().copied()).collect();
+            let mut vals: Vec<u64> = vectors[i]
+                .iter()
+                .filter_map(|v| v.value().copied())
+                .collect();
             vals.sort_unstable();
             if !vals.is_empty() {
                 let target = vals[vals.len() / 2] as i64;
@@ -192,7 +192,11 @@ mod tests {
     #[test]
     fn fault_free_ensemble_converges() {
         let clocks = ensemble(4, 1_000, 0, &[], 11);
-        let out = run_convergence(&clocks, &healthy_flags(4, &[]), ConvergenceConfig::default());
+        let out = run_convergence(
+            &clocks,
+            &healthy_flags(4, &[]),
+            ConvergenceConfig::default(),
+        );
         // Initial spread up to 2000; after convergence the skew shrinks.
         assert!(
             out.final_skew() <= 2,
@@ -205,7 +209,11 @@ mod tests {
     fn tolerates_less_than_a_third() {
         // n = 4, one Byzantine clock: skew stays within the window.
         let clocks = ensemble(4, 1_000, 0, &[3], 13);
-        let out = run_convergence(&clocks, &healthy_flags(4, &[3]), ConvergenceConfig::default());
+        let out = run_convergence(
+            &clocks,
+            &healthy_flags(4, &[3]),
+            ConvergenceConfig::default(),
+        );
         assert!(
             out.final_skew() <= ConvergenceConfig::default().delta,
             "skew {} exceeded delta",
@@ -284,7 +292,12 @@ mod tests {
     #[should_panic(expected = "n > 3m")]
     fn consistency_sync_needs_om_bound() {
         let clocks = ensemble(3, 100, 0, &[], 1);
-        run_consistency_sync(&clocks, &[true, true, true], 1, ConvergenceConfig::default());
+        run_consistency_sync(
+            &clocks,
+            &[true, true, true],
+            1,
+            ConvergenceConfig::default(),
+        );
     }
 
     #[test]
@@ -302,7 +315,11 @@ mod tests {
     fn drift_is_repeatedly_corrected() {
         // With drift but periodic resync, skew stays bounded across rounds.
         let clocks = ensemble(5, 500, 50, &[], 21);
-        let out = run_convergence(&clocks, &healthy_flags(5, &[]), ConvergenceConfig::default());
+        let out = run_convergence(
+            &clocks,
+            &healthy_flags(5, &[]),
+            ConvergenceConfig::default(),
+        );
         for (round, &skew) in out.skew_per_round.iter().enumerate() {
             assert!(skew < 1_000, "round {round}: skew {skew} diverged");
         }

@@ -85,7 +85,13 @@ pub fn run_degradable_sync(
     config: SyncConfig,
     real_time: u64,
 ) -> SyncOutcome {
-    run_degradable_sync_corrected(clocks, &vec![0; clocks.len()], strategies, config, real_time)
+    run_degradable_sync_corrected(
+        clocks,
+        &vec![0; clocks.len()],
+        strategies,
+        config,
+        real_time,
+    )
 }
 
 /// Like [`run_degradable_sync`] but with an existing per-node correction
@@ -117,14 +123,12 @@ pub fn run_degradable_sync_corrected(
 
     // One degradable-agreement instance per sender; build each node's
     // agreed vector.
-    let mut vectors: BTreeMap<NodeId, Vec<Val>> = NodeId::all(n)
-        .map(|r| (r, vec![Val::Default; n]))
-        .collect();
+    let mut vectors: BTreeMap<NodeId, Vec<Val>> =
+        NodeId::all(n).map(|r| (r, vec![Val::Default; n])).collect();
     for s in NodeId::all(n) {
         let raw = clocks[s.index()].read_for(s.index(), real_time);
         let reading = (raw as i128 + corrections[s.index()] as i128).max(0) as u64;
-        let instance =
-            ByzInstance::new(n, params, s).expect("bound checked above");
+        let instance = ByzInstance::new(n, params, s).expect("bound checked above");
         let scenario = Scenario {
             instance,
             sender_value: Val::Value(reading),
@@ -239,8 +243,7 @@ pub fn run_periodic_sync(
 
     for round in 1..=config.rounds {
         let now = config.period * round as u64;
-        let out =
-            run_degradable_sync_corrected(clocks, &corrections, strategies, config.sync, now);
+        let out = run_degradable_sync_corrected(clocks, &corrections, strategies, config.sync, now);
         // Fold the adjustment into each fault-free node's correction; a
         // node that detected too many faults keeps its old correction
         // (the "safe" choice — it knows its vector is untrustworthy).
@@ -309,8 +312,9 @@ mod tests {
     #[test]
     fn f_le_m_all_synchronized_despite_liar() {
         let clocks = ensemble(5, 1_000, 0, &[4], 5);
-        let strategies: BTreeMap<_, _> =
-            [(n(4), Strategy::ConstantLie(Val::Value(99_999_999)))].into_iter().collect();
+        let strategies: BTreeMap<_, _> = [(n(4), Strategy::ConstantLie(Val::Value(99_999_999)))]
+            .into_iter()
+            .collect();
         let out = run_degradable_sync(&clocks, &strategies, config(1, 2), T);
         assert_eq!(out.condition1, Some(true), "{out:?}");
         // Median rejects the single outlier: everyone lands within the
@@ -325,12 +329,9 @@ mod tests {
         // Two silent faults (f = u = 2 > m = 1): every fault-free node sees
         // 2 > m defaults and detects.
         let clocks = ensemble(5, 1_000, 0, &[3, 4], 7);
-        let strategies: BTreeMap<_, _> = [
-            (n(3), Strategy::Silent),
-            (n(4), Strategy::Silent),
-        ]
-        .into_iter()
-        .collect();
+        let strategies: BTreeMap<_, _> = [(n(3), Strategy::Silent), (n(4), Strategy::Silent)]
+            .into_iter()
+            .collect();
         let out = run_degradable_sync(&clocks, &strategies, config(1, 2), T);
         assert_eq!(out.condition2, Some(true), "{out:?}");
         assert!(out.detectors.len() >= 2);
@@ -360,12 +361,9 @@ mod tests {
         for seed in 0..10u64 {
             for (name, strat) in Strategy::battery(T, T + 50_000, seed) {
                 let clocks = ensemble(7, 1_000, 0, &[5, 6], seed);
-                let strategies: BTreeMap<_, _> = [
-                    (n(5), strat.clone()),
-                    (n(6), strat.clone()),
-                ]
-                .into_iter()
-                .collect();
+                let strategies: BTreeMap<_, _> = [(n(5), strat.clone()), (n(6), strat.clone())]
+                    .into_iter()
+                    .collect();
                 let out = run_degradable_sync(&clocks, &strategies, config(1, 4), T);
                 assert_eq!(
                     out.condition2,
@@ -407,8 +405,9 @@ mod tests {
     #[test]
     fn periodic_sync_with_liar_stays_synchronized() {
         let clocks = ensemble(5, 1_000, 50, &[4], 17);
-        let strategies: BTreeMap<_, _> =
-            [(n(4), Strategy::ConstantLie(Val::Value(77)))].into_iter().collect();
+        let strategies: BTreeMap<_, _> = [(n(4), Strategy::ConstantLie(Val::Value(77)))]
+            .into_iter()
+            .collect();
         let out = run_periodic_sync(&clocks, &strategies, periodic(1, 2, 8));
         assert!(out.failed_rounds.is_empty(), "{out:?}");
         assert!(*out.skew_per_round.last().unwrap() <= 400);
@@ -417,12 +416,9 @@ mod tests {
     #[test]
     fn periodic_sync_beyond_m_keeps_condition2() {
         let clocks = ensemble(5, 1_000, 50, &[3, 4], 19);
-        let strategies: BTreeMap<_, _> = [
-            (n(3), Strategy::Silent),
-            (n(4), Strategy::Silent),
-        ]
-        .into_iter()
-        .collect();
+        let strategies: BTreeMap<_, _> = [(n(3), Strategy::Silent), (n(4), Strategy::Silent)]
+            .into_iter()
+            .collect();
         let out = run_periodic_sync(&clocks, &strategies, periodic(1, 2, 6));
         assert!(out.failed_rounds.is_empty(), "{out:?}");
         // Silent faults are detected every round.

@@ -37,7 +37,11 @@ impl HardwareEnsemble {
     /// # Panics
     ///
     /// Panics if the flag vector length does not match the clock count.
-    pub fn new(processor_clocks: Vec<Clock>, witnesses: Vec<Clock>, clock_faulty: Vec<bool>) -> Self {
+    pub fn new(
+        processor_clocks: Vec<Clock>,
+        witnesses: Vec<Clock>,
+        clock_faulty: Vec<bool>,
+    ) -> Self {
         let processor_count = processor_clocks.len();
         let mut clocks = processor_clocks;
         clocks.extend(witnesses);
@@ -102,11 +106,7 @@ mod tests {
     fn witnesses_raise_tolerance() {
         // The paper's Figure 1(b) example: 5 nodes (sender + 4 channels);
         // adding two witness clocks tolerates two clock failures.
-        let base = HardwareEnsemble::new(
-            ensemble(5, 500, 0, &[], 1),
-            vec![],
-            flags(5, &[]),
-        );
+        let base = HardwareEnsemble::new(ensemble(5, 500, 0, &[], 1), vec![], flags(5, &[]));
         assert_eq!(base.tolerable_clock_faults(), 1);
         let with_witnesses = HardwareEnsemble::new(
             ensemble(5, 500, 0, &[], 1),
@@ -118,18 +118,10 @@ mod tests {
 
     #[test]
     fn clock_plane_viability() {
-        let e = HardwareEnsemble::new(
-            ensemble(4, 500, 0, &[0], 1),
-            vec![],
-            flags(4, &[0]),
-        );
+        let e = HardwareEnsemble::new(ensemble(4, 500, 0, &[0], 1), vec![], flags(4, &[0]));
         assert_eq!(e.clock_fault_count(), 1);
         assert!(e.clock_plane_viable());
-        let e2 = HardwareEnsemble::new(
-            ensemble(4, 500, 0, &[0, 1], 1),
-            vec![],
-            flags(4, &[0, 1]),
-        );
+        let e2 = HardwareEnsemble::new(ensemble(4, 500, 0, &[0, 1], 1), vec![], flags(4, &[0, 1]));
         assert!(!e2.clock_plane_viable());
     }
 
@@ -154,11 +146,7 @@ mod tests {
     fn processor_faults_do_not_count_against_clock_plane() {
         // 5 processors, 3 of them Byzantine (> n/3!) but with healthy
         // clocks: the clock plane stays viable — the Section 6.2 argument.
-        let e = HardwareEnsemble::new(
-            ensemble(5, 500, 0, &[], 9),
-            vec![],
-            flags(5, &[]),
-        );
+        let e = HardwareEnsemble::new(ensemble(5, 500, 0, &[], 9), vec![], flags(5, &[]));
         assert!(e.clock_plane_viable());
         let out = e.synchronize(ConvergenceConfig::default());
         assert!(out.final_skew() <= 2);

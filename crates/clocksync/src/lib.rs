@@ -41,7 +41,9 @@ pub mod degradable_sync;
 pub mod hardware;
 
 pub use clock::{ensemble, Clock, ClockFault};
-pub use convergence::{run_consistency_sync, run_convergence, ConvergenceConfig, ConvergenceOutcome};
+pub use convergence::{
+    run_consistency_sync, run_convergence, ConvergenceConfig, ConvergenceOutcome,
+};
 pub use degradable_sync::{
     run_degradable_sync, run_degradable_sync_corrected, run_periodic_sync, PeriodicConfig,
     PeriodicOutcome, SyncConfig, SyncOutcome,
@@ -51,7 +53,9 @@ pub use hardware::HardwareEnsemble;
 /// Convenience glob import.
 pub mod prelude {
     pub use crate::clock::{ensemble, Clock, ClockFault};
-    pub use crate::convergence::{run_consistency_sync, run_convergence, ConvergenceConfig, ConvergenceOutcome};
+    pub use crate::convergence::{
+        run_consistency_sync, run_convergence, ConvergenceConfig, ConvergenceOutcome,
+    };
     pub use crate::degradable_sync::{
         run_degradable_sync, run_degradable_sync_corrected, run_periodic_sync, PeriodicConfig,
         PeriodicOutcome, SyncConfig, SyncOutcome,

@@ -391,7 +391,12 @@ impl ExhaustiveSearch {
         let table: BTreeMap<(Path, NodeId), Val> = points
             .iter()
             .enumerate()
-            .map(|(i, p)| (p.clone(), self.domain[odometer.get(i).copied().unwrap_or(0)]))
+            .map(|(i, p)| {
+                (
+                    p.clone(),
+                    self.domain[odometer.get(i).copied().unwrap_or(0)],
+                )
+            })
             .collect();
         let mut fabricate = |path: &Path, r: NodeId, _t: &Val| {
             table

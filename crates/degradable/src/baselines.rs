@@ -169,9 +169,8 @@ pub fn run_interactive_consistency<V: Clone + Ord>(
         .map(|r| (r, vec![AgreementValue::Default; n]))
         .collect();
     for s in NodeId::all(n) {
-        let mut fab = |p: &crate::path::Path, r: NodeId, t: &AgreementValue<V>| {
-            fabricate(s, p, r, t)
-        };
+        let mut fab =
+            |p: &crate::path::Path, r: NodeId, t: &AgreementValue<V>| fabricate(s, p, r, t);
         let decisions = run_om(n, m, s, &values[s.index()], faulty, &mut fab);
         for (r, v) in decisions {
             vectors.get_mut(&r).expect("receiver exists")[s.index()] = v;
@@ -244,9 +243,7 @@ mod tests {
         // OM(1) with two traitors on 4 nodes can disagree — contrast with
         // degradable agreement's D.3/D.4 which still constrain the split.
         let faulty: BTreeSet<_> = [n(2), n(3)].into_iter().collect();
-        let mut fab = |p: &Path, r: NodeId, _t: &Val| {
-            Val::Value((p.len() + r.index()) as u64 % 3)
-        };
+        let mut fab = |p: &Path, r: NodeId, _t: &Val| Val::Value((p.len() + r.index()) as u64 % 3);
         let d = run_om(4, 1, n(0), &Val::Value(7), &faulty, &mut fab);
         // Receiver 1 is the only fault-free receiver; nothing to check for
         // agreement, but it may well hold a wrong value:
@@ -266,9 +263,8 @@ mod tests {
     #[test]
     fn crusader_faulty_sender_non_default_agree() {
         let faulty: BTreeSet<_> = [n(0)].into_iter().collect();
-        let mut fab = |_p: &Path, r: NodeId, _t: &Val| {
-            Val::Value(if r.index() <= 1 { 1 } else { 2 })
-        };
+        let mut fab =
+            |_p: &Path, r: NodeId, _t: &Val| Val::Value(if r.index() <= 1 { 1 } else { 2 });
         let d = run_crusader(4, 1, n(0), &Val::Value(7), &faulty, &mut fab);
         let nondefault: BTreeSet<_> = d.values().filter(|v| !v.is_default()).collect();
         assert!(nondefault.len() <= 1, "crusader property violated: {d:?}");

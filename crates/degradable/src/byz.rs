@@ -65,7 +65,10 @@ impl fmt::Display for ByzError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match *self {
             ByzError::TooFewNodes { n, required } => {
-                write!(f, "{n} nodes given but degradable agreement needs at least {required}")
+                write!(
+                    f,
+                    "{n} nodes given but degradable agreement needs at least {required}"
+                )
             }
             ByzError::SenderOutOfRange { sender, n } => {
                 write!(f, "sender {sender} out of range for {n} nodes")
@@ -153,9 +156,7 @@ impl ByzInstance {
 
     /// The vote rule used at every fold level.
     pub fn rule(&self) -> VoteRule {
-        VoteRule::Degradable {
-            m: self.params.m(),
-        }
+        VoteRule::Degradable { m: self.params.m() }
     }
 
     /// Runs BYZ via the reference executor: no message objects, the
@@ -307,6 +308,9 @@ mod tests {
     #[test]
     fn display_summarizes() {
         let i = inst(5, 1, 2);
-        assert_eq!(i.to_string(), "BYZ(1,1) on 5 nodes (1/2-degradable, sender n0)");
+        assert_eq!(
+            i.to_string(),
+            "BYZ(1,1) on 5 nodes (1/2-degradable, sender n0)"
+        );
     }
 }

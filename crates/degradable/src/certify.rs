@@ -82,16 +82,14 @@ pub fn certify(
 
     for sender_idx in 0..n {
         let sender = NodeId::new(sender_idx);
-        let instance = ByzInstance::new(n, params, sender)
-            .expect("caller guarantees the node bound");
+        let instance =
+            ByzInstance::new(n, params, sender).expect("caller guarantees the node bound");
         for f in 0..=params.u() {
             for faulty_idx in subsets(n, f) {
-                let faulty: BTreeSet<NodeId> =
-                    faulty_idx.iter().map(|&i| NodeId::new(i)).collect();
+                let faulty: BTreeSet<NodeId> = faulty_idx.iter().map(|&i| NodeId::new(i)).collect();
                 configurations += 1;
-                let search =
-                    ExhaustiveSearch::new(instance, Val::Value(1), faulty, domain.clone())
-                        .with_budget(budget_per_config);
+                let search = ExhaustiveSearch::new(instance, Val::Value(1), faulty, domain.clone())
+                    .with_budget(budget_per_config);
                 adversaries += search.combination_count();
                 if let Some(witness) = search.find_violation()? {
                     return Ok(CertificationReport {

@@ -155,13 +155,22 @@ impl<V: Ord + fmt::Debug> fmt::Display for Violation<V> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Violation::NotSenderValue { receiver, decided } => {
-                write!(f, "D.1 violated: {receiver} decided {decided:?} instead of the sender's value")
+                write!(
+                    f,
+                    "D.1 violated: {receiver} decided {decided:?} instead of the sender's value"
+                )
             }
             Violation::Disagreement { values } => {
-                write!(f, "D.2 violated: fault-free receivers split over {values:?}")
+                write!(
+                    f,
+                    "D.2 violated: fault-free receivers split over {values:?}"
+                )
             }
             Violation::ForeignValue { receiver, decided } => {
-                write!(f, "D.3 violated: {receiver} decided foreign value {decided:?}")
+                write!(
+                    f,
+                    "D.3 violated: {receiver} decided foreign value {decided:?}"
+                )
             }
             Violation::TwoNonDefault { a, b } => {
                 write!(f, "D.4 violated: two non-default decisions {a:?} and {b:?}")
@@ -367,7 +376,12 @@ mod tests {
             5,
             &[3],
             Val::Value(7),
-            &[(1, Val::Value(7)), (2, Val::Value(7)), (3, Val::Value(0)), (4, Val::Value(7))],
+            &[
+                (1, Val::Value(7)),
+                (2, Val::Value(7)),
+                (3, Val::Value(0)),
+                (4, Val::Value(7)),
+            ],
         );
         let v = check_degradable(&rec);
         match v {
@@ -387,7 +401,12 @@ mod tests {
             5,
             &[3],
             Val::Value(7),
-            &[(1, Val::Value(7)), (2, Val::Default), (3, Val::Value(0)), (4, Val::Value(7))],
+            &[
+                (1, Val::Value(7)),
+                (2, Val::Default),
+                (3, Val::Value(0)),
+                (4, Val::Value(7)),
+            ],
         );
         assert!(matches!(
             check_degradable(&rec),
@@ -403,7 +422,12 @@ mod tests {
             5,
             &[0],
             Val::Value(7),
-            &[(1, Val::Default), (2, Val::Default), (3, Val::Default), (4, Val::Default)],
+            &[
+                (1, Val::Default),
+                (2, Val::Default),
+                (3, Val::Default),
+                (4, Val::Default),
+            ],
         );
         match check_degradable(&rec) {
             Verdict::Satisfied(s) => assert_eq!(s.condition, Condition::D2),
@@ -419,7 +443,12 @@ mod tests {
             5,
             &[0],
             Val::Value(7),
-            &[(1, Val::Value(1)), (2, Val::Value(2)), (3, Val::Value(1)), (4, Val::Value(1))],
+            &[
+                (1, Val::Value(1)),
+                (2, Val::Value(2)),
+                (3, Val::Value(1)),
+                (4, Val::Value(1)),
+            ],
         );
         assert!(check_degradable(&rec).is_violated());
     }
@@ -432,7 +461,12 @@ mod tests {
             5,
             &[3, 4],
             Val::Value(7),
-            &[(1, Val::Value(7)), (2, Val::Default), (3, Val::Value(0)), (4, Val::Value(0))],
+            &[
+                (1, Val::Value(7)),
+                (2, Val::Default),
+                (3, Val::Value(0)),
+                (4, Val::Value(0)),
+            ],
         );
         match check_degradable(&rec) {
             Verdict::Satisfied(s) => {
@@ -452,11 +486,19 @@ mod tests {
             5,
             &[3, 4],
             Val::Value(7),
-            &[(1, Val::Value(9)), (2, Val::Default), (3, Val::Value(0)), (4, Val::Value(0))],
+            &[
+                (1, Val::Value(9)),
+                (2, Val::Default),
+                (3, Val::Value(0)),
+                (4, Val::Value(0)),
+            ],
         );
         assert!(matches!(
             check_degradable(&rec),
-            Verdict::Violated(Violation::ForeignValue { decided: Val::Value(9), .. })
+            Verdict::Violated(Violation::ForeignValue {
+                decided: Val::Value(9),
+                ..
+            })
         ));
     }
 
@@ -468,7 +510,12 @@ mod tests {
             5,
             &[0, 4],
             Val::Value(7),
-            &[(1, Val::Value(3)), (2, Val::Default), (3, Val::Value(3)), (4, Val::Value(0))],
+            &[
+                (1, Val::Value(3)),
+                (2, Val::Default),
+                (3, Val::Value(3)),
+                (4, Val::Value(0)),
+            ],
         );
         match check_degradable(&rec) {
             Verdict::Satisfied(s) => assert_eq!(s.condition, Condition::D4),
@@ -484,7 +531,12 @@ mod tests {
             5,
             &[0, 4],
             Val::Value(7),
-            &[(1, Val::Value(3)), (2, Val::Value(5)), (3, Val::Value(3)), (4, Val::Value(0))],
+            &[
+                (1, Val::Value(3)),
+                (2, Val::Value(5)),
+                (3, Val::Value(3)),
+                (4, Val::Value(0)),
+            ],
         );
         assert!(matches!(
             check_degradable(&rec),
@@ -500,7 +552,12 @@ mod tests {
             5,
             &[1, 2, 3],
             Val::Value(7),
-            &[(1, Val::Value(0)), (2, Val::Value(0)), (3, Val::Value(0)), (4, Val::Value(8))],
+            &[
+                (1, Val::Value(0)),
+                (2, Val::Value(0)),
+                (3, Val::Value(0)),
+                (4, Val::Value(8)),
+            ],
         );
         assert!(matches!(check_degradable(&rec), Verdict::BeyondU { f: 3 }));
     }
@@ -596,7 +653,12 @@ mod tests {
             5,
             &[4, 3],
             Val::Value(7),
-            &[(1, Val::Value(7)), (2, Val::Default), (3, Val::Default), (4, Val::Default)],
+            &[
+                (1, Val::Value(7)),
+                (2, Val::Default),
+                (3, Val::Default),
+                (4, Val::Default),
+            ],
         );
         assert_eq!(largest_fault_free_class(&rec), 2);
     }

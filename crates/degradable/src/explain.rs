@@ -68,7 +68,11 @@ where
         let _ = writeln!(
             out,
             "  {path} -> {value}{}",
-            if liar { "   (relayed by a faulty node)" } else { "" }
+            if liar {
+                "   (relayed by a faulty node)"
+            } else {
+                ""
+            }
         );
     }
     let (decision, steps) = view.resolve_traced(instance.sender(), instance.rule());

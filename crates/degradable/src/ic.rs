@@ -92,7 +92,11 @@ pub fn run_degradable_ic<V: Clone + Ord + Hash>(
     strategies: &BTreeMap<NodeId, Strategy<V>>,
 ) -> IcOutcome<V> {
     let n = values.len();
-    assert!(params.admits(n), "need at least {} nodes", params.min_nodes());
+    assert!(
+        params.admits(n),
+        "need at least {} nodes",
+        params.min_nodes()
+    );
     let faulty: BTreeSet<NodeId> = strategies.keys().copied().collect();
     let mut vectors: BTreeMap<NodeId, Vec<AgreementValue<V>>> = NodeId::all(n)
         .filter(|r| !faulty.contains(r))
@@ -259,7 +263,10 @@ mod tests {
             .map(|i| (n(i), Strategy::ConstantLie(Val::Value(9))))
             .collect();
         let out = run_degradable_ic(params, &values(5), &strategies);
-        assert!(check_degradable_ic(&out).is_none(), "f > u promises nothing");
+        assert!(
+            check_degradable_ic(&out).is_none(),
+            "f > u promises nothing"
+        );
     }
 
     #[test]
@@ -267,9 +274,8 @@ mod tests {
         let params = Params::new(1, 4).unwrap();
         for f in 0..=4usize {
             for (name, strat) in Strategy::battery(100, 200, 3) {
-                let strategies: BTreeMap<_, _> = (7 - f..7)
-                    .map(|i| (n(i), strat.clone()))
-                    .collect();
+                let strategies: BTreeMap<_, _> =
+                    (7 - f..7).map(|i| (n(i), strat.clone())).collect();
                 let out = run_degradable_ic(params, &values(7), &strategies);
                 assert!(
                     check_degradable_ic(&out).is_none(),

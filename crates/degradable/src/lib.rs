@@ -92,8 +92,8 @@ pub use adversary::{ExhaustiveSearch, HillClimbSearch, RandomizedSearch, Scenari
 pub use byz::{ByzError, ByzInstance};
 pub use certify::{certify, CertificationReport};
 pub use conditions::{
-    check_byzantine, check_degradable, check_weak_byzantine, largest_fault_free_class, Condition, RunRecord,
-    Satisfaction, Verdict, Violation,
+    check_byzantine, check_degradable, check_weak_byzantine, largest_fault_free_class, Condition,
+    RunRecord, Satisfaction, Verdict, Violation,
 };
 pub use eig::{run_eig, run_eig_full, EigOutcome, EigView, FoldStep, VoteRule};
 pub use explain::explain_receiver;

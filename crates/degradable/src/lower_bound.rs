@@ -86,7 +86,9 @@ pub fn figure2_runs() -> Vec<Fig2Run> {
         "(a)",
         format!("A faulty; sender sends {BETA}; A pretends it received {ALPHA}"),
         BETA,
-        [(A, Strategy::PretendSenderSaid(ALPHA))].into_iter().collect(),
+        [(A, Strategy::PretendSenderSaid(ALPHA))]
+            .into_iter()
+            .collect(),
     );
     let b = run(
         "(b)",
@@ -239,8 +241,14 @@ mod tests {
     #[test]
     fn indistinguishability_holds() {
         let demo = demonstrate_figure2();
-        assert!(demo.b_cannot_distinguish_a_b, "B must not distinguish (a)/(b)");
-        assert!(demo.a_cannot_distinguish_b_c, "A must not distinguish (b)/(c)");
+        assert!(
+            demo.b_cannot_distinguish_a_b,
+            "B must not distinguish (a)/(b)"
+        );
+        assert!(
+            demo.a_cannot_distinguish_b_c,
+            "A must not distinguish (b)/(c)"
+        );
     }
 
     #[test]

@@ -19,7 +19,10 @@ impl fmt::Display for ParamsError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match *self {
             ParamsError::UStrictlyBelowM { m, u } => {
-                write!(f, "invalid degradable-agreement parameters: u = {u} < m = {m}")
+                write!(
+                    f,
+                    "invalid degradable-agreement parameters: u = {u} < m = {m}"
+                )
             }
         }
     }

@@ -119,9 +119,8 @@ pub fn run_protocol_with<V: Clone + Ord + Hash>(
         let mut to_relay: Vec<(Path, AgreementValue<V>)> = Vec::new();
         if round >= 1 {
             for (src, msg) in ctx.inbox().to_vec() {
-                let valid = msg.path.len() == round
-                    && msg.path.last() == src
-                    && !msg.path.contains(me);
+                let valid =
+                    msg.path.len() == round && msg.path.last() == src && !msg.path.contains(me);
                 if !valid {
                     continue; // malformed claim: treated as absent
                 }
@@ -140,10 +139,13 @@ pub fn run_protocol_with<V: Clone + Ord + Hash>(
                         continue;
                     }
                     if let Some(v) = claim_for(me, &root, r, sender_value) {
-                        ctx.send(r, ByzMsg {
-                            path: root.clone(),
-                            value: v,
-                        });
+                        ctx.send(
+                            r,
+                            ByzMsg {
+                                path: root.clone(),
+                                value: v,
+                            },
+                        );
                     }
                 }
             }
@@ -155,10 +157,13 @@ pub fn run_protocol_with<V: Clone + Ord + Hash>(
                         continue;
                     }
                     if let Some(v) = claim_for(me, &child, r, &value) {
-                        ctx.send(r, ByzMsg {
-                            path: child.clone(),
-                            value: v,
-                        });
+                        ctx.send(
+                            r,
+                            ByzMsg {
+                                path: child.clone(),
+                                value: v,
+                            },
+                        );
                     }
                 }
             }
@@ -235,10 +240,13 @@ mod tests {
                 2,
                 vec![
                     (3, Strategy::ConstantLie(Val::Value(9))),
-                    (4, Strategy::TwoFaced {
-                        even: Val::Value(1),
-                        odd: Val::Value(2),
-                    }),
+                    (
+                        4,
+                        Strategy::TwoFaced {
+                            even: Val::Value(1),
+                            odd: Val::Value(2),
+                        },
+                    ),
                 ],
             ),
             (
@@ -246,17 +254,31 @@ mod tests {
                 2,
                 2,
                 vec![
-                    (0, Strategy::TwoFaced {
-                        even: Val::Value(1),
-                        odd: Val::Value(2),
-                    }),
-                    (6, Strategy::RandomLie {
-                        domain: vec![Val::Default, Val::Value(1), Val::Value(2)],
-                        seed: 11,
-                    }),
+                    (
+                        0,
+                        Strategy::TwoFaced {
+                            even: Val::Value(1),
+                            odd: Val::Value(2),
+                        },
+                    ),
+                    (
+                        6,
+                        Strategy::RandomLie {
+                            domain: vec![Val::Default, Val::Value(1), Val::Value(2)],
+                            seed: 11,
+                        },
+                    ),
                 ],
             ),
-            (5, 0, 4, vec![(2, Strategy::Silent), (3, Strategy::PretendSenderSaid(Val::Value(5)))]),
+            (
+                5,
+                0,
+                4,
+                vec![
+                    (2, Strategy::Silent),
+                    (3, Strategy::PretendSenderSaid(Val::Value(5))),
+                ],
+            ),
         ];
         for (nodes, m, u, strat) in cases {
             let inst = instance(nodes, m, u);

@@ -70,11 +70,19 @@ pub fn run_batch<V: Clone + Ord + Hash>(
     strategies: &BTreeMap<NodeId, Strategy<V>>,
     seed: u64,
 ) -> BatchRun<V> {
-    assert!(params.admits(n), "need at least {} nodes", params.min_nodes());
+    assert!(
+        params.admits(n),
+        "need at least {} nodes",
+        params.min_nodes()
+    );
     let depth = params.rounds();
     let rule = crate::eig::VoteRule::Degradable { m: params.m() };
     for inst in instances {
-        assert!(inst.sender.index() < n, "sender {} out of range", inst.sender);
+        assert!(
+            inst.sender.index() < n,
+            "sender {} out of range",
+            inst.sender
+        );
     }
     let mut engine: RoundEngine<BatchMsg<V>> = RoundEngine::new(Topology::complete(n), seed);
 
@@ -131,11 +139,14 @@ pub fn run_batch<V: Clone + Ord + Hash>(
                         continue;
                     }
                     if let Some(v) = claim_for(me, &root, r, &inst.value) {
-                        ctx.send(r, BatchMsg {
-                            instance: idx as u32,
-                            path: root.clone(),
-                            value: v,
-                        });
+                        ctx.send(
+                            r,
+                            BatchMsg {
+                                instance: idx as u32,
+                                path: root.clone(),
+                                value: v,
+                            },
+                        );
                     }
                 }
             }
@@ -147,11 +158,14 @@ pub fn run_batch<V: Clone + Ord + Hash>(
                         continue;
                     }
                     if let Some(v) = claim_for(me, &child, r, &value) {
-                        ctx.send(r, BatchMsg {
-                            instance,
-                            path: child.clone(),
-                            value: v,
-                        });
+                        ctx.send(
+                            r,
+                            BatchMsg {
+                                instance,
+                                path: child.clone(),
+                                value: v,
+                            },
+                        );
                     }
                 }
             }
@@ -201,9 +215,18 @@ mod tests {
         .into_iter()
         .collect();
         let instances: Vec<BatchInstance<u64>> = vec![
-            BatchInstance { sender: n(0), value: Val::Value(10) },
-            BatchInstance { sender: n(1), value: Val::Value(20) },
-            BatchInstance { sender: n(4), value: Val::Value(30) },
+            BatchInstance {
+                sender: n(0),
+                value: Val::Value(10),
+            },
+            BatchInstance {
+                sender: n(1),
+                value: Val::Value(20),
+            },
+            BatchInstance {
+                sender: n(4),
+                value: Val::Value(30),
+            },
         ];
         let batch = run_batch(params(), 5, &instances, &strategies, 1);
         for (i, inst) in instances.iter().enumerate() {
@@ -241,7 +264,9 @@ mod tests {
         // must match the dedicated IC runner's (degradable variant).
         let values: Vec<Val> = (0..5).map(|i| Val::Value(100 + i as u64)).collect();
         let strategies: BTreeMap<NodeId, Strategy<u64>> =
-            [(n(4), Strategy::ConstantLie(Val::Value(9)))].into_iter().collect();
+            [(n(4), Strategy::ConstantLie(Val::Value(9)))]
+                .into_iter()
+                .collect();
         let instances: Vec<BatchInstance<u64>> = (0..5)
             .map(|i| BatchInstance {
                 sender: n(i),
@@ -255,10 +280,7 @@ mod tests {
                 if *r == n(slot) {
                     continue; // senders trust themselves in the IC runner
                 }
-                assert_eq!(
-                    decisions[r], vec[slot],
-                    "slot {slot}, receiver {r}"
-                );
+                assert_eq!(decisions[r], vec[slot], "slot {slot}, receiver {r}");
             }
         }
     }

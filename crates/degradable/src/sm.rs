@@ -114,8 +114,7 @@ pub fn run_sm<V: Clone + Ord>(
                         continue;
                     }
                     let deliver = if faulty.contains(&relayer) {
-                        (adversary.relay_action)(relayer, &new_chain, r)
-                            == SmRelayAction::Forward
+                        (adversary.relay_action)(relayer, &new_chain, r) == SmRelayAction::Forward
                     } else {
                         true
                     };
@@ -203,8 +202,7 @@ mod tests {
         // relay round, so all honest receivers see |V| = 2 and agree on
         // V_d.
         let faulty: BTreeSet<_> = [n(0)].into_iter().collect();
-        let mut sender_claims =
-            |r: NodeId| Some(Val::Value(if r.index() == 1 { 1 } else { 2 }));
+        let mut sender_claims = |r: NodeId| Some(Val::Value(if r.index() == 1 { 1 } else { 2 }));
         let mut relay_action = |_: NodeId, _: &[NodeId], _: NodeId| SmRelayAction::Forward;
         let d = run_sm(
             3,

@@ -22,8 +22,8 @@ use crate::conditions::RunRecord;
 use crate::eig::EigView;
 use crate::path::{paths_of_length, Path};
 use crate::value::AgreementValue;
-use simnet::routing::{CopyAction, RelayError, RelayHop, RelayNetwork};
 use simnet::routing::Delivery;
+use simnet::routing::{CopyAction, RelayError, RelayHop, RelayNetwork};
 use simnet::{NodeId, Topology};
 use std::collections::{BTreeMap, BTreeSet};
 use std::hash::Hash;
@@ -114,20 +114,19 @@ pub fn run_sparse<V: Clone + Ord + Hash>(
     let mut degraded = 0usize;
 
     // transmit src -> dst through the relay fabric.
-    let send =
-        |src: NodeId, dst: NodeId, value: &AgreementValue<V>, degraded: &mut usize| {
-            let mut adversary = |hop: RelayHop| corruption.action(hop);
-            let d = relay.transmit(src, dst, value, &faulty, &mut adversary);
-            match d {
-                Delivery::Accepted(v) => Some(v),
-                Delivery::Absent => {
-                    if !faulty.contains(&src) && !faulty.contains(&dst) {
-                        *degraded += 1;
-                    }
-                    None
+    let send = |src: NodeId, dst: NodeId, value: &AgreementValue<V>, degraded: &mut usize| {
+        let mut adversary = |hop: RelayHop| corruption.action(hop);
+        let d = relay.transmit(src, dst, value, &faulty, &mut adversary);
+        match d {
+            Delivery::Accepted(v) => Some(v),
+            Delivery::Absent => {
+                if !faulty.contains(&src) && !faulty.contains(&dst) {
+                    *degraded += 1;
                 }
+                None
             }
-        };
+        }
+    };
 
     // store[path][r]: value receiver r holds for path (None = absent).
     let mut store: BTreeMap<Path, Vec<Option<AgreementValue<V>>>> = BTreeMap::new();
@@ -154,9 +153,8 @@ pub fn run_sparse<V: Clone + Ord + Hash>(
             for child in sigma.children(n) {
                 let relayer = child.last();
                 // What the relayer holds for sigma (absent reads as V_d).
-                let held: AgreementValue<V> = store[&sigma][relayer.index()]
-                    .clone()
-                    .unwrap_or_default();
+                let held: AgreementValue<V> =
+                    store[&sigma][relayer.index()].clone().unwrap_or_default();
                 let mut vals: Vec<Option<AgreementValue<V>>> = vec![None; n];
                 for r in NodeId::all(n) {
                     if child.contains(r) {
@@ -167,8 +165,7 @@ pub fn run_sparse<V: Clone + Ord + Hash>(
                         Some(Strategy::Silent) => None,
                         Some(s) => Some(s.claim(&child, r, &held)),
                     };
-                    vals[r.index()] =
-                        claimed.and_then(|v| send(relayer, r, &v, &mut degraded));
+                    vals[r.index()] = claimed.and_then(|v| send(relayer, r, &v, &mut degraded));
                 }
                 store.insert(child, vals);
             }
@@ -236,8 +233,9 @@ mod tests {
     #[test]
     fn complete_topology_matches_reference() {
         let inst = instance(5, 1, 2);
-        let strategies: BTreeMap<_, _> =
-            [(n(3), Strategy::ConstantLie(Val::Value(9)))].into_iter().collect();
+        let strategies: BTreeMap<_, _> = [(n(3), Strategy::ConstantLie(Val::Value(9)))]
+            .into_iter()
+            .collect();
         let sparse = run_sparse(
             &inst,
             &Topology::complete(5),
@@ -289,8 +287,9 @@ mod tests {
         // with the *sender's exact value* (no degradation).
         let inst = instance(8, 1, 2);
         let topo = Topology::harary(4, 8);
-        let strategies: BTreeMap<_, _> =
-            [(n(4), Strategy::ConstantLie(Val::Value(9)))].into_iter().collect();
+        let strategies: BTreeMap<_, _> = [(n(4), Strategy::ConstantLie(Val::Value(9)))]
+            .into_iter()
+            .collect();
         let run = run_sparse(
             &inst,
             &topo,
@@ -397,12 +396,9 @@ mod tests {
         // minimal-connectivity graph, some fault-free pair loses messages.
         let inst = instance(8, 1, 2);
         let topo = Topology::harary(4, 8);
-        let strategies: BTreeMap<_, _> = [
-            (n(2), Strategy::Truthful),
-            (n(6), Strategy::Truthful),
-        ]
-        .into_iter()
-        .collect();
+        let strategies: BTreeMap<_, _> = [(n(2), Strategy::Truthful), (n(6), Strategy::Truthful)]
+            .into_iter()
+            .collect();
         let run = run_sparse(
             &inst,
             &topo,

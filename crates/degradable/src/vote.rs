@@ -24,10 +24,7 @@ use std::collections::BTreeMap;
 ///
 /// Panics if `alpha == 0` (a zero threshold is meaningless and would make
 /// every value a winner).
-pub fn vote<V: Clone + Ord>(
-    alpha: usize,
-    values: &[AgreementValue<V>],
-) -> AgreementValue<V> {
+pub fn vote<V: Clone + Ord>(alpha: usize, values: &[AgreementValue<V>]) -> AgreementValue<V> {
     assert!(alpha > 0, "vote threshold must be positive");
     let mut counts: BTreeMap<&AgreementValue<V>, usize> = BTreeMap::new();
     for v in values {

@@ -1,0 +1,120 @@
+//! Minimal command-line overrides shared by every experiment binary.
+
+use std::path::PathBuf;
+
+/// Overrides parsed from an experiment binary's command line.
+///
+/// Recognized flags (both `--flag value` and `--flag=value`):
+///
+/// * `--trials N` — trial count override (CI smoke runs use a small one);
+/// * `--workers N` — worker-thread count for [`crate::SweepRunner`];
+/// * `--seed N` — master seed;
+/// * `--out PATH` — where to write the JSON report (default
+///   `results/<experiment>.json`).
+///
+/// Unknown arguments are ignored so binaries can add their own flags.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RunArgs {
+    /// `--trials` override.
+    pub trials: Option<usize>,
+    /// `--workers` override.
+    pub workers: Option<usize>,
+    /// `--seed` override.
+    pub seed: Option<u64>,
+    /// `--out` override.
+    pub out: Option<PathBuf>,
+}
+
+impl RunArgs {
+    /// Parses the process's command line (skipping `argv[0]`).
+    pub fn parse() -> Self {
+        Self::parse_from(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit argument list (used by tests).
+    pub fn parse_from<I, S>(args: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut out = RunArgs::default();
+        let mut iter = args.into_iter();
+        while let Some(arg) = iter.next() {
+            let arg = arg.as_ref();
+            let (flag, value) = if let Some((flag, value)) = arg.split_once('=') {
+                (flag.to_string(), value.to_string())
+            } else if matches!(arg, "--trials" | "--workers" | "--seed" | "--out") {
+                match iter.next() {
+                    Some(v) => (arg.to_string(), v.as_ref().to_string()),
+                    None => break,
+                }
+            } else {
+                continue;
+            };
+            match flag.as_str() {
+                "--trials" => out.trials = value.parse().ok(),
+                "--workers" => out.workers = value.parse().ok(),
+                "--seed" => out.seed = value.parse().ok(),
+                "--out" => out.out = Some(PathBuf::from(value)),
+                _ => {}
+            }
+        }
+        out
+    }
+
+    /// The trial count, with `default` when not overridden.
+    pub fn trials_or(&self, default: usize) -> usize {
+        self.trials.unwrap_or(default)
+    }
+
+    /// The worker count, with `default` when not overridden.
+    pub fn workers_or(&self, default: usize) -> usize {
+        self.workers.unwrap_or(default)
+    }
+
+    /// The master seed, with `default` when not overridden.
+    pub fn seed_or(&self, default: u64) -> u64 {
+        self.seed.unwrap_or(default)
+    }
+
+    /// The report output path override, if any.
+    pub fn out_path(&self) -> Option<&std::path::Path> {
+        self.out.as_deref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_both_flag_styles() {
+        let a = RunArgs::parse_from(["--trials", "50", "--seed=9", "--out", "results/x.json"]);
+        assert_eq!(a.trials, Some(50));
+        assert_eq!(a.seed, Some(9));
+        assert_eq!(a.out, Some(PathBuf::from("results/x.json")));
+        assert_eq!(a.workers, None);
+    }
+
+    #[test]
+    fn unknown_flags_are_ignored() {
+        let a = RunArgs::parse_from(["--verbose", "--workers=3", "positional"]);
+        assert_eq!(a.workers, Some(3));
+        assert_eq!(a.trials, None);
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let a = RunArgs::default();
+        assert_eq!(a.trials_or(100), 100);
+        assert_eq!(a.workers_or(4), 4);
+        assert_eq!(a.seed_or(7), 7);
+        assert!(a.out_path().is_none());
+    }
+
+    #[test]
+    fn garbage_values_fall_back_to_none() {
+        let a = RunArgs::parse_from(["--trials", "not-a-number"]);
+        assert_eq!(a.trials, None);
+    }
+}

@@ -1,0 +1,134 @@
+//! The [`Executor`] abstraction: one scenario, many ways to run it.
+
+use crate::scenario::{Scenario, ScenarioError};
+use degradable::{run_protocol, RunRecord};
+
+/// Runs a [`Scenario`] to a [`RunRecord`] for condition checking.
+///
+/// Implementations must be pure functions of the scenario (including its
+/// `master_seed`): calling `execute` twice on the same scenario yields the
+/// same record. That is what lets [`crate::SweepRunner`] parallelize
+/// trials freely and lets equivalence tests compare executors
+/// symbolically.
+pub trait Executor {
+    /// Short stable name for reports and labels.
+    fn name(&self) -> &'static str;
+
+    /// Executes the scenario.
+    ///
+    /// # Errors
+    ///
+    /// [`ScenarioError`] when the scenario violates the executor's
+    /// requirements (parameter bounds, node count, topology).
+    fn execute(&self, scenario: &Scenario) -> Result<RunRecord<u64>, ScenarioError>;
+}
+
+fn require_complete(scenario: &Scenario, executor: &'static str) -> Result<(), ScenarioError> {
+    if scenario.is_complete_topology() {
+        Ok(())
+    } else {
+        Err(ScenarioError::TopologyUnsupported {
+            topology: scenario.topology.name().to_string(),
+            executor,
+        })
+    }
+}
+
+/// The `degradable::eig` reference executor: decisions computed directly
+/// from the adversary's behaviour function, no message passing.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ReferenceExecutor;
+
+impl Executor for ReferenceExecutor {
+    fn name(&self) -> &'static str {
+        "reference"
+    }
+
+    fn execute(&self, scenario: &Scenario) -> Result<RunRecord<u64>, ScenarioError> {
+        require_complete(scenario, self.name())?;
+        let instance = scenario.instance()?;
+        Ok(degradable::Scenario {
+            instance,
+            sender_value: scenario.sender_value,
+            strategies: scenario.strategies.clone(),
+        }
+        .run())
+    }
+}
+
+/// The `degradable::protocol` executor: BYZ as a real message-passing
+/// protocol on the `simnet` round engine (envelopes, lock-step rounds,
+/// absence detection), driven by the scenario's `master_seed`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ProtocolExecutor;
+
+impl Executor for ProtocolExecutor {
+    fn name(&self) -> &'static str {
+        "protocol"
+    }
+
+    fn execute(&self, scenario: &Scenario) -> Result<RunRecord<u64>, ScenarioError> {
+        require_complete(scenario, self.name())?;
+        let instance = scenario.instance()?;
+        let run = run_protocol(
+            &instance,
+            &scenario.sender_value,
+            &scenario.strategies,
+            scenario.master_seed,
+        );
+        Ok(run.record(&instance, scenario.sender_value, scenario.faulty()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use degradable::adversary::Strategy;
+    use degradable::{check_degradable, Val};
+    use simnet::{NodeId, Topology};
+
+    fn lying_scenario() -> Scenario {
+        Scenario::new(5, 1, 2)
+            .with_sender_value(Val::Value(7))
+            .with_strategy(NodeId::new(3), Strategy::ConstantLie(Val::Value(9)))
+            .with_strategy(
+                NodeId::new(4),
+                Strategy::TwoFaced {
+                    even: Val::Value(1),
+                    odd: Val::Value(2),
+                },
+            )
+    }
+
+    #[test]
+    fn executors_agree_and_satisfy_conditions() {
+        let scenario = lying_scenario();
+        let a = ReferenceExecutor.execute(&scenario).unwrap();
+        let b = ProtocolExecutor.execute(&scenario).unwrap();
+        assert_eq!(a.decisions, b.decisions);
+        assert_eq!(a.faulty, b.faulty);
+        assert!(check_degradable(&a).is_satisfied());
+    }
+
+    #[test]
+    fn non_complete_topology_is_rejected() {
+        let scenario = lying_scenario().with_topology(Topology::ring(5));
+        for executor in [&ReferenceExecutor as &dyn Executor, &ProtocolExecutor] {
+            let err = executor.execute(&scenario).unwrap_err();
+            assert!(
+                matches!(err, ScenarioError::TopologyUnsupported { .. }),
+                "{err}"
+            );
+        }
+    }
+
+    #[test]
+    fn execution_is_deterministic_via_the_trait() {
+        let scenario = lying_scenario().with_master_seed(5);
+        for executor in [&ReferenceExecutor as &dyn Executor, &ProtocolExecutor] {
+            let a = executor.execute(&scenario).unwrap();
+            let b = executor.execute(&scenario).unwrap();
+            assert_eq!(a.decisions, b.decisions, "{}", executor.name());
+        }
+    }
+}

@@ -1,0 +1,501 @@
+//! Experiment reporting: ASCII tables, CSV blocks, and versioned JSON
+//! files under `results/`.
+//!
+//! ## The JSON schema
+//!
+//! Every report file is a single JSON object:
+//!
+//! ```json
+//! {
+//!   "schema": "degradable-harness-report",
+//!   "version": 1,
+//!   "experiment": "reliability",
+//!   "meta": { "master_seed": 232, "trials": 4000, "workers": 8 },
+//!   "metrics": { "p_incorrect_overall": 0.0 },
+//!   "tables": [
+//!     { "title": "...", "headers": ["..."], "rows": [["..."]] }
+//!   ]
+//! }
+//! ```
+//!
+//! `schema`/`version` are bumped together on breaking changes so report
+//! consumers can dispatch. Key order is insertion order (deterministic),
+//! which keeps byte-identical reports for identical runs — the property
+//! the determinism test asserts.
+//!
+//! JSON emission is hand-rolled ([`JsonValue`]): the vendored `serde` is
+//! derive-only (see `vendor/README.md`), and the value model here is tiny.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Identifier of the report file format.
+pub const SCHEMA: &str = "degradable-harness-report";
+
+/// Version of the report file format; bump on breaking layout changes.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// A JSON value with deterministic (insertion-ordered) object keys.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A signed integer.
+    Int(i64),
+    /// An unsigned integer (seeds and counters exceed `i64` range).
+    UInt(u64),
+    /// A finite float (non-finite values serialize as `null`).
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object; keys keep insertion order.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl From<bool> for JsonValue {
+    fn from(v: bool) -> Self {
+        JsonValue::Bool(v)
+    }
+}
+impl From<i64> for JsonValue {
+    fn from(v: i64) -> Self {
+        JsonValue::Int(v)
+    }
+}
+impl From<u64> for JsonValue {
+    fn from(v: u64) -> Self {
+        JsonValue::UInt(v)
+    }
+}
+impl From<usize> for JsonValue {
+    fn from(v: usize) -> Self {
+        JsonValue::UInt(v as u64)
+    }
+}
+impl From<f64> for JsonValue {
+    fn from(v: f64) -> Self {
+        JsonValue::Float(v)
+    }
+}
+impl From<&str> for JsonValue {
+    fn from(v: &str) -> Self {
+        JsonValue::Str(v.to_string())
+    }
+}
+impl From<String> for JsonValue {
+    fn from(v: String) -> Self {
+        JsonValue::Str(v)
+    }
+}
+impl<T: Into<JsonValue>> From<Vec<T>> for JsonValue {
+    fn from(v: Vec<T>) -> Self {
+        JsonValue::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl JsonValue {
+    /// Serializes to compact JSON text.
+    pub fn to_json_string(&self) -> String {
+        let mut out = String::new();
+        self.write_into(&mut out);
+        out
+    }
+
+    fn write_into(&self, out: &mut String) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            JsonValue::UInt(u) => {
+                let _ = write!(out, "{u}");
+            }
+            JsonValue::Float(f) => {
+                if f.is_finite() {
+                    let _ = write!(out, "{f}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            JsonValue::Str(s) => escape_into(out, s),
+            JsonValue::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_into(out);
+                }
+                out.push(']');
+            }
+            JsonValue::Object(fields) => {
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    escape_into(out, key);
+                    out.push(':');
+                    value.write_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// A titled table: the unit shared by ASCII printing and JSON reports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    /// Table title.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows; rows may be wider than the header list.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// An empty table with the given title and headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// A table populated with the given rows (the common case in
+    /// experiment binaries that build all rows up front).
+    pub fn with_rows(title: impl Into<String>, headers: &[&str], rows: Vec<Vec<String>>) -> Self {
+        let mut table = Table::new(title, headers);
+        table.rows = rows;
+        table
+    }
+
+    /// Appends one row.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        self.rows.push(row);
+    }
+
+    /// Column widths sized from the widest cell in *any* row — including
+    /// rows wider than the header list, which previously fell back to a
+    /// hard-coded width of 8.
+    fn column_widths(&self) -> Vec<usize> {
+        let columns = self
+            .rows
+            .iter()
+            .map(|r| r.len())
+            .chain(std::iter::once(self.headers.len()))
+            .max()
+            .unwrap_or(0);
+        let mut widths = vec![0usize; columns];
+        for (i, h) in self.headers.iter().enumerate() {
+            widths[i] = widths[i].max(h.len());
+        }
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        widths
+    }
+
+    /// Prints the table as fixed-width ASCII to stdout.
+    pub fn print(&self) {
+        println!("\n== {} ==", self.title);
+        let widths = self.column_widths();
+        let fmt_row = |cells: &[String]| {
+            let mut line = String::new();
+            for (i, cell) in cells.iter().enumerate() {
+                let w = widths.get(i).copied().unwrap_or(cell.len());
+                let _ = write!(line, "{:<w$}  ", cell, w = w);
+            }
+            println!("{}", line.trim_end());
+        };
+        fmt_row(&self.headers);
+        println!(
+            "{}",
+            widths
+                .iter()
+                .map(|w| "-".repeat(*w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        );
+        for row in &self.rows {
+            fmt_row(row);
+        }
+    }
+
+    /// The table as a JSON object (`title`, `headers`, `rows`).
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::Object(vec![
+            ("title".into(), self.title.as_str().into()),
+            (
+                "headers".into(),
+                JsonValue::Array(self.headers.iter().map(|h| h.as_str().into()).collect()),
+            ),
+            (
+                "rows".into(),
+                JsonValue::Array(
+                    self.rows
+                        .iter()
+                        .map(|r| JsonValue::Array(r.iter().map(|c| c.as_str().into()).collect()))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// A versioned experiment report: metadata, scalar metrics, and tables.
+///
+/// Build one per experiment run, [`Report::print_tables`] for the human,
+/// then [`Report::write`] for the machines.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    experiment: String,
+    meta: Vec<(String, JsonValue)>,
+    metrics: Vec<(String, JsonValue)>,
+    tables: Vec<Table>,
+}
+
+impl Report {
+    /// A report for the named experiment.
+    pub fn new(experiment: impl Into<String>) -> Self {
+        Report {
+            experiment: experiment.into(),
+            ..Report::default()
+        }
+    }
+
+    /// The experiment name.
+    pub fn experiment(&self) -> &str {
+        &self.experiment
+    }
+
+    /// Records a metadata field (seed, trial count, worker count, ...).
+    /// Re-setting a key overwrites it in place (order preserved).
+    pub fn set_meta(&mut self, key: impl Into<String>, value: impl Into<JsonValue>) -> &mut Self {
+        let (key, value) = (key.into(), value.into());
+        if let Some(slot) = self.meta.iter_mut().find(|(k, _)| *k == key) {
+            slot.1 = value;
+        } else {
+            self.meta.push((key, value));
+        }
+        self
+    }
+
+    /// Records a scalar result metric. Re-setting a key overwrites it.
+    pub fn set_metric(&mut self, key: impl Into<String>, value: impl Into<JsonValue>) -> &mut Self {
+        let (key, value) = (key.into(), value.into());
+        if let Some(slot) = self.metrics.iter_mut().find(|(k, _)| *k == key) {
+            slot.1 = value;
+        } else {
+            self.metrics.push((key, value));
+        }
+        self
+    }
+
+    /// Appends a table.
+    pub fn add_table(&mut self, table: Table) -> &mut Self {
+        self.tables.push(table);
+        self
+    }
+
+    /// The tables recorded so far.
+    pub fn tables(&self) -> &[Table] {
+        &self.tables
+    }
+
+    /// Prints every table as ASCII to stdout.
+    pub fn print_tables(&self) {
+        for table in &self.tables {
+            table.print();
+        }
+    }
+
+    /// The full report as a JSON value (see the module docs for the
+    /// schema).
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::Object(vec![
+            ("schema".into(), SCHEMA.into()),
+            ("version".into(), SCHEMA_VERSION.into()),
+            ("experiment".into(), self.experiment.as_str().into()),
+            ("meta".into(), JsonValue::Object(self.meta.clone())),
+            ("metrics".into(), JsonValue::Object(self.metrics.clone())),
+            (
+                "tables".into(),
+                JsonValue::Array(self.tables.iter().map(Table::to_json).collect()),
+            ),
+        ])
+    }
+
+    /// The full report as compact JSON text.
+    pub fn to_json_string(&self) -> String {
+        self.to_json().to_json_string()
+    }
+
+    /// The default output path: `results/<experiment>.json`.
+    pub fn default_path(&self) -> PathBuf {
+        PathBuf::from("results").join(format!("{}.json", self.experiment))
+    }
+
+    /// Writes the report to `path` (creating parent directories), or to
+    /// [`Report::default_path`] when `path` is `None`. Returns the path
+    /// written.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors from directory creation or the write.
+    pub fn write(&self, path: Option<&Path>) -> io::Result<PathBuf> {
+        let path = path.map_or_else(|| self.default_path(), Path::to_path_buf);
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let mut text = self.to_json_string();
+        text.push('\n');
+        std::fs::write(&path, text)?;
+        Ok(path)
+    }
+}
+
+/// Prints a fixed-width ASCII table with a header row and separator.
+/// Column widths cover the widest row, even when rows are wider than the
+/// header list.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    let mut table = Table::new(title, headers);
+    table.rows = rows.to_vec();
+    table.print();
+}
+
+/// Formats a fraction as a percentage with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", 100.0 * x)
+}
+
+/// Emits a CSV block to stdout (for machine-readable capture by `tee`).
+pub fn print_csv(name: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n#csv {name}");
+    println!("{}", headers.join(","));
+    for row in rows {
+        println!("{}", row.join(","));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escaping_and_shapes() {
+        let v = JsonValue::Object(vec![
+            ("s".into(), "a\"b\\c\nd\u{1}".into()),
+            ("i".into(), JsonValue::Int(-3)),
+            ("u".into(), JsonValue::UInt(u64::MAX)),
+            ("f".into(), JsonValue::Float(0.25)),
+            ("nan".into(), JsonValue::Float(f64::NAN)),
+            ("b".into(), true.into()),
+            ("n".into(), JsonValue::Null),
+            ("a".into(), vec![1u64, 2].into()),
+        ]);
+        assert_eq!(
+            v.to_json_string(),
+            "{\"s\":\"a\\\"b\\\\c\\nd\\u0001\",\"i\":-3,\"u\":18446744073709551615,\
+             \"f\":0.25,\"nan\":null,\"b\":true,\"n\":null,\"a\":[1,2]}"
+        );
+    }
+
+    #[test]
+    fn wide_rows_size_the_columns() {
+        // The regression this fixes: a row with more cells than headers
+        // used to be printed at a hard-coded width of 8.
+        let mut t = Table::new("t", &["a"]);
+        t.push_row(vec!["x".into(), "a-cell-much-wider-than-8".into()]);
+        let widths = t.column_widths();
+        assert_eq!(widths.len(), 2);
+        assert_eq!(widths[1], "a-cell-much-wider-than-8".len());
+        t.print(); // must not panic
+    }
+
+    #[test]
+    fn report_json_is_versioned_and_ordered() {
+        let mut r = Report::new("smoke");
+        r.set_meta("master_seed", 7u64)
+            .set_meta("trials", 10usize)
+            .set_metric("p", 0.5);
+        let mut t = Table::new("tab", &["h"]);
+        t.push_row(vec!["v".into()]);
+        r.add_table(t);
+        let json = r.to_json_string();
+        assert!(json.starts_with(
+            "{\"schema\":\"degradable-harness-report\",\"version\":1,\"experiment\":\"smoke\""
+        ));
+        assert!(json.contains("\"meta\":{\"master_seed\":7,\"trials\":10}"));
+        assert!(json.contains("\"metrics\":{\"p\":0.5}"));
+        assert!(json.contains("\"tables\":[{\"title\":\"tab\""));
+    }
+
+    #[test]
+    fn set_meta_overwrites_in_place() {
+        let mut r = Report::new("x");
+        r.set_meta("k", 1u64)
+            .set_meta("j", 2u64)
+            .set_meta("k", 3u64);
+        let json = r.to_json_string();
+        assert!(json.contains("\"meta\":{\"k\":3,\"j\":2}"));
+    }
+
+    #[test]
+    fn write_creates_results_dir() {
+        let dir = std::env::temp_dir().join(format!("harness-report-{}", std::process::id()));
+        let path = dir.join("nested").join("r.json");
+        let r = Report::new("t");
+        let written = r.write(Some(&path)).unwrap();
+        let text = std::fs::read_to_string(&written).unwrap();
+        assert!(text.ends_with("}\n"));
+        assert_eq!(written, path);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn default_path_is_under_results() {
+        assert_eq!(
+            Report::new("reliability").default_path(),
+            PathBuf::from("results/reliability.json")
+        );
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.5), "50.0%");
+        assert_eq!(pct(0.0), "0.0%");
+        assert_eq!(pct(1.0), "100.0%");
+    }
+}

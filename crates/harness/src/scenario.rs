@@ -1,0 +1,236 @@
+//! Declarative description of one agreement experiment.
+
+use degradable::adversary::Strategy;
+use degradable::{ByzError, ByzInstance, Params, ParamsError, Val};
+use serde::{Deserialize, Serialize};
+use simnet::{NodeId, SimRng, Topology};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A fully specified agreement experiment, independent of how it is
+/// executed (see [`crate::Executor`]).
+///
+/// Construction is builder-style from [`Scenario::new`]; every field is
+/// public so sweeps can also mutate scenarios in place.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Number of nodes.
+    pub n: usize,
+    /// Full-agreement fault tolerance `m`.
+    pub m: usize,
+    /// Degraded-agreement fault tolerance `u` (`m <= u`).
+    pub u: usize,
+    /// The designated sender.
+    pub sender: NodeId,
+    /// The sender's nominal value.
+    pub sender_value: Val,
+    /// Strategy per faulty node; the key set *is* the fault set.
+    pub strategies: BTreeMap<NodeId, Strategy<u64>>,
+    /// Network topology. Executors for the fully-connected protocol
+    /// (reference and message-passing BYZ) require a complete graph and
+    /// report the mismatch as an error; the field exists so sparse-network
+    /// executors and reports share the same scenario type.
+    pub topology: Topology,
+    /// Master seed: drives every derived random choice (engine schedules,
+    /// fault placement via [`Scenario::randomize_faults`]).
+    pub master_seed: u64,
+}
+
+/// Why a [`Scenario`] cannot be instantiated or executed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScenarioError {
+    /// `(m, u)` is not a valid parameter pair (`u < m`).
+    Params(ParamsError),
+    /// The instance violates the node-count or sender-range bound.
+    Instance(ByzError),
+    /// The executor requires a complete topology but the scenario names a
+    /// different one.
+    TopologyUnsupported {
+        /// The topology's name.
+        topology: String,
+        /// The executor that rejected it.
+        executor: &'static str,
+    },
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScenarioError::Params(e) => write!(f, "invalid parameters: {e}"),
+            ScenarioError::Instance(e) => write!(f, "invalid instance: {e}"),
+            ScenarioError::TopologyUnsupported { topology, executor } => {
+                write!(
+                    f,
+                    "executor {executor} requires a complete topology, got {topology}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+impl From<ParamsError> for ScenarioError {
+    fn from(e: ParamsError) -> Self {
+        ScenarioError::Params(e)
+    }
+}
+
+impl From<ByzError> for ScenarioError {
+    fn from(e: ByzError) -> Self {
+        ScenarioError::Instance(e)
+    }
+}
+
+impl Scenario {
+    /// A scenario with `n` nodes and parameters `(m, u)`: sender 0 holding
+    /// value 1, no faults, complete topology, master seed 0.
+    pub fn new(n: usize, m: usize, u: usize) -> Self {
+        Scenario {
+            n,
+            m,
+            u,
+            sender: NodeId::new(0),
+            sender_value: Val::Value(1),
+            strategies: BTreeMap::new(),
+            topology: Topology::complete(n),
+            master_seed: 0,
+        }
+    }
+
+    /// Replaces the sender.
+    pub fn with_sender(mut self, sender: NodeId) -> Self {
+        self.sender = sender;
+        self
+    }
+
+    /// Replaces the sender's value.
+    pub fn with_sender_value(mut self, value: Val) -> Self {
+        self.sender_value = value;
+        self
+    }
+
+    /// Replaces the full strategy map.
+    pub fn with_strategies(mut self, strategies: BTreeMap<NodeId, Strategy<u64>>) -> Self {
+        self.strategies = strategies;
+        self
+    }
+
+    /// Marks one node faulty with the given strategy.
+    pub fn with_strategy(mut self, node: NodeId, strategy: Strategy<u64>) -> Self {
+        self.strategies.insert(node, strategy);
+        self
+    }
+
+    /// Replaces the topology.
+    pub fn with_topology(mut self, topology: Topology) -> Self {
+        self.topology = topology;
+        self
+    }
+
+    /// Replaces the master seed.
+    pub fn with_master_seed(mut self, master_seed: u64) -> Self {
+        self.master_seed = master_seed;
+        self
+    }
+
+    /// Assigns `f` uniformly-placed faulty nodes, each with a strategy
+    /// drawn from the standard [`Strategy::battery`], consuming randomness
+    /// from `rng` only (so placement is reproducible from the trial seed).
+    pub fn randomize_faults(mut self, f: usize, rng: &mut SimRng) -> Self {
+        let alpha = match self.sender_value {
+            Val::Value(v) => v,
+            Val::Default => 0,
+        };
+        let battery = Strategy::battery(alpha, alpha ^ 0xBAD, rng.below(u64::MAX));
+        self.strategies = rng
+            .choose_indices(self.n, f.min(self.n))
+            .into_iter()
+            .map(|i| {
+                let (_, s) = battery[rng.below(battery.len() as u64) as usize].clone();
+                (NodeId::new(i), s)
+            })
+            .collect();
+        self
+    }
+
+    /// The `(m, u)` parameter pair.
+    ///
+    /// # Errors
+    ///
+    /// [`ScenarioError::Params`] when `u < m`.
+    pub fn params(&self) -> Result<Params, ScenarioError> {
+        Ok(Params::new(self.m, self.u)?)
+    }
+
+    /// The validated BYZ instance for this scenario.
+    ///
+    /// # Errors
+    ///
+    /// [`ScenarioError::Params`] or [`ScenarioError::Instance`] when the
+    /// scenario violates the parameter or node-count bounds.
+    pub fn instance(&self) -> Result<ByzInstance, ScenarioError> {
+        Ok(ByzInstance::new(self.n, self.params()?, self.sender)?)
+    }
+
+    /// The fault set (the strategy map's key set).
+    pub fn faulty(&self) -> BTreeSet<NodeId> {
+        self.strategies.keys().copied().collect()
+    }
+
+    /// Number of faulty nodes.
+    pub fn f(&self) -> usize {
+        self.strategies.len()
+    }
+
+    /// Whether the scenario's topology is the complete graph on `n` nodes.
+    pub fn is_complete_topology(&self) -> bool {
+        let g = self.topology.graph();
+        self.topology.node_count() == self.n && g.edge_count() == self.n * (self.n - 1) / 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_roundtrip() {
+        let s = Scenario::new(5, 1, 2)
+            .with_sender(NodeId::new(2))
+            .with_sender_value(Val::Value(9))
+            .with_strategy(NodeId::new(4), Strategy::Silent)
+            .with_master_seed(7);
+        assert_eq!(s.sender, NodeId::new(2));
+        assert_eq!(s.sender_value, Val::Value(9));
+        assert_eq!(s.f(), 1);
+        assert!(s.faulty().contains(&NodeId::new(4)));
+        assert_eq!(s.master_seed, 7);
+        assert!(s.is_complete_topology());
+        assert!(s.instance().is_ok());
+    }
+
+    #[test]
+    fn invalid_bounds_surface_as_errors() {
+        assert!(matches!(
+            Scenario::new(4, 1, 2).instance(),
+            Err(ScenarioError::Instance(_))
+        ));
+        assert!(matches!(
+            Scenario::new(9, 3, 1).instance(),
+            Err(ScenarioError::Params(_))
+        ));
+    }
+
+    #[test]
+    fn randomize_faults_is_reproducible_and_bounded() {
+        let mut r1 = SimRng::seed(11);
+        let mut r2 = SimRng::seed(11);
+        let a = Scenario::new(7, 1, 4).randomize_faults(3, &mut r1);
+        let b = Scenario::new(7, 1, 4).randomize_faults(3, &mut r2);
+        assert_eq!(a.faulty(), b.faulty());
+        assert_eq!(a.strategies, b.strategies);
+        assert_eq!(a.f(), 3);
+        assert!(a.faulty().iter().all(|x| x.index() < 7));
+    }
+}

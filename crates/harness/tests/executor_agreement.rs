@@ -1,0 +1,65 @@
+//! Property test: the two [`Executor`] implementations are equivalent on
+//! random scenarios — same decisions, same fault set, same verdict — when
+//! driven through the trait object interface the sweeps use.
+
+use degradable::check_degradable;
+use harness::{Executor, ProtocolExecutor, ReferenceExecutor, Scenario};
+use proptest::prelude::*;
+use simnet::SimRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random (n, m, u, fault count, strategies): reference and protocol
+    /// executors produce identical records.
+    #[test]
+    fn executors_agree_on_random_scenarios(
+        m in 0usize..3,
+        extra_u in 0usize..3,
+        extra_n in 0usize..2,
+        f_raw in 0usize..5,
+        seed in 0u64..1_000_000,
+    ) {
+        let u = (m + extra_u).max(1);
+        let n = 2 * m + u + 1 + extra_n;
+        let f = f_raw.min(u);
+        let mut rng = SimRng::seed(seed);
+        let scenario = Scenario::new(n, m, u)
+            .with_master_seed(seed)
+            .randomize_faults(f, &mut rng);
+
+        let executors: [&dyn Executor; 2] = [&ReferenceExecutor, &ProtocolExecutor];
+        let a = executors[0].execute(&scenario);
+        let b = executors[1].execute(&scenario);
+        match (a, b) {
+            (Ok(a), Ok(b)) => {
+                prop_assert_eq!(&a.decisions, &b.decisions);
+                prop_assert_eq!(&a.faulty, &b.faulty);
+                prop_assert_eq!(
+                    check_degradable(&a).is_satisfied(),
+                    check_degradable(&b).is_satisfied()
+                );
+            }
+            (a, b) => {
+                // Both executors must reject the same scenarios.
+                prop_assert!(a.is_err() && b.is_err(), "only one executor failed");
+            }
+        }
+    }
+
+    /// The protocol executor is a pure function of the scenario, including
+    /// its master seed.
+    #[test]
+    fn protocol_executor_is_seed_deterministic(
+        seed in 0u64..1_000_000,
+        f in 0usize..3,
+    ) {
+        let mut rng = SimRng::seed(seed);
+        let scenario = Scenario::new(6, 1, 3)
+            .with_master_seed(seed)
+            .randomize_faults(f, &mut rng);
+        let a = ProtocolExecutor.execute(&scenario).expect("valid");
+        let b = ProtocolExecutor.execute(&scenario).expect("valid");
+        prop_assert_eq!(a.decisions, b.decisions);
+    }
+}

@@ -284,7 +284,10 @@ pub fn minimum_vertex_cut(g: &Graph) -> Option<std::collections::BTreeSet<NodeId
             cut.insert(v);
         }
     }
-    debug_assert!(!g.is_connected_without(&cut), "extracted cut must disconnect");
+    debug_assert!(
+        !g.is_connected_without(&cut),
+        "extracted cut must disconnect"
+    );
     Some(cut)
 }
 
@@ -335,12 +338,7 @@ mod tests {
         assert_paths_valid_and_disjoint(t.graph(), &paths, n(0), n(1));
     }
 
-    fn assert_paths_valid_and_disjoint(
-        g: &Graph,
-        paths: &[Vec<NodeId>],
-        s: NodeId,
-        t: NodeId,
-    ) {
+    fn assert_paths_valid_and_disjoint(g: &Graph, paths: &[Vec<NodeId>], s: NodeId, t: NodeId) {
         let mut interior_seen = BTreeSet::new();
         for p in paths {
             assert_eq!(*p.first().unwrap(), s);

@@ -48,9 +48,11 @@ impl<'a, M: Clone> RoundCtx<'a, M> {
         self.n
     }
 
-    /// Ids of this node's direct neighbours, ascending.
-    pub fn peers(&self) -> Vec<NodeId> {
-        self.peers.to_vec()
+    /// Ids of this node's direct neighbours, ascending. Borrowed from the
+    /// engine — this is called in the per-round hot path, so it must not
+    /// allocate.
+    pub fn peers(&self) -> &[NodeId] {
+        self.peers
     }
 
     /// Messages delivered at the start of this round, as `(src, payload)`
@@ -63,10 +65,7 @@ impl<'a, M: Clone> RoundCtx<'a, M> {
     /// First message from `src` this round, if any. `None` means the
     /// message is *detectably absent* (paper assumption (b)).
     pub fn from(&self, src: NodeId) -> Option<&M> {
-        self.inbox
-            .iter()
-            .find(|(s, _)| *s == src)
-            .map(|(_, m)| m)
+        self.inbox.iter().find(|(s, _)| *s == src).map(|(_, m)| m)
     }
 
     /// Whether no message from `src` arrived this round.
@@ -309,8 +308,7 @@ impl<M: Clone> RoundEngine<M> {
                         }
                         continue;
                     }
-                    let latency =
-                        self.latency.sample(&mut self.rng) + active.extra_delay(me);
+                    let latency = self.latency.sample(&mut self.rng) + active.extra_delay(me);
                     if latency > self.deadline {
                         outcome.late += 1;
                         if let Some(t) = self.trace.as_mut() {
@@ -464,7 +462,10 @@ mod tests {
         use crate::fault::FaultSchedule;
         // Node 0 crashes only during rounds 1..3.
         let schedule = FaultSchedule::healthy()
-            .then_from(1, FaultPlan::healthy().with(n(0), FaultKind::Crash { from_round: 0 }))
+            .then_from(
+                1,
+                FaultPlan::healthy().with(n(0), FaultKind::Crash { from_round: 0 }),
+            )
             .then_from(3, FaultPlan::healthy());
         let mut engine =
             RoundEngine::<u8>::new(Topology::complete(2), 1).with_fault_schedule(schedule);
@@ -510,8 +511,9 @@ mod tests {
             }
         }
         let mut engine = RoundEngine::<u64>::new(Topology::complete(3), 1);
-        let mut procs: Vec<Box<dyn Process<u64>>> =
-            (0..3).map(|_| Box::new(Counter { received: 0 }) as Box<dyn Process<u64>>).collect();
+        let mut procs: Vec<Box<dyn Process<u64>>> = (0..3)
+            .map(|_| Box::new(Counter { received: 0 }) as Box<dyn Process<u64>>)
+            .collect();
         let out = engine.run_processes(3, &mut procs);
         assert_eq!(out.rounds_run, 3);
         // every node broadcasts each round: 3 nodes x 2 peers x 3 rounds

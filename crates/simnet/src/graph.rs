@@ -47,7 +47,10 @@ impl Graph {
     /// Panics if `a` or `b` is out of range.
     pub fn add_edge(&mut self, a: NodeId, b: NodeId) {
         let (a, b) = (a.index(), b.index());
-        assert!(a < self.adj.len() && b < self.adj.len(), "node out of range");
+        assert!(
+            a < self.adj.len() && b < self.adj.len(),
+            "node out of range"
+        );
         if a == b {
             return;
         }

@@ -69,7 +69,15 @@ mod tests {
     #[test]
     fn all_enumerates_in_order() {
         let ids: Vec<_> = NodeId::all(4).collect();
-        assert_eq!(ids, vec![NodeId::new(0), NodeId::new(1), NodeId::new(2), NodeId::new(3)]);
+        assert_eq!(
+            ids,
+            vec![
+                NodeId::new(0),
+                NodeId::new(1),
+                NodeId::new(2),
+                NodeId::new(3)
+            ]
+        );
     }
 
     #[test]

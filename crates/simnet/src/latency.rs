@@ -13,8 +13,7 @@ use crate::rng::SimRng;
 use serde::{Deserialize, Serialize};
 
 /// Distribution of message latencies, in abstract time units.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub enum LatencyModel {
     /// All messages arrive instantly (never late). The paper's base model.
     #[default]
@@ -76,7 +75,6 @@ impl LatencyModel {
         }
     }
 }
-
 
 #[cfg(test)]
 mod tests {

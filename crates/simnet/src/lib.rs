@@ -43,9 +43,8 @@
 //! let topo = Topology::complete(5);
 //! let mut engine = RoundEngine::<u64>::new(topo, 7);
 //! let outcome = engine.run(2, |ctx| {
-//!     for peer in ctx.peers() {
-//!         ctx.send(peer, ctx.me().index() as u64);
-//!     }
+//!     assert_eq!(ctx.peers().len(), 4); // borrowed slice, no allocation
+//!     ctx.broadcast(ctx.me().index() as u64);
 //! });
 //! assert_eq!(outcome.rounds_run, 2);
 //! ```
@@ -64,7 +63,9 @@ pub mod routing;
 pub mod topology;
 pub mod trace;
 
-pub use connectivity::{local_connectivity, minimum_vertex_cut, vertex_connectivity, vertex_disjoint_paths};
+pub use connectivity::{
+    local_connectivity, minimum_vertex_cut, vertex_connectivity, vertex_disjoint_paths,
+};
 pub use engine::{Outcome, RoundCtx, RoundEngine};
 pub use fault::{FaultKind, FaultPlan, FaultSchedule};
 pub use graph::Graph;
@@ -77,7 +78,9 @@ pub use trace::{Trace, TraceEvent};
 
 /// Convenience glob import for downstream crates and examples.
 pub mod prelude {
-    pub use crate::connectivity::{local_connectivity, minimum_vertex_cut, vertex_connectivity, vertex_disjoint_paths};
+    pub use crate::connectivity::{
+        local_connectivity, minimum_vertex_cut, vertex_connectivity, vertex_disjoint_paths,
+    };
     pub use crate::engine::{Outcome, RoundCtx, RoundEngine};
     pub use crate::fault::{FaultKind, FaultPlan, FaultSchedule};
     pub use crate::graph::Graph;

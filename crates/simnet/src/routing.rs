@@ -227,9 +227,7 @@ impl RelayNetwork {
 
     /// The disjoint paths used for `src -> dst`.
     pub fn paths(&self, src: NodeId, dst: NodeId) -> &[Vec<NodeId>] {
-        self.paths
-            .get(&(src, dst))
-            .map_or(&[], Vec::as_slice)
+        self.paths.get(&(src, dst)).map_or(&[], Vec::as_slice)
     }
 
     /// Required path count (`m+u+1`).

@@ -50,7 +50,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ] {
         let report = fly(arch, config);
         println!("\n=== {} ===", report.architecture);
-        println!("  pitch |error| per cycle: {}", sparkline(&report.trajectory, config.safe_envelope));
+        println!(
+            "  pitch |error| per cycle: {}",
+            sparkline(&report.trajectory, config.safe_envelope)
+        );
         println!("  correct actuations : {}", report.correct_cycles);
         println!("  pilot alerts (hold): {}", report.pilot_alerts);
         println!("  wrong actuations   : {}", report.wrong_actuations);

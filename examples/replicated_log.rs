@@ -46,7 +46,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     .into_iter()
     .collect();
     for c in 0..10u64 {
-        let strategies = if (3..6).contains(&c) { burst.clone() } else { BTreeMap::new() };
+        let strategies = if (3..6).contains(&c) {
+            burst.clone()
+        } else {
+            BTreeMap::new()
+        };
         let report = log.append(100 + c, &strategies);
         if !report.holes.is_empty() {
             println!(

@@ -50,7 +50,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             Verdict::Violated(v) => format!("VIOLATED: {v}"),
             Verdict::BeyondU { f } => format!("f = {f} > u: no promise (allowed to be anything)"),
         };
-        println!("{:<16} {}  [{}]", params.to_string(), verdict, decisions.join(" "));
+        println!(
+            "{:<16} {}  [{}]",
+            params.to_string(),
+            verdict,
+            decisions.join(" ")
+        );
     }
 
     println!("\nreading: 2/2 makes no promise at f=3; 1/4 and 0/6 degrade gracefully —");

@@ -44,8 +44,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             println!("  fault-free {r} decided {v}");
         }
     }
-    println!("  degraded deliveries between fault-free nodes: {}", run.degraded_deliveries);
-    let record = run.record(&instance, Val::Value(7), strategies.keys().copied().collect());
+    println!(
+        "  degraded deliveries between fault-free nodes: {}",
+        run.degraded_deliveries
+    );
+    let record = run.record(
+        &instance,
+        Val::Value(7),
+        strategies.keys().copied().collect(),
+    );
     match check_degradable(&record) {
         Verdict::Satisfied(s) => println!("  => {} holds on the sparse network", s.condition),
         other => println!("  => unexpected: {other:?}"),
@@ -72,7 +79,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &RelayCorruption::ReplaceWith(Val::Value(9)),
         true,
     )?;
-    let record = run.record(&instance, Val::Value(7), cut_liars.keys().copied().collect());
+    let record = run.record(
+        &instance,
+        Val::Value(7),
+        cut_liars.keys().copied().collect(),
+    );
     match check_degradable(&record) {
         Verdict::Violated(v) => println!("  => as Theorem 3 predicts, the cut adversary wins: {v}"),
         other => println!("  => unexpected: {other:?}"),

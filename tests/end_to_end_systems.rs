@@ -53,8 +53,7 @@ fn architectures_disagree_exactly_where_the_paper_says() {
         .into_iter()
         .collect()
     };
-    let b = ChannelSystem::new(Architecture::Byzantine { m: 1 })
-        .run_cycle(42, &attack(0));
+    let b = ChannelSystem::new(Architecture::Byzantine { m: 1 }).run_cycle(42, &attack(0));
     let c = ChannelSystem::new(Architecture::Degradable {
         params: Params::new(1, 2).unwrap(),
     })
@@ -74,7 +73,10 @@ fn flight_outcomes_match_the_motivation() {
         config,
     );
     assert!(byz.crashed, "3-channel system should crash: {byz:?}");
-    assert!(!deg.crashed, "4-channel degradable system should survive: {deg:?}");
+    assert!(
+        !deg.crashed,
+        "4-channel degradable system should survive: {deg:?}"
+    );
     assert_eq!(deg.wrong_actuations, 0);
     assert!(deg.pilot_alerts > 0);
 }
@@ -94,7 +96,12 @@ fn clock_sync_conditions_across_fault_counts() {
         let clocks = ensemble(7, 1_000, 0, &faulty, 5);
         let strategies: BTreeMap<NodeId, Strategy<u64>> = faulty
             .iter()
-            .map(|&i| (NodeId::new(i), Strategy::ConstantLie(Val::Value(99_000_000))))
+            .map(|&i| {
+                (
+                    NodeId::new(i),
+                    Strategy::ConstantLie(Val::Value(99_000_000)),
+                )
+            })
             .collect();
         let out = run_degradable_sync(&clocks, &strategies, config, 10_000_000);
         match (out.condition1, out.condition2) {
@@ -122,12 +129,7 @@ fn witness_clocks_keep_timing_plane_alive_while_processors_fail() {
 
     // ... and with the clock plane alive, degradable agreement over the 5
     // processors (params 1/2, 3 of 5 faulty is beyond u, so use f = 2):
-    let inst = degradable::ByzInstance::new(
-        5,
-        Params::new(1, 2).unwrap(),
-        NodeId::new(0),
-    )
-    .unwrap();
+    let inst = degradable::ByzInstance::new(5, Params::new(1, 2).unwrap(), NodeId::new(0)).unwrap();
     let strategies: BTreeMap<NodeId, Strategy<u64>> = [
         (NodeId::new(3), Strategy::ConstantLie(Val::Value(9))),
         (NodeId::new(4), Strategy::ConstantLie(Val::Value(9))),

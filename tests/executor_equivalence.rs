@@ -33,7 +33,13 @@ fn random_scenario(
 #[test]
 fn reference_equals_protocol_across_random_scenarios() {
     let rng = SimRng::seed(0xE001);
-    for (n, m, u) in [(4usize, 1usize, 1usize), (5, 1, 2), (6, 1, 3), (7, 2, 2), (8, 2, 3)] {
+    for (n, m, u) in [
+        (4usize, 1usize, 1usize),
+        (5, 1, 2),
+        (6, 1, 3),
+        (7, 2, 2),
+        (8, 2, 3),
+    ] {
         for f in 0..=u {
             for trial in 0..6usize {
                 let mut trial_rng = rng.fork((n * 100 + f * 10 + trial) as u64);
@@ -45,8 +51,7 @@ fn reference_equals_protocol_across_random_scenarios() {
                 }
                 .run()
                 .decisions;
-                let protocol =
-                    run_protocol(&inst, &Val::Value(7), &strategies, 42).decisions;
+                let protocol = run_protocol(&inst, &Val::Value(7), &strategies, 42).decisions;
                 assert_eq!(
                     reference, protocol,
                     "divergence at n={n} m={m} u={u} f={f} trial={trial}: {strategies:?}"
@@ -143,10 +148,12 @@ fn batch_executor_equals_sequential_for_random_batches() {
             .collect();
         let batch = run_batch(inst.params(), 5, &instances, &strategies, 9);
         for (k, bi) in instances.iter().enumerate() {
-            let single =
-                degradable::ByzInstance::new(5, inst.params(), bi.sender).expect("bound");
+            let single = degradable::ByzInstance::new(5, inst.params(), bi.sender).expect("bound");
             let solo = run_protocol(&single, &bi.value, &strategies, 9);
-            assert_eq!(batch.decisions[k], solo.decisions, "trial {trial} instance {k}");
+            assert_eq!(
+                batch.decisions[k], solo.decisions,
+                "trial {trial} instance {k}"
+            );
         }
     }
 }
@@ -157,10 +164,13 @@ fn protocol_seed_independence_without_stochastic_faults() {
     // Byzantine scenario must be seed-independent.
     let inst = ByzInstance::new(7, Params::new(2, 2).unwrap(), NodeId::new(0)).unwrap();
     let strategies: BTreeMap<NodeId, Strategy<u64>> = [
-        (NodeId::new(0), Strategy::TwoFaced {
-            even: Val::Value(1),
-            odd: Val::Value(2),
-        }),
+        (
+            NodeId::new(0),
+            Strategy::TwoFaced {
+                even: Val::Value(1),
+                odd: Val::Value(2),
+            },
+        ),
         (NodeId::new(6), Strategy::Silent),
     ]
     .into_iter()

@@ -20,8 +20,14 @@ fn string_values_through_reference_executor() {
         instance,
         sender_value: sval("set-throttle=42"),
         strategies: [
-            (NodeId::new(3), Strategy::ConstantLie(sval("set-throttle=9999"))),
-            (NodeId::new(4), Strategy::ConstantLie(sval("set-throttle=9999"))),
+            (
+                NodeId::new(3),
+                Strategy::ConstantLie(sval("set-throttle=9999")),
+            ),
+            (
+                NodeId::new(4),
+                Strategy::ConstantLie(sval("set-throttle=9999")),
+            ),
         ]
         .into_iter()
         .collect(),

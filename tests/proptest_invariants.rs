@@ -13,10 +13,7 @@ use std::collections::{BTreeMap, BTreeSet};
 
 fn arb_vals(max_len: usize) -> impl proptest::strategy::Strategy<Value = Vec<Val>> {
     proptest::collection::vec(
-        prop_oneof![
-            Just(Val::Default),
-            (0u64..6).prop_map(Val::Value),
-        ],
+        prop_oneof![Just(Val::Default), (0u64..6).prop_map(Val::Value),],
         0..max_len,
     )
 }

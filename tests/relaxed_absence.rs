@@ -16,9 +16,7 @@
 //! paper needs correct detection below `m`.
 
 use degradable::adversary::Strategy;
-use degradable::{
-    check_degradable, run_protocol_with, ByzInstance, Params, Val,
-};
+use degradable::{check_degradable, run_protocol_with, ByzInstance, Params, Val};
 use simnet::{LatencyModel, NodeId};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -38,10 +36,13 @@ fn d3_d4_hold_under_timeouts_beyond_m() {
         for seed in 0..30u64 {
             let mut strategies: BTreeMap<NodeId, Strategy<u64>> = BTreeMap::new();
             if sender_faulty {
-                strategies.insert(NodeId::new(0), Strategy::TwoFaced {
-                    even: Val::Value(1),
-                    odd: Val::Value(2),
-                });
+                strategies.insert(
+                    NodeId::new(0),
+                    Strategy::TwoFaced {
+                        even: Val::Value(1),
+                        odd: Val::Value(2),
+                    },
+                );
                 strategies.insert(NodeId::new(4), Strategy::ConstantLie(Val::Value(3)));
             } else {
                 strategies.insert(NodeId::new(3), Strategy::ConstantLie(Val::Value(3)));

@@ -1,0 +1,202 @@
+//! Offline vendored stand-in for the `criterion` crate.
+//!
+//! Exposes the API surface the workspace's benches use — [`Criterion`],
+//! [`BenchmarkId`], `benchmark_group`/`bench_with_input`/`bench_function`,
+//! [`criterion_group!`]/[`criterion_main!`] — but with a lightweight
+//! executor instead of criterion's statistical machinery:
+//!
+//! * with `--test` on the command line (CI runs `cargo bench -- --test`),
+//!   every benchmark body runs exactly once, as a smoke test;
+//! * otherwise each benchmark runs a short timed burst and prints a
+//!   nanoseconds-per-iteration estimate.
+//!
+//! No plots, no statistics, no baseline files — just enough to keep bench
+//! targets compiling, running and reporting in an offline environment.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Identifier for one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id combining a function name and a parameter.
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id from the parameter alone.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    test_mode: bool,
+    /// Nanoseconds per iteration measured by the last `iter` call.
+    last_ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Runs the benchmarked routine: once in `--test` mode, otherwise in a
+    /// short timed burst.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.test_mode {
+            black_box(routine());
+            self.last_ns_per_iter = 0.0;
+            return;
+        }
+        // Warm-up.
+        black_box(routine());
+        let budget_ns: u128 = 20_000_000; // 20ms per benchmark
+        let start = Instant::now();
+        let mut iters: u32 = 0;
+        while start.elapsed().as_nanos() < budget_ns && iters < 10_000 {
+            black_box(routine());
+            iters += 1;
+        }
+        let elapsed = start.elapsed().as_nanos();
+        self.last_ns_per_iter = elapsed as f64 / iters.max(1) as f64;
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { test_mode }
+    }
+}
+
+impl Criterion {
+    fn run_one(&mut self, label: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        let mut b = Bencher {
+            test_mode: self.test_mode,
+            last_ns_per_iter: 0.0,
+        };
+        f(&mut b);
+        if self.test_mode {
+            eprintln!("bench {label}: ok (smoke)");
+        } else {
+            eprintln!("bench {label}: ~{:.0} ns/iter", b.last_ns_per_iter);
+        }
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, group_name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: group_name.to_string(),
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = id.to_string();
+        self.run_one(&label, &mut f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing a prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs a benchmark over a borrowed input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.id);
+        self.criterion.run_one(&label, &mut |b| f(b, input));
+        self
+    }
+
+    /// Runs a benchmark without an explicit input.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        self.criterion.run_one(&label, &mut f);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; no aggregation here).
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions into a single runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_and_function_run() {
+        let mut c = Criterion { test_mode: true };
+        let mut ran = 0;
+        {
+            let mut g = c.benchmark_group("g");
+            g.bench_with_input(BenchmarkId::from_parameter(3), &3, |b, &x| {
+                b.iter(|| x + 1);
+            });
+            g.bench_function("plain", |b| b.iter(|| 2 + 2));
+            g.finish();
+        }
+        c.bench_function("top", |b| {
+            b.iter(|| {
+                ran += 1;
+                ran
+            })
+        });
+        assert!(ran >= 1);
+    }
+
+    #[test]
+    fn ids_format() {
+        assert_eq!(BenchmarkId::new("f", 10).id, "f/10");
+        assert_eq!(BenchmarkId::from_parameter("n5_m1").id, "n5_m1");
+    }
+}

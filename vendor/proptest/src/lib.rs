@@ -1,0 +1,544 @@
+//! Offline vendored stand-in for the `proptest` crate.
+//!
+//! Implements the subset of the proptest 1.x API this workspace's property
+//! tests use: the [`proptest!`] macro (with `#![proptest_config(...)]`),
+//! `prop_assert!`/`prop_assert_eq!`/`prop_assert_ne!`/`prop_assume!`,
+//! [`prop_oneof!`], [`strategy::Strategy::prop_map`], [`strategy::Just`],
+//! integer-range strategies, [`collection::vec`], [`collection::btree_set`],
+//! and [`option::of`].
+//!
+//! Differences from upstream: no shrinking (a failing case reports its case
+//! number and message but is not minimized), and value generation is a
+//! simple uniform sampler rather than proptest's bias-aware trees. Cases are
+//! generated deterministically from the test name, so failures reproduce
+//! across runs and machines.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Test-runner types: configuration, case errors and the deterministic RNG.
+pub mod test_runner {
+    use rand::{RngCore, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+    use std::hash::{Hash, Hasher};
+
+    /// Configuration for a `proptest!` block.
+    #[derive(Clone, Copy, Debug)]
+    pub struct ProptestConfig {
+        /// Number of successful cases required for the test to pass.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Configuration running `cases` successful cases per test.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// Why a single generated case did not succeed.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// An assertion failed; the test as a whole fails.
+        Fail(String),
+        /// `prop_assume!` rejected the inputs; the case is skipped.
+        Reject,
+    }
+
+    /// Deterministic RNG for value generation, seeded from the test name
+    /// and case index so every run explores the same cases.
+    pub struct TestRng(ChaCha8Rng);
+
+    impl TestRng {
+        /// RNG for case number `case` of the named test.
+        pub fn for_case(test_name: &str, case: u32) -> Self {
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            test_name.hash(&mut h);
+            let seed = h
+                .finish()
+                .wrapping_add((case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            TestRng(ChaCha8Rng::seed_from_u64(seed))
+        }
+
+        /// Raw 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+
+        /// Uniform value in `[0, n)`, by rejection sampling (unbiased).
+        pub fn below(&mut self, n: u64) -> u64 {
+            assert!(n > 0, "empty sampling range");
+            let zone = u64::MAX - (u64::MAX % n);
+            loop {
+                let v = self.next_u64();
+                if v < zone {
+                    return v % n;
+                }
+            }
+        }
+
+        /// Uniform index in `[0, n)`.
+        pub fn index(&mut self, n: usize) -> usize {
+            self.below(n as u64) as usize
+        }
+
+        /// True with probability `num/den`.
+        pub fn ratio(&mut self, num: u32, den: u32) -> bool {
+            self.below(den as u64) < num as u64
+        }
+    }
+}
+
+/// The [`Strategy`](strategy::Strategy) trait and combinators.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A recipe for generating values of `Self::Value`.
+    ///
+    /// Unlike upstream proptest there is no value tree / shrinking; a
+    /// strategy is just a deterministic sampler.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Generates one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy that always yields a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn sample(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// Type-erased sampler used by [`Union`].
+    pub type BoxedSampler<V> = Box<dyn Fn(&mut TestRng) -> V>;
+
+    /// Uniform choice between several strategies; built by `prop_oneof!`.
+    pub struct Union<V> {
+        samplers: Vec<BoxedSampler<V>>,
+    }
+
+    impl<V> Union<V> {
+        /// Union over the given samplers (at least one).
+        pub fn new(samplers: Vec<BoxedSampler<V>>) -> Self {
+            assert!(!samplers.is_empty(), "prop_oneof! needs at least one arm");
+            Union { samplers }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn sample(&self, rng: &mut TestRng) -> V {
+            let i = rng.index(self.samplers.len());
+            (self.samplers[i])(rng)
+        }
+    }
+
+    macro_rules! impl_unsigned_range {
+        ($($t:ty),*) => {$(
+            impl Strategy for ::core::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let lo = self.start as u64;
+                    let hi = self.end as u64;
+                    assert!(lo < hi, "empty range strategy");
+                    (lo + rng.below(hi - lo)) as $t
+                }
+            }
+        )*};
+    }
+
+    macro_rules! impl_signed_range {
+        ($($t:ty),*) => {$(
+            impl Strategy for ::core::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let lo = self.start as i128;
+                    let hi = self.end as i128;
+                    assert!(lo < hi, "empty range strategy");
+                    let span = (hi - lo) as u128;
+                    let span64 = u64::try_from(span).expect("range span exceeds u64");
+                    (lo + rng.below(span64) as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_unsigned_range!(u8, u16, u32, u64, usize);
+    impl_signed_range!(i8, i16, i32, i64, isize);
+}
+
+/// Collection strategies: [`vec`](collection::vec) and
+/// [`btree_set`](collection::btree_set).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::collections::BTreeSet;
+    use std::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Generates vectors of values from `element`, with length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = self.size.end.saturating_sub(self.size.start).max(1);
+            let len = self.size.start + rng.index(span);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeSet<S::Value>` with a target size drawn from
+    /// `size` (the result may be smaller when duplicates are drawn).
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Generates sets of values from `element`, with size at most the
+    /// sampled target from `size`.
+    pub fn btree_set<S>(element: S, size: Range<usize>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy { element, size }
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let span = self.size.end.saturating_sub(self.size.start).max(1);
+            let target = self.size.start + rng.index(span);
+            let mut set = BTreeSet::new();
+            // Bounded attempts: duplicates may keep the set below target.
+            for _ in 0..target * 4 {
+                if set.len() >= target {
+                    break;
+                }
+                set.insert(self.element.sample(rng));
+            }
+            set
+        }
+    }
+}
+
+/// The [`of`](option::of) strategy over `Option`.
+pub mod option {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy for `Option<S::Value>`; yields `Some` three times in four.
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// Wraps a strategy's values in `Option`.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.ratio(3, 4) {
+                Some(self.inner.sample(rng))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+/// Common imports for property tests.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Defines property tests. Each `#[test] fn name(arg in strategy, ...)`
+/// item becomes a regular test that runs the body over generated inputs.
+///
+/// An optional leading `#![proptest_config(ProptestConfig::with_cases(N))]`
+/// sets the number of successful cases required.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_tests! { config = $cfg; $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_tests! {
+            config = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    ( config = $cfg:expr; ) => {};
+    (
+        config = $cfg:expr;
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut __passed: u32 = 0;
+            let mut __case: u32 = 0;
+            let __max_cases = __config.cases.saturating_mul(10).max(10);
+            while __passed < __config.cases && __case < __max_cases {
+                __case += 1;
+                let mut __rng =
+                    $crate::test_runner::TestRng::for_case(stringify!($name), __case);
+                $(
+                    let $arg =
+                        $crate::strategy::Strategy::sample(&($strat), &mut __rng);
+                )+
+                let __outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                match __outcome {
+                    ::std::result::Result::Ok(()) => {
+                        __passed += 1;
+                    }
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject) => {}
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "proptest '{}' failed at case {}: {}",
+                            stringify!($name),
+                            __case,
+                            msg
+                        );
+                    }
+                }
+            }
+            assert!(
+                __passed >= __config.cases,
+                "proptest '{}': too many rejected cases ({} passed of {} required)",
+                stringify!($name),
+                __passed,
+                __config.cases
+            );
+        }
+        $crate::__proptest_tests! { config = $cfg; $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a property test, failing the case (not
+/// panicking directly) so the runner can report the case number.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                ::std::format!("assertion failed: {}", ::std::stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// `prop_assert!` for equality, printing both sides on failure.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__left, __right) = (&$left, &$right);
+        if !(*__left == *__right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                ::std::format!(
+                    "assertion failed: `left == right`\n  left: {:?}\n right: {:?}",
+                    __left,
+                    __right
+                ),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__left, __right) = (&$left, &$right);
+        if !(*__left == *__right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                ::std::format!(
+                    "assertion failed: `left == right`\n  left: {:?}\n right: {:?}\n{}",
+                    __left,
+                    __right,
+                    ::std::format!($($fmt)+)
+                ),
+            ));
+        }
+    }};
+}
+
+/// `prop_assert!` for inequality, printing both sides on failure.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__left, __right) = (&$left, &$right);
+        if *__left == *__right {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                ::std::format!(
+                    "assertion failed: `left != right`\n  both: {:?}",
+                    __left
+                ),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__left, __right) = (&$left, &$right);
+        if *__left == *__right {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                ::std::format!(
+                    "assertion failed: `left != right`\n  both: {:?}\n{}",
+                    __left,
+                    ::std::format!($($fmt)+)
+                ),
+            ));
+        }
+    }};
+}
+
+/// Rejects the current case (skipped, not failed) when the condition does
+/// not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Uniform choice among several strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ( $($strat:expr),+ $(,)? ) => {{
+        let mut __samplers: ::std::vec::Vec<
+            $crate::strategy::BoxedSampler<_>,
+        > = ::std::vec::Vec::new();
+        $(
+            {
+                let __s = $strat;
+                __samplers.push(::std::boxed::Box::new(
+                    move |__rng: &mut $crate::test_runner::TestRng| {
+                        $crate::strategy::Strategy::sample(&__s, __rng)
+                    },
+                ));
+            }
+        )+
+        $crate::strategy::Union::new(__samplers)
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Ranges stay in bounds.
+        #[test]
+        fn range_in_bounds(x in 3u64..17, y in -5i64..6) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-5..6).contains(&y));
+        }
+
+        /// Collections honor their size bounds.
+        #[test]
+        fn vec_sizes(v in crate::collection::vec(0u8..10, 2..5)) {
+            prop_assert!(v.len() >= 2 && v.len() < 5);
+            prop_assert!(v.iter().all(|&b| b < 10));
+        }
+
+        /// prop_map and prop_oneof compose.
+        #[test]
+        fn map_and_oneof(v in prop_oneof![Just(0u64), (10u64..20).prop_map(|x| x * 2)]) {
+            prop_assert!(v == 0 || (20..40).contains(&v), "v = {}", v);
+        }
+
+        /// Assume rejects without failing.
+        #[test]
+        fn assume_skips(x in 0u32..10) {
+            prop_assume!(x < 100);
+            prop_assert_eq!(x, x);
+            prop_assert_ne!(x, x + 1);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        use crate::strategy::Strategy as _;
+        let strat = (0u64..1_000_000).prop_map(|x| x * 3);
+        let mut a = crate::test_runner::TestRng::for_case("t", 1);
+        let mut b = crate::test_runner::TestRng::for_case("t", 1);
+        assert_eq!(strat.sample(&mut a), strat.sample(&mut b));
+    }
+}

@@ -1,0 +1,25 @@
+//! Offline vendored stand-in for the `serde` crate.
+//!
+//! The workspace annotates data types with `#[derive(Serialize, Deserialize)]`
+//! to document their serializability, but no code path performs reflective
+//! serialization (report JSON is hand-written in `harness::report`). This
+//! stand-in therefore provides the two trait names as markers, blanket-implemented
+//! for every type, and re-exports the no-op derives from [`serde_derive`]
+//! behind the usual `derive` feature.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker for serializable types. Blanket-implemented: with the real `serde`
+/// every type in this workspace derives it, so the marker holds universally.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker for deserializable types. Blanket-implemented; see [`Serialize`].
+pub trait Deserialize<'de> {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
