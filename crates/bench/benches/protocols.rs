@@ -7,7 +7,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use degradable::adversary::Strategy;
 use degradable::baselines::{run_crusader, run_om};
-use degradable::{run_protocol, ByzInstance, Params, Scenario, Val};
+use degradable::{run_protocol, AdversaryRun, ByzInstance, Params, Val};
 use simnet::NodeId;
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -27,7 +27,7 @@ fn bench_byz_reference(c: &mut Criterion) {
             &(inst, strategies),
             |b, (inst, strategies)| {
                 b.iter(|| {
-                    Scenario {
+                    AdversaryRun {
                         instance: *inst,
                         sender_value: Val::Value(1),
                         strategies: strategies.clone(),
@@ -105,7 +105,7 @@ fn bench_tradeoff_cost(c: &mut Criterion) {
             &inst,
             |b, inst| {
                 b.iter(|| {
-                    Scenario {
+                    AdversaryRun {
                         instance: *inst,
                         sender_value: Val::Value(1),
                         strategies: BTreeMap::new(),

@@ -18,7 +18,7 @@ use agreement_bench::print_table;
 use degradable::adversary::Strategy;
 use degradable::baselines::run_om;
 use degradable::sm::{run_sm, SmAdversary};
-use degradable::{check_degradable, ByzInstance, Params, RunRecord, Scenario, Val};
+use degradable::{check_degradable, AdversaryRun, ByzInstance, Params, RunRecord, Val};
 use simnet::NodeId;
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -133,7 +133,7 @@ fn byz_row(n: usize, m: usize, u: usize, faulty_receivers: usize) -> (String, bo
             },
         );
     }
-    let record: RunRecord<u64> = Scenario {
+    let record: RunRecord<u64> = AdversaryRun {
         instance: inst,
         sender_value: Val::Value(0),
         strategies: strategies.clone(),

@@ -11,7 +11,7 @@
 //! count); the table is written as a JSON report under `results/`.
 
 use degradable::adversary::Strategy;
-use degradable::{largest_fault_free_class, ByzInstance, Params, Scenario, Val};
+use degradable::{largest_fault_free_class, AdversaryRun, ByzInstance, Params, Val};
 use harness::report::Table;
 use harness::{Report, RunArgs, SweepRunner};
 use simnet::{NodeId, SimRng};
@@ -32,7 +32,7 @@ fn sweep_pair(m: usize, u: usize, placements: usize, rng: SimRng) -> Vec<String>
                     .iter()
                     .map(|&i| (NodeId::new(i), strat.clone()))
                     .collect();
-                let record = Scenario {
+                let record = AdversaryRun {
                     instance,
                     sender_value: Val::Value(1),
                     strategies,

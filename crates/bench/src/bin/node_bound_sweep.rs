@@ -9,7 +9,7 @@
 
 use agreement_bench::print_csv;
 use degradable::adversary::Strategy;
-use degradable::{ByzInstance, Params, Scenario, Val};
+use degradable::{AdversaryRun, ByzInstance, Params, Val};
 use harness::report::Table;
 use harness::{Report, RunArgs, SweepRunner};
 use simnet::NodeId;
@@ -29,7 +29,7 @@ fn verdict_at(n: usize, m: usize, u: usize) -> &'static str {
     let strategies: BTreeMap<NodeId, Strategy<u64>> = (n - u..n)
         .map(|i| (NodeId::new(i), Strategy::ConstantLie(Val::Value(2))))
         .collect();
-    let verdict = Scenario {
+    let verdict = AdversaryRun {
         instance: inst,
         sender_value: Val::Value(1),
         strategies,

@@ -16,7 +16,7 @@
 
 use degradable::adversary::Strategy;
 use degradable::analysis::tradeoffs;
-use degradable::{ByzInstance, Params, Scenario, Val, Verdict};
+use degradable::{AdversaryRun, ByzInstance, Params, Val, Verdict};
 use harness::report::Table;
 use harness::{Report, RunArgs, SweepRunner};
 use simnet::{NodeId, SimRng};
@@ -39,7 +39,7 @@ fn cell(params: Params, f: usize, placements: usize, mut rng: SimRng) -> (String
                 .collect();
             let instance =
                 ByzInstance::new(N, params, NodeId::new(0)).expect("7 nodes fit all three configs");
-            let sc = Scenario {
+            let sc = AdversaryRun {
                 instance,
                 sender_value: Val::Value(1),
                 strategies,

@@ -26,7 +26,7 @@
 //!   **degraded** instead of guessing — the safe action.
 
 use degradable::adversary::Strategy;
-use degradable::{ByzInstance, Params, Scenario, Val};
+use degradable::{AdversaryRun, ByzInstance, Params, Val};
 use serde::{Deserialize, Serialize};
 use simnet::NodeId;
 use std::collections::{BTreeMap, BTreeSet};
@@ -114,7 +114,7 @@ pub fn run_fusion(
         let sensor = NodeId::new(s_idx);
         let instance =
             ByzInstance::new(total_nodes, config.params, sensor).expect("bound checked above");
-        let record = Scenario {
+        let record = AdversaryRun {
             instance,
             sender_value: Val::Value(reading),
             strategies: strategies.clone(),

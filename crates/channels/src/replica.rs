@@ -20,7 +20,7 @@
 //!   for that slot.
 
 use degradable::adversary::Strategy;
-use degradable::{ByzInstance, Params, Scenario, Val};
+use degradable::{AdversaryRun, ByzInstance, Params, Val};
 use serde::{Deserialize, Serialize};
 use simnet::NodeId;
 use std::collections::{BTreeMap, BTreeSet};
@@ -218,7 +218,7 @@ impl ReplicatedLog {
     ) -> BTreeMap<NodeId, Val> {
         let instance = ByzInstance::new(self.n, self.params, NodeId::new(0))
             .expect("n = min_nodes by construction");
-        Scenario {
+        AdversaryRun {
             instance,
             sender_value: Val::Value(command),
             strategies: strategies.clone(),

@@ -15,7 +15,7 @@
 
 use degradable::adversary::Strategy;
 use degradable::baselines::run_om;
-use degradable::{ByzInstance, Params, Scenario, Val};
+use degradable::{AdversaryRun, ByzInstance, Params, Val};
 use serde::{Deserialize, Serialize};
 use simnet::NodeId;
 use std::collections::{BTreeMap, BTreeSet};
@@ -174,7 +174,7 @@ impl ChannelSystem {
             }
             Architecture::Degradable { params } => {
                 let instance = ByzInstance::new(n, params, sender).expect("2m+u channels + sender");
-                Scenario {
+                AdversaryRun {
                     instance,
                     sender_value: sv,
                     strategies: strategies.clone(),

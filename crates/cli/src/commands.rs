@@ -3,8 +3,8 @@
 use crate::args::{Command, SearchMethod, USAGE};
 use degradable::analysis::{min_nodes_table, tradeoffs, MinNodesCell};
 use degradable::{
-    check_degradable, explain_receiver, ByzInstance, ExhaustiveSearch, HillClimbSearch, Params,
-    RandomizedSearch, Scenario, Val, Verdict,
+    check_degradable, explain_receiver, AdversaryRun, ByzInstance, ExhaustiveSearch,
+    HillClimbSearch, Params, RandomizedSearch, Val, Verdict,
 };
 use simnet::{vertex_connectivity, NodeId, Topology};
 use std::fmt::Write as _;
@@ -117,7 +117,7 @@ fn run_cmd(
         Ok(i) => i,
         Err(e) => return format!("error: {e}"),
     };
-    let scenario = Scenario {
+    let scenario = AdversaryRun {
         instance,
         sender_value: Val::Value(value),
         strategies: faulty.clone(),

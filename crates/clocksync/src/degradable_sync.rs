@@ -33,7 +33,7 @@
 
 use crate::clock::Clock;
 use degradable::adversary::Strategy;
-use degradable::{ByzInstance, Params, Scenario, Val};
+use degradable::{AdversaryRun, ByzInstance, Params, Val};
 use serde::{Deserialize, Serialize};
 use simnet::NodeId;
 use std::collections::{BTreeMap, BTreeSet};
@@ -129,7 +129,7 @@ pub fn run_degradable_sync_corrected(
         let raw = clocks[s.index()].read_for(s.index(), real_time);
         let reading = (raw as i128 + corrections[s.index()] as i128).max(0) as u64;
         let instance = ByzInstance::new(n, params, s).expect("bound checked above");
-        let scenario = Scenario {
+        let scenario = AdversaryRun {
             instance,
             sender_value: Val::Value(reading),
             strategies: strategies.clone(),

@@ -8,7 +8,7 @@
 //! * a battery of named [`Strategy`] generators (lies constant, two-faced,
 //!   path-dependent, pseudo-random, silent, …) used by the experiment
 //!   sweeps;
-//! * [`Scenario`] — an instance + sender value + per-node strategies,
+//! * [`AdversaryRun`] — an instance + sender value + per-node strategies,
 //!   runnable to a [`RunRecord`] for condition checking;
 //! * [`ExhaustiveSearch`] — enumeration of **every** deterministic
 //!   adversary over a finite value domain, feasible for small systems; this
@@ -167,10 +167,18 @@ impl Strategy<u64> {
     }
 }
 
+/// Deprecated alias for [`AdversaryRun`].
+///
+/// The old name collided with `harness::scenario::Scenario` (the
+/// experiment descriptor), forcing downstream code into path-qualified
+/// imports; the adversary-side type is now [`AdversaryRun`].
+#[deprecated(note = "renamed to `AdversaryRun`")]
+pub type Scenario<V> = AdversaryRun<V>;
+
 /// One fully specified execution: instance, sender value, and the strategy
 /// of every faulty node.
 #[derive(Debug, Clone)]
-pub struct Scenario<V> {
+pub struct AdversaryRun<V> {
     /// The protocol instance.
     pub instance: ByzInstance,
     /// The sender's (nominal) value.
@@ -179,7 +187,7 @@ pub struct Scenario<V> {
     pub strategies: BTreeMap<NodeId, Strategy<V>>,
 }
 
-impl<V: Clone + Ord + Hash> Scenario<V> {
+impl<V: Clone + Ord + Hash> AdversaryRun<V> {
     /// The fault set.
     pub fn faulty(&self) -> BTreeSet<NodeId> {
         self.strategies.keys().copied().collect()
@@ -191,7 +199,7 @@ impl<V: Clone + Ord + Hash> Scenario<V> {
         self.run_full().0
     }
 
-    /// Like [`Scenario::run`] but also returns every receiver's full view
+    /// Like [`AdversaryRun::run`] but also returns every receiver's full view
     /// (for indistinguishability experiments).
     pub fn run_full(&self) -> (RunRecord<V>, EigOutcome<V>) {
         let faulty = self.faulty();
@@ -753,7 +761,7 @@ mod tests {
     #[test]
     fn scenario_verdict_satisfied_at_bound() {
         // 5 nodes, 1/2: two colluding constant liars cannot break D.3.
-        let sc = Scenario {
+        let sc = AdversaryRun {
             instance: instance(5, 1, 2),
             sender_value: Val::Value(1),
             strategies: [
@@ -771,7 +779,7 @@ mod tests {
         // 4 nodes, 1/2 (below the 2m+u+1 = 5 bound): the paper's Figure 2
         // scenario (c) — two liars force receiver 1 to a foreign value.
         let inst = ByzInstance::new_below_bound(4, Params::new(1, 2).unwrap(), n(0)).unwrap();
-        let sc = Scenario {
+        let sc = AdversaryRun {
             instance: inst,
             sender_value: Val::Value(1),
             strategies: [
@@ -895,13 +903,13 @@ mod tests {
     fn pressure_orders_runs_sensibly() {
         // A clean D.1 run scores below a degraded-but-satisfied run.
         let inst = instance(5, 1, 2);
-        let clean = Scenario {
+        let clean = AdversaryRun {
             instance: inst,
             sender_value: Val::Value(1),
             strategies: BTreeMap::new(),
         }
         .run();
-        let degraded = Scenario {
+        let degraded = AdversaryRun {
             instance: inst,
             sender_value: Val::Value(1),
             strategies: [

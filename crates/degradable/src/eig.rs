@@ -87,17 +87,30 @@ impl<V: Clone + Ord> EigView<V> {
 
     /// Records the value received for `path`.
     ///
+    /// The fold is **idempotent**: the first value recorded for a path
+    /// wins and later envelopes for the same path are discarded (returns
+    /// `false`). In the fault-free synchronous model each path is heard
+    /// exactly once, so this changes nothing; under link-level chaos
+    /// (duplicated or reordered envelopes) it makes the view independent
+    /// of arrival multiplicity and order.
+    ///
     /// # Panics
     ///
     /// Panics if the receiver itself lies on `path` (it would never be a
     /// recipient of that relay).
-    pub fn record(&mut self, path: Path, value: AgreementValue<V>) {
+    pub fn record(&mut self, path: Path, value: AgreementValue<V>) -> bool {
         assert!(
             !path.contains(self.me),
             "receiver {} cannot hold a value for path {path} containing itself",
             self.me
         );
-        self.vals.insert(path, value);
+        match self.vals.entry(path) {
+            std::collections::btree_map::Entry::Vacant(e) => {
+                e.insert(value);
+                true
+            }
+            std::collections::btree_map::Entry::Occupied(_) => false,
+        }
     }
 
     /// The value attributed to `path`; absent messages read as `V_d`.

@@ -3,13 +3,13 @@
 //! For small systems it is genuinely illuminating to watch the recursion
 //! fold: which relay paths carried lies, where `VOTE` filtered them, and
 //! why a receiver landed on the sender's value or on `V_d`. This module
-//! renders that story from a [`Scenario`]:
+//! renders that story from a [`AdversaryRun`]:
 //!
 //! ```
-//! use degradable::{explain_receiver, ByzInstance, Params, Scenario, Strategy, Val};
+//! use degradable::{explain_receiver, ByzInstance, Params, AdversaryRun, Strategy, Val};
 //! use simnet::NodeId;
 //!
-//! let scenario = Scenario {
+//! let scenario = AdversaryRun {
 //!     instance: ByzInstance::new(5, Params::new(1, 2)?, NodeId::new(0))?,
 //!     sender_value: Val::Value(42),
 //!     strategies: [(NodeId::new(4), Strategy::ConstantLie(Val::Value(7)))]
@@ -21,7 +21,7 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
-use crate::adversary::Scenario;
+use crate::adversary::AdversaryRun;
 use crate::eig::FoldStep;
 use crate::value::AgreementValue;
 use simnet::NodeId;
@@ -34,7 +34,7 @@ use std::hash::Hash;
 /// # Panics
 ///
 /// Panics if `receiver` is the sender or out of range.
-pub fn explain_receiver<V>(scenario: &Scenario<V>, receiver: NodeId) -> String
+pub fn explain_receiver<V>(scenario: &AdversaryRun<V>, receiver: NodeId) -> String
 where
     V: Clone + Ord + Hash + std::fmt::Display,
 {
@@ -101,7 +101,7 @@ where
     out
 }
 
-impl<V: std::fmt::Display> Scenario<V> {
+impl<V: std::fmt::Display> AdversaryRun<V> {
     fn sender_value_display(&self) -> String {
         match &self.sender_value {
             AgreementValue::Default => "V_d".to_string(),
@@ -119,8 +119,8 @@ mod tests {
     use crate::value::Val;
     use std::collections::BTreeMap;
 
-    fn scenario() -> Scenario<u64> {
-        Scenario {
+    fn scenario() -> AdversaryRun<u64> {
+        AdversaryRun {
             instance: ByzInstance::new(5, Params::new(1, 2).unwrap(), NodeId::new(0)).unwrap(),
             sender_value: Val::Value(42),
             strategies: [

@@ -104,7 +104,7 @@ pub fn run_degradable_ic<V: Clone + Ord + Hash>(
         .collect();
     for s in NodeId::all(n) {
         let instance = ByzInstance::new(n, params, s).expect("bound checked");
-        let scenario = crate::adversary::Scenario {
+        let scenario = crate::adversary::AdversaryRun {
             instance,
             sender_value: values[s.index()].clone(),
             strategies: strategies.clone(),

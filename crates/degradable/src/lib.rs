@@ -22,7 +22,7 @@
 //! ## Quick start
 //!
 //! ```
-//! use degradable::{ByzInstance, Params, Scenario, Strategy, Val};
+//! use degradable::{AdversaryRun, ByzInstance, Params, Strategy, Val};
 //! use simnet::NodeId;
 //!
 //! // 1/2-degradable agreement among 5 nodes: Byzantine agreement up to 1
@@ -30,7 +30,7 @@
 //! let instance = ByzInstance::new(5, Params::new(1, 2)?, NodeId::new(0))?;
 //!
 //! // Two colluding liars (f = u = 2):
-//! let scenario = Scenario {
+//! let scenario = AdversaryRun {
 //!     instance,
 //!     sender_value: Val::Value(42),
 //!     strategies: [
@@ -88,7 +88,9 @@ pub mod sparse;
 pub mod value;
 pub mod vote;
 
-pub use adversary::{ExhaustiveSearch, HillClimbSearch, RandomizedSearch, Scenario, Strategy};
+#[allow(deprecated)]
+pub use adversary::Scenario;
+pub use adversary::{AdversaryRun, ExhaustiveSearch, HillClimbSearch, RandomizedSearch, Strategy};
 pub use byz::{ByzError, ByzInstance};
 pub use certify::{certify, CertificationReport};
 pub use conditions::{
@@ -103,6 +105,8 @@ pub use path::Path;
 pub use protocol::{run_protocol, run_protocol_with, ByzMsg, ProtocolRun};
 pub use service::{run_batch, BatchInstance, BatchMsg, BatchRun};
 pub use sm::{run_sm, run_sm_honest, SmAdversary, SmRelayAction};
-pub use sparse::{run_sparse, sender_cut_topology, RelayCorruption, SparseRun};
+pub use sparse::{
+    run_sparse, run_sparse_chaotic, sender_cut_topology, RelayChaos, RelayCorruption, SparseRun,
+};
 pub use value::{AgreementValue, Val};
 pub use vote::{k_of_n, majority, vote};

@@ -22,7 +22,7 @@
 //! is covered by [`violation_below_bound`], which exhibits a concrete
 //! adversary breaking BYZ at `N = 2m + u` for any valid `(m, u)`.
 
-use crate::adversary::{Scenario, Strategy};
+use crate::adversary::{AdversaryRun, Strategy};
 use crate::byz::ByzInstance;
 use crate::conditions::{check_degradable, Verdict};
 use crate::eig::EigOutcome;
@@ -68,7 +68,7 @@ pub fn figure2_runs() -> Vec<Fig2Run> {
                description: String,
                sender_value: Val,
                strategies: BTreeMap<NodeId, Strategy<u64>>| {
-        let sc = Scenario {
+        let sc = AdversaryRun {
             instance: inst,
             sender_value,
             strategies,
@@ -185,7 +185,7 @@ pub fn violation_below_bound(m: usize, u: usize) -> Verdict<u64> {
     let strategies: BTreeMap<NodeId, Strategy<u64>> = (n - u..n)
         .map(|i| (NodeId::new(i), Strategy::ConstantLie(BETA)))
         .collect();
-    Scenario {
+    AdversaryRun {
         instance: inst,
         sender_value: ALPHA,
         strategies,
@@ -202,7 +202,7 @@ pub fn same_adversary_at_bound(m: usize, u: usize) -> Verdict<u64> {
     let strategies: BTreeMap<NodeId, Strategy<u64>> = (n - u..n)
         .map(|i| (NodeId::new(i), Strategy::ConstantLie(BETA)))
         .collect();
-    Scenario {
+    AdversaryRun {
         instance: inst,
         sender_value: ALPHA,
         strategies,
@@ -288,7 +288,7 @@ mod tests {
         // N = u = 3 with one lying receiver (receiver 2 stays fault-free).
         let inst =
             ByzInstance::new_below_bound(3, Params::new(0, 3).expect("valid"), S).expect("ok");
-        let sc = Scenario {
+        let sc = AdversaryRun {
             instance: inst,
             sender_value: ALPHA,
             strategies: [(NodeId::new(1), Strategy::ConstantLie(BETA))]

@@ -36,6 +36,22 @@ pub struct ByzMsg<V> {
     pub value: AgreementValue<V>,
 }
 
+/// The canonical corruptor for BYZ envelopes under link-level chaos
+/// ([`simnet::LinkFaultKind::Corrupt`]).
+///
+/// The paper's oral-message model assumes a damaged message is
+/// *detectable* — the receiver can tell a garbled envelope from a valid
+/// one (checksums in practice). A detected-garbled envelope carries no
+/// usable claim, so it must read as **absent**, folding to `V_d` like any
+/// other missing message. Mapping every corrupted envelope to `None`
+/// implements exactly that; it matches the engine's default when no
+/// corruptor is installed, but states the protocol's intent at the call
+/// site.
+pub fn corruption_as_absence<V>() -> impl FnMut(&ByzMsg<V>, &mut simnet::SimRng) -> Option<ByzMsg<V>>
+{
+    |_msg, _rng| None
+}
+
 /// Result of one message-passing execution.
 #[derive(Debug, Clone)]
 pub struct ProtocolRun<V: Ord> {
@@ -119,13 +135,25 @@ pub fn run_protocol_with<V: Clone + Ord + Hash>(
         let mut to_relay: Vec<(Path, AgreementValue<V>)> = Vec::new();
         if round >= 1 {
             for (src, msg) in ctx.inbox().to_vec() {
-                let valid =
-                    msg.path.len() == round && msg.path.last() == src && !msg.path.contains(me);
+                // A path of level `< round` is an envelope the network
+                // delivered late (link reordering): its relay slot has
+                // passed, but the direct observation is still genuine, so
+                // it folds into the view. Anything else malformed —
+                // impersonated or self-referential paths, or paths from a
+                // future level — is dropped (treated as absent).
+                let valid = msg.path.len() <= round
+                    && !msg.path.is_empty()
+                    && msg.path.last() == src
+                    && !msg.path.contains(me);
                 if !valid {
                     continue; // malformed claim: treated as absent
                 }
-                views[i].record(msg.path.clone(), msg.value.clone());
-                if round < depth {
+                let on_time = msg.path.len() == round;
+                // First write wins: duplicated envelopes (link-level
+                // duplication, or a late copy overtaken by chaos) are
+                // discarded by the idempotent fold.
+                let fresh = views[i].record(msg.path.clone(), msg.value.clone());
+                if fresh && on_time && round < depth {
                     to_relay.push((msg.path, msg.value));
                 }
             }
@@ -180,7 +208,7 @@ pub fn run_protocol_with<V: Clone + Ord + Hash>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::adversary::Scenario;
+    use crate::adversary::AdversaryRun;
     use crate::analysis::message_complexity;
     use crate::params::Params;
     use crate::value::Val;
@@ -284,7 +312,7 @@ mod tests {
             let inst = instance(nodes, m, u);
             let strategies: BTreeMap<NodeId, Strategy<u64>> =
                 strat.into_iter().map(|(i, s)| (n(i), s)).collect();
-            let sc = Scenario {
+            let sc = AdversaryRun {
                 instance: inst,
                 sender_value: Val::Value(7),
                 strategies: strategies.clone(),
@@ -311,6 +339,91 @@ mod tests {
         // f = 1 <= m: all fault-free receivers must agree (D.2).
         let distinct: std::collections::BTreeSet<_> = run.decisions.values().collect();
         assert_eq!(distinct.len(), 1, "{:?}", run.decisions);
+    }
+
+    fn full_chaos_plan(nodes: usize, kind: simnet::LinkFaultKind) -> simnet::LinkFaultPlan {
+        let mut plan = simnet::LinkFaultPlan::healthy();
+        for a in 0..nodes {
+            for b in 0..nodes {
+                if a != b {
+                    plan = plan.with(n(a), n(b), kind);
+                }
+            }
+        }
+        plan
+    }
+
+    #[test]
+    fn duplicated_envelopes_fold_idempotently() {
+        // Duplicating every envelope on every link must not change any
+        // decision: the EigView fold is first-write-wins.
+        let inst = instance(5, 1, 2);
+        let strategies: BTreeMap<_, _> = [(n(3), Strategy::ConstantLie(Val::Value(9)))]
+            .into_iter()
+            .collect();
+        let baseline = run_protocol(&inst, &Val::Value(7), &strategies, 1);
+        let plan = full_chaos_plan(5, simnet::LinkFaultKind::Duplicate { p: 1.0 });
+        let chaotic = run_protocol_with(&inst, &Val::Value(7), &strategies, 1, |e| {
+            e.with_link_faults(plan)
+        });
+        assert!(chaotic.net.duplicated > 0);
+        assert_eq!(baseline.decisions, chaotic.decisions);
+    }
+
+    #[test]
+    fn corrupted_envelopes_read_as_absence() {
+        // Corrupting every envelope (no corruptor installed: detectable
+        // garbling = absence) starves every receiver: all decide V_d.
+        // Crucially, nobody decides a *foreign* value.
+        let inst = instance(5, 1, 2);
+        let plan = full_chaos_plan(5, simnet::LinkFaultKind::Corrupt { p: 1.0 });
+        let run = run_protocol_with(&inst, &Val::Value(7), &BTreeMap::new(), 1, |e| {
+            e.with_link_faults(plan)
+        });
+        assert!(run.net.dropped_corrupt > 0);
+        assert!(run.decisions.values().all(|v| *v == Val::Default));
+    }
+
+    #[test]
+    fn corruption_as_absence_matches_engine_default() {
+        let inst = instance(5, 1, 2);
+        let plan = full_chaos_plan(5, simnet::LinkFaultKind::Corrupt { p: 0.4 });
+        let implicit = run_protocol_with(&inst, &Val::Value(7), &BTreeMap::new(), 3, {
+            let plan = plan.clone();
+            |e| e.with_link_faults(plan)
+        });
+        let explicit = run_protocol_with(&inst, &Val::Value(7), &BTreeMap::new(), 3, |e| {
+            e.with_link_faults(plan)
+                .with_corruptor(corruption_as_absence())
+        });
+        assert_eq!(implicit.decisions, explicit.decisions);
+        assert_eq!(implicit.net.dropped_corrupt, explicit.net.dropped_corrupt);
+    }
+
+    #[test]
+    fn reordered_envelopes_never_produce_foreign_values() {
+        // Reordering delays relays past their slot (absence), but late
+        // envelopes still fold as direct observations; decisions stay
+        // within {sender value, V_d} and runs are deterministic.
+        let inst = instance(5, 1, 2);
+        let run = |seed: u64| {
+            run_protocol_with(&inst, &Val::Value(7), &BTreeMap::new(), seed, |e| {
+                e.with_link_faults(full_chaos_plan(
+                    5,
+                    simnet::LinkFaultKind::Reorder { window: 1 },
+                ))
+            })
+        };
+        let a = run(5);
+        assert!(a.net.reordered > 0, "seed-checked: some delay drawn");
+        for (r, v) in &a.decisions {
+            assert!(
+                *v == Val::Value(7) || *v == Val::Default,
+                "receiver {r} decided foreign {v:?}"
+            );
+        }
+        let b = run(5);
+        assert_eq!(a.decisions, b.decisions, "chaos is deterministic");
     }
 
     #[test]

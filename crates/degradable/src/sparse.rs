@@ -24,7 +24,7 @@ use crate::path::{paths_of_length, Path};
 use crate::value::AgreementValue;
 use simnet::routing::Delivery;
 use simnet::routing::{CopyAction, RelayError, RelayHop, RelayNetwork};
-use simnet::{NodeId, Topology};
+use simnet::{NodeId, SimRng, Topology};
 use std::collections::{BTreeMap, BTreeSet};
 use std::hash::Hash;
 
@@ -51,6 +51,103 @@ impl<V: Clone> RelayCorruption<V> {
     }
 }
 
+/// Link-level chaos applied to individual path copies in flight, on top of
+/// whatever the faulty relays do. Models a lossy, duplicating, reordering
+/// fabric whose garbling is *detectable* (the paper's oral-message axiom):
+/// a corrupted copy is discarded by the receiver and reads as absent.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RelayChaos {
+    /// Probability an in-flight copy is silently lost.
+    pub drop_p: f64,
+    /// Probability a copy is garbled; garbling is detectable, so the copy
+    /// is discarded on arrival (absence, never a wrong value).
+    pub corrupt_p: f64,
+    /// Probability a copy arrives twice.
+    pub duplicate_p: f64,
+    /// Shuffle arrival order of the copies of each logical message.
+    pub reorder: bool,
+    /// Seed for the chaos stream (independent of protocol randomness).
+    pub seed: u64,
+}
+
+impl RelayChaos {
+    /// No chaos at all; [`run_sparse_chaotic`] degenerates to
+    /// [`run_sparse`].
+    pub fn none(seed: u64) -> Self {
+        RelayChaos {
+            drop_p: 0.0,
+            corrupt_p: 0.0,
+            duplicate_p: 0.0,
+            reorder: false,
+            seed,
+        }
+    }
+
+    /// Duplication and reordering only — the perturbations the degradable
+    /// acceptance rule must be *invariant* under.
+    pub fn benign(duplicate_p: f64, seed: u64) -> Self {
+        RelayChaos {
+            drop_p: 0.0,
+            corrupt_p: 0.0,
+            duplicate_p,
+            reorder: true,
+            seed,
+        }
+    }
+
+    /// Applies chaos to the copies of one logical message. Each surviving
+    /// copy becomes an *envelope* tagged with its path index; duplicates
+    /// append a second envelope, reordering shuffles the arrival sequence.
+    /// Returns the envelopes plus the number of chaos events injected.
+    fn perturb<V: Clone>(
+        &self,
+        copies: &[Option<V>],
+        rng: &mut SimRng,
+    ) -> (Vec<(usize, V)>, usize) {
+        let mut envelopes: Vec<(usize, V)> = Vec::with_capacity(copies.len());
+        let mut events = 0usize;
+        for (path_index, copy) in copies.iter().enumerate() {
+            let Some(v) = copy else { continue };
+            if rng.chance(self.drop_p) {
+                events += 1;
+                continue;
+            }
+            if rng.chance(self.corrupt_p) {
+                // Detectably garbled: the receiver discards it (absence).
+                events += 1;
+                continue;
+            }
+            envelopes.push((path_index, v.clone()));
+            if rng.chance(self.duplicate_p) {
+                events += 1;
+                envelopes.push((path_index, v.clone()));
+            }
+        }
+        if self.reorder {
+            // Fisher–Yates over arrival order.
+            for i in (1..envelopes.len()).rev() {
+                let j = rng.below(i as u64 + 1) as usize;
+                envelopes.swap(i, j);
+            }
+        }
+        (envelopes, events)
+    }
+}
+
+/// Folds chaos-perturbed envelopes back into per-path slots: the first
+/// envelope seen for each path index wins, later duplicates are discarded.
+/// This is the receiver-side idempotent fold that makes acceptance
+/// invariant under duplication and arrival order.
+fn dedup_envelopes<V: Clone>(path_count: usize, envelopes: &[(usize, V)]) -> Vec<Option<V>> {
+    let mut slots: Vec<Option<V>> = vec![None; path_count];
+    for (path_index, v) in envelopes {
+        if slots[*path_index].is_none() {
+            slots[*path_index] = Some(v.clone());
+        }
+    }
+    slots
+}
+
 /// Result of a sparse-network execution.
 #[derive(Debug, Clone)]
 pub struct SparseRun<V: Ord> {
@@ -59,6 +156,9 @@ pub struct SparseRun<V: Ord> {
     /// Count of point-to-point transmissions whose delivery degraded to
     /// absent at the relay layer (between *fault-free* endpoint pairs).
     pub degraded_deliveries: usize,
+    /// Count of chaos events (drops, detectable corruptions, duplicates)
+    /// injected by a [`RelayChaos`] plan; zero for [`run_sparse`].
+    pub chaos_events: usize,
 }
 
 impl<V: Clone + Ord> SparseRun<V> {
@@ -101,6 +201,56 @@ pub fn run_sparse<V: Clone + Ord + Hash>(
     corruption: &RelayCorruption<V>,
     allow_below_bound: bool,
 ) -> Result<SparseRun<V>, RelayError> {
+    run_sparse_inner(
+        instance,
+        topo,
+        sender_value,
+        strategies,
+        corruption,
+        allow_below_bound,
+        None,
+    )
+}
+
+/// [`run_sparse`] with a [`RelayChaos`] plan perturbing every in-flight
+/// path copy. Corrupted copies read as absent (the oral-message axiom:
+/// garbling is detectable), duplicated copies are discarded by the
+/// receiver-side idempotent fold, and arrival order never matters — so
+/// benign chaos leaves decisions bit-identical to the chaos-free run.
+///
+/// # Errors
+///
+/// [`RelayError::InsufficientConnectivity`] when the bound is enforced and
+/// violated.
+pub fn run_sparse_chaotic<V: Clone + Ord + Hash>(
+    instance: &ByzInstance,
+    topo: &Topology,
+    sender_value: &AgreementValue<V>,
+    strategies: &BTreeMap<NodeId, Strategy<V>>,
+    corruption: &RelayCorruption<V>,
+    allow_below_bound: bool,
+    chaos: &RelayChaos,
+) -> Result<SparseRun<V>, RelayError> {
+    run_sparse_inner(
+        instance,
+        topo,
+        sender_value,
+        strategies,
+        corruption,
+        allow_below_bound,
+        Some(chaos),
+    )
+}
+
+fn run_sparse_inner<V: Clone + Ord + Hash>(
+    instance: &ByzInstance,
+    topo: &Topology,
+    sender_value: &AgreementValue<V>,
+    strategies: &BTreeMap<NodeId, Strategy<V>>,
+    corruption: &RelayCorruption<V>,
+    allow_below_bound: bool,
+    chaos: Option<&RelayChaos>,
+) -> Result<SparseRun<V>, RelayError> {
     let params = instance.params();
     let relay = if allow_below_bound {
         RelayNetwork::new_unchecked(topo, params.m(), params.u())
@@ -112,11 +262,26 @@ pub fn run_sparse<V: Clone + Ord + Hash>(
     let depth = instance.depth();
     let faulty: BTreeSet<NodeId> = strategies.keys().copied().collect();
     let mut degraded = 0usize;
+    let mut chaos_events = 0usize;
+    let mut chaos_rng = SimRng::seed(chaos.map_or(0, |c| c.seed));
 
     // transmit src -> dst through the relay fabric.
-    let send = |src: NodeId, dst: NodeId, value: &AgreementValue<V>, degraded: &mut usize| {
+    let mut send = |src: NodeId,
+                    dst: NodeId,
+                    value: &AgreementValue<V>,
+                    degraded: &mut usize|
+     -> Option<AgreementValue<V>> {
         let mut adversary = |hop: RelayHop| corruption.action(hop);
-        let d = relay.transmit(src, dst, value, &faulty, &mut adversary);
+        let d = match chaos {
+            None => relay.transmit(src, dst, value, &faulty, &mut adversary),
+            Some(c) => {
+                let copies = relay.copies(src, dst, value, &faulty, &mut adversary);
+                let (envelopes, events) = c.perturb(&copies, &mut chaos_rng);
+                chaos_events += events;
+                let slots = dedup_envelopes(copies.len(), &envelopes);
+                relay.link().resolve(&slots)
+            }
+        };
         match d {
             Delivery::Accepted(v) => Some(v),
             Delivery::Absent => {
@@ -192,6 +357,7 @@ pub fn run_sparse<V: Clone + Ord + Hash>(
     Ok(SparseRun {
         decisions,
         degraded_deliveries: degraded,
+        chaos_events,
     })
 }
 
@@ -245,7 +411,7 @@ mod tests {
             false,
         )
         .unwrap();
-        let sc = crate::adversary::Scenario {
+        let sc = crate::adversary::AdversaryRun {
             instance: inst,
             sender_value: Val::Value(7),
             strategies,
@@ -412,5 +578,142 @@ mod tests {
         // Conditions must still hold (degraded, not broken).
         let rec = run.record(&inst, Val::Value(7), [n(2), n(6)].into_iter().collect());
         assert!(check_degradable(&rec).is_satisfied());
+    }
+
+    #[test]
+    fn zero_chaos_matches_run_sparse_exactly() {
+        let inst = instance(8, 1, 2);
+        let topo = Topology::harary(4, 8);
+        let strategies: BTreeMap<_, _> = [(n(3), Strategy::ConstantLie(Val::Value(9)))]
+            .into_iter()
+            .collect();
+        let baseline = run_sparse(
+            &inst,
+            &topo,
+            &Val::Value(7),
+            &strategies,
+            &RelayCorruption::ReplaceWith(Val::Value(9)),
+            false,
+        )
+        .unwrap();
+        let chaotic = run_sparse_chaotic(
+            &inst,
+            &topo,
+            &Val::Value(7),
+            &strategies,
+            &RelayCorruption::ReplaceWith(Val::Value(9)),
+            false,
+            &RelayChaos::none(3),
+        )
+        .unwrap();
+        assert_eq!(chaotic.decisions, baseline.decisions);
+        assert_eq!(chaotic.degraded_deliveries, baseline.degraded_deliveries);
+        assert_eq!(chaotic.chaos_events, 0);
+    }
+
+    #[test]
+    fn benign_chaos_is_decision_invariant() {
+        // Duplication + reordering must be invisible: the receiver-side
+        // fold discards late duplicates and ignores arrival order, so the
+        // decisions match the chaos-free run bit-for-bit at every seed.
+        let inst = instance(8, 1, 2);
+        let topo = Topology::harary(4, 8);
+        let strategies: BTreeMap<_, _> = [
+            (n(3), Strategy::ConstantLie(Val::Value(9))),
+            (n(5), Strategy::ConstantLie(Val::Value(9))),
+        ]
+        .into_iter()
+        .collect();
+        let baseline = run_sparse(
+            &inst,
+            &topo,
+            &Val::Value(7),
+            &strategies,
+            &RelayCorruption::ReplaceWith(Val::Value(9)),
+            false,
+        )
+        .unwrap();
+        for seed in 0..5 {
+            let chaotic = run_sparse_chaotic(
+                &inst,
+                &topo,
+                &Val::Value(7),
+                &strategies,
+                &RelayCorruption::ReplaceWith(Val::Value(9)),
+                false,
+                &RelayChaos::benign(0.8, seed),
+            )
+            .unwrap();
+            assert_eq!(chaotic.decisions, baseline.decisions, "seed {seed}");
+            assert!(chaotic.chaos_events > 0, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn corrupting_chaos_never_yields_foreign_values() {
+        // No faulty nodes, heavy link chaos. Corruption is detectable
+        // (oral-message axiom), so the worst the fabric can do is absence:
+        // every decision is the sender's value or V_d, never foreign.
+        let inst = instance(8, 1, 2);
+        let topo = Topology::harary(4, 8);
+        let chaos = RelayChaos {
+            drop_p: 0.25,
+            corrupt_p: 0.25,
+            duplicate_p: 0.25,
+            reorder: true,
+            seed: 11,
+        };
+        let run = run_sparse_chaotic(
+            &inst,
+            &topo,
+            &Val::Value(7),
+            &BTreeMap::new(),
+            &RelayCorruption::Forward,
+            false,
+            &chaos,
+        )
+        .unwrap();
+        assert!(run.chaos_events > 0);
+        for (r, d) in &run.decisions {
+            assert!(
+                matches!(d, Val::Value(7) | Val::Default),
+                "receiver {r:?} decided {d:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn chaotic_runs_are_deterministic_per_seed() {
+        let inst = instance(8, 1, 2);
+        let topo = Topology::harary(4, 8);
+        let chaos = RelayChaos {
+            drop_p: 0.2,
+            corrupt_p: 0.1,
+            duplicate_p: 0.3,
+            reorder: true,
+            seed: 42,
+        };
+        let run = |_: usize| {
+            run_sparse_chaotic(
+                &inst,
+                &topo,
+                &Val::Value(7),
+                &BTreeMap::new(),
+                &RelayCorruption::Forward,
+                false,
+                &chaos,
+            )
+            .unwrap()
+        };
+        let (a, b) = (run(0), run(1));
+        assert_eq!(a.decisions, b.decisions);
+        assert_eq!(a.chaos_events, b.chaos_events);
+        assert_eq!(a.degraded_deliveries, b.degraded_deliveries);
+    }
+
+    #[test]
+    fn dedup_keeps_first_envelope_per_path() {
+        let slots = dedup_envelopes(3, &[(1, 9u64), (0, 7), (1, 8)]);
+        assert_eq!(slots, vec![Some(7), Some(9), None]);
     }
 }

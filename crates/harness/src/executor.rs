@@ -1,7 +1,7 @@
 //! The [`Executor`] abstraction: one scenario, many ways to run it.
 
 use crate::scenario::{Scenario, ScenarioError};
-use degradable::{run_protocol, RunRecord};
+use degradable::{run_protocol_with, RunRecord};
 
 /// Runs a [`Scenario`] to a [`RunRecord`] for condition checking.
 ///
@@ -46,8 +46,13 @@ impl Executor for ReferenceExecutor {
 
     fn execute(&self, scenario: &Scenario) -> Result<RunRecord<u64>, ScenarioError> {
         require_complete(scenario, self.name())?;
+        if scenario.has_link_chaos() {
+            return Err(ScenarioError::ChaosUnsupported {
+                executor: self.name(),
+            });
+        }
         let instance = scenario.instance()?;
-        Ok(degradable::Scenario {
+        Ok(degradable::AdversaryRun {
             instance,
             sender_value: scenario.sender_value,
             strategies: scenario.strategies.clone(),
@@ -62,27 +67,55 @@ impl Executor for ReferenceExecutor {
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ProtocolExecutor;
 
+impl ProtocolExecutor {
+    /// Like [`Executor::execute`], but also returns the engine's network
+    /// [`Outcome`](simnet::Outcome) — delivery counters plus the
+    /// per-trial injected link-fault counts
+    /// ([`simnet::Outcome::link_fault_injections`]) that chaos reports
+    /// aggregate.
+    ///
+    /// # Errors
+    ///
+    /// [`ScenarioError`] as for [`Executor::execute`].
+    pub fn execute_detailed(
+        &self,
+        scenario: &Scenario,
+    ) -> Result<(RunRecord<u64>, simnet::Outcome), ScenarioError> {
+        require_complete(scenario, Executor::name(self))?;
+        let instance = scenario.instance()?;
+        let plan = scenario.effective_link_plan();
+        let run = run_protocol_with(
+            &instance,
+            &scenario.sender_value,
+            &scenario.strategies,
+            scenario.master_seed,
+            |e| match plan {
+                // No corruptor installed: the engine's default drops
+                // corrupted envelopes, i.e. corruption reads as absence
+                // (`V_d`), the paper's oral-message axiom.
+                Some(plan) => e.with_link_faults(plan),
+                None => e,
+            },
+        );
+        let record = run.record(&instance, scenario.sender_value, scenario.faulty());
+        Ok((record, run.net))
+    }
+}
+
 impl Executor for ProtocolExecutor {
     fn name(&self) -> &'static str {
         "protocol"
     }
 
     fn execute(&self, scenario: &Scenario) -> Result<RunRecord<u64>, ScenarioError> {
-        require_complete(scenario, self.name())?;
-        let instance = scenario.instance()?;
-        let run = run_protocol(
-            &instance,
-            &scenario.sender_value,
-            &scenario.strategies,
-            scenario.master_seed,
-        );
-        Ok(run.record(&instance, scenario.sender_value, scenario.faulty()))
+        self.execute_detailed(scenario).map(|(record, _)| record)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::scenario::ChaosConfig;
     use degradable::adversary::Strategy;
     use degradable::{check_degradable, Val};
     use simnet::{NodeId, Topology};
@@ -120,6 +153,50 @@ mod tests {
                 "{err}"
             );
         }
+    }
+
+    #[test]
+    fn reference_executor_rejects_chaos() {
+        let scenario = lying_scenario().with_chaos(ChaosConfig {
+            drop_p: 0.1,
+            ..ChaosConfig::quiet()
+        });
+        let err = ReferenceExecutor.execute(&scenario).unwrap_err();
+        assert!(
+            matches!(err, ScenarioError::ChaosUnsupported { .. }),
+            "{err}"
+        );
+        // A quiet config is not chaos; the reference executor accepts it.
+        let quiet = lying_scenario().with_chaos(ChaosConfig::quiet());
+        assert!(ReferenceExecutor.execute(&quiet).is_ok());
+    }
+
+    #[test]
+    fn protocol_executor_counts_injected_faults() {
+        // Pure duplication chaos: decisions are invariant (the protocol's
+        // idempotent fold discards duplicates) and every injection shows
+        // up in the outcome counters.
+        let baseline = ProtocolExecutor.execute(&lying_scenario()).unwrap();
+        let chaotic = lying_scenario().with_chaos(ChaosConfig {
+            duplicate_p: 1.0,
+            ..ChaosConfig::quiet()
+        });
+        let (record, net) = ProtocolExecutor.execute_detailed(&chaotic).unwrap();
+        assert_eq!(record.decisions, baseline.decisions);
+        assert!(net.duplicated > 0);
+        assert_eq!(net.link_fault_injections(), net.duplicated);
+    }
+
+    #[test]
+    fn protocol_executor_applies_explicit_link_cuts() {
+        use simnet::{LinkFaultKind, LinkFaultPlan};
+        let scenario = lying_scenario().with_link_faults(LinkFaultPlan::healthy().with_symmetric(
+            NodeId::new(1),
+            NodeId::new(2),
+            LinkFaultKind::Cut { from_round: 0 },
+        ));
+        let (_, net) = ProtocolExecutor.execute_detailed(&scenario).unwrap();
+        assert!(net.dropped_link_cut > 0);
     }
 
     #[test]

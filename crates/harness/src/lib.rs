@@ -46,5 +46,5 @@ pub mod sweep;
 pub use args::RunArgs;
 pub use executor::{Executor, ProtocolExecutor, ReferenceExecutor};
 pub use report::{pct, print_csv, print_table, JsonValue, Report, Table};
-pub use scenario::{Scenario, ScenarioError};
+pub use scenario::{ChaosConfig, Scenario, ScenarioError};
 pub use sweep::SweepRunner;

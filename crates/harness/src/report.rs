@@ -8,7 +8,7 @@
 //! ```json
 //! {
 //!   "schema": "degradable-harness-report",
-//!   "version": 1,
+//!   "version": 2,
 //!   "experiment": "reliability",
 //!   "meta": { "master_seed": 232, "trials": 4000, "workers": 8 },
 //!   "metrics": { "p_incorrect_overall": 0.0 },
@@ -23,6 +23,18 @@
 //! which keeps byte-identical reports for identical runs — the property
 //! the determinism test asserts.
 //!
+//! ### Version history
+//!
+//! * **v2** — chaos-aware reports. Experiments that inject link faults
+//!   record per-trial injected-fault counts in `meta`/`metrics`
+//!   (`injected_faults_total`, plus per-kind counters such as
+//!   `dropped_link_cut`, `dropped_link_loss`, `duplicated`, `reordered`,
+//!   `corrupted`, `dropped_corrupt` where the experiment surfaces them).
+//!   The envelope layout (`schema`/`version`/`experiment`/`meta`/
+//!   `metrics`/`tables`) is unchanged, so v1 consumers that ignore unknown
+//!   keys keep working; strict consumers dispatch on `version`.
+//! * **v1** — initial envelope.
+//!
 //! JSON emission is hand-rolled ([`JsonValue`]): the vendored `serde` is
 //! derive-only (see `vendor/README.md`), and the value model here is tiny.
 
@@ -34,7 +46,8 @@ use std::path::{Path, PathBuf};
 pub const SCHEMA: &str = "degradable-harness-report";
 
 /// Version of the report file format; bump on breaking layout changes.
-pub const SCHEMA_VERSION: u64 = 1;
+/// See the module docs for the version history.
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// A JSON value with deterministic (insertion-ordered) object keys.
 #[derive(Debug, Clone, PartialEq)]
@@ -455,7 +468,7 @@ mod tests {
         r.add_table(t);
         let json = r.to_json_string();
         assert!(json.starts_with(
-            "{\"schema\":\"degradable-harness-report\",\"version\":1,\"experiment\":\"smoke\""
+            "{\"schema\":\"degradable-harness-report\",\"version\":2,\"experiment\":\"smoke\""
         ));
         assert!(json.contains("\"meta\":{\"master_seed\":7,\"trials\":10}"));
         assert!(json.contains("\"metrics\":{\"p\":0.5}"));

@@ -3,9 +3,92 @@
 use degradable::adversary::Strategy;
 use degradable::{ByzError, ByzInstance, Params, ParamsError, Val};
 use serde::{Deserialize, Serialize};
-use simnet::{NodeId, SimRng, Topology};
+use simnet::{LinkFaultKind, LinkFaultPlan, NodeId, SimRng, Topology};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
+
+/// Uniform link-chaos intensity knobs, applied to **every** directed edge
+/// of the execution topology on top of any explicit
+/// [`Scenario::link_faults`] plan.
+///
+/// Each non-zero knob becomes one [`LinkFaultKind`] per directed edge;
+/// [`ChaosConfig::quiet`] (all zeros) injects nothing, so a scenario with a
+/// quiet config is byte-identical in behaviour to one with no config.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChaosConfig {
+    /// Per-message silent-loss probability.
+    pub drop_p: f64,
+    /// Per-message duplication probability.
+    pub duplicate_p: f64,
+    /// Maximum extra rounds a message may be delayed (0 disables
+    /// reordering).
+    pub reorder_window: usize,
+    /// Per-message corruption probability; corrupted envelopes are
+    /// *detectably* garbled and read as absent (`V_d`), never as a wrong
+    /// value — the paper's oral-message axiom.
+    pub corrupt_p: f64,
+}
+
+impl ChaosConfig {
+    /// No chaos at all.
+    pub fn quiet() -> Self {
+        ChaosConfig {
+            drop_p: 0.0,
+            duplicate_p: 0.0,
+            reorder_window: 0,
+            corrupt_p: 0.0,
+        }
+    }
+
+    /// Whether every knob is zero (nothing would be injected).
+    pub fn is_quiet(&self) -> bool {
+        self.drop_p == 0.0
+            && self.duplicate_p == 0.0
+            && self.reorder_window == 0
+            && self.corrupt_p == 0.0
+    }
+
+    /// The non-zero knobs as link-fault kinds (in a fixed application
+    /// order: drop, duplicate, reorder, corrupt).
+    pub fn kinds(&self) -> Vec<LinkFaultKind> {
+        let mut kinds = Vec::new();
+        if self.drop_p > 0.0 {
+            kinds.push(LinkFaultKind::Drop { p: self.drop_p });
+        }
+        if self.duplicate_p > 0.0 {
+            kinds.push(LinkFaultKind::Duplicate {
+                p: self.duplicate_p,
+            });
+        }
+        if self.reorder_window > 0 {
+            kinds.push(LinkFaultKind::Reorder {
+                window: self.reorder_window,
+            });
+        }
+        if self.corrupt_p > 0.0 {
+            kinds.push(LinkFaultKind::Corrupt { p: self.corrupt_p });
+        }
+        kinds
+    }
+
+    /// Expands the knobs into a plan covering every directed pair of `n`
+    /// nodes (the complete execution topology of the protocol executor).
+    pub fn plan_for_complete(&self, n: usize) -> LinkFaultPlan {
+        let mut plan = LinkFaultPlan::healthy();
+        let kinds = self.kinds();
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                for kind in &kinds {
+                    plan = plan.with(NodeId::new(i), NodeId::new(j), *kind);
+                }
+            }
+        }
+        plan
+    }
+}
 
 /// A fully specified agreement experiment, independent of how it is
 /// executed (see [`crate::Executor`]).
@@ -34,6 +117,12 @@ pub struct Scenario {
     /// Master seed: drives every derived random choice (engine schedules,
     /// fault placement via [`Scenario::randomize_faults`]).
     pub master_seed: u64,
+    /// Explicit link-fault plan (cuts, per-edge chaos) injected into the
+    /// message-passing executor's engine. `None` means healthy links.
+    pub link_faults: Option<LinkFaultPlan>,
+    /// Uniform chaos intensity applied to every directed edge, layered on
+    /// top of `link_faults`. `None` (or a quiet config) injects nothing.
+    pub chaos: Option<ChaosConfig>,
 }
 
 /// Why a [`Scenario`] cannot be instantiated or executed.
@@ -51,6 +140,13 @@ pub enum ScenarioError {
         /// The executor that rejected it.
         executor: &'static str,
     },
+    /// The scenario requests link faults or chaos, but the executor has no
+    /// message layer to inject them into (e.g. the reference executor
+    /// computes decisions directly from the behaviour function).
+    ChaosUnsupported {
+        /// The executor that rejected the scenario.
+        executor: &'static str,
+    },
 }
 
 impl fmt::Display for ScenarioError {
@@ -62,6 +158,12 @@ impl fmt::Display for ScenarioError {
                 write!(
                     f,
                     "executor {executor} requires a complete topology, got {topology}"
+                )
+            }
+            ScenarioError::ChaosUnsupported { executor } => {
+                write!(
+                    f,
+                    "executor {executor} has no message layer to inject link faults into"
                 )
             }
         }
@@ -95,6 +197,8 @@ impl Scenario {
             strategies: BTreeMap::new(),
             topology: Topology::complete(n),
             master_seed: 0,
+            link_faults: None,
+            chaos: None,
         }
     }
 
@@ -132,6 +236,49 @@ impl Scenario {
     pub fn with_master_seed(mut self, master_seed: u64) -> Self {
         self.master_seed = master_seed;
         self
+    }
+
+    /// Installs an explicit link-fault plan (cuts, per-edge chaos).
+    pub fn with_link_faults(mut self, plan: LinkFaultPlan) -> Self {
+        self.link_faults = Some(plan);
+        self
+    }
+
+    /// Installs uniform chaos intensity knobs.
+    pub fn with_chaos(mut self, chaos: ChaosConfig) -> Self {
+        self.chaos = Some(chaos);
+        self
+    }
+
+    /// Whether this scenario asks for any link-level fault injection.
+    pub fn has_link_chaos(&self) -> bool {
+        self.link_faults.as_ref().is_some_and(|p| !p.is_empty())
+            || self.chaos.is_some_and(|c| !c.is_quiet())
+    }
+
+    /// The merged link-fault plan the message-passing executor installs:
+    /// the explicit [`Scenario::link_faults`] plan with the uniform
+    /// [`Scenario::chaos`] knobs layered on every directed pair. `None`
+    /// when nothing would be injected.
+    pub fn effective_link_plan(&self) -> Option<LinkFaultPlan> {
+        if !self.has_link_chaos() {
+            return None;
+        }
+        let mut plan = self.link_faults.clone().unwrap_or_default();
+        if let Some(chaos) = self.chaos.filter(|c| !c.is_quiet()) {
+            let kinds = chaos.kinds();
+            for i in 0..self.n {
+                for j in 0..self.n {
+                    if i == j {
+                        continue;
+                    }
+                    for kind in &kinds {
+                        plan = plan.with(NodeId::new(i), NodeId::new(j), *kind);
+                    }
+                }
+            }
+        }
+        Some(plan)
     }
 
     /// Assigns `f` uniformly-placed faulty nodes, each with a strategy
@@ -220,6 +367,66 @@ mod tests {
             Scenario::new(9, 3, 1).instance(),
             Err(ScenarioError::Params(_))
         ));
+    }
+
+    #[test]
+    fn quiet_chaos_injects_nothing() {
+        let s = Scenario::new(5, 1, 2).with_chaos(ChaosConfig::quiet());
+        assert!(!s.has_link_chaos());
+        assert!(s.effective_link_plan().is_none());
+        assert!(Scenario::new(5, 1, 2).effective_link_plan().is_none());
+        assert!(!Scenario::new(5, 1, 2)
+            .with_link_faults(LinkFaultPlan::healthy())
+            .has_link_chaos());
+    }
+
+    #[test]
+    fn chaos_knobs_expand_to_every_directed_pair() {
+        let chaos = ChaosConfig {
+            drop_p: 0.1,
+            duplicate_p: 0.2,
+            reorder_window: 0,
+            corrupt_p: 0.0,
+        };
+        let s = Scenario::new(4, 1, 1).with_chaos(chaos);
+        assert!(s.has_link_chaos());
+        let plan = s.effective_link_plan().unwrap();
+        assert_eq!(plan.faulty_link_count(), 4 * 3);
+        let kinds = plan.kinds(NodeId::new(0), NodeId::new(3));
+        assert_eq!(
+            kinds,
+            &[
+                LinkFaultKind::Drop { p: 0.1 },
+                LinkFaultKind::Duplicate { p: 0.2 }
+            ]
+        );
+    }
+
+    #[test]
+    fn explicit_plan_and_chaos_knobs_merge() {
+        let plan = LinkFaultPlan::healthy().with(
+            NodeId::new(0),
+            NodeId::new(1),
+            LinkFaultKind::Cut { from_round: 0 },
+        );
+        let chaos = ChaosConfig {
+            drop_p: 0.5,
+            ..ChaosConfig::quiet()
+        };
+        let merged = Scenario::new(5, 1, 2)
+            .with_link_faults(plan)
+            .with_chaos(chaos)
+            .effective_link_plan()
+            .unwrap();
+        let kinds = merged.kinds(NodeId::new(0), NodeId::new(1));
+        assert_eq!(
+            kinds,
+            &[
+                LinkFaultKind::Cut { from_round: 0 },
+                LinkFaultKind::Drop { p: 0.5 }
+            ]
+        );
+        assert_eq!(merged.faulty_link_count(), 5 * 4);
     }
 
     #[test]

@@ -4,7 +4,9 @@
 
 use degradable::check_degradable;
 use harness::report::Table;
-use harness::{Executor, ReferenceExecutor, Report, Scenario, SweepRunner};
+use harness::{
+    ChaosConfig, Executor, ProtocolExecutor, ReferenceExecutor, Report, Scenario, SweepRunner,
+};
 
 /// Runs a small randomized sweep and renders it as a full JSON report.
 fn sweep_report(workers: usize) -> String {
@@ -40,6 +42,59 @@ fn report_json_is_identical_for_1_2_and_8_workers() {
     let reference = sweep_report(1);
     assert_eq!(sweep_report(2), reference, "2 workers diverged from 1");
     assert_eq!(sweep_report(8), reference, "8 workers diverged from 1");
+}
+
+/// The same promise with link-level chaos in the loop: chaos draws come
+/// from the trial-derived seed only, so injected-fault counts and
+/// decisions are equally worker-count independent.
+fn chaotic_sweep_report(workers: usize) -> String {
+    let runner = SweepRunner::new(workers);
+    let results = runner.run(0xCA05, 24, |trial, mut rng| {
+        let scenario = Scenario::new(6, 1, 2)
+            .with_master_seed(rng.below(u64::MAX))
+            .randomize_faults(trial % 2, &mut rng)
+            .with_chaos(ChaosConfig {
+                drop_p: 0.1,
+                duplicate_p: 0.4,
+                reorder_window: 2,
+                corrupt_p: 0.1,
+            });
+        let (record, net) = ProtocolExecutor
+            .execute_detailed(&scenario)
+            .expect("valid scenario");
+        (
+            net.link_fault_injections(),
+            check_degradable(&record).is_satisfied(),
+        )
+    });
+
+    let mut table = Table::new("per-trial chaos", &["trial", "injected", "satisfied"]);
+    let mut injected_total = 0usize;
+    for (trial, (injected, ok)) in results.iter().enumerate() {
+        injected_total += injected;
+        table.push_row(vec![
+            trial.to_string(),
+            injected.to_string(),
+            ok.to_string(),
+        ]);
+    }
+    let mut report = Report::new("determinism-probe-chaos");
+    report
+        .set_meta("master_seed", 0xCA05u64)
+        .set_meta("trials", results.len())
+        .set_metric("injected_faults_total", injected_total)
+        .add_table(table);
+    report.to_json_string()
+}
+
+#[test]
+fn chaotic_report_json_is_identical_for_1_2_and_8_workers() {
+    let reference = chaotic_sweep_report(1);
+    assert!(reference.contains("injected_faults_total"));
+    // Chaos must actually fire, otherwise this proves nothing.
+    assert!(!reference.contains("\"injected_faults_total\":0"));
+    assert_eq!(chaotic_sweep_report(2), reference, "2 workers diverged");
+    assert_eq!(chaotic_sweep_report(8), reference, "8 workers diverged");
 }
 
 #[test]

@@ -17,9 +17,27 @@
 use crate::fault::{FaultPlan, FaultSchedule};
 use crate::id::NodeId;
 use crate::latency::LatencyModel;
+use crate::linkfault::{LinkFaultKind, LinkFaultPlan};
 use crate::rng::SimRng;
 use crate::topology::Topology;
-use crate::trace::{Trace, TraceEvent};
+use crate::trace::{LateCause, Trace, TraceEvent};
+use std::collections::BTreeMap;
+
+/// Protocol-supplied mutator applied to messages hit by
+/// [`LinkFaultKind::Corrupt`]. Returning `Some` delivers the garbled
+/// payload; returning `None` drops the message (absence — the engine's
+/// default when no corruptor is installed, matching the oral-message axiom
+/// that detectably damaged messages read as absent).
+pub type Corruptor<M> = Box<dyn FnMut(&M, &mut SimRng) -> Option<M>>;
+
+/// Stream label for the dedicated link-chaos RNG fork: chaos draws must not
+/// perturb the engine's main stream (latency, omission), so existing seeded
+/// runs stay bit-identical when no link faults are configured.
+const LINK_CHAOS_STREAM: u64 = 0x4C49_4E4B;
+
+/// A reordered message waiting for its delivery round:
+/// `(dst, src, sending round, latency, payload)`.
+type HeldMsg<M> = (NodeId, NodeId, usize, u64, M);
 
 /// Per-node, per-round context handed to process logic.
 #[derive(Debug)]
@@ -116,6 +134,33 @@ pub struct Outcome {
     pub late: usize,
     /// Messages discarded for lack of a topology link.
     pub no_link: usize,
+    /// Messages dropped by a link cut.
+    pub dropped_link_cut: usize,
+    /// Messages lost to probabilistic link loss.
+    pub dropped_link_loss: usize,
+    /// Extra copies injected by link duplication.
+    pub duplicated: usize,
+    /// Messages delayed at least one extra round by link reordering.
+    pub reordered: usize,
+    /// Messages garbled in flight but still delivered (corruptor produced a
+    /// mutated payload).
+    pub corrupted: usize,
+    /// Messages garbled in flight and discarded (no corruptor, or the
+    /// corruptor mapped them to absence).
+    pub dropped_corrupt: usize,
+}
+
+impl Outcome {
+    /// Total chaos-layer injections (cuts, losses, duplicates, reorders and
+    /// corruptions) — the per-trial injected-fault count experiments report.
+    pub fn link_fault_injections(&self) -> usize {
+        self.dropped_link_cut
+            + self.dropped_link_loss
+            + self.duplicated
+            + self.reordered
+            + self.corrupted
+            + self.dropped_corrupt
+    }
 }
 
 /// The synchronous round engine.
@@ -129,16 +174,31 @@ pub struct Outcome {
 /// });
 /// assert_eq!(outcome.sent, 6); // 3 nodes x 2 peers
 /// ```
-#[derive(Debug)]
 pub struct RoundEngine<M> {
     topo: Topology,
     rng: SimRng,
     faults: FaultPlan,
     schedule: Option<FaultSchedule>,
+    link_faults: LinkFaultPlan,
+    corruptor: Option<Corruptor<M>>,
     latency: LatencyModel,
     deadline: u64,
     trace: Option<Trace>,
     _marker: std::marker::PhantomData<M>,
+}
+
+impl<M> std::fmt::Debug for RoundEngine<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RoundEngine")
+            .field("topo", &self.topo)
+            .field("faults", &self.faults)
+            .field("schedule", &self.schedule)
+            .field("link_faults", &self.link_faults)
+            .field("corruptor", &self.corruptor.as_ref().map(|_| "<fn>"))
+            .field("latency", &self.latency)
+            .field("deadline", &self.deadline)
+            .finish_non_exhaustive()
+    }
 }
 
 impl<M: Clone> RoundEngine<M> {
@@ -150,6 +210,8 @@ impl<M: Clone> RoundEngine<M> {
             rng: SimRng::seed(seed),
             faults: FaultPlan::healthy(),
             schedule: None,
+            link_faults: LinkFaultPlan::healthy(),
+            corruptor: None,
             latency: LatencyModel::Zero,
             deadline: u64::MAX,
             trace: None,
@@ -168,6 +230,26 @@ impl<M: Clone> RoundEngine<M> {
     #[must_use]
     pub fn with_fault_schedule(mut self, schedule: FaultSchedule) -> Self {
         self.schedule = Some(schedule);
+        self
+    }
+
+    /// Sets the link-fault (chaos) plan. Link faults apply after node
+    /// faults and the topology check, drawing randomness from a dedicated
+    /// fork of the engine seed so runs without link faults are unaffected.
+    #[must_use]
+    pub fn with_link_faults(mut self, link_faults: LinkFaultPlan) -> Self {
+        self.link_faults = link_faults;
+        self
+    }
+
+    /// Installs the corruption mutator used by [`LinkFaultKind::Corrupt`].
+    /// Without one, corrupted messages are dropped (read as absent).
+    #[must_use]
+    pub fn with_corruptor(
+        mut self,
+        corruptor: impl FnMut(&M, &mut SimRng) -> Option<M> + 'static,
+    ) -> Self {
+        self.corruptor = Some(Box::new(corruptor));
         self
     }
 
@@ -208,6 +290,11 @@ impl<M: Clone> RoundEngine<M> {
         &self.faults
     }
 
+    /// The link-fault plan.
+    pub fn link_faults(&self) -> &LinkFaultPlan {
+        &self.link_faults
+    }
+
     /// Runs `rounds` rounds where every node executes the same closure.
     pub fn run(&mut self, rounds: usize, mut step: impl FnMut(&mut RoundCtx<'_, M>)) -> Outcome {
         self.run_with(rounds, |_, ctx| step(ctx))
@@ -244,6 +331,12 @@ impl<M: Clone> RoundEngine<M> {
             .map(|i| self.topo.graph().neighbors(NodeId::new(i)).collect())
             .collect();
         let mut inboxes: Vec<Vec<(NodeId, M)>> = vec![Vec::new(); n];
+        // Chaos draws come from a dedicated fork: configurations without
+        // link faults replay the exact pre-chaos main stream (latency,
+        // omission), keeping historical seeded runs bit-identical.
+        let mut link_rng = self.rng.fork(LINK_CHAOS_STREAM);
+        // Messages held back by link reordering, keyed by delivery round.
+        let mut held: BTreeMap<usize, Vec<HeldMsg<M>>> = BTreeMap::new();
 
         for round in 0..rounds {
             let active: FaultPlan = match &self.schedule {
@@ -251,6 +344,20 @@ impl<M: Clone> RoundEngine<M> {
                 None => self.faults.clone(),
             };
             let mut next_inboxes: Vec<Vec<(NodeId, M)>> = vec![Vec::new(); n];
+            if let Some(due) = held.remove(&round) {
+                for (dst, src, sent_round, latency, payload) in due {
+                    outcome.delivered += 1;
+                    if let Some(t) = self.trace.as_mut() {
+                        t.record(TraceEvent::Delivered {
+                            round: sent_round,
+                            src,
+                            dst,
+                            latency,
+                        });
+                    }
+                    inboxes[dst.index()].push((src, payload));
+                }
+            }
             for i in 0..n {
                 let me = NodeId::new(i);
                 // Sort inbox by source for determinism.
@@ -308,29 +415,159 @@ impl<M: Clone> RoundEngine<M> {
                         }
                         continue;
                     }
-                    let latency = self.latency.sample(&mut self.rng) + active.extra_delay(me);
+                    // Link chaos: each configured kind on this directed
+                    // edge acts in insertion order, drawing only from the
+                    // dedicated chaos stream.
+                    let mut payload = msg;
+                    let mut duplicate = false;
+                    let mut extra_rounds = 0usize;
+                    let mut killed = false;
+                    for kind in self.link_faults.kinds(me, dst).to_vec() {
+                        match kind {
+                            LinkFaultKind::Cut { from_round } => {
+                                if round >= from_round {
+                                    outcome.dropped_link_cut += 1;
+                                    if let Some(t) = self.trace.as_mut() {
+                                        t.record(TraceEvent::LinkCut {
+                                            round,
+                                            src: me,
+                                            dst,
+                                        });
+                                    }
+                                    killed = true;
+                                    break;
+                                }
+                            }
+                            LinkFaultKind::Drop { p } => {
+                                if p > 0.0 && link_rng.chance(p) {
+                                    outcome.dropped_link_loss += 1;
+                                    if let Some(t) = self.trace.as_mut() {
+                                        t.record(TraceEvent::LinkDropped {
+                                            round,
+                                            src: me,
+                                            dst,
+                                        });
+                                    }
+                                    killed = true;
+                                    break;
+                                }
+                            }
+                            LinkFaultKind::Corrupt { p } => {
+                                if p > 0.0 && link_rng.chance(p) {
+                                    let garbled = self
+                                        .corruptor
+                                        .as_mut()
+                                        .and_then(|c| c(&payload, &mut link_rng));
+                                    match garbled {
+                                        Some(g) => {
+                                            payload = g;
+                                            outcome.corrupted += 1;
+                                            if let Some(t) = self.trace.as_mut() {
+                                                t.record(TraceEvent::LinkCorrupted {
+                                                    round,
+                                                    src: me,
+                                                    dst,
+                                                    delivered: true,
+                                                });
+                                            }
+                                        }
+                                        None => {
+                                            outcome.dropped_corrupt += 1;
+                                            if let Some(t) = self.trace.as_mut() {
+                                                t.record(TraceEvent::LinkCorrupted {
+                                                    round,
+                                                    src: me,
+                                                    dst,
+                                                    delivered: false,
+                                                });
+                                            }
+                                            killed = true;
+                                            break;
+                                        }
+                                    }
+                                }
+                            }
+                            LinkFaultKind::Duplicate { p } => {
+                                if p > 0.0 && !duplicate && link_rng.chance(p) {
+                                    duplicate = true;
+                                    outcome.duplicated += 1;
+                                    if let Some(t) = self.trace.as_mut() {
+                                        t.record(TraceEvent::LinkDuplicated {
+                                            round,
+                                            src: me,
+                                            dst,
+                                        });
+                                    }
+                                }
+                            }
+                            LinkFaultKind::Reorder { window } => {
+                                if window > 0 && extra_rounds == 0 {
+                                    let d = link_rng.below(window as u64 + 1) as usize;
+                                    if d > 0 {
+                                        extra_rounds = d;
+                                        outcome.reordered += 1;
+                                        if let Some(t) = self.trace.as_mut() {
+                                            t.record(TraceEvent::LinkReordered {
+                                                round,
+                                                src: me,
+                                                dst,
+                                                delay: d,
+                                            });
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    if killed {
+                        continue;
+                    }
+                    let base_latency = self.latency.sample(&mut self.rng);
+                    let latency = base_latency + active.extra_delay(me);
                     if latency > self.deadline {
                         outcome.late += 1;
                         if let Some(t) = self.trace.as_mut() {
+                            let cause = if base_latency <= self.deadline {
+                                LateCause::DelayFault
+                            } else {
+                                LateCause::Deadline
+                            };
                             t.record(TraceEvent::Late {
+                                round,
+                                src: me,
+                                dst,
+                                latency,
+                                cause,
+                            });
+                        }
+                        continue;
+                    }
+                    let copies = if duplicate { 2 } else { 1 };
+                    for _ in 0..copies {
+                        if extra_rounds > 0 {
+                            // Delivery shifts from round+1 to
+                            // round+1+extra_rounds; messages still in
+                            // flight when the run ends are lost.
+                            held.entry(round + 1 + extra_rounds).or_default().push((
+                                dst,
+                                me,
+                                round,
+                                latency,
+                                payload.clone(),
+                            ));
+                            continue;
+                        }
+                        outcome.delivered += 1;
+                        if let Some(t) = self.trace.as_mut() {
+                            t.record(TraceEvent::Delivered {
                                 round,
                                 src: me,
                                 dst,
                                 latency,
                             });
                         }
-                        continue;
+                        next_inboxes[dst.index()].push((me, payload.clone()));
                     }
-                    outcome.delivered += 1;
-                    if let Some(t) = self.trace.as_mut() {
-                        t.record(TraceEvent::Delivered {
-                            round,
-                            src: me,
-                            dst,
-                            latency,
-                        });
-                    }
-                    next_inboxes[dst.index()].push((me, msg.clone()));
                 }
             }
             inboxes = next_inboxes;
@@ -495,6 +732,270 @@ mod tests {
         };
         assert_eq!(run(9), run(9));
         assert_ne!(run(9).dropped_omission, 0); // at least one drop at p=0.5 over 9 msgs (seed-checked)
+    }
+
+    #[test]
+    fn link_cut_drops_from_its_round() {
+        let plan = LinkFaultPlan::healthy().with(n(0), n(1), LinkFaultKind::Cut { from_round: 1 });
+        let mut engine = RoundEngine::<u8>::new(Topology::complete(2), 1)
+            .with_link_faults(plan)
+            .with_trace();
+        let mut heard = [false; 3];
+        let outcome = engine.run_with(3, |i, ctx| {
+            ctx.broadcast(1);
+            if i == 1 && ctx.round() > 0 {
+                heard[ctx.round()] = !ctx.absent(n(0));
+            }
+        });
+        assert!(heard[1], "round-0 send predates the cut");
+        assert!(!heard[2], "round-1 send hits the cut");
+        assert_eq!(outcome.dropped_link_cut, 2); // rounds 1 and 2
+        let trace = engine.trace().unwrap();
+        assert_eq!(trace.count(|e| matches!(e, TraceEvent::LinkCut { .. })), 2);
+    }
+
+    #[test]
+    fn link_drop_is_one_directional() {
+        let plan = LinkFaultPlan::healthy().with(n(0), n(1), LinkFaultKind::Drop { p: 1.0 });
+        let mut engine = RoundEngine::<u8>::new(Topology::complete(2), 1).with_link_faults(plan);
+        let mut one_heard = false;
+        let mut zero_heard = false;
+        let outcome = engine.run_with(2, |i, ctx| {
+            ctx.broadcast(1);
+            if ctx.round() == 1 {
+                if i == 1 {
+                    one_heard = !ctx.absent(n(0));
+                } else {
+                    zero_heard = !ctx.absent(n(1));
+                }
+            }
+        });
+        assert!(!one_heard, "0->1 is fully lossy");
+        assert!(zero_heard, "1->0 is healthy");
+        assert_eq!(outcome.dropped_link_loss, 2);
+    }
+
+    #[test]
+    fn link_duplicate_delivers_two_copies() {
+        let plan = LinkFaultPlan::healthy().with(n(0), n(1), LinkFaultKind::Duplicate { p: 1.0 });
+        let mut engine = RoundEngine::<u8>::new(Topology::complete(2), 1).with_link_faults(plan);
+        let mut copies = 0;
+        let outcome = engine.run_with(2, |i, ctx| {
+            if ctx.round() == 0 && i == 0 {
+                ctx.send(n(1), 7);
+            }
+            if ctx.round() == 1 && i == 1 {
+                copies = ctx.inbox().iter().filter(|(s, _)| *s == n(0)).count();
+            }
+        });
+        assert_eq!(copies, 2);
+        assert_eq!(outcome.duplicated, 1);
+        assert_eq!(outcome.delivered, 2);
+        assert_eq!(outcome.sent, 1);
+    }
+
+    #[test]
+    fn link_reorder_delays_delivery_by_window_rounds() {
+        // window = 1 forces delay in {0, 1}; run enough messages that both
+        // on-time and delayed deliveries occur, and assert every message
+        // arrives exactly once, in round +1 or +2.
+        let plan = LinkFaultPlan::healthy().with(n(0), n(1), LinkFaultKind::Reorder { window: 1 });
+        let mut engine = RoundEngine::<u64>::new(Topology::complete(2), 5).with_link_faults(plan);
+        let mut arrivals: Vec<(usize, u64)> = Vec::new(); // (arrival round, tag)
+        let outcome = engine.run_with(8, |i, ctx| {
+            if i == 0 && ctx.round() < 5 {
+                ctx.send(n(1), ctx.round() as u64);
+            }
+            if i == 1 {
+                for (_, tag) in ctx.inbox() {
+                    arrivals.push((ctx.round(), *tag));
+                }
+            }
+        });
+        assert_eq!(arrivals.len(), 5, "every message arrives exactly once");
+        for (arrived, tag) in &arrivals {
+            let sent = *tag as usize;
+            assert!(
+                *arrived == sent + 1 || *arrived == sent + 2,
+                "tag {tag} sent r{sent} arrived r{arrived}"
+            );
+        }
+        assert!(outcome.reordered > 0, "seed-checked: some delay drawn");
+        assert_eq!(outcome.delivered, 5);
+    }
+
+    #[test]
+    fn corrupt_without_corruptor_reads_as_absence() {
+        let plan = LinkFaultPlan::healthy().with(n(0), n(1), LinkFaultKind::Corrupt { p: 1.0 });
+        let mut engine = RoundEngine::<u8>::new(Topology::complete(2), 1)
+            .with_link_faults(plan)
+            .with_trace();
+        let mut heard = false;
+        let outcome = engine.run_with(2, |i, ctx| {
+            if ctx.round() == 0 && i == 0 {
+                ctx.send(n(1), 7);
+            }
+            if ctx.round() == 1 && i == 1 {
+                heard = !ctx.absent(n(0));
+            }
+        });
+        assert!(!heard, "corruption without a corruptor is absence");
+        assert_eq!(outcome.dropped_corrupt, 1);
+        assert_eq!(
+            engine.trace().unwrap().count(|e| matches!(
+                e,
+                TraceEvent::LinkCorrupted {
+                    delivered: false,
+                    ..
+                }
+            )),
+            1
+        );
+    }
+
+    #[test]
+    fn corruptor_mutates_payload_in_flight() {
+        let plan = LinkFaultPlan::healthy().with(n(0), n(1), LinkFaultKind::Corrupt { p: 1.0 });
+        let mut engine = RoundEngine::<u8>::new(Topology::complete(2), 1)
+            .with_link_faults(plan)
+            .with_corruptor(|m: &u8, _rng: &mut SimRng| Some(m ^ 0xFF));
+        let mut got = None;
+        let outcome = engine.run_with(2, |i, ctx| {
+            if ctx.round() == 0 && i == 0 {
+                ctx.send(n(1), 7);
+            }
+            if ctx.round() == 1 && i == 1 {
+                got = ctx.from(n(0)).copied();
+            }
+        });
+        assert_eq!(got, Some(7 ^ 0xFF));
+        assert_eq!(outcome.corrupted, 1);
+        assert_eq!(outcome.dropped_corrupt, 0);
+    }
+
+    #[test]
+    fn chaos_draws_leave_main_stream_untouched() {
+        // A run with link faults on an *unused* edge direction must produce
+        // the same omission/latency decisions as a run without any plan:
+        // chaos randomness comes only from the dedicated fork.
+        let faults = FaultPlan::healthy().with(n(1), FaultKind::Omission { p: 0.5 });
+        let run = |plan: LinkFaultPlan| {
+            let mut engine = RoundEngine::<u8>::new(Topology::complete(4), 9)
+                .with_faults(faults.clone())
+                .with_link_faults(plan);
+            engine.run_with(3, |_, ctx| {
+                ctx.broadcast(0);
+            })
+        };
+        let clean = run(LinkFaultPlan::healthy());
+        let chaotic =
+            run(LinkFaultPlan::healthy().with(n(2), n(3), LinkFaultKind::Duplicate { p: 1.0 }));
+        assert_eq!(clean.dropped_omission, chaotic.dropped_omission);
+        assert!(chaotic.duplicated > 0);
+    }
+
+    #[test]
+    fn late_cause_distinguishes_deadline_from_delay_fault() {
+        use crate::trace::LateCause;
+        let run = |faults: FaultPlan, deadline: u64| {
+            let mut engine = RoundEngine::<u8>::new(Topology::complete(2), 3)
+                .with_faults(faults)
+                .with_latency(LatencyModel::Fixed(10))
+                .with_deadline(deadline)
+                .with_trace();
+            engine.run_with(2, |_, ctx| {
+                if ctx.round() == 0 {
+                    ctx.broadcast(1);
+                }
+            });
+            let trace = engine.trace().unwrap();
+            (
+                trace.count(|e| {
+                    matches!(
+                        e,
+                        TraceEvent::Late {
+                            cause: LateCause::DelayFault,
+                            ..
+                        }
+                    )
+                }),
+                trace.count(|e| {
+                    matches!(
+                        e,
+                        TraceEvent::Late {
+                            cause: LateCause::Deadline,
+                            ..
+                        }
+                    )
+                }),
+            )
+        };
+        // Node 0's delay fault pushes an otherwise on-time message over.
+        let faults = FaultPlan::healthy().with(n(0), FaultKind::Delay { extra: 100 });
+        assert_eq!(run(faults, 50), (1, 0));
+        // Same base latency, tight deadline, no faults: pure deadline miss.
+        assert_eq!(run(FaultPlan::healthy(), 5), (0, 2));
+    }
+
+    #[test]
+    fn scheduled_crash_then_link_cut_does_not_double_count() {
+        // Satellite: a node that crashes mid-run and *later* also has its
+        // links cut. Every undelivered message must be attributed to
+        // exactly one cause (crash wins, being checked first), and the
+        // node-fault count ignores link faults entirely.
+        use crate::fault::FaultSchedule;
+        let schedule = FaultSchedule::healthy().then_from(
+            1,
+            FaultPlan::healthy().with(n(0), FaultKind::Crash { from_round: 0 }),
+        );
+        let plan = LinkFaultPlan::healthy()
+            .with(n(0), n(1), LinkFaultKind::Cut { from_round: 2 })
+            .with(n(1), n(0), LinkFaultKind::Cut { from_round: 2 });
+        assert_eq!(schedule.peak_fault_count(), 1, "link cuts add no faults");
+        let mut engine = RoundEngine::<u8>::new(Topology::complete(2), 1)
+            .with_fault_schedule(schedule)
+            .with_link_faults(plan)
+            .with_trace();
+        let outcome = engine.run_with(4, |_, ctx| {
+            ctx.broadcast(1);
+        });
+        // Node 0 sends 4 messages: round 0 delivered, rounds 1-3 crash.
+        // Node 1 sends 4: rounds 0-1 delivered, rounds 2-3 link-cut.
+        assert_eq!(outcome.dropped_crash, 3);
+        assert_eq!(outcome.dropped_link_cut, 2);
+        assert_eq!(outcome.delivered, 3);
+        assert_eq!(
+            outcome.dropped_crash + outcome.dropped_link_cut + outcome.delivered,
+            outcome.sent,
+            "each message has exactly one disposition"
+        );
+    }
+
+    #[test]
+    fn mid_run_fault_activation_with_cuts_recovers() {
+        // FaultSchedule burst + link cut overlapping, then both clear
+        // (the cut stays; the crash clears) — deliveries resume only on
+        // the uncut direction.
+        use crate::fault::FaultSchedule;
+        let schedule = FaultSchedule::healthy()
+            .then_from(
+                1,
+                FaultPlan::healthy().with(n(1), FaultKind::Crash { from_round: 0 }),
+            )
+            .then_from(2, FaultPlan::healthy());
+        let plan = LinkFaultPlan::healthy().with(n(0), n(1), LinkFaultKind::Cut { from_round: 1 });
+        let mut engine = RoundEngine::<u8>::new(Topology::complete(2), 1)
+            .with_fault_schedule(schedule)
+            .with_link_faults(plan);
+        let mut zero_heard_in = Vec::new();
+        engine.run_with(4, |i, ctx| {
+            ctx.broadcast(1);
+            if i == 0 && ctx.round() > 0 && !ctx.absent(n(1)) {
+                zero_heard_in.push(ctx.round());
+            }
+        });
+        // 1->0 is never cut: only node 1's round-1 crash silences it.
+        assert_eq!(zero_heard_in, vec![1, 3]);
     }
 
     #[test]

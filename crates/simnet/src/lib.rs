@@ -58,6 +58,7 @@ pub mod fault;
 pub mod graph;
 pub mod id;
 pub mod latency;
+pub mod linkfault;
 pub mod rng;
 pub mod routing;
 pub mod topology;
@@ -66,28 +67,30 @@ pub mod trace;
 pub use connectivity::{
     local_connectivity, minimum_vertex_cut, vertex_connectivity, vertex_disjoint_paths,
 };
-pub use engine::{Outcome, RoundCtx, RoundEngine};
+pub use engine::{Corruptor, Outcome, RoundCtx, RoundEngine};
 pub use fault::{FaultKind, FaultPlan, FaultSchedule};
 pub use graph::Graph;
 pub use id::NodeId;
 pub use latency::LatencyModel;
+pub use linkfault::{LinkFaultKind, LinkFaultPlan, Partition};
 pub use rng::SimRng;
 pub use routing::{DegradableLink, Delivery, RelayNetwork};
 pub use topology::Topology;
-pub use trace::{Trace, TraceEvent};
+pub use trace::{LateCause, Trace, TraceEvent};
 
 /// Convenience glob import for downstream crates and examples.
 pub mod prelude {
     pub use crate::connectivity::{
         local_connectivity, minimum_vertex_cut, vertex_connectivity, vertex_disjoint_paths,
     };
-    pub use crate::engine::{Outcome, RoundCtx, RoundEngine};
+    pub use crate::engine::{Corruptor, Outcome, RoundCtx, RoundEngine};
     pub use crate::fault::{FaultKind, FaultPlan, FaultSchedule};
     pub use crate::graph::Graph;
     pub use crate::id::NodeId;
     pub use crate::latency::LatencyModel;
+    pub use crate::linkfault::{LinkFaultKind, LinkFaultPlan, Partition};
     pub use crate::rng::SimRng;
     pub use crate::routing::{DegradableLink, Delivery, RelayNetwork};
     pub use crate::topology::Topology;
-    pub use crate::trace::{Trace, TraceEvent};
+    pub use crate::trace::{LateCause, Trace, TraceEvent};
 }

@@ -246,6 +246,22 @@ impl RelayNetwork {
         faulty: &BTreeSet<NodeId>,
         adversary: &mut impl FnMut(RelayHop) -> CopyAction<V>,
     ) -> Delivery<V> {
+        let copies = self.copies(src, dst, value, faulty, adversary);
+        self.link.resolve(&copies)
+    }
+
+    /// The raw per-path copies arriving at `dst` (before the acceptance
+    /// rule), one slot per disjoint path (`None` = dropped). Exposed so
+    /// chaos layers can perturb individual copies (loss, corruption,
+    /// duplication, reordering) and then apply [`Self::link`]'s rule.
+    pub fn copies<V: Clone + Ord>(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+        value: &V,
+        faulty: &BTreeSet<NodeId>,
+        adversary: &mut impl FnMut(RelayHop) -> CopyAction<V>,
+    ) -> Vec<Option<V>> {
         let paths = self.paths(src, dst);
         let mut copies: Vec<Option<V>> = Vec::with_capacity(paths.len());
         for (path_index, path) in paths.iter().enumerate() {
@@ -269,7 +285,12 @@ impl RelayNetwork {
             }
             copies.push(copy);
         }
-        self.link.resolve(&copies)
+        copies
+    }
+
+    /// The degradable acceptance rule in force on this fabric.
+    pub fn link(&self) -> DegradableLink {
+        self.link
     }
 }
 

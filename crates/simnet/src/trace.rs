@@ -9,6 +9,30 @@ use crate::id::NodeId;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
+/// Why a message missed the round deadline.
+///
+/// Before this distinction existed, a single `Late` event covered both "the
+/// sampled network latency exceeded the deadline" and "a delay *fault* on
+/// the sender pushed it over" — experiments auditing fault attribution
+/// could not tell the two apart. The cause makes the attribution explicit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LateCause {
+    /// The sampled latency alone exceeded the deadline (no fault involved).
+    Deadline,
+    /// A [`crate::fault::FaultKind::Delay`] fault on the sender pushed an
+    /// otherwise on-time message past the deadline.
+    DelayFault,
+}
+
+impl fmt::Display for LateCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LateCause::Deadline => write!(f, "deadline"),
+            LateCause::DelayFault => write!(f, "delay fault"),
+        }
+    }
+}
+
 /// One message-level event.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum TraceEvent {
@@ -60,6 +84,8 @@ pub enum TraceEvent {
         dst: NodeId,
         /// Sampled latency (exceeds the deadline).
         latency: u64,
+        /// Whether the deadline alone or a delay fault caused the miss.
+        cause: LateCause,
     },
     /// Discarded because the topology has no `src`-`dst` link.
     NoLink {
@@ -69,6 +95,61 @@ pub enum TraceEvent {
         src: NodeId,
         /// Destination node.
         dst: NodeId,
+    },
+    /// Dropped because the link is cut ([`crate::linkfault::LinkFaultKind::Cut`]).
+    LinkCut {
+        /// Sending round.
+        round: usize,
+        /// Source node.
+        src: NodeId,
+        /// Destination node.
+        dst: NodeId,
+    },
+    /// Lost to link-level loss ([`crate::linkfault::LinkFaultKind::Drop`]).
+    LinkDropped {
+        /// Sending round.
+        round: usize,
+        /// Source node.
+        src: NodeId,
+        /// Destination node.
+        dst: NodeId,
+    },
+    /// A second copy was injected by the link
+    /// ([`crate::linkfault::LinkFaultKind::Duplicate`]).
+    LinkDuplicated {
+        /// Sending round.
+        round: usize,
+        /// Source node.
+        src: NodeId,
+        /// Destination node.
+        dst: NodeId,
+    },
+    /// Held back by link reordering
+    /// ([`crate::linkfault::LinkFaultKind::Reorder`]); delivery shifts from
+    /// round `round + 1` to `round + 1 + delay`.
+    LinkReordered {
+        /// Sending round.
+        round: usize,
+        /// Source node.
+        src: NodeId,
+        /// Destination node.
+        dst: NodeId,
+        /// Extra rounds of delay (at least 1).
+        delay: usize,
+    },
+    /// Garbled in flight ([`crate::linkfault::LinkFaultKind::Corrupt`]).
+    /// `delivered` tells whether the corruptor produced a mutated payload
+    /// (delivered garbled) or the message was discarded (absence — the
+    /// default when no corruptor is installed or it returns `None`).
+    LinkCorrupted {
+        /// Sending round.
+        round: usize,
+        /// Source node.
+        src: NodeId,
+        /// Destination node.
+        dst: NodeId,
+        /// Whether a garbled payload was still delivered.
+        delivered: bool,
     },
 }
 
@@ -93,9 +174,38 @@ impl fmt::Display for TraceEvent {
                 src,
                 dst,
                 latency,
-            } => write!(f, "[r{round}] {src}->{dst} late (lat {latency})"),
+                cause,
+            } => write!(f, "[r{round}] {src}->{dst} late (lat {latency}, {cause})"),
             TraceEvent::NoLink { round, src, dst } => {
                 write!(f, "[r{round}] {src}->{dst} discarded: no link")
+            }
+            TraceEvent::LinkCut { round, src, dst } => {
+                write!(f, "[r{round}] {src}->{dst} dropped: link cut")
+            }
+            TraceEvent::LinkDropped { round, src, dst } => {
+                write!(f, "[r{round}] {src}->{dst} dropped: link loss")
+            }
+            TraceEvent::LinkDuplicated { round, src, dst } => {
+                write!(f, "[r{round}] {src}->{dst} duplicated by link")
+            }
+            TraceEvent::LinkReordered {
+                round,
+                src,
+                dst,
+                delay,
+            } => write!(f, "[r{round}] {src}->{dst} reordered (+{delay} rounds)"),
+            TraceEvent::LinkCorrupted {
+                round,
+                src,
+                dst,
+                delivered,
+            } => {
+                let fate = if delivered {
+                    "delivered garbled"
+                } else {
+                    "dropped"
+                };
+                write!(f, "[r{round}] {src}->{dst} corrupted: {fate}")
             }
         }
     }
@@ -157,9 +267,67 @@ mod tests {
             src: NodeId::new(0),
             dst: NodeId::new(1),
             latency: 99,
+            cause: LateCause::Deadline,
         });
         assert_eq!(t.len(), 2);
         assert_eq!(t.count(|e| matches!(e, TraceEvent::Late { .. })), 1);
+        assert_eq!(
+            t.count(|e| matches!(
+                e,
+                TraceEvent::Late {
+                    cause: LateCause::DelayFault,
+                    ..
+                }
+            )),
+            0
+        );
+    }
+
+    #[test]
+    fn link_event_displays_name_their_cause() {
+        let (src, dst) = (NodeId::new(0), NodeId::new(1));
+        let cases = [
+            (TraceEvent::LinkCut { round: 1, src, dst }, "link cut"),
+            (TraceEvent::LinkDropped { round: 1, src, dst }, "link loss"),
+            (
+                TraceEvent::LinkDuplicated { round: 1, src, dst },
+                "duplicated",
+            ),
+            (
+                TraceEvent::LinkReordered {
+                    round: 1,
+                    src,
+                    dst,
+                    delay: 2,
+                },
+                "+2 rounds",
+            ),
+            (
+                TraceEvent::LinkCorrupted {
+                    round: 1,
+                    src,
+                    dst,
+                    delivered: false,
+                },
+                "corrupted: dropped",
+            ),
+            (
+                TraceEvent::Late {
+                    round: 1,
+                    src,
+                    dst,
+                    latency: 9,
+                    cause: LateCause::DelayFault,
+                },
+                "delay fault",
+            ),
+        ];
+        for (event, needle) in cases {
+            assert!(
+                event.to_string().contains(needle),
+                "{event} should mention {needle:?}"
+            );
+        }
     }
 
     #[test]

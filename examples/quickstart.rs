@@ -11,7 +11,7 @@
 //! 3. two colluding receivers -> fault-free receivers decide 42 or the
 //!    default value V_d (D.3)
 
-use degradable::{check_degradable, ByzInstance, Params, Scenario, Strategy, Val, Verdict};
+use degradable::{check_degradable, AdversaryRun, ByzInstance, Params, Strategy, Val, Verdict};
 use simnet::NodeId;
 use std::collections::BTreeMap;
 
@@ -43,7 +43,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ];
 
     for (label, strategies) in situations {
-        let scenario = Scenario {
+        let scenario = AdversaryRun {
             instance,
             sender_value: Val::Value(42),
             strategies,

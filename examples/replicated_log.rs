@@ -10,7 +10,7 @@
 //! slot, showing exactly how the VOTE folds filtered the lies.
 
 use channels::prelude::*;
-use degradable::{explain_receiver, ByzInstance, Params, Scenario, Strategy, Val};
+use degradable::{explain_receiver, AdversaryRun, ByzInstance, Params, Strategy, Val};
 use simnet::NodeId;
 use std::collections::BTreeMap;
 
@@ -75,7 +75,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Bonus: narrate one agreement fold under two lying nodes.
     println!("\n--- anatomy of one degraded agreement instance ---");
-    let scenario = Scenario {
+    let scenario = AdversaryRun {
         instance: ByzInstance::new(5, params, NodeId::new(0))?,
         sender_value: Val::Value(103),
         strategies: [

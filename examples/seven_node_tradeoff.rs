@@ -11,7 +11,7 @@
 //! only the configurations with u >= 3 keep any guarantee, and they hold.
 
 use degradable::analysis::tradeoffs;
-use degradable::{check_degradable, ByzInstance, Scenario, Strategy, Val, Verdict};
+use degradable::{check_degradable, AdversaryRun, ByzInstance, Strategy, Val, Verdict};
 use simnet::NodeId;
 use std::collections::BTreeMap;
 
@@ -34,7 +34,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     for params in tradeoffs(N) {
         let instance = ByzInstance::new(N, params, NodeId::new(0))?;
-        let record = Scenario {
+        let record = AdversaryRun {
             instance,
             sender_value: Val::Value(1),
             strategies: strategies.clone(),

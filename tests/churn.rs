@@ -9,7 +9,10 @@
 //! still hold with the crashed node counted in `f`.
 
 use degradable::{check_degradable, run_protocol_with, ByzInstance, Params, Val};
-use simnet::{FaultKind, FaultPlan, FaultSchedule, NodeId};
+use simnet::{
+    FaultKind, FaultPlan, FaultSchedule, LinkFaultKind, LinkFaultPlan, NodeId, RoundEngine,
+    Topology, TraceEvent,
+};
 use std::collections::{BTreeMap, BTreeSet};
 
 fn crash_from(node: usize, round: usize) -> FaultPlan {
@@ -97,5 +100,68 @@ fn recovery_after_burst_is_clean_for_fresh_instances() {
     let record = run.record(&inst, Val::Value(7), BTreeSet::new());
     for (_, v) in record.fault_free_decisions() {
         assert_eq!(v, Val::Value(7));
+    }
+}
+
+#[test]
+fn drop_causes_are_attributed_distinctly_in_the_trace() {
+    // Node 1 crashes mid-run AND the 2->3 link is cut mid-run: the trace
+    // must attribute every lost message to exactly one explicit cause —
+    // node fault (DroppedCrash) or link fault (LinkCut) — never both, and
+    // the outcome counters must agree with the trace.
+    let schedule = FaultSchedule::healthy().then_from(1, crash_from(1, 0));
+    let links = LinkFaultPlan::healthy().with(
+        NodeId::new(2),
+        NodeId::new(3),
+        LinkFaultKind::Cut { from_round: 1 },
+    );
+    let mut engine = RoundEngine::<u64>::new(Topology::complete(5), 3)
+        .with_fault_schedule(schedule)
+        .with_link_faults(links)
+        .with_trace();
+    let outcome = engine.run(3, |ctx| ctx.broadcast(ctx.me().index() as u64));
+    let trace = engine.trace().expect("tracing enabled");
+
+    let crashes = trace.count(|e| matches!(e, TraceEvent::DroppedCrash { .. }));
+    let cuts = trace.count(|e| matches!(e, TraceEvent::LinkCut { .. }));
+    assert_eq!(crashes, outcome.dropped_crash);
+    assert_eq!(cuts, outcome.dropped_link_cut);
+    assert!(crashes > 0 && cuts > 0);
+
+    for event in trace.events() {
+        match *event {
+            // Only the crashed node's sends are attributed to the crash.
+            TraceEvent::DroppedCrash { src, .. } => assert_eq!(src, NodeId::new(1)),
+            // Only the cut edge, only from its activation round — and a
+            // crashed sender's messages never reach the link layer, so
+            // they are not double-attributed here.
+            TraceEvent::LinkCut { round, src, dst } => {
+                assert_eq!((src, dst), (NodeId::new(2), NodeId::new(3)));
+                assert!(round >= 1);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[test]
+fn mid_run_link_isolation_acts_like_a_late_crash() {
+    // BYZ(1,2) runs m+1 = 2 sending rounds; from round 1 every link
+    // touching node 4 is cut, so it hears the sender's broadcast but its
+    // relays vanish — exactly like a mid-protocol crash. Counting node 4
+    // in `f` (f = 1 <= m), the conditions must still hold for the rest.
+    let inst = ByzInstance::new(5, Params::new(1, 2).unwrap(), NodeId::new(0)).unwrap();
+    let others: Vec<NodeId> = (0..4).map(NodeId::new).collect();
+    let links = LinkFaultPlan::healthy().cut_between(&[NodeId::new(4)], &others, 1);
+    let run = run_protocol_with(&inst, &Val::Value(7), &BTreeMap::new(), 1, |e| {
+        e.with_link_faults(links)
+    });
+    let faulty: BTreeSet<NodeId> = [NodeId::new(4)].into_iter().collect();
+    let record = run.record(&inst, Val::Value(7), faulty);
+    let verdict = check_degradable(&record);
+    assert!(verdict.is_satisfied(), "{verdict:?}");
+    assert!(run.net.dropped_link_cut > 0);
+    for (r, v) in record.fault_free_decisions() {
+        assert_eq!(v, Val::Value(7), "receiver {r}");
     }
 }

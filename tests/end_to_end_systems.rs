@@ -136,7 +136,7 @@ fn witness_clocks_keep_timing_plane_alive_while_processors_fail() {
     ]
     .into_iter()
     .collect();
-    let record = degradable::Scenario {
+    let record = degradable::AdversaryRun {
         instance: inst,
         sender_value: Val::Value(7),
         strategies,

@@ -5,7 +5,7 @@
 
 use degradable::adversary::Strategy;
 use degradable::sparse::{run_sparse, RelayCorruption};
-use degradable::{run_protocol, ByzInstance, Params, Scenario, Val};
+use degradable::{run_protocol, AdversaryRun, ByzInstance, Params, Val};
 use simnet::{NodeId, SimRng, Topology};
 use std::collections::BTreeMap;
 
@@ -44,7 +44,7 @@ fn reference_equals_protocol_across_random_scenarios() {
             for trial in 0..6usize {
                 let mut trial_rng = rng.fork((n * 100 + f * 10 + trial) as u64);
                 let (inst, strategies) = random_scenario(n, m, u, f, &mut trial_rng);
-                let reference = Scenario {
+                let reference = AdversaryRun {
                     instance: inst,
                     sender_value: Val::Value(7),
                     strategies: strategies.clone(),
@@ -69,7 +69,7 @@ fn reference_equals_sparse_on_complete_topology() {
             for trial in 0..4usize {
                 let mut trial_rng = rng.fork((n * 100 + f * 10 + trial) as u64);
                 let (inst, strategies) = random_scenario(n, m, u, f, &mut trial_rng);
-                let reference = Scenario {
+                let reference = AdversaryRun {
                     instance: inst,
                     sender_value: Val::Value(7),
                     strategies: strategies.clone(),
@@ -101,7 +101,7 @@ fn equivalence_holds_at_larger_scale() {
     let rng = SimRng::seed(0xB16);
     let mut trial_rng = rng.fork(1);
     let (inst, strategies) = random_scenario(10, 3, 3, 3, &mut trial_rng);
-    let reference = Scenario {
+    let reference = AdversaryRun {
         instance: inst,
         sender_value: Val::Value(7),
         strategies: strategies.clone(),
@@ -121,7 +121,7 @@ fn equivalence_at_maximum_tested_scale() {
     let rng = SimRng::seed(0xB17);
     let mut trial_rng = rng.fork(1);
     let (inst, strategies) = random_scenario(13, 4, 4, 4, &mut trial_rng);
-    let reference = Scenario {
+    let reference = AdversaryRun {
         instance: inst,
         sender_value: Val::Value(7),
         strategies: strategies.clone(),

@@ -3,7 +3,9 @@
 //! sure nothing silently assumes `u64`.
 
 use degradable::adversary::Strategy;
-use degradable::{check_degradable, run_protocol, AgreementValue, ByzInstance, Params, Scenario};
+use degradable::{
+    check_degradable, run_protocol, AdversaryRun, AgreementValue, ByzInstance, Params,
+};
 use simnet::NodeId;
 use std::collections::BTreeMap;
 
@@ -16,7 +18,7 @@ fn sval(s: &str) -> SVal {
 #[test]
 fn string_values_through_reference_executor() {
     let instance = ByzInstance::new(5, Params::new(1, 2).unwrap(), NodeId::new(0)).unwrap();
-    let scenario: Scenario<String> = Scenario {
+    let scenario: AdversaryRun<String> = AdversaryRun {
         instance,
         sender_value: sval("set-throttle=42"),
         strategies: [
@@ -73,7 +75,7 @@ fn custom_ordered_type() {
         magnitude: -3,
     });
     let instance = ByzInstance::new(4, Params::new(1, 1).unwrap(), NodeId::new(0)).unwrap();
-    let scenario = Scenario {
+    let scenario = AdversaryRun {
         instance,
         sender_value: cmd.clone(),
         strategies: [(

@@ -2,8 +2,8 @@
 
 use degradable::adversary::Strategy;
 use degradable::{
-    check_degradable, k_of_n, largest_fault_free_class, majority, vote, ByzInstance, Params,
-    Scenario, Val, Verdict,
+    check_degradable, k_of_n, largest_fault_free_class, majority, vote, AdversaryRun, ByzInstance,
+    Params, Val, Verdict,
 };
 use proptest::prelude::*;
 use proptest::strategy::Strategy as _;
@@ -138,7 +138,7 @@ proptest! {
             .map(|i| (NodeId::new(i), strat.clone()))
             .collect();
         let instance = ByzInstance::new(n, params, NodeId::new(0)).expect("at bound");
-        let record = Scenario {
+        let record = AdversaryRun {
             instance,
             sender_value: Val::Value(sender_value),
             strategies,
@@ -172,7 +172,7 @@ proptest! {
             })
             .collect();
         let instance = ByzInstance::new(n, params, NodeId::new(0)).expect("bound");
-        let verdict = Scenario {
+        let verdict = AdversaryRun {
             instance,
             sender_value: Val::Value(1),
             strategies,
