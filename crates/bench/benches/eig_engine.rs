@@ -1,0 +1,112 @@
+//! Criterion benches: arena-backed EIG engine vs the recursive reference
+//! evaluator (`reference_eval`) on identical inputs.
+//!
+//! Two shapes from the E14 sweep — `(n = 10, m = 2)` and `(n = 13,
+//! m = 2)`, both with `u = m` and the full `m + u` battery of faulty
+//! relayers — measured three ways: the reference oracle, the engine with
+//! a cold arena (built inside the loop), and the engine with a warm
+//! shared arena (built once, the sweep-loop configuration). The gap
+//! between reference and warm-engine is the memoization + flat-arena
+//! win; the cold-vs-warm gap isolates the one-off interning cost. See
+//! EXPERIMENTS.md (E14) for interpretation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use degradable::adversary::Strategy;
+use degradable::{reference_eval, ByzInstance, Params, Val};
+use simnet::NodeId;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The benchmark fixture: an instance plus `m + u` battery liars.
+fn fixture(n: usize, m: usize) -> (ByzInstance, BTreeMap<NodeId, Strategy<u64>>) {
+    let inst = ByzInstance::new(n, Params::new(m, m).unwrap(), NodeId::new(0)).unwrap();
+    let battery = Strategy::battery(3, 9, 0xE14);
+    let strategies: BTreeMap<NodeId, Strategy<u64>> = (1..=2 * m)
+        .map(|i| (NodeId::new(i), battery[i % battery.len()].1.clone()))
+        .collect();
+    (inst, strategies)
+}
+
+fn shapes() -> [(usize, usize); 2] {
+    [(10, 2), (13, 2)]
+}
+
+fn bench_reference(c: &mut Criterion) {
+    let mut group = c.benchmark_group("eig_fold_reference");
+    for (n, m) in shapes() {
+        let (inst, strategies) = fixture(n, m);
+        let faulty: BTreeSet<NodeId> = strategies.keys().copied().collect();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{n}_m{m}")),
+            &(inst, strategies, faulty),
+            |b, (inst, strategies, faulty)| {
+                b.iter(|| {
+                    let mut fab = |path: &degradable::Path, r: NodeId, t: &Val| {
+                        strategies.get(&path.last()).unwrap().claim(path, r, t)
+                    };
+                    reference_eval(
+                        inst.n(),
+                        inst.sender(),
+                        inst.depth(),
+                        inst.rule(),
+                        &Val::Value(1),
+                        faulty,
+                        &mut fab,
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_engine_cold(c: &mut Criterion) {
+    let mut group = c.benchmark_group("eig_fold_engine_cold_arena");
+    for (n, m) in shapes() {
+        let (inst, strategies) = fixture(n, m);
+        let faulty: BTreeSet<NodeId> = strategies.keys().copied().collect();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{n}_m{m}")),
+            &(inst, strategies, faulty),
+            |b, (inst, strategies, faulty)| {
+                b.iter(|| {
+                    let engine = inst.engine();
+                    let mut fab = |path: &degradable::Path, r: NodeId, t: &Val| {
+                        strategies.get(&path.last()).unwrap().claim(path, r, t)
+                    };
+                    inst.run_engine(&engine, &Val::Value(1), faulty, &mut fab)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_engine_warm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("eig_fold_engine_warm_arena");
+    for (n, m) in shapes() {
+        let (inst, strategies) = fixture(n, m);
+        let faulty: BTreeSet<NodeId> = strategies.keys().copied().collect();
+        let engine = inst.engine();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{n}_m{m}")),
+            &(inst, strategies, faulty),
+            |b, (inst, strategies, faulty)| {
+                b.iter(|| {
+                    let mut fab = |path: &degradable::Path, r: NodeId, t: &Val| {
+                        strategies.get(&path.last()).unwrap().claim(path, r, t)
+                    };
+                    inst.run_engine(&engine, &Val::Value(1), faulty, &mut fab)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_reference,
+    bench_engine_cold,
+    bench_engine_warm
+);
+criterion_main!(benches);

@@ -187,16 +187,46 @@ pub struct AdversaryRun<V> {
     pub strategies: BTreeMap<NodeId, Strategy<V>>,
 }
 
-impl<V: Clone + Ord + Hash> AdversaryRun<V> {
+impl<V: Clone + Ord + Hash + Send + Sync> AdversaryRun<V> {
     /// The fault set.
     pub fn faulty(&self) -> BTreeSet<NodeId> {
         self.strategies.keys().copied().collect()
     }
 
-    /// Runs the scenario through the reference executor and packages the
-    /// result for condition checking.
+    /// Runs the scenario through the arena-backed engine (decisions are
+    /// bit-identical to the reference executor, without materializing
+    /// per-receiver views) and packages the result for condition
+    /// checking.
     pub fn run(&self) -> RunRecord<V> {
-        self.run_full().0
+        self.run_on(&self.instance.engine())
+    }
+
+    /// Like [`AdversaryRun::run`] with a caller-provided engine, so
+    /// sweeps over one instance shape reuse the interned arena.
+    pub fn run_on(&self, engine: &crate::engine::EigEngine) -> RunRecord<V> {
+        let faulty = self.faulty();
+        let strategies = &self.strategies;
+        let mut fabricate = |path: &Path, receiver: NodeId, truthful: &AgreementValue<V>| {
+            let liar = path.last();
+            strategies
+                .get(&liar)
+                .expect("fabricate only called for faulty relayers")
+                .claim(path, receiver, truthful)
+        };
+        let run = engine.run(
+            self.instance.rule(),
+            &self.sender_value,
+            &faulty,
+            &mut fabricate,
+        );
+        RunRecord {
+            params: self.instance.params(),
+            n: self.instance.n(),
+            sender: self.instance.sender(),
+            sender_value: self.sender_value.clone(),
+            faulty,
+            decisions: run.decisions,
+        }
     }
 
     /// Like [`AdversaryRun::run`] but also returns every receiver's full view
@@ -249,8 +279,11 @@ pub struct ViolationWitness {
 }
 
 /// All (path, receiver) choice points available to an adversary controlling
-/// `faulty` in the given instance.
-fn choice_points(instance: &ByzInstance, faulty: &BTreeSet<NodeId>) -> Vec<(Path, NodeId)> {
+/// `faulty` in the given instance — every `(σ, r)` pair where the last
+/// node of σ is faulty and `r` is an off-path receiver. Public so
+/// differential suites (`tests/engine_equivalence.rs`) can enumerate the
+/// exact adversary space `certify` explores.
+pub fn choice_points(instance: &ByzInstance, faulty: &BTreeSet<NodeId>) -> Vec<(Path, NodeId)> {
     let n = instance.n();
     let mut points = Vec::new();
     for level in 1..=instance.depth() {
@@ -365,14 +398,15 @@ impl ExhaustiveSearch {
                 budget: self.max_combinations,
             });
         }
+        let engine = self.instance.engine();
         if d == 0 || points.is_empty() {
             // No adversary freedom: single honest-shaped run.
-            let verdict = self.run_assignment(&points, &[])?;
+            let verdict = self.run_assignment(&engine, &points, &[])?;
             return Ok(verdict);
         }
         let mut odometer = vec![0usize; points.len()];
         loop {
-            if let Some(w) = self.run_assignment(&points, &odometer)? {
+            if let Some(w) = self.run_assignment(&engine, &points, &odometer)? {
                 return Ok(Some(w));
             }
             // increment odometer
@@ -393,6 +427,7 @@ impl ExhaustiveSearch {
 
     fn run_assignment(
         &self,
+        engine: &crate::engine::EigEngine,
         points: &[(Path, NodeId)],
         odometer: &[usize],
     ) -> Result<Option<ViolationWitness>, SearchError> {
@@ -412,9 +447,14 @@ impl ExhaustiveSearch {
                 .copied()
                 .unwrap_or(AgreementValue::Default)
         };
-        let decisions =
-            self.instance
-                .run_reference(&self.sender_value, &self.faulty, &mut fabricate);
+        let decisions = engine
+            .run(
+                self.instance.rule(),
+                &self.sender_value,
+                &self.faulty,
+                &mut fabricate,
+            )
+            .decisions;
         let record = RunRecord {
             params: self.instance.params(),
             n: self.instance.n(),
@@ -476,6 +516,7 @@ impl RandomizedSearch {
     /// found, if any, and the number of trials executed.
     pub fn find_violation(&self, f: usize) -> (Option<ViolationWitness>, usize) {
         let n = self.instance.n();
+        let engine = self.instance.engine();
         let rng = SimRng::seed(self.seed);
         for trial in 0..self.trials {
             let mut trial_rng = rng.fork(trial as u64);
@@ -501,9 +542,14 @@ impl RandomizedSearch {
                     .copied()
                     .unwrap_or(AgreementValue::Default)
             };
-            let decisions =
-                self.instance
-                    .run_reference(&self.sender_value, &faulty, &mut fabricate);
+            let decisions = engine
+                .run(
+                    self.instance.rule(),
+                    &self.sender_value,
+                    &faulty,
+                    &mut fabricate,
+                )
+                .decisions;
             let record = RunRecord {
                 params: self.instance.params(),
                 n,
@@ -606,19 +652,23 @@ impl HillClimbSearch {
 
     fn evaluate(
         &self,
-        points: &[(Path, NodeId)],
+        engine: &crate::engine::EigEngine,
         table: &BTreeMap<(Path, NodeId), Val>,
     ) -> (u64, RunRecord<u64>) {
-        let _ = points;
         let mut fabricate = |path: &Path, r: NodeId, _t: &Val| {
             table
                 .get(&(path.clone(), r))
                 .copied()
                 .unwrap_or(AgreementValue::Default)
         };
-        let decisions =
-            self.instance
-                .run_reference(&self.sender_value, &self.faulty, &mut fabricate);
+        let decisions = engine
+            .run(
+                self.instance.rule(),
+                &self.sender_value,
+                &self.faulty,
+                &mut fabricate,
+            )
+            .decisions;
         let record = RunRecord {
             params: self.instance.params(),
             n: self.instance.n(),
@@ -636,6 +686,7 @@ impl HillClimbSearch {
         if points.is_empty() || self.domain.is_empty() {
             return None;
         }
+        let engine = self.instance.engine();
         let rng = SimRng::seed(self.seed);
         for restart in 0..self.restarts {
             let mut restart_rng = rng.fork(restart as u64);
@@ -648,7 +699,7 @@ impl HillClimbSearch {
                     )
                 })
                 .collect();
-            let (mut best, record) = self.evaluate(&points, &table);
+            let (mut best, record) = self.evaluate(&engine, &table);
             if best == u64::MAX {
                 let violation = match check_degradable(&record) {
                     Verdict::Violated(v) => v,
@@ -670,7 +721,7 @@ impl HillClimbSearch {
                             continue;
                         }
                         table.insert(point.clone(), candidate);
-                        let (score, record) = self.evaluate(&points, &table);
+                        let (score, record) = self.evaluate(&engine, &table);
                         if score == u64::MAX {
                             let violation = match check_degradable(&record) {
                                 Verdict::Violated(v) => v,

@@ -180,6 +180,31 @@ impl ByzInstance {
             fabricate,
         )
     }
+
+    /// Builds the arena-backed engine for this instance shape
+    /// ([`crate::engine::EigEngine`]). The arena depends only on
+    /// `(n, sender, depth)`, so one engine serves every adversary,
+    /// fault set and sender value of the instance — build it once per
+    /// sweep and pass it to [`ByzInstance::run_engine`].
+    pub fn engine(&self) -> crate::engine::EigEngine {
+        crate::engine::EigEngine::new(self.n, self.sender, self.depth())
+    }
+
+    /// Runs BYZ via the arena-backed engine: decisions bit-identical to
+    /// [`ByzInstance::run_reference`], evaluated iteratively with
+    /// shared-prefix memoization (see [`crate::engine`]).
+    pub fn run_engine<V: Clone + Ord + Send + Sync>(
+        &self,
+        engine: &crate::engine::EigEngine,
+        sender_value: &AgreementValue<V>,
+        faulty: &BTreeSet<NodeId>,
+        fabricate: Fabricate<'_, V>,
+    ) -> crate::engine::EngineRun<V> {
+        debug_assert_eq!(engine.arena().n(), self.n);
+        debug_assert_eq!(engine.arena().sender(), self.sender);
+        debug_assert_eq!(engine.arena().depth(), self.depth());
+        engine.run(self.rule(), sender_value, faulty, fabricate)
+    }
 }
 
 impl fmt::Display for ByzInstance {

@@ -261,6 +261,16 @@ pub fn run_eig<V: Clone + Ord>(
 }
 
 /// Like [`run_eig`] but also returns every receiver's full view.
+///
+/// Re-exported at the crate root as `reference_eval`: this recursive
+/// per-receiver evaluator is preserved verbatim as the differential
+/// oracle for the arena-backed engine ([`crate::engine`]) — the
+/// `tests/engine_equivalence.rs` suite and the E14 `perf_baseline`
+/// campaign assert the engine's decisions are bit-identical to this
+/// function's on every input they explore. Production callers (the
+/// adversary searches, the protocol and sparse executors) route through
+/// the engine; prefer this function only when the per-receiver
+/// [`EigView`]s themselves are needed.
 pub fn run_eig_full<V: Clone + Ord>(
     n: usize,
     sender: NodeId,

@@ -1,0 +1,869 @@
+//! Arena-backed EIG engine: shared, iterative evaluation of BYZ(m, u)
+//! receive trees.
+//!
+//! The reference evaluator ([`crate::reference_eval`], i.e.
+//! [`crate::eig::run_eig_full`]) folds one [`crate::EigView`] per
+//! receiver: every view re-derives the overlapping subtree votes of the
+//! shared EIG unfolding, paying `O(n)` `BTreeMap` lookups and a `Path`
+//! allocation per visited label. This module replaces that per-receiver
+//! recursion with a single flat arena shared by *all* receivers:
+//!
+//! * [`PathArena`] interns every relay label σ (a repetition-free path
+//!   rooted at the sender) exactly once into a breadth-first `Vec`,
+//!   indexed by compact `u32` [`PathId`]s. Children of a node are
+//!   contiguous, so interning a path is a walk of popcount ranks and
+//!   resolving an id back to its [`Path`] is a parent-chain walk.
+//! * [`EigStore`] is the dense slot table `store[σ][receiver]` filled
+//!   breadth-first from relay envelopes (first write wins, duplicates
+//!   fold idempotently — exactly the [`crate::EigView::record`]
+//!   semantics).
+//! * [`EigEngine::resolve`] runs one bottom-up pass computing a
+//!   `Summary` per arena node covering **all receivers at once**.
+//!   Subtrees that look identical to every receiver collapse to a
+//!   single memoized `VOTE(n-ℓ-m, n-ℓ)` application instead of one per
+//!   receiver; the fan-out within a level is parallelized with
+//!   `std::thread::scope` behind a `workers` knob mirroring the harness
+//!   `SweepRunner`.
+//!
+//! # Memoization soundness
+//!
+//! At a label σ of length ℓ the reference evaluator hands receiver `r`
+//! the multiset `{store[σ][r]} ∪ {resolve(σ·j, r) : j ∉ σ, j ≠ r}`.
+//! The multisets of two receivers differ in two ways only: the *own*
+//! slot `store[σ][r]`, and the one child `σ·r` that `r` itself relayed
+//! (excluded from its own gather). Therefore, if every off-path slot of
+//! σ holds the same effective value `a` (absent slots read as `V_d`)
+//! and every child subtree resolved to the same value `v` **for every
+//! receiver**, then every receiver's multiset is `{a} ∪ {v × (n-ℓ-1)}`
+//! — identical — and one `VOTE` stands in for all `n-ℓ` of them. The
+//! collapse is re-checked per node from the actual stored values, which
+//! is why memoization can never leak across fault-set or
+//! adversary-table boundaries: a different fault set or lie table
+//! changes the stored values, the uniformity test fails, and the engine
+//! falls back to exact per-receiver votes (see DESIGN.md §5c).
+//!
+//! Decisions are **bit-identical** to the reference evaluator by
+//! construction: the slow path gathers exactly the reference multiset
+//! and calls the same [`VoteRule::combine`], and the fast path calls it
+//! once on the shared multiset. `tests/engine_equivalence.rs` checks
+//! this differentially over the full E10 certification space.
+
+use crate::eig::{Fabricate, VoteRule};
+use crate::path::{path_count, Path};
+use crate::value::AgreementValue;
+use simnet::{EigPerf, NodeId};
+use std::collections::{BTreeMap, BTreeSet};
+use std::ops::Range;
+use std::time::Instant;
+
+/// Compact index of an interned relay label in a [`PathArena`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PathId(u32);
+
+impl PathId {
+    /// The root label (the bare sender path).
+    pub const ROOT: PathId = PathId(0);
+
+    /// Dense index into the arena's node vector.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One interned EIG node. Children are contiguous, ordered by ascending
+/// relayer id — the same lexicographic breadth-first order as
+/// [`crate::paths_of_length`].
+#[derive(Debug, Clone, Copy)]
+struct ArenaNode {
+    /// Last node on the path (the relayer that appended this label).
+    last: NodeId,
+    /// Parent arena index; `u32::MAX` for the root.
+    parent: u32,
+    /// First child arena index (children are contiguous; 0 when none).
+    first_child: u32,
+    /// Number of children (0 at the deepest level).
+    child_count: u32,
+    /// Bitmask of the nodes on the path (`n <= 64` is asserted).
+    members: u64,
+    /// Path length (1 for the root).
+    len: u8,
+}
+
+/// Flat breadth-first arena of every repetition-free relay label of
+/// length `1..=depth` rooted at `sender`, interned once per instance
+/// shape and shared by every receiver (and every run of that shape).
+#[derive(Debug, Clone)]
+pub struct PathArena {
+    n: usize,
+    sender: NodeId,
+    depth: usize,
+    mask: u64,
+    nodes: Vec<ArenaNode>,
+    /// `levels[l]` is the id range of nodes with path length `l + 1`.
+    levels: Vec<Range<u32>>,
+}
+
+impl PathArena {
+    /// Builds the arena for an `n`-node system, the given sender and
+    /// tree depth (`depth = m + 1` rounds for BYZ). A `depth` beyond
+    /// `n` is harmless: repetition-free paths cannot be longer than
+    /// `n`, so deeper levels are simply empty (`path_count` is zero
+    /// there too).
+    ///
+    /// # Panics
+    ///
+    /// If `n` is not in `1..=64`, `sender` is out of range, or `depth`
+    /// is zero.
+    pub fn new(n: usize, sender: NodeId, depth: usize) -> Self {
+        assert!((1..=64).contains(&n), "arena supports 1 <= n <= 64");
+        assert!(sender.index() < n, "sender out of range");
+        assert!(depth >= 1, "at least the sender round is required");
+        let expected: u128 = (1..=depth).map(|l| path_count(n, l)).sum();
+        assert!(expected < u32::MAX as u128, "arena would overflow u32 ids");
+
+        let mask = u64::MAX >> (64 - n);
+        let mut nodes = vec![ArenaNode {
+            last: sender,
+            parent: u32::MAX,
+            first_child: 0,
+            child_count: 0,
+            members: 1u64 << sender.index(),
+            len: 1,
+        }];
+        let mut levels = Vec::new();
+        levels.push(0u32..1u32);
+        for len in 2..=depth.min(n) {
+            let prev = levels[len - 2].clone();
+            let start = nodes.len() as u32;
+            for pid in prev {
+                let parent = nodes[pid as usize];
+                let first_child = nodes.len() as u32;
+                for j in 0..n {
+                    if parent.members >> j & 1 == 1 {
+                        continue;
+                    }
+                    nodes.push(ArenaNode {
+                        last: NodeId::new(j),
+                        parent: pid,
+                        first_child: 0,
+                        child_count: 0,
+                        members: parent.members | 1u64 << j,
+                        len: len as u8,
+                    });
+                }
+                nodes[pid as usize].first_child = first_child;
+                nodes[pid as usize].child_count = nodes.len() as u32 - first_child;
+            }
+            levels.push(start..nodes.len() as u32);
+        }
+        debug_assert_eq!(nodes.len() as u128, expected);
+        PathArena {
+            n,
+            sender,
+            depth,
+            mask,
+            nodes,
+            levels,
+        }
+    }
+
+    /// System size.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The sender every interned label is rooted at.
+    pub fn sender(&self) -> NodeId {
+        self.sender
+    }
+
+    /// Maximum interned path length.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Total interned labels — matches Σ_{l=1}^{depth} `path_count(n, l)`.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Interns `path`, returning its id, or `None` if the path is not a
+    /// valid relay label of this arena (wrong sender, out-of-range or
+    /// repeated node, or longer than `depth`).
+    pub fn intern(&self, path: &Path) -> Option<PathId> {
+        let slice = path.as_slice();
+        let (&first, rest) = slice.split_first()?;
+        if first != self.sender {
+            return None;
+        }
+        let mut id = 0u32;
+        for &nid in rest {
+            let node = &self.nodes[id as usize];
+            if node.child_count == 0 {
+                return None;
+            }
+            let j = nid.index();
+            if j >= self.n {
+                return None;
+            }
+            let avail = !node.members & self.mask;
+            if avail >> j & 1 == 0 {
+                return None;
+            }
+            let rank = (avail & ((1u64 << j) - 1)).count_ones();
+            id = node.first_child + rank;
+        }
+        Some(PathId(id))
+    }
+
+    /// Reconstructs the [`Path`] an id was interned from (the inverse
+    /// of [`PathArena::intern`] — a parent-chain walk).
+    pub fn resolve_path(&self, id: PathId) -> Path {
+        let mut rev = Vec::new();
+        let mut cur = id.0;
+        while cur != u32::MAX {
+            let node = &self.nodes[cur as usize];
+            rev.push(node.last);
+            cur = node.parent;
+        }
+        let mut it = rev.into_iter().rev();
+        let first = it.next().expect("arena nodes are non-empty paths");
+        debug_assert_eq!(first, self.sender);
+        let mut path = Path::root(self.sender);
+        for nid in it {
+            path = path.child(nid);
+        }
+        path
+    }
+
+    /// Whether `node` lies on the path `id` was interned from.
+    pub fn on_path(&self, id: PathId, node: NodeId) -> bool {
+        node.index() < 64 && self.nodes[id.index()].members >> node.index() & 1 == 1
+    }
+
+    /// All interned ids, in breadth-first (level, then lexicographic)
+    /// order.
+    pub fn ids(&self) -> impl Iterator<Item = PathId> + '_ {
+        (0..self.nodes.len() as u32).map(PathId)
+    }
+}
+
+/// Dense slot table `store[σ][receiver]` over a [`PathArena`].
+///
+/// `None` denotes an absent message and reads as `V_d` at resolution
+/// time, mirroring [`crate::EigView::seen`]. The first write to a slot
+/// wins; duplicates fold idempotently and are not counted as
+/// materialized.
+#[derive(Debug, Clone)]
+pub struct EigStore<V> {
+    n: usize,
+    slots: Vec<Option<AgreementValue<V>>>,
+    materialized: u64,
+}
+
+impl<V> EigStore<V> {
+    /// An empty store shaped for `arena`.
+    pub fn new(arena: &PathArena) -> Self {
+        let mut slots = Vec::new();
+        slots.resize_with(arena.node_count() * arena.n(), || None);
+        EigStore {
+            n: arena.n(),
+            slots,
+            materialized: 0,
+        }
+    }
+
+    /// Records the value `receiver` holds for the label `id`. Returns
+    /// `true` iff this was the first write to the slot (the caller
+    /// should relay exactly then, mirroring [`crate::EigView::record`]).
+    ///
+    /// # Panics
+    ///
+    /// If `receiver` lies on the label's path — a node never attributes
+    /// a value to a path it relayed itself.
+    pub fn record(
+        &mut self,
+        arena: &PathArena,
+        id: PathId,
+        receiver: NodeId,
+        value: AgreementValue<V>,
+    ) -> bool {
+        assert!(
+            !arena.on_path(id, receiver),
+            "receiver must not lie on the recorded path"
+        );
+        let slot = &mut self.slots[id.index() * self.n + receiver.index()];
+        if slot.is_none() {
+            *slot = Some(value);
+            self.materialized += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The value `receiver` holds for `id`, if any was recorded.
+    pub fn get(&self, id: PathId, receiver: NodeId) -> Option<&AgreementValue<V>> {
+        self.slots[id.index() * self.n + receiver.index()].as_ref()
+    }
+
+    /// Slots materialized so far (first writes only).
+    pub fn materialized(&self) -> u64 {
+        self.materialized
+    }
+}
+
+/// Per-node resolution result covering all receivers at once.
+///
+/// `Uniform(v)` means *every* off-path receiver resolves this subtree
+/// to `v` — the memoized case. `PerReceiver` keeps one resolution per
+/// receiver (slots of on-path nodes hold `V_d` placeholders and are
+/// never read).
+#[derive(Debug, Clone)]
+enum Summary<V> {
+    Uniform(AgreementValue<V>),
+    PerReceiver(Box<[AgreementValue<V>]>),
+}
+
+impl<V> Summary<V> {
+    fn value_for(&self, receiver: usize) -> &AgreementValue<V> {
+        match self {
+            Summary::Uniform(v) => v,
+            Summary::PerReceiver(vals) => &vals[receiver],
+        }
+    }
+}
+
+/// Decisions plus perf counters of one engine evaluation.
+#[derive(Debug, Clone)]
+pub struct EngineRun<V> {
+    /// Per-receiver decisions (every node except the sender), exactly
+    /// the map the reference evaluator produces.
+    pub decisions: BTreeMap<NodeId, AgreementValue<V>>,
+    /// Work counters and phase wall times (see [`EigPerf`]).
+    pub perf: EigPerf,
+}
+
+/// The arena-backed EIG engine: an interned [`PathArena`] plus a
+/// `workers` knob for the resolution fan-out.
+///
+/// Build once per instance shape and reuse across runs — the arena
+/// depends only on `(n, sender, depth)`, never on values, fault sets or
+/// adversary tables.
+///
+/// ```
+/// use degradable::engine::EigEngine;
+/// use degradable::{reference_eval, Val, VoteRule};
+/// use simnet::NodeId;
+/// use std::collections::BTreeSet;
+///
+/// let (n, sender, depth) = (4, NodeId::new(0), 2);
+/// let faulty: BTreeSet<NodeId> = [NodeId::new(3)].into();
+/// let rule = VoteRule::Degradable { m: 1 };
+/// let mut lie = |_: &degradable::Path, r: NodeId, _: &Val| Val::Value(r.index() as u64);
+/// let engine = EigEngine::new(n, sender, depth);
+/// let run = engine.run(rule, &Val::Value(7), &faulty, &mut lie);
+/// let mut lie = |_: &degradable::Path, r: NodeId, _: &Val| Val::Value(r.index() as u64);
+/// let reference = reference_eval(n, sender, depth, rule, &Val::Value(7), &faulty, &mut lie);
+/// assert_eq!(run.decisions, reference.decisions);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EigEngine {
+    arena: PathArena,
+    workers: usize,
+}
+
+impl EigEngine {
+    /// Single-threaded engine for an `n`-node system with the given
+    /// sender and tree depth.
+    pub fn new(n: usize, sender: NodeId, depth: usize) -> Self {
+        EigEngine {
+            arena: PathArena::new(n, sender, depth),
+            workers: 1,
+        }
+    }
+
+    /// Sets the resolution worker count (0 is clamped to 1). Results
+    /// and deterministic counters are independent of this knob; only
+    /// wall time changes.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// The configured worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The shared arena.
+    pub fn arena(&self) -> &PathArena {
+        &self.arena
+    }
+
+    /// Breadth-first fill from a fabricate closure — the synchronous
+    /// omniscient execution of [`crate::eig::run_eig_full`], writing
+    /// into `store` instead of a `BTreeMap` keyed by [`Path`].
+    /// `fabricate` is invoked in the same (label, receiver) order as
+    /// the reference executor.
+    pub fn fill<V: Clone + Ord>(
+        &self,
+        store: &mut EigStore<V>,
+        sender_value: &AgreementValue<V>,
+        faulty: &BTreeSet<NodeId>,
+        fabricate: Fabricate<'_, V>,
+    ) {
+        let arena = &self.arena;
+        let n = arena.n;
+
+        // Level 1: the sender distributes its value.
+        let root_path = Path::root(arena.sender);
+        let sender_faulty = faulty.contains(&arena.sender);
+        for r in NodeId::all(n) {
+            if r == arena.sender {
+                continue;
+            }
+            let v = if sender_faulty {
+                fabricate(&root_path, r, sender_value)
+            } else {
+                sender_value.clone()
+            };
+            store.record(arena, PathId::ROOT, r, v);
+        }
+
+        // Levels 2..=depth: receivers relay what they received one
+        // level up.
+        for level in 1..arena.levels.len() {
+            for id in arena.levels[level].clone() {
+                let node = arena.nodes[id as usize];
+                let relayer = node.last;
+                let truthful = store
+                    .get(PathId(node.parent), relayer)
+                    .cloned()
+                    .expect("relayer must have received the parent value");
+                let lie_path = if faulty.contains(&relayer) {
+                    Some(arena.resolve_path(PathId(id)))
+                } else {
+                    None
+                };
+                for r in NodeId::all(n) {
+                    if node.members >> r.index() & 1 == 1 {
+                        continue;
+                    }
+                    let v = match &lie_path {
+                        Some(path) => fabricate(path, r, &truthful),
+                        None => truthful.clone(),
+                    };
+                    store.record(arena, PathId(id), r, v);
+                }
+            }
+        }
+    }
+
+    /// Fills a fresh store via [`EigEngine::fill`] and resolves it —
+    /// the engine counterpart of [`crate::reference_eval`].
+    pub fn run<V: Clone + Ord + Send + Sync>(
+        &self,
+        rule: VoteRule,
+        sender_value: &AgreementValue<V>,
+        faulty: &BTreeSet<NodeId>,
+        fabricate: Fabricate<'_, V>,
+    ) -> EngineRun<V> {
+        let fill_start = Instant::now();
+        let mut store = EigStore::new(&self.arena);
+        self.fill(&mut store, sender_value, faulty, fabricate);
+        let fill_nanos = fill_start.elapsed().as_nanos() as u64;
+        let mut run = self.resolve(rule, &store);
+        run.perf.fill_nanos = fill_nanos;
+        run
+    }
+
+    /// Bottom-up resolution of a filled store: one `Summary` per
+    /// arena node, deepest level first, with the fan-out within each
+    /// level split across `workers` scoped threads. Decisions and the
+    /// deterministic counters are identical for every worker count.
+    pub fn resolve<V: Clone + Ord + Send + Sync>(
+        &self,
+        rule: VoteRule,
+        store: &EigStore<V>,
+    ) -> EngineRun<V> {
+        let resolve_start = Instant::now();
+        let arena = &self.arena;
+        let mut summaries: Vec<Option<Summary<V>>> = Vec::new();
+        summaries.resize_with(arena.node_count(), || None);
+        let mut votes_evaluated = 0u64;
+        let mut votes_memo_hit = 0u64;
+
+        for level in (0..arena.levels.len()).rev() {
+            let range = arena.levels[level].clone();
+            let (head, deeper) = summaries.split_at_mut(range.end as usize);
+            let level_slice = &mut head[range.start as usize..];
+            let deeper_offset = range.end;
+            let count = (range.end - range.start) as usize;
+            let chunk_len = count.div_ceil(self.workers).max(1);
+            if self.workers <= 1 || count <= chunk_len {
+                let (e, h) = resolve_chunk(
+                    arena,
+                    store,
+                    rule,
+                    range.start,
+                    level_slice,
+                    &*deeper,
+                    deeper_offset,
+                );
+                votes_evaluated += e;
+                votes_memo_hit += h;
+            } else {
+                let deeper_ref: &[Option<Summary<V>>] = deeper;
+                let counters = std::thread::scope(|scope| {
+                    let mut handles = Vec::new();
+                    for (i, chunk) in level_slice.chunks_mut(chunk_len).enumerate() {
+                        let first_id = range.start + (i * chunk_len) as u32;
+                        handles.push(scope.spawn(move || {
+                            resolve_chunk(
+                                arena,
+                                store,
+                                rule,
+                                first_id,
+                                chunk,
+                                deeper_ref,
+                                deeper_offset,
+                            )
+                        }));
+                    }
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("resolver thread panicked"))
+                        .collect::<Vec<_>>()
+                });
+                for (e, h) in counters {
+                    votes_evaluated += e;
+                    votes_memo_hit += h;
+                }
+            }
+        }
+
+        let root = summaries[0]
+            .as_ref()
+            .expect("root summary resolved by the last pass");
+        let mut decisions = BTreeMap::new();
+        for r in NodeId::all(arena.n) {
+            if r == arena.sender {
+                continue;
+            }
+            decisions.insert(r, root.value_for(r.index()).clone());
+        }
+
+        EngineRun {
+            decisions,
+            perf: EigPerf {
+                arena_nodes: arena.node_count() as u64,
+                votes_evaluated,
+                votes_memo_hit,
+                messages_materialized: store.materialized(),
+                fill_nanos: 0,
+                resolve_nanos: resolve_start.elapsed().as_nanos() as u64,
+            },
+        }
+    }
+}
+
+/// Resolves the contiguous id range starting at `first_id` into `out`,
+/// reading already-resolved deeper summaries from `deeper` (which
+/// starts at global id `deeper_offset`). Returns `(votes_evaluated,
+/// votes_memo_hit)` for the chunk.
+#[allow(clippy::too_many_arguments)]
+fn resolve_chunk<V: Clone + Ord>(
+    arena: &PathArena,
+    store: &EigStore<V>,
+    rule: VoteRule,
+    first_id: u32,
+    out: &mut [Option<Summary<V>>],
+    deeper: &[Option<Summary<V>>],
+    deeper_offset: u32,
+) -> (u64, u64) {
+    let n = arena.n;
+    let mut votes_evaluated = 0u64;
+    let mut votes_memo_hit = 0u64;
+    let mut scratch: Vec<AgreementValue<V>> = Vec::with_capacity(n);
+
+    for (slot, id) in out.iter_mut().zip(first_id..) {
+        let node = &arena.nodes[id as usize];
+        let len = node.len as usize;
+        let id = PathId(id);
+
+        // Effective own values (absent reads as V_d), plus uniformity.
+        let mut own: Vec<AgreementValue<V>> = Vec::new();
+        own.resize_with(n, AgreementValue::default);
+        let mut first_receiver: Option<usize> = None;
+        let mut uniform = true;
+        for r in 0..n {
+            if node.members >> r & 1 == 1 {
+                continue;
+            }
+            if let Some(v) = store.get(id, NodeId::new(r)) {
+                own[r] = v.clone();
+            }
+            match first_receiver {
+                None => first_receiver = Some(r),
+                Some(f) => uniform = uniform && own[f] == own[r],
+            }
+        }
+
+        if node.child_count == 0 {
+            // Leaf: the resolution *is* the stored value; no vote. A
+            // leaf whose path covers all n nodes has no receivers at
+            // all (depth >= n); nothing ever reads its summary, so any
+            // uniform value serves.
+            debug_assert_eq!(len, arena.levels.len());
+            *slot = Some(match first_receiver {
+                Some(r) if uniform => Summary::Uniform(own[r].clone()),
+                Some(_) => Summary::PerReceiver(own.into_boxed_slice()),
+                None => Summary::Uniform(AgreementValue::default()),
+            });
+            continue;
+        }
+
+        let children = node.first_child..node.first_child + node.child_count;
+        let receivers = n - len;
+
+        // Fast path: own slots uniform and every child subtree uniform
+        // with one shared value. Each receiver's gather is then the
+        // same multiset {own} ∪ {v × (receivers-1)} — one VOTE serves
+        // all of them (see module docs for the exclusion argument).
+        let child_uniform = if uniform {
+            let mut shared: Option<&AgreementValue<V>> = None;
+            let mut all = true;
+            for c in children.clone() {
+                match &deeper[(c - deeper_offset) as usize] {
+                    Some(Summary::Uniform(v)) => match shared {
+                        None => shared = Some(v),
+                        Some(s) => all = all && s == v,
+                    },
+                    _ => {
+                        all = false;
+                        break;
+                    }
+                }
+            }
+            if all {
+                shared.cloned()
+            } else {
+                None
+            }
+        } else {
+            None
+        };
+
+        if let Some(v) = child_uniform {
+            let a = own[first_receiver.expect("internal nodes have receivers")].clone();
+            scratch.clear();
+            scratch.push(a);
+            scratch.resize(receivers, v);
+            let combined = rule.combine(n, len, &scratch);
+            votes_evaluated += 1;
+            votes_memo_hit += receivers as u64 - 1;
+            *slot = Some(Summary::Uniform(combined));
+            continue;
+        }
+
+        // Slow path: exact per-receiver votes — the reference gather.
+        let mut per: Vec<AgreementValue<V>> = Vec::new();
+        per.resize_with(n, AgreementValue::default);
+        let mut first: Option<usize> = None;
+        let mut collapsed = true;
+        for r in 0..n {
+            if node.members >> r & 1 == 1 {
+                continue;
+            }
+            scratch.clear();
+            scratch.push(own[r].clone());
+            for c in children.clone() {
+                if arena.nodes[c as usize].last.index() == r {
+                    continue;
+                }
+                let child = deeper[(c - deeper_offset) as usize]
+                    .as_ref()
+                    .expect("deeper levels resolved first");
+                scratch.push(child.value_for(r).clone());
+            }
+            debug_assert_eq!(scratch.len(), receivers);
+            per[r] = rule.combine(n, len, &scratch);
+            votes_evaluated += 1;
+            match first {
+                None => first = Some(r),
+                Some(f) => collapsed = collapsed && per[f] == per[r],
+            }
+        }
+        // Opportunistic collapse: if every receiver resolved to the
+        // same value anyway, store it uniformly so ancestors can take
+        // the fast path (the votes were still individually evaluated,
+        // so no memo hit is counted here).
+        *slot = Some(if collapsed {
+            Summary::Uniform(per[first.expect("internal nodes have receivers")].clone())
+        } else {
+            Summary::PerReceiver(per.into_boxed_slice())
+        });
+    }
+
+    (votes_evaluated, votes_memo_hit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::Strategy;
+    use crate::eig::run_eig_full;
+    use crate::paths_of_length;
+    use crate::value::Val;
+    use simnet::SimRng;
+
+    fn arena_4_2() -> PathArena {
+        PathArena::new(4, NodeId::new(0), 2)
+    }
+
+    #[test]
+    fn arena_counts_match_closed_form() {
+        for (n, depth) in [(4usize, 2usize), (5, 3), (7, 3), (10, 3), (13, 3)] {
+            let arena = PathArena::new(n, NodeId::new(0), depth);
+            let expected: u128 = (1..=depth).map(|l| path_count(n, l)).sum();
+            assert_eq!(arena.node_count() as u128, expected);
+        }
+    }
+
+    #[test]
+    fn intern_accepts_exactly_the_enumerated_paths() {
+        let arena = PathArena::new(5, NodeId::new(1), 3);
+        let mut seen = std::collections::BTreeSet::new();
+        for len in 1..=3 {
+            for path in paths_of_length(NodeId::new(1), 5, len) {
+                let id = arena.intern(&path).expect("valid label interns");
+                assert!(seen.insert(id), "ids are unique");
+                assert_eq!(arena.resolve_path(id), path, "round trip");
+            }
+        }
+        assert_eq!(seen.len(), arena.node_count());
+    }
+
+    #[test]
+    fn intern_rejects_foreign_paths() {
+        let arena = arena_4_2();
+        // Wrong sender.
+        assert_eq!(arena.intern(&Path::root(NodeId::new(1))), None);
+        // Too deep.
+        let deep = Path::root(NodeId::new(0))
+            .child(NodeId::new(1))
+            .child(NodeId::new(2));
+        assert_eq!(arena.intern(&deep), None);
+        // Out-of-range node.
+        let foreign = Path::root(NodeId::new(0)).child(NodeId::new(9));
+        assert_eq!(arena.intern(&foreign), None);
+    }
+
+    #[test]
+    fn store_is_first_write_wins() {
+        let arena = arena_4_2();
+        let mut store: EigStore<u64> = EigStore::new(&arena);
+        let r = NodeId::new(2);
+        assert!(store.record(&arena, PathId::ROOT, r, Val::Value(7)));
+        assert!(!store.record(&arena, PathId::ROOT, r, Val::Value(9)));
+        assert_eq!(store.get(PathId::ROOT, r), Some(&Val::Value(7)));
+        assert_eq!(store.materialized(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "receiver must not lie on the recorded path")]
+    fn store_rejects_on_path_receiver() {
+        let arena = arena_4_2();
+        let mut store: EigStore<u64> = EigStore::new(&arena);
+        store.record(&arena, PathId::ROOT, NodeId::new(0), Val::Value(7));
+    }
+
+    /// Differential micro-check: engine vs reference on a randomized
+    /// adversary, all worker counts, plus the vote-count invariant
+    /// evaluated + memo_hit == Σ_{l=1}^{depth-1} path_count(n, l)·(n-l).
+    #[test]
+    fn engine_matches_reference_and_counts_votes() {
+        let mut rng = SimRng::seed(0xE16E);
+        for &(n, depth, m) in &[(4usize, 2usize, 1usize), (5, 2, 1), (7, 3, 2)] {
+            let sender = NodeId::new(rng.below(n as u64) as usize);
+            let rule = VoteRule::Degradable { m };
+            for trial in 0..8 {
+                let f = (trial % (m + 2)).min(n - 1);
+                let faulty: BTreeSet<NodeId> = rng
+                    .choose_indices(n, f)
+                    .into_iter()
+                    .map(NodeId::new)
+                    .collect();
+                let battery = Strategy::battery(1, 2, rng.below(u64::MAX));
+                let strategies: BTreeMap<NodeId, Strategy<u64>> = faulty
+                    .iter()
+                    .map(|&f| {
+                        let (_, s) = battery[rng.below(battery.len() as u64) as usize].clone();
+                        (f, s)
+                    })
+                    .collect();
+                let mut fab = |path: &Path, r: NodeId, truthful: &Val| {
+                    strategies
+                        .get(&path.last())
+                        .map(|s| s.claim(path, r, truthful))
+                        .unwrap_or(*truthful)
+                };
+                let reference =
+                    run_eig_full(n, sender, depth, rule, &Val::Value(7), &faulty, &mut fab);
+                for workers in [1usize, 2, 8] {
+                    let engine = EigEngine::new(n, sender, depth).with_workers(workers);
+                    let mut fab = |path: &Path, r: NodeId, truthful: &Val| {
+                        strategies
+                            .get(&path.last())
+                            .map(|s| s.claim(path, r, truthful))
+                            .unwrap_or(*truthful)
+                    };
+                    let run = engine.run(rule, &Val::Value(7), &faulty, &mut fab);
+                    assert_eq!(run.decisions, reference.decisions, "n={n} depth={depth}");
+                    let total_votes: u128 =
+                        (1..depth).map(|l| path_count(n, l) * (n - l) as u128).sum();
+                    assert_eq!(
+                        (run.perf.votes_evaluated + run.perf.votes_memo_hit) as u128,
+                        total_votes,
+                        "vote accounting at n={n} depth={depth}"
+                    );
+                    let slots: u128 = (1..=depth)
+                        .map(|l| path_count(n, l) * (n - l) as u128)
+                        .sum();
+                    assert_eq!(run.perf.messages_materialized as u128, slots);
+                    assert_eq!(run.perf.arena_nodes, engine.arena().node_count() as u64);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fault_free_run_memoizes_everything() {
+        let engine = EigEngine::new(7, NodeId::new(0), 3);
+        let mut fab = |_: &Path, _: NodeId, v: &Val| *v;
+        let run = engine.run(
+            VoteRule::Degradable { m: 2 },
+            &Val::Value(5),
+            &BTreeSet::new(),
+            &mut fab,
+        );
+        assert!(run.decisions.values().all(|d| *d == Val::Value(5)));
+        // Every internal node collapses: exactly one vote per node.
+        let internal: u128 = (1..3).map(|l| path_count(7, l)).sum();
+        assert_eq!(run.perf.votes_evaluated as u128, internal);
+        assert!(run.perf.votes_memo_hit > 0);
+    }
+
+    #[test]
+    fn workers_knob_is_observable_but_inert() {
+        let engine = EigEngine::new(4, NodeId::new(0), 2).with_workers(0);
+        assert_eq!(engine.workers(), 1, "zero clamps to one");
+        assert_eq!(
+            EigEngine::new(4, NodeId::new(0), 2)
+                .with_workers(8)
+                .workers(),
+            8
+        );
+    }
+}

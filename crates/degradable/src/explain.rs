@@ -36,7 +36,7 @@ use std::hash::Hash;
 /// Panics if `receiver` is the sender or out of range.
 pub fn explain_receiver<V>(scenario: &AdversaryRun<V>, receiver: NodeId) -> String
 where
-    V: Clone + Ord + Hash + std::fmt::Display,
+    V: Clone + Ord + Hash + Send + Sync + std::fmt::Display,
 {
     let instance = &scenario.instance;
     assert!(

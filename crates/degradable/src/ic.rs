@@ -86,7 +86,7 @@ pub enum IcViolation<V: Ord> {
 /// # Panics
 ///
 /// Panics if `values.len()` violates the `2m+u+1` bound for `params`.
-pub fn run_degradable_ic<V: Clone + Ord + Hash>(
+pub fn run_degradable_ic<V: Clone + Ord + Hash + Send + Sync>(
     params: Params,
     values: &[AgreementValue<V>],
     strategies: &BTreeMap<NodeId, Strategy<V>>,

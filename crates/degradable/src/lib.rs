@@ -55,6 +55,7 @@
 //! | [`mod@vote`] | the paper's `VOTE(α, β)` primitive, majority, `k`-of-`n` |
 //! | [`params`] | [`Params`] = `(m, u)` plus the resource-bound formulas |
 //! | [`path`] / [`eig`] | relay paths, per-receiver views, reference executor |
+//! | [`engine`] | arena-backed iterative EIG engine (shared-prefix memoization) |
 //! | [`byz`] | [`ByzInstance`] — algorithm BYZ itself |
 //! | [`protocol`] | message-passing BYZ on the `simnet` round engine |
 //! | [`service`] | batched agreement: many instances multiplexed over one run |
@@ -76,6 +77,7 @@ pub mod byz;
 pub mod certify;
 pub mod conditions;
 pub mod eig;
+pub mod engine;
 pub mod explain;
 pub mod ic;
 pub mod lower_bound;
@@ -97,12 +99,16 @@ pub use conditions::{
     check_byzantine, check_degradable, check_weak_byzantine, largest_fault_free_class, Condition,
     RunRecord, Satisfaction, Verdict, Violation,
 };
+/// The recursive per-receiver evaluator, preserved verbatim as the
+/// differential oracle for the arena engine (`tests/engine_equivalence.rs`).
+pub use eig::run_eig_full as reference_eval;
 pub use eig::{run_eig, run_eig_full, EigOutcome, EigView, FoldStep, VoteRule};
+pub use engine::{EigEngine, EigStore, EngineRun, PathArena, PathId};
 pub use explain::explain_receiver;
 pub use ic::{check_degradable_ic, run_degradable_ic, IcOutcome, IcViolation};
 pub use params::{Params, ParamsError};
-pub use path::Path;
-pub use protocol::{run_protocol, run_protocol_with, ByzMsg, ProtocolRun};
+pub use path::{path_count, paths_of_length, Path};
+pub use protocol::{run_protocol, run_protocol_full, run_protocol_with, ByzMsg, ProtocolRun};
 pub use service::{run_batch, BatchInstance, BatchMsg, BatchRun};
 pub use sm::{run_sm, run_sm_honest, SmAdversary, SmRelayAction};
 pub use sparse::{

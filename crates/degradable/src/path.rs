@@ -110,12 +110,14 @@ pub fn paths_of_length(sender: NodeId, n: usize, len: usize) -> Vec<Path> {
 }
 
 /// Number of paths of exactly `len` nodes in a system of `n` nodes:
-/// `(n-1)(n-2)…(n-len+1)`.
+/// `(n-1)(n-2)…(n-len+1)`, and zero once `len > n` (paths never repeat a
+/// node, so the falling factorial bottoms out rather than underflowing —
+/// BYZ depths of `m + 1 > n` arise legitimately at tiny `n`).
 pub fn path_count(n: usize, len: usize) -> u128 {
     assert!(len >= 1);
     let mut count: u128 = 1;
     for j in 1..len {
-        count *= (n - j) as u128;
+        count *= n.saturating_sub(j) as u128;
     }
     count
 }

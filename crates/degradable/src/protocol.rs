@@ -87,7 +87,7 @@ impl<V: Clone + Ord> ProtocolRun<V> {
 /// ([`Strategy::Silent`] nodes genuinely send nothing, exercising absence
 /// detection). `seed` drives the engine (only relevant when a latency
 /// model or omission faults are configured via `engine_setup`).
-pub fn run_protocol<V: Clone + Ord + Hash>(
+pub fn run_protocol<V: Clone + Ord + Hash + Send + Sync>(
     instance: &ByzInstance,
     sender_value: &AgreementValue<V>,
     strategies: &BTreeMap<NodeId, Strategy<V>>,
@@ -98,21 +98,73 @@ pub fn run_protocol<V: Clone + Ord + Hash>(
 
 /// Like [`run_protocol`], with a hook to customize the engine (fault plan,
 /// latency model, deadline, tracing) before the run.
-pub fn run_protocol_with<V: Clone + Ord + Hash>(
+pub fn run_protocol_with<V: Clone + Ord + Hash + Send + Sync>(
     instance: &ByzInstance,
     sender_value: &AgreementValue<V>,
     strategies: &BTreeMap<NodeId, Strategy<V>>,
     seed: u64,
     engine_setup: impl FnOnce(RoundEngine<ByzMsg<V>>) -> RoundEngine<ByzMsg<V>>,
 ) -> ProtocolRun<V> {
+    run_protocol_inner(instance, sender_value, strategies, seed, engine_setup).0
+}
+
+/// Like [`run_protocol_with`], additionally materializing every
+/// receiver's [`EigView`] from the shared store — the reference fold's
+/// input — so differential tests can re-resolve the exact same
+/// observations through [`EigView::resolve`] and compare against the
+/// arena fold (`tests/engine_equivalence.rs` does this under chaos
+/// plans).
+pub fn run_protocol_full<V: Clone + Ord + Hash + Send + Sync>(
+    instance: &ByzInstance,
+    sender_value: &AgreementValue<V>,
+    strategies: &BTreeMap<NodeId, Strategy<V>>,
+    seed: u64,
+    engine_setup: impl FnOnce(RoundEngine<ByzMsg<V>>) -> RoundEngine<ByzMsg<V>>,
+) -> (ProtocolRun<V>, BTreeMap<NodeId, EigView<V>>) {
+    let (run, eig, store) =
+        run_protocol_inner(instance, sender_value, strategies, seed, engine_setup);
+    let n = instance.n();
+    let sender = instance.sender();
+    let depth = instance.depth();
+    let arena = eig.arena();
+    let mut views = BTreeMap::new();
+    for r in NodeId::all(n) {
+        if r == sender {
+            continue;
+        }
+        let mut view = EigView::new(n, depth, r);
+        for id in arena.ids() {
+            if let Some(v) = store.get(id, r) {
+                view.record(arena.resolve_path(id), v.clone());
+            }
+        }
+        views.insert(r, view);
+    }
+    (run, views)
+}
+
+fn run_protocol_inner<V: Clone + Ord + Hash + Send + Sync>(
+    instance: &ByzInstance,
+    sender_value: &AgreementValue<V>,
+    strategies: &BTreeMap<NodeId, Strategy<V>>,
+    seed: u64,
+    engine_setup: impl FnOnce(RoundEngine<ByzMsg<V>>) -> RoundEngine<ByzMsg<V>>,
+) -> (
+    ProtocolRun<V>,
+    crate::engine::EigEngine,
+    crate::engine::EigStore<V>,
+) {
     let n = instance.n();
     let sender = instance.sender();
     let depth = instance.depth();
     let mut engine = engine_setup(RoundEngine::new(Topology::complete(n), seed));
 
-    let mut views: Vec<EigView<V>> = (0..n)
-        .map(|i| EigView::new(n, depth, NodeId::new(i)))
-        .collect();
+    // One shared slot table for *all* nodes: node `i`'s local view is
+    // column `i` of the store, so the final fold is a single arena
+    // resolution covering every receiver at once instead of `n - 1`
+    // recursive folds.
+    let eig_engine = instance.engine();
+    let mut store = crate::engine::EigStore::new(eig_engine.arena());
 
     // Sending a fabricated (or truthful) value to one receiver; Silent
     // strategies suppress the message entirely.
@@ -128,7 +180,8 @@ pub fn run_protocol_with<V: Clone + Ord + Hash>(
         }
     };
 
-    let net = engine.run_with(depth + 1, |i, ctx| {
+    let fill_start = std::time::Instant::now();
+    let mut net = engine.run_with(depth + 1, |i, ctx| {
         let me = NodeId::new(i);
         let round = ctx.round();
         // 1. Record this round's deliveries (level = round).
@@ -148,11 +201,17 @@ pub fn run_protocol_with<V: Clone + Ord + Hash>(
                 if !valid {
                     continue; // malformed claim: treated as absent
                 }
+                // Only sender-rooted repetition-free labels intern; the
+                // resolution never reads anything else, so non-interning
+                // paths read as absent exactly as before.
+                let Some(id) = eig_engine.arena().intern(&msg.path) else {
+                    continue;
+                };
                 let on_time = msg.path.len() == round;
                 // First write wins: duplicated envelopes (link-level
                 // duplication, or a late copy overtaken by chaos) are
                 // discarded by the idempotent fold.
-                let fresh = views[i].record(msg.path.clone(), msg.value.clone());
+                let fresh = store.record(eig_engine.arena(), id, me, msg.value.clone());
                 if fresh && on_time && round < depth {
                     to_relay.push((msg.path, msg.value));
                 }
@@ -198,11 +257,19 @@ pub fn run_protocol_with<V: Clone + Ord + Hash>(
         }
     });
 
-    let decisions = NodeId::all(n)
-        .filter(|r| *r != sender)
-        .map(|r| (r, views[r.index()].resolve(sender, instance.rule())))
-        .collect();
-    ProtocolRun { decisions, net }
+    let fill_nanos = fill_start.elapsed().as_nanos() as u64;
+
+    let resolved = eig_engine.resolve(instance.rule(), &store);
+    net.eig = resolved.perf;
+    net.eig.fill_nanos = fill_nanos;
+    (
+        ProtocolRun {
+            decisions: resolved.decisions,
+            net,
+        },
+        eig_engine,
+        store,
+    )
 }
 
 #[cfg(test)]

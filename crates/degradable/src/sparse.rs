@@ -19,7 +19,6 @@
 use crate::adversary::Strategy;
 use crate::byz::ByzInstance;
 use crate::conditions::RunRecord;
-use crate::eig::EigView;
 use crate::path::{paths_of_length, Path};
 use crate::value::AgreementValue;
 use simnet::routing::Delivery;
@@ -159,6 +158,10 @@ pub struct SparseRun<V: Ord> {
     /// Count of chaos events (drops, detectable corruptions, duplicates)
     /// injected by a [`RelayChaos`] plan; zero for [`run_sparse`].
     pub chaos_events: usize,
+    /// Arena-engine counters for the final fold (see
+    /// [`simnet::EigPerf`]); wall-time fields do not participate in
+    /// equality.
+    pub eig: simnet::EigPerf,
 }
 
 impl<V: Clone + Ord> SparseRun<V> {
@@ -193,7 +196,7 @@ impl<V: Clone + Ord> SparseRun<V> {
 ///
 /// [`RelayError::InsufficientConnectivity`] when the bound is enforced and
 /// violated.
-pub fn run_sparse<V: Clone + Ord + Hash>(
+pub fn run_sparse<V: Clone + Ord + Hash + Send + Sync>(
     instance: &ByzInstance,
     topo: &Topology,
     sender_value: &AgreementValue<V>,
@@ -222,7 +225,7 @@ pub fn run_sparse<V: Clone + Ord + Hash>(
 ///
 /// [`RelayError::InsufficientConnectivity`] when the bound is enforced and
 /// violated.
-pub fn run_sparse_chaotic<V: Clone + Ord + Hash>(
+pub fn run_sparse_chaotic<V: Clone + Ord + Hash + Send + Sync>(
     instance: &ByzInstance,
     topo: &Topology,
     sender_value: &AgreementValue<V>,
@@ -242,7 +245,7 @@ pub fn run_sparse_chaotic<V: Clone + Ord + Hash>(
     )
 }
 
-fn run_sparse_inner<V: Clone + Ord + Hash>(
+fn run_sparse_inner<V: Clone + Ord + Hash + Send + Sync>(
     instance: &ByzInstance,
     topo: &Topology,
     sender_value: &AgreementValue<V>,
@@ -293,12 +296,15 @@ fn run_sparse_inner<V: Clone + Ord + Hash>(
         }
     };
 
-    // store[path][r]: value receiver r holds for path (None = absent).
-    let mut store: BTreeMap<Path, Vec<Option<AgreementValue<V>>>> = BTreeMap::new();
+    // The shared arena slot table `store[σ][r]` (None = absent) replaces
+    // the old `BTreeMap<Path, Vec<Option<_>>>`: the final fold is then a
+    // single memoized resolution over all receivers at once.
+    let eig_engine = instance.engine();
+    let arena = eig_engine.arena();
+    let mut store = crate::engine::EigStore::new(arena);
 
     // Level 1.
     let root = Path::root(sender);
-    let mut root_vals: Vec<Option<AgreementValue<V>>> = vec![None; n];
     for r in NodeId::all(n) {
         if r == sender {
             continue;
@@ -308,19 +314,21 @@ fn run_sparse_inner<V: Clone + Ord + Hash>(
             Some(Strategy::Silent) => None,
             Some(s) => Some(s.claim(&root, r, sender_value)),
         };
-        root_vals[r.index()] = claimed.and_then(|v| send(sender, r, &v, &mut degraded));
+        if let Some(v) = claimed.and_then(|v| send(sender, r, &v, &mut degraded)) {
+            store.record(arena, crate::engine::PathId::ROOT, r, v);
+        }
     }
-    store.insert(root.clone(), root_vals);
 
     // Levels 2..=depth.
     for level in 2..=depth {
         for sigma in paths_of_length(sender, n, level - 1) {
+            let sigma_id = arena.intern(&sigma).expect("enumerated labels intern");
             for child in sigma.children(n) {
                 let relayer = child.last();
+                let child_id = arena.intern(&child).expect("enumerated labels intern");
                 // What the relayer holds for sigma (absent reads as V_d).
                 let held: AgreementValue<V> =
-                    store[&sigma][relayer.index()].clone().unwrap_or_default();
-                let mut vals: Vec<Option<AgreementValue<V>>> = vec![None; n];
+                    store.get(sigma_id, relayer).cloned().unwrap_or_default();
                 for r in NodeId::all(n) {
                     if child.contains(r) {
                         continue;
@@ -330,34 +338,21 @@ fn run_sparse_inner<V: Clone + Ord + Hash>(
                         Some(Strategy::Silent) => None,
                         Some(s) => Some(s.claim(&child, r, &held)),
                     };
-                    vals[r.index()] = claimed.and_then(|v| send(relayer, r, &v, &mut degraded));
+                    if let Some(v) = claimed.and_then(|v| send(relayer, r, &v, &mut degraded)) {
+                        store.record(arena, child_id, r, v);
+                    }
                 }
-                store.insert(child, vals);
             }
         }
     }
 
-    // Fold.
-    let mut decisions = BTreeMap::new();
-    for r in NodeId::all(n) {
-        if r == sender {
-            continue;
-        }
-        let mut view = EigView::new(n, depth, r);
-        for (path, vals) in &store {
-            if path.contains(r) {
-                continue;
-            }
-            if let Some(v) = vals[r.index()].clone() {
-                view.record(path.clone(), v);
-            }
-        }
-        decisions.insert(r, view.resolve(sender, instance.rule()));
-    }
+    // Fold: one arena resolution covering every receiver.
+    let resolved = eig_engine.resolve(instance.rule(), &store);
     Ok(SparseRun {
-        decisions,
+        decisions: resolved.decisions,
         degraded_deliveries: degraded,
         chaos_events,
+        eig: resolved.perf,
     })
 }
 

@@ -20,6 +20,15 @@ use std::collections::BTreeMap;
 /// is consistent with the paper, where vote inputs at inner recursion
 /// levels may legitimately be `V_d`.
 ///
+/// The outcome is a function of the input **multiset** alone — counting
+/// via a `BTreeMap` discards arrival order, so any permutation of
+/// `values` votes identically (property-tested in
+/// `tests/proptest_invariants.rs`). The arena engine's uniform-subtree
+/// memoization ([`crate::engine`]) relies on exactly this: it may gather
+/// a receiver's inputs in any convenient order, and may serve one `VOTE`
+/// result to every receiver whose gather has the same multiset even
+/// though each receiver assembles it differently.
+///
 /// # Panics
 ///
 /// Panics if `alpha == 0` (a zero threshold is meaningless and would make

@@ -12,6 +12,7 @@
 //!   "experiment": "reliability",
 //!   "meta": { "master_seed": 232, "trials": 4000, "workers": 8 },
 //!   "metrics": { "p_incorrect_overall": 0.0 },
+//!   "perf": { "eig_votes_evaluated": 1200, "eig_votes_memo_hit": 3400 },
 //!   "tables": [
 //!     { "title": "...", "headers": ["..."], "rows": [["..."]] }
 //!   ]
@@ -25,6 +26,16 @@
 //!
 //! ### Version history
 //!
+//! * **v3** — perf-aware reports. An optional `perf` object sits between
+//!   `metrics` and `tables`, carrying deterministic work counters from
+//!   the arena-backed EIG engine (`simnet::EigPerf`: arena nodes, votes
+//!   evaluated, votes memo-hit, messages materialized) and, when the
+//!   experiment opts in, aggregated wall times. `perf` is omitted when
+//!   empty, so experiments that record nothing there emit a v2-shaped
+//!   body under the v3 version tag. Reports remain bit-identical across
+//!   `--workers` values: only deterministic counters belong in `perf`
+//!   unless the experiment explicitly separates timing output (e.g.
+//!   `perf_baseline --no-timing` for the CI comparison).
 //! * **v2** — chaos-aware reports. Experiments that inject link faults
 //!   record per-trial injected-fault counts in `meta`/`metrics`
 //!   (`injected_faults_total`, plus per-kind counters such as
@@ -47,7 +58,7 @@ pub const SCHEMA: &str = "degradable-harness-report";
 
 /// Version of the report file format; bump on breaking layout changes.
 /// See the module docs for the version history.
-pub const SCHEMA_VERSION: u64 = 2;
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// A JSON value with deterministic (insertion-ordered) object keys.
 #[derive(Debug, Clone, PartialEq)]
@@ -294,6 +305,7 @@ pub struct Report {
     experiment: String,
     meta: Vec<(String, JsonValue)>,
     metrics: Vec<(String, JsonValue)>,
+    perf: Vec<(String, JsonValue)>,
     tables: Vec<Table>,
 }
 
@@ -334,6 +346,30 @@ impl Report {
         self
     }
 
+    /// Records a perf counter (schema v3). Re-setting a key overwrites
+    /// it in place. The `perf` object is emitted only when at least one
+    /// counter was recorded. Record deterministic counters here; keep
+    /// wall times out unless the experiment explicitly separates timing
+    /// output, so reports stay bit-identical across worker counts.
+    pub fn set_perf(&mut self, key: impl Into<String>, value: impl Into<JsonValue>) -> &mut Self {
+        let (key, value) = (key.into(), value.into());
+        if let Some(slot) = self.perf.iter_mut().find(|(k, _)| *k == key) {
+            slot.1 = value;
+        } else {
+            self.perf.push((key, value));
+        }
+        self
+    }
+
+    /// Records the four deterministic counters of a
+    /// [`simnet::EigPerf`] under `eig_`-prefixed keys.
+    pub fn set_eig_perf(&mut self, perf: &simnet::EigPerf) -> &mut Self {
+        self.set_perf("eig_arena_nodes", perf.arena_nodes)
+            .set_perf("eig_votes_evaluated", perf.votes_evaluated)
+            .set_perf("eig_votes_memo_hit", perf.votes_memo_hit)
+            .set_perf("eig_messages_materialized", perf.messages_materialized)
+    }
+
     /// Appends a table.
     pub fn add_table(&mut self, table: Table) -> &mut Self {
         self.tables.push(table);
@@ -355,17 +391,21 @@ impl Report {
     /// The full report as a JSON value (see the module docs for the
     /// schema).
     pub fn to_json(&self) -> JsonValue {
-        JsonValue::Object(vec![
+        let mut fields = vec![
             ("schema".into(), SCHEMA.into()),
             ("version".into(), SCHEMA_VERSION.into()),
             ("experiment".into(), self.experiment.as_str().into()),
             ("meta".into(), JsonValue::Object(self.meta.clone())),
             ("metrics".into(), JsonValue::Object(self.metrics.clone())),
-            (
-                "tables".into(),
-                JsonValue::Array(self.tables.iter().map(Table::to_json).collect()),
-            ),
-        ])
+        ];
+        if !self.perf.is_empty() {
+            fields.push(("perf".into(), JsonValue::Object(self.perf.clone())));
+        }
+        fields.push((
+            "tables".into(),
+            JsonValue::Array(self.tables.iter().map(Table::to_json).collect()),
+        ));
+        JsonValue::Object(fields)
     }
 
     /// The full report as compact JSON text.
@@ -468,11 +508,35 @@ mod tests {
         r.add_table(t);
         let json = r.to_json_string();
         assert!(json.starts_with(
-            "{\"schema\":\"degradable-harness-report\",\"version\":2,\"experiment\":\"smoke\""
+            "{\"schema\":\"degradable-harness-report\",\"version\":3,\"experiment\":\"smoke\""
         ));
         assert!(json.contains("\"meta\":{\"master_seed\":7,\"trials\":10}"));
         assert!(json.contains("\"metrics\":{\"p\":0.5}"));
         assert!(json.contains("\"tables\":[{\"title\":\"tab\""));
+        // No perf counters recorded: the perf object is omitted.
+        assert!(!json.contains("\"perf\""));
+    }
+
+    #[test]
+    fn perf_section_sits_between_metrics_and_tables() {
+        let mut r = Report::new("perf");
+        r.set_metric("p", 1u64);
+        r.set_eig_perf(&simnet::EigPerf {
+            arena_nodes: 3,
+            votes_evaluated: 4,
+            votes_memo_hit: 5,
+            messages_materialized: 6,
+            fill_nanos: 999,
+            resolve_nanos: 999,
+        });
+        r.set_perf("eig_votes_memo_hit", 7u64); // overwrite in place
+        let json = r.to_json_string();
+        assert!(json.contains(
+            "\"metrics\":{\"p\":1},\"perf\":{\"eig_arena_nodes\":3,\"eig_votes_evaluated\":4,\
+             \"eig_votes_memo_hit\":7,\"eig_messages_materialized\":6},\"tables\":[]"
+        ));
+        // Wall times never leak through set_eig_perf.
+        assert!(!json.contains("999"));
     }
 
     #[test]

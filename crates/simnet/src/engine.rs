@@ -117,6 +117,76 @@ impl<M, F: FnMut(&mut RoundCtx<'_, M>)> Process<M> for F {
     }
 }
 
+/// Perf counters for the arena-backed EIG engine (`degradable::engine`).
+///
+/// Protocol adapters that fold their receive trees through the shared
+/// arena engine attach these counters to [`Outcome::eig`] so experiment
+/// reports can surface memoization effectiveness alongside the network
+/// counters.
+///
+/// Equality deliberately **ignores the wall-time fields**
+/// (`fill_nanos`, `resolve_nanos`): two runs that performed identical
+/// work compare equal even though their timings differ, which keeps
+/// harness reports and `Outcome` comparisons bit-stable across machines
+/// and worker counts.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EigPerf {
+    /// EIG nodes allocated in the shared arena (one per label σ, shared
+    /// by all receivers).
+    pub arena_nodes: u64,
+    /// VOTE applications actually computed during bottom-up resolution.
+    pub votes_evaluated: u64,
+    /// VOTE applications answered from a memoized uniform-subtree
+    /// summary instead of being recomputed per receiver.
+    pub votes_memo_hit: u64,
+    /// Tree slots materialized from relay envelopes (first writes only;
+    /// duplicates are folded idempotently and not counted).
+    pub messages_materialized: u64,
+    /// Wall time of the breadth-first fill phase, in nanoseconds.
+    /// Ignored by `==`.
+    pub fill_nanos: u64,
+    /// Wall time of the bottom-up resolution phase, in nanoseconds.
+    /// Ignored by `==`.
+    pub resolve_nanos: u64,
+}
+
+impl PartialEq for EigPerf {
+    fn eq(&self, other: &Self) -> bool {
+        self.arena_nodes == other.arena_nodes
+            && self.votes_evaluated == other.votes_evaluated
+            && self.votes_memo_hit == other.votes_memo_hit
+            && self.messages_materialized == other.messages_materialized
+    }
+}
+
+impl Eq for EigPerf {}
+
+impl EigPerf {
+    /// Deterministic counters only (everything `==` compares), in a
+    /// stable order: arena nodes, votes evaluated, votes memo-hit,
+    /// messages materialized. Handy for reports that must stay
+    /// bit-identical across worker counts.
+    pub fn deterministic_counters(&self) -> [u64; 4] {
+        [
+            self.arena_nodes,
+            self.votes_evaluated,
+            self.votes_memo_hit,
+            self.messages_materialized,
+        ]
+    }
+
+    /// Accumulate another run's counters into this one (timings add
+    /// too, so aggregated wall times stay meaningful).
+    pub fn absorb(&mut self, other: &EigPerf) {
+        self.arena_nodes += other.arena_nodes;
+        self.votes_evaluated += other.votes_evaluated;
+        self.votes_memo_hit += other.votes_memo_hit;
+        self.messages_materialized += other.messages_materialized;
+        self.fill_nanos += other.fill_nanos;
+        self.resolve_nanos += other.resolve_nanos;
+    }
+}
+
 /// Aggregate statistics of a run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Outcome {
@@ -148,6 +218,11 @@ pub struct Outcome {
     /// Messages garbled in flight and discarded (no corruptor, or the
     /// corruptor mapped them to absence).
     pub dropped_corrupt: usize,
+    /// Arena-backed EIG evaluation counters, populated by protocol
+    /// adapters that resolve their receive trees through the shared
+    /// engine (zeroed for runs that never fold an EIG tree). Wall-time
+    /// fields do not participate in `Outcome` equality.
+    pub eig: EigPerf,
 }
 
 impl Outcome {

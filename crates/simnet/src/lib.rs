@@ -67,7 +67,7 @@ pub mod trace;
 pub use connectivity::{
     local_connectivity, minimum_vertex_cut, vertex_connectivity, vertex_disjoint_paths,
 };
-pub use engine::{Corruptor, Outcome, RoundCtx, RoundEngine};
+pub use engine::{Corruptor, EigPerf, Outcome, RoundCtx, RoundEngine};
 pub use fault::{FaultKind, FaultPlan, FaultSchedule};
 pub use graph::Graph;
 pub use id::NodeId;
@@ -83,7 +83,7 @@ pub mod prelude {
     pub use crate::connectivity::{
         local_connectivity, minimum_vertex_cut, vertex_connectivity, vertex_disjoint_paths,
     };
-    pub use crate::engine::{Corruptor, Outcome, RoundCtx, RoundEngine};
+    pub use crate::engine::{Corruptor, EigPerf, Outcome, RoundCtx, RoundEngine};
     pub use crate::fault::{FaultKind, FaultPlan, FaultSchedule};
     pub use crate::graph::Graph;
     pub use crate::id::NodeId;
