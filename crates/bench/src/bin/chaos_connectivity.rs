@@ -2,7 +2,8 @@
 //! connectivity bound under link-level chaos.
 //!
 //! Two campaigns, one report (`results/chaos_connectivity.json`, schema
-//! v2):
+//! v4 — both campaigns' chaos counters also land in the `obs` registry
+//! section, and `--trace-out PATH` writes a logical-clock Chrome trace):
 //!
 //! 1. **Relay sweep** — BYZ over [`sender_cut_topology`] with the cut-set
 //!    size swept around `m+u+1` and the full Theorem 3 cut adversary (`u`
@@ -30,6 +31,7 @@ use degradable::{
 };
 use harness::report::Table;
 use harness::{ChaosConfig, ProtocolExecutor, Report, RunArgs, Scenario, SweepRunner};
+use obs::{Obs, TimeMode};
 use simnet::linkfault::Partition;
 use simnet::{vertex_connectivity, NodeId};
 use std::collections::BTreeMap;
@@ -52,7 +54,11 @@ struct RelayRow {
     chaos_events: usize,
 }
 
-fn relay_cell(cell: &RelayCell, trials: usize, mut rng: simnet::SimRng) -> RelayRow {
+fn relay_cell(cell: &RelayCell, trials: usize, mut rng: simnet::SimRng, obs: &mut Obs) -> RelayRow {
+    let span = obs.span(
+        "chaos.relay_cell",
+        vec![("cut", cell.cut as u64), ("n", cell.n as u64)],
+    );
     let RelayCell {
         m,
         u,
@@ -104,6 +110,10 @@ fn relay_cell(cell: &RelayCell, trials: usize, mut rng: simnet::SimRng) -> Relay
         }
     }
 
+    obs.finish(span, chaos_events as u64);
+    obs.add("chaos.relay_events", chaos_events as u64);
+    obs.add("chaos.relay_violations", violations as u64);
+
     let at_bound = cut > m + u;
     RelayRow {
         cells: vec![
@@ -138,7 +148,16 @@ struct EngineRow {
     injected: usize,
 }
 
-fn engine_cell(cell: &EngineCell, trials: usize, mut rng: simnet::SimRng) -> EngineRow {
+fn engine_cell(
+    cell: &EngineCell,
+    trials: usize,
+    mut rng: simnet::SimRng,
+    obs: &mut Obs,
+) -> EngineRow {
+    let span = obs.span(
+        "chaos.engine_cell",
+        vec![("reorder_w", cell.reorder_window as u64)],
+    );
     let chaos = ChaosConfig {
         drop_p: cell.drop_p,
         duplicate_p: cell.duplicate_p,
@@ -177,6 +196,10 @@ fn engine_cell(cell: &EngineCell, trials: usize, mut rng: simnet::SimRng) -> Eng
             degraded_runs += 1;
         }
     }
+    obs.finish(span, injected as u64);
+    obs.add("chaos.engine_injected", injected as u64);
+    obs.add("chaos.engine_foreign_values", foreign as u64);
+
     EngineRow {
         cells: vec![
             format!("{:.2}", cell.drop_p),
@@ -218,9 +241,13 @@ fn main() {
             }
         }
     }
-    let relay_rows = runner.map(master_seed, &relay_cells, |_, cell, rng| {
-        relay_cell(cell, trials, rng)
-    });
+    let mut obs_rec = Obs::enabled();
+    let relay_rows = runner.map_observed(
+        master_seed,
+        &relay_cells,
+        &mut obs_rec,
+        |_, cell, rng, obs| relay_cell(cell, trials, rng, obs),
+    );
 
     // Campaign 2: engine sweep on the complete graph.
     let engine_cells = [
@@ -255,9 +282,12 @@ fn main() {
             reorder_window: 2,
         },
     ];
-    let engine_rows = runner.map(master_seed ^ 0xE16, &engine_cells, |_, cell, rng| {
-        engine_cell(cell, trials, rng)
-    });
+    let engine_rows = runner.map_observed(
+        master_seed ^ 0xE16,
+        &engine_cells,
+        &mut obs_rec,
+        |_, cell, rng, obs| engine_cell(cell, trials, rng, obs),
+    );
 
     // Aggregate pass/fail.
     let violations_at_bound: usize = relay_rows
@@ -315,7 +345,19 @@ fn main() {
             &engine_headers,
             engine_rows.iter().map(|r| r.cells.clone()).collect(),
         ));
+    report.set_obs_registry(obs_rec.registry());
     report.print_tables();
+    if let Some(trace_path) = args.trace_out_path() {
+        // Logical timestamps keep the file deterministic; wall times ride
+        // along in span args for anyone who wants them.
+        match std::fs::write(
+            trace_path,
+            obs::chrome_trace_json(&obs_rec, TimeMode::Logical),
+        ) {
+            Ok(()) => println!("\ntrace: {}", trace_path.display()),
+            Err(e) => eprintln!("\ntrace write failed: {e}"),
+        }
+    }
     match report.write(args.out_path()) {
         Ok(path) => println!("\nreport: {}", path.display()),
         Err(e) => eprintln!("\nreport write failed: {e}"),

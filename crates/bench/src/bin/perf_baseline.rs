@@ -18,6 +18,13 @@
 //!   metric/acceptance gate, leaving only deterministic counters so the
 //!   report is bit-identical across `--workers 1/2/8`.
 //!
+//! The run is observed end to end (`bench.cell` spans plus the sweep and
+//! engine registries; the registry snapshot lands in the report's v4
+//! `obs` section). With the shared `--trace-out PATH` flag a Chrome
+//! `trace_event` file is written too — wall-clock based normally,
+//! logical-clock based (and fully deterministic) under `--no-timing`.
+//! Summarize it with `dagree obs PATH`.
+//!
 //! The engine runs with a single resolve worker here: the measured
 //! speedup is the memoization + arena win alone, not thread-level
 //! parallelism. Acceptance (timing mode, `--max-n >= 13`): the engine
@@ -28,6 +35,7 @@ use degradable::adversary::Strategy;
 use degradable::{reference_eval, ByzInstance, Params, Val};
 use harness::report::Table;
 use harness::{Report, RunArgs, SweepRunner};
+use obs::{Obs, TimeMode};
 use simnet::{EigPerf, NodeId, SimRng};
 use std::collections::{BTreeMap, BTreeSet};
 use std::path::Path;
@@ -80,7 +88,11 @@ impl Row {
     }
 }
 
-fn run_cell(cell: &Cell, trials: usize, timing: bool, mut rng: SimRng) -> Row {
+fn run_cell(cell: &Cell, trials: usize, timing: bool, mut rng: SimRng, obs: &mut Obs) -> Row {
+    let span = obs.span(
+        "bench.cell",
+        vec![("m", cell.m as u64), ("n", cell.n as u64)],
+    );
     let Cell { m, n } = *cell;
     let params = Params::new(m, m).expect("u = m is valid");
     let inst = ByzInstance::new(n, params, NodeId::new(0)).expect("n >= 3m + 1");
@@ -139,6 +151,13 @@ fn run_cell(cell: &Cell, trials: usize, timing: bool, mut rng: SimRng) -> Row {
         perf.absorb(&run.perf);
     }
 
+    // Per-cell span cost = votes settled (worker-count independent), and
+    // the cell's deterministic counters fold into the trial registry.
+    obs.finish(span, perf.votes_evaluated + perf.votes_memo_hit);
+    if let Some(registry) = obs.registry_mut() {
+        perf.fold_into(registry);
+    }
+
     Row {
         m,
         n,
@@ -183,8 +202,9 @@ fn main() {
             cells.push(Cell { m, n });
         }
     }
-    let rows = runner.map(master_seed, &cells, |_, cell, rng| {
-        run_cell(cell, trials, timing, rng)
+    let mut obs_rec = Obs::enabled();
+    let rows = runner.map_observed(master_seed, &cells, &mut obs_rec, |_, cell, rng, obs| {
+        run_cell(cell, trials, timing, rng, obs)
     });
 
     let mut total = EigPerf::default();
@@ -195,8 +215,7 @@ fn main() {
     }
     // Wall times stay out of the report: only deterministic counters are
     // bit-compared across worker counts.
-    total.fill_nanos = 0;
-    total.resolve_nanos = 0;
+    obs::scrub_timing(&mut total);
     let speedup_n13_m2 = rows
         .iter()
         .find(|r| r.n == 13 && r.m == 2)
@@ -227,12 +246,27 @@ fn main() {
             report.set_metric("speedup_n13_m2_x100", (s * 100.0).round() as u64);
         }
     }
+    report.set_obs_registry(obs_rec.registry());
     report.add_table(Table::with_rows(
         "reference_eval vs arena engine (per-cell totals; timing columns '-' under --no-timing)",
         &headers,
         rows.iter().map(|r| r.cells(timing)).collect(),
     ));
     report.print_tables();
+    if let Some(trace_path) = args.trace_out_path() {
+        // Under --no-timing the exported trace is fully deterministic:
+        // wall times are scrubbed and timestamps derive from logical cost.
+        let mode = if timing {
+            TimeMode::Wall
+        } else {
+            obs::scrub_timing(&mut obs_rec);
+            TimeMode::Logical
+        };
+        match std::fs::write(trace_path, obs::chrome_trace_json(&obs_rec, mode)) {
+            Ok(()) => println!("\ntrace: {}", trace_path.display()),
+            Err(e) => eprintln!("\ntrace write failed: {e}"),
+        }
+    }
     let default_out = Path::new("BENCH_perf_baseline.json");
     let out = args.out_path().unwrap_or(default_out);
     match report.write(Some(out)) {

@@ -17,6 +17,7 @@ USAGE:
   dagree topology --kind KIND [--m M --u U]
   dagree certify --m M --u U [--budget B]
   dagree flight --arch byzantine|degradable|crusader
+  dagree obs TRACE [--top N]
   dagree help
 
 FAULTY SPEC:
@@ -33,6 +34,12 @@ EXAMPLES:
   dagree run --nodes 5 --m 1 --u 2 --faulty 4:silent --explain 1
   dagree search --nodes 4 --m 1 --u 2 --below-bound --method exhaustive
   dagree topology --kind harary:4:8 --m 1 --u 2
+  dagree obs results/perf_baseline.trace.json --top 10
+
+OBS:
+  summarizes a trace file written by an experiment's --trace-out flag
+  (Chrome trace_event JSON or flat JSONL): top spans by logical cost,
+  then the embedded counter/gauge/histogram registry.
 ";
 
 /// A parsed subcommand.
@@ -99,6 +106,13 @@ pub enum Command {
     Flight {
         /// Architecture name.
         arch: String,
+    },
+    /// `dagree obs`
+    Obs {
+        /// Path to the trace file (Chrome trace JSON or JSONL).
+        path: String,
+        /// How many span groups to show, largest logical cost first.
+        top: usize,
     },
     /// `dagree help`
     Help,
@@ -309,6 +323,19 @@ pub fn parse_args(argv: &[String]) -> Result<Command, ParseError> {
                 .to_string();
             Ok(Command::Flight { arch })
         }
+        "obs" => {
+            let Some((path, rest)) = rest.split_first() else {
+                return err("`obs` needs a trace file path");
+            };
+            if path.starts_with("--") {
+                return err("`obs` needs a trace file path before any flags");
+            }
+            let flags = collect_flags(rest)?;
+            Ok(Command::Obs {
+                path: path.clone(),
+                top: opt_usize(&flags, "--top", 10)?,
+            })
+        }
         "topology" => {
             let flags = collect_flags(rest)?;
             let kind = flags
@@ -515,6 +542,26 @@ mod tests {
                 arch: "degradable".into()
             }
         );
+    }
+
+    #[test]
+    fn parse_obs() {
+        assert_eq!(
+            parse_args(&sv(&["obs", "trace.json"])).unwrap(),
+            Command::Obs {
+                path: "trace.json".into(),
+                top: 10
+            }
+        );
+        assert_eq!(
+            parse_args(&sv(&["obs", "t.jsonl", "--top", "3"])).unwrap(),
+            Command::Obs {
+                path: "t.jsonl".into(),
+                top: 3
+            }
+        );
+        assert!(parse_args(&sv(&["obs"])).is_err());
+        assert!(parse_args(&sv(&["obs", "--top", "3"])).is_err());
     }
 
     #[test]

@@ -33,7 +33,115 @@ pub fn dispatch(cmd: &Command) -> String {
         Command::Topology { kind, params } => topology_cmd(kind, *params),
         Command::Certify { m, u, budget } => certify_cmd(*m, *u, *budget),
         Command::Flight { arch } => flight_cmd(arch),
+        Command::Obs { path, top } => obs_cmd(path, *top),
     }
+}
+
+fn obs_cmd(path: &str, top: usize) -> String {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => return format!("error: cannot read `{path}`: {e}"),
+    };
+    match obs::parse_trace(&text) {
+        Err(e) => format!("error: `{path}` is not a recognized trace: {e}"),
+        Ok(trace) => summarize_trace(path, &trace, top),
+    }
+}
+
+/// Renders the `cli obs` summary: spans grouped by name (largest total
+/// logical cost first), then the embedded registry sections. Split from
+/// [`obs_cmd`] so tests can feed a parsed trace directly.
+fn summarize_trace(path: &str, trace: &obs::ParsedTrace, top: usize) -> String {
+    use harness::Table;
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{path}: {} spans, {} counters, {} gauges, {} histograms",
+        trace.spans.len(),
+        trace.registry.counters().count(),
+        trace.registry.gauges().count(),
+        trace.registry.histograms().count(),
+    );
+
+    // Group spans by name, preserving first-appearance order before
+    // sorting, so ties break deterministically.
+    let mut groups: Vec<(&str, u64, u64, u64)> = Vec::new(); // name, count, logical, wall
+    for span in &trace.spans {
+        match groups.iter_mut().find(|(n, ..)| *n == span.name) {
+            Some((_, count, logical, wall)) => {
+                *count += 1;
+                *logical += span.logical;
+                *wall += span.wall_nanos;
+            }
+            None => groups.push((&span.name, 1, span.logical, span.wall_nanos)),
+        }
+    }
+    groups.sort_by_key(|g| std::cmp::Reverse(g.2));
+    let shown = groups.len().min(top);
+    let mut spans_table = Table::new(
+        format!(
+            "top {shown} of {} span groups by logical cost",
+            groups.len()
+        ),
+        &["span", "count", "logical", "wall_ms"],
+    );
+    for (name, count, logical, wall) in groups.iter().take(top) {
+        spans_table.push_row(vec![
+            name.to_string(),
+            count.to_string(),
+            logical.to_string(),
+            format!("{:.3}", *wall as f64 / 1e6),
+        ]);
+    }
+    out.push_str(&spans_table.to_ascii());
+
+    let registry = &trace.registry;
+    if registry.counters().next().is_some() || registry.gauges().next().is_some() {
+        let mut table = Table::new("registry: counters and gauges", &["name", "kind", "value"]);
+        for (name, value) in registry.counters() {
+            table.push_row(vec![name.to_string(), "counter".into(), value.to_string()]);
+        }
+        for (name, value) in registry.gauges() {
+            table.push_row(vec![name.to_string(), "gauge".into(), value.to_string()]);
+        }
+        out.push_str(&table.to_ascii());
+    }
+    if registry.histograms().next().is_some() {
+        let mut table = Table::new(
+            "registry: histograms",
+            &[
+                "name",
+                "count",
+                "sum",
+                "mean",
+                "buckets (<=bound: n, last = overflow)",
+            ],
+        );
+        for (name, h) in registry.histograms() {
+            let mut cells: Vec<String> = h
+                .bounds()
+                .iter()
+                .zip(h.buckets())
+                .map(|(b, n)| format!("<={b}: {n}"))
+                .collect();
+            cells.push(format!(">: {}", h.buckets().last().copied().unwrap_or(0)));
+            let mean = if h.count() > 0 {
+                format!("{:.1}", h.sum() as f64 / h.count() as f64)
+            } else {
+                "-".into()
+            };
+            table.push_row(vec![
+                name.to_string(),
+                h.count().to_string(),
+                h.sum().to_string(),
+                mean,
+                cells.join("  "),
+            ]);
+        }
+        out.push_str(&table.to_ascii());
+    }
+    out
 }
 
 fn certify_cmd(m: usize, u: usize, budget: u128) -> String {
@@ -415,5 +523,66 @@ mod tests {
     #[test]
     fn dispatch_help() {
         assert!(dispatch(&Command::Help).contains("USAGE"));
+    }
+
+    /// Builds a recorder with two span groups and a few metrics, the way
+    /// an experiment binary would.
+    fn sample_obs() -> obs::Obs {
+        let mut o = obs::Obs::enabled();
+        for (i, logical) in [(0u64, 5u64), (1, 7)] {
+            let t = o.span("eig.resolve_level", vec![("level", i)]);
+            o.finish(t, logical);
+        }
+        let t = o.span("eig.fill", vec![]);
+        o.finish(t, 3);
+        o.add("eig.votes_evaluated", 12);
+        o.gauge_max("sweep.queue_depth", 4);
+        o.observe("sim.latency", &[1, 8], 2);
+        o.observe("sim.latency", &[1, 8], 64);
+        o
+    }
+
+    #[test]
+    fn obs_summarizes_chrome_trace_file() {
+        let o = sample_obs();
+        let dir = std::env::temp_dir().join(format!("dagree-obs-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.json");
+        std::fs::write(&path, obs::chrome_trace_json(&o, obs::TimeMode::Logical)).unwrap();
+        let out = obs_cmd(path.to_str().unwrap(), 10);
+        std::fs::remove_dir_all(&dir).ok();
+        assert!(out.contains("3 spans"), "{out}");
+        // Sorted by total logical cost: the resolve group (12) first.
+        let resolve = out.find("eig.resolve_level").unwrap();
+        let fill = out.find("eig.fill").unwrap();
+        assert!(resolve < fill, "{out}");
+        assert!(out.contains("eig.votes_evaluated"), "{out}");
+        assert!(out.contains("sweep.queue_depth"), "{out}");
+        // Observations 2 and 64 land in the <=8 and overflow buckets.
+        assert!(out.contains("<=1: 0  <=8: 1  >: 1"), "{out}");
+    }
+
+    #[test]
+    fn obs_top_limits_span_groups() {
+        let o = sample_obs();
+        let trace = obs::parse_trace(&obs::jsonl(&o)).unwrap();
+        let out = summarize_trace("t", &trace, 1);
+        assert!(out.contains("top 1 of 2 span groups"), "{out}");
+        assert!(out.contains("eig.resolve_level"), "{out}");
+        // The smaller group is cut from the table (only the count line
+        // and the table title may mention groups).
+        assert!(!out.contains("eig.fill"), "{out}");
+    }
+
+    #[test]
+    fn obs_rejects_missing_and_malformed_files() {
+        assert!(obs_cmd("/nonexistent/trace.json", 5).contains("cannot read"));
+        let dir = std::env::temp_dir().join(format!("dagree-obs-bad-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.json");
+        std::fs::write(&path, "not a trace at all").unwrap();
+        let out = obs_cmd(path.to_str().unwrap(), 5);
+        std::fs::remove_dir_all(&dir).ok();
+        assert!(out.contains("not a recognized trace"), "{out}");
     }
 }

@@ -51,6 +51,7 @@
 use crate::eig::{Fabricate, VoteRule};
 use crate::path::{path_count, Path};
 use crate::value::AgreementValue;
+use obs::{Obs, SpanRecord};
 use simnet::{EigPerf, NodeId};
 use std::collections::{BTreeMap, BTreeSet};
 use std::ops::Range;
@@ -371,6 +372,7 @@ pub struct EngineRun<V> {
 pub struct EigEngine {
     arena: PathArena,
     workers: usize,
+    worker_spans: bool,
 }
 
 impl EigEngine {
@@ -380,6 +382,7 @@ impl EigEngine {
         EigEngine {
             arena: PathArena::new(n, sender, depth),
             workers: 1,
+            worker_spans: false,
         }
     }
 
@@ -388,6 +391,16 @@ impl EigEngine {
     /// wall time changes.
     pub fn with_workers(mut self, workers: usize) -> Self {
         self.workers = workers.max(1);
+        self
+    }
+
+    /// Also records one `eig.resolve_chunk` span per worker chunk in
+    /// observed runs. Chunking depends on the worker count, so these
+    /// spans are **not** worker-count-independent — leave this off
+    /// (the default) for golden traces and cross-worker diffing, turn
+    /// it on when profiling the fan-out itself.
+    pub fn with_worker_spans(mut self) -> Self {
+        self.worker_spans = true;
         self
     }
 
@@ -469,11 +482,35 @@ impl EigEngine {
         faulty: &BTreeSet<NodeId>,
         fabricate: Fabricate<'_, V>,
     ) -> EngineRun<V> {
+        self.run_observed(rule, sender_value, faulty, fabricate, &mut Obs::disabled())
+    }
+
+    /// [`EigEngine::run`] with observability: records an `eig.fill`
+    /// span (logical cost = slots materialized), the per-level resolve
+    /// spans of [`EigEngine::resolve_observed`], and the `eig.*`
+    /// registry counters. With a disabled recorder this is exactly
+    /// `run` — no clock reads beyond the `EigPerf` phase timings.
+    pub fn run_observed<V: Clone + Ord + Send + Sync>(
+        &self,
+        rule: VoteRule,
+        sender_value: &AgreementValue<V>,
+        faulty: &BTreeSet<NodeId>,
+        fabricate: Fabricate<'_, V>,
+        obs: &mut Obs,
+    ) -> EngineRun<V> {
+        let fill_timer = obs.span(
+            "eig.fill",
+            vec![
+                ("n", self.arena.n as u64),
+                ("depth", self.arena.depth as u64),
+            ],
+        );
         let fill_start = Instant::now();
         let mut store = EigStore::new(&self.arena);
         self.fill(&mut store, sender_value, faulty, fabricate);
         let fill_nanos = fill_start.elapsed().as_nanos() as u64;
-        let mut run = self.resolve(rule, &store);
+        obs.finish(fill_timer, store.materialized());
+        let mut run = self.resolve_observed(rule, &store, obs);
         run.perf.fill_nanos = fill_nanos;
         run
     }
@@ -487,7 +524,24 @@ impl EigEngine {
         rule: VoteRule,
         store: &EigStore<V>,
     ) -> EngineRun<V> {
+        self.resolve_observed(rule, store, &mut Obs::disabled())
+    }
+
+    /// [`EigEngine::resolve`] with observability: one
+    /// `eig.resolve_level` span per level (logical cost = votes
+    /// settled, i.e. evaluated + memo-hit — worker-count-independent),
+    /// optional per-chunk spans (see [`EigEngine::with_worker_spans`]),
+    /// and the run's [`EigPerf`] counters folded into the registry
+    /// under `eig.*` names.
+    pub fn resolve_observed<V: Clone + Ord + Send + Sync>(
+        &self,
+        rule: VoteRule,
+        store: &EigStore<V>,
+        obs: &mut Obs,
+    ) -> EngineRun<V> {
         let resolve_start = Instant::now();
+        // Chunk wall times are only sampled when someone will read them.
+        let timed_chunks = obs.is_enabled() && self.worker_spans;
         let arena = &self.arena;
         let mut summaries: Vec<Option<Summary<V>>> = Vec::new();
         summaries.resize_with(arena.node_count(), || None);
@@ -496,13 +550,17 @@ impl EigEngine {
 
         for level in (0..arena.levels.len()).rev() {
             let range = arena.levels[level].clone();
+            let count = (range.end - range.start) as usize;
+            let level_timer = obs.span(
+                "eig.resolve_level",
+                vec![("level", level as u64), ("width", count as u64)],
+            );
             let (head, deeper) = summaries.split_at_mut(range.end as usize);
             let level_slice = &mut head[range.start as usize..];
             let deeper_offset = range.end;
-            let count = (range.end - range.start) as usize;
             let chunk_len = count.div_ceil(self.workers).max(1);
-            if self.workers <= 1 || count <= chunk_len {
-                let (e, h) = resolve_chunk(
+            let chunk_stats: Vec<(u64, u64, u64)> = if self.workers <= 1 || count <= chunk_len {
+                vec![resolve_chunk(
                     arena,
                     store,
                     rule,
@@ -510,12 +568,11 @@ impl EigEngine {
                     level_slice,
                     &*deeper,
                     deeper_offset,
-                );
-                votes_evaluated += e;
-                votes_memo_hit += h;
+                    timed_chunks,
+                )]
             } else {
                 let deeper_ref: &[Option<Summary<V>>] = deeper;
-                let counters = std::thread::scope(|scope| {
+                std::thread::scope(|scope| {
                     let mut handles = Vec::new();
                     for (i, chunk) in level_slice.chunks_mut(chunk_len).enumerate() {
                         let first_id = range.start + (i * chunk_len) as u32;
@@ -528,19 +585,36 @@ impl EigEngine {
                                 chunk,
                                 deeper_ref,
                                 deeper_offset,
+                                timed_chunks,
                             )
                         }));
                     }
+                    // Joining in spawn order keeps chunk-span recording
+                    // deterministic for a fixed worker count.
                     handles
                         .into_iter()
                         .map(|h| h.join().expect("resolver thread panicked"))
                         .collect::<Vec<_>>()
-                });
-                for (e, h) in counters {
-                    votes_evaluated += e;
-                    votes_memo_hit += h;
+                })
+            };
+            let mut level_votes = 0u64;
+            for (chunk, &(e, h, wall_nanos)) in chunk_stats.iter().enumerate() {
+                votes_evaluated += e;
+                votes_memo_hit += h;
+                level_votes += e + h;
+                if timed_chunks {
+                    obs.record_span(SpanRecord {
+                        name: "eig.resolve_chunk".to_string(),
+                        args: vec![
+                            ("level".to_string(), level as u64),
+                            ("chunk".to_string(), chunk as u64),
+                        ],
+                        logical: e + h,
+                        wall_nanos,
+                    });
                 }
             }
+            obs.finish(level_timer, level_votes);
         }
 
         let root = summaries[0]
@@ -554,24 +628,27 @@ impl EigEngine {
             decisions.insert(r, root.value_for(r.index()).clone());
         }
 
-        EngineRun {
-            decisions,
-            perf: EigPerf {
-                arena_nodes: arena.node_count() as u64,
-                votes_evaluated,
-                votes_memo_hit,
-                messages_materialized: store.materialized(),
-                fill_nanos: 0,
-                resolve_nanos: resolve_start.elapsed().as_nanos() as u64,
-            },
+        let perf = EigPerf {
+            arena_nodes: arena.node_count() as u64,
+            votes_evaluated,
+            votes_memo_hit,
+            messages_materialized: store.materialized(),
+            fill_nanos: 0,
+            resolve_nanos: resolve_start.elapsed().as_nanos() as u64,
+        };
+        if let Some(registry) = obs.registry_mut() {
+            perf.fold_into(registry);
         }
+        EngineRun { decisions, perf }
     }
 }
 
 /// Resolves the contiguous id range starting at `first_id` into `out`,
 /// reading already-resolved deeper summaries from `deeper` (which
 /// starts at global id `deeper_offset`). Returns `(votes_evaluated,
-/// votes_memo_hit)` for the chunk.
+/// votes_memo_hit, wall_nanos)` for the chunk; the wall time is only
+/// sampled when `timed` (zero otherwise), so untimed runs pay no clock
+/// reads in the fan-out hot path.
 #[allow(clippy::too_many_arguments)]
 fn resolve_chunk<V: Clone + Ord>(
     arena: &PathArena,
@@ -581,7 +658,9 @@ fn resolve_chunk<V: Clone + Ord>(
     out: &mut [Option<Summary<V>>],
     deeper: &[Option<Summary<V>>],
     deeper_offset: u32,
-) -> (u64, u64) {
+    timed: bool,
+) -> (u64, u64, u64) {
+    let chunk_start = if timed { Some(Instant::now()) } else { None };
     let n = arena.n;
     let mut votes_evaluated = 0u64;
     let mut votes_memo_hit = 0u64;
@@ -706,7 +785,10 @@ fn resolve_chunk<V: Clone + Ord>(
         });
     }
 
-    (votes_evaluated, votes_memo_hit)
+    let wall_nanos = chunk_start
+        .map(|s| s.elapsed().as_nanos() as u64)
+        .unwrap_or(0);
+    (votes_evaluated, votes_memo_hit, wall_nanos)
 }
 
 #[cfg(test)]
@@ -853,6 +935,94 @@ mod tests {
         let internal: u128 = (1..3).map(|l| path_count(7, l)).sum();
         assert_eq!(run.perf.votes_evaluated as u128, internal);
         assert!(run.perf.votes_memo_hit > 0);
+    }
+
+    fn observed_run(workers: usize, worker_spans: bool) -> Obs {
+        let mut engine = EigEngine::new(5, NodeId::new(0), 3).with_workers(workers);
+        if worker_spans {
+            engine = engine.with_worker_spans();
+        }
+        let faulty: BTreeSet<NodeId> = [NodeId::new(2)].into();
+        let mut fab = |_: &Path, r: NodeId, _: &Val| Val::Value(r.index() as u64);
+        let mut obs = Obs::enabled();
+        engine.run_observed(
+            VoteRule::Degradable { m: 1 },
+            &Val::Value(7),
+            &faulty,
+            &mut fab,
+            &mut obs,
+        );
+        obs
+    }
+
+    #[test]
+    fn observed_run_records_fill_and_level_spans_and_counters() {
+        let obs = observed_run(1, false);
+        let names: Vec<&str> = obs.spans().iter().map(|s| s.name.as_str()).collect();
+        // One fill span, then one resolve span per level, deepest first.
+        assert_eq!(
+            names,
+            vec![
+                "eig.fill",
+                "eig.resolve_level",
+                "eig.resolve_level",
+                "eig.resolve_level"
+            ]
+        );
+        let fill = &obs.spans()[0];
+        let slots: u128 = (1..=3).map(|l| path_count(5, l) * (5 - l) as u128).sum();
+        assert_eq!(fill.logical as u128, slots, "fill logical = materialized");
+        // Level spans settle every vote exactly once.
+        let settled: u64 = obs.spans()[1..].iter().map(|s| s.logical).sum();
+        let total_votes: u128 = (1..3).map(|l| path_count(5, l) * (5 - l) as u128).sum();
+        assert_eq!(settled as u128, total_votes);
+        // Registry counters mirror EigPerf's deterministic counters.
+        let reg = obs.registry();
+        assert_eq!(
+            reg.counter("eig.votes_evaluated") + reg.counter("eig.votes_memo_hit"),
+            settled
+        );
+        assert_eq!(reg.counter("eig.messages_materialized") as u128, slots);
+        assert!(reg.counter("eig.arena_nodes") > 0);
+    }
+
+    #[test]
+    fn observed_output_is_worker_count_independent() {
+        let mut base = observed_run(1, false);
+        obs::scrub_timing(&mut base);
+        for workers in [2usize, 8] {
+            let mut other = observed_run(workers, false);
+            obs::scrub_timing(&mut other);
+            assert_eq!(base, other, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn worker_spans_are_opt_in_chunk_detail() {
+        let without = observed_run(2, false);
+        assert!(without
+            .spans()
+            .iter()
+            .all(|s| s.name != "eig.resolve_chunk"));
+        let with = observed_run(2, true);
+        let chunks: Vec<&SpanRecord> = with
+            .spans()
+            .iter()
+            .filter(|s| s.name == "eig.resolve_chunk")
+            .collect();
+        assert!(!chunks.is_empty());
+        // Chunk logical costs partition the owning level's span.
+        let level1_total: u64 = chunks
+            .iter()
+            .filter(|s| s.args.contains(&("level".to_string(), 1)))
+            .map(|s| s.logical)
+            .sum();
+        let level1_span = with
+            .spans()
+            .iter()
+            .find(|s| s.name == "eig.resolve_level" && s.args.contains(&("level".to_string(), 1)))
+            .unwrap();
+        assert_eq!(level1_total, level1_span.logical);
     }
 
     #[test]

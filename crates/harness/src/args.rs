@@ -10,7 +10,10 @@ use std::path::PathBuf;
 /// * `--workers N` — worker-thread count for [`crate::SweepRunner`];
 /// * `--seed N` — master seed;
 /// * `--out PATH` — where to write the JSON report (default
-///   `results/<experiment>.json`).
+///   `results/<experiment>.json`);
+/// * `--trace-out PATH` — where to write a Chrome `trace_event` file of
+///   the run's observability spans (off when absent; `cli obs PATH`
+///   summarizes the result).
 ///
 /// Unknown arguments are ignored so binaries can add their own flags.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -23,6 +26,8 @@ pub struct RunArgs {
     pub seed: Option<u64>,
     /// `--out` override.
     pub out: Option<PathBuf>,
+    /// `--trace-out` override.
+    pub trace_out: Option<PathBuf>,
 }
 
 impl RunArgs {
@@ -43,7 +48,10 @@ impl RunArgs {
             let arg = arg.as_ref();
             let (flag, value) = if let Some((flag, value)) = arg.split_once('=') {
                 (flag.to_string(), value.to_string())
-            } else if matches!(arg, "--trials" | "--workers" | "--seed" | "--out") {
+            } else if matches!(
+                arg,
+                "--trials" | "--workers" | "--seed" | "--out" | "--trace-out"
+            ) {
                 match iter.next() {
                     Some(v) => (arg.to_string(), v.as_ref().to_string()),
                     None => break,
@@ -56,6 +64,7 @@ impl RunArgs {
                 "--workers" => out.workers = value.parse().ok(),
                 "--seed" => out.seed = value.parse().ok(),
                 "--out" => out.out = Some(PathBuf::from(value)),
+                "--trace-out" => out.trace_out = Some(PathBuf::from(value)),
                 _ => {}
             }
         }
@@ -80,6 +89,11 @@ impl RunArgs {
     /// The report output path override, if any.
     pub fn out_path(&self) -> Option<&std::path::Path> {
         self.out.as_deref()
+    }
+
+    /// The trace output path, if `--trace-out` was given.
+    pub fn trace_out_path(&self) -> Option<&std::path::Path> {
+        self.trace_out.as_deref()
     }
 }
 
@@ -116,5 +130,14 @@ mod tests {
     fn garbage_values_fall_back_to_none() {
         let a = RunArgs::parse_from(["--trials", "not-a-number"]);
         assert_eq!(a.trials, None);
+    }
+
+    #[test]
+    fn trace_out_parses_in_both_styles() {
+        let a = RunArgs::parse_from(["--trace-out", "trace.json"]);
+        assert_eq!(a.trace_out_path(), Some(std::path::Path::new("trace.json")));
+        let b = RunArgs::parse_from(["--trace-out=t.json"]);
+        assert_eq!(b.trace_out, Some(PathBuf::from("t.json")));
+        assert!(RunArgs::default().trace_out_path().is_none());
     }
 }

@@ -13,6 +13,7 @@
 //!   "meta": { "master_seed": 232, "trials": 4000, "workers": 8 },
 //!   "metrics": { "p_incorrect_overall": 0.0 },
 //!   "perf": { "eig_votes_evaluated": 1200, "eig_votes_memo_hit": 3400 },
+//!   "obs": { "counters": { "sweep.trials": 4000 } },
 //!   "tables": [
 //!     { "title": "...", "headers": ["..."], "rows": [["..."]] }
 //!   ]
@@ -26,6 +27,15 @@
 //!
 //! ### Version history
 //!
+//! * **v4** — observability-aware reports. An optional `obs` object sits
+//!   between `perf` and `tables`, carrying an [`obs::Registry`] snapshot
+//!   (sorted-name counters/gauges/histograms — see
+//!   `obs::Registry::to_json`) recorded via [`Report::set_obs_registry`].
+//!   The registry holds only deterministic quantities, so the section is
+//!   bit-identical across `--workers` values; it is omitted when the
+//!   registry is empty (or never set), leaving a v3-shaped body under the
+//!   v4 tag. `JsonValue` is now re-exported from the `obs` crate rather
+//!   than defined here — same shape, same serialization.
 //! * **v3** — perf-aware reports. An optional `perf` object sits between
 //!   `metrics` and `tables`, carrying deterministic work counters from
 //!   the arena-backed EIG engine (`simnet::EigPerf`: arena nodes, votes
@@ -46,151 +56,26 @@
 //!   keys keep working; strict consumers dispatch on `version`.
 //! * **v1** — initial envelope.
 //!
-//! JSON emission is hand-rolled ([`JsonValue`]): the vendored `serde` is
-//! derive-only (see `vendor/README.md`), and the value model here is tiny.
+//! JSON emission is hand-rolled (the vendored `serde` is derive-only, see
+//! `vendor/README.md`): reports build [`JsonValue`] trees, re-exported
+//! from the zero-dependency `obs` crate since schema v4 so report bodies
+//! and registry snapshots share one value model.
 
 use std::fmt::Write as _;
 use std::io;
 use std::path::{Path, PathBuf};
+
+/// The JSON value model (insertion-ordered object keys), shared with the
+/// observability layer. Re-exported so existing `harness::report::JsonValue`
+/// users keep compiling.
+pub use obs::JsonValue;
 
 /// Identifier of the report file format.
 pub const SCHEMA: &str = "degradable-harness-report";
 
 /// Version of the report file format; bump on breaking layout changes.
 /// See the module docs for the version history.
-pub const SCHEMA_VERSION: u64 = 3;
-
-/// A JSON value with deterministic (insertion-ordered) object keys.
-#[derive(Debug, Clone, PartialEq)]
-pub enum JsonValue {
-    /// `null`.
-    Null,
-    /// `true` / `false`.
-    Bool(bool),
-    /// A signed integer.
-    Int(i64),
-    /// An unsigned integer (seeds and counters exceed `i64` range).
-    UInt(u64),
-    /// A finite float (non-finite values serialize as `null`).
-    Float(f64),
-    /// A string.
-    Str(String),
-    /// An array.
-    Array(Vec<JsonValue>),
-    /// An object; keys keep insertion order.
-    Object(Vec<(String, JsonValue)>),
-}
-
-impl From<bool> for JsonValue {
-    fn from(v: bool) -> Self {
-        JsonValue::Bool(v)
-    }
-}
-impl From<i64> for JsonValue {
-    fn from(v: i64) -> Self {
-        JsonValue::Int(v)
-    }
-}
-impl From<u64> for JsonValue {
-    fn from(v: u64) -> Self {
-        JsonValue::UInt(v)
-    }
-}
-impl From<usize> for JsonValue {
-    fn from(v: usize) -> Self {
-        JsonValue::UInt(v as u64)
-    }
-}
-impl From<f64> for JsonValue {
-    fn from(v: f64) -> Self {
-        JsonValue::Float(v)
-    }
-}
-impl From<&str> for JsonValue {
-    fn from(v: &str) -> Self {
-        JsonValue::Str(v.to_string())
-    }
-}
-impl From<String> for JsonValue {
-    fn from(v: String) -> Self {
-        JsonValue::Str(v)
-    }
-}
-impl<T: Into<JsonValue>> From<Vec<T>> for JsonValue {
-    fn from(v: Vec<T>) -> Self {
-        JsonValue::Array(v.into_iter().map(Into::into).collect())
-    }
-}
-
-fn escape_into(out: &mut String, s: &str) {
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-}
-
-impl JsonValue {
-    /// Serializes to compact JSON text.
-    pub fn to_json_string(&self) -> String {
-        let mut out = String::new();
-        self.write_into(&mut out);
-        out
-    }
-
-    fn write_into(&self, out: &mut String) {
-        match self {
-            JsonValue::Null => out.push_str("null"),
-            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
-            JsonValue::Int(i) => {
-                let _ = write!(out, "{i}");
-            }
-            JsonValue::UInt(u) => {
-                let _ = write!(out, "{u}");
-            }
-            JsonValue::Float(f) => {
-                if f.is_finite() {
-                    let _ = write!(out, "{f}");
-                } else {
-                    out.push_str("null");
-                }
-            }
-            JsonValue::Str(s) => escape_into(out, s),
-            JsonValue::Array(items) => {
-                out.push('[');
-                for (i, item) in items.iter().enumerate() {
-                    if i > 0 {
-                        out.push(',');
-                    }
-                    item.write_into(out);
-                }
-                out.push(']');
-            }
-            JsonValue::Object(fields) => {
-                out.push('{');
-                for (i, (key, value)) in fields.iter().enumerate() {
-                    if i > 0 {
-                        out.push(',');
-                    }
-                    escape_into(out, key);
-                    out.push(':');
-                    value.write_into(out);
-                }
-                out.push('}');
-            }
-        }
-    }
-}
+pub const SCHEMA_VERSION: u64 = 4;
 
 /// A titled table: the unit shared by ASCII printing and JSON reports.
 #[derive(Debug, Clone, PartialEq)]
@@ -249,20 +134,24 @@ impl Table {
         widths
     }
 
-    /// Prints the table as fixed-width ASCII to stdout.
-    pub fn print(&self) {
-        println!("\n== {} ==", self.title);
+    /// The table rendered as fixed-width ASCII (title banner, header row,
+    /// separator, data rows; trailing newline). [`Table::print`] emits
+    /// exactly this string, and `cli obs` reuses it for trace summaries.
+    pub fn to_ascii(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "\n== {} ==", self.title);
         let widths = self.column_widths();
-        let fmt_row = |cells: &[String]| {
+        let fmt_row = |out: &mut String, cells: &[String]| {
             let mut line = String::new();
             for (i, cell) in cells.iter().enumerate() {
                 let w = widths.get(i).copied().unwrap_or(cell.len());
                 let _ = write!(line, "{:<w$}  ", cell, w = w);
             }
-            println!("{}", line.trim_end());
+            let _ = writeln!(out, "{}", line.trim_end());
         };
-        fmt_row(&self.headers);
-        println!(
+        fmt_row(&mut out, &self.headers);
+        let _ = writeln!(
+            out,
             "{}",
             widths
                 .iter()
@@ -271,8 +160,14 @@ impl Table {
                 .join("  ")
         );
         for row in &self.rows {
-            fmt_row(row);
+            fmt_row(&mut out, row);
         }
+        out
+    }
+
+    /// Prints the table as fixed-width ASCII to stdout.
+    pub fn print(&self) {
+        print!("{}", self.to_ascii());
     }
 
     /// The table as a JSON object (`title`, `headers`, `rows`).
@@ -306,6 +201,7 @@ pub struct Report {
     meta: Vec<(String, JsonValue)>,
     metrics: Vec<(String, JsonValue)>,
     perf: Vec<(String, JsonValue)>,
+    obs: obs::Registry,
     tables: Vec<Table>,
 }
 
@@ -362,12 +258,33 @@ impl Report {
     }
 
     /// Records the four deterministic counters of a
-    /// [`simnet::EigPerf`] under `eig_`-prefixed keys.
+    /// [`simnet::EigPerf`] under `eig_`-prefixed keys. The perf record is
+    /// passed through [`obs::scrub_timing`] first, so wall-clock fields
+    /// can never leak into the report even if this list grows.
     pub fn set_eig_perf(&mut self, perf: &simnet::EigPerf) -> &mut Self {
+        let mut perf = *perf;
+        obs::scrub_timing(&mut perf);
         self.set_perf("eig_arena_nodes", perf.arena_nodes)
             .set_perf("eig_votes_evaluated", perf.votes_evaluated)
             .set_perf("eig_votes_memo_hit", perf.votes_memo_hit)
             .set_perf("eig_messages_materialized", perf.messages_materialized)
+    }
+
+    /// Merges an [`obs::Registry`] snapshot into the report's `obs`
+    /// section (schema v4). Counters add, gauges keep their max, and
+    /// histograms merge bucket-wise, so calling this once per phase
+    /// accumulates. The section is emitted only when non-empty. Registries
+    /// hold deterministic quantities by construction (wall times live in
+    /// spans, not the registry), so this keeps reports bit-identical
+    /// across worker counts.
+    pub fn set_obs_registry(&mut self, registry: &obs::Registry) -> &mut Self {
+        self.obs.merge(registry);
+        self
+    }
+
+    /// The report's accumulated observability registry.
+    pub fn obs_registry(&self) -> &obs::Registry {
+        &self.obs
     }
 
     /// Appends a table.
@@ -400,6 +317,9 @@ impl Report {
         ];
         if !self.perf.is_empty() {
             fields.push(("perf".into(), JsonValue::Object(self.perf.clone())));
+        }
+        if !self.obs.is_empty() {
+            fields.push(("obs".into(), self.obs.to_json()));
         }
         fields.push((
             "tables".into(),
@@ -467,21 +387,18 @@ mod tests {
     use super::*;
 
     #[test]
-    fn json_escaping_and_shapes() {
+    fn reexported_json_value_serializes_like_before() {
+        // The v4 change swapped the local JsonValue for obs::JsonValue;
+        // this pins the serialization contract consumers relied on (the
+        // exhaustive escaping tests live in the obs crate).
         let v = JsonValue::Object(vec![
-            ("s".into(), "a\"b\\c\nd\u{1}".into()),
-            ("i".into(), JsonValue::Int(-3)),
+            ("s".into(), "a\"b".into()),
             ("u".into(), JsonValue::UInt(u64::MAX)),
-            ("f".into(), JsonValue::Float(0.25)),
-            ("nan".into(), JsonValue::Float(f64::NAN)),
-            ("b".into(), true.into()),
-            ("n".into(), JsonValue::Null),
             ("a".into(), vec![1u64, 2].into()),
         ]);
         assert_eq!(
             v.to_json_string(),
-            "{\"s\":\"a\\\"b\\\\c\\nd\\u0001\",\"i\":-3,\"u\":18446744073709551615,\
-             \"f\":0.25,\"nan\":null,\"b\":true,\"n\":null,\"a\":[1,2]}"
+            "{\"s\":\"a\\\"b\",\"u\":18446744073709551615,\"a\":[1,2]}"
         );
     }
 
@@ -508,13 +425,14 @@ mod tests {
         r.add_table(t);
         let json = r.to_json_string();
         assert!(json.starts_with(
-            "{\"schema\":\"degradable-harness-report\",\"version\":3,\"experiment\":\"smoke\""
+            "{\"schema\":\"degradable-harness-report\",\"version\":4,\"experiment\":\"smoke\""
         ));
         assert!(json.contains("\"meta\":{\"master_seed\":7,\"trials\":10}"));
         assert!(json.contains("\"metrics\":{\"p\":0.5}"));
         assert!(json.contains("\"tables\":[{\"title\":\"tab\""));
-        // No perf counters recorded: the perf object is omitted.
+        // Nothing recorded in the optional sections: both are omitted.
         assert!(!json.contains("\"perf\""));
+        assert!(!json.contains("\"obs\""));
     }
 
     #[test]
@@ -535,8 +453,40 @@ mod tests {
             "\"metrics\":{\"p\":1},\"perf\":{\"eig_arena_nodes\":3,\"eig_votes_evaluated\":4,\
              \"eig_votes_memo_hit\":7,\"eig_messages_materialized\":6},\"tables\":[]"
         ));
-        // Wall times never leak through set_eig_perf.
+        // Wall times never leak through set_eig_perf (scrub_timing).
         assert!(!json.contains("999"));
+    }
+
+    #[test]
+    fn obs_section_sits_between_perf_and_tables_and_accumulates() {
+        let mut r = Report::new("obs");
+        r.set_metric("p", 1u64);
+        r.set_perf("eig_arena_nodes", 3u64);
+        let mut phase1 = obs::Registry::default();
+        phase1.add("sweep.trials", 10);
+        let mut phase2 = obs::Registry::default();
+        phase2.add("sweep.trials", 5);
+        phase2.set_gauge("sweep.queue_depth", 5);
+        r.set_obs_registry(&phase1).set_obs_registry(&phase2);
+        let json = r.to_json_string();
+        // Counters added across the two merges; section between perf and
+        // tables.
+        assert!(json.contains(
+            "\"perf\":{\"eig_arena_nodes\":3},\
+             \"obs\":{\"counters\":{\"sweep.trials\":15},\
+             \"gauges\":{\"sweep.queue_depth\":5}},\"tables\":[]"
+        ));
+    }
+
+    #[test]
+    fn to_ascii_matches_print_shape() {
+        let mut t = Table::new("title", &["h1", "long-header"]);
+        t.push_row(vec!["a".into(), "b".into()]);
+        let ascii = t.to_ascii();
+        assert!(ascii.starts_with("\n== title ==\n"));
+        assert!(ascii.contains("h1  long-header"));
+        assert!(ascii.contains("--  -----------"));
+        assert!(ascii.ends_with("a   b\n"));
     }
 
     #[test]

@@ -1,0 +1,462 @@
+//! Deterministic JSON values: emission *and* parsing.
+//!
+//! This is the workspace's single hand-rolled JSON model (the vendored
+//! `serde` is a derive-only marker stub — see `vendor/README.md`). It
+//! began life as `harness::report::JsonValue` and moved here so the
+//! observability layer below the harness can emit trace files and the
+//! CLI above it can read them back; `harness::report` re-exports it
+//! unchanged. Object keys keep insertion order, which is what makes
+//! byte-identical reports and traces possible for identical runs.
+
+use std::fmt::Write as _;
+
+/// A JSON value with deterministic (insertion-ordered) object keys.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A signed integer.
+    Int(i64),
+    /// An unsigned integer (seeds and counters exceed `i64` range).
+    UInt(u64),
+    /// A finite float (non-finite values serialize as `null`).
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object; keys keep insertion order.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl From<bool> for JsonValue {
+    fn from(v: bool) -> Self {
+        JsonValue::Bool(v)
+    }
+}
+impl From<i64> for JsonValue {
+    fn from(v: i64) -> Self {
+        JsonValue::Int(v)
+    }
+}
+impl From<u64> for JsonValue {
+    fn from(v: u64) -> Self {
+        JsonValue::UInt(v)
+    }
+}
+impl From<usize> for JsonValue {
+    fn from(v: usize) -> Self {
+        JsonValue::UInt(v as u64)
+    }
+}
+impl From<f64> for JsonValue {
+    fn from(v: f64) -> Self {
+        JsonValue::Float(v)
+    }
+}
+impl From<&str> for JsonValue {
+    fn from(v: &str) -> Self {
+        JsonValue::Str(v.to_string())
+    }
+}
+impl From<String> for JsonValue {
+    fn from(v: String) -> Self {
+        JsonValue::Str(v)
+    }
+}
+impl<T: Into<JsonValue>> From<Vec<T>> for JsonValue {
+    fn from(v: Vec<T>) -> Self {
+        JsonValue::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl JsonValue {
+    /// Serializes to compact JSON text.
+    pub fn to_json_string(&self) -> String {
+        let mut out = String::new();
+        self.write_into(&mut out);
+        out
+    }
+
+    fn write_into(&self, out: &mut String) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            JsonValue::UInt(u) => {
+                let _ = write!(out, "{u}");
+            }
+            JsonValue::Float(f) => {
+                if f.is_finite() {
+                    let _ = write!(out, "{f}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            JsonValue::Str(s) => escape_into(out, s),
+            JsonValue::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_into(out);
+                }
+                out.push(']');
+            }
+            JsonValue::Object(fields) => {
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    escape_into(out, key);
+                    out.push(':');
+                    value.write_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parses JSON text. Numbers without sign, fraction or exponent
+    /// parse as [`JsonValue::UInt`]; other integers as
+    /// [`JsonValue::Int`]; the rest as [`JsonValue::Float`] — matching
+    /// what the emitter would have produced for each variant.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message with the byte offset of the first syntax error.
+    pub fn parse(text: &str) -> Result<JsonValue, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing data at byte {pos}"));
+        }
+        Ok(value)
+    }
+
+    /// Member lookup on an object (first match; `None` otherwise).
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as `u64` (UInt, or a non-negative Int / integral Float).
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            JsonValue::UInt(u) => Some(u),
+            JsonValue::Int(i) => u64::try_from(i).ok(),
+            JsonValue::Float(f) if f >= 0.0 && f.fract() == 0.0 && f <= u64::MAX as f64 => {
+                Some(f as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as `i64`.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            JsonValue::Int(i) => Some(i),
+            JsonValue::UInt(u) => i64::try_from(u).ok(),
+            JsonValue::Float(f) if f.fract() == 0.0 && f.abs() <= i64::MAX as f64 => Some(f as i64),
+            _ => None,
+        }
+    }
+
+    /// The value as a boolean, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            JsonValue::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// The value as a string, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The value as object fields.
+    pub fn as_object(&self) -> Option<&[(String, JsonValue)]> {
+        match self {
+            JsonValue::Object(fields) => Some(fields),
+            _ => None,
+        }
+    }
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, lit: &str) -> Result<(), String> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(format!("expected `{lit}` at byte {pos}", pos = *pos))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'n') => expect(bytes, pos, "null").map(|()| JsonValue::Null),
+        Some(b't') => expect(bytes, pos, "true").map(|()| JsonValue::Bool(true)),
+        Some(b'f') => expect(bytes, pos, "false").map(|()| JsonValue::Bool(false)),
+        Some(b'"') => parse_string(bytes, pos).map(JsonValue::Str),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(JsonValue::Array(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(JsonValue::Array(items));
+                    }
+                    _ => return Err(format!("expected `,` or `]` at byte {pos}", pos = *pos)),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(JsonValue::Object(fields));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                expect(bytes, pos, ":")?;
+                fields.push((key, parse_value(bytes, pos)?));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(JsonValue::Object(fields));
+                    }
+                    _ => return Err(format!("expected `,` or `}}` at byte {pos}", pos = *pos)),
+                }
+            }
+        }
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    if bytes.get(*pos) != Some(&b'"') {
+        return Err(format!("expected string at byte {pos}", pos = *pos));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".into()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or("truncated \\u escape")?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| "bad \\u escape".to_string())?;
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("bad escape at byte {pos}", pos = *pos)),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Advance over one UTF-8 scalar (input is a &str, so
+                // boundaries are valid).
+                let s = &bytes[*pos..];
+                let ch_len = std::str::from_utf8(s)
+                    .ok()
+                    .and_then(|s| s.chars().next())
+                    .map(char::len_utf8)
+                    .ok_or("invalid utf-8 in string")?;
+                out.push_str(std::str::from_utf8(&s[..ch_len]).expect("checked above"));
+                *pos += ch_len;
+            }
+        }
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+    {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).expect("ascii digits");
+    if text.is_empty() || text == "-" {
+        return Err(format!("expected a value at byte {start}"));
+    }
+    if !text.contains(['.', 'e', 'E']) {
+        if let Some(stripped) = text.strip_prefix('-') {
+            if stripped.parse::<u64>().is_ok() || text.parse::<i64>().is_ok() {
+                return text
+                    .parse::<i64>()
+                    .map(JsonValue::Int)
+                    .map_err(|_| format!("integer out of range at byte {start}"));
+            }
+        } else if let Ok(u) = text.parse::<u64>() {
+            return Ok(JsonValue::UInt(u));
+        }
+    }
+    text.parse::<f64>()
+        .map(JsonValue::Float)
+        .map_err(|_| format!("bad number `{text}` at byte {start}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escaping_and_shapes() {
+        let v = JsonValue::Object(vec![
+            ("s".into(), "a\"b\\c\nd\u{1}".into()),
+            ("i".into(), JsonValue::Int(-3)),
+            ("u".into(), JsonValue::UInt(u64::MAX)),
+            ("f".into(), JsonValue::Float(0.25)),
+            ("nan".into(), JsonValue::Float(f64::NAN)),
+            ("b".into(), true.into()),
+            ("n".into(), JsonValue::Null),
+            ("a".into(), vec![1u64, 2].into()),
+        ]);
+        assert_eq!(
+            v.to_json_string(),
+            "{\"s\":\"a\\\"b\\\\c\\nd\\u0001\",\"i\":-3,\"u\":18446744073709551615,\
+             \"f\":0.25,\"nan\":null,\"b\":true,\"n\":null,\"a\":[1,2]}"
+        );
+    }
+
+    #[test]
+    fn parse_round_trips_emitted_text() {
+        let v = JsonValue::Object(vec![
+            ("s".into(), "a\"b\\c\nd\u{1}".into()),
+            ("i".into(), JsonValue::Int(-3)),
+            ("u".into(), JsonValue::UInt(u64::MAX)),
+            ("f".into(), JsonValue::Float(0.25)),
+            ("b".into(), true.into()),
+            ("n".into(), JsonValue::Null),
+            ("a".into(), vec![1u64, 2].into()),
+            ("o".into(), JsonValue::Object(vec![])),
+        ]);
+        let text = v.to_json_string();
+        let parsed = JsonValue::parse(&text).unwrap();
+        assert_eq!(parsed, v);
+        // And re-emission is byte-stable.
+        assert_eq!(parsed.to_json_string(), text);
+    }
+
+    #[test]
+    fn parse_accepts_whitespace_and_unicode() {
+        let v = JsonValue::parse(" { \"k\" : [ 1 , -2.5 , \"\\u00e9é\" ] } ").unwrap();
+        let arr = v.get("k").and_then(JsonValue::as_array).unwrap();
+        assert_eq!(arr[0].as_u64(), Some(1));
+        assert_eq!(arr[1], JsonValue::Float(-2.5));
+        assert_eq!(arr[2].as_str(), Some("éé"));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\"}",
+            "tru",
+            "1x",
+            "\"unterminated",
+            "{}extra",
+        ] {
+            assert!(JsonValue::parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn accessors() {
+        let v = JsonValue::parse("{\"a\":7,\"b\":-7,\"c\":\"x\"}").unwrap();
+        assert_eq!(v.get("a").unwrap().as_u64(), Some(7));
+        assert_eq!(v.get("b").unwrap().as_i64(), Some(-7));
+        assert_eq!(v.get("b").unwrap().as_u64(), None);
+        assert_eq!(v.get("c").unwrap().as_str(), Some("x"));
+        assert!(v.get("d").is_none());
+        assert!(v.as_object().is_some());
+        assert!(JsonValue::Null.get("a").is_none());
+    }
+}

@@ -1,0 +1,414 @@
+//! Spans with logical/wall duality, and the [`Obs`] recorder that
+//! collects them alongside a metric [`Registry`].
+//!
+//! A span measures one named unit of work twice:
+//!
+//! * **logical cost** — a deterministic count of the work done
+//!   (events delivered, votes evaluated, messages materialized).
+//!   This is the dimension reports compare and golden tests pin.
+//! * **wall nanos** — what the clock said. Carried for humans and
+//!   for the Chrome-trace exporter's wall mode, but excluded from
+//!   equality, generalizing the `EigPerf` convention.
+//!
+//! The cheap path matters: a disabled [`Obs`] never calls
+//! `Instant::now()` and never allocates, so instrumented hot loops
+//! cost a branch when observability is off.
+
+use crate::json::JsonValue;
+use crate::registry::Registry;
+use std::time::Instant;
+
+/// One finished span: a named, attributed unit of work with its
+/// logical cost and wall time.
+///
+/// Equality and hashing consider everything *except* `wall_nanos`
+/// (see the manual [`PartialEq`] impl, which destructures
+/// exhaustively so a new field is a compile error until the impl
+/// decides its fate).
+#[derive(Debug, Clone, Default)]
+pub struct SpanRecord {
+    /// Span name, e.g. `"resolve_level"`.
+    pub name: String,
+    /// Key/value attributes, e.g. `[("level", 2)]`, in recording order.
+    pub args: Vec<(String, u64)>,
+    /// Deterministic logical cost of the work (events/votes/messages).
+    pub logical: u64,
+    /// Elapsed wall-clock nanoseconds. Excluded from equality; zeroed
+    /// by [`crate::scrub_timing`].
+    pub wall_nanos: u64,
+}
+
+impl PartialEq for SpanRecord {
+    fn eq(&self, other: &Self) -> bool {
+        // Exhaustive destructuring: adding a field to SpanRecord
+        // without deciding whether it participates in equality fails
+        // to compile here.
+        let SpanRecord {
+            name,
+            args,
+            logical,
+            wall_nanos: _,
+        } = self;
+        let SpanRecord {
+            name: other_name,
+            args: other_args,
+            logical: other_logical,
+            wall_nanos: _,
+        } = other;
+        name == other_name && args == other_args && logical == other_logical
+    }
+}
+
+impl Eq for SpanRecord {}
+
+impl SpanRecord {
+    /// The span as a flat JSON object (the JSONL exporter's line
+    /// shape):
+    ///
+    /// ```json
+    /// {"span":"resolve_level","args":{"level":2},"logical":96,"wall_nanos":1234}
+    /// ```
+    pub fn to_json(&self) -> JsonValue {
+        let mut fields = vec![("span".to_string(), JsonValue::Str(self.name.clone()))];
+        if !self.args.is_empty() {
+            fields.push((
+                "args".to_string(),
+                JsonValue::Object(
+                    self.args
+                        .iter()
+                        .map(|(k, v)| (k.clone(), JsonValue::UInt(*v)))
+                        .collect(),
+                ),
+            ));
+        }
+        fields.push(("logical".to_string(), JsonValue::UInt(self.logical)));
+        fields.push(("wall_nanos".to_string(), JsonValue::UInt(self.wall_nanos)));
+        JsonValue::Object(fields)
+    }
+
+    /// The inverse of [`SpanRecord::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first missing or mistyped field.
+    pub fn from_json(value: &JsonValue) -> Result<SpanRecord, String> {
+        let name = value
+            .get("span")
+            .and_then(JsonValue::as_str)
+            .ok_or("span record missing string `span`")?
+            .to_string();
+        let mut args = Vec::new();
+        if let Some(raw) = value.get("args") {
+            for (k, v) in raw.as_object().ok_or("`args` must be an object")? {
+                args.push((k.clone(), v.as_u64().ok_or(format!("arg `{k}` not a u64"))?));
+            }
+        }
+        let logical = value
+            .get("logical")
+            .and_then(JsonValue::as_u64)
+            .ok_or("span record missing u64 `logical`")?;
+        let wall_nanos = value
+            .get("wall_nanos")
+            .and_then(JsonValue::as_u64)
+            .unwrap_or(0);
+        Ok(SpanRecord {
+            name,
+            args,
+            logical,
+            wall_nanos,
+        })
+    }
+}
+
+/// An in-flight span handle returned by [`Obs::span`]; hand it back to
+/// [`Obs::finish`] with the logical cost once the work is done.
+///
+/// Deliberately not `Drop`-finished: the logical cost is only known at
+/// the end, and an explicit finish keeps recording order deterministic.
+#[must_use = "finish the span with Obs::finish to record it"]
+#[derive(Debug)]
+pub struct SpanTimer {
+    name: &'static str,
+    args: Vec<(&'static str, u64)>,
+    start: Option<Instant>,
+}
+
+/// The observability recorder: a metric [`Registry`] plus an ordered
+/// list of finished spans.
+///
+/// A disabled recorder (the [`Obs::disabled`] default) makes every
+/// call a no-op — no clock reads, no allocation — so call sites can be
+/// instrumented unconditionally.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Obs {
+    enabled: bool,
+    registry: Registry,
+    spans: Vec<SpanRecord>,
+}
+
+impl Obs {
+    /// An enabled recorder.
+    pub fn enabled() -> Self {
+        Obs {
+            enabled: true,
+            registry: Registry::new(),
+            spans: Vec::new(),
+        }
+    }
+
+    /// A disabled recorder; every method is a no-op.
+    pub fn disabled() -> Self {
+        Obs::default()
+    }
+
+    /// Whether this recorder records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Starts a span. Prefer the [`span!`](crate::span!) macro, which
+    /// stringifies attribute names for you.
+    pub fn span(&self, name: &'static str, args: Vec<(&'static str, u64)>) -> SpanTimer {
+        SpanTimer {
+            name,
+            args,
+            start: if self.enabled {
+                Some(Instant::now())
+            } else {
+                None
+            },
+        }
+    }
+
+    /// Finishes a span with its deterministic logical cost, recording
+    /// it. No-op when disabled.
+    pub fn finish(&mut self, timer: SpanTimer, logical: u64) {
+        if !self.enabled {
+            return;
+        }
+        let wall_nanos = timer
+            .start
+            .map(|s| s.elapsed().as_nanos() as u64)
+            .unwrap_or(0);
+        self.spans.push(SpanRecord {
+            name: timer.name.to_string(),
+            args: timer
+                .args
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+            logical,
+            wall_nanos,
+        });
+    }
+
+    /// Records an already-measured span (used when wall time was
+    /// captured elsewhere, e.g. inside a worker thread). No-op when
+    /// disabled.
+    pub fn record_span(&mut self, span: SpanRecord) {
+        if self.enabled {
+            self.spans.push(span);
+        }
+    }
+
+    /// The finished spans, in recording order.
+    pub fn spans(&self) -> &[SpanRecord] {
+        &self.spans
+    }
+
+    /// The metric registry (immutable).
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Mutable registry access when enabled (`None` when disabled), for
+    /// callers that fold externally accumulated counters in bulk (e.g.
+    /// `EigPerf::fold_into`).
+    pub fn registry_mut(&mut self) -> Option<&mut Registry> {
+        if self.enabled {
+            Some(&mut self.registry)
+        } else {
+            None
+        }
+    }
+
+    /// Adds `delta` to a registry counter. No-op when disabled.
+    pub fn add(&mut self, name: &str, delta: u64) {
+        if self.enabled {
+            self.registry.add(name, delta);
+        }
+    }
+
+    /// Sets a registry counter. No-op when disabled.
+    pub fn set_counter(&mut self, name: &str, value: u64) {
+        if self.enabled {
+            self.registry.set_counter(name, value);
+        }
+    }
+
+    /// Raises a registry gauge to `value` if higher. No-op when
+    /// disabled.
+    pub fn gauge_max(&mut self, name: &str, value: i64) {
+        if self.enabled {
+            self.registry.gauge_max(name, value);
+        }
+    }
+
+    /// Observes into a registry histogram. No-op when disabled.
+    pub fn observe(&mut self, name: &str, bounds: &[u64], value: u64) {
+        if self.enabled {
+            self.registry.observe(name, bounds, value);
+        }
+    }
+
+    /// Folds another recorder in: spans append in order, registries
+    /// merge. Merging recorders in deterministic (trial/chunk) order
+    /// is what keeps multi-worker output bit-identical.
+    pub fn merge(&mut self, other: &Obs) {
+        if !self.enabled {
+            return;
+        }
+        self.spans.extend(other.spans.iter().cloned());
+        self.registry.merge(&other.registry);
+    }
+}
+
+impl crate::ScrubTiming for SpanRecord {
+    fn scrub_timing(&mut self) {
+        // Exhaustive destructuring: a new field must be classified as
+        // logical (kept) or timing (scrubbed) here to compile.
+        let SpanRecord {
+            name: _,
+            args: _,
+            logical: _,
+            wall_nanos,
+        } = self;
+        *wall_nanos = 0;
+    }
+}
+
+impl crate::ScrubTiming for Obs {
+    fn scrub_timing(&mut self) {
+        for span in &mut self.spans {
+            crate::ScrubTiming::scrub_timing(span);
+        }
+    }
+}
+
+/// Starts a span on an [`Obs`] recorder, stringifying attribute names:
+///
+/// ```
+/// # let obs = obs::Obs::enabled();
+/// # let mut obs = obs;
+/// let level = 2u64;
+/// let timer = obs::span!(obs, "resolve_level", level);
+/// // ... do the work ...
+/// obs.finish(timer, 96);
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($obs:expr, $name:expr $(, $arg:expr)* $(,)?) => {
+        $obs.span($name, vec![$((stringify!($arg), ($arg) as u64)),*])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scrub_timing;
+
+    #[test]
+    fn equality_ignores_wall_nanos() {
+        let a = SpanRecord {
+            name: "fill".into(),
+            args: vec![("n".into(), 7)],
+            logical: 42,
+            wall_nanos: 1_000,
+        };
+        let mut b = a.clone();
+        b.wall_nanos = 999_999;
+        assert_eq!(a, b);
+        b.logical = 43;
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn span_json_round_trips() {
+        let span = SpanRecord {
+            name: "resolve_level".into(),
+            args: vec![("level".into(), 2), ("width".into(), 12)],
+            logical: 96,
+            wall_nanos: 12_345,
+        };
+        let json = span.to_json();
+        let back = SpanRecord::from_json(&json).unwrap();
+        assert_eq!(back, span);
+        assert_eq!(back.wall_nanos, span.wall_nanos);
+        assert_eq!(back.to_json().to_json_string(), json.to_json_string());
+    }
+
+    #[test]
+    fn span_json_wall_nanos_is_optional() {
+        let v = JsonValue::parse("{\"span\":\"x\",\"logical\":3}").unwrap();
+        let span = SpanRecord::from_json(&v).unwrap();
+        assert_eq!(span.logical, 3);
+        assert_eq!(span.wall_nanos, 0);
+        assert!(SpanRecord::from_json(&JsonValue::parse("{\"logical\":3}").unwrap()).is_err());
+    }
+
+    #[test]
+    fn disabled_recorder_records_nothing() {
+        let mut obs = Obs::disabled();
+        let timer = span!(obs, "work", 1u64);
+        assert!(timer.start.is_none());
+        obs.finish(timer, 10);
+        obs.add("c", 5);
+        obs.gauge_max("g", 5);
+        obs.observe("h", &[10], 5);
+        assert!(obs.spans().is_empty());
+        assert!(obs.registry().is_empty());
+    }
+
+    #[test]
+    fn enabled_recorder_measures_wall_and_keeps_logical() {
+        let mut obs = Obs::enabled();
+        let level = 3u64;
+        let timer = span!(obs, "resolve_level", level);
+        obs.finish(timer, 96);
+        assert_eq!(obs.spans().len(), 1);
+        let span = &obs.spans()[0];
+        assert_eq!(span.name, "resolve_level");
+        assert_eq!(span.args, vec![("level".to_string(), 3)]);
+        assert_eq!(span.logical, 96);
+    }
+
+    #[test]
+    fn merge_appends_spans_and_folds_registry() {
+        let mut a = Obs::enabled();
+        let t = a.span("first", vec![]);
+        a.finish(t, 1);
+        a.add("c", 1);
+        let mut b = Obs::enabled();
+        let t = b.span("second", vec![]);
+        b.finish(t, 2);
+        b.add("c", 2);
+        a.merge(&b);
+        assert_eq!(a.spans().len(), 2);
+        assert_eq!(a.spans()[1].name, "second");
+        assert_eq!(a.registry().counter("c"), 3);
+    }
+
+    #[test]
+    fn scrub_timing_zeroes_wall_only() {
+        let mut obs = Obs::enabled();
+        obs.record_span(SpanRecord {
+            name: "w".into(),
+            args: vec![],
+            logical: 5,
+            wall_nanos: 77,
+        });
+        scrub_timing(&mut obs);
+        assert_eq!(obs.spans()[0].wall_nanos, 0);
+        assert_eq!(obs.spans()[0].logical, 5);
+    }
+}

@@ -20,7 +20,8 @@ use crate::latency::LatencyModel;
 use crate::linkfault::{LinkFaultKind, LinkFaultPlan};
 use crate::rng::SimRng;
 use crate::topology::Topology;
-use crate::trace::{LateCause, Trace, TraceEvent};
+use crate::trace::{LateCause, Trace, TraceConfig, TraceEvent};
+use obs::Obs;
 use std::collections::BTreeMap;
 
 /// Protocol-supplied mutator applied to messages hit by
@@ -152,14 +153,54 @@ pub struct EigPerf {
 
 impl PartialEq for EigPerf {
     fn eq(&self, other: &Self) -> bool {
-        self.arena_nodes == other.arena_nodes
-            && self.votes_evaluated == other.votes_evaluated
-            && self.votes_memo_hit == other.votes_memo_hit
-            && self.messages_materialized == other.messages_materialized
+        // Exhaustive destructuring: adding a counter to EigPerf without
+        // deciding whether it participates in equality is a compile
+        // error here (and in `scrub_timing` below).
+        let EigPerf {
+            arena_nodes,
+            votes_evaluated,
+            votes_memo_hit,
+            messages_materialized,
+            fill_nanos: _,
+            resolve_nanos: _,
+        } = *self;
+        let EigPerf {
+            arena_nodes: o_arena_nodes,
+            votes_evaluated: o_votes_evaluated,
+            votes_memo_hit: o_votes_memo_hit,
+            messages_materialized: o_messages_materialized,
+            fill_nanos: _,
+            resolve_nanos: _,
+        } = *other;
+        arena_nodes == o_arena_nodes
+            && votes_evaluated == o_votes_evaluated
+            && votes_memo_hit == o_votes_memo_hit
+            && messages_materialized == o_messages_materialized
     }
 }
 
 impl Eq for EigPerf {}
+
+impl obs::ScrubTiming for EigPerf {
+    fn scrub_timing(&mut self) {
+        let EigPerf {
+            arena_nodes: _,
+            votes_evaluated: _,
+            votes_memo_hit: _,
+            messages_materialized: _,
+            fill_nanos,
+            resolve_nanos,
+        } = self;
+        *fill_nanos = 0;
+        *resolve_nanos = 0;
+    }
+}
+
+impl obs::ScrubTiming for Outcome {
+    fn scrub_timing(&mut self) {
+        obs::scrub_timing(&mut self.eig);
+    }
+}
 
 impl EigPerf {
     /// Deterministic counters only (everything `==` compares), in a
@@ -173,6 +214,16 @@ impl EigPerf {
             self.votes_memo_hit,
             self.messages_materialized,
         ]
+    }
+
+    /// Folds the deterministic counters into an observability registry
+    /// under the canonical `eig.*` names — the compat shim that lets
+    /// report schema v4 re-express `EigPerf` as registry counters.
+    pub fn fold_into(&self, registry: &mut obs::Registry) {
+        registry.add("eig.arena_nodes", self.arena_nodes);
+        registry.add("eig.votes_evaluated", self.votes_evaluated);
+        registry.add("eig.votes_memo_hit", self.votes_memo_hit);
+        registry.add("eig.messages_materialized", self.messages_materialized);
     }
 
     /// Accumulate another run's counters into this one (timings add
@@ -259,6 +310,7 @@ pub struct RoundEngine<M> {
     latency: LatencyModel,
     deadline: u64,
     trace: Option<Trace>,
+    obs: Obs,
     _marker: std::marker::PhantomData<M>,
 }
 
@@ -290,6 +342,7 @@ impl<M: Clone> RoundEngine<M> {
             latency: LatencyModel::Zero,
             deadline: u64::MAX,
             trace: None,
+            obs: Obs::disabled(),
             _marker: std::marker::PhantomData,
         }
     }
@@ -343,16 +396,51 @@ impl<M: Clone> RoundEngine<M> {
         self
     }
 
-    /// Enables event tracing.
+    /// Enables event tracing with unbounded retention.
     #[must_use]
     pub fn with_trace(mut self) -> Self {
         self.trace = Some(Trace::new());
         self
     }
 
+    /// Enables event tracing with an explicit retention policy
+    /// (bounded configs ring-buffer the most recent events and count
+    /// evictions — see [`TraceConfig`]).
+    #[must_use]
+    pub fn with_trace_config(mut self, config: TraceConfig) -> Self {
+        self.trace = Some(Trace::with_config(config));
+        self
+    }
+
+    /// Enables observability recording: per-round spans (logical cost
+    /// = messages processed) plus disposition counters under `sim.*`
+    /// names, retrievable via [`RoundEngine::obs`].
+    #[must_use]
+    pub fn with_obs(mut self) -> Self {
+        self.obs = Obs::enabled();
+        self
+    }
+
     /// The recorded trace, if tracing was enabled.
     pub fn trace(&self) -> Option<&Trace> {
         self.trace.as_ref()
+    }
+
+    /// The observability recorder (disabled and empty unless
+    /// [`RoundEngine::with_obs`] was called).
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    /// Takes the recorded observability data, leaving a fresh recorder
+    /// in the same enabled state (so callers can drain per-run).
+    pub fn take_obs(&mut self) -> Obs {
+        let fresh = if self.obs.is_enabled() {
+            Obs::enabled()
+        } else {
+            Obs::disabled()
+        };
+        std::mem::replace(&mut self.obs, fresh)
     }
 
     /// The topology this engine runs on.
@@ -414,6 +502,8 @@ impl<M: Clone> RoundEngine<M> {
         let mut held: BTreeMap<usize, Vec<HeldMsg<M>>> = BTreeMap::new();
 
         for round in 0..rounds {
+            let round_timer = self.obs.span("sim.round", vec![("round", round as u64)]);
+            let work_before = outcome.sent + outcome.delivered;
             let active: FaultPlan = match &self.schedule {
                 Some(s) => s.active(round),
                 None => self.faults.clone(),
@@ -647,6 +737,30 @@ impl<M: Clone> RoundEngine<M> {
             }
             inboxes = next_inboxes;
             outcome.rounds_run += 1;
+            let logical = (outcome.sent + outcome.delivered - work_before) as u64;
+            self.obs.finish(round_timer, logical);
+        }
+        if self.obs.is_enabled() {
+            for (name, value) in [
+                ("sim.rounds", outcome.rounds_run),
+                ("sim.sent", outcome.sent),
+                ("sim.delivered", outcome.delivered),
+                ("sim.dropped.crash", outcome.dropped_crash),
+                ("sim.dropped.omission", outcome.dropped_omission),
+                ("sim.dropped.late", outcome.late),
+                ("sim.dropped.no_link", outcome.no_link),
+                ("sim.dropped.link_cut", outcome.dropped_link_cut),
+                ("sim.dropped.link_loss", outcome.dropped_link_loss),
+                ("sim.dropped.corrupt", outcome.dropped_corrupt),
+                ("sim.link.duplicated", outcome.duplicated),
+                ("sim.link.reordered", outcome.reordered),
+                ("sim.link.corrupted", outcome.corrupted),
+            ] {
+                self.obs.add(name, value as u64);
+            }
+            if let Some(trace) = &self.trace {
+                self.obs.set_counter("sim.trace_dropped", trace.dropped());
+            }
         }
         outcome
     }
@@ -1103,6 +1217,94 @@ mod tests {
         let mut engine = RoundEngine::<u64>::new(Topology::complete(3), 1);
         let mut procs: Vec<Box<dyn Process<u64>>> = Vec::new();
         engine.run_processes(1, &mut procs);
+    }
+
+    #[test]
+    fn obs_records_round_spans_and_disposition_counters() {
+        let faults = FaultPlan::healthy().with(n(0), FaultKind::Crash { from_round: 1 });
+        let mut engine = RoundEngine::<u8>::new(Topology::complete(3), 1)
+            .with_faults(faults)
+            .with_obs();
+        let outcome = engine.run_with(3, |_, ctx| ctx.broadcast(1));
+        let obs = engine.obs();
+        let spans = obs.spans();
+        assert_eq!(spans.len(), 3, "one span per round");
+        assert_eq!(spans[0].name, "sim.round");
+        assert_eq!(spans[0].args, vec![("round".to_string(), 0)]);
+        // Round 0: 6 sends, each accepted for delivery as it is
+        // processed (deliveries are counted at send time).
+        assert_eq!(spans[0].logical, 12);
+        let reg = obs.registry();
+        assert_eq!(reg.counter("sim.sent"), outcome.sent as u64);
+        assert_eq!(reg.counter("sim.delivered"), outcome.delivered as u64);
+        assert_eq!(
+            reg.counter("sim.dropped.crash"),
+            outcome.dropped_crash as u64
+        );
+        assert_eq!(reg.counter("sim.rounds"), 3);
+        assert!(outcome.dropped_crash > 0);
+    }
+
+    #[test]
+    fn disabled_obs_stays_empty_and_take_obs_drains() {
+        let mut engine = RoundEngine::<u8>::new(Topology::complete(2), 1);
+        engine.run_with(2, |_, ctx| ctx.broadcast(1));
+        assert!(engine.obs().registry().is_empty());
+        assert!(engine.obs().spans().is_empty());
+
+        let mut engine = RoundEngine::<u8>::new(Topology::complete(2), 1).with_obs();
+        engine.run_with(2, |_, ctx| ctx.broadcast(1));
+        let drained = engine.take_obs();
+        assert_eq!(drained.spans().len(), 2);
+        assert!(engine.obs().spans().is_empty());
+        assert!(engine.obs().is_enabled(), "enabled state survives draining");
+    }
+
+    #[test]
+    fn bounded_trace_feeds_dropped_counter_into_registry() {
+        let mut engine = RoundEngine::<u8>::new(Topology::complete(3), 1)
+            .with_trace_config(TraceConfig::bounded(4))
+            .with_obs();
+        engine.run_with(3, |_, ctx| ctx.broadcast(1));
+        let trace = engine.trace().unwrap();
+        assert_eq!(trace.len(), 4, "ring retains exactly the capacity");
+        assert!(trace.dropped() > 0);
+        assert_eq!(
+            engine.obs().registry().counter("sim.trace_dropped"),
+            trace.dropped()
+        );
+    }
+
+    #[test]
+    fn obs_round_spans_are_deterministic_across_runs() {
+        let run = |seed: u64| {
+            let mut engine = RoundEngine::<u8>::new(Topology::complete(4), seed)
+                .with_faults(FaultPlan::healthy().with(n(1), FaultKind::Omission { p: 0.5 }))
+                .with_obs();
+            engine.run_with(3, |_, ctx| ctx.broadcast(0));
+            engine.take_obs()
+        };
+        // Same seed: identical spans (logical dimension) and registry,
+        // even though wall times differ between the two executions.
+        assert_eq!(run(9), run(9));
+    }
+
+    #[test]
+    fn eig_perf_scrub_timing_zeroes_only_wall_fields() {
+        let mut perf = EigPerf {
+            arena_nodes: 1,
+            votes_evaluated: 2,
+            votes_memo_hit: 3,
+            messages_materialized: 4,
+            fill_nanos: 5,
+            resolve_nanos: 6,
+        };
+        obs::scrub_timing(&mut perf);
+        assert_eq!(perf.deterministic_counters(), [1, 2, 3, 4]);
+        assert_eq!((perf.fill_nanos, perf.resolve_nanos), (0, 0));
+        let mut reg = obs::Registry::new();
+        perf.fold_into(&mut reg);
+        assert_eq!(reg.counter("eig.votes_evaluated"), 2);
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! mechanism rather than just outcome.
 
 use crate::id::NodeId;
+use obs::JsonValue;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -153,6 +154,128 @@ pub enum TraceEvent {
     },
 }
 
+impl TraceEvent {
+    /// The event as a flat JSON object, e.g.
+    /// `{"event":"delivered","round":0,"src":0,"dst":1,"latency":5}`.
+    /// The `event` tag names the variant in snake_case; extra fields
+    /// (`latency`, `cause`, `delay`, `delivered`) appear as needed.
+    pub fn to_json(&self) -> JsonValue {
+        let (kind, round, src, dst) = match *self {
+            TraceEvent::Sent { round, src, dst } => ("sent", round, src, dst),
+            TraceEvent::Delivered {
+                round, src, dst, ..
+            } => ("delivered", round, src, dst),
+            TraceEvent::DroppedCrash { round, src, dst } => ("dropped_crash", round, src, dst),
+            TraceEvent::DroppedOmission { round, src, dst } => {
+                ("dropped_omission", round, src, dst)
+            }
+            TraceEvent::Late {
+                round, src, dst, ..
+            } => ("late", round, src, dst),
+            TraceEvent::NoLink { round, src, dst } => ("no_link", round, src, dst),
+            TraceEvent::LinkCut { round, src, dst } => ("link_cut", round, src, dst),
+            TraceEvent::LinkDropped { round, src, dst } => ("link_dropped", round, src, dst),
+            TraceEvent::LinkDuplicated { round, src, dst } => ("link_duplicated", round, src, dst),
+            TraceEvent::LinkReordered {
+                round, src, dst, ..
+            } => ("link_reordered", round, src, dst),
+            TraceEvent::LinkCorrupted {
+                round, src, dst, ..
+            } => ("link_corrupted", round, src, dst),
+        };
+        let mut fields = vec![
+            ("event".to_string(), JsonValue::Str(kind.to_string())),
+            ("round".to_string(), JsonValue::UInt(round as u64)),
+            ("src".to_string(), JsonValue::UInt(src.index() as u64)),
+            ("dst".to_string(), JsonValue::UInt(dst.index() as u64)),
+        ];
+        match *self {
+            TraceEvent::Delivered { latency, .. } => {
+                fields.push(("latency".into(), latency.into()));
+            }
+            TraceEvent::Late { latency, cause, .. } => {
+                fields.push(("latency".into(), latency.into()));
+                let cause = match cause {
+                    LateCause::Deadline => "deadline",
+                    LateCause::DelayFault => "delay_fault",
+                };
+                fields.push(("cause".into(), JsonValue::Str(cause.into())));
+            }
+            TraceEvent::LinkReordered { delay, .. } => {
+                fields.push(("delay".into(), (delay as u64).into()));
+            }
+            TraceEvent::LinkCorrupted { delivered, .. } => {
+                fields.push(("delivered".into(), JsonValue::Bool(delivered)));
+            }
+            _ => {}
+        }
+        JsonValue::Object(fields)
+    }
+
+    /// The inverse of [`TraceEvent::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first missing or mistyped field.
+    pub fn from_json(value: &JsonValue) -> Result<TraceEvent, String> {
+        let kind = value
+            .get("event")
+            .and_then(JsonValue::as_str)
+            .ok_or("trace event missing string `event`")?;
+        let num = |key: &str| -> Result<u64, String> {
+            value
+                .get(key)
+                .and_then(JsonValue::as_u64)
+                .ok_or(format!("`{kind}` event missing u64 `{key}`"))
+        };
+        let round = num("round")? as usize;
+        let src = NodeId::new(num("src")? as usize);
+        let dst = NodeId::new(num("dst")? as usize);
+        Ok(match kind {
+            "sent" => TraceEvent::Sent { round, src, dst },
+            "delivered" => TraceEvent::Delivered {
+                round,
+                src,
+                dst,
+                latency: num("latency")?,
+            },
+            "dropped_crash" => TraceEvent::DroppedCrash { round, src, dst },
+            "dropped_omission" => TraceEvent::DroppedOmission { round, src, dst },
+            "late" => TraceEvent::Late {
+                round,
+                src,
+                dst,
+                latency: num("latency")?,
+                cause: match value.get("cause").and_then(JsonValue::as_str) {
+                    Some("deadline") => LateCause::Deadline,
+                    Some("delay_fault") => LateCause::DelayFault,
+                    other => return Err(format!("bad late cause {other:?}")),
+                },
+            },
+            "no_link" => TraceEvent::NoLink { round, src, dst },
+            "link_cut" => TraceEvent::LinkCut { round, src, dst },
+            "link_dropped" => TraceEvent::LinkDropped { round, src, dst },
+            "link_duplicated" => TraceEvent::LinkDuplicated { round, src, dst },
+            "link_reordered" => TraceEvent::LinkReordered {
+                round,
+                src,
+                dst,
+                delay: num("delay")? as usize,
+            },
+            "link_corrupted" => TraceEvent::LinkCorrupted {
+                round,
+                src,
+                dst,
+                delivered: value
+                    .get("delivered")
+                    .and_then(JsonValue::as_bool)
+                    .ok_or("`link_corrupted` event missing bool `delivered`")?,
+            },
+            other => return Err(format!("unknown trace event kind `{other}`")),
+        })
+    }
+}
+
 impl fmt::Display for TraceEvent {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match *self {
@@ -211,41 +334,141 @@ impl fmt::Display for TraceEvent {
     }
 }
 
-/// An append-only event log.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+/// Trace retention policy.
+///
+/// The default (`capacity: None`) keeps every event, matching the
+/// historical append-only behaviour. A bounded config turns the trace
+/// into a ring buffer of the most recent `capacity` events, so long
+/// sweeps with tracing enabled no longer grow memory without bound;
+/// evicted events are tallied in [`Trace::dropped`] (and folded into
+/// the observability registry as `sim.trace_dropped` by the engine).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraceConfig {
+    /// Maximum events retained (`None` = unbounded).
+    pub capacity: Option<usize>,
+}
+
+impl TraceConfig {
+    /// Unbounded retention (the historical behaviour).
+    pub fn unbounded() -> Self {
+        TraceConfig { capacity: None }
+    }
+
+    /// Keep only the most recent `capacity` events.
+    pub fn bounded(capacity: usize) -> Self {
+        TraceConfig {
+            capacity: Some(capacity),
+        }
+    }
+}
+
+/// An event log: append-only by default, a most-recent-events ring
+/// buffer under a bounded [`TraceConfig`].
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Trace {
     events: Vec<TraceEvent>,
+    capacity: Option<usize>,
+    /// Ring head: index of the oldest retained event once wrapped.
+    start: usize,
+    dropped: u64,
+}
+
+impl PartialEq for Trace {
+    fn eq(&self, other: &Self) -> bool {
+        // Two traces are equal when they retain the same events in the
+        // same order and evicted the same number — the physical ring
+        // rotation (`start`) and configured capacity are representation
+        // details.
+        self.dropped == other.dropped && self.events().eq(other.events())
+    }
 }
 
 impl Trace {
-    /// An empty trace.
+    /// An empty, unbounded trace.
     pub fn new() -> Self {
         Trace::default()
     }
 
-    /// Appends an event.
+    /// An empty trace with the given retention policy.
+    pub fn with_config(config: TraceConfig) -> Self {
+        Trace {
+            capacity: config.capacity,
+            ..Trace::default()
+        }
+    }
+
+    /// Appends an event, evicting the oldest retained event (and
+    /// counting it as dropped) when a bounded capacity is full.
     pub fn record(&mut self, event: TraceEvent) {
-        self.events.push(event);
+        match self.capacity {
+            Some(0) => self.dropped += 1,
+            Some(cap) if self.events.len() == cap => {
+                self.events[self.start] = event;
+                self.start = (self.start + 1) % cap;
+                self.dropped += 1;
+            }
+            _ => self.events.push(event),
+        }
     }
 
-    /// All events in order.
-    pub fn events(&self) -> &[TraceEvent] {
-        &self.events
+    /// Retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        let (wrapped, head) = self.events.split_at(self.start);
+        head.iter().chain(wrapped.iter())
     }
 
-    /// Number of events.
+    /// Number of retained events.
     pub fn len(&self) -> usize {
         self.events.len()
     }
 
-    /// Whether the trace is empty.
+    /// Whether the trace retains no events.
     pub fn is_empty(&self) -> bool {
         self.events.is_empty()
     }
 
-    /// Count of events matching a predicate.
+    /// Events evicted by the ring buffer (zero when unbounded).
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Count of retained events matching a predicate.
     pub fn count(&self, pred: impl Fn(&TraceEvent) -> bool) -> usize {
-        self.events.iter().filter(|e| pred(e)).count()
+        self.events().filter(|e| pred(e)).count()
+    }
+
+    /// The trace as JSON: `{"dropped": n, "events": [...]}` with
+    /// events oldest-first (see [`TraceEvent::to_json`]).
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::Object(vec![
+            ("dropped".into(), self.dropped.into()),
+            (
+                "events".into(),
+                JsonValue::Array(self.events().map(TraceEvent::to_json).collect()),
+            ),
+        ])
+    }
+
+    /// Rebuilds a trace from [`Trace::to_json`] output. The result is
+    /// unbounded (retention policy is not part of the serialized form).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed event.
+    pub fn from_json(value: &JsonValue) -> Result<Trace, String> {
+        let mut trace = Trace::new();
+        trace.dropped = value
+            .get("dropped")
+            .and_then(JsonValue::as_u64)
+            .unwrap_or(0);
+        for event in value
+            .get("events")
+            .and_then(JsonValue::as_array)
+            .ok_or("trace missing `events` array")?
+        {
+            trace.events.push(TraceEvent::from_json(event)?);
+        }
+        Ok(trace)
     }
 }
 
@@ -327,6 +550,141 @@ mod tests {
                 event.to_string().contains(needle),
                 "{event} should mention {needle:?}"
             );
+        }
+    }
+
+    fn sent(round: usize) -> TraceEvent {
+        TraceEvent::Sent {
+            round,
+            src: NodeId::new(0),
+            dst: NodeId::new(1),
+        }
+    }
+
+    #[test]
+    fn bounded_trace_keeps_most_recent_and_counts_drops() {
+        let mut t = Trace::with_config(TraceConfig::bounded(3));
+        for round in 0..5 {
+            t.record(sent(round));
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.dropped(), 2);
+        let rounds: Vec<usize> = t
+            .events()
+            .map(|e| match e {
+                TraceEvent::Sent { round, .. } => *round,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(rounds, vec![2, 3, 4], "oldest evicted, order preserved");
+    }
+
+    #[test]
+    fn zero_capacity_trace_drops_everything() {
+        let mut t = Trace::with_config(TraceConfig::bounded(0));
+        t.record(sent(0));
+        assert!(t.is_empty());
+        assert_eq!(t.dropped(), 1);
+    }
+
+    #[test]
+    fn unbounded_trace_never_drops() {
+        let mut t = Trace::with_config(TraceConfig::unbounded());
+        for round in 0..100 {
+            t.record(sent(round));
+        }
+        assert_eq!(t.len(), 100);
+        assert_eq!(t.dropped(), 0);
+    }
+
+    #[test]
+    fn trace_equality_ignores_ring_rotation() {
+        // Same retained events via different physical layouts.
+        let mut wrapped = Trace::with_config(TraceConfig::bounded(2));
+        for round in 0..3 {
+            wrapped.record(sent(round));
+        }
+        let mut plain = Trace::new();
+        plain.record(sent(1));
+        plain.record(sent(2));
+        plain.dropped = 1;
+        assert_eq!(wrapped, plain);
+    }
+
+    #[test]
+    fn every_event_kind_round_trips_through_json() {
+        let (src, dst) = (NodeId::new(2), NodeId::new(5));
+        let all = [
+            TraceEvent::Sent { round: 0, src, dst },
+            TraceEvent::Delivered {
+                round: 1,
+                src,
+                dst,
+                latency: 9,
+            },
+            TraceEvent::DroppedCrash { round: 2, src, dst },
+            TraceEvent::DroppedOmission { round: 3, src, dst },
+            TraceEvent::Late {
+                round: 4,
+                src,
+                dst,
+                latency: 77,
+                cause: LateCause::Deadline,
+            },
+            TraceEvent::Late {
+                round: 4,
+                src,
+                dst,
+                latency: 78,
+                cause: LateCause::DelayFault,
+            },
+            TraceEvent::NoLink { round: 5, src, dst },
+            TraceEvent::LinkCut { round: 6, src, dst },
+            TraceEvent::LinkDropped { round: 7, src, dst },
+            TraceEvent::LinkDuplicated { round: 8, src, dst },
+            TraceEvent::LinkReordered {
+                round: 9,
+                src,
+                dst,
+                delay: 2,
+            },
+            TraceEvent::LinkCorrupted {
+                round: 10,
+                src,
+                dst,
+                delivered: true,
+            },
+            TraceEvent::LinkCorrupted {
+                round: 10,
+                src,
+                dst,
+                delivered: false,
+            },
+        ];
+        for event in all {
+            let json = event.to_json();
+            let text = json.to_json_string();
+            let parsed = obs::JsonValue::parse(&text).unwrap();
+            assert_eq!(TraceEvent::from_json(&parsed).unwrap(), event, "{text}");
+        }
+        let mut trace = Trace::new();
+        for event in all {
+            trace.record(event);
+        }
+        let text = trace.to_json().to_json_string();
+        let back = Trace::from_json(&obs::JsonValue::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, trace);
+    }
+
+    #[test]
+    fn from_json_rejects_unknown_kind_and_missing_fields() {
+        for bad in [
+            "{\"event\":\"warp\",\"round\":0,\"src\":0,\"dst\":1}",
+            "{\"event\":\"late\",\"round\":0,\"src\":0,\"dst\":1,\"latency\":5}",
+            "{\"round\":0,\"src\":0,\"dst\":1}",
+        ] {
+            let v = obs::JsonValue::parse(bad).unwrap();
+            assert!(TraceEvent::from_json(&v).is_err(), "{bad}");
         }
     }
 

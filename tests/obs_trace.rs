@@ -1,0 +1,84 @@
+//! Golden-trace test for the observability layer: a tiny N = 4 engine
+//! run, observed and exported as a logical-clock Chrome trace, must be
+//! **bit-identical** at 1, 2, and 8 resolve workers once wall times are
+//! scrubbed — the `--no-timing` contract, pinned against a checked-in
+//! snapshot.
+//!
+//! Regenerate the snapshot after an intentional format change with:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test obs_trace
+//! ```
+
+use degradable::{EigEngine, Path, Val, VoteRule};
+use obs::{chrome_trace_json, parse_trace, Obs, TimeMode};
+use simnet::NodeId;
+use std::collections::BTreeSet;
+
+const GOLDEN_PATH: &str = "tests/golden/obs_trace_n4.json";
+
+/// The tiny deterministic scenario: N = 4, depth 2 (m = 1), node 2
+/// faulty with a receiver-dependent lie.
+fn observed_n4_run(workers: usize) -> Obs {
+    let engine = EigEngine::new(4, NodeId::new(0), 2).with_workers(workers);
+    let faulty: BTreeSet<NodeId> = [NodeId::new(2)].into();
+    let mut fabricate = |_: &Path, receiver: NodeId, _: &Val| Val::Value(receiver.index() as u64);
+    let mut obs = Obs::enabled();
+    let run = engine.run_observed(
+        VoteRule::Degradable { m: 1 },
+        &Val::Value(7),
+        &faulty,
+        &mut fabricate,
+        &mut obs,
+    );
+    assert_eq!(run.decisions.len(), 3, "three fault-free receivers");
+    obs
+}
+
+/// The scrubbed logical-clock export — everything `--no-timing` emits.
+fn logical_trace(workers: usize) -> String {
+    let mut obs = observed_n4_run(workers);
+    obs::scrub_timing(&mut obs);
+    chrome_trace_json(&obs, TimeMode::Logical)
+}
+
+#[test]
+fn golden_trace_is_bit_identical_across_worker_counts() {
+    let reference = logical_trace(1);
+    for workers in [2usize, 8] {
+        assert_eq!(
+            logical_trace(workers),
+            reference,
+            "scrubbed logical trace differs at {workers} workers"
+        );
+    }
+}
+
+#[test]
+fn golden_trace_matches_checked_in_snapshot() {
+    let actual = logical_trace(1);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all("tests/golden").unwrap();
+        std::fs::write(GOLDEN_PATH, &actual).unwrap();
+        return;
+    }
+    let golden = std::fs::read_to_string(GOLDEN_PATH)
+        .expect("golden snapshot missing — run with UPDATE_GOLDEN=1 to create it");
+    assert_eq!(
+        actual, golden,
+        "trace format drifted from {GOLDEN_PATH}; if intentional, regenerate with UPDATE_GOLDEN=1"
+    );
+}
+
+#[test]
+fn golden_trace_round_trips_losslessly() {
+    let text = logical_trace(2);
+    let parsed = parse_trace(&text).expect("exporter output parses");
+    let obs = {
+        let mut o = observed_n4_run(2);
+        obs::scrub_timing(&mut o);
+        o
+    };
+    assert_eq!(parsed.spans, obs.spans());
+    assert_eq!(&parsed.registry, obs.registry());
+}
