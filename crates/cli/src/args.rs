@@ -11,6 +11,7 @@ dagree — explore m/u-degradable agreement (Vaidya 1993)
 
 USAGE:
   dagree run --nodes N --m M --u U [--value V] [--faulty SPEC] [--explain NODE]
+  dagree batch --nodes N --m M --u U [--k K] [--value V] [--faulty SPEC] [--seed S]
   dagree search --nodes N --m M --u U [--below-bound] [--method exhaustive|random|hillclimb]
   dagree table [--max-m M] [--max-u U]
   dagree tradeoffs --nodes N
@@ -31,6 +32,7 @@ TOPOLOGY KIND:
 
 EXAMPLES:
   dagree run --nodes 5 --m 1 --u 2 --value 42 --faulty 3:constant-lie:7,4:constant-lie:7
+  dagree batch --nodes 5 --m 1 --u 2 --k 8 --faulty 3:constant-lie:7
   dagree run --nodes 5 --m 1 --u 2 --faulty 4:silent --explain 1
   dagree search --nodes 4 --m 1 --u 2 --below-bound --method exhaustive
   dagree topology --kind harary:4:8 --m 1 --u 2
@@ -59,6 +61,23 @@ pub enum Command {
         faulty: BTreeMap<NodeId, Strategy<u64>>,
         /// Receiver to narrate, if any.
         explain: Option<NodeId>,
+    },
+    /// `dagree batch`
+    Batch {
+        /// Node count.
+        nodes: usize,
+        /// Strong threshold.
+        m: usize,
+        /// Degraded threshold.
+        u: usize,
+        /// Stream length: how many slots node 0 proposes.
+        k: usize,
+        /// Base value; slot `i` proposes `value + i`.
+        value: u64,
+        /// Faulty nodes with strategies.
+        faulty: BTreeMap<NodeId, Strategy<u64>>,
+        /// Engine seed.
+        seed: u64,
     },
     /// `dagree search`
     Search {
@@ -270,6 +289,32 @@ pub fn parse_args(argv: &[String]) -> Result<Command, ParseError> {
                 explain,
             })
         }
+        "batch" => {
+            let flags = collect_flags(rest)?;
+            let faulty = match flags.pairs.get("--faulty") {
+                Some(spec) => parse_faulty(spec)?,
+                None => BTreeMap::new(),
+            };
+            Ok(Command::Batch {
+                nodes: req_usize(&flags, "--nodes")?,
+                m: req_usize(&flags, "--m")?,
+                u: req_usize(&flags, "--u")?,
+                k: opt_usize(&flags, "--k", 4)?,
+                value: flags
+                    .pairs
+                    .get("--value")
+                    .map(|v| parse_u64(v))
+                    .transpose()?
+                    .unwrap_or(42),
+                faulty,
+                seed: flags
+                    .pairs
+                    .get("--seed")
+                    .map(|v| parse_u64(v))
+                    .transpose()?
+                    .unwrap_or(1),
+            })
+        }
         "search" => {
             let flags = collect_flags(rest)?;
             let method = match flags.pairs.get("--method").copied().unwrap_or("exhaustive") {
@@ -466,6 +511,29 @@ mod tests {
                 method: SearchMethod::HillClimb,
             }
         );
+    }
+
+    #[test]
+    fn parse_batch() {
+        let cmd = parse_args(&sv(&[
+            "batch", "--nodes", "5", "--m", "1", "--u", "2", "--k", "8", "--faulty", "3:silent",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Batch {
+                nodes,
+                m,
+                u,
+                k,
+                value,
+                faulty,
+                seed,
+            } => {
+                assert_eq!((nodes, m, u, k, value, seed), (5, 1, 2, 8, 42, 1));
+                assert_eq!(faulty.len(), 1);
+            }
+            other => panic!("{other:?}"),
+        }
     }
 
     #[test]

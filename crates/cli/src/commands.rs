@@ -21,6 +21,15 @@ pub fn dispatch(cmd: &Command) -> String {
             faulty,
             explain,
         } => run_cmd(*nodes, *m, *u, *value, faulty, *explain),
+        Command::Batch {
+            nodes,
+            m,
+            u,
+            k,
+            value,
+            faulty,
+            seed,
+        } => batch_cmd(*nodes, *m, *u, *k, *value, faulty, *seed),
         Command::Search {
             nodes,
             m,
@@ -258,6 +267,85 @@ fn run_cmd(
     out
 }
 
+fn batch_cmd(
+    nodes: usize,
+    m: usize,
+    u: usize,
+    k: usize,
+    value: u64,
+    faulty: &std::collections::BTreeMap<NodeId, degradable::Strategy<u64>>,
+    seed: u64,
+) -> String {
+    let params = match Params::new(m, u) {
+        Ok(p) => p,
+        Err(e) => return format!("error: {e}"),
+    };
+    if !params.admits(nodes) {
+        return format!(
+            "error: BYZ({m},{u}) needs at least {} nodes, got {nodes}",
+            params.min_nodes()
+        );
+    }
+    let sender = NodeId::new(0);
+    let instances: Vec<degradable::BatchInstance<u64>> = (0..k)
+        .map(|slot| degradable::BatchInstance {
+            sender,
+            value: Val::Value(value + slot as u64),
+        })
+        .collect();
+    let batch = degradable::run_batch(params, nodes, &instances, faulty, seed);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "batch: {k} slot(s) from {sender} on BYZ({m},{u}) with n = {nodes}, f = {}",
+        faulty.len()
+    );
+    for (slot, decisions) in batch.decisions.iter().enumerate() {
+        let fault_free: Vec<_> = decisions
+            .iter()
+            .filter(|(r, _)| !faulty.contains_key(r))
+            .collect();
+        let distinct: std::collections::BTreeSet<_> =
+            fault_free.iter().map(|(_, v)| **v).collect();
+        if distinct.len() == 1 {
+            let _ = writeln!(
+                out,
+                "  slot {slot} (sent {}): all {} fault-free receivers decided {}",
+                instances[slot].value,
+                fault_free.len(),
+                fault_free[0].1
+            );
+        } else {
+            let _ = writeln!(
+                out,
+                "  slot {slot} (sent {}): SPLIT —",
+                instances[slot].value
+            );
+            for (r, v) in fault_free {
+                let _ = writeln!(out, "    {r} decided {v}");
+            }
+        }
+    }
+    let eig = batch.net.eig;
+    let _ = writeln!(
+        out,
+        "transport: {} messages over {} rounds (one multiplexed engine run)",
+        batch.net.sent, batch.net.rounds_run
+    );
+    let _ = writeln!(
+        out,
+        "arena: {} built, {} reused; {} votes evaluated, {} memo hits, \
+         {} observations materialized; {} cross-instance spoofs rejected",
+        batch.arena_builds,
+        k - batch.arena_builds,
+        eig.votes_evaluated,
+        eig.votes_memo_hit,
+        eig.messages_materialized,
+        batch.spoofs_rejected
+    );
+    out
+}
+
 fn search_cmd(nodes: usize, m: usize, u: usize, below_bound: bool, method: SearchMethod) -> String {
     let instance = match make_instance(nodes, m, u, below_bound) {
         Ok(i) => i,
@@ -430,6 +518,23 @@ mod tests {
     fn run_clean_scenario() {
         let out = run_cmd(5, 1, 2, 42, &Default::default(), None);
         assert!(out.contains("condition D.1 satisfied"), "{out}");
+    }
+
+    #[test]
+    fn batch_stream_reports_decisions_and_arena_reuse() {
+        let faulty = parse_faulty("3:constant-lie:7").unwrap();
+        let out = batch_cmd(5, 1, 2, 4, 42, &faulty, 1);
+        assert!(out.contains("slot 3 (sent 45)"), "{out}");
+        assert!(out.contains("decided 45"), "{out}");
+        assert!(out.contains("arena: 1 built, 3 reused"), "{out}");
+        assert!(out.contains("0 cross-instance spoofs rejected"), "{out}");
+    }
+
+    #[test]
+    fn batch_rejects_bad_shapes() {
+        let out = batch_cmd(4, 1, 2, 2, 42, &Default::default(), 1);
+        assert!(out.contains("error"), "{out}");
+        assert!(out.contains("at least 5 nodes"), "{out}");
     }
 
     #[test]

@@ -308,6 +308,23 @@ impl<V> EigStore<V> {
         self.slots[id.index() * self.n + receiver.index()].as_ref()
     }
 
+    /// Iterator over the slots `receiver` holds — its *column* of the
+    /// table, in arena (BFS) order. This is the bridge back to the
+    /// per-receiver [`crate::EigView`] world: differential tests
+    /// materialize a view from a column and re-resolve the exact same
+    /// observations through the reference fold.
+    pub fn column(
+        &self,
+        receiver: NodeId,
+    ) -> impl Iterator<Item = (PathId, &AgreementValue<V>)> + '_ {
+        let n = self.n;
+        let r = receiver.index();
+        self.slots
+            .chunks(n)
+            .enumerate()
+            .filter_map(move |(i, row)| row[r].as_ref().map(|v| (PathId(i as u32), v)))
+    }
+
     /// Slots materialized so far (first writes only).
     pub fn materialized(&self) -> u64 {
         self.materialized
@@ -851,6 +868,25 @@ mod tests {
         assert!(!store.record(&arena, PathId::ROOT, r, Val::Value(9)));
         assert_eq!(store.get(PathId::ROOT, r), Some(&Val::Value(7)));
         assert_eq!(store.materialized(), 1);
+    }
+
+    #[test]
+    fn store_column_lists_one_receivers_slots_in_bfs_order() {
+        let arena = arena_4_2();
+        let mut store: EigStore<u64> = EigStore::new(&arena);
+        let r = NodeId::new(2);
+        let level2 = Path::root(NodeId::new(0)).child(NodeId::new(1));
+        let id2 = arena.intern(&level2).unwrap();
+        // Record out of BFS order; the column still comes back sorted.
+        store.record(&arena, id2, r, Val::Value(9));
+        store.record(&arena, PathId::ROOT, r, Val::Value(7));
+        store.record(&arena, PathId::ROOT, NodeId::new(1), Val::Value(5));
+        let column: Vec<(PathId, Val)> = store.column(r).map(|(id, v)| (id, *v)).collect();
+        assert_eq!(
+            column,
+            vec![(PathId::ROOT, Val::Value(7)), (id2, Val::Value(9))]
+        );
+        assert_eq!(store.column(NodeId::new(3)).count(), 0);
     }
 
     #[test]

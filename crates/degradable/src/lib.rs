@@ -109,7 +109,10 @@ pub use ic::{check_degradable_ic, run_degradable_ic, IcOutcome, IcViolation};
 pub use params::{Params, ParamsError};
 pub use path::{path_count, paths_of_length, Path};
 pub use protocol::{run_protocol, run_protocol_full, run_protocol_with, ByzMsg, ProtocolRun};
-pub use service::{run_batch, BatchInstance, BatchMsg, BatchRun};
+pub use service::{
+    run_batch, run_batch_full, run_batch_observed, run_batch_reference, run_batch_with,
+    BatchInstance, BatchMsg, BatchRun,
+};
 pub use sm::{run_sm, run_sm_honest, SmAdversary, SmRelayAction};
 pub use sparse::{
     run_sparse, run_sparse_chaotic, sender_cut_topology, RelayChaos, RelayCorruption, SparseRun,

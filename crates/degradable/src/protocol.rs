@@ -133,10 +133,8 @@ pub fn run_protocol_full<V: Clone + Ord + Hash + Send + Sync>(
             continue;
         }
         let mut view = EigView::new(n, depth, r);
-        for id in arena.ids() {
-            if let Some(v) = store.get(id, r) {
-                view.record(arena.resolve_path(id), v.clone());
-            }
+        for (id, v) in store.column(r) {
+            view.record(arena.resolve_path(id), v.clone());
         }
         views.insert(r, view);
     }

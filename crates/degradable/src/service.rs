@@ -1,5 +1,5 @@
 //! Batched agreement: many concurrent BYZ instances multiplexed over one
-//! message-passing execution.
+//! message-passing execution, folded through the shared arena engine.
 //!
 //! A deployed system rarely runs one agreement at a time — interactive
 //! consistency needs `N` instances (one per sender), a replicated log
@@ -7,24 +7,52 @@
 //! of sensor readings. [`run_batch`] runs any number of instances
 //! *concurrently* on the `simnet` round engine: every envelope carries an
 //! instance id, all instances advance in lock-step (they share the `m+1`
-//! round structure), and each node folds one [`EigView`] per instance at
-//! the end.
+//! round structure), and decisions come from one memoized bottom-up
+//! arena resolution per instance ([`crate::engine`]) instead of one
+//! recursive [`EigView`] fold per (receiver, instance).
+//!
+//! The path structure of an instance depends only on `(n, sender, depth)`,
+//! never on slot values, so instances that share a sender share one
+//! [`crate::engine::PathArena`] (and [`crate::engine::EigEngine`]): a
+//! K-slot stream from one sender builds its arena exactly once
+//! ([`BatchRun::arena_builds`] counts the builds). Each instance fills its
+//! own [`crate::engine::EigStore`] — node `i`'s local view is column `i`.
 //!
 //! The faulty nodes' strategies apply uniformly across instances (the
 //! same Byzantine node misbehaves everywhere), which matches the fault
 //! model: `f` counts *nodes*, not (node, instance) pairs.
 //!
+//! Inbox validation mirrors [`crate::protocol`] — and adds one batch-only
+//! check: the envelope's path root must be the claimed instance's sender.
+//! Without it a Byzantine relayer can *re-tag* a genuine envelope with a
+//! different instance id (cross-instance spoofing); the resolution never
+//! reads foreign-rooted slots, but honest nodes would still relay the
+//! spoof and amplify it. Rejected spoofs are counted in
+//! [`BatchRun::spoofs_rejected`].
+//!
+//! Link-level chaos plans install through [`run_batch_with`] exactly as
+//! for [`crate::protocol::run_protocol_with`]: duplicated envelopes fold
+//! idempotently (first write per (instance, path, receiver) slot wins,
+//! mirroring the per-path-index dedup of [`crate::sparse`]), reordered
+//! envelopes that arrive late still fold as direct observations but are
+//! never relayed, and corruption reads as absence (oral-message axiom).
+//!
 //! Integration tests assert that a batch is decision-identical to running
 //! the same instances one at a time — multiplexing is purely a transport
 //! optimization: one engine run instead of `K`, with the same total
-//! message count.
+//! message count. [`run_batch_reference`] preserves the legacy
+//! per-(receiver, instance) `EigView` executor verbatim as the
+//! differential oracle and the one-at-a-time fold baseline measured by
+//! experiment E16 (`bench/src/bin/batch_throughput.rs`).
 
 use crate::adversary::Strategy;
 use crate::eig::EigView;
+use crate::engine::{EigEngine, EigStore};
 use crate::params::Params;
 use crate::path::Path;
 use crate::value::AgreementValue;
-use simnet::{NodeId, RoundEngine, Topology};
+use obs::Obs;
+use simnet::{EigPerf, NodeId, RoundEngine, Topology};
 use std::collections::BTreeMap;
 use std::hash::Hash;
 
@@ -53,8 +81,48 @@ pub struct BatchMsg<V> {
 pub struct BatchRun<V: Ord> {
     /// Per instance (in input order): every receiver's decision.
     pub decisions: Vec<BTreeMap<NodeId, AgreementValue<V>>>,
-    /// Network statistics of the single multiplexed engine run.
+    /// Network statistics of the single multiplexed engine run; `net.eig`
+    /// carries the [`EigPerf`] counters aggregated across all instances.
     pub net: simnet::Outcome,
+    /// Distinct arenas built — one per distinct sender, at most the
+    /// instance count. A K-slot single-sender stream reports 1.
+    /// [`run_batch_reference`] builds no arenas and reports 0.
+    pub arena_builds: usize,
+    /// Envelopes rejected because their path root was not the claimed
+    /// instance's sender (cross-instance spoofing by a Byzantine relayer
+    /// or a corrupting link).
+    pub spoofs_rejected: u64,
+}
+
+/// Sending a fabricated (or truthful) value to one receiver; Silent
+/// strategies suppress the message entirely.
+fn claim_for<V: Clone + Ord + Hash>(
+    strategies: &BTreeMap<NodeId, Strategy<V>>,
+    me: NodeId,
+    child: &Path,
+    receiver: NodeId,
+    truthful: &AgreementValue<V>,
+) -> Option<AgreementValue<V>> {
+    match strategies.get(&me) {
+        None => Some(truthful.clone()),
+        Some(Strategy::Silent) => None,
+        Some(s) => Some(s.claim(child, receiver, truthful)),
+    }
+}
+
+fn check_batch_bounds<V>(params: Params, n: usize, instances: &[BatchInstance<V>]) {
+    assert!(
+        params.admits(n),
+        "need at least {} nodes",
+        params.min_nodes()
+    );
+    for inst in instances {
+        assert!(
+            inst.sender.index() < n,
+            "sender {} out of range",
+            inst.sender
+        );
+    }
 }
 
 /// Runs `instances` concurrently over one engine execution.
@@ -63,27 +131,305 @@ pub struct BatchRun<V: Ord> {
 ///
 /// Panics if any instance's sender is out of range, or `n` violates the
 /// node bound for `params`.
-pub fn run_batch<V: Clone + Ord + Hash>(
+pub fn run_batch<V: Clone + Ord + Hash + Send + Sync>(
     params: Params,
     n: usize,
     instances: &[BatchInstance<V>],
     strategies: &BTreeMap<NodeId, Strategy<V>>,
     seed: u64,
 ) -> BatchRun<V> {
-    assert!(
-        params.admits(n),
-        "need at least {} nodes",
-        params.min_nodes()
+    run_batch_with(params, n, instances, strategies, seed, |e| e)
+}
+
+/// Like [`run_batch`], with a hook to customize the engine (link-fault
+/// plan, latency model, corruptor, tracing) before the run.
+pub fn run_batch_with<V: Clone + Ord + Hash + Send + Sync>(
+    params: Params,
+    n: usize,
+    instances: &[BatchInstance<V>],
+    strategies: &BTreeMap<NodeId, Strategy<V>>,
+    seed: u64,
+    engine_setup: impl FnOnce(RoundEngine<BatchMsg<V>>) -> RoundEngine<BatchMsg<V>>,
+) -> BatchRun<V> {
+    run_batch_observed(
+        params,
+        n,
+        instances,
+        strategies,
+        seed,
+        1,
+        engine_setup,
+        &mut Obs::disabled(),
+    )
+    .0
+}
+
+/// Like [`run_batch_with`], additionally materializing every receiver's
+/// [`EigView`] per instance from the shared stores, so differential
+/// tests can re-resolve the exact same observations through
+/// [`EigView::resolve`] and compare against the arena fold
+/// (`tests/batch_equivalence.rs` does this under chaos plans).
+pub fn run_batch_full<V: Clone + Ord + Hash + Send + Sync>(
+    params: Params,
+    n: usize,
+    instances: &[BatchInstance<V>],
+    strategies: &BTreeMap<NodeId, Strategy<V>>,
+    seed: u64,
+    engine_setup: impl FnOnce(RoundEngine<BatchMsg<V>>) -> RoundEngine<BatchMsg<V>>,
+) -> (BatchRun<V>, Vec<BTreeMap<NodeId, EigView<V>>>) {
+    let (run, engines, engine_idx, stores) = run_batch_observed(
+        params,
+        n,
+        instances,
+        strategies,
+        seed,
+        1,
+        engine_setup,
+        &mut Obs::disabled(),
     );
     let depth = params.rounds();
+    let views = instances
+        .iter()
+        .enumerate()
+        .map(|(k, inst)| {
+            let arena = engines[engine_idx[k]].arena();
+            NodeId::all(n)
+                .filter(|r| *r != inst.sender)
+                .map(|r| {
+                    let mut view = EigView::new(n, depth, r);
+                    for (id, v) in stores[k].column(r) {
+                        view.record(arena.resolve_path(id), v.clone());
+                    }
+                    (r, view)
+                })
+                .collect()
+        })
+        .collect();
+    (run, views)
+}
+
+/// The observed core of the batch service: one multiplexed
+/// [`RoundEngine`] run fills one [`EigStore`] per instance, then each
+/// instance resolves bottom-up (with `workers` resolution threads)
+/// through its sender's shared arena.
+///
+/// Records a `batch.fill` span over the engine run (logical cost = slots
+/// materialized across all instances), one `batch.resolve` span per
+/// instance (logical cost = votes settled), and `batch.*` registry
+/// counters, plus the aggregated `eig.*` counters. With a disabled
+/// recorder this is exactly [`run_batch_with`].
+///
+/// Returns the run plus the engines, the instance→engine index map, and
+/// the per-instance stores (so [`run_batch_full`] can materialize
+/// per-receiver views without re-executing).
+#[allow(clippy::too_many_arguments, clippy::type_complexity)]
+pub fn run_batch_observed<V: Clone + Ord + Hash + Send + Sync>(
+    params: Params,
+    n: usize,
+    instances: &[BatchInstance<V>],
+    strategies: &BTreeMap<NodeId, Strategy<V>>,
+    seed: u64,
+    workers: usize,
+    engine_setup: impl FnOnce(RoundEngine<BatchMsg<V>>) -> RoundEngine<BatchMsg<V>>,
+    obs: &mut Obs,
+) -> (BatchRun<V>, Vec<EigEngine>, Vec<usize>, Vec<EigStore<V>>) {
+    check_batch_bounds(params, n, instances);
+    let depth = params.rounds();
     let rule = crate::eig::VoteRule::Degradable { m: params.m() };
+
+    // One arena (and engine) per *distinct sender*: the path structure
+    // depends only on (n, sender, depth), so every instance sharing a
+    // sender shares the interned tree.
+    let mut engine_of_sender: BTreeMap<NodeId, usize> = BTreeMap::new();
+    let mut engines: Vec<EigEngine> = Vec::new();
+    let mut engine_idx: Vec<usize> = Vec::with_capacity(instances.len());
     for inst in instances {
-        assert!(
-            inst.sender.index() < n,
-            "sender {} out of range",
-            inst.sender
-        );
+        let next = engines.len();
+        let e = *engine_of_sender.entry(inst.sender).or_insert(next);
+        if e == next {
+            engines.push(EigEngine::new(n, inst.sender, depth).with_workers(workers));
+        }
+        engine_idx.push(e);
     }
+    let arena_builds = engines.len();
+
+    // One slot table per instance, shared by all nodes: node `i`'s local
+    // view of instance `k` is column `i` of `stores[k]`.
+    let mut stores: Vec<EigStore<V>> = instances
+        .iter()
+        .enumerate()
+        .map(|(k, _)| EigStore::new(engines[engine_idx[k]].arena()))
+        .collect();
+    let mut spoofs_rejected = 0u64;
+
+    let mut engine = engine_setup(RoundEngine::new(Topology::complete(n), seed));
+    let fill_timer = obs.span(
+        "batch.fill",
+        vec![
+            ("n", n as u64),
+            ("instances", instances.len() as u64),
+            ("depth", depth as u64),
+        ],
+    );
+    let fill_start = std::time::Instant::now();
+    let mut net = engine.run_with(depth + 1, |i, ctx| {
+        let me = NodeId::new(i);
+        let round = ctx.round();
+        // 1. Record this round's deliveries (level = round).
+        let mut to_relay: Vec<(u32, Path, AgreementValue<V>)> = Vec::new();
+        if round >= 1 {
+            for (src, msg) in ctx.inbox().to_vec() {
+                let idx = msg.instance as usize;
+                // A path of level `< round` is an envelope the network
+                // delivered late (link reordering): its relay slot has
+                // passed, but the direct observation is still genuine, so
+                // it folds into the store. Anything else malformed —
+                // impersonated or self-referential paths, or paths from a
+                // future level — is dropped (treated as absent).
+                let valid = idx < instances.len()
+                    && !msg.path.is_empty()
+                    && msg.path.len() <= round
+                    && msg.path.last() == src
+                    && !msg.path.contains(me);
+                if !valid {
+                    continue; // malformed claim: treated as absent
+                }
+                // Cross-instance spoofing: the claimed instance pins the
+                // path root. A mismatched root is a re-tagged envelope
+                // and must read as absent *before* any recording, so a
+                // spoof never consumes relay bandwidth.
+                if msg.path.sender() != instances[idx].sender {
+                    spoofs_rejected += 1;
+                    continue;
+                }
+                let eng = &engines[engine_idx[idx]];
+                // Only sender-rooted repetition-free labels intern; the
+                // resolution never reads anything else.
+                let Some(id) = eng.arena().intern(&msg.path) else {
+                    continue;
+                };
+                let on_time = msg.path.len() == round;
+                // First write wins: duplicated envelopes (link-level
+                // duplication, or a late copy overtaken by chaos) are
+                // discarded by the idempotent fold.
+                let fresh = stores[idx].record(eng.arena(), id, me, msg.value.clone());
+                if fresh && on_time && round < depth {
+                    to_relay.push((msg.instance, msg.path, msg.value));
+                }
+            }
+        }
+        // 2. Send this round's messages.
+        if round == 0 {
+            for (idx, inst) in instances.iter().enumerate() {
+                if inst.sender != me {
+                    continue;
+                }
+                let root = Path::root(inst.sender);
+                for r in NodeId::all(n) {
+                    if r == me {
+                        continue;
+                    }
+                    if let Some(v) = claim_for(strategies, me, &root, r, &inst.value) {
+                        ctx.send(
+                            r,
+                            BatchMsg {
+                                instance: idx as u32,
+                                path: root.clone(),
+                                value: v,
+                            },
+                        );
+                    }
+                }
+            }
+        } else {
+            for (instance, path, value) in to_relay {
+                let child = path.child(me);
+                for r in NodeId::all(n) {
+                    if child.contains(r) {
+                        continue;
+                    }
+                    if let Some(v) = claim_for(strategies, me, &child, r, &value) {
+                        ctx.send(
+                            r,
+                            BatchMsg {
+                                instance,
+                                path: child.clone(),
+                                value: v,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+    });
+    let fill_nanos = fill_start.elapsed().as_nanos() as u64;
+    obs.finish(fill_timer, stores.iter().map(EigStore::materialized).sum());
+
+    // 3. Memoized bottom-up resolve, one pass per instance over its
+    // sender's shared arena.
+    let mut decisions = Vec::with_capacity(instances.len());
+    let mut agg = EigPerf::default();
+    for (k, inst) in instances.iter().enumerate() {
+        let timer = obs.span(
+            "batch.resolve",
+            vec![
+                ("instance", k as u64),
+                ("sender", inst.sender.index() as u64),
+            ],
+        );
+        let resolved = engines[engine_idx[k]].resolve(rule, &stores[k]);
+        obs.finish(
+            timer,
+            resolved.perf.votes_evaluated + resolved.perf.votes_memo_hit,
+        );
+        agg.absorb(&resolved.perf);
+        decisions.push(resolved.decisions);
+    }
+    agg.fill_nanos = fill_nanos;
+    net.eig = agg;
+
+    obs.add("batch.instances", instances.len() as u64);
+    obs.add("batch.arena_builds", arena_builds as u64);
+    obs.add(
+        "batch.arena_reuses",
+        (instances.len() - arena_builds) as u64,
+    );
+    obs.add("batch.spoofs_rejected", spoofs_rejected);
+    if let Some(registry) = obs.registry_mut() {
+        net.eig.fold_into(registry);
+    }
+
+    (
+        BatchRun {
+            decisions,
+            net,
+            arena_builds,
+            spoofs_rejected,
+        },
+        engines,
+        engine_idx,
+        stores,
+    )
+}
+
+/// The legacy batch executor, preserved verbatim: one [`EigView`] per
+/// (receiver, instance), each resolved recursively — the pre-arena fold.
+///
+/// Kept (like [`crate::reference_eval`] in the single-instance world) as
+/// the differential oracle for [`run_batch`] and as the one-at-a-time
+/// fold baseline that experiment E16 measures the arena batch against.
+/// Reports `arena_builds = 0` and performs no envelope dedup or
+/// spoof rejection: strictly on-time envelopes only, as before.
+pub fn run_batch_reference<V: Clone + Ord + Hash>(
+    params: Params,
+    n: usize,
+    instances: &[BatchInstance<V>],
+    strategies: &BTreeMap<NodeId, Strategy<V>>,
+    seed: u64,
+) -> BatchRun<V> {
+    check_batch_bounds(params, n, instances);
+    let depth = params.rounds();
+    let rule = crate::eig::VoteRule::Degradable { m: params.m() };
     let mut engine: RoundEngine<BatchMsg<V>> = RoundEngine::new(Topology::complete(n), seed);
 
     // views[node][instance]
@@ -95,18 +441,6 @@ pub fn run_batch<V: Clone + Ord + Hash>(
                 .collect()
         })
         .collect();
-
-    let claim_for = |me: NodeId,
-                     child: &Path,
-                     receiver: NodeId,
-                     truthful: &AgreementValue<V>|
-     -> Option<AgreementValue<V>> {
-        match strategies.get(&me) {
-            None => Some(truthful.clone()),
-            Some(Strategy::Silent) => None,
-            Some(s) => Some(s.claim(child, receiver, truthful)),
-        }
-    };
 
     let net = engine.run_with(depth + 1, |i, ctx| {
         let me = NodeId::new(i);
@@ -138,7 +472,7 @@ pub fn run_batch<V: Clone + Ord + Hash>(
                     if r == me {
                         continue;
                     }
-                    if let Some(v) = claim_for(me, &root, r, &inst.value) {
+                    if let Some(v) = claim_for(strategies, me, &root, r, &inst.value) {
                         ctx.send(
                             r,
                             BatchMsg {
@@ -157,7 +491,7 @@ pub fn run_batch<V: Clone + Ord + Hash>(
                     if child.contains(r) {
                         continue;
                     }
-                    if let Some(v) = claim_for(me, &child, r, &value) {
+                    if let Some(v) = claim_for(strategies, me, &child, r, &value) {
                         ctx.send(
                             r,
                             BatchMsg {
@@ -182,7 +516,12 @@ pub fn run_batch<V: Clone + Ord + Hash>(
                 .collect()
         })
         .collect();
-    BatchRun { decisions, net }
+    BatchRun {
+        decisions,
+        net,
+        arena_builds: 0,
+        spoofs_rejected: 0,
+    }
 }
 
 #[cfg(test)]
@@ -191,6 +530,7 @@ mod tests {
     use crate::byz::ByzInstance;
     use crate::protocol::run_protocol;
     use crate::value::Val;
+    use simnet::{LinkFaultKind, LinkFaultPlan};
 
     fn n(i: usize) -> NodeId {
         NodeId::new(i)
@@ -200,9 +540,8 @@ mod tests {
         Params::new(1, 2).unwrap()
     }
 
-    #[test]
-    fn batch_matches_sequential_runs() {
-        let strategies: BTreeMap<NodeId, Strategy<u64>> = [
+    fn lying_strategies() -> BTreeMap<NodeId, Strategy<u64>> {
+        [
             (n(3), Strategy::ConstantLie(Val::Value(9))),
             (
                 n(4),
@@ -213,8 +552,11 @@ mod tests {
             ),
         ]
         .into_iter()
-        .collect();
-        let instances: Vec<BatchInstance<u64>> = vec![
+        .collect()
+    }
+
+    fn mixed_instances() -> Vec<BatchInstance<u64>> {
+        vec![
             BatchInstance {
                 sender: n(0),
                 value: Val::Value(10),
@@ -227,13 +569,30 @@ mod tests {
                 sender: n(4),
                 value: Val::Value(30),
             },
-        ];
+        ]
+    }
+
+    #[test]
+    fn batch_matches_sequential_runs() {
+        let strategies = lying_strategies();
+        let instances = mixed_instances();
         let batch = run_batch(params(), 5, &instances, &strategies, 1);
         for (i, inst) in instances.iter().enumerate() {
             let single = ByzInstance::new(5, params(), inst.sender).unwrap();
             let solo = run_protocol(&single, &inst.value, &strategies, 1);
             assert_eq!(batch.decisions[i], solo.decisions, "instance {i}");
         }
+        assert_eq!(batch.spoofs_rejected, 0);
+    }
+
+    #[test]
+    fn batch_matches_legacy_reference_executor() {
+        let strategies = lying_strategies();
+        let instances = mixed_instances();
+        let arena = run_batch(params(), 5, &instances, &strategies, 7);
+        let legacy = run_batch_reference(params(), 5, &instances, &strategies, 7);
+        assert_eq!(arena.decisions, legacy.decisions);
+        assert_eq!(arena.net.sent, legacy.net.sent);
     }
 
     #[test]
@@ -256,6 +615,7 @@ mod tests {
         let batch = run_batch::<u64>(params(), 5, &[], &BTreeMap::new(), 1);
         assert!(batch.decisions.is_empty());
         assert_eq!(batch.net.sent, 0);
+        assert_eq!(batch.arena_builds, 0);
     }
 
     #[test]
@@ -274,6 +634,8 @@ mod tests {
             })
             .collect();
         let batch = run_batch(params(), 5, &instances, &strategies, 1);
+        // Distinct senders: one arena each, no reuse possible.
+        assert_eq!(batch.arena_builds, 5);
         let ic = crate::ic::run_degradable_ic(params(), &values, &strategies);
         for (slot, decisions) in batch.decisions.iter().enumerate() {
             for (r, vec) in &ic.vectors {
@@ -283,6 +645,146 @@ mod tests {
                 assert_eq!(decisions[r], vec[slot], "slot {slot}, receiver {r}");
             }
         }
+    }
+
+    #[test]
+    fn stream_batch_builds_one_arena_for_all_slots() {
+        // K slots from one sender: the arena is built once and shared.
+        let instances: Vec<BatchInstance<u64>> = (0..8)
+            .map(|k| BatchInstance {
+                sender: n(0),
+                value: Val::Value(100 + k),
+            })
+            .collect();
+        let strategies = lying_strategies();
+        let batch = run_batch(params(), 5, &instances, &strategies, 3);
+        assert_eq!(batch.arena_builds, 1);
+        for (k, inst) in instances.iter().enumerate() {
+            let single = ByzInstance::new(5, params(), inst.sender).unwrap();
+            let solo = run_protocol(&single, &inst.value, &strategies, 3);
+            assert_eq!(batch.decisions[k], solo.decisions, "slot {k}");
+        }
+    }
+
+    #[test]
+    fn duplicate_chaos_is_decision_invariant() {
+        // Duplicating every envelope on every link must not change any
+        // decision: the per-(instance, path) slot fold is first-write-wins.
+        let strategies = lying_strategies();
+        let instances = mixed_instances();
+        let baseline = run_batch(params(), 5, &instances, &strategies, 1);
+        let plan = LinkFaultPlan::uniform_complete(5, &[LinkFaultKind::Duplicate { p: 1.0 }]);
+        let chaotic = run_batch_with(params(), 5, &instances, &strategies, 1, |e| {
+            e.with_link_faults(plan)
+        });
+        assert!(chaotic.net.duplicated > 0);
+        assert_eq!(baseline.decisions, chaotic.decisions);
+        assert_eq!(
+            baseline.net.eig, chaotic.net.eig,
+            "duplicates not materialized"
+        );
+    }
+
+    #[test]
+    fn cut_plan_batch_matches_sequential_runs() {
+        // Deterministic link cuts affect batch and solo runs identically.
+        let plan = LinkFaultPlan::healthy()
+            .with_symmetric(n(1), n(2), LinkFaultKind::Cut { from_round: 1 })
+            .with(n(0), n(3), LinkFaultKind::Cut { from_round: 0 });
+        let strategies = lying_strategies();
+        let instances = mixed_instances();
+        let batch = run_batch_with(params(), 5, &instances, &strategies, 2, {
+            let plan = plan.clone();
+            |e| e.with_link_faults(plan)
+        });
+        assert!(batch.net.dropped_link_cut > 0);
+        for (i, inst) in instances.iter().enumerate() {
+            let single = ByzInstance::new(5, params(), inst.sender).unwrap();
+            let solo = crate::protocol::run_protocol_with(&single, &inst.value, &strategies, 2, {
+                let plan = plan.clone();
+                |e| e.with_link_faults(plan)
+            });
+            assert_eq!(batch.decisions[i], solo.decisions, "instance {i}");
+        }
+    }
+
+    #[test]
+    fn cross_instance_spoofs_are_rejected() {
+        // A corrupting relayer re-tags genuine envelopes with the other
+        // instance's id. The re-tagged envelope's path root no longer
+        // matches the claimed instance's sender, so it must be rejected —
+        // decision-identical to the corruption-as-absence run.
+        let instances: Vec<BatchInstance<u64>> = vec![
+            BatchInstance {
+                sender: n(0),
+                value: Val::Value(10),
+            },
+            BatchInstance {
+                sender: n(1),
+                value: Val::Value(20),
+            },
+        ];
+        let plan = LinkFaultPlan::uniform_complete(5, &[LinkFaultKind::Corrupt { p: 0.5 }]);
+        let spoofed = run_batch_with(params(), 5, &instances, &BTreeMap::new(), 9, {
+            let plan = plan.clone();
+            |e| {
+                e.with_link_faults(plan)
+                    .with_corruptor(|msg: &BatchMsg<u64>, _| {
+                        Some(BatchMsg {
+                            instance: (msg.instance + 1) % 2,
+                            path: msg.path.clone(),
+                            value: msg.value,
+                        })
+                    })
+            }
+        });
+        let absent = run_batch_with(params(), 5, &instances, &BTreeMap::new(), 9, |e| {
+            e.with_link_faults(plan)
+                .with_corruptor(|_: &BatchMsg<u64>, _| None)
+        });
+        assert!(spoofed.spoofs_rejected > 0, "{:?}", spoofed.net);
+        assert_eq!(spoofed.decisions, absent.decisions);
+        assert_eq!(absent.spoofs_rejected, 0);
+    }
+
+    #[test]
+    fn observed_batch_records_spans_and_counters() {
+        let mut obs = Obs::enabled();
+        let instances = mixed_instances();
+        let (run, ..) = run_batch_observed(
+            params(),
+            5,
+            &instances,
+            &lying_strategies(),
+            1,
+            2,
+            |e| e,
+            &mut obs,
+        );
+        let quiet = run_batch(params(), 5, &instances, &lying_strategies(), 1);
+        assert_eq!(run.decisions, quiet.decisions, "observation is passive");
+        let spans: Vec<&str> = obs.spans().iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(
+            spans,
+            [
+                "batch.fill",
+                "batch.resolve",
+                "batch.resolve",
+                "batch.resolve"
+            ]
+        );
+        let fill = &obs.spans()[0];
+        assert_eq!(fill.logical, run.net.eig.messages_materialized);
+        assert_eq!(
+            obs.registry().counter("batch.instances"),
+            instances.len() as u64
+        );
+        assert_eq!(obs.registry().counter("batch.arena_builds"), 3);
+        assert_eq!(obs.registry().counter("batch.arena_reuses"), 0);
+        assert_eq!(
+            obs.registry().counter("eig.messages_materialized"),
+            run.net.eig.messages_materialized
+        );
     }
 
     #[test]

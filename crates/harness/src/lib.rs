@@ -38,12 +38,14 @@
 #![warn(missing_docs)]
 
 pub mod args;
+pub mod batch;
 pub mod executor;
 pub mod report;
 pub mod scenario;
 pub mod sweep;
 
 pub use args::RunArgs;
+pub use batch::BatchScenario;
 pub use executor::{Executor, ProtocolExecutor, ReferenceExecutor};
 pub use report::{pct, print_csv, print_table, JsonValue, Report, Table};
 pub use scenario::{ChaosConfig, Scenario, ScenarioError};

@@ -74,19 +74,7 @@ impl ChaosConfig {
     /// Expands the knobs into a plan covering every directed pair of `n`
     /// nodes (the complete execution topology of the protocol executor).
     pub fn plan_for_complete(&self, n: usize) -> LinkFaultPlan {
-        let mut plan = LinkFaultPlan::healthy();
-        let kinds = self.kinds();
-        for i in 0..n {
-            for j in 0..n {
-                if i == j {
-                    continue;
-                }
-                for kind in &kinds {
-                    plan = plan.with(NodeId::new(i), NodeId::new(j), *kind);
-                }
-            }
-        }
-        plan
+        LinkFaultPlan::uniform_complete(n, &self.kinds())
     }
 }
 
@@ -266,17 +254,7 @@ impl Scenario {
         }
         let mut plan = self.link_faults.clone().unwrap_or_default();
         if let Some(chaos) = self.chaos.filter(|c| !c.is_quiet()) {
-            let kinds = chaos.kinds();
-            for i in 0..self.n {
-                for j in 0..self.n {
-                    if i == j {
-                        continue;
-                    }
-                    for kind in &kinds {
-                        plan = plan.with(NodeId::new(i), NodeId::new(j), *kind);
-                    }
-                }
-            }
+            plan = plan.stacked_with(&chaos.plan_for_complete(self.n));
         }
         Some(plan)
     }

@@ -7,6 +7,13 @@
 //! CLI above it can read them back; `harness::report` re-exports it
 //! unchanged. Object keys keep insertion order, which is what makes
 //! byte-identical reports and traces possible for identical runs.
+//!
+//! The parser follows RFC 8259 for escapes: `\uXXXX` surrogate *pairs*
+//! decode to their astral-plane scalar (`\uD83D\uDE00` → 😀), lone or
+//! mispaired surrogates decode to U+FFFD, and integers that fit neither
+//! `u64` (non-negative) nor `i64` (negative) fall back to `Float` rather
+//! than erroring — matching how the emitter serializes out-of-range
+//! numbers.
 
 use std::fmt::Write as _;
 
@@ -173,7 +180,10 @@ impl JsonValue {
         match *self {
             JsonValue::UInt(u) => Some(u),
             JsonValue::Int(i) => u64::try_from(i).ok(),
-            JsonValue::Float(f) if f >= 0.0 && f.fract() == 0.0 && f <= u64::MAX as f64 => {
+            // `u64::MAX as f64` rounds *up* to 2^64, which is out of
+            // range — the bound must be strict or the cast saturates.
+            // Everything below 2^64 with zero fraction casts exactly.
+            JsonValue::Float(f) if f >= 0.0 && f.fract() == 0.0 && f < u64::MAX as f64 => {
                 Some(f as u64)
             }
             _ => None,
@@ -185,7 +195,14 @@ impl JsonValue {
         match *self {
             JsonValue::Int(i) => Some(i),
             JsonValue::UInt(u) => i64::try_from(u).ok(),
-            JsonValue::Float(f) if f.fract() == 0.0 && f.abs() <= i64::MAX as f64 => Some(f as i64),
+            // `i64::MAX as f64` rounds up to 2^63 (out of range), so the
+            // upper bound is strict; `i64::MIN as f64` is exactly -2^63
+            // and stays inclusive.
+            JsonValue::Float(f)
+                if f.fract() == 0.0 && f >= i64::MIN as f64 && f < i64::MAX as f64 =>
+            {
+                Some(f as i64)
+            }
             _ => None,
         }
     }
@@ -321,14 +338,41 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
                     Some(b'b') => out.push('\u{8}'),
                     Some(b'f') => out.push('\u{c}'),
                     Some(b'u') => {
-                        let hex = bytes
-                            .get(*pos + 1..*pos + 5)
-                            .and_then(|h| std::str::from_utf8(h).ok())
-                            .ok_or("truncated \\u escape")?;
-                        let code = u32::from_str_radix(hex, 16)
-                            .map_err(|_| "bad \\u escape".to_string())?;
-                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        let hi = read_hex4(bytes, *pos + 1)?;
                         *pos += 4;
+                        match hi {
+                            // High surrogate: pairs with an immediately
+                            // following `\uDC00..=\uDFFF` escape to form
+                            // one astral-plane scalar; unpaired it reads
+                            // as U+FFFD.
+                            0xD800..=0xDBFF => {
+                                let tail = *pos + 1;
+                                let lo = if bytes.get(tail) == Some(&b'\\')
+                                    && bytes.get(tail + 1) == Some(&b'u')
+                                {
+                                    read_hex4(bytes, tail + 2)
+                                        .ok()
+                                        .filter(|c| (0xDC00..=0xDFFF).contains(c))
+                                } else {
+                                    None
+                                };
+                                match lo {
+                                    Some(lo) => {
+                                        let code = 0x1_0000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                                        out.push(
+                                            char::from_u32(code).expect("surrogate pair is valid"),
+                                        );
+                                        *pos += 6;
+                                    }
+                                    None => out.push('\u{fffd}'),
+                                }
+                            }
+                            // Lone low surrogate.
+                            0xDC00..=0xDFFF => out.push('\u{fffd}'),
+                            code => {
+                                out.push(char::from_u32(code).expect("non-surrogate BMP scalar"));
+                            }
+                        }
                     }
                     _ => return Err(format!("bad escape at byte {pos}", pos = *pos)),
                 }
@@ -350,6 +394,15 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
     }
 }
 
+/// Four hex digits starting at byte `at` (the body of a `\uXXXX` escape).
+fn read_hex4(bytes: &[u8], at: usize) -> Result<u32, String> {
+    let hex = bytes
+        .get(at..at + 4)
+        .and_then(|h| std::str::from_utf8(h).ok())
+        .ok_or("truncated \\u escape")?;
+    u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape".to_string())
+}
+
 fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
     let start = *pos;
     if bytes.get(*pos) == Some(&b'-') {
@@ -365,12 +418,11 @@ fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
         return Err(format!("expected a value at byte {start}"));
     }
     if !text.contains(['.', 'e', 'E']) {
-        if let Some(stripped) = text.strip_prefix('-') {
-            if stripped.parse::<u64>().is_ok() || text.parse::<i64>().is_ok() {
-                return text
-                    .parse::<i64>()
-                    .map(JsonValue::Int)
-                    .map_err(|_| format!("integer out of range at byte {start}"));
+        if text.starts_with('-') {
+            // Negative integers below `i64::MIN` fall through to Float,
+            // exactly like positives above `u64::MAX` do.
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(JsonValue::Int(i));
             }
         } else if let Ok(u) = text.parse::<u64>() {
             return Ok(JsonValue::UInt(u));
@@ -430,6 +482,85 @@ mod tests {
         assert_eq!(arr[0].as_u64(), Some(1));
         assert_eq!(arr[1], JsonValue::Float(-2.5));
         assert_eq!(arr[2].as_str(), Some("éé"));
+    }
+
+    #[test]
+    fn surrogate_pairs_decode_to_astral_scalars() {
+        assert_eq!(
+            JsonValue::parse("\"\\ud83d\\ude00\"").unwrap().as_str(),
+            Some("😀")
+        );
+        // Mixed-case hex, with surrounding text.
+        assert_eq!(
+            JsonValue::parse("\"a\\uD83D\\uDE80b\"").unwrap().as_str(),
+            Some("a🚀b")
+        );
+        // Raw astral-plane text round-trips through emit + parse.
+        let v = JsonValue::Str("x😀𝕊🚀".into());
+        let text = v.to_json_string();
+        assert_eq!(JsonValue::parse(&text).unwrap(), v);
+        assert_eq!(JsonValue::parse(&text).unwrap().to_json_string(), text);
+    }
+
+    #[test]
+    fn lone_surrogates_become_replacement_chars() {
+        for (text, expect) in [
+            ("\"\\ud83d\"", "\u{fffd}"),                 // lone high at end
+            ("\"\\ud83dx\"", "\u{fffd}x"),               // high + literal
+            ("\"\\ud83d\\n\"", "\u{fffd}\n"),            // high + non-\u escape
+            ("\"\\ude00\"", "\u{fffd}"),                 // lone low
+            ("\"\\ud83d\\ud83d\\ude00\"", "\u{fffd}😀"), // high, then a pair
+        ] {
+            assert_eq!(
+                JsonValue::parse(text).unwrap().as_str(),
+                Some(expect),
+                "{text}"
+            );
+        }
+    }
+
+    #[test]
+    fn integer_overflow_falls_through_to_float() {
+        assert_eq!(
+            JsonValue::parse("-9223372036854775808").unwrap(),
+            JsonValue::Int(i64::MIN)
+        );
+        // One below i64::MIN: must parse as Float, not error out.
+        let below_min = JsonValue::parse("-9223372036854775809").unwrap();
+        assert!(
+            matches!(below_min, JsonValue::Float(f) if f == i64::MIN as f64),
+            "{below_min:?}"
+        );
+        assert_eq!(
+            JsonValue::parse("18446744073709551615").unwrap(),
+            JsonValue::UInt(u64::MAX)
+        );
+        let above_max = JsonValue::parse("18446744073709551616").unwrap();
+        assert!(
+            matches!(above_max, JsonValue::Float(f) if f == u64::MAX as f64),
+            "{above_max:?}"
+        );
+    }
+
+    #[test]
+    fn float_accessors_reject_out_of_range_boundaries() {
+        // 2^64 and 2^63 are exactly representable floats but sit one past
+        // the integer ranges; a saturating cast would silently clamp them.
+        assert_eq!(JsonValue::Float(u64::MAX as f64).as_u64(), None);
+        assert_eq!(
+            JsonValue::Float(18446744073709549568.0).as_u64(), // 2^64 - 2048
+            Some(18446744073709549568)
+        );
+        assert_eq!(JsonValue::Float(i64::MAX as f64).as_i64(), None);
+        assert_eq!(JsonValue::Float(i64::MIN as f64).as_i64(), Some(i64::MIN));
+        assert_eq!(
+            JsonValue::Float(9223372036854774784.0).as_i64(), // 2^63 - 1024
+            Some(9223372036854774784)
+        );
+        assert_eq!(JsonValue::Float(f64::NAN).as_u64(), None);
+        assert_eq!(JsonValue::Float(f64::INFINITY).as_i64(), None);
+        assert_eq!(JsonValue::Float(0.5).as_u64(), None);
+        assert_eq!(JsonValue::Float(-1.0).as_u64(), None);
     }
 
     #[test]

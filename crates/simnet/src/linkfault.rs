@@ -118,6 +118,25 @@ impl LinkFaultPlan {
         self.with(a, b, kind).with(b, a, kind)
     }
 
+    /// Applies every kind in `kinds`, in order, to every directed edge of
+    /// the complete graph on `n` nodes — the uniform-background chaos
+    /// shape used by the harness knobs and the batched-agreement tests.
+    #[must_use]
+    pub fn uniform_complete(n: usize, kinds: &[LinkFaultKind]) -> Self {
+        let mut plan = LinkFaultPlan::healthy();
+        for a in 0..n {
+            for b in 0..n {
+                if a == b {
+                    continue;
+                }
+                for &kind in kinds {
+                    plan = plan.with(NodeId::new(a), NodeId::new(b), kind);
+                }
+            }
+        }
+        plan
+    }
+
     /// Cuts (both directions, from `from_round`) every edge between a node
     /// in `a_side` and a node in `b_side`.
     #[must_use]
@@ -127,6 +146,19 @@ impl LinkFaultPlan {
                 if a != b {
                     self = self.with_symmetric(a, b, LinkFaultKind::Cut { from_round });
                 }
+            }
+        }
+        self
+    }
+
+    /// Appends every kind of `other` onto this plan, edge by edge, after
+    /// this plan's own kinds — explicit per-edge faults first, layered
+    /// background chaos second.
+    #[must_use]
+    pub fn stacked_with(mut self, other: &LinkFaultPlan) -> Self {
+        for ((from, to), kinds) in other.iter() {
+            for &kind in kinds {
+                self = self.with(from, to, kind);
             }
         }
         self
@@ -269,6 +301,42 @@ mod tests {
                 LinkFaultKind::Duplicate { p: 0.2 }
             ]
         );
+    }
+
+    #[test]
+    fn stacked_plans_keep_per_edge_order() {
+        let explicit =
+            LinkFaultPlan::healthy().with(n(0), n(1), LinkFaultKind::Cut { from_round: 0 });
+        let chaos = LinkFaultPlan::uniform_complete(3, &[LinkFaultKind::Drop { p: 0.5 }]);
+        let merged = explicit.stacked_with(&chaos);
+        assert_eq!(
+            merged.kinds(n(0), n(1)),
+            &[
+                LinkFaultKind::Cut { from_round: 0 },
+                LinkFaultKind::Drop { p: 0.5 }
+            ]
+        );
+        assert_eq!(merged.kinds(n(1), n(2)), &[LinkFaultKind::Drop { p: 0.5 }]);
+        assert_eq!(merged.faulty_link_count(), 6);
+    }
+
+    #[test]
+    fn uniform_complete_covers_every_directed_pair_in_order() {
+        let kinds = [
+            LinkFaultKind::Drop { p: 0.1 },
+            LinkFaultKind::Duplicate { p: 0.2 },
+        ];
+        let plan = LinkFaultPlan::uniform_complete(4, &kinds);
+        assert_eq!(plan.faulty_link_count(), 4 * 3);
+        for a in 0..4 {
+            for b in 0..4 {
+                if a != b {
+                    assert_eq!(plan.kinds(n(a), n(b)), &kinds, "{a}->{b}");
+                }
+            }
+        }
+        assert!(LinkFaultPlan::uniform_complete(4, &[]).is_empty());
+        assert!(LinkFaultPlan::uniform_complete(0, &kinds).is_empty());
     }
 
     #[test]
