@@ -4,6 +4,7 @@ use degradable::{Strategy, Val};
 use simnet::NodeId;
 use std::collections::BTreeMap;
 use std::fmt;
+use transport::TransportKind;
 
 /// Usage text printed on parse errors and `--help`.
 pub const USAGE: &str = "\
@@ -11,6 +12,9 @@ dagree — explore m/u-degradable agreement (Vaidya 1993)
 
 USAGE:
   dagree run --nodes N --m M --u U [--value V] [--faulty SPEC] [--explain NODE]
+             [--transport sim|channel|tcp]
+  dagree serve --index I --peers HOST:PORT,... --m M --u U [--value V]
+               [--faulty SPEC] [--round-timeout-ms T]
   dagree batch --nodes N --m M --u U [--k K] [--value V] [--faulty SPEC] [--seed S]
   dagree search --nodes N --m M --u U [--below-bound] [--method exhaustive|random|hillclimb]
   dagree table [--max-m M] [--max-u U]
@@ -30,8 +34,18 @@ FAULTY SPEC:
 TOPOLOGY KIND:
   complete:N | ring:N | harary:K:N | hypercube:D | wheel:N | sender-cut:K:N
 
+TRANSPORT:
+  sim     — deterministic virtual-time simulator (default)
+  channel — one OS thread per node over in-process channels
+  tcp     — one OS thread per node over loopback TCP
+  `serve` runs ONE node of a multi-process TCP mesh: every process gets
+  the same --peers list (node i binds the i-th address) and its own
+  --index; all flags but --index must match across processes.
+
 EXAMPLES:
   dagree run --nodes 5 --m 1 --u 2 --value 42 --faulty 3:constant-lie:7,4:constant-lie:7
+  dagree run --nodes 4 --m 1 --u 1 --transport tcp
+  dagree serve --index 0 --peers 127.0.0.1:7101,127.0.0.1:7102,127.0.0.1:7103,127.0.0.1:7104 --m 1 --u 1
   dagree batch --nodes 5 --m 1 --u 2 --k 8 --faulty 3:constant-lie:7
   dagree run --nodes 5 --m 1 --u 2 --faulty 4:silent --explain 1
   dagree search --nodes 4 --m 1 --u 2 --below-bound --method exhaustive
@@ -61,6 +75,27 @@ pub enum Command {
         faulty: BTreeMap<NodeId, Strategy<u64>>,
         /// Receiver to narrate, if any.
         explain: Option<NodeId>,
+        /// Which network backend executes the protocol.
+        transport: TransportKind,
+    },
+    /// `dagree serve` — one node of a multi-process TCP mesh.
+    Serve {
+        /// This process's node index (position in `peers`).
+        index: usize,
+        /// Every node's listen address, index order; the cluster size is
+        /// the list length.
+        peers: Vec<String>,
+        /// Strong threshold.
+        m: usize,
+        /// Degraded threshold.
+        u: usize,
+        /// Sender value (node 0 proposes it; others ignore it but must
+        /// agree on the flag so records match).
+        value: u64,
+        /// Faulty nodes with strategies.
+        faulty: BTreeMap<NodeId, Strategy<u64>>,
+        /// Per-round wall-clock budget before absent peers time out.
+        round_timeout_ms: u64,
     },
     /// `dagree batch`
     Batch {
@@ -275,6 +310,10 @@ pub fn parse_args(argv: &[String]) -> Result<Command, ParseError> {
                 })?)),
                 None => None,
             };
+            let transport = match flags.pairs.get("--transport") {
+                Some(v) => v.parse::<TransportKind>().map_err(ParseError)?,
+                None => TransportKind::Sim,
+            };
             Ok(Command::Run {
                 nodes: req_usize(&flags, "--nodes")?,
                 m: req_usize(&flags, "--m")?,
@@ -287,6 +326,52 @@ pub fn parse_args(argv: &[String]) -> Result<Command, ParseError> {
                     .unwrap_or(42),
                 faulty,
                 explain,
+                transport,
+            })
+        }
+        "serve" => {
+            let flags = collect_flags(rest)?;
+            let faulty = match flags.pairs.get("--faulty") {
+                Some(spec) => parse_faulty(spec)?,
+                None => BTreeMap::new(),
+            };
+            let peers: Vec<String> = match flags.pairs.get("--peers") {
+                None => return err("missing required flag `--peers`"),
+                Some(list) => list
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|s| !s.is_empty())
+                    .map(String::from)
+                    .collect(),
+            };
+            if peers.len() < 2 {
+                return err("`--peers` needs at least two comma-separated HOST:PORT entries");
+            }
+            let index = req_usize(&flags, "--index")?;
+            if index >= peers.len() {
+                return err(format!(
+                    "`--index {index}` is out of range for {} peers",
+                    peers.len()
+                ));
+            }
+            Ok(Command::Serve {
+                index,
+                peers,
+                m: req_usize(&flags, "--m")?,
+                u: req_usize(&flags, "--u")?,
+                value: flags
+                    .pairs
+                    .get("--value")
+                    .map(|v| parse_u64(v))
+                    .transpose()?
+                    .unwrap_or(42),
+                faulty,
+                round_timeout_ms: flags
+                    .pairs
+                    .get("--round-timeout-ms")
+                    .map(|v| parse_u64(v))
+                    .transpose()?
+                    .unwrap_or(5_000),
             })
         }
         "batch" => {
@@ -424,13 +509,124 @@ mod tests {
                 value,
                 faulty,
                 explain,
+                transport,
             } => {
                 assert_eq!((nodes, m, u, value), (5, 1, 2, 42));
                 assert!(faulty.is_empty());
                 assert!(explain.is_none());
+                assert_eq!(transport, TransportKind::Sim);
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn parse_run_transport_flag() {
+        for (name, kind) in [
+            ("sim", TransportKind::Sim),
+            ("channel", TransportKind::Channel),
+            ("tcp", TransportKind::Tcp),
+        ] {
+            let cmd = parse_args(&sv(&[
+                "run",
+                "--nodes",
+                "4",
+                "--m",
+                "1",
+                "--u",
+                "1",
+                "--transport",
+                name,
+            ]))
+            .unwrap();
+            match cmd {
+                Command::Run { transport, .. } => assert_eq!(transport, kind),
+                other => panic!("{other:?}"),
+            }
+        }
+        let e = parse_args(&sv(&[
+            "run",
+            "--nodes",
+            "4",
+            "--m",
+            "1",
+            "--u",
+            "1",
+            "--transport",
+            "udp",
+        ]))
+        .unwrap_err();
+        assert!(e.0.contains("unknown transport"), "{e}");
+    }
+
+    #[test]
+    fn parse_serve() {
+        let cmd = parse_args(&sv(&[
+            "serve",
+            "--index",
+            "1",
+            "--peers",
+            "127.0.0.1:7101,127.0.0.1:7102,127.0.0.1:7103",
+            "--m",
+            "1",
+            "--u",
+            "1",
+            "--round-timeout-ms",
+            "250",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Serve {
+                index,
+                peers,
+                m,
+                u,
+                value,
+                faulty,
+                round_timeout_ms,
+            } => {
+                assert_eq!((index, m, u, value, round_timeout_ms), (1, 1, 1, 42, 250));
+                assert_eq!(peers.len(), 3);
+                assert_eq!(peers[2], "127.0.0.1:7103");
+                assert!(faulty.is_empty());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn serve_rejects_bad_shapes() {
+        // Index out of range for the peer list.
+        let e = parse_args(&sv(&[
+            "serve",
+            "--index",
+            "3",
+            "--peers",
+            "127.0.0.1:1,127.0.0.1:2",
+            "--m",
+            "1",
+            "--u",
+            "1",
+        ]))
+        .unwrap_err();
+        assert!(e.0.contains("out of range"), "{e}");
+        // A mesh of one is not a mesh.
+        let e = parse_args(&sv(&[
+            "serve",
+            "--index",
+            "0",
+            "--peers",
+            "127.0.0.1:1",
+            "--m",
+            "1",
+            "--u",
+            "1",
+        ]))
+        .unwrap_err();
+        assert!(e.0.contains("at least two"), "{e}");
+        // Peers are required.
+        let e = parse_args(&sv(&["serve", "--index", "0", "--m", "1", "--u", "1"])).unwrap_err();
+        assert!(e.0.contains("--peers"), "{e}");
     }
 
     #[test]

@@ -20,7 +20,17 @@ pub fn dispatch(cmd: &Command) -> String {
             value,
             faulty,
             explain,
-        } => run_cmd(*nodes, *m, *u, *value, faulty, *explain),
+            transport,
+        } => run_cmd(*nodes, *m, *u, *value, faulty, *explain, *transport),
+        Command::Serve {
+            index,
+            peers,
+            m,
+            u,
+            value,
+            faulty,
+            round_timeout_ms,
+        } => serve_cmd(*index, peers, *m, *u, *value, faulty, *round_timeout_ms),
         Command::Batch {
             nodes,
             m,
@@ -47,14 +57,31 @@ pub fn dispatch(cmd: &Command) -> String {
 }
 
 fn obs_cmd(path: &str, top: usize) -> String {
+    // Every failure mode is exactly one line: these surface in scripts and
+    // CI logs, where a multi-line parser dump buries the actual problem.
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
         Err(e) => return format!("error: cannot read `{path}`: {e}"),
     };
+    if text.trim().is_empty() {
+        return format!(
+            "error: `{path}` is empty — expected a Chrome trace JSON or JSONL file \
+             (was the experiment run with --trace-out?)"
+        );
+    }
     match obs::parse_trace(&text) {
-        Err(e) => format!("error: `{path}` is not a recognized trace: {e}"),
+        Err(e) => format!(
+            "error: `{path}` is not a recognized trace (truncated write, or not a trace \
+             at all?): {}",
+            one_line(&e)
+        ),
         Ok(trace) => summarize_trace(path, &trace, top),
     }
+}
+
+/// Collapses a (possibly multi-line) parser message onto one line.
+fn one_line(msg: &str) -> String {
+    msg.split_whitespace().collect::<Vec<_>>().join(" ")
 }
 
 /// Renders the `cli obs` summary: spans grouped by name (largest total
@@ -229,20 +256,30 @@ fn run_cmd(
     value: u64,
     faulty: &std::collections::BTreeMap<NodeId, degradable::Strategy<u64>>,
     explain: Option<NodeId>,
+    kind: transport::TransportKind,
 ) -> String {
     let instance = match make_instance(nodes, m, u, false) {
         Ok(i) => i,
         Err(e) => return format!("error: {e}"),
     };
-    let scenario = AdversaryRun {
-        instance,
-        sender_value: Val::Value(value),
-        strategies: faulty.clone(),
+    let scenario = harness::Scenario::new(nodes, m, u)
+        .with_sender_value(Val::Value(value))
+        .with_strategies(faulty.clone())
+        .with_transport(kind);
+    let (record, run) = match harness::TransportExecutor.execute_detailed(&scenario) {
+        Ok(x) => x,
+        Err(e) => return format!("error: {e}"),
     };
-    let record = scenario.run();
     let mut out = String::new();
     let _ = writeln!(out, "{instance}");
-    let _ = writeln!(out, "sender value: {value}; f = {}", record.f());
+    let _ = writeln!(
+        out,
+        "sender value: {value}; f = {}; transport: {kind} \
+         ({} envelopes sent, {} delivered)",
+        record.f(),
+        run.stats.sent,
+        run.stats.delivered
+    );
     for (r, v) in record.fault_free_decisions() {
         let _ = writeln!(out, "  fault-free {r} decided {v}");
     }
@@ -262,8 +299,87 @@ fn run_cmd(
         }
     }
     if let Some(r) = explain {
-        let _ = writeln!(out, "\n{}", explain_receiver(&scenario, r));
+        // Narration walks the reference behaviour function; decisions are
+        // identical to the transport run's (the differential suite's
+        // invariant), so the story matches what the backend did.
+        let reference = AdversaryRun {
+            instance,
+            sender_value: Val::Value(value),
+            strategies: faulty.clone(),
+        };
+        let _ = writeln!(out, "\n{}", explain_receiver(&reference, r));
     }
+    out
+}
+
+fn serve_cmd(
+    index: usize,
+    peers: &[String],
+    m: usize,
+    u: usize,
+    value: u64,
+    faulty: &std::collections::BTreeMap<NodeId, degradable::Strategy<u64>>,
+    round_timeout_ms: u64,
+) -> String {
+    use std::net::ToSocketAddrs;
+    let mut addrs = Vec::with_capacity(peers.len());
+    for peer in peers {
+        match peer.to_socket_addrs() {
+            Ok(mut resolved) => match resolved.next() {
+                Some(a) => addrs.push(a),
+                None => return format!("error: peer `{peer}` resolved to no address"),
+            },
+            Err(e) => return format!("error: cannot resolve peer `{peer}`: {e}"),
+        }
+    }
+    let instance = match make_instance(addrs.len(), m, u, false) {
+        Ok(i) => i,
+        Err(e) => return format!("error: {e}"),
+    };
+    let me = NodeId::new(index);
+    let config = transport::MeshConfig {
+        round_timeout: std::time::Duration::from_millis(round_timeout_ms),
+        dial_timeout: std::time::Duration::from_secs(30),
+    };
+    let endpoint = match transport::tcp_join(
+        me,
+        &addrs,
+        instance.depth(),
+        transport::LinkChaos::healthy(),
+        config,
+    ) {
+        Ok(t) => t,
+        Err(e) => return format!("error: node {index} failed to join the mesh: {e}"),
+    };
+    let machine = degradable::NodeStateMachine::new(
+        &instance,
+        me,
+        Val::Value(value),
+        faulty.get(&me).cloned(),
+    );
+    let outcome = transport::drive_mesh(endpoint, machine);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{instance}: node {me} served over tcp ({} peers)",
+        addrs.len() - 1
+    );
+    match outcome.decision {
+        Some(d) => {
+            let _ = writeln!(out, "decided {d}");
+        }
+        None if me == instance.sender() => {
+            let _ = writeln!(out, "sent {} as the designated sender", Val::Value(value));
+        }
+        None => {
+            let _ = writeln!(out, "no decision recorded");
+        }
+    }
+    let _ = writeln!(
+        out,
+        "traffic: {} envelopes sent, {} delivered, {} round timeouts expired",
+        outcome.stats.sent, outcome.stats.delivered, outcome.stats.false_timeouts
+    );
     out
 }
 
@@ -305,8 +421,7 @@ fn batch_cmd(
             .iter()
             .filter(|(r, _)| !faulty.contains_key(r))
             .collect();
-        let distinct: std::collections::BTreeSet<_> =
-            fault_free.iter().map(|(_, v)| **v).collect();
+        let distinct: std::collections::BTreeSet<_> = fault_free.iter().map(|(_, v)| **v).collect();
         if distinct.len() == 1 {
             let _ = writeln!(
                 out,
@@ -514,10 +629,31 @@ mod tests {
     use super::*;
     use crate::args::parse_faulty;
 
+    use transport::TransportKind;
+
     #[test]
     fn run_clean_scenario() {
-        let out = run_cmd(5, 1, 2, 42, &Default::default(), None);
+        let out = run_cmd(5, 1, 2, 42, &Default::default(), None, TransportKind::Sim);
         assert!(out.contains("condition D.1 satisfied"), "{out}");
+        assert!(out.contains("transport: sim"), "{out}");
+    }
+
+    #[test]
+    fn run_agrees_across_backends() {
+        let faulty = parse_faulty("3:constant-lie:7").unwrap();
+        let sim = run_cmd(4, 1, 1, 42, &faulty, None, TransportKind::Sim);
+        for kind in [TransportKind::Channel, TransportKind::Tcp] {
+            let out = run_cmd(4, 1, 1, 42, &faulty, None, kind);
+            assert!(out.contains("condition D.1 satisfied"), "{kind}: {out}");
+            // Identical modulo the transport banner line.
+            let strip = |s: &str| {
+                s.lines()
+                    .filter(|l| !l.contains("transport:"))
+                    .collect::<Vec<_>>()
+                    .join("\n")
+            };
+            assert_eq!(strip(&out), strip(&sim), "{kind}");
+        }
     }
 
     #[test]
@@ -540,21 +676,71 @@ mod tests {
     #[test]
     fn run_degraded_scenario() {
         let faulty = parse_faulty("3:constant-lie:7,4:constant-lie:7").unwrap();
-        let out = run_cmd(5, 1, 2, 42, &faulty, None);
+        let out = run_cmd(5, 1, 2, 42, &faulty, None, TransportKind::Sim);
         assert!(out.contains("condition D.3 satisfied"), "{out}");
     }
 
     #[test]
     fn run_with_explanation() {
         let faulty = parse_faulty("4:silent").unwrap();
-        let out = run_cmd(5, 1, 2, 42, &faulty, Some(NodeId::new(1)));
+        let out = run_cmd(
+            5,
+            1,
+            2,
+            42,
+            &faulty,
+            Some(NodeId::new(1)),
+            TransportKind::Sim,
+        );
         assert!(out.contains("view of receiver n1"), "{out}");
     }
 
     #[test]
     fn run_rejects_too_few_nodes() {
-        let out = run_cmd(4, 1, 2, 42, &Default::default(), None);
+        let out = run_cmd(4, 1, 2, 42, &Default::default(), None, TransportKind::Sim);
         assert!(out.contains("error"), "{out}");
+    }
+
+    #[test]
+    fn serve_rejects_unresolvable_peers_and_bad_shapes() {
+        let peers: Vec<String> = vec!["not a host".into(), "127.0.0.1:1".into()];
+        let out = serve_cmd(0, &peers, 1, 1, 42, &Default::default(), 100);
+        assert!(out.contains("error"), "{out}");
+        assert!(out.contains("not a host"), "{out}");
+        // Two peers cannot satisfy n >= 2m + u + 1 = 4.
+        let peers: Vec<String> = vec!["127.0.0.1:1".into(), "127.0.0.1:2".into()];
+        let out = serve_cmd(0, &peers, 1, 1, 42, &Default::default(), 100);
+        assert!(out.contains("error"), "{out}");
+    }
+
+    #[test]
+    fn serve_runs_a_full_mesh_across_threads() {
+        // Reserve four loopback ports, release them, and have four `serve`
+        // invocations (one per thread, exactly the multi-process shape)
+        // re-bind and join each other.
+        let addrs: Vec<String> = (0..4)
+            .map(|_| {
+                let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+                l.local_addr().unwrap().to_string()
+            })
+            .collect();
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                let peers = addrs.clone();
+                std::thread::spawn(move || {
+                    serve_cmd(i, &peers, 1, 1, 9, &Default::default(), 5_000)
+                })
+            })
+            .collect();
+        let outputs: Vec<String> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert!(
+            outputs[0].contains("sent 9 as the designated sender"),
+            "{}",
+            outputs[0]
+        );
+        for out in &outputs[1..] {
+            assert!(out.contains("decided 9"), "{out}");
+        }
     }
 
     #[test]
@@ -688,6 +874,37 @@ mod tests {
         std::fs::write(&path, "not a trace at all").unwrap();
         let out = obs_cmd(path.to_str().unwrap(), 5);
         std::fs::remove_dir_all(&dir).ok();
+        assert!(out.contains("not a recognized trace"), "{out}");
+    }
+
+    /// Missing, empty, and truncated traces each produce exactly one error
+    /// line naming the file — never a parser dump (regression: scripts
+    /// grep the first line of `dagree obs` output).
+    #[test]
+    fn obs_errors_are_one_line_for_missing_empty_and_truncated() {
+        let one_line_err = |out: &str| {
+            assert!(out.starts_with("error:"), "{out}");
+            assert_eq!(out.trim_end().lines().count(), 1, "{out}");
+        };
+        one_line_err(&obs_cmd("/nonexistent/trace.json", 5));
+
+        let dir = std::env::temp_dir().join(format!("dagree-obs-edge-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+
+        let empty = dir.join("empty.json");
+        std::fs::write(&empty, "  \n").unwrap();
+        let out = obs_cmd(empty.to_str().unwrap(), 5);
+        one_line_err(&out);
+        assert!(out.contains("is empty"), "{out}");
+
+        // A real Chrome trace cut off mid-write, the way a killed
+        // experiment leaves it.
+        let full = obs::chrome_trace_json(&sample_obs(), obs::TimeMode::Logical);
+        let truncated = dir.join("truncated.json");
+        std::fs::write(&truncated, &full[..full.len() / 2]).unwrap();
+        let out = obs_cmd(truncated.to_str().unwrap(), 5);
+        std::fs::remove_dir_all(&dir).ok();
+        one_line_err(&out);
         assert!(out.contains("not a recognized trace"), "{out}");
     }
 }

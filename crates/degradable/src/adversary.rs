@@ -167,14 +167,6 @@ impl Strategy<u64> {
     }
 }
 
-/// Deprecated alias for [`AdversaryRun`].
-///
-/// The old name collided with `harness::scenario::Scenario` (the
-/// experiment descriptor), forcing downstream code into path-qualified
-/// imports; the adversary-side type is now [`AdversaryRun`].
-#[deprecated(note = "renamed to `AdversaryRun`")]
-pub type Scenario<V> = AdversaryRun<V>;
-
 /// One fully specified execution: instance, sender value, and the strategy
 /// of every faulty node.
 #[derive(Debug, Clone)]

@@ -81,6 +81,7 @@ pub mod engine;
 pub mod explain;
 pub mod ic;
 pub mod lower_bound;
+pub mod node;
 pub mod params;
 pub mod path;
 pub mod protocol;
@@ -90,8 +91,6 @@ pub mod sparse;
 pub mod value;
 pub mod vote;
 
-#[allow(deprecated)]
-pub use adversary::Scenario;
 pub use adversary::{AdversaryRun, ExhaustiveSearch, HillClimbSearch, RandomizedSearch, Strategy};
 pub use byz::{ByzError, ByzInstance};
 pub use certify::{certify, CertificationReport};
@@ -106,6 +105,7 @@ pub use eig::{run_eig, run_eig_full, EigOutcome, EigView, FoldStep, VoteRule};
 pub use engine::{EigEngine, EigStore, EngineRun, PathArena, PathId};
 pub use explain::explain_receiver;
 pub use ic::{check_degradable_ic, run_degradable_ic, IcOutcome, IcViolation};
+pub use node::{Action as NodeAction, Event as NodeEvent, NodeStateMachine};
 pub use params::{Params, ParamsError};
 pub use path::{path_count, paths_of_length, Path};
 pub use protocol::{run_protocol, run_protocol_full, run_protocol_with, ByzMsg, ProtocolRun};

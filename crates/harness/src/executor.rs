@@ -2,6 +2,7 @@
 
 use crate::scenario::{Scenario, ScenarioError};
 use degradable::{run_protocol_with, RunRecord};
+use transport::{LinkChaos, MeshConfig, TransportRun};
 
 /// Runs a [`Scenario`] to a [`RunRecord`] for condition checking.
 ///
@@ -112,6 +113,72 @@ impl Executor for ProtocolExecutor {
     }
 }
 
+/// The `transport` executor: the sans-io node state machine driven over
+/// the backend named by [`Scenario::transport`] — deterministic simulator,
+/// in-process channel mesh, or loopback TCP mesh.
+///
+/// Chaos comes from the scenario's [`Scenario::effective_link_plan`],
+/// keyed on message identity under `master_seed`
+/// ([`transport::LinkChaos`]) so every backend injects the identical fault
+/// pattern. Determinism caveat: decisions are deterministic on every
+/// backend; sub-decision observables (thread interleavings, wall-clock
+/// stats) are deterministic only on the simulator.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TransportExecutor;
+
+impl TransportExecutor {
+    /// Like [`Executor::execute`], but also returns the raw
+    /// [`TransportRun`] (per-node EIG views, merged traffic stats) that
+    /// differential suites compare across backends.
+    ///
+    /// # Errors
+    ///
+    /// [`ScenarioError`] as for [`Executor::execute`];
+    /// [`ScenarioError::Transport`] when the TCP mesh fails to come up.
+    pub fn execute_detailed(
+        &self,
+        scenario: &Scenario,
+    ) -> Result<(RunRecord<u64>, TransportRun), ScenarioError> {
+        require_complete(scenario, Executor::name(self))?;
+        let instance = scenario.instance()?;
+        let chaos = match scenario.effective_link_plan() {
+            Some(plan) => LinkChaos::new(plan, scenario.master_seed),
+            None => LinkChaos::healthy(),
+        };
+        let run = transport::run_kind(
+            scenario.transport,
+            &instance,
+            scenario.sender_value,
+            &scenario.strategies,
+            chaos,
+            MeshConfig::default(),
+        )
+        .map_err(|e| ScenarioError::Transport {
+            kind: scenario.transport,
+            error: e.to_string(),
+        })?;
+        let record = RunRecord {
+            params: instance.params(),
+            n: scenario.n,
+            sender: scenario.sender,
+            sender_value: scenario.sender_value,
+            faulty: scenario.faulty(),
+            decisions: run.decisions.clone(),
+        };
+        Ok((record, run))
+    }
+}
+
+impl Executor for TransportExecutor {
+    fn name(&self) -> &'static str {
+        "transport"
+    }
+
+    fn execute(&self, scenario: &Scenario) -> Result<RunRecord<u64>, ScenarioError> {
+        self.execute_detailed(scenario).map(|(record, _)| record)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -207,5 +274,51 @@ mod tests {
             let b = executor.execute(&scenario).unwrap();
             assert_eq!(a.decisions, b.decisions, "{}", executor.name());
         }
+    }
+
+    #[test]
+    fn transport_executor_matches_reference_on_every_backend() {
+        let oracle = ReferenceExecutor.execute(&lying_scenario()).unwrap();
+        for kind in transport::TransportKind::ALL {
+            let scenario = lying_scenario().with_transport(kind);
+            let record = TransportExecutor.execute(&scenario).unwrap();
+            assert_eq!(record.decisions, oracle.decisions, "{kind}");
+            assert_eq!(record.faulty, oracle.faulty, "{kind}");
+            assert!(check_degradable(&record).is_satisfied(), "{kind}");
+        }
+    }
+
+    #[test]
+    fn transport_executor_applies_keyed_link_cuts() {
+        use simnet::{LinkFaultKind, LinkFaultPlan};
+        // Cut every edge out of the (fault-free) sender: receivers see
+        // nothing from it directly or via relays rooted at round 0, so the
+        // unanimous fold lands on the sender-absent default.
+        let mut plan = LinkFaultPlan::healthy();
+        for r in 1..5 {
+            plan = plan.with(
+                NodeId::new(0),
+                NodeId::new(r),
+                LinkFaultKind::Cut { from_round: 0 },
+            );
+        }
+        let scenario = Scenario::new(5, 1, 2).with_link_faults(plan);
+        let (record, run) = TransportExecutor.execute_detailed(&scenario).unwrap();
+        assert!(run.stats.dropped_cut > 0);
+        assert!(
+            record.decisions.values().all(|v| *v == Val::Default),
+            "{:?}",
+            record.decisions
+        );
+    }
+
+    #[test]
+    fn transport_executor_rejects_incomplete_topology() {
+        let scenario = lying_scenario().with_topology(Topology::ring(5));
+        let err = TransportExecutor.execute(&scenario).unwrap_err();
+        assert!(
+            matches!(err, ScenarioError::TopologyUnsupported { .. }),
+            "{err}"
+        );
     }
 }

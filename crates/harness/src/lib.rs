@@ -46,7 +46,8 @@ pub mod sweep;
 
 pub use args::RunArgs;
 pub use batch::BatchScenario;
-pub use executor::{Executor, ProtocolExecutor, ReferenceExecutor};
+pub use executor::{Executor, ProtocolExecutor, ReferenceExecutor, TransportExecutor};
 pub use report::{pct, print_csv, print_table, JsonValue, Report, Table};
 pub use scenario::{ChaosConfig, Scenario, ScenarioError};
 pub use sweep::SweepRunner;
+pub use transport::TransportKind;

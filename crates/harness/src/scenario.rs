@@ -6,6 +6,7 @@ use serde::{Deserialize, Serialize};
 use simnet::{LinkFaultKind, LinkFaultPlan, NodeId, SimRng, Topology};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
+use transport::TransportKind;
 
 /// Uniform link-chaos intensity knobs, applied to **every** directed edge
 /// of the execution topology on top of any explicit
@@ -111,6 +112,11 @@ pub struct Scenario {
     /// Uniform chaos intensity applied to every directed edge, layered on
     /// top of `link_faults`. `None` (or a quiet config) injects nothing.
     pub chaos: Option<ChaosConfig>,
+    /// Which network backend [`crate::TransportExecutor`] runs the
+    /// scenario on. Defaults to the deterministic simulator; absent from
+    /// older serialized scenarios, which deserialize to the default.
+    #[serde(default)]
+    pub transport: TransportKind,
 }
 
 /// Why a [`Scenario`] cannot be instantiated or executed.
@@ -135,6 +141,14 @@ pub enum ScenarioError {
         /// The executor that rejected the scenario.
         executor: &'static str,
     },
+    /// The selected network backend failed to come up (socket setup on the
+    /// TCP mesh — the only backend that can actually fail).
+    Transport {
+        /// The backend that failed.
+        kind: transport::TransportKind,
+        /// The underlying failure, rendered.
+        error: String,
+    },
 }
 
 impl fmt::Display for ScenarioError {
@@ -153,6 +167,9 @@ impl fmt::Display for ScenarioError {
                     f,
                     "executor {executor} has no message layer to inject link faults into"
                 )
+            }
+            ScenarioError::Transport { kind, error } => {
+                write!(f, "transport backend {kind} failed: {error}")
             }
         }
     }
@@ -187,6 +204,7 @@ impl Scenario {
             master_seed: 0,
             link_faults: None,
             chaos: None,
+            transport: TransportKind::default(),
         }
     }
 
@@ -235,6 +253,12 @@ impl Scenario {
     /// Installs uniform chaos intensity knobs.
     pub fn with_chaos(mut self, chaos: ChaosConfig) -> Self {
         self.chaos = Some(chaos);
+        self
+    }
+
+    /// Selects the network backend for [`crate::TransportExecutor`].
+    pub fn with_transport(mut self, transport: TransportKind) -> Self {
+        self.transport = transport;
         self
     }
 
@@ -405,6 +429,16 @@ mod tests {
             ]
         );
         assert_eq!(merged.faulty_link_count(), 5 * 4);
+    }
+
+    #[test]
+    fn transport_knob_defaults_to_sim_and_round_trips() {
+        let s = Scenario::new(5, 1, 2);
+        assert_eq!(s.transport, TransportKind::Sim);
+        let s = s.with_transport(TransportKind::Tcp);
+        assert_eq!(s.transport, TransportKind::Tcp);
+        // The knob never leaks into chaos/topology validity.
+        assert!(s.instance().is_ok());
     }
 
     #[test]

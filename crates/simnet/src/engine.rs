@@ -1,15 +1,27 @@
-//! Lock-step synchronous round engine.
+//! Event-driven synchronous round engine.
 //!
-//! The engine implements the paper's system model directly:
+//! The engine implements the paper's system model:
 //!
-//! * execution proceeds in numbered rounds;
+//! * execution proceeds in numbered rounds, but the rounds are *emergent*:
+//!   the engine drains a deterministic event queue ([`crate::sched`]) of
+//!   per-message delivery events and per-node round-timeout timers, and a
+//!   node executes round `r` when its round-`r` timer fires;
 //! * a message sent in round `r` is delivered at the start of round `r+1`
 //!   (if it survives faults, links and the deadline);
-//! * a receiver can *detect absence*: its inbox simply lacks an entry from
-//!   the silent sender, and [`RoundCtx::from`] returns `None`;
+//! * a receiver can *detect absence*: when its timer fires, its inbox
+//!   simply lacks an entry from the silent sender, and [`RoundCtx::from`]
+//!   returns `None` — absence detection is a timeout, not an oracle;
 //! * the source of every delivered message is authentic ([`RoundCtx`]
 //!   stamps the true sender; processes cannot forge the `src` field —
 //!   matching the paper's "oral messages" assumption (c)).
+//!
+//! Virtual time is quantised: round `r` occupies `[r*(deadline+1),
+//! (r+1)*(deadline+1))`, so a sampled latency within the deadline lands the
+//! message before the receiver's next timer and a latency beyond it misses
+//! the round entirely (read as absent — the late message is discarded at
+//! the boundary, never delivered stale). Delivery events sort before
+//! timers at equal time, so an arrival *exactly at* the timeout boundary
+//! is present, not absent.
 //!
 //! Processes are either closures (see [`RoundEngine::run`]) or stateful
 //! [`Process`] implementations (see [`RoundEngine::run_processes`]).
@@ -19,10 +31,10 @@ use crate::id::NodeId;
 use crate::latency::LatencyModel;
 use crate::linkfault::{LinkFaultKind, LinkFaultPlan};
 use crate::rng::SimRng;
+use crate::sched::{EventClass, EventQueue, SimTime};
 use crate::topology::Topology;
 use crate::trace::{LateCause, Trace, TraceConfig, TraceEvent};
 use obs::Obs;
-use std::collections::BTreeMap;
 
 /// Protocol-supplied mutator applied to messages hit by
 /// [`LinkFaultKind::Corrupt`]. Returning `Some` delivers the garbled
@@ -36,9 +48,26 @@ pub type Corruptor<M> = Box<dyn FnMut(&M, &mut SimRng) -> Option<M>>;
 /// runs stay bit-identical when no link faults are configured.
 const LINK_CHAOS_STREAM: u64 = 0x4C49_4E4B;
 
-/// A reordered message waiting for its delivery round:
-/// `(dst, src, sending round, latency, payload)`.
-type HeldMsg<M> = (NodeId, NodeId, usize, u64, M);
+/// Payload of a scheduled engine event: either a message delivery at the
+/// receiver or a per-node round timer.
+enum EngineEvent<M> {
+    /// A message arriving at `dst`. `counted` records whether the engine
+    /// already booked the delivery (counter + trace) at send time — true
+    /// for on-time messages, false for reorder-held copies, which are
+    /// booked when they actually land (matching when the receiver, and
+    /// any observer tailing the trace, first sees them).
+    Deliver {
+        dst: NodeId,
+        src: NodeId,
+        sent_round: usize,
+        latency: u64,
+        payload: M,
+        counted: bool,
+    },
+    /// Node `node`'s round-`round` timeout fires: whatever has not arrived
+    /// by now is absent for this round.
+    Timer { node: usize, round: usize },
+}
 
 /// Per-node, per-round context handed to process logic.
 #[derive(Debug)]
@@ -493,45 +522,92 @@ impl<M: Clone> RoundEngine<M> {
         let peers: Vec<Vec<NodeId>> = (0..n)
             .map(|i| self.topo.graph().neighbors(NodeId::new(i)).collect())
             .collect();
-        let mut inboxes: Vec<Vec<(NodeId, M)>> = vec![Vec::new(); n];
         // Chaos draws come from a dedicated fork: configurations without
         // link faults replay the exact pre-chaos main stream (latency,
         // omission), keeping historical seeded runs bit-identical.
         let mut link_rng = self.rng.fork(LINK_CHAOS_STREAM);
-        // Messages held back by link reordering, keyed by delivery round.
-        let mut held: BTreeMap<usize, Vec<HeldMsg<M>>> = BTreeMap::new();
+        // Round r occupies virtual time [r*quantum, (r+1)*quantum): any
+        // within-deadline latency lands on or before the receiver's next
+        // timer boundary.
+        let quantum: SimTime = SimTime::from(self.deadline).saturating_add(1);
+        let mut queue: EventQueue<EngineEvent<M>> = EventQueue::new();
+        // Rounds are emergent from timers: every node gets one timeout per
+        // round, scheduled in (round, node) order so equal-time timers pop
+        // in ascending node id.
+        for round in 0..rounds {
+            for node in 0..n {
+                queue.schedule(
+                    round as SimTime * quantum,
+                    EventClass::Timer,
+                    EngineEvent::Timer { node, round },
+                );
+            }
+        }
+        // Per-node receive buffers for the round in progress: on-time
+        // arrivals first, reorder-held arrivals appended, then a stable
+        // sort by source — the paper-visible inbox order.
+        let mut on_time: Vec<Vec<(NodeId, M)>> = vec![Vec::new(); n];
+        let mut held: Vec<Vec<(NodeId, M)>> = vec![Vec::new(); n];
 
         for round in 0..rounds {
+            let boundary = round as SimTime * quantum;
             let round_timer = self.obs.span("sim.round", vec![("round", round as u64)]);
             let work_before = outcome.sent + outcome.delivered;
             let active: FaultPlan = match &self.schedule {
                 Some(s) => s.active(round),
                 None => self.faults.clone(),
             };
-            let mut next_inboxes: Vec<Vec<(NodeId, M)>> = vec![Vec::new(); n];
-            if let Some(due) = held.remove(&round) {
-                for (dst, src, sent_round, latency, payload) in due {
-                    outcome.delivered += 1;
-                    if let Some(t) = self.trace.as_mut() {
-                        t.record(TraceEvent::Delivered {
-                            round: sent_round,
-                            src,
-                            dst,
-                            latency,
-                        });
+            // Drain every event at this round's boundary. Deliveries pop
+            // before timers (a message arriving exactly at the timeout is
+            // present), timers pop in node-id order, and each fired timer
+            // may schedule future deliveries (strictly later boundaries).
+            while queue.peek_time() == Some(boundary) {
+                let event = queue.pop().expect("peeked event exists");
+                let timer = match event.payload {
+                    EngineEvent::Deliver {
+                        dst,
+                        src,
+                        sent_round,
+                        latency,
+                        payload,
+                        counted,
+                    } => {
+                        if counted {
+                            // Booked at send time; just land it.
+                            on_time[dst.index()].push((src, payload));
+                        } else {
+                            // Reorder-held copy: booked on arrival.
+                            outcome.delivered += 1;
+                            if let Some(t) = self.trace.as_mut() {
+                                t.record(TraceEvent::Delivered {
+                                    round: sent_round,
+                                    src,
+                                    dst,
+                                    latency,
+                                });
+                            }
+                            held[dst.index()].push((src, payload));
+                        }
+                        continue;
                     }
-                    inboxes[dst.index()].push((src, payload));
-                }
-            }
-            for i in 0..n {
+                    EngineEvent::Timer { node, round: r } => {
+                        debug_assert_eq!(r, round, "timer fired outside its round");
+                        node
+                    }
+                };
+                let i = timer;
                 let me = NodeId::new(i);
+                // Absence detection: whatever is not in the buffers when
+                // this timer fires is absent for round `round`.
+                let mut inbox = std::mem::take(&mut on_time[i]);
+                inbox.append(&mut held[i]);
                 // Sort inbox by source for determinism.
-                inboxes[i].sort_by_key(|(s, _)| *s);
+                inbox.sort_by_key(|(s, _)| *s);
                 let mut ctx = RoundCtx {
                     me,
                     round,
                     n,
-                    inbox: &inboxes[i],
+                    inbox: &inbox,
                     peers: &peers[i],
                     outbox: Vec::new(),
                 };
@@ -711,15 +787,21 @@ impl<M: Clone> RoundEngine<M> {
                     for _ in 0..copies {
                         if extra_rounds > 0 {
                             // Delivery shifts from round+1 to
-                            // round+1+extra_rounds; messages still in
-                            // flight when the run ends are lost.
-                            held.entry(round + 1 + extra_rounds).or_default().push((
-                                dst,
-                                me,
-                                round,
-                                latency,
-                                payload.clone(),
-                            ));
+                            // round+1+extra_rounds; events scheduled past
+                            // the final timer are never popped — messages
+                            // still in flight when the run ends are lost.
+                            queue.schedule(
+                                (round + 1 + extra_rounds) as SimTime * quantum,
+                                EventClass::Deliver,
+                                EngineEvent::Deliver {
+                                    dst,
+                                    src: me,
+                                    sent_round: round,
+                                    latency,
+                                    payload: payload.clone(),
+                                    counted: false,
+                                },
+                            );
                             continue;
                         }
                         outcome.delivered += 1;
@@ -731,11 +813,21 @@ impl<M: Clone> RoundEngine<M> {
                                 latency,
                             });
                         }
-                        next_inboxes[dst.index()].push((me, payload.clone()));
+                        queue.schedule(
+                            (round + 1) as SimTime * quantum,
+                            EventClass::Deliver,
+                            EngineEvent::Deliver {
+                                dst,
+                                src: me,
+                                sent_round: round,
+                                latency,
+                                payload: payload.clone(),
+                                counted: true,
+                            },
+                        );
                     }
                 }
             }
-            inboxes = next_inboxes;
             outcome.rounds_run += 1;
             let logical = (outcome.sent + outcome.delivered - work_before) as u64;
             self.obs.finish(round_timer, logical);

@@ -16,10 +16,12 @@
 //!   Harary `H_{k,n}`, grids, random) with exact **vertex connectivity**
 //!   computation ([`connectivity`]) and **vertex-disjoint path** extraction
 //!   (Menger), needed for the paper's Theorem 3 (connectivity `>= m+u+1`).
-//! * [`engine`] — the lock-step round engine: every process sends in round
-//!   `r`, messages are delivered at the start of round `r+1`, and a missing
-//!   message is *detectably absent* (an empty inbox slot), matching
-//!   assumption (2).
+//! * [`engine`] — the event-driven round engine: a deterministic priority
+//!   queue ([`sched`]) of per-message delivery events and per-node timeout
+//!   timers. Rounds are emergent from the timers; every process sends in
+//!   round `r`, messages are delivered at the start of round `r+1`, and a
+//!   missing message is *detectably absent* (its delivery event did not
+//!   fire before the receiver's timer), matching assumption (2).
 //! * [`fault`] — fault plans: crash, omission, delay and Byzantine
 //!   markers, applied by the engine independently of process logic.
 //! * [`latency`] — per-message latency models and round deadlines, used to
@@ -61,6 +63,7 @@ pub mod latency;
 pub mod linkfault;
 pub mod rng;
 pub mod routing;
+pub mod sched;
 pub mod topology;
 pub mod trace;
 
@@ -75,6 +78,7 @@ pub use latency::LatencyModel;
 pub use linkfault::{LinkFaultKind, LinkFaultPlan, Partition};
 pub use rng::SimRng;
 pub use routing::{DegradableLink, Delivery, RelayNetwork};
+pub use sched::{EventClass, EventQueue, Scheduled, SimTime};
 pub use topology::Topology;
 pub use trace::{LateCause, Trace, TraceEvent};
 
@@ -91,6 +95,7 @@ pub mod prelude {
     pub use crate::linkfault::{LinkFaultKind, LinkFaultPlan, Partition};
     pub use crate::rng::SimRng;
     pub use crate::routing::{DegradableLink, Delivery, RelayNetwork};
+    pub use crate::sched::{EventClass, EventQueue, Scheduled, SimTime};
     pub use crate::topology::Topology;
     pub use crate::trace::{LateCause, Trace, TraceEvent};
 }

@@ -1,0 +1,359 @@
+//! Length-prefixed wire frames for BYZ envelopes and round marks.
+//!
+//! The TCP backend needs a codec; to keep the container dependency-free it
+//! is hand-rolled: every frame is a little-endian `u32` byte length
+//! followed by that many payload bytes. The payload is a tagged binary
+//! encoding of [`Frame`]:
+//!
+//! ```text
+//! frame    := tag:u8 body
+//! envelope := 0x01 src:u32 value path          (a BYZ protocol message)
+//! mark     := 0x02 src:u32 round:u32           (round-barrier control)
+//! value    := 0x00 | 0x01 v:u64                (V_d | Value(v))
+//! path     := len:u32 id:u32 ...               (relay path, sender first)
+//! ```
+//!
+//! Wire payloads are `u64` ([`Val`]); the experiments never need more, and
+//! fixing the value type keeps the codec closed (no serde data format in
+//! the tree). Decoding is total: every error is a [`FrameError`], never a
+//! panic, because bytes off a socket are adversary-controlled in this
+//! codebase's threat model. The same frames travel over in-process
+//! channels un-encoded — the codec round-trip is exercised only by the TCP
+//! backend and the codec tests.
+
+use degradable::{AgreementValue, ByzMsg, Path, Val};
+use simnet::NodeId;
+use std::io::{self, Read, Write};
+
+/// Hard cap on a frame's payload size (1 MiB). A length prefix beyond this
+/// is treated as a corrupt stream rather than an allocation request.
+pub const MAX_FRAME_LEN: u32 = 1 << 20;
+
+const TAG_ENVELOPE: u8 = 0x01;
+const TAG_MARK: u8 = 0x02;
+const VAL_DEFAULT: u8 = 0x00;
+const VAL_VALUE: u8 = 0x01;
+
+/// One unit of inter-node traffic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Frame {
+    /// A BYZ protocol message from `src`.
+    Envelope {
+        /// The node that put the message on the wire.
+        src: NodeId,
+        /// The relay-path-tagged claim.
+        msg: ByzMsg<u64>,
+    },
+    /// "`src` has finished sending for `round`" — the barrier control
+    /// frame real transports use for message-absence detection.
+    Mark {
+        /// The node whose round is complete.
+        src: NodeId,
+        /// The completed round.
+        round: usize,
+    },
+}
+
+impl Frame {
+    /// The node that emitted this frame.
+    pub fn src(&self) -> NodeId {
+        match *self {
+            Frame::Envelope { src, .. } | Frame::Mark { src, .. } => src,
+        }
+    }
+}
+
+/// Why a byte stream failed to parse as a frame.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The underlying reader or writer failed.
+    Io(io::Error),
+    /// The stream ended inside a frame.
+    Truncated,
+    /// A tag, length, or id field held an impossible value.
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "frame io error: {e}"),
+            FrameError::Truncated => write!(f, "frame truncated mid-stream"),
+            FrameError::Malformed(what) => write!(f, "malformed frame: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+/// Encodes `frame` as a length-prefixed byte vector.
+pub fn encode(frame: &Frame) -> Vec<u8> {
+    let mut body = Vec::with_capacity(32);
+    match frame {
+        Frame::Envelope { src, msg } => {
+            body.push(TAG_ENVELOPE);
+            put_u32(&mut body, src.index() as u32);
+            match msg.value {
+                AgreementValue::Default => body.push(VAL_DEFAULT),
+                AgreementValue::Value(v) => {
+                    body.push(VAL_VALUE);
+                    body.extend_from_slice(&v.to_le_bytes());
+                }
+            }
+            let ids = msg.path.as_slice();
+            put_u32(&mut body, ids.len() as u32);
+            for id in ids {
+                put_u32(&mut body, id.index() as u32);
+            }
+        }
+        Frame::Mark { src, round } => {
+            body.push(TAG_MARK);
+            put_u32(&mut body, src.index() as u32);
+            put_u32(&mut body, *round as u32);
+        }
+    }
+    let mut out = Vec::with_capacity(4 + body.len());
+    put_u32(&mut out, body.len() as u32);
+    out.extend_from_slice(&body);
+    out
+}
+
+/// Writes one encoded frame to `w` (a single `write_all`, so concurrent
+/// writers on a shared stream never interleave partial frames).
+pub fn write_frame(w: &mut impl Write, frame: &Frame) -> Result<(), FrameError> {
+    w.write_all(&encode(frame))?;
+    Ok(())
+}
+
+/// Reads one frame from `r`. `Ok(None)` on clean EOF at a frame boundary;
+/// [`FrameError::Truncated`] on EOF inside a frame.
+pub fn read_frame(r: &mut impl Read) -> Result<Option<Frame>, FrameError> {
+    let mut len_buf = [0u8; 4];
+    match read_exact_or_eof(r, &mut len_buf)? {
+        ReadOutcome::Eof => return Ok(None),
+        ReadOutcome::Partial => return Err(FrameError::Truncated),
+        ReadOutcome::Full => {}
+    }
+    let len = u32::from_le_bytes(len_buf);
+    if len > MAX_FRAME_LEN {
+        return Err(FrameError::Malformed("length prefix exceeds MAX_FRAME_LEN"));
+    }
+    let mut body = vec![0u8; len as usize];
+    match read_exact_or_eof(r, &mut body)? {
+        ReadOutcome::Full => {}
+        _ => return Err(FrameError::Truncated),
+    }
+    decode(&body).map(Some)
+}
+
+/// Decodes one frame body (the bytes after the length prefix). The whole
+/// body must be consumed — trailing bytes are malformed.
+pub fn decode(body: &[u8]) -> Result<Frame, FrameError> {
+    let mut cur = Cursor { buf: body, pos: 0 };
+    let frame = match cur.u8()? {
+        TAG_ENVELOPE => {
+            let src = NodeId::new(cur.u32()? as usize);
+            let value: Val = match cur.u8()? {
+                VAL_DEFAULT => AgreementValue::Default,
+                VAL_VALUE => AgreementValue::Value(cur.u64()?),
+                _ => return Err(FrameError::Malformed("unknown value tag")),
+            };
+            let path_len = cur.u32()? as usize;
+            if path_len == 0 {
+                return Err(FrameError::Malformed("empty relay path"));
+            }
+            let mut path = Path::root(NodeId::new(cur.u32()? as usize));
+            for _ in 1..path_len {
+                path = path.child(NodeId::new(cur.u32()? as usize));
+            }
+            Frame::Envelope {
+                src,
+                msg: ByzMsg { path, value },
+            }
+        }
+        TAG_MARK => {
+            let src = NodeId::new(cur.u32()? as usize);
+            let round = cur.u32()? as usize;
+            Frame::Mark { src, round }
+        }
+        _ => return Err(FrameError::Malformed("unknown frame tag")),
+    };
+    if cur.pos != body.len() {
+        return Err(FrameError::Malformed("trailing bytes after frame body"));
+    }
+    Ok(frame)
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+enum ReadOutcome {
+    Full,
+    Partial,
+    Eof,
+}
+
+/// `read_exact` that distinguishes a clean EOF before the first byte from
+/// an EOF mid-buffer.
+fn read_exact_or_eof(r: &mut impl Read, buf: &mut [u8]) -> Result<ReadOutcome, FrameError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Ok(if filled == 0 {
+                    ReadOutcome::Eof
+                } else {
+                    ReadOutcome::Partial
+                });
+            }
+            Ok(k) => filled += k,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Ok(ReadOutcome::Full)
+}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl Cursor<'_> {
+    fn take(&mut self, k: usize) -> Result<&[u8], FrameError> {
+        if self.pos + k > self.buf.len() {
+            return Err(FrameError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + k];
+        self.pos += k;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, FrameError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, FrameError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, FrameError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nid(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn sample_frames() -> Vec<Frame> {
+        vec![
+            Frame::Envelope {
+                src: nid(0),
+                msg: ByzMsg {
+                    path: Path::root(nid(0)),
+                    value: AgreementValue::Value(u64::MAX),
+                },
+            },
+            Frame::Envelope {
+                src: nid(3),
+                msg: ByzMsg {
+                    path: Path::root(nid(0)).child(nid(2)).child(nid(3)),
+                    value: AgreementValue::Default,
+                },
+            },
+            Frame::Mark {
+                src: nid(7),
+                round: 0,
+            },
+            Frame::Mark {
+                src: nid(1),
+                round: 4096,
+            },
+        ]
+    }
+
+    #[test]
+    fn roundtrip_through_a_byte_stream() {
+        let frames = sample_frames();
+        let mut wire = Vec::new();
+        for f in &frames {
+            write_frame(&mut wire, f).unwrap();
+        }
+        let mut r = wire.as_slice();
+        let mut back = Vec::new();
+        while let Some(f) = read_frame(&mut r).unwrap() {
+            back.push(f);
+        }
+        assert_eq!(back, frames);
+    }
+
+    #[test]
+    fn clean_eof_is_none() {
+        let mut r: &[u8] = &[];
+        assert!(read_frame(&mut r).unwrap().is_none());
+    }
+
+    #[test]
+    fn eof_inside_prefix_is_truncated() {
+        let wire = encode(&sample_frames()[0]);
+        let mut r = &wire[..2];
+        assert!(matches!(read_frame(&mut r), Err(FrameError::Truncated)));
+    }
+
+    #[test]
+    fn eof_inside_body_is_truncated() {
+        let wire = encode(&sample_frames()[0]);
+        let mut r = &wire[..wire.len() - 1];
+        assert!(matches!(read_frame(&mut r), Err(FrameError::Truncated)));
+    }
+
+    #[test]
+    fn oversized_prefix_is_malformed() {
+        let mut wire = Vec::new();
+        put_u32(&mut wire, MAX_FRAME_LEN + 1);
+        let mut r = wire.as_slice();
+        assert!(matches!(read_frame(&mut r), Err(FrameError::Malformed(_))));
+    }
+
+    #[test]
+    fn junk_tag_and_trailing_bytes_are_malformed() {
+        assert!(matches!(decode(&[0xff]), Err(FrameError::Malformed(_))));
+        let mut body = encode(&Frame::Mark {
+            src: nid(0),
+            round: 1,
+        })[4..]
+            .to_vec();
+        body.push(0);
+        assert!(matches!(decode(&body), Err(FrameError::Malformed(_))));
+    }
+
+    #[test]
+    fn empty_path_is_rejected() {
+        // envelope, src 0, V_d, path_len 0
+        let mut body = vec![TAG_ENVELOPE];
+        put_u32(&mut body, 0);
+        body.push(VAL_DEFAULT);
+        put_u32(&mut body, 0);
+        assert!(matches!(decode(&body), Err(FrameError::Malformed(_))));
+    }
+
+    #[test]
+    fn frame_src_accessor() {
+        for f in sample_frames() {
+            let _ = f.src();
+        }
+        assert_eq!(sample_frames()[1].src(), nid(3));
+    }
+}

@@ -1,0 +1,706 @@
+//! Real-concurrency backends: one OS thread per node, over in-process
+//! channels or loopback TCP.
+//!
+//! Both share [`MeshTransport`], which implements the paper's
+//! message-absence detection (assumption (b)) with a **round-barrier
+//! protocol** over [`Frame`]s:
+//!
+//! 1. the first `poll` opens round 0 with a `Timeout { 0 }` event;
+//! 2. after the driver has dispatched the machine's sends for round `r`,
+//!    the next `poll` broadcasts `Mark(r)` — FIFO links guarantee every
+//!    round-`r` envelope precedes it;
+//! 3. a node closes round `r` (emits `Timeout { r + 1 }`) once it holds
+//!    `Mark(r)` from all `n − 1` peers **or** its wall-clock deadline
+//!    expires. The deadline path is real, possibly-false absence detection:
+//!    a live-but-slow peer is declared silent, exactly the failure mode
+//!    §6 tolerates beyond `m` faults.
+//!
+//! Marks bypass the chaos layer: they are absence-detection
+//! *infrastructure* (the stand-in for the paper's synchronized clocks),
+//! not protocol messages, so a fault plan perturbs what BYZ says, never
+//! the round structure itself.
+//!
+//! Chaos is evaluated twice, by the same pure function
+//! ([`LinkChaos::disposition`]): the sender drops doomed envelopes and
+//! emits duplicates; the receiver recomputes the verdict to learn the
+//! reorder delay and *gates* the envelope until its effective round —
+//! an envelope of round `s` delayed `d` rounds is handed to the machine
+//! during round `s + d`, folding at the close of round `s + d + 1` as a
+//! late direct observation, exactly as on the simulator backend. The
+//! gate also holds back genuinely early traffic from peers that are a
+//! round ahead, which the state machine would otherwise discard as
+//! coming from the future.
+
+use crate::chaos::LinkChaos;
+use crate::frame::{self, Frame, MAX_FRAME_LEN};
+use crate::{Disposition, DropCause, PollOutcome, Transport, TransportStats};
+use degradable::{ByzMsg, NodeEvent};
+use simnet::NodeId;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::io::{self, Read};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for a mesh run.
+#[derive(Debug, Clone, Copy)]
+pub struct MeshConfig {
+    /// Wall-clock budget per round before absent peers are timed out.
+    /// Generous by default so healthy runs are mark-driven (deterministic);
+    /// shorten it to exercise real (possibly false) absence detection.
+    pub round_timeout: Duration,
+    /// How long `tcp` setup keeps retrying dials to peers that have not
+    /// bound their listener yet.
+    pub dial_timeout: Duration,
+}
+
+impl Default for MeshConfig {
+    fn default() -> Self {
+        MeshConfig {
+            round_timeout: Duration::from_secs(5),
+            dial_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// An outgoing link to one peer.
+enum PeerLink {
+    /// In-process: frames pass through an `mpsc` channel un-encoded.
+    Channel(Sender<Frame>),
+    /// Loopback TCP: frames cross the codec in [`frame`].
+    Tcp(TcpStream),
+}
+
+impl PeerLink {
+    /// Fire-and-forget: a dead peer is indistinguishable from a silent
+    /// one, and absence handling is the machine's job, so send errors are
+    /// swallowed by design.
+    fn send(&mut self, frame: &Frame) {
+        match self {
+            PeerLink::Channel(tx) => {
+                let _ = tx.send(frame.clone());
+            }
+            PeerLink::Tcp(stream) => {
+                let _ = frame::write_frame(stream, frame);
+            }
+        }
+    }
+}
+
+/// One node's endpoint of a channel or TCP mesh.
+pub struct MeshTransport {
+    me: NodeId,
+    n: usize,
+    depth: usize,
+    chaos: LinkChaos,
+    links: BTreeMap<NodeId, PeerLink>,
+    inbox: Receiver<Frame>,
+    config: MeshConfig,
+    round: usize,
+    started: bool,
+    need_flush: bool,
+    deadline: Instant,
+    /// Ready envelopes, in arrival order.
+    deliver_queue: VecDeque<(NodeId, ByzMsg<u64>)>,
+    /// Envelopes gated until `self.round` reaches their effective round.
+    future: BTreeMap<usize, VecDeque<(NodeId, ByzMsg<u64>)>>,
+    /// Peers heard finishing each round.
+    marks: BTreeMap<usize, BTreeSet<NodeId>>,
+    stats: TransportStats,
+    /// Tells this endpoint's TCP reader threads to exit.
+    stop: Arc<AtomicBool>,
+}
+
+impl MeshTransport {
+    #[allow(clippy::too_many_arguments)]
+    fn new(
+        me: NodeId,
+        n: usize,
+        depth: usize,
+        chaos: LinkChaos,
+        links: BTreeMap<NodeId, PeerLink>,
+        inbox: Receiver<Frame>,
+        config: MeshConfig,
+        stop: Arc<AtomicBool>,
+    ) -> Self {
+        MeshTransport {
+            me,
+            n,
+            depth,
+            chaos,
+            links,
+            inbox,
+            config,
+            round: 0,
+            started: false,
+            need_flush: false,
+            deadline: Instant::now() + config.round_timeout,
+            deliver_queue: VecDeque::new(),
+            future: BTreeMap::new(),
+            marks: BTreeMap::new(),
+            stats: TransportStats::default(),
+            stop,
+        }
+    }
+
+    fn broadcast_mark(&mut self, round: usize) {
+        let mark = Frame::Mark {
+            src: self.me,
+            round,
+        };
+        for link in self.links.values_mut() {
+            link.send(&mark);
+        }
+    }
+
+    /// Moves everything that arrived on the wire into the local queues.
+    fn drain_inbox(&mut self) {
+        while let Ok(f) = self.inbox.try_recv() {
+            match f {
+                Frame::Mark { src, round } => {
+                    self.marks.entry(round).or_default().insert(src);
+                }
+                Frame::Envelope { src, msg } => {
+                    // The sending round is encoded in the path: a level-k
+                    // envelope is sent while round k-1 closes. Recompute
+                    // the keyed chaos verdict to learn its reorder delay —
+                    // sender and receiver evaluate the same pure function,
+                    // so they always agree.
+                    let sent_round = msg.path.len().saturating_sub(1);
+                    let delay = match self.chaos.disposition(sent_round, src, self.me, &msg.path) {
+                        // The sender never puts a dropped envelope on the
+                        // wire; tolerate one anyway (a dropped frame is an
+                        // absent message, the protocol's bread and butter).
+                        Disposition::Dropped(_) => continue,
+                        Disposition::Deliver { delay_rounds, .. } => delay_rounds,
+                    };
+                    let effective = sent_round + delay;
+                    if effective + 1 > self.depth {
+                        // Would fold at a round past the end of the run.
+                        self.stats.lost += 1;
+                        continue;
+                    }
+                    if effective <= self.round {
+                        self.deliver_queue.push_back((src, msg));
+                    } else {
+                        self.future
+                            .entry(effective)
+                            .or_default()
+                            .push_back((src, msg));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Closes the current round and opens the next.
+    fn advance(&mut self) -> PollOutcome {
+        self.round += 1;
+        self.need_flush = true;
+        self.deadline = Instant::now() + self.config.round_timeout;
+        let due: Vec<usize> = self
+            .future
+            .keys()
+            .copied()
+            .take_while(|&k| k <= self.round)
+            .collect();
+        for k in due {
+            if let Some(q) = self.future.remove(&k) {
+                self.deliver_queue.extend(q);
+            }
+        }
+        PollOutcome::Event(NodeEvent::Timeout { round: self.round })
+    }
+}
+
+impl Transport for MeshTransport {
+    fn me(&self) -> NodeId {
+        self.me
+    }
+
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn send(&mut self, to: NodeId, msg: ByzMsg<u64>) {
+        self.stats.sent += 1;
+        let copies = match self.chaos.disposition(self.round, self.me, to, &msg.path) {
+            Disposition::Dropped(cause) => {
+                match cause {
+                    DropCause::Cut => self.stats.dropped_cut += 1,
+                    DropCause::Loss => self.stats.dropped_loss += 1,
+                    DropCause::Corrupt => self.stats.dropped_corrupt += 1,
+                }
+                return;
+            }
+            Disposition::Deliver {
+                copies,
+                delay_rounds,
+            } => {
+                if delay_rounds > 0 {
+                    self.stats.delayed += 1;
+                }
+                if copies > 1 {
+                    self.stats.duplicated += (copies - 1) as u64;
+                }
+                copies
+            }
+        };
+        let frame = Frame::Envelope { src: self.me, msg };
+        if let Some(link) = self.links.get_mut(&to) {
+            for _ in 0..copies {
+                link.send(&frame);
+            }
+        }
+    }
+
+    fn poll(&mut self) -> PollOutcome {
+        if !self.started {
+            self.started = true;
+            self.need_flush = true;
+            self.deadline = Instant::now() + self.config.round_timeout;
+            return PollOutcome::Event(NodeEvent::Timeout { round: 0 });
+        }
+        if self.need_flush {
+            // This poll is the first since a Timeout event: the driver has
+            // dispatched every send of that round, so the mark goes out
+            // now — after the envelopes, per-link FIFO.
+            self.need_flush = false;
+            if self.round < self.depth {
+                self.broadcast_mark(self.round);
+            }
+        }
+        if self.round == self.depth {
+            // The final timeout has been emitted; the machine is done.
+            return PollOutcome::Closed;
+        }
+        self.drain_inbox();
+        if let Some((src, msg)) = self.deliver_queue.pop_front() {
+            self.stats.delivered += 1;
+            return PollOutcome::Event(NodeEvent::Deliver { src, msg });
+        }
+        let heard = self.marks.get(&self.round).map_or(0, BTreeSet::len);
+        if heard == self.n - 1 {
+            return self.advance();
+        }
+        if Instant::now() >= self.deadline {
+            // Deadline-expiry absence detection: unheard peers are
+            // declared silent for this round whether they are dead or
+            // merely slow — the latter is a false timeout.
+            self.stats.false_timeouts += (self.n - 1 - heard) as u64;
+            return self.advance();
+        }
+        PollOutcome::Pending
+    }
+
+    fn stats(&self) -> TransportStats {
+        self.stats
+    }
+}
+
+impl Drop for MeshTransport {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+    }
+}
+
+/// Builds an `n`-node in-process mesh over `std::sync::mpsc` channels.
+/// Element `i` of the result is node `i`'s endpoint; move each to its own
+/// thread and drive them concurrently.
+pub fn channel_mesh(
+    n: usize,
+    depth: usize,
+    chaos: &LinkChaos,
+    config: MeshConfig,
+) -> Vec<MeshTransport> {
+    let mut txs = Vec::with_capacity(n);
+    let mut rxs = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (tx, rx) = channel();
+        txs.push(tx);
+        rxs.push(rx);
+    }
+    rxs.into_iter()
+        .enumerate()
+        .map(|(i, rx)| {
+            let me = NodeId::new(i);
+            let links = NodeId::all(n)
+                .filter(|&p| p != me)
+                .map(|p| (p, PeerLink::Channel(txs[p.index()].clone())))
+                .collect();
+            MeshTransport::new(
+                me,
+                n,
+                depth,
+                chaos.clone(),
+                links,
+                rx,
+                config,
+                Arc::new(AtomicBool::new(false)),
+            )
+        })
+        .collect()
+}
+
+/// Builds an `n`-node mesh over loopback TCP with ephemeral ports: binds
+/// `n` listeners, performs the full dial/accept handshake on worker
+/// threads, and returns node `i`'s endpoint at element `i`.
+pub fn tcp_mesh(
+    n: usize,
+    depth: usize,
+    chaos: &LinkChaos,
+    config: MeshConfig,
+) -> io::Result<Vec<MeshTransport>> {
+    let mut listeners = Vec::with_capacity(n);
+    let mut addrs = Vec::with_capacity(n);
+    for _ in 0..n {
+        let l = TcpListener::bind("127.0.0.1:0")?;
+        addrs.push(l.local_addr()?);
+        listeners.push(l);
+    }
+    let handles: Vec<_> = listeners
+        .into_iter()
+        .enumerate()
+        .map(|(i, listener)| {
+            let addrs = addrs.clone();
+            let chaos = chaos.clone();
+            thread::spawn(move || {
+                join_with_listener(NodeId::new(i), listener, &addrs, depth, chaos, config)
+            })
+        })
+        .collect();
+    let mut out = Vec::with_capacity(n);
+    for h in handles {
+        out.push(h.join().expect("tcp mesh setup thread panicked")?);
+    }
+    Ok(out)
+}
+
+/// Joins a TCP mesh as node `me` of `addrs.len()` nodes at explicit
+/// addresses — the `dagree serve` entry point, where each node is its own
+/// process. Binds `addrs[me]`, dials every lower-indexed peer (retrying
+/// until [`MeshConfig::dial_timeout`], since peers may not be up yet) and
+/// accepts connections from every higher-indexed one.
+pub fn tcp_join(
+    me: NodeId,
+    addrs: &[SocketAddr],
+    depth: usize,
+    chaos: LinkChaos,
+    config: MeshConfig,
+) -> io::Result<MeshTransport> {
+    let listener = TcpListener::bind(addrs[me.index()])?;
+    join_with_listener(me, listener, addrs, depth, chaos, config)
+}
+
+/// The shared dial-lower/accept-higher handshake. Every connection opens
+/// with a 4-byte little-endian node index from the dialer, so the acceptor
+/// knows who it is talking to (transport-level authentication, the paper's
+/// oral-message assumption (c) — good enough on loopback).
+fn join_with_listener(
+    me: NodeId,
+    listener: TcpListener,
+    addrs: &[SocketAddr],
+    depth: usize,
+    chaos: LinkChaos,
+    config: MeshConfig,
+) -> io::Result<MeshTransport> {
+    let n = addrs.len();
+    let mut streams: BTreeMap<NodeId, TcpStream> = BTreeMap::new();
+    for (peer, &addr) in addrs.iter().enumerate().take(me.index()) {
+        let mut s = dial_with_retry(addr, config.dial_timeout)?;
+        io::Write::write_all(&mut s, &(me.index() as u32).to_le_bytes())?;
+        streams.insert(NodeId::new(peer), s);
+    }
+    for _ in me.index() + 1..n {
+        let (mut s, _) = listener.accept()?;
+        let mut id = [0u8; 4];
+        s.read_exact(&mut id)?;
+        let peer = u32::from_le_bytes(id) as usize;
+        if peer >= n {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "handshake announced an out-of-range node id",
+            ));
+        }
+        streams.insert(NodeId::new(peer), s);
+    }
+    let (tx, rx) = channel();
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut links = BTreeMap::new();
+    for (peer, stream) in streams {
+        let reader = stream.try_clone()?;
+        let tx = tx.clone();
+        let stop = Arc::clone(&stop);
+        thread::spawn(move || reader_loop(reader, tx, stop));
+        links.insert(peer, PeerLink::Tcp(stream));
+    }
+    Ok(MeshTransport::new(
+        me, n, depth, chaos, links, rx, config, stop,
+    ))
+}
+
+fn dial_with_retry(addr: SocketAddr, budget: Duration) -> io::Result<TcpStream> {
+    let deadline = Instant::now() + budget;
+    loop {
+        match TcpStream::connect(addr) {
+            Ok(s) => return Ok(s),
+            Err(e) if Instant::now() >= deadline => return Err(e),
+            Err(_) => thread::sleep(Duration::from_millis(20)),
+        }
+    }
+}
+
+/// Per-connection reader: accumulates bytes and forwards complete frames.
+/// Reading with a timeout (rather than blocking forever) lets the thread
+/// notice the endpoint's stop flag, so finished runs do not strand reader
+/// threads on half-open sockets. Partial frames survive across timeouts —
+/// the accumulator only ever consumes whole frames.
+fn reader_loop(mut stream: TcpStream, tx: Sender<Frame>, stop: Arc<AtomicBool>) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+    let mut acc: Vec<u8> = Vec::new();
+    let mut buf = [0u8; 4096];
+    loop {
+        match stream.read(&mut buf) {
+            Ok(0) => return,
+            Ok(k) => {
+                acc.extend_from_slice(&buf[..k]);
+                loop {
+                    if acc.len() < 4 {
+                        break;
+                    }
+                    let len =
+                        u32::from_le_bytes(acc[..4].try_into().expect("4-byte slice")) as usize;
+                    if len > MAX_FRAME_LEN as usize {
+                        return; // corrupt stream: stop feeding it onward
+                    }
+                    if acc.len() < 4 + len {
+                        break;
+                    }
+                    match frame::decode(&acc[4..4 + len]) {
+                        Ok(f) => {
+                            if tx.send(f).is_err() {
+                                return;
+                            }
+                        }
+                        Err(_) => return,
+                    }
+                    acc.drain(..4 + len);
+                }
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock
+                        | io::ErrorKind::TimedOut
+                        | io::ErrorKind::Interrupted
+                ) =>
+            {
+                if stop.load(Ordering::Relaxed) {
+                    return;
+                }
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use degradable::{AgreementValue, Path};
+
+    fn nid(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn envelope(src: usize, path: Path, v: u64) -> Frame {
+        Frame::Envelope {
+            src: nid(src),
+            msg: ByzMsg {
+                path,
+                value: AgreementValue::Value(v),
+            },
+        }
+    }
+
+    /// Drives a 2-node channel mesh by hand: node 1 should see Timeout 0,
+    /// the delivery, then timeouts driven by node 0's marks.
+    #[test]
+    fn channel_mesh_round_trip_with_marks() {
+        let mut mesh = channel_mesh(2, 2, &LinkChaos::healthy(), MeshConfig::default());
+        let mut n1 = mesh.pop().unwrap();
+        let mut n0 = mesh.pop().unwrap();
+
+        assert_eq!(
+            n0.poll(),
+            PollOutcome::Event(NodeEvent::Timeout { round: 0 })
+        );
+        n0.send(
+            nid(1),
+            ByzMsg {
+                path: Path::root(nid(0)),
+                value: AgreementValue::Value(9u64),
+            },
+        );
+        assert_eq!(
+            n1.poll(),
+            PollOutcome::Event(NodeEvent::Timeout { round: 0 })
+        );
+        // Node 1's next poll flushes its Mark(0) and must surface the
+        // envelope before any round advance.
+        match n1.poll() {
+            PollOutcome::Event(NodeEvent::Deliver { src, msg }) => {
+                assert_eq!(src, nid(0));
+                assert_eq!(msg.path, Path::root(nid(0)));
+            }
+            other => panic!("expected delivery, got {other:?}"),
+        }
+        // Node 0 flushes Mark(0), hears node 1's, advances; then node 1
+        // hears node 0's mark and follows.
+        assert_eq!(
+            n0.poll(),
+            PollOutcome::Event(NodeEvent::Timeout { round: 1 })
+        );
+        assert_eq!(
+            n1.poll(),
+            PollOutcome::Event(NodeEvent::Timeout { round: 1 })
+        );
+        // Round 1 closes the same way; round 2 is the final timeout.
+        assert_eq!(n1.poll(), PollOutcome::Pending, "peer mark not in yet");
+        assert_eq!(
+            n0.poll(),
+            PollOutcome::Event(NodeEvent::Timeout { round: 2 })
+        );
+        assert_eq!(
+            n1.poll(),
+            PollOutcome::Event(NodeEvent::Timeout { round: 2 })
+        );
+        assert_eq!(n1.poll(), PollOutcome::Closed);
+        assert_eq!(n0.poll(), PollOutcome::Closed);
+        assert_eq!(n1.stats().delivered, 1);
+        assert_eq!(n0.stats().sent, 1);
+        assert_eq!(n0.stats().false_timeouts, 0);
+    }
+
+    #[test]
+    fn dead_peer_times_out_but_round_structure_survives() {
+        let mut mesh = channel_mesh(
+            2,
+            1,
+            &LinkChaos::healthy(),
+            MeshConfig {
+                round_timeout: Duration::from_millis(30),
+                ..MeshConfig::default()
+            },
+        );
+        let mut n0 = mesh.remove(0);
+        drop(mesh); // node 1 never runs: a crashed peer
+        assert_eq!(
+            n0.poll(),
+            PollOutcome::Event(NodeEvent::Timeout { round: 0 })
+        );
+        let start = Instant::now();
+        loop {
+            match n0.poll() {
+                PollOutcome::Pending => thread::sleep(Duration::from_millis(2)),
+                PollOutcome::Event(NodeEvent::Timeout { round: 1 }) => break,
+                other => panic!("expected round-1 timeout, got {other:?}"),
+            }
+            assert!(
+                start.elapsed() < Duration::from_secs(2),
+                "no deadline fired"
+            );
+        }
+        assert_eq!(n0.poll(), PollOutcome::Closed);
+        assert_eq!(n0.stats().false_timeouts, 1);
+    }
+
+    #[test]
+    fn early_envelopes_are_gated_until_their_round() {
+        // Hand-feed node 0's inbox: a level-2 envelope (round-1 traffic
+        // from a peer that has raced ahead) must not surface during round
+        // 0 — the machine would discard it as from the future.
+        let (tx, rx) = channel();
+        let mut t = MeshTransport::new(
+            nid(0),
+            3,
+            2,
+            LinkChaos::healthy(),
+            BTreeMap::new(),
+            rx,
+            MeshConfig::default(),
+            Arc::new(AtomicBool::new(false)),
+        );
+        assert_eq!(
+            t.poll(),
+            PollOutcome::Event(NodeEvent::Timeout { round: 0 })
+        );
+        tx.send(envelope(2, Path::root(nid(1)).child(nid(2)), 7))
+            .unwrap();
+        assert_eq!(t.poll(), PollOutcome::Pending, "future envelope gated");
+        // Marks for round 0 from both peers release the next round.
+        tx.send(Frame::Mark {
+            src: nid(1),
+            round: 0,
+        })
+        .unwrap();
+        tx.send(Frame::Mark {
+            src: nid(2),
+            round: 0,
+        })
+        .unwrap();
+        assert_eq!(
+            t.poll(),
+            PollOutcome::Event(NodeEvent::Timeout { round: 1 })
+        );
+        match t.poll() {
+            PollOutcome::Event(NodeEvent::Deliver { src, .. }) => assert_eq!(src, nid(2)),
+            other => panic!("gated envelope should release in round 1, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tcp_mesh_handshake_carries_frames_both_ways() {
+        let mut mesh = tcp_mesh(2, 1, &LinkChaos::healthy(), MeshConfig::default()).unwrap();
+        let mut n1 = mesh.pop().unwrap();
+        let mut n0 = mesh.pop().unwrap();
+        assert_eq!(
+            n0.poll(),
+            PollOutcome::Event(NodeEvent::Timeout { round: 0 })
+        );
+        assert_eq!(
+            n1.poll(),
+            PollOutcome::Event(NodeEvent::Timeout { round: 0 })
+        );
+        n0.send(
+            nid(1),
+            ByzMsg {
+                path: Path::root(nid(0)),
+                value: AgreementValue::Value(1234u64),
+            },
+        );
+        // Spin until the reader thread forwards the frame.
+        let start = Instant::now();
+        loop {
+            match n1.poll() {
+                PollOutcome::Event(NodeEvent::Deliver { src, msg }) => {
+                    assert_eq!(src, nid(0));
+                    assert_eq!(msg.value, AgreementValue::Value(1234));
+                    break;
+                }
+                PollOutcome::Event(NodeEvent::Timeout { .. }) => {
+                    panic!("round advanced before the envelope was drained")
+                }
+                PollOutcome::Pending => thread::sleep(Duration::from_millis(1)),
+                PollOutcome::Closed => panic!("closed early"),
+            }
+            assert!(
+                start.elapsed() < Duration::from_secs(5),
+                "frame never arrived"
+            );
+        }
+    }
+}

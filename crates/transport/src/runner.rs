@@ -1,0 +1,363 @@
+//! Scenario drivers: one BYZ instance, any backend.
+//!
+//! The driver loop is identical everywhere — poll the transport, feed the
+//! event to the node's [`NodeStateMachine`], perform the returned actions
+//! — but the concurrency shape differs: [`run_sim`] multiplexes all `n`
+//! endpoints on the calling thread (the shared event queue dictates the
+//! order, so the sweep pattern is irrelevant), while [`run_channel`] and
+//! [`run_tcp`] give every node its own OS thread and let real scheduling
+//! happen. All three return a [`TransportRun`] carrying decisions, the
+//! per-node EIG views (the reference fold's input, for re-deriving
+//! decisions through `EigView::resolve`), and merged traffic stats — the
+//! differential suite's raw material.
+
+use crate::mesh::{channel_mesh, tcp_mesh, MeshConfig, MeshTransport};
+use crate::sim::{RelaxedTiming, SimWorld};
+use crate::{LinkChaos, PollOutcome, Transport, TransportKind, TransportStats};
+use degradable::{ByzInstance, EigView, NodeAction, NodeStateMachine, Strategy, Val};
+use simnet::NodeId;
+use std::collections::{BTreeMap, BTreeSet};
+use std::io;
+use std::thread;
+use std::time::Duration;
+
+/// What one node produced over one run.
+#[derive(Debug, Clone)]
+pub struct NodeOutcome {
+    /// The node.
+    pub node: NodeId,
+    /// Its decision (`None` for the sender, which never decides).
+    pub decision: Option<Val>,
+    /// Its EIG receive view — the exact fold input.
+    pub view: EigView<u64>,
+    /// Traffic attributed to its endpoint.
+    pub stats: TransportStats,
+}
+
+/// The outcome of one scenario on one backend.
+#[derive(Debug, Clone)]
+pub struct TransportRun {
+    /// Which backend produced it.
+    pub kind: TransportKind,
+    /// Every receiver's decision (the sender never decides).
+    pub decisions: BTreeMap<NodeId, Val>,
+    /// Every node's EIG view, for reference re-derivation.
+    pub views: BTreeMap<NodeId, EigView<u64>>,
+    /// Run-total traffic statistics.
+    pub stats: TransportStats,
+}
+
+impl TransportRun {
+    fn assemble(kind: TransportKind, outcomes: Vec<NodeOutcome>) -> Self {
+        let mut decisions = BTreeMap::new();
+        let mut views = BTreeMap::new();
+        let mut stats = TransportStats::default();
+        for o in outcomes {
+            if let Some(d) = o.decision {
+                decisions.insert(o.node, d);
+            }
+            views.insert(o.node, o.view);
+            stats.merge(&o.stats);
+        }
+        TransportRun {
+            kind,
+            decisions,
+            views,
+            stats,
+        }
+    }
+}
+
+fn machines_for(
+    instance: &ByzInstance,
+    sender_value: Val,
+    strategies: &BTreeMap<NodeId, Strategy<u64>>,
+) -> Vec<NodeStateMachine<u64>> {
+    NodeId::all(instance.n())
+        .map(|me| NodeStateMachine::new(instance, me, sender_value, strategies.get(&me).cloned()))
+        .collect()
+}
+
+/// Feeds `event`-produced actions back into the transport; returns the
+/// decision if the machine made one.
+fn perform<T: Transport>(
+    transport: &mut T,
+    machine: &mut NodeStateMachine<u64>,
+    event: degradable::NodeEvent<u64>,
+) -> Option<Val> {
+    let mut decision = None;
+    for action in machine.on_event(event) {
+        match action {
+            NodeAction::Send { to, msg } => transport.send(to, msg),
+            NodeAction::Decide { value } => decision = Some(value),
+        }
+    }
+    decision
+}
+
+/// Runs the scenario on the deterministic simulator backend.
+///
+/// `relaxed` injects §6 clock skew (see [`RelaxedTiming::when_degraded`]);
+/// `None` keeps absence detection exact. The result is bit-identical for
+/// identical inputs, regardless of how the internal sweep is scheduled.
+pub fn run_sim(
+    instance: &ByzInstance,
+    sender_value: Val,
+    strategies: &BTreeMap<NodeId, Strategy<u64>>,
+    chaos: LinkChaos,
+    relaxed: Option<RelaxedTiming>,
+) -> TransportRun {
+    let n = instance.n();
+    let faulty: BTreeSet<NodeId> = strategies.keys().copied().collect();
+    let mut endpoints = SimWorld::endpoints(n, instance.depth(), chaos, relaxed, faulty);
+    let mut machines = machines_for(instance, sender_value, strategies);
+    let mut decisions: Vec<Option<Val>> = vec![None; n];
+    loop {
+        let mut all_closed = true;
+        let mut progressed = false;
+        for i in 0..n {
+            loop {
+                match endpoints[i].poll() {
+                    PollOutcome::Event(event) => {
+                        progressed = true;
+                        all_closed = false;
+                        if machines[i].is_done() {
+                            // Defensive: the world never schedules past the
+                            // final timer, so this is unreachable — but a
+                            // stray event must not feed a finished machine.
+                            continue;
+                        }
+                        if let Some(d) = perform(&mut endpoints[i], &mut machines[i], event) {
+                            decisions[i] = Some(d);
+                        }
+                    }
+                    PollOutcome::Pending => {
+                        all_closed = false;
+                        break;
+                    }
+                    PollOutcome::Closed => break,
+                }
+            }
+        }
+        if all_closed {
+            break;
+        }
+        assert!(progressed, "sim driver stalled with events pending");
+    }
+    let outcomes = machines
+        .iter()
+        .zip(&endpoints)
+        .enumerate()
+        .map(|(i, (m, t))| NodeOutcome {
+            node: NodeId::new(i),
+            decision: decisions[i],
+            view: m.view().clone(),
+            stats: t.stats(),
+        })
+        .collect();
+    TransportRun::assemble(TransportKind::Sim, outcomes)
+}
+
+/// Drives one mesh endpoint to completion on the current thread — the
+/// loop `dagree serve` runs after [`crate::tcp_join`] hands it a joined
+/// endpoint, and the per-node body of [`run_channel`]/[`run_tcp`].
+pub fn drive_mesh(mut transport: MeshTransport, mut machine: NodeStateMachine<u64>) -> NodeOutcome {
+    let mut decision = None;
+    loop {
+        match transport.poll() {
+            PollOutcome::Event(event) => {
+                if let Some(d) = perform(&mut transport, &mut machine, event) {
+                    decision = Some(d);
+                }
+            }
+            PollOutcome::Pending => thread::sleep(Duration::from_micros(100)),
+            PollOutcome::Closed => break,
+        }
+    }
+    NodeOutcome {
+        node: transport.me(),
+        decision,
+        view: machine.view().clone(),
+        stats: transport.stats(),
+    }
+}
+
+fn run_mesh(
+    kind: TransportKind,
+    mesh: Vec<MeshTransport>,
+    instance: &ByzInstance,
+    sender_value: Val,
+    strategies: &BTreeMap<NodeId, Strategy<u64>>,
+) -> TransportRun {
+    let machines = machines_for(instance, sender_value, strategies);
+    let handles: Vec<_> = mesh
+        .into_iter()
+        .zip(machines)
+        .map(|(t, m)| thread::spawn(move || drive_mesh(t, m)))
+        .collect();
+    let outcomes = handles
+        .into_iter()
+        .map(|h| h.join().expect("mesh node thread panicked"))
+        .collect();
+    TransportRun::assemble(kind, outcomes)
+}
+
+/// Runs the scenario with one OS thread per node over in-process channels.
+pub fn run_channel(
+    instance: &ByzInstance,
+    sender_value: Val,
+    strategies: &BTreeMap<NodeId, Strategy<u64>>,
+    chaos: LinkChaos,
+    config: MeshConfig,
+) -> TransportRun {
+    let mesh = channel_mesh(instance.n(), instance.depth(), &chaos, config);
+    run_mesh(
+        TransportKind::Channel,
+        mesh,
+        instance,
+        sender_value,
+        strategies,
+    )
+}
+
+/// Runs the scenario with one OS thread per node over loopback TCP.
+pub fn run_tcp(
+    instance: &ByzInstance,
+    sender_value: Val,
+    strategies: &BTreeMap<NodeId, Strategy<u64>>,
+    chaos: LinkChaos,
+    config: MeshConfig,
+) -> io::Result<TransportRun> {
+    let mesh = tcp_mesh(instance.n(), instance.depth(), &chaos, config)?;
+    Ok(run_mesh(
+        TransportKind::Tcp,
+        mesh,
+        instance,
+        sender_value,
+        strategies,
+    ))
+}
+
+/// Runs the scenario on the backend selected by `kind` — the harness/CLI
+/// entry point. Only the TCP backend can actually fail (socket setup).
+pub fn run_kind(
+    kind: TransportKind,
+    instance: &ByzInstance,
+    sender_value: Val,
+    strategies: &BTreeMap<NodeId, Strategy<u64>>,
+    chaos: LinkChaos,
+    config: MeshConfig,
+) -> io::Result<TransportRun> {
+    match kind {
+        TransportKind::Sim => Ok(run_sim(instance, sender_value, strategies, chaos, None)),
+        TransportKind::Channel => Ok(run_channel(
+            instance,
+            sender_value,
+            strategies,
+            chaos,
+            config,
+        )),
+        TransportKind::Tcp => run_tcp(instance, sender_value, strategies, chaos, config),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use degradable::{run_protocol, Params};
+
+    fn instance(n: usize, m: usize, u: usize) -> ByzInstance {
+        ByzInstance::new(n, Params::new(m, u).unwrap(), NodeId::new(0)).unwrap()
+    }
+
+    #[test]
+    fn sim_healthy_matches_run_protocol() {
+        let inst = instance(5, 1, 2);
+        let strategies = BTreeMap::new();
+        let oracle = run_protocol(&inst, &Val::Value(42), &strategies, 7);
+        let run = run_sim(
+            &inst,
+            Val::Value(42),
+            &strategies,
+            LinkChaos::healthy(),
+            None,
+        );
+        assert_eq!(run.decisions, oracle.decisions);
+        for d in run.decisions.values() {
+            assert_eq!(*d, Val::Value(42));
+        }
+        assert!(
+            !run.decisions.contains_key(&NodeId::new(0)),
+            "sender never decides"
+        );
+        assert_eq!(run.stats.delivered, run.stats.sent);
+    }
+
+    #[test]
+    fn sim_with_liars_matches_run_protocol() {
+        let inst = instance(7, 2, 2);
+        let strategies: BTreeMap<_, _> = [
+            (NodeId::new(3), Strategy::ConstantLie(Val::Value(9))),
+            (NodeId::new(5), Strategy::Silent),
+        ]
+        .into_iter()
+        .collect();
+        let oracle = run_protocol(&inst, &Val::Value(1), &strategies, 7);
+        let run = run_sim(
+            &inst,
+            Val::Value(1),
+            &strategies,
+            LinkChaos::healthy(),
+            None,
+        );
+        assert_eq!(run.decisions, oracle.decisions);
+    }
+
+    #[test]
+    fn channel_matches_sim_healthy() {
+        let inst = instance(5, 1, 2);
+        let strategies: BTreeMap<_, _> = [(NodeId::new(4), Strategy::ConstantLie(Val::Value(3)))]
+            .into_iter()
+            .collect();
+        let sim = run_sim(
+            &inst,
+            Val::Value(8),
+            &strategies,
+            LinkChaos::healthy(),
+            None,
+        );
+        let chan = run_channel(
+            &inst,
+            Val::Value(8),
+            &strategies,
+            LinkChaos::healthy(),
+            MeshConfig::default(),
+        );
+        assert_eq!(chan.decisions, sim.decisions);
+        assert_eq!(chan.views, sim.views);
+        assert_eq!(chan.stats.chaos_signature(), sim.stats.chaos_signature());
+    }
+
+    #[test]
+    fn tcp_matches_sim_healthy() {
+        let inst = instance(4, 1, 1);
+        let strategies = BTreeMap::new();
+        let sim = run_sim(
+            &inst,
+            Val::Value(77),
+            &strategies,
+            LinkChaos::healthy(),
+            None,
+        );
+        let tcp = run_tcp(
+            &inst,
+            Val::Value(77),
+            &strategies,
+            LinkChaos::healthy(),
+            MeshConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(tcp.decisions, sim.decisions);
+        assert_eq!(tcp.views, sim.views);
+    }
+}

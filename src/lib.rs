@@ -6,11 +6,11 @@
 //! against this crate.
 //!
 //! ```
-//! use degradable_agreement_repro::degradable::{ByzInstance, Params, Scenario, Val};
+//! use degradable_agreement_repro::degradable::{AdversaryRun, ByzInstance, Params, Val};
 //! use degradable_agreement_repro::simnet::NodeId;
 //!
 //! let instance = ByzInstance::new(5, Params::new(1, 2)?, NodeId::new(0))?;
-//! let record = Scenario {
+//! let record = AdversaryRun {
 //!     instance,
 //!     sender_value: Val::Value(42),
 //!     strategies: Default::default(),
@@ -25,3 +25,4 @@ pub use channels;
 pub use clocksync;
 pub use degradable;
 pub use simnet;
+pub use transport;
