@@ -1,0 +1,400 @@
+//! **Experiment E18** — conformance fuzzing as a standing experiment:
+//! randomized BYZ(m, u) executions checked step-by-step against the
+//! abstract spec machine, plus a seeded-mutant gate proving the checker
+//! has teeth.
+//!
+//! Three campaigns, one report (`results/fuzz_conformance.json`,
+//! schema v4):
+//!
+//! 1. **Conformance sweep** — `--trials` (default 200) randomized
+//!    [`FuzzPlan`]s with N ∈ {4..`--max-n`}: random valid `(m, u)`
+//!    shapes, mixed static / adaptive / crash faults, optional
+//!    message-keyed link chaos and a hot-edge-cutting online adversary.
+//!    Every delivered message, every per-round relay set, and every
+//!    final decision is validated by [`degradable::spec::SpecChecker`];
+//!    model-clean plans additionally pass `check_degradable`. The gate:
+//!    zero violations. Any failure is shrunk to a minimal `(seed, plan)`
+//!    repro and written to `results/repros/`.
+//! 2. **Mutant gate** — `--mutant-budget` (default 24) executions with
+//!    the relay-suppression bug injected ([`Mutation::SuppressRelay`]).
+//!    The gate inverts: the checker **must** catch at least one mutant,
+//!    and the first catch's minimized repro is written to
+//!    `results/repros/` as evidence.
+//! 3. **Churn sweep** — `--trials`-independent seeds of a fixed
+//!    crash/rejoin schedule over the batched service
+//!    ([`degradable::run_churn_with`]): a Byzantine node with corrupt
+//!    outgoing links spoofing a rejoined sender's reclaimed slot id.
+//!    The gate: every epoch's D.1–D.4 verdicts stay within the model
+//!    and the path-root pin rejects at least one spoof.
+//!
+//! Flags beyond the shared [`RunArgs`]:
+//!
+//! * `--max-n N` — cluster-size ceiling for generated plans (CI trims);
+//! * `--mutant-budget B` — executions in the mutant gate;
+//! * `--no-timing` — logical-clock trace under `--trace-out`, wall
+//!   times scrubbed from the obs registry.
+//!
+//! The report contains no worker-count field and only deterministic
+//! counters (plan coverage, violation counts, spoof counts) — it is
+//! bit-identical for any `--workers` value: trial `t` always draws from
+//! `SimRng::derive(master_seed, t)` and the spec checker consumes no
+//! randomness at all.
+
+use degradable::adversary::Strategy;
+use degradable::{BatchInstance, BatchMsg, EpochPlan, Params, Val};
+use harness::fuzz::{run_plan, shrink, FuzzFailure, FuzzPlan, FuzzViolation, Mutation};
+use harness::report::Table;
+use harness::{Report, RunArgs, SweepRunner};
+use obs::{Obs, TimeMode};
+use simnet::{LinkFaultKind, LinkFaultPlan, NodeId, SimRng};
+use std::collections::BTreeMap;
+
+/// One conformance-sweep trial outcome: coverage plus any (shrunk)
+/// failure. Mirrors [`harness::fuzz_trial`] but keeps the generated
+/// plan's shape for the coverage table.
+struct FuzzRow {
+    n: usize,
+    faults: usize,
+    adaptive: bool,
+    crash: bool,
+    chaotic: bool,
+    steps: usize,
+    failure: Option<FuzzFailure>,
+}
+
+/// Runs one conformance (or mutant) trial. Identical draw order to
+/// `harness::fuzz_trial`, so a failure here reproduces under
+/// `dagree fuzz` with the same master seed and trial index.
+fn fuzz_cell(
+    trial: usize,
+    mut rng: SimRng,
+    max_n: usize,
+    mutation: Option<Mutation>,
+    obs: &mut Obs,
+) -> FuzzRow {
+    let span = obs.span("fuzz.trial", vec![("trial", trial as u64)]);
+    let plan = FuzzPlan::generate(&mut rng, max_n);
+    let report = run_plan(&plan, mutation);
+    let adaptive = plan
+        .faults
+        .values()
+        .any(|f| matches!(f, harness::FaultSpec::Adaptive(_)));
+    let crash = plan
+        .faults
+        .values()
+        .any(|f| matches!(f, harness::FaultSpec::Crash { .. }));
+    let failure = report.violation.as_ref().map(|_| {
+        let (shrunk, shrink_iters) = shrink(&plan, mutation);
+        let violation: FuzzViolation = run_plan(&shrunk, mutation)
+            .violation
+            .expect("the shrinker only returns failing plans");
+        FuzzFailure {
+            trial,
+            plan: plan.clone(),
+            shrunk,
+            violation,
+            shrink_iters,
+        }
+    });
+    obs.finish(span, report.steps as u64);
+    obs.add("fuzz.execs", 1);
+    obs.add("fuzz.steps", report.steps as u64);
+    obs.add("fuzz.adaptive_plans", u64::from(adaptive));
+    obs.add("fuzz.crash_plans", u64::from(crash));
+    obs.add("fuzz.chaos_plans", u64::from(!plan.is_model_clean()));
+    FuzzRow {
+        n: plan.n,
+        faults: plan.faults.len(),
+        adaptive,
+        crash,
+        chaotic: !plan.is_model_clean(),
+        steps: report.steps,
+        failure,
+    }
+}
+
+/// One churn-sweep trial outcome (deterministic counters only).
+struct ChurnRow {
+    crashes: usize,
+    rejoins: usize,
+    spoofs_rejected: u64,
+    violations: usize,
+    sent: usize,
+}
+
+/// The fixed churn schedule: BYZ(1, 2) at n = 5, node 3 declared
+/// Byzantine, node 4 crashing for one epoch and rejoining, and — in the
+/// final epoch — node 3's corrupt outgoing links re-tagging instance-0
+/// envelopes with the rejoined sender's reclaimed slot id (spoofing).
+fn churn_cell(trial: usize, mut rng: SimRng, obs: &mut Obs) -> ChurnRow {
+    let span = obs.span("fuzz.churn_trial", vec![("trial", trial as u64)]);
+    let n = |i: usize| NodeId::new(i);
+    let slot = |sender: usize, value: u64| BatchInstance {
+        sender: n(sender),
+        value: Val::Value(value),
+    };
+    let epochs = vec![
+        EpochPlan {
+            alive: vec![true; 5],
+            instances: vec![slot(0, 10), slot(1, 20)],
+        },
+        // Node 4 crashes: effective f = |{3, 4}| = 2 = u, still in model.
+        EpochPlan {
+            alive: vec![true, true, true, true, false],
+            instances: vec![slot(0, 11)],
+        },
+        // Node 4 rejoins; node 1's sender slot is reused and node 3
+        // spoofs it (corrupt links re-tag instance 0 as instance 1).
+        EpochPlan {
+            alive: vec![true; 5],
+            instances: vec![slot(0, 12), slot(1, 22)],
+        },
+    ];
+    let strategies: BTreeMap<NodeId, Strategy<u64>> =
+        [(n(3), Strategy::ConstantLie(Val::Value(9)))].into();
+    let plan = LinkFaultPlan::healthy()
+        .with(n(3), n(0), LinkFaultKind::Corrupt { p: 1.0 })
+        .with(n(3), n(1), LinkFaultKind::Corrupt { p: 1.0 })
+        .with(n(3), n(2), LinkFaultKind::Corrupt { p: 1.0 })
+        .with(n(3), n(4), LinkFaultKind::Corrupt { p: 1.0 });
+    let run = degradable::run_churn_with(
+        Params::new(1, 2).expect("u >= m"),
+        5,
+        &epochs,
+        &strategies,
+        rng.below(u64::MAX),
+        obs,
+        |epoch, eng| {
+            if epoch == 2 {
+                eng.with_link_faults(plan.clone())
+                    .with_corruptor(|msg: &BatchMsg<u64>, _| {
+                        Some(BatchMsg {
+                            instance: if msg.instance == 0 { 1 } else { msg.instance },
+                            path: msg.path.clone(),
+                            value: msg.value,
+                        })
+                    })
+            } else {
+                eng
+            }
+        },
+    );
+    let sent: usize = run.epochs.iter().map(|e| e.sent).sum();
+    obs.finish(span, sent as u64);
+    ChurnRow {
+        crashes: run.crashes,
+        rejoins: run.rejoins,
+        spoofs_rejected: run.spoofs_rejected(),
+        violations: run.violations(),
+        sent,
+    }
+}
+
+fn main() {
+    println!("E18: conformance fuzz gate (spec machine / mutant / churn)");
+    let args = RunArgs::parse();
+    let master_seed = args.seed_or(0xF055_F0CC);
+    let budget = args.trials_or(200);
+    let runner = SweepRunner::new(args.workers_or(4));
+
+    // Binary-specific flags (RunArgs skips what it does not recognize).
+    let mut max_n = 9usize;
+    let mut mutant_budget = 24usize;
+    let mut timing = true;
+    let mut raw = std::env::args().skip(1);
+    while let Some(arg) = raw.next() {
+        match arg.as_str() {
+            "--no-timing" => timing = false,
+            "--max-n" => {
+                if let Some(v) = raw.next().and_then(|v| v.parse().ok()) {
+                    max_n = v;
+                }
+            }
+            "--mutant-budget" => {
+                if let Some(v) = raw.next().and_then(|v| v.parse().ok()) {
+                    mutant_budget = v;
+                }
+            }
+            _ => {
+                if let Some(v) = arg.strip_prefix("--max-n=").and_then(|v| v.parse().ok()) {
+                    max_n = v;
+                } else if let Some(v) = arg
+                    .strip_prefix("--mutant-budget=")
+                    .and_then(|v| v.parse().ok())
+                {
+                    mutant_budget = v;
+                }
+            }
+        }
+    }
+
+    let mut obs_rec = Obs::enabled();
+
+    // Campaign 1: conformance sweep — no injected bug, zero violations
+    // expected. Same derive as `dagree fuzz`, so failures cross-repro.
+    let fuzz_rows = runner.run_observed(master_seed, budget, &mut obs_rec, |trial, rng, obs| {
+        fuzz_cell(trial, rng, max_n, None, obs)
+    });
+
+    // Campaign 2: mutant gate — relay suppression injected everywhere;
+    // the checker must catch it.
+    let mutant_rows = runner.run_observed(
+        master_seed ^ 0xBADD,
+        mutant_budget,
+        &mut obs_rec,
+        |trial, rng, obs| fuzz_cell(trial, rng, max_n, Some(Mutation::SuppressRelay), obs),
+    );
+
+    // Campaign 3: churn sweep — crash/rejoin epochs with slot spoofing.
+    let churn_trials = 8usize;
+    let churn_rows =
+        runner.run_observed(master_seed ^ 0xC4B2, churn_trials, &mut obs_rec, churn_cell);
+
+    // Coverage table: one row per cluster size.
+    let mut by_n: BTreeMap<usize, (usize, usize, usize, usize, usize, usize)> = BTreeMap::new();
+    for row in &fuzz_rows {
+        let e = by_n.entry(row.n).or_default();
+        e.0 += 1;
+        e.1 += row.faults;
+        e.2 += usize::from(row.adaptive);
+        e.3 += usize::from(row.crash);
+        e.4 += usize::from(row.chaotic);
+        e.5 += row.steps;
+    }
+    let coverage_rows: Vec<Vec<String>> = by_n
+        .iter()
+        .map(|(n, (plans, faults, adaptive, crash, chaotic, steps))| {
+            vec![
+                n.to_string(),
+                plans.to_string(),
+                faults.to_string(),
+                adaptive.to_string(),
+                crash.to_string(),
+                chaotic.to_string(),
+                steps.to_string(),
+            ]
+        })
+        .collect();
+    let churn_table_rows: Vec<Vec<String>> = churn_rows
+        .iter()
+        .enumerate()
+        .map(|(t, r)| {
+            vec![
+                t.to_string(),
+                r.crashes.to_string(),
+                r.rejoins.to_string(),
+                r.spoofs_rejected.to_string(),
+                r.violations.to_string(),
+                r.sent.to_string(),
+            ]
+        })
+        .collect();
+
+    let fuzz_violations = fuzz_rows.iter().filter(|r| r.failure.is_some()).count();
+    let mutants_caught = mutant_rows.iter().filter(|r| r.failure.is_some()).count();
+    let total_steps: usize = fuzz_rows.iter().map(|r| r.steps).sum();
+    let churn_violations: usize = churn_rows.iter().map(|r| r.violations).sum();
+    let spoofs_rejected: u64 = churn_rows.iter().map(|r| r.spoofs_rejected).sum();
+    let crashes: usize = churn_rows.iter().map(|r| r.crashes).sum();
+    let rejoins: usize = churn_rows.iter().map(|r| r.rejoins).sum();
+
+    // Repro files: every conformance failure (should be none), plus the
+    // first mutant catch as evidence the checker bites.
+    for row in &fuzz_rows {
+        if let Some(failure) = &row.failure {
+            write_repro_line(failure, master_seed, None);
+        }
+    }
+    if let Some(failure) = mutant_rows.iter().find_map(|r| r.failure.as_ref()) {
+        write_repro_line(failure, master_seed ^ 0xBADD, Some(Mutation::SuppressRelay));
+    }
+
+    let mut report = Report::new("fuzz_conformance");
+    report
+        .set_meta("master_seed", master_seed)
+        .set_meta("budget", budget)
+        .set_meta("mutant_budget", mutant_budget)
+        .set_meta("churn_trials", churn_trials)
+        .set_meta("max_n", max_n)
+        .set_metric("executions", fuzz_rows.len())
+        .set_metric("fuzz_violations", fuzz_violations)
+        .set_metric("total_steps", total_steps)
+        .set_metric("mutant_trials", mutant_rows.len())
+        .set_metric("mutants_caught", mutants_caught)
+        .set_metric("churn_violations", churn_violations)
+        .set_metric("spoofs_rejected", spoofs_rejected)
+        .set_metric("crashes", crashes)
+        .set_metric("rejoins", rejoins)
+        .add_table(Table::with_rows(
+            "conformance sweep: plan coverage per cluster size",
+            &[
+                "n", "plans", "faults", "adaptive", "crash", "chaotic", "steps",
+            ],
+            coverage_rows,
+        ))
+        .add_table(Table::with_rows(
+            "churn sweep: crash/rejoin epochs with slot spoofing",
+            &[
+                "trial",
+                "crashes",
+                "rejoins",
+                "spoofs_rejected",
+                "violations",
+                "sent",
+            ],
+            churn_table_rows,
+        ));
+    if !timing {
+        obs::scrub_timing(&mut obs_rec);
+    }
+    report.set_obs_registry(obs_rec.registry());
+    report.print_tables();
+    if let Some(trace_path) = args.trace_out_path() {
+        let mode = if timing {
+            TimeMode::Wall
+        } else {
+            TimeMode::Logical
+        };
+        match std::fs::write(trace_path, obs::chrome_trace_json(&obs_rec, mode)) {
+            Ok(()) => println!("\ntrace: {}", trace_path.display()),
+            Err(e) => eprintln!("\ntrace write failed: {e}"),
+        }
+    }
+    match report.write(args.out_path()) {
+        Ok(path) => println!("\nreport: {}", path.display()),
+        Err(e) => eprintln!("\nreport write failed: {e}"),
+    }
+
+    let ok =
+        fuzz_violations == 0 && mutants_caught > 0 && churn_violations == 0 && spoofs_rejected > 0;
+    if ok {
+        println!(
+            "\nRESULT: {} executions conformant to the abstract BYZ(m, u) machine; \
+             mutant caught {mutants_caught}/{}; churn held through {crashes} crashes, \
+             {rejoins} rejoins, {spoofs_rejected} spoofs rejected",
+            fuzz_rows.len(),
+            mutant_rows.len()
+        );
+    } else {
+        println!(
+            "\nRESULT: GATE FAILED (fuzz_violations={fuzz_violations}, \
+             mutants_caught={mutants_caught}/{}, churn_violations={churn_violations}, \
+             spoofs_rejected={spoofs_rejected})",
+            mutant_rows.len()
+        );
+        std::process::exit(1);
+    }
+}
+
+/// Writes one failure's repro file and prints where it went.
+fn write_repro_line(failure: &FuzzFailure, seed: u64, mutation: Option<Mutation>) {
+    match harness::write_repro(
+        std::path::Path::new("results/repros"),
+        failure,
+        seed,
+        mutation,
+    ) {
+        Ok(path) => println!("repro: {} ({})", path.display(), failure.violation),
+        Err(e) => eprintln!("repro write failed: {e}"),
+    }
+}

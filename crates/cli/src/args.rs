@@ -23,6 +23,8 @@ USAGE:
   dagree certify --m M --u U [--budget B]
   dagree flight --arch byzantine|degradable|crusader
   dagree obs TRACE [--top N]
+  dagree fuzz [--budget B] [--seed S] [--max-n N] [--mutate MUTATION]
+              [--repro-dir DIR] [--replay FILE]
   dagree help
 
 FAULTY SPEC:
@@ -56,6 +58,16 @@ OBS:
   summarizes a trace file written by an experiment's --trace-out flag
   (Chrome trace_event JSON or flat JSONL): top spans by logical cost,
   then the embedded counter/gauge/histogram registry.
+
+FUZZ:
+  drives randomized BYZ executions (N in 4..=--max-n, static + adaptive
+  adversaries, churn crashes, link chaos) through the real node state
+  machines with the abstract spec checker attached. Violations are shrunk
+  to a minimal (seed, plan) repro under --repro-dir (default
+  results/repros). `--mutate relay-suppression` injects a deliberate
+  implementation bug the checker must catch (the CI mutant gate).
+  `--replay FILE` re-runs a repro file and prints the first divergent
+  step.
 ";
 
 /// A parsed subcommand.
@@ -167,6 +179,21 @@ pub enum Command {
         path: String,
         /// How many span groups to show, largest logical cost first.
         top: usize,
+    },
+    /// `dagree fuzz`
+    Fuzz {
+        /// Number of randomized executions.
+        budget: usize,
+        /// Campaign master seed.
+        seed: u64,
+        /// Cluster-size ceiling (inclusive).
+        max_n: usize,
+        /// Deliberate implementation bug to inject (mutant gate).
+        mutate: Option<harness::Mutation>,
+        /// Directory minimized repros are written to.
+        repro_dir: String,
+        /// Repro file to re-run instead of fuzzing.
+        replay: Option<String>,
     },
     /// `dagree help`
     Help,
@@ -464,6 +491,31 @@ pub fn parse_args(argv: &[String]) -> Result<Command, ParseError> {
             Ok(Command::Obs {
                 path: path.clone(),
                 top: opt_usize(&flags, "--top", 10)?,
+            })
+        }
+        "fuzz" => {
+            let flags = collect_flags(rest)?;
+            let mutate = match flags.pairs.get("--mutate") {
+                None => None,
+                Some(name) => Some(harness::Mutation::from_name(name).map_err(ParseError)?),
+            };
+            Ok(Command::Fuzz {
+                budget: opt_usize(&flags, "--budget", 200)?,
+                seed: flags
+                    .pairs
+                    .get("--seed")
+                    .map(|v| parse_u64(v))
+                    .transpose()?
+                    .unwrap_or(0xF055_F0CC),
+                max_n: opt_usize(&flags, "--max-n", 9)?,
+                mutate,
+                repro_dir: flags
+                    .pairs
+                    .get("--repro-dir")
+                    .copied()
+                    .unwrap_or("results/repros")
+                    .to_string(),
+                replay: flags.pairs.get("--replay").map(|s| s.to_string()),
             })
         }
         "topology" => {
@@ -826,6 +878,53 @@ mod tests {
         );
         assert!(parse_args(&sv(&["obs"])).is_err());
         assert!(parse_args(&sv(&["obs", "--top", "3"])).is_err());
+    }
+
+    #[test]
+    fn parse_fuzz_defaults_and_flags() {
+        assert_eq!(
+            parse_args(&sv(&["fuzz"])).unwrap(),
+            Command::Fuzz {
+                budget: 200,
+                seed: 0xF055_F0CC,
+                max_n: 9,
+                mutate: None,
+                repro_dir: "results/repros".into(),
+                replay: None,
+            }
+        );
+        assert_eq!(
+            parse_args(&sv(&[
+                "fuzz",
+                "--budget",
+                "50",
+                "--seed",
+                "7",
+                "--max-n",
+                "6",
+                "--mutate",
+                "relay-suppression",
+                "--repro-dir",
+                "/tmp/r",
+            ]))
+            .unwrap(),
+            Command::Fuzz {
+                budget: 50,
+                seed: 7,
+                max_n: 6,
+                mutate: Some(harness::Mutation::SuppressRelay),
+                repro_dir: "/tmp/r".into(),
+                replay: None,
+            }
+        );
+        let e = parse_args(&sv(&["fuzz", "--mutate", "nope"])).unwrap_err();
+        assert!(e.0.contains("unknown mutation"), "{e}");
+        match parse_args(&sv(&["fuzz", "--replay", "results/repros/x.json"])).unwrap() {
+            Command::Fuzz { replay, .. } => {
+                assert_eq!(replay.as_deref(), Some("results/repros/x.json"));
+            }
+            other => panic!("{other:?}"),
+        }
     }
 
     #[test]

@@ -53,7 +53,139 @@ pub fn dispatch(cmd: &Command) -> String {
         Command::Certify { m, u, budget } => certify_cmd(*m, *u, *budget),
         Command::Flight { arch } => flight_cmd(arch),
         Command::Obs { path, top } => obs_cmd(path, *top),
+        Command::Fuzz {
+            budget,
+            seed,
+            max_n,
+            mutate,
+            repro_dir,
+            replay,
+        } => fuzz_cmd(
+            *budget,
+            *seed,
+            *max_n,
+            *mutate,
+            repro_dir,
+            replay.as_deref(),
+        ),
     }
+}
+
+/// Renders a fuzz plan on one line (repro listings and failure reports).
+fn fuzz_plan_line(plan: &harness::FuzzPlan) -> String {
+    let faults: Vec<String> = plan
+        .faults
+        .iter()
+        .map(|(node, spec)| format!("{node}:{spec}"))
+        .collect();
+    format!(
+        "n={} m={} u={} sender={} value={} faults=[{}] drop_p={} hot_edge={} seed={:#x}",
+        plan.n,
+        plan.m,
+        plan.u,
+        plan.sender,
+        plan.sender_value,
+        faults.join(","),
+        plan.drop_p,
+        plan.hot_edge_threshold
+            .map_or("none".to_string(), |t| t.to_string()),
+        plan.seed,
+    )
+}
+
+fn fuzz_replay_cmd(path: &str) -> String {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => return format!("error: cannot read `{path}`: {e}"),
+    };
+    let outcome = match harness::replay(&text) {
+        Ok(o) => o,
+        Err(e) => return format!("error: `{path}` is not a usable repro: {}", one_line(&e)),
+    };
+    let mut out = String::new();
+    let _ = writeln!(out, "replaying {path}");
+    let _ = writeln!(out, "plan: {}", fuzz_plan_line(&outcome.plan));
+    let _ = writeln!(
+        out,
+        "mutation: {}",
+        outcome.mutation.map_or("none", |m| m.name())
+    );
+    let _ = writeln!(out, "recorded violation: {}", outcome.recorded);
+    match &outcome.report.violation {
+        Some(v) => {
+            let _ = writeln!(out, "first divergent step: {v}");
+            let _ = writeln!(out, "REPRODUCED ({} steps driven)", outcome.report.steps);
+        }
+        None => {
+            let _ = writeln!(
+                out,
+                "NO LONGER REPRODUCES — {} steps driven, all conformant (fixed?)",
+                outcome.report.steps
+            );
+        }
+    }
+    out
+}
+
+fn fuzz_cmd(
+    budget: usize,
+    seed: u64,
+    max_n: usize,
+    mutate: Option<harness::Mutation>,
+    repro_dir: &str,
+    replay: Option<&str>,
+) -> String {
+    if let Some(path) = replay {
+        return fuzz_replay_cmd(path);
+    }
+    let config = harness::FuzzConfig {
+        seed,
+        budget,
+        max_n,
+        mutation: mutate,
+    };
+    let outcome = harness::fuzz(&config);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "fuzz: budget={budget} seed={seed:#x} max_n={max_n} mutation={}",
+        mutate.map_or("none", |m| m.name())
+    );
+    let _ = writeln!(
+        out,
+        "executions={} violations={}",
+        outcome.executions,
+        outcome.failures.len()
+    );
+    for failure in &outcome.failures {
+        let _ = writeln!(
+            out,
+            "failure trial={}: {}",
+            failure.trial, failure.violation
+        );
+        let _ = writeln!(out, "  shrunk plan: {}", fuzz_plan_line(&failure.shrunk));
+        let _ = writeln!(out, "  shrink cost: {} executions", failure.shrink_iters);
+        match harness::write_repro(std::path::Path::new(repro_dir), failure, seed, mutate) {
+            Ok(path) => {
+                let _ = writeln!(out, "  repro: {}", path.display());
+            }
+            Err(e) => {
+                let _ = writeln!(out, "  repro: FAILED to write under {repro_dir}: {e}");
+            }
+        }
+    }
+    let _ = writeln!(
+        out,
+        "conformance: {}",
+        if outcome.clean() {
+            "OK — every execution matched the abstract BYZ(m, u) machine"
+        } else if mutate.is_some() {
+            "MUTANT CAUGHT — the checker detected the injected bug"
+        } else {
+            "VIOLATED — see repro files above"
+        }
+    );
+    out
 }
 
 fn obs_cmd(path: &str, top: usize) -> String {
@@ -340,6 +472,7 @@ fn serve_cmd(
     let config = transport::MeshConfig {
         round_timeout: std::time::Duration::from_millis(round_timeout_ms),
         dial_timeout: std::time::Duration::from_secs(30),
+        ..transport::MeshConfig::default()
     };
     let endpoint = match transport::tcp_join(
         me,
@@ -380,6 +513,9 @@ fn serve_cmd(
         "traffic: {} envelopes sent, {} delivered, {} round timeouts expired",
         outcome.stats.sent, outcome.stats.delivered, outcome.stats.false_timeouts
     );
+    if let Some(failure) = &outcome.failure {
+        let _ = writeln!(out, "error: {failure}");
+    }
     out
 }
 
@@ -906,5 +1042,50 @@ mod tests {
         std::fs::remove_dir_all(&dir).ok();
         one_line_err(&out);
         assert!(out.contains("not a recognized trace"), "{out}");
+    }
+
+    #[test]
+    fn fuzz_clean_campaign_reports_ok() {
+        let dir = std::env::temp_dir().join(format!("dagree-fuzz-clean-{}", std::process::id()));
+        let out = fuzz_cmd(24, 0xD06, 6, None, dir.to_str().unwrap(), None);
+        assert!(out.contains("executions=24 violations=0"), "{out}");
+        assert!(out.contains("conformance: OK"), "{out}");
+        // A clean campaign writes nothing.
+        assert!(!dir.exists());
+    }
+
+    #[test]
+    fn fuzz_mutant_is_caught_written_and_replayable() {
+        let dir = std::env::temp_dir().join(format!("dagree-fuzz-mut-{}", std::process::id()));
+        let out = fuzz_cmd(
+            16,
+            0xBEEF,
+            6,
+            Some(harness::Mutation::SuppressRelay),
+            dir.to_str().unwrap(),
+            None,
+        );
+        assert!(out.contains("MUTANT CAUGHT"), "{out}");
+        assert!(out.contains("failed to relay"), "{out}");
+        let repro_line = out
+            .lines()
+            .find(|l| l.trim_start().starts_with("repro: "))
+            .expect("a repro path is printed");
+        let path = repro_line.trim_start().trim_start_matches("repro: ");
+        let replay_out = fuzz_cmd(0, 0, 9, None, "unused", Some(path));
+        std::fs::remove_dir_all(&dir).ok();
+        assert!(replay_out.contains("REPRODUCED"), "{replay_out}");
+        assert!(replay_out.contains("first divergent step"), "{replay_out}");
+        assert!(
+            replay_out.contains("mutation: relay-suppression"),
+            "{replay_out}"
+        );
+    }
+
+    #[test]
+    fn fuzz_replay_errors_are_one_line() {
+        let out = fuzz_cmd(0, 0, 9, None, "unused", Some("/nonexistent/repro.json"));
+        assert!(out.starts_with("error:"), "{out}");
+        assert_eq!(out.trim_end().lines().count(), 1, "{out}");
     }
 }

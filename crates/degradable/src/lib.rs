@@ -59,6 +59,9 @@
 //! | [`byz`] | [`ByzInstance`] — algorithm BYZ itself |
 //! | [`protocol`] | message-passing BYZ on the `simnet` round engine |
 //! | [`service`] | batched agreement: many instances multiplexed over one run |
+//! | [`churn`] | crash/rejoin across epochs of the batched service |
+//! | [`spec`] | executable abstract spec of BYZ + conformance checker |
+//! | [`adaptive`] | online adversaries that pick lies from observed traffic |
 //! | [`sparse`] | BYZ over sparse topologies via disjoint-path relays |
 //! | [`baselines`] / [`sm`] | OM(m), Crusader agreement, interactive consistency, naive broadcast, signed-messages SM(m) |
 //! | [`ic`] | degradable interactive consistency (the Bhandari discussion) |
@@ -70,11 +73,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adaptive;
 pub mod adversary;
 pub mod analysis;
 pub mod baselines;
 pub mod byz;
 pub mod certify;
+pub mod churn;
 pub mod conditions;
 pub mod eig;
 pub mod engine;
@@ -88,12 +93,18 @@ pub mod protocol;
 pub mod service;
 pub mod sm;
 pub mod sparse;
+pub mod spec;
 pub mod value;
 pub mod vote;
 
+pub use adaptive::{
+    adversary_by_id, adversary_name, engine_corruptor, AdaptiveAdversary, MajorityHijacker,
+    SplitBrain, TrafficWithholder, ADAPTIVE_KINDS,
+};
 pub use adversary::{AdversaryRun, ExhaustiveSearch, HillClimbSearch, RandomizedSearch, Strategy};
 pub use byz::{ByzError, ByzInstance};
 pub use certify::{certify, CertificationReport};
+pub use churn::{run_churn, run_churn_with, ChurnRun, EpochOutcome, EpochPlan};
 pub use conditions::{
     check_byzantine, check_degradable, check_weak_byzantine, largest_fault_free_class, Condition,
     RunRecord, Satisfaction, Verdict, Violation,
@@ -117,5 +128,6 @@ pub use sm::{run_sm, run_sm_honest, SmAdversary, SmRelayAction};
 pub use sparse::{
     run_sparse, run_sparse_chaotic, sender_cut_topology, RelayChaos, RelayCorruption, SparseRun,
 };
+pub use spec::{DeliveryClass, SpecChecker, SpecInstance, SpecViolation};
 pub use value::{AgreementValue, Val};
 pub use vote::{k_of_n, majority, vote};

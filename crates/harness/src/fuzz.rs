@@ -1,0 +1,1007 @@
+//! Conformance fuzzing: randomized executions judged by the abstract spec.
+//!
+//! The referee lives in [`degradable::SpecChecker`] — an executable
+//! restatement of algorithm BYZ(m, u) that shares no code with the
+//! optimized executors. This module supplies everything around it:
+//!
+//! * [`FuzzPlan`] — one randomized execution shape (`n`, `(m, u)`, sender,
+//!   fault assignments, link chaos, adaptive overlays, churn crashes),
+//!   generated from a [`SimRng`] so the whole campaign replays from one
+//!   seed, and round-trippable through JSON for repro files;
+//! * [`run_plan`] — the lockstep driver: it advances `n` real
+//!   [`NodeStateMachine`]s round by round, routes their sends through the
+//!   message-keyed [`LinkChaos`] layer (including online
+//!   [`HotEdgeCutter`] overlays), lets adaptive adversaries rewrite the
+//!   claims of faulty nodes, crashes churned nodes mid-run — and validates
+//!   **every delivery, every round close, every decision and every final
+//!   view** against the spec machine, recording the first divergent step;
+//! * [`Mutation`] — deliberate implementation bugs (relay suppression)
+//!   injected *without telling the checker*, proving the referee actually
+//!   catches non-conformance (the CI `fuzz-smoke` mutant gate);
+//! * [`shrink`] — greedy minimization of a failing plan (drop faults,
+//!   silence chaos, strip overlays) to a fixpoint that still fails;
+//! * repro files — minimized `(seed, plan)` pairs written to
+//!   `results/repros/` as schema-tagged JSON and replayed by
+//!   `dagree fuzz --replay`, printing the first divergent step.
+//!
+//! Every random choice is derived from `(master_seed, trial)` via
+//! [`SimRng::derive`], and every online component (adaptive adversaries,
+//! adaptive link overlays) mutates state only inside the lockstep driver's
+//! fixed total order — so campaigns are bit-identical across worker
+//! counts, which experiment E18 asserts.
+
+use crate::report::JsonValue;
+use degradable::{
+    adversary_by_id, check_degradable, AdaptiveAdversary, ByzInstance, ByzMsg, NodeAction,
+    NodeEvent, NodeStateMachine, Params, RunRecord, SpecChecker, SpecInstance, Strategy, Val,
+    Verdict,
+};
+use simnet::{LinkFaultKind, LinkFaultPlan, NodeId, SimRng};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::io;
+use std::path::{Path as FsPath, PathBuf};
+use transport::{Disposition, HotEdgeCutter, LinkChaos};
+
+/// The smallest cluster BYZ(1, 1) admits (`n ≥ 2m + u + 1`).
+pub const MIN_N: usize = 4;
+
+/// Default cluster-size ceiling for generated plans (inclusive).
+pub const DEFAULT_MAX_N: usize = 9;
+
+/// How one faulty node misbehaves in a generated execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultSpec {
+    /// A strategy from [`Strategy::battery`], by index.
+    Static(usize),
+    /// An online adversary from [`degradable::adversary_by_id`], by id: it
+    /// watches delivered traffic and picks equivocations/withholdings from
+    /// what it observed.
+    Adaptive(usize),
+    /// Churn: the node behaves honestly, then crashes at the close of
+    /// `at_round` and never sends again (it still receives — a rejoining
+    /// observer — but counts as faulty for the whole execution).
+    Crash {
+        /// First round whose close emits nothing.
+        at_round: usize,
+    },
+}
+
+impl fmt::Display for FaultSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultSpec::Static(i) => write!(f, "static:{i}"),
+            FaultSpec::Adaptive(i) => write!(f, "adaptive:{i}"),
+            FaultSpec::Crash { at_round } => write!(f, "crash@{at_round}"),
+        }
+    }
+}
+
+/// A deliberate implementation bug injected into an otherwise-honest
+/// execution, *without* informing the spec checker — the checker must
+/// catch it on its own (the CI mutant gate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mutation {
+    /// The first honest node with outgoing relays silently drops one of
+    /// them (once per execution).
+    SuppressRelay,
+}
+
+impl Mutation {
+    /// Stable name used in repro files and CLI flags.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Mutation::SuppressRelay => "relay-suppression",
+        }
+    }
+
+    /// Parses a CLI/repro mutation name.
+    pub fn from_name(name: &str) -> Result<Mutation, String> {
+        match name {
+            "relay-suppression" => Ok(Mutation::SuppressRelay),
+            other => Err(format!(
+                "unknown mutation '{other}' (expected relay-suppression)"
+            )),
+        }
+    }
+}
+
+/// One fully specified fuzz execution, generated from a trial RNG and
+/// round-trippable through JSON (repro files).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuzzPlan {
+    /// Cluster size (`MIN_N..=max_n`).
+    pub n: usize,
+    /// Full-agreement threshold.
+    pub m: usize,
+    /// Degraded-agreement threshold (`m ≤ u`, `2m + u + 1 ≤ n`).
+    pub u: usize,
+    /// The designated sender.
+    pub sender: NodeId,
+    /// The sender's nominal value.
+    pub sender_value: u64,
+    /// Fault assignment; the key set is the declared fault set (`|·| ≤ u`).
+    pub faults: BTreeMap<NodeId, FaultSpec>,
+    /// Uniform per-envelope loss probability on every directed edge
+    /// (message-keyed, so identical under any driver schedule).
+    pub drop_p: f64,
+    /// When set, a [`HotEdgeCutter`] overlay with this threshold rides on
+    /// the link layer — the online adversary no offline plan can express.
+    pub hot_edge_threshold: Option<usize>,
+    /// Seed for the chaos layer and any seeded static strategies.
+    pub seed: u64,
+}
+
+impl FuzzPlan {
+    /// Generates one plan from a trial RNG. All choices (shape, faults,
+    /// chaos intensity) consume randomness only from `rng`.
+    pub fn generate(rng: &mut SimRng, max_n: usize) -> FuzzPlan {
+        let max_n = max_n.max(MIN_N);
+        let n = MIN_N + rng.below((max_n - MIN_N + 1) as u64) as usize;
+        let mut pairs = Vec::new();
+        for m in 1..n {
+            for u in m..n {
+                if 2 * m + u < n {
+                    pairs.push((m, u));
+                }
+            }
+        }
+        let (m, u) = *rng.pick(&pairs).expect("n >= 4 admits (1, 1)");
+        let sender = NodeId::new(rng.below(n as u64) as usize);
+        let sender_value = 1 + rng.below(99);
+        let battery_len = Strategy::battery(0, 1, 0).len() as u64;
+        let f = rng.below(u as u64 + 1) as usize;
+        let faults = rng
+            .choose_indices(n, f)
+            .into_iter()
+            .map(|i| {
+                let spec = match rng.below(3) {
+                    0 => FaultSpec::Static(rng.below(battery_len) as usize),
+                    1 => FaultSpec::Adaptive(rng.below(degradable::ADAPTIVE_KINDS as u64) as usize),
+                    _ => FaultSpec::Crash {
+                        at_round: rng.below(m as u64 + 2) as usize,
+                    },
+                };
+                (NodeId::new(i), spec)
+            })
+            .collect();
+        let drop_p = *rng.pick(&[0.0, 0.0, 0.05, 0.2]).expect("non-empty");
+        let hot_edge_threshold = (rng.below(4) == 0).then(|| 2 + rng.below(4) as usize);
+        FuzzPlan {
+            n,
+            m,
+            u,
+            sender,
+            sender_value,
+            faults,
+            drop_p,
+            hot_edge_threshold,
+            seed: rng.below(u64::MAX),
+        }
+    }
+
+    /// The validated BYZ instance for this plan.
+    pub fn instance(&self) -> ByzInstance {
+        ByzInstance::new(
+            self.n,
+            Params::new(self.m, self.u).expect("generated plans satisfy m <= u"),
+            self.sender,
+        )
+        .expect("generated plans satisfy n >= 2m + u + 1")
+    }
+
+    /// Whether the plan injects no link-level noise, i.e. links between
+    /// fault-free nodes are reliable as the paper assumes — only then may
+    /// the driver additionally hold decisions to the degradable-agreement
+    /// verdict (with chaos on, a dropped honest→honest envelope is a fault
+    /// outside the declared set and D.1–D.4 legitimately need not hold).
+    pub fn is_model_clean(&self) -> bool {
+        self.drop_p == 0.0 && self.hot_edge_threshold.is_none()
+    }
+
+    /// The chaos layer this plan installs.
+    fn chaos(&self) -> LinkChaos {
+        let plan = if self.drop_p > 0.0 {
+            LinkFaultPlan::uniform_complete(self.n, &[LinkFaultKind::Drop { p: self.drop_p }])
+        } else {
+            LinkFaultPlan::healthy()
+        };
+        let chaos = LinkChaos::new(plan, self.seed);
+        match self.hot_edge_threshold {
+            Some(t) => chaos.with_adaptive(HotEdgeCutter::new(t)),
+            None => chaos,
+        }
+    }
+
+    /// Serializes the plan for repro files (stable field order).
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::Object(vec![
+            ("n".into(), self.n.into()),
+            ("m".into(), self.m.into()),
+            ("u".into(), self.u.into()),
+            ("sender".into(), self.sender.index().into()),
+            ("sender_value".into(), self.sender_value.into()),
+            (
+                "faults".into(),
+                JsonValue::Array(
+                    self.faults
+                        .iter()
+                        .map(|(node, spec)| {
+                            let mut fields = vec![("node".into(), JsonValue::from(node.index()))];
+                            match spec {
+                                FaultSpec::Static(i) => {
+                                    fields.push(("kind".into(), "static".into()));
+                                    fields.push(("id".into(), (*i).into()));
+                                }
+                                FaultSpec::Adaptive(i) => {
+                                    fields.push(("kind".into(), "adaptive".into()));
+                                    fields.push(("id".into(), (*i).into()));
+                                }
+                                FaultSpec::Crash { at_round } => {
+                                    fields.push(("kind".into(), "crash".into()));
+                                    fields.push(("at_round".into(), (*at_round).into()));
+                                }
+                            }
+                            JsonValue::Object(fields)
+                        })
+                        .collect(),
+                ),
+            ),
+            ("drop_p".into(), self.drop_p.into()),
+            (
+                "hot_edge_threshold".into(),
+                match self.hot_edge_threshold {
+                    Some(t) => t.into(),
+                    None => JsonValue::Null,
+                },
+            ),
+            ("seed".into(), self.seed.into()),
+        ])
+    }
+
+    /// Deserializes a plan from repro-file JSON.
+    ///
+    /// # Errors
+    ///
+    /// A message naming the missing or malformed field.
+    pub fn from_json(v: &JsonValue) -> Result<FuzzPlan, String> {
+        let field = |name: &str| v.get(name).ok_or_else(|| format!("missing field `{name}`"));
+        let uint = |name: &str| {
+            field(name)?
+                .as_u64()
+                .ok_or_else(|| format!("field `{name}` is not an unsigned integer"))
+        };
+        let mut faults = BTreeMap::new();
+        for (i, entry) in field("faults")?
+            .as_array()
+            .ok_or("field `faults` is not an array")?
+            .iter()
+            .enumerate()
+        {
+            let sub = |name: &str| {
+                entry
+                    .get(name)
+                    .ok_or_else(|| format!("fault #{i}: missing field `{name}`"))
+            };
+            let sub_uint = |name: &str| {
+                sub(name)?
+                    .as_u64()
+                    .ok_or_else(|| format!("fault #{i}: field `{name}` is not an integer"))
+            };
+            let node = NodeId::new(sub_uint("node")? as usize);
+            let spec = match sub("kind")?.as_str() {
+                Some("static") => FaultSpec::Static(sub_uint("id")? as usize),
+                Some("adaptive") => FaultSpec::Adaptive(sub_uint("id")? as usize),
+                Some("crash") => FaultSpec::Crash {
+                    at_round: sub_uint("at_round")? as usize,
+                },
+                other => return Err(format!("fault #{i}: unknown kind {other:?}")),
+            };
+            faults.insert(node, spec);
+        }
+        let drop_p = match field("drop_p")? {
+            JsonValue::Float(f) => *f,
+            JsonValue::UInt(0) => 0.0,
+            other => return Err(format!("field `drop_p` is not a number: {other:?}")),
+        };
+        Ok(FuzzPlan {
+            n: uint("n")? as usize,
+            m: uint("m")? as usize,
+            u: uint("u")? as usize,
+            sender: NodeId::new(uint("sender")? as usize),
+            sender_value: uint("sender_value")?,
+            faults,
+            drop_p,
+            hot_edge_threshold: match field("hot_edge_threshold")? {
+                JsonValue::Null => None,
+                other => Some(
+                    other
+                        .as_u64()
+                        .ok_or("field `hot_edge_threshold` is not an integer")?
+                        as usize,
+                ),
+            },
+            seed: uint("seed")?,
+        })
+    }
+}
+
+/// The first step at which an execution departed from the spec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FuzzViolation {
+    /// Ordinal of the divergent driver step (deliveries, closes,
+    /// decisions and view checks all count).
+    pub step: usize,
+    /// What the driver was doing at that step.
+    pub step_desc: String,
+    /// The spec's complaint, rendered.
+    pub violation: String,
+}
+
+impl fmt::Display for FuzzViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "step {} ({}): {}",
+            self.step, self.step_desc, self.violation
+        )
+    }
+}
+
+/// What one checked execution produced.
+#[derive(Debug, Clone)]
+pub struct ExecReport {
+    /// Total driver steps performed.
+    pub steps: usize,
+    /// The first divergence, if any.
+    pub violation: Option<FuzzViolation>,
+    /// Every deciding receiver's decision.
+    pub decisions: BTreeMap<NodeId, Val>,
+    /// Whether the degradable-agreement verdict was additionally checked
+    /// (only on model-clean plans without mutations).
+    pub verdict_checked: bool,
+}
+
+/// Runs `plan` through real [`NodeStateMachine`]s in lockstep with the
+/// spec checker, optionally injecting `mutation`. Every delivered envelope,
+/// round close, decision and final view is validated; on model-clean plans
+/// the fault-free decisions are additionally held to
+/// [`degradable::check_degradable`].
+pub fn run_plan(plan: &FuzzPlan, mutation: Option<Mutation>) -> ExecReport {
+    let inst = plan.instance();
+    let n = plan.n;
+    let depth = inst.depth();
+    let faulty: BTreeSet<NodeId> = plan.faults.keys().copied().collect();
+    let mut checker = SpecChecker::new(
+        SpecInstance::of(&inst),
+        Val::Value(plan.sender_value),
+        faulty.clone(),
+    );
+    let chaos = plan.chaos();
+    let battery = Strategy::battery(plan.sender_value, plan.sender_value ^ 0xBAD, plan.seed);
+    let mut adversaries: BTreeMap<NodeId, Box<dyn AdaptiveAdversary<u64>>> = BTreeMap::new();
+    let mut machines: Vec<NodeStateMachine<u64>> = (0..n)
+        .map(|i| {
+            let node = NodeId::new(i);
+            let strategy = match plan.faults.get(&node) {
+                Some(FaultSpec::Static(idx)) => Some(battery[idx % battery.len()].1.clone()),
+                Some(FaultSpec::Adaptive(id)) => {
+                    adversaries.insert(node, adversary_by_id(*id));
+                    None
+                }
+                // Crashed nodes run honest machinery; the driver severs
+                // their sends at the crash round.
+                Some(FaultSpec::Crash { .. }) | None => None,
+            };
+            NodeStateMachine::new(&inst, node, Val::Value(plan.sender_value), strategy)
+        })
+        .collect();
+
+    let mut step = 0usize;
+    let mut first: Option<FuzzViolation> = None;
+    let mut note = |checker: &SpecChecker<u64>, step: usize, desc: &dyn Fn() -> String| {
+        if first.is_none() {
+            if let Some(v) = checker.first_violation() {
+                first = Some(FuzzViolation {
+                    step,
+                    step_desc: desc(),
+                    violation: v.to_string(),
+                });
+            }
+        }
+    };
+
+    // deliveries[r][i]: envelopes folding at node i's close of round r.
+    type Mailboxes = Vec<Vec<Vec<(NodeId, ByzMsg<u64>)>>>;
+    let mut deliveries: Mailboxes = vec![vec![Vec::new(); n]; depth + 1];
+    let mut decisions: BTreeMap<NodeId, Val> = BTreeMap::new();
+    let mut mutated = false;
+    for round in 0..=depth {
+        for i in 0..n {
+            let node = NodeId::new(i);
+            for (src, msg) in std::mem::take(&mut deliveries[round][i]) {
+                step += 1;
+                checker.deliver(node, src, &msg, round);
+                note(&checker, step, &|| {
+                    format!(
+                        "deliver round={round} to={node} src={src} path={}",
+                        msg.path
+                    )
+                });
+                if let Some(adv) = adversaries.get_mut(&node) {
+                    adv.observe(round, src, &msg.path, &msg.value);
+                }
+                machines[i].on_event(NodeEvent::Deliver { src, msg });
+            }
+        }
+        let mut outgoing: Vec<(NodeId, NodeId, ByzMsg<u64>)> = Vec::new();
+        for (i, machine) in machines.iter_mut().enumerate() {
+            let node = NodeId::new(i);
+            let mut sends = Vec::new();
+            let mut decided = None;
+            for action in machine.on_event(NodeEvent::Timeout { round }) {
+                match action {
+                    NodeAction::Send { to, msg } => sends.push((to, msg)),
+                    NodeAction::Decide { value } => decided = Some(value),
+                }
+            }
+            if let Some(FaultSpec::Crash { at_round }) = plan.faults.get(&node) {
+                if round >= *at_round {
+                    sends.clear();
+                }
+            }
+            if let Some(adv) = adversaries.get_mut(&node) {
+                sends = sends
+                    .into_iter()
+                    .filter_map(|(to, mut msg)| {
+                        adv.claim(round, &msg.path, to, &msg.value).map(|v| {
+                            msg.value = v;
+                            (to, msg)
+                        })
+                    })
+                    .collect();
+            }
+            if mutation == Some(Mutation::SuppressRelay)
+                && !mutated
+                && checker.is_honest(node)
+                && !sends.is_empty()
+            {
+                // The implementation bug under test: one relay silently
+                // never leaves the node. The checker is NOT told.
+                sends.pop();
+                mutated = true;
+            }
+            step += 1;
+            checker.close_round(node, round, &sends);
+            note(&checker, step, &|| {
+                format!("close node={node} round={round}")
+            });
+            for (to, msg) in sends {
+                outgoing.push((node, to, msg));
+            }
+            if round == depth {
+                step += 1;
+                checker.decide(node, decided.as_ref());
+                note(&checker, step, &|| format!("decide node={node}"));
+                if let Some(d) = decided {
+                    decisions.insert(node, d);
+                }
+            }
+        }
+        for (from, to, msg) in outgoing {
+            match chaos.disposition(round, from, to, &msg.path) {
+                Disposition::Dropped(_) => {}
+                Disposition::Deliver {
+                    copies,
+                    delay_rounds,
+                } => {
+                    let at = round + 1 + delay_rounds;
+                    if at <= depth {
+                        for _ in 0..copies {
+                            deliveries[at][to.index()].push((from, msg.clone()));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    for (i, machine) in machines.iter().enumerate() {
+        let node = NodeId::new(i);
+        step += 1;
+        checker.check_view(node, machine.view().entries());
+        note(&checker, step, &|| format!("check-view node={node}"));
+    }
+
+    let verdict_checked = plan.is_model_clean() && mutation.is_none() && first.is_none();
+    if verdict_checked {
+        let record = RunRecord {
+            params: Params::new(plan.m, plan.u).expect("valid plan"),
+            n,
+            sender: plan.sender,
+            sender_value: Val::Value(plan.sender_value),
+            faulty,
+            decisions: decisions.clone(),
+        };
+        if let Verdict::Violated(v) = check_degradable(&record) {
+            step += 1;
+            first = Some(FuzzViolation {
+                step,
+                step_desc: "model-check".into(),
+                violation: format!("degradable agreement violated with f <= u: {v:?}"),
+            });
+        }
+    }
+    ExecReport {
+        steps: step,
+        violation: first,
+        decisions,
+        verdict_checked,
+    }
+}
+
+/// The simplification ladder: each candidate is `plan` with one knob
+/// removed or silenced, in decreasing order of expected blast radius.
+fn shrink_candidates(plan: &FuzzPlan) -> Vec<FuzzPlan> {
+    let mut out = Vec::new();
+    for node in plan.faults.keys() {
+        let mut p = plan.clone();
+        p.faults.remove(node);
+        out.push(p);
+    }
+    for (node, spec) in &plan.faults {
+        if *spec != FaultSpec::Static(0) {
+            let mut p = plan.clone();
+            p.faults.insert(*node, FaultSpec::Static(0));
+            out.push(p);
+        }
+    }
+    if plan.hot_edge_threshold.is_some() {
+        let mut p = plan.clone();
+        p.hot_edge_threshold = None;
+        out.push(p);
+    }
+    if plan.drop_p > 0.0 {
+        let mut p = plan.clone();
+        p.drop_p = 0.0;
+        out.push(p);
+    }
+    if plan.sender_value != 1 {
+        let mut p = plan.clone();
+        p.sender_value = 1;
+        out.push(p);
+    }
+    if plan.seed != 0 {
+        let mut p = plan.clone();
+        p.seed = 0;
+        out.push(p);
+    }
+    out
+}
+
+/// Greedily minimizes a failing plan: repeatedly applies the first
+/// simplification that still fails, to a fixpoint. Returns the shrunk plan
+/// and the number of candidate executions spent.
+pub fn shrink(plan: &FuzzPlan, mutation: Option<Mutation>) -> (FuzzPlan, usize) {
+    let mut current = plan.clone();
+    let mut spent = 0usize;
+    loop {
+        let mut improved = false;
+        for candidate in shrink_candidates(&current) {
+            spent += 1;
+            if run_plan(&candidate, mutation).violation.is_some() {
+                current = candidate;
+                improved = true;
+                break;
+            }
+        }
+        if !improved {
+            return (current, spent);
+        }
+    }
+}
+
+/// One fuzz failure: the original plan, its shrunk fixpoint, and the
+/// divergence the shrunk plan still reproduces.
+#[derive(Debug, Clone)]
+pub struct FuzzFailure {
+    /// The trial index within the campaign.
+    pub trial: usize,
+    /// The plan as generated.
+    pub plan: FuzzPlan,
+    /// The minimized plan (still failing).
+    pub shrunk: FuzzPlan,
+    /// The shrunk plan's first divergent step.
+    pub violation: FuzzViolation,
+    /// Candidate executions the shrinker spent.
+    pub shrink_iters: usize,
+}
+
+/// Campaign configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct FuzzConfig {
+    /// Master seed; trial `t` uses `SimRng::derive(seed, t)`.
+    pub seed: u64,
+    /// Number of executions.
+    pub budget: usize,
+    /// Cluster-size ceiling (inclusive).
+    pub max_n: usize,
+    /// Deliberate bug to inject into every execution (mutant gate).
+    pub mutation: Option<Mutation>,
+}
+
+impl Default for FuzzConfig {
+    fn default() -> Self {
+        FuzzConfig {
+            seed: 0xF055_F0CC,
+            budget: 200,
+            max_n: DEFAULT_MAX_N,
+            mutation: None,
+        }
+    }
+}
+
+/// Campaign outcome.
+#[derive(Debug, Clone)]
+pub struct FuzzOutcome {
+    /// Executions actually performed (= budget unless the failure cap
+    /// stopped the campaign early).
+    pub executions: usize,
+    /// Every failure found, shrunk.
+    pub failures: Vec<FuzzFailure>,
+}
+
+impl FuzzOutcome {
+    /// Whether the campaign saw no divergence at all.
+    pub fn clean(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Runs one trial of a campaign: generate a plan from
+/// `SimRng::derive(seed, trial)`-compatible `rng`, execute it, and shrink
+/// on failure. Pure: campaigns are bit-identical however trials are
+/// scheduled (E18 runs this under [`crate::SweepRunner`]).
+pub fn fuzz_trial(
+    trial: usize,
+    mut rng: SimRng,
+    max_n: usize,
+    mutation: Option<Mutation>,
+) -> Option<FuzzFailure> {
+    let plan = FuzzPlan::generate(&mut rng, max_n);
+    let report = run_plan(&plan, mutation);
+    report.violation.as_ref()?;
+    let (shrunk, shrink_iters) = shrink(&plan, mutation);
+    let violation = run_plan(&shrunk, mutation)
+        .violation
+        .expect("the shrinker only returns failing plans");
+    Some(FuzzFailure {
+        trial,
+        plan,
+        shrunk,
+        violation,
+        shrink_iters,
+    })
+}
+
+/// Runs a whole campaign sequentially. Stops early once 8 failures are
+/// collected (each is shrunk, which costs executions of its own).
+pub fn fuzz(config: &FuzzConfig) -> FuzzOutcome {
+    let mut failures = Vec::new();
+    let mut executions = 0usize;
+    for trial in 0..config.budget {
+        executions += 1;
+        let rng = SimRng::derive(config.seed, trial as u64);
+        if let Some(failure) = fuzz_trial(trial, rng, config.max_n, config.mutation) {
+            failures.push(failure);
+            if failures.len() >= 8 {
+                break;
+            }
+        }
+    }
+    FuzzOutcome {
+        executions,
+        failures,
+    }
+}
+
+/// Schema tag of repro files.
+pub const REPRO_SCHEMA: &str = "dagree-fuzz-repro";
+/// Version of the repro file format.
+pub const REPRO_VERSION: u64 = 1;
+
+/// Renders a failure as a repro file: the minimized `(seed, plan)` pair
+/// plus enough context to re-run it bit-identically.
+pub fn repro_json(
+    failure: &FuzzFailure,
+    master_seed: u64,
+    mutation: Option<Mutation>,
+) -> JsonValue {
+    JsonValue::Object(vec![
+        ("schema".into(), REPRO_SCHEMA.into()),
+        ("version".into(), REPRO_VERSION.into()),
+        ("master_seed".into(), master_seed.into()),
+        ("trial".into(), failure.trial.into()),
+        (
+            "mutation".into(),
+            match mutation {
+                Some(m) => m.name().into(),
+                None => JsonValue::Null,
+            },
+        ),
+        ("plan".into(), failure.shrunk.to_json()),
+        ("original_plan".into(), failure.plan.to_json()),
+        (
+            "violation".into(),
+            failure.violation.violation.as_str().into(),
+        ),
+        ("step".into(), failure.violation.step.into()),
+        (
+            "step_desc".into(),
+            failure.violation.step_desc.as_str().into(),
+        ),
+        ("shrink_iters".into(), failure.shrink_iters.into()),
+    ])
+}
+
+/// Writes a failure's repro file under `dir` (created if missing), named
+/// `repro-<master_seed>-<trial>.json`. Returns the path written.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_repro(
+    dir: &FsPath,
+    failure: &FuzzFailure,
+    master_seed: u64,
+    mutation: Option<Mutation>,
+) -> io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("repro-{master_seed:016x}-{}.json", failure.trial));
+    std::fs::write(
+        &path,
+        repro_json(failure, master_seed, mutation).to_json_string(),
+    )?;
+    Ok(path)
+}
+
+/// What replaying a repro file produced.
+#[derive(Debug, Clone)]
+pub struct ReplayOutcome {
+    /// The plan the repro file carried.
+    pub plan: FuzzPlan,
+    /// The mutation it was recorded under.
+    pub mutation: Option<Mutation>,
+    /// The divergence recorded in the file.
+    pub recorded: String,
+    /// The fresh execution's report (its `violation` is the live first
+    /// divergent step; `None` means the repro no longer reproduces).
+    pub report: ExecReport,
+}
+
+/// Parses a repro file and re-runs its minimized plan.
+///
+/// # Errors
+///
+/// A message describing the parse failure or schema mismatch.
+pub fn replay(text: &str) -> Result<ReplayOutcome, String> {
+    let v = JsonValue::parse(text)?;
+    match v.get("schema").and_then(JsonValue::as_str) {
+        Some(REPRO_SCHEMA) => {}
+        other => return Err(format!("not a {REPRO_SCHEMA} file (schema = {other:?})")),
+    }
+    let mutation = match v.get("mutation") {
+        None | Some(JsonValue::Null) => None,
+        Some(m) => Some(Mutation::from_name(
+            m.as_str().ok_or("field `mutation` is not a string")?,
+        )?),
+    };
+    let plan = FuzzPlan::from_json(v.get("plan").ok_or("missing field `plan`")?)?;
+    let recorded = v
+        .get("violation")
+        .and_then(JsonValue::as_str)
+        .unwrap_or("")
+        .to_string();
+    let report = run_plan(&plan, mutation);
+    Ok(ReplayOutcome {
+        plan,
+        mutation,
+        recorded,
+        report,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_plans_are_valid_and_reproducible() {
+        for trial in 0..64u64 {
+            let mut r1 = SimRng::derive(7, trial);
+            let mut r2 = SimRng::derive(7, trial);
+            let a = FuzzPlan::generate(&mut r1, DEFAULT_MAX_N);
+            let b = FuzzPlan::generate(&mut r2, DEFAULT_MAX_N);
+            assert_eq!(a, b);
+            assert!((MIN_N..=DEFAULT_MAX_N).contains(&a.n));
+            assert!(2 * a.m + a.u < a.n, "{a:?}");
+            assert!(a.faults.len() <= a.u, "{a:?}");
+            assert!(a.sender.index() < a.n);
+            let _ = a.instance();
+        }
+    }
+
+    #[test]
+    fn plan_json_round_trips() {
+        let mut rng = SimRng::seed(42);
+        for _ in 0..32 {
+            let plan = FuzzPlan::generate(&mut rng, DEFAULT_MAX_N);
+            let text = plan.to_json().to_json_string();
+            let back = FuzzPlan::from_json(&JsonValue::parse(&text).unwrap()).unwrap();
+            assert_eq!(back, plan);
+        }
+    }
+
+    #[test]
+    fn honest_plan_is_conformant() {
+        let plan = FuzzPlan {
+            n: 5,
+            m: 1,
+            u: 2,
+            sender: NodeId::new(0),
+            sender_value: 7,
+            faults: BTreeMap::new(),
+            drop_p: 0.0,
+            hot_edge_threshold: None,
+            seed: 3,
+        };
+        let report = run_plan(&plan, None);
+        assert_eq!(report.violation, None);
+        assert!(report.verdict_checked);
+        assert_eq!(report.decisions.len(), 4);
+        for d in report.decisions.values() {
+            assert_eq!(*d, Val::Value(7));
+        }
+    }
+
+    #[test]
+    fn a_fuzz_campaign_is_clean_and_deterministic() {
+        let config = FuzzConfig {
+            seed: 0xD06,
+            budget: 48,
+            max_n: 7,
+            mutation: None,
+        };
+        let a = fuzz(&config);
+        assert!(
+            a.clean(),
+            "unexpected violations: {:#?}",
+            a.failures
+                .iter()
+                .map(|f| (&f.shrunk, &f.violation))
+                .collect::<Vec<_>>()
+        );
+        assert_eq!(a.executions, 48);
+        let b = fuzz(&config);
+        assert_eq!(b.clean(), a.clean());
+        assert_eq!(b.executions, a.executions);
+    }
+
+    #[test]
+    fn the_seeded_mutant_is_caught_and_shrunk() {
+        let config = FuzzConfig {
+            seed: 0xBEEF,
+            budget: 16,
+            max_n: 6,
+            mutation: Some(Mutation::SuppressRelay),
+        };
+        let outcome = fuzz(&config);
+        assert!(!outcome.clean(), "relay suppression must be detected");
+        let failure = &outcome.failures[0];
+        assert!(
+            failure.violation.violation.contains("failed to relay"),
+            "{}",
+            failure.violation
+        );
+        // The shrunk plan is no more complex than the original.
+        assert!(failure.shrunk.faults.len() <= failure.plan.faults.len());
+        assert!(failure.shrunk.drop_p <= failure.plan.drop_p);
+    }
+
+    #[test]
+    fn repro_files_round_trip_and_replay() {
+        let config = FuzzConfig {
+            seed: 0xBEEF,
+            budget: 8,
+            max_n: 6,
+            mutation: Some(Mutation::SuppressRelay),
+        };
+        let outcome = fuzz(&config);
+        let failure = &outcome.failures[0];
+        let text = repro_json(failure, config.seed, config.mutation).to_json_string();
+        let replayed = replay(&text).unwrap();
+        assert_eq!(replayed.plan, failure.shrunk);
+        assert_eq!(replayed.mutation, Some(Mutation::SuppressRelay));
+        let live = replayed.report.violation.expect("repro must still fail");
+        assert_eq!(live, failure.violation, "divergent step is stable");
+    }
+
+    #[test]
+    fn adaptive_and_crash_faults_stay_conformant() {
+        // Online adversaries and churn crashes are *faults*: honest nodes
+        // must still conform and (model-clean) decisions must still pass
+        // the degradable verdict.
+        let mut faults = BTreeMap::new();
+        faults.insert(NodeId::new(2), FaultSpec::Adaptive(0));
+        faults.insert(NodeId::new(4), FaultSpec::Crash { at_round: 1 });
+        let plan = FuzzPlan {
+            n: 7,
+            m: 1,
+            u: 4,
+            sender: NodeId::new(0),
+            sender_value: 9,
+            faults,
+            drop_p: 0.0,
+            hot_edge_threshold: None,
+            seed: 11,
+        };
+        let report = run_plan(&plan, None);
+        assert_eq!(report.violation, None, "{:?}", report.violation);
+        assert!(report.verdict_checked);
+    }
+
+    #[test]
+    fn chaos_plans_stay_conformant_but_skip_the_model_check() {
+        let plan = FuzzPlan {
+            n: 5,
+            m: 1,
+            u: 2,
+            sender: NodeId::new(0),
+            sender_value: 7,
+            faults: BTreeMap::new(),
+            drop_p: 0.2,
+            hot_edge_threshold: Some(2),
+            seed: 5,
+        };
+        let report = run_plan(&plan, None);
+        assert_eq!(report.violation, None, "{:?}", report.violation);
+        assert!(!report.verdict_checked);
+    }
+
+    #[test]
+    fn shrinking_reaches_a_fixpoint_on_a_mutant() {
+        let mut rng = SimRng::derive(0xBEEF, 0);
+        let plan = FuzzPlan::generate(&mut rng, 6);
+        if run_plan(&plan, Some(Mutation::SuppressRelay))
+            .violation
+            .is_none()
+        {
+            // This seed's first trial happens to be immune (e.g. the only
+            // honest sends are dropped); the campaign-level test covers
+            // detection. Nothing to shrink here.
+            return;
+        }
+        let (shrunk, spent) = shrink(&plan, Some(Mutation::SuppressRelay));
+        assert!(run_plan(&shrunk, Some(Mutation::SuppressRelay))
+            .violation
+            .is_some());
+        // A fixpoint: no further simplification of the shrunk plan fails.
+        for candidate in shrink_candidates(&shrunk) {
+            assert!(
+                run_plan(&candidate, Some(Mutation::SuppressRelay))
+                    .violation
+                    .is_none(),
+                "shrinker stopped before the fixpoint at {candidate:?}"
+            );
+        }
+        assert!(spent >= shrink_candidates(&shrunk).len());
+    }
+
+    #[test]
+    fn mutation_names_round_trip() {
+        assert_eq!(
+            Mutation::from_name(Mutation::SuppressRelay.name()),
+            Ok(Mutation::SuppressRelay)
+        );
+        assert!(Mutation::from_name("nope").is_err());
+    }
+}

@@ -40,6 +40,7 @@
 pub mod args;
 pub mod batch;
 pub mod executor;
+pub mod fuzz;
 pub mod report;
 pub mod scenario;
 pub mod sweep;
@@ -47,6 +48,10 @@ pub mod sweep;
 pub use args::RunArgs;
 pub use batch::BatchScenario;
 pub use executor::{Executor, ProtocolExecutor, ReferenceExecutor, TransportExecutor};
+pub use fuzz::{
+    fuzz, fuzz_trial, replay, run_plan, shrink, write_repro, ExecReport, FaultSpec, FuzzConfig,
+    FuzzFailure, FuzzOutcome, FuzzPlan, FuzzViolation, Mutation, ReplayOutcome,
+};
 pub use report::{pct, print_csv, print_table, JsonValue, Report, Table};
 pub use scenario::{ChaosConfig, Scenario, ScenarioError};
 pub use sweep::SweepRunner;

@@ -32,7 +32,9 @@
 use degradable::Path;
 use simnet::{LinkFaultKind, LinkFaultPlan, NodeId};
 use std::collections::hash_map::DefaultHasher;
+use std::collections::BTreeMap;
 use std::hash::{Hash, Hasher};
+use std::sync::{Arc, Mutex};
 
 /// Why the chaos layer killed an envelope.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -59,22 +61,129 @@ pub enum Disposition {
     Dropped(DropCause),
 }
 
-/// A [`LinkFaultPlan`] evaluated by message identity under a seed.
+/// An **online** chaos policy layered over the keyed plan: it sees every
+/// envelope crossing the layer (with the plan's base verdict) and may
+/// override the ruling based on the traffic observed so far — the
+/// link-level counterpart of [`degradable::AdaptiveAdversary`].
+///
+/// Determinism contract: a policy's state must change only through
+/// [`AdaptiveLink::ruling`] calls, so any driver that evaluates envelopes
+/// in a fixed total order (the simulator, the lockstep fuzz driver)
+/// reproduces the same rulings from the same seed. Thread-per-node meshes
+/// evaluate dispositions concurrently *and twice* (sender and receiver),
+/// so adaptive policies are not installed there — [`LinkChaos::is_pure`]
+/// is the guard drivers check.
+pub trait AdaptiveLink: Send {
+    /// A stable name for reports and repro files.
+    fn name(&self) -> &'static str;
+
+    /// The final fate of the envelope for `path` from `from` to `to` in
+    /// `round`, given the keyed plan's `base` verdict.
+    fn ruling(
+        &mut self,
+        round: usize,
+        from: NodeId,
+        to: NodeId,
+        path: &Path,
+        base: Disposition,
+    ) -> Disposition;
+}
+
+/// An adaptive withholder: watches per-edge traffic and, once an edge has
+/// carried `threshold` envelopes, cuts every *further* envelope on the
+/// busiest edge seen so far — starving the protocol's hottest relay path,
+/// which no offline plan can target because the hot edge depends on the
+/// run itself.
 #[derive(Debug, Clone)]
+pub struct HotEdgeCutter {
+    threshold: usize,
+    traffic: BTreeMap<(NodeId, NodeId), usize>,
+}
+
+impl HotEdgeCutter {
+    /// Cuts the busiest edge after observing `threshold` envelopes on it.
+    pub fn new(threshold: usize) -> Self {
+        HotEdgeCutter {
+            threshold,
+            traffic: BTreeMap::new(),
+        }
+    }
+
+    fn hottest(&self) -> Option<(NodeId, NodeId)> {
+        self.traffic
+            .iter()
+            .max_by(|a, b| a.1.cmp(b.1).then_with(|| b.0.cmp(a.0)))
+            .map(|(e, _)| *e)
+    }
+}
+
+impl AdaptiveLink for HotEdgeCutter {
+    fn name(&self) -> &'static str {
+        "hot-edge-cutter"
+    }
+
+    fn ruling(
+        &mut self,
+        _round: usize,
+        from: NodeId,
+        to: NodeId,
+        _path: &Path,
+        base: Disposition,
+    ) -> Disposition {
+        let hot = self.hottest();
+        let seen = self.traffic.entry((from, to)).or_insert(0);
+        *seen += 1;
+        if hot == Some((from, to)) && *seen > self.threshold {
+            return Disposition::Dropped(DropCause::Cut);
+        }
+        base
+    }
+}
+
+/// A [`LinkFaultPlan`] evaluated by message identity under a seed, with an
+/// optional [`AdaptiveLink`] overlay.
+#[derive(Clone)]
 pub struct LinkChaos {
     plan: LinkFaultPlan,
     seed: u64,
+    /// Shared across clones on purpose: every endpoint of one run feeds
+    /// the same online policy, which is what "adaptive" means.
+    adaptive: Option<Arc<Mutex<dyn AdaptiveLink>>>,
+}
+
+impl std::fmt::Debug for LinkChaos {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LinkChaos")
+            .field("plan", &self.plan)
+            .field("seed", &self.seed)
+            .field("adaptive", &self.adaptive.as_ref().map(|_| "<policy>"))
+            .finish()
+    }
 }
 
 impl LinkChaos {
     /// Keys `plan` under `seed`.
     pub fn new(plan: LinkFaultPlan, seed: u64) -> Self {
-        LinkChaos { plan, seed }
+        LinkChaos {
+            plan,
+            seed,
+            adaptive: None,
+        }
     }
 
     /// A no-chaos layer (every envelope delivered once, on time).
     pub fn healthy() -> Self {
         LinkChaos::new(LinkFaultPlan::healthy(), 0)
+    }
+
+    /// Installs an online policy over the keyed plan. The policy rules on
+    /// every envelope *after* the plan's verdict is computed and may
+    /// override it; see the [`AdaptiveLink`] determinism contract for
+    /// where this is legal.
+    #[must_use]
+    pub fn with_adaptive(mut self, policy: impl AdaptiveLink + 'static) -> Self {
+        self.adaptive = Some(Arc::new(Mutex::new(policy)));
+        self
     }
 
     /// The underlying fault plan.
@@ -84,13 +193,33 @@ impl LinkChaos {
 
     /// Whether the plan injects nothing.
     pub fn is_healthy(&self) -> bool {
-        self.plan.is_empty()
+        self.plan.is_empty() && self.adaptive.is_none()
+    }
+
+    /// Whether [`LinkChaos::disposition`] is a pure function of its
+    /// arguments (no adaptive overlay). Drivers that evaluate an envelope
+    /// more than once, or concurrently, must refuse impure layers.
+    pub fn is_pure(&self) -> bool {
+        self.adaptive.is_none()
     }
 
     /// The fate of the envelope for `path` sent from `from` to `to` in
-    /// `round` — a pure function of the arguments and the seed, so every
-    /// backend agrees on it.
+    /// `round`. Without an adaptive overlay this is a pure function of the
+    /// arguments and the seed, so every backend agrees on it; with one,
+    /// the overlay's stateful ruling is final.
     pub fn disposition(&self, round: usize, from: NodeId, to: NodeId, path: &Path) -> Disposition {
+        let base = self.base_disposition(round, from, to, path);
+        match &self.adaptive {
+            None => base,
+            Some(policy) => policy
+                .lock()
+                .expect("adaptive link policy poisoned")
+                .ruling(round, from, to, path, base),
+        }
+    }
+
+    /// The keyed plan's verdict, ignoring any adaptive overlay.
+    fn base_disposition(&self, round: usize, from: NodeId, to: NodeId, path: &Path) -> Disposition {
         let mut copies = 1usize;
         let mut delay_rounds = 0usize;
         for (slot, kind) in self.plan.kinds(from, to).iter().enumerate() {
@@ -322,5 +451,80 @@ mod tests {
             saw_delay,
             "window=2 over 100 draws must delay at least once"
         );
+    }
+
+    #[test]
+    fn adaptive_overlay_is_flagged_impure() {
+        let plain = LinkChaos::healthy();
+        assert!(plain.is_pure());
+        assert!(plain.is_healthy());
+        let adaptive = LinkChaos::healthy().with_adaptive(HotEdgeCutter::new(1));
+        assert!(!adaptive.is_pure());
+        assert!(!adaptive.is_healthy(), "an overlay can inject faults");
+    }
+
+    #[test]
+    fn hot_edge_cutter_targets_the_busiest_edge() {
+        let chaos = LinkChaos::healthy().with_adaptive(HotEdgeCutter::new(2));
+        // Edge (0,1) carries three envelopes; (0,2) one. The third (0,1)
+        // envelope exceeds the threshold on the hottest edge and is cut.
+        assert!(matches!(
+            chaos.disposition(0, nid(0), nid(1), &root()),
+            Disposition::Deliver { .. }
+        ));
+        assert!(matches!(
+            chaos.disposition(0, nid(0), nid(2), &root()),
+            Disposition::Deliver { .. }
+        ));
+        assert!(matches!(
+            chaos.disposition(1, nid(0), nid(1), &root()),
+            Disposition::Deliver { .. }
+        ));
+        assert_eq!(
+            chaos.disposition(2, nid(0), nid(1), &root()),
+            Disposition::Dropped(DropCause::Cut)
+        );
+        // The cold edge is untouched.
+        assert!(matches!(
+            chaos.disposition(2, nid(0), nid(2), &root()),
+            Disposition::Deliver { .. }
+        ));
+    }
+
+    #[test]
+    fn clones_share_one_adaptive_policy() {
+        // Every endpoint of a run clones the chaos layer; the policy must
+        // see the union of their traffic, not per-clone copies.
+        let a = LinkChaos::healthy().with_adaptive(HotEdgeCutter::new(1));
+        let b = a.clone();
+        assert!(matches!(
+            a.disposition(0, nid(0), nid(1), &root()),
+            Disposition::Deliver { .. }
+        ));
+        // The clone's second envelope on the same edge trips the shared
+        // threshold.
+        assert_eq!(
+            b.disposition(1, nid(0), nid(1), &root()),
+            Disposition::Dropped(DropCause::Cut)
+        );
+    }
+
+    #[test]
+    fn adaptive_rulings_are_deterministic_for_a_fixed_order() {
+        let run = || {
+            let chaos = LinkChaos::new(
+                LinkFaultPlan::healthy().with(nid(0), nid(1), LinkFaultKind::Drop { p: 0.4 }),
+                11,
+            )
+            .with_adaptive(HotEdgeCutter::new(3));
+            let mut fates = Vec::new();
+            for round in 0..20 {
+                for to in 1..4 {
+                    fates.push(chaos.disposition(round, nid(0), nid(to), &root()));
+                }
+            }
+            fates
+        };
+        assert_eq!(run(), run());
     }
 }

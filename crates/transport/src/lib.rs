@@ -39,9 +39,9 @@ pub mod mesh;
 pub mod runner;
 pub mod sim;
 
-pub use chaos::{Disposition, DropCause, LinkChaos};
+pub use chaos::{AdaptiveLink, Disposition, DropCause, HotEdgeCutter, LinkChaos};
 pub use frame::{Frame, FrameError};
-pub use mesh::{channel_mesh, tcp_join, tcp_mesh, MeshConfig, MeshTransport};
+pub use mesh::{channel_mesh, reconnect_delay, tcp_join, tcp_mesh, MeshConfig, MeshTransport};
 pub use runner::{drive_mesh, run_channel, run_kind, run_sim, run_tcp, NodeOutcome, TransportRun};
 pub use sim::{RelaxedTiming, SimTransport, SimWorld};
 

@@ -32,6 +32,10 @@ pub struct NodeOutcome {
     pub view: EigView<u64>,
     /// Traffic attributed to its endpoint.
     pub stats: TransportStats,
+    /// Set when the endpoint's run degenerated into a clean error — every
+    /// peer permanently gone after the reconnect budget (mesh backends
+    /// only; always `None` on the simulator).
+    pub failure: Option<String>,
 }
 
 /// The outcome of one scenario on one backend.
@@ -153,6 +157,7 @@ pub fn run_sim(
             decision: decisions[i],
             view: m.view().clone(),
             stats: t.stats(),
+            failure: None,
         })
         .collect();
     TransportRun::assemble(TransportKind::Sim, outcomes)
@@ -179,6 +184,7 @@ pub fn drive_mesh(mut transport: MeshTransport, mut machine: NodeStateMachine<u6
         decision,
         view: machine.view().clone(),
         stats: transport.stats(),
+        failure: transport.failure().map(str::to_owned),
     }
 }
 

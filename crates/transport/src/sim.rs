@@ -403,6 +403,55 @@ mod tests {
     }
 
     #[test]
+    fn false_timeouts_under_churn_count_fault_free_pairs_only() {
+        // Churn accounting (DESIGN §5f): a crashed node is in the faulty
+        // set for its epoch. With every envelope skewed late, only the
+        // fault-free→fault-free pair (0→1) may count as a false timeout;
+        // traffic from the crashed node 2, and traffic addressed to it,
+        // is not a *false* detection — the peer really is faulty.
+        let relaxed = RelaxedTiming {
+            skew_p: 1.0,
+            max_skew: 2,
+            seed: 3,
+        };
+        let faulty: BTreeSet<NodeId> = [nid(2)].into_iter().collect();
+        let mut eps = SimWorld::endpoints(3, 2, LinkChaos::healthy(), Some(relaxed), faulty);
+        let msg = |src: usize| ByzMsg {
+            path: Path::root(nid(src)),
+            value: AgreementValue::Value(5u64),
+        };
+        let mut closed = [false; 3];
+        while !closed.iter().all(|&c| c) {
+            for i in 0..3 {
+                match eps[i].poll() {
+                    PollOutcome::Event(NodeEvent::Timeout { round: 0 }) => match i {
+                        0 => {
+                            eps[0].send(nid(1), msg(0));
+                            eps[0].send(nid(2), msg(0));
+                        }
+                        2 => eps[2].send(nid(1), msg(2)),
+                        _ => {}
+                    },
+                    PollOutcome::Closed => closed[i] = true,
+                    _ => {}
+                }
+            }
+        }
+        assert_eq!(eps[1].stats().delivered, 2, "node 1 hears 0 and 2");
+        assert_eq!(eps[2].stats().delivered, 1, "node 2 hears 0");
+        assert_eq!(
+            eps[1].stats().false_timeouts,
+            1,
+            "only the fault-free pair 0->1 counts"
+        );
+        assert_eq!(
+            eps[2].stats().false_timeouts,
+            0,
+            "late traffic *to* the crashed node is not a false timeout"
+        );
+    }
+
+    #[test]
     fn skew_past_the_final_round_is_lost() {
         let relaxed = RelaxedTiming {
             skew_p: 1.0,
