@@ -4,21 +4,26 @@
 //! has teeth.
 //!
 //! Three campaigns, one report (`results/fuzz_conformance.json`,
-//! schema v4):
+//! schema v5):
 //!
 //! 1. **Conformance sweep** — `--trials` (default 200) randomized
 //!    [`FuzzPlan`]s with N ∈ {4..`--max-n`}: random valid `(m, u)`
-//!    shapes, mixed static / adaptive / crash faults, optional
-//!    message-keyed link chaos and a hot-edge-cutting online adversary.
-//!    Every delivered message, every per-round relay set, and every
-//!    final decision is validated by [`degradable::spec::SpecChecker`];
-//!    model-clean plans additionally pass `check_degradable`. The gate:
-//!    zero violations. Any failure is shrunk to a minimal `(seed, plan)`
-//!    repro and written to `results/repros/`.
-//! 2. **Mutant gate** — `--mutant-budget` (default 24) executions with
-//!    the relay-suppression bug injected ([`Mutation::SuppressRelay`]).
-//!    The gate inverts: the checker **must** catch at least one mutant,
-//!    and the first catch's minimized repro is written to
+//!    shapes, mixed static / adaptive / crash faults, a coin-flipped
+//!    early-stopping flag, optional message-keyed link chaos and a
+//!    hot-edge-cutting online adversary. Every delivered message, every
+//!    per-round relay set, and every final decision is validated by
+//!    [`degradable::spec::SpecChecker`]; model-clean plans additionally
+//!    pass `check_degradable`. Every fourth trial is replayed through
+//!    two real backends — the batched agreement service
+//!    (`run_batch_traced`) and the TCP mesh — and those executions are
+//!    checked against the same spec machine. The gate: zero violations,
+//!    main run and backend replays alike. Any failure is shrunk to a
+//!    minimal `(seed, plan)` repro and written to `results/repros/`.
+//! 2. **Mutant battery** — `--mutant-budget` (default 24) executions
+//!    per mutation for *each* of the four seeded bugs (relay
+//!    suppression, wrong-value relay, early decision, vote off-by-one).
+//!    The gate inverts: the checker **must** catch every mutant, and
+//!    each mutation's first catch is minimized and written to
 //!    `results/repros/` as evidence.
 //! 3. **Churn sweep** — `--trials`-independent seeds of a fixed
 //!    crash/rejoin schedule over the batched service
@@ -42,9 +47,12 @@
 
 use degradable::adversary::Strategy;
 use degradable::{BatchInstance, BatchMsg, EpochPlan, Params, Val};
-use harness::fuzz::{run_plan, shrink, FuzzFailure, FuzzPlan, FuzzViolation, Mutation};
+use harness::fuzz::{
+    run_plan, run_plan_batch, run_plan_transport, shrink, FuzzFailure, FuzzPlan, FuzzViolation,
+    Mutation, ALL_MUTATIONS,
+};
 use harness::report::Table;
-use harness::{Report, RunArgs, SweepRunner};
+use harness::{Report, RunArgs, SweepRunner, TransportKind};
 use obs::{Obs, TimeMode};
 use simnet::{LinkFaultKind, LinkFaultPlan, NodeId, SimRng};
 use std::collections::BTreeMap;
@@ -58,18 +66,24 @@ struct FuzzRow {
     adaptive: bool,
     crash: bool,
     chaotic: bool,
+    early_stop: bool,
     steps: usize,
     failure: Option<FuzzFailure>,
+    backend_execs: usize,
+    backend_failure: Option<FuzzViolation>,
 }
 
 /// Runs one conformance (or mutant) trial. Identical draw order to
 /// `harness::fuzz_trial`, so a failure here reproduces under
-/// `dagree fuzz` with the same master seed and trial index.
+/// `dagree fuzz` with the same master seed and trial index. With
+/// `backends`, every fourth trial is additionally replayed through the
+/// batched service and the TCP mesh under the same spec checker.
 fn fuzz_cell(
     trial: usize,
     mut rng: SimRng,
     max_n: usize,
     mutation: Option<Mutation>,
+    backends: bool,
     obs: &mut Obs,
 ) -> FuzzRow {
     let span = obs.span("fuzz.trial", vec![("trial", trial as u64)]);
@@ -96,20 +110,38 @@ fn fuzz_cell(
             shrink_iters,
         }
     });
+    let mut backend_execs = 0;
+    let mut backend_failure = None;
+    if backends && mutation.is_none() && trial.is_multiple_of(4) {
+        for rep in [
+            run_plan_batch(&plan),
+            run_plan_transport(&plan, TransportKind::Tcp),
+        ] {
+            backend_execs += 1;
+            if backend_failure.is_none() {
+                backend_failure = rep.violation;
+            }
+        }
+    }
     obs.finish(span, report.steps as u64);
     obs.add("fuzz.execs", 1);
+    obs.add("fuzz.backend_execs", backend_execs as u64);
     obs.add("fuzz.steps", report.steps as u64);
     obs.add("fuzz.adaptive_plans", u64::from(adaptive));
     obs.add("fuzz.crash_plans", u64::from(crash));
     obs.add("fuzz.chaos_plans", u64::from(!plan.is_model_clean()));
+    obs.add("fuzz.early_stop_plans", u64::from(plan.early_stop));
     FuzzRow {
         n: plan.n,
         faults: plan.faults.len(),
         adaptive,
         crash,
         chaotic: !plan.is_model_clean(),
+        early_stop: plan.early_stop,
         steps: report.steps,
         failure,
+        backend_execs,
+        backend_failure,
     }
 }
 
@@ -232,18 +264,25 @@ fn main() {
 
     // Campaign 1: conformance sweep — no injected bug, zero violations
     // expected. Same derive as `dagree fuzz`, so failures cross-repro.
+    // Every fourth trial replays through the batched service and the
+    // TCP mesh.
     let fuzz_rows = runner.run_observed(master_seed, budget, &mut obs_rec, |trial, rng, obs| {
-        fuzz_cell(trial, rng, max_n, None, obs)
+        fuzz_cell(trial, rng, max_n, None, true, obs)
     });
 
-    // Campaign 2: mutant gate — relay suppression injected everywhere;
-    // the checker must catch it.
-    let mutant_rows = runner.run_observed(
-        master_seed ^ 0xBADD,
-        mutant_budget,
-        &mut obs_rec,
-        |trial, rng, obs| fuzz_cell(trial, rng, max_n, Some(Mutation::SuppressRelay), obs),
-    );
+    // Campaign 2: mutant battery — each seeded bug injected everywhere
+    // over its own seed stream; the checker must catch all of them.
+    let mutant_rows: Vec<(Mutation, Vec<FuzzRow>)> = ALL_MUTATIONS
+        .iter()
+        .enumerate()
+        .map(|(i, &mutation)| {
+            let seed = master_seed ^ 0xBADD ^ ((i as u64) << 16);
+            let rows = runner.run_observed(seed, mutant_budget, &mut obs_rec, |trial, rng, obs| {
+                fuzz_cell(trial, rng, max_n, Some(mutation), false, obs)
+            });
+            (mutation, rows)
+        })
+        .collect();
 
     // Campaign 3: churn sweep — crash/rejoin epochs with slot spoofing.
     let churn_trials = 8usize;
@@ -251,27 +290,42 @@ fn main() {
         runner.run_observed(master_seed ^ 0xC4B2, churn_trials, &mut obs_rec, churn_cell);
 
     // Coverage table: one row per cluster size.
-    let mut by_n: BTreeMap<usize, (usize, usize, usize, usize, usize, usize)> = BTreeMap::new();
+    #[derive(Default)]
+    struct Cov {
+        plans: usize,
+        faults: usize,
+        adaptive: usize,
+        crash: usize,
+        chaotic: usize,
+        early_stop: usize,
+        backend: usize,
+        steps: usize,
+    }
+    let mut by_n: BTreeMap<usize, Cov> = BTreeMap::new();
     for row in &fuzz_rows {
         let e = by_n.entry(row.n).or_default();
-        e.0 += 1;
-        e.1 += row.faults;
-        e.2 += usize::from(row.adaptive);
-        e.3 += usize::from(row.crash);
-        e.4 += usize::from(row.chaotic);
-        e.5 += row.steps;
+        e.plans += 1;
+        e.faults += row.faults;
+        e.adaptive += usize::from(row.adaptive);
+        e.crash += usize::from(row.crash);
+        e.chaotic += usize::from(row.chaotic);
+        e.early_stop += usize::from(row.early_stop);
+        e.backend += row.backend_execs;
+        e.steps += row.steps;
     }
     let coverage_rows: Vec<Vec<String>> = by_n
         .iter()
-        .map(|(n, (plans, faults, adaptive, crash, chaotic, steps))| {
+        .map(|(n, c)| {
             vec![
                 n.to_string(),
-                plans.to_string(),
-                faults.to_string(),
-                adaptive.to_string(),
-                crash.to_string(),
-                chaotic.to_string(),
-                steps.to_string(),
+                c.plans.to_string(),
+                c.faults.to_string(),
+                c.adaptive.to_string(),
+                c.crash.to_string(),
+                c.chaotic.to_string(),
+                c.early_stop.to_string(),
+                c.backend.to_string(),
+                c.steps.to_string(),
             ]
         })
         .collect();
@@ -291,22 +345,47 @@ fn main() {
         .collect();
 
     let fuzz_violations = fuzz_rows.iter().filter(|r| r.failure.is_some()).count();
-    let mutants_caught = mutant_rows.iter().filter(|r| r.failure.is_some()).count();
+    let backend_executions: usize = fuzz_rows.iter().map(|r| r.backend_execs).sum();
+    let backend_violations = fuzz_rows
+        .iter()
+        .filter(|r| r.backend_failure.is_some())
+        .count();
+    let early_stop_plans = fuzz_rows.iter().filter(|r| r.early_stop).count();
+    let battery: Vec<(Mutation, usize, usize)> = mutant_rows
+        .iter()
+        .map(|(mutation, rows)| {
+            (
+                *mutation,
+                rows.len(),
+                rows.iter().filter(|r| r.failure.is_some()).count(),
+            )
+        })
+        .collect();
+    let mutant_trials: usize = battery.iter().map(|(_, trials, _)| trials).sum();
+    let mutants_caught: usize = battery.iter().map(|(_, _, caught)| caught).sum();
+    let mutants_missed: Vec<&str> = battery
+        .iter()
+        .filter(|(_, _, caught)| *caught == 0)
+        .map(|(m, _, _)| m.name())
+        .collect();
     let total_steps: usize = fuzz_rows.iter().map(|r| r.steps).sum();
     let churn_violations: usize = churn_rows.iter().map(|r| r.violations).sum();
     let spoofs_rejected: u64 = churn_rows.iter().map(|r| r.spoofs_rejected).sum();
     let crashes: usize = churn_rows.iter().map(|r| r.crashes).sum();
     let rejoins: usize = churn_rows.iter().map(|r| r.rejoins).sum();
 
-    // Repro files: every conformance failure (should be none), plus the
-    // first mutant catch as evidence the checker bites.
+    // Repro files: every conformance failure (should be none), plus
+    // each mutation's first catch as evidence the checker bites.
     for row in &fuzz_rows {
         if let Some(failure) = &row.failure {
             write_repro_line(failure, master_seed, None);
         }
     }
-    if let Some(failure) = mutant_rows.iter().find_map(|r| r.failure.as_ref()) {
-        write_repro_line(failure, master_seed ^ 0xBADD, Some(Mutation::SuppressRelay));
+    for (i, (mutation, rows)) in mutant_rows.iter().enumerate() {
+        if let Some(failure) = rows.iter().find_map(|r| r.failure.as_ref()) {
+            let seed = master_seed ^ 0xBADD ^ ((i as u64) << 16);
+            write_repro_line(failure, seed, Some(*mutation));
+        }
     }
 
     let mut report = Report::new("fuzz_conformance");
@@ -318,9 +397,14 @@ fn main() {
         .set_meta("max_n", max_n)
         .set_metric("executions", fuzz_rows.len())
         .set_metric("fuzz_violations", fuzz_violations)
+        .set_metric("backend_executions", backend_executions)
+        .set_metric("backend_violations", backend_violations)
+        .set_metric("early_stop_plans", early_stop_plans)
         .set_metric("total_steps", total_steps)
-        .set_metric("mutant_trials", mutant_rows.len())
+        .set_metric("mutant_trials", mutant_trials)
         .set_metric("mutants_caught", mutants_caught)
+        .set_metric("mutations_in_battery", battery.len())
+        .set_metric("mutations_caught", battery.len() - mutants_missed.len())
         .set_metric("churn_violations", churn_violations)
         .set_metric("spoofs_rejected", spoofs_rejected)
         .set_metric("crashes", crashes)
@@ -328,9 +412,27 @@ fn main() {
         .add_table(Table::with_rows(
             "conformance sweep: plan coverage per cluster size",
             &[
-                "n", "plans", "faults", "adaptive", "crash", "chaotic", "steps",
+                "n",
+                "plans",
+                "faults",
+                "adaptive",
+                "crash",
+                "chaotic",
+                "early_stop",
+                "backend",
+                "steps",
             ],
             coverage_rows,
+        ))
+        .add_table(Table::with_rows(
+            "mutant battery: seeded bugs caught by the spec checker",
+            &["mutation", "trials", "caught"],
+            battery
+                .iter()
+                .map(|(m, trials, caught)| {
+                    vec![m.name().to_string(), trials.to_string(), caught.to_string()]
+                })
+                .collect(),
         ))
         .add_table(Table::with_rows(
             "churn sweep: crash/rejoin epochs with slot spoofing",
@@ -365,22 +467,25 @@ fn main() {
         Err(e) => eprintln!("\nreport write failed: {e}"),
     }
 
-    let ok =
-        fuzz_violations == 0 && mutants_caught > 0 && churn_violations == 0 && spoofs_rejected > 0;
+    let ok = fuzz_violations == 0
+        && backend_violations == 0
+        && mutants_missed.is_empty()
+        && churn_violations == 0
+        && spoofs_rejected > 0;
     if ok {
         println!(
-            "\nRESULT: {} executions conformant to the abstract BYZ(m, u) machine; \
-             mutant caught {mutants_caught}/{}; churn held through {crashes} crashes, \
+            "\nRESULT: {} executions ({backend_executions} backend replays) conformant to \
+             the abstract BYZ(m, u) machine; all {} mutations caught \
+             ({mutants_caught}/{mutant_trials} trials); churn held through {crashes} crashes, \
              {rejoins} rejoins, {spoofs_rejected} spoofs rejected",
             fuzz_rows.len(),
-            mutant_rows.len()
+            battery.len()
         );
     } else {
         println!(
             "\nRESULT: GATE FAILED (fuzz_violations={fuzz_violations}, \
-             mutants_caught={mutants_caught}/{}, churn_violations={churn_violations}, \
-             spoofs_rejected={spoofs_rejected})",
-            mutant_rows.len()
+             backend_violations={backend_violations}, mutations_missed={mutants_missed:?}, \
+             churn_violations={churn_violations}, spoofs_rejected={spoofs_rejected})"
         );
         std::process::exit(1);
     }

@@ -24,7 +24,7 @@ USAGE:
   dagree flight --arch byzantine|degradable|crusader
   dagree obs TRACE [--top N]
   dagree fuzz [--budget B] [--seed S] [--max-n N] [--mutate MUTATION]
-              [--repro-dir DIR] [--replay FILE]
+              [--early-stop] [--repro-dir DIR] [--replay FILE]
   dagree help
 
 FAULTY SPEC:
@@ -62,12 +62,16 @@ OBS:
 FUZZ:
   drives randomized BYZ executions (N in 4..=--max-n, static + adaptive
   adversaries, churn crashes, link chaos) through the real node state
-  machines with the abstract spec checker attached. Violations are shrunk
-  to a minimal (seed, plan) repro under --repro-dir (default
-  results/repros). `--mutate relay-suppression` injects a deliberate
-  implementation bug the checker must catch (the CI mutant gate).
-  `--replay FILE` re-runs a repro file and prints the first divergent
-  step.
+  machines with the abstract spec checker attached. Every 4th clean trial
+  is additionally replayed through the batched service and the loopback
+  TCP mesh under the same referee. Violations are shrunk to a minimal
+  (seed, plan) repro under --repro-dir (default results/repros).
+  `--mutate M` injects a deliberate implementation bug the checker must
+  catch (the CI mutant gate); M is one of relay-suppression,
+  wrong-value-relay, early-decision, vote-off-by-one. `--early-stop`
+  forces certified-fault-set early stopping on in every generated plan
+  (machines and checker armed together). `--replay FILE` re-runs a repro
+  file and prints the first divergent step.
 ";
 
 /// A parsed subcommand.
@@ -190,6 +194,8 @@ pub enum Command {
         max_n: usize,
         /// Deliberate implementation bug to inject (mutant gate).
         mutate: Option<harness::Mutation>,
+        /// Force early stopping on in every generated plan.
+        early_stop: bool,
         /// Directory minimized repros are written to.
         repro_dir: String,
         /// Repro file to re-run instead of fuzzing.
@@ -242,7 +248,7 @@ fn collect_flags(args: &[String]) -> Result<Flags<'_>, ParseError> {
             return err(format!("unexpected argument `{a}`"));
         }
         match a {
-            "--below-bound" => {
+            "--below-bound" | "--early-stop" => {
                 switches.push(a);
                 i += 1;
             }
@@ -509,6 +515,7 @@ pub fn parse_args(argv: &[String]) -> Result<Command, ParseError> {
                     .unwrap_or(0xF055_F0CC),
                 max_n: opt_usize(&flags, "--max-n", 9)?,
                 mutate,
+                early_stop: flags.switches.contains(&"--early-stop"),
                 repro_dir: flags
                     .pairs
                     .get("--repro-dir")
@@ -889,6 +896,7 @@ mod tests {
                 seed: 0xF055_F0CC,
                 max_n: 9,
                 mutate: None,
+                early_stop: false,
                 repro_dir: "results/repros".into(),
                 replay: None,
             }
@@ -904,6 +912,7 @@ mod tests {
                 "6",
                 "--mutate",
                 "relay-suppression",
+                "--early-stop",
                 "--repro-dir",
                 "/tmp/r",
             ]))
@@ -913,10 +922,19 @@ mod tests {
                 seed: 7,
                 max_n: 6,
                 mutate: Some(harness::Mutation::SuppressRelay),
+                early_stop: true,
                 repro_dir: "/tmp/r".into(),
                 replay: None,
             }
         );
+        for name in ["wrong-value-relay", "early-decision", "vote-off-by-one"] {
+            match parse_args(&sv(&["fuzz", "--mutate", name])).unwrap() {
+                Command::Fuzz {
+                    mutate: Some(m), ..
+                } => assert_eq!(m.name(), name),
+                other => panic!("{other:?}"),
+            }
+        }
         let e = parse_args(&sv(&["fuzz", "--mutate", "nope"])).unwrap_err();
         assert!(e.0.contains("unknown mutation"), "{e}");
         match parse_args(&sv(&["fuzz", "--replay", "results/repros/x.json"])).unwrap() {

@@ -164,6 +164,60 @@ impl<V: Clone + Ord> EigView<V> {
     }
 }
 
+/// Whether early stopping may treat `path` as a leaf of the fold: every
+/// node of the certified fault set `faulty` already lies on `path`, and
+/// the relayer that appended the label (`path.last()`) is itself
+/// fault-free.
+///
+/// Under this condition every relayer strictly below `path` is
+/// fault-free (repetition-free paths cannot revisit the on-path faulty
+/// nodes), so on reliable links the whole subtree uniformly relays what
+/// its root delivered and the subtree vote collapses to the root value:
+/// `resolve(path) = seen(path)` exactly (DESIGN.md §5h). The predicate
+/// is downward-closed — once it holds, it holds for every extension —
+/// which is what lets relayers stop forwarding below the frontier
+/// entirely.
+pub fn prunable_path(path: &Path, faulty: &BTreeSet<NodeId>) -> bool {
+    !faulty.contains(&path.last()) && faulty.iter().all(|f| path.contains(*f))
+}
+
+impl<V: Clone + Ord> EigView<V> {
+    /// Folds the tree bottom-up like [`EigView::resolve`], but treats
+    /// every [`prunable_path`] label as a leaf (its stored value *is*
+    /// its resolution). This is the fold a node runs when the
+    /// early-stopping optimization suppressed relays below the prunable
+    /// frontier: the suppressed subtree slots are absent from the view,
+    /// and reading them would poison the vote with spurious `V_d`s.
+    pub fn resolve_pruned(
+        &self,
+        sender: NodeId,
+        rule: VoteRule,
+        faulty: &BTreeSet<NodeId>,
+    ) -> AgreementValue<V> {
+        self.resolve_pruned_path(&Path::root(sender), rule, faulty)
+    }
+
+    fn resolve_pruned_path(
+        &self,
+        path: &Path,
+        rule: VoteRule,
+        faulty: &BTreeSet<NodeId>,
+    ) -> AgreementValue<V> {
+        if path.len() >= self.depth || prunable_path(path, faulty) {
+            return self.seen(path);
+        }
+        let mut values = Vec::with_capacity(self.n - path.len());
+        values.push(self.seen(path));
+        for child in path.children(self.n) {
+            if child.last() != self.me {
+                values.push(self.resolve_pruned_path(&child, rule, faulty));
+            }
+        }
+        debug_assert_eq!(values.len(), self.n - path.len());
+        rule.combine(self.n, path.len(), &values)
+    }
+}
+
 /// One step of an explained fold: the vote taken at `path`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FoldStep<V> {

@@ -75,19 +75,26 @@ impl PathId {
 /// relayer id — the same lexicographic breadth-first order as
 /// [`crate::paths_of_length`].
 #[derive(Debug, Clone, Copy)]
-struct ArenaNode {
+pub(crate) struct ArenaNode {
     /// Last node on the path (the relayer that appended this label).
-    last: NodeId,
+    pub(crate) last: NodeId,
     /// Parent arena index; `u32::MAX` for the root.
-    parent: u32,
+    pub(crate) parent: u32,
     /// First child arena index (children are contiguous; 0 when none).
-    first_child: u32,
+    pub(crate) first_child: u32,
     /// Number of children (0 at the deepest level).
-    child_count: u32,
+    pub(crate) child_count: u32,
     /// Bitmask of the nodes on the path (`n <= 64` is asserted).
-    members: u64,
+    pub(crate) members: u64,
     /// Path length (1 for the root).
-    len: u8,
+    pub(crate) len: u8,
+}
+
+/// The arena form of [`crate::eig::prunable_path`]: every bit of the
+/// certified fault mask lies on the node's path, and the node's own
+/// relayer is fault-free. Downward-closed over the arena's child edges.
+pub(crate) fn prunable_node(node: &ArenaNode, faulty_mask: u64) -> bool {
+    faulty_mask & !node.members == 0 && faulty_mask >> node.last.index() & 1 == 0
 }
 
 /// Flat breadth-first arena of every repetition-free relay label of
@@ -247,6 +254,17 @@ impl PathArena {
     pub fn ids(&self) -> impl Iterator<Item = PathId> + '_ {
         (0..self.nodes.len() as u32).map(PathId)
     }
+
+    /// The flat node table (crate-internal: the packed resolver walks
+    /// it directly).
+    pub(crate) fn nodes_raw(&self) -> &[ArenaNode] {
+        &self.nodes
+    }
+
+    /// The per-level id ranges (crate-internal).
+    pub(crate) fn levels_raw(&self) -> &[Range<u32>] {
+        &self.levels
+    }
 }
 
 /// Dense slot table `store[σ][receiver]` over a [`PathArena`].
@@ -390,6 +408,11 @@ pub struct EigEngine {
     arena: PathArena,
     workers: usize,
     worker_spans: bool,
+    /// Certified fault mask for early stopping; `None` disables it.
+    early_stop: Option<u64>,
+    /// Route resolution through the bitpacked VOTE evaluator when the
+    /// value palette fits (falls back to the scalar path otherwise).
+    packed_vote: bool,
 }
 
 impl EigEngine {
@@ -400,6 +423,8 @@ impl EigEngine {
             arena: PathArena::new(n, sender, depth),
             workers: 1,
             worker_spans: false,
+            early_stop: None,
+            packed_vote: false,
         }
     }
 
@@ -426,9 +451,83 @@ impl EigEngine {
         self.workers
     }
 
+    /// Enables protocol-level early stopping for runs whose certified
+    /// fault set is `faulty`: the fill skips every subtree strictly
+    /// below a [`crate::eig::prunable_path`] frontier node and the
+    /// resolution treats frontier nodes as leaves. Decisions stay
+    /// bit-identical to the unpruned fold for any adversary drawn from
+    /// `faulty` (DESIGN.md §5h); [`EigPerf::subtrees_pruned`] and
+    /// [`EigPerf::messages_saved`] report the saving.
+    ///
+    /// The mask is per-run state: re-derive the engine (or call this
+    /// again) when the fault set changes.
+    pub fn with_early_stop(mut self, faulty: &BTreeSet<NodeId>) -> Self {
+        let mut mask = 0u64;
+        for f in faulty {
+            assert!(f.index() < 64, "early stop supports n <= 64");
+            mask |= 1u64 << f.index();
+        }
+        self.early_stop = Some(mask);
+        self
+    }
+
+    /// Whether early stopping is armed (and with which fault mask).
+    pub(crate) fn early_stop_mask(&self) -> Option<u64> {
+        self.early_stop
+    }
+
+    /// Whether early stopping is armed.
+    pub fn early_stop_enabled(&self) -> bool {
+        self.early_stop.is_some()
+    }
+
+    /// Routes resolution through the bitpacked VOTE evaluator: store
+    /// values are interned into a `u8` palette (`0` = `V_d`/absent) and
+    /// votes are counted over packed `u64` words. Falls back to the
+    /// scalar resolver — bit-identically, it is the oracle — when the
+    /// palette overflows 255 distinct values or the rule is not
+    /// [`VoteRule::Degradable`].
+    pub fn with_packed_vote(mut self) -> Self {
+        self.packed_vote = true;
+        self
+    }
+
+    /// Whether the bitpacked VOTE path is armed.
+    pub fn packed_vote_enabled(&self) -> bool {
+        self.packed_vote
+    }
+
+    /// Whether per-chunk spans are recorded (crate-internal).
+    pub(crate) fn worker_spans_enabled(&self) -> bool {
+        self.worker_spans
+    }
+
     /// The shared arena.
     pub fn arena(&self) -> &PathArena {
         &self.arena
+    }
+
+    /// The early-stopping counters of one run, derived purely from the
+    /// arena shape and the armed fault mask: the number of frontier
+    /// subtrees cut, and the relay envelopes (one per off-path
+    /// receiver of each skipped label) that were never sent.
+    pub(crate) fn prune_counters(&self) -> (u64, u64) {
+        let Some(mask) = self.early_stop else {
+            return (0, 0);
+        };
+        let mut subtrees_pruned = 0u64;
+        let mut messages_saved = 0u64;
+        for node in &self.arena.nodes {
+            if node.parent != u32::MAX
+                && prunable_node(&self.arena.nodes[node.parent as usize], mask)
+            {
+                // Strictly below the frontier: the whole label is cut.
+                messages_saved += (self.arena.n - node.len as usize) as u64;
+            } else if prunable_node(node, mask) && node.child_count > 0 {
+                subtrees_pruned += 1;
+            }
+        }
+        (subtrees_pruned, messages_saved)
     }
 
     /// Breadth-first fill from a fabricate closure — the synchronous
@@ -462,10 +561,20 @@ impl EigEngine {
         }
 
         // Levels 2..=depth: receivers relay what they received one
-        // level up.
+        // level up. With early stopping armed, labels strictly below a
+        // prunable frontier node are never relayed: their parent's
+        // subtree vote is already certain to collapse to the parent
+        // value, so the whole broadcast is skipped (the cut predicate
+        // is downward-closed, so a skipped parent was itself never
+        // read).
         for level in 1..arena.levels.len() {
             for id in arena.levels[level].clone() {
                 let node = arena.nodes[id as usize];
+                if let Some(mask) = self.early_stop {
+                    if prunable_node(&arena.nodes[node.parent as usize], mask) {
+                        continue;
+                    }
+                }
                 let relayer = node.last;
                 let truthful = store
                     .get(PathId(node.parent), relayer)
@@ -556,6 +665,11 @@ impl EigEngine {
         store: &EigStore<V>,
         obs: &mut Obs,
     ) -> EngineRun<V> {
+        if self.packed_vote {
+            if let Some(run) = crate::packed::resolve_packed(self, rule, store, obs) {
+                return run;
+            }
+        }
         let resolve_start = Instant::now();
         // Chunk wall times are only sampled when someone will read them.
         let timed_chunks = obs.is_enabled() && self.worker_spans;
@@ -585,10 +699,12 @@ impl EigEngine {
                     level_slice,
                     &*deeper,
                     deeper_offset,
+                    self.early_stop,
                     timed_chunks,
                 )]
             } else {
                 let deeper_ref: &[Option<Summary<V>>] = deeper;
+                let early = self.early_stop;
                 std::thread::scope(|scope| {
                     let mut handles = Vec::new();
                     for (i, chunk) in level_slice.chunks_mut(chunk_len).enumerate() {
@@ -602,6 +718,7 @@ impl EigEngine {
                                 chunk,
                                 deeper_ref,
                                 deeper_offset,
+                                early,
                                 timed_chunks,
                             )
                         }));
@@ -645,11 +762,14 @@ impl EigEngine {
             decisions.insert(r, root.value_for(r.index()).clone());
         }
 
+        let (subtrees_pruned, messages_saved) = self.prune_counters();
         let perf = EigPerf {
             arena_nodes: arena.node_count() as u64,
             votes_evaluated,
             votes_memo_hit,
             messages_materialized: store.materialized(),
+            subtrees_pruned,
+            messages_saved,
             fill_nanos: 0,
             resolve_nanos: resolve_start.elapsed().as_nanos() as u64,
         };
@@ -675,6 +795,7 @@ fn resolve_chunk<V: Clone + Ord>(
     out: &mut [Option<Summary<V>>],
     deeper: &[Option<Summary<V>>],
     deeper_offset: u32,
+    early_stop: Option<u64>,
     timed: bool,
 ) -> (u64, u64, u64) {
     let chunk_start = if timed { Some(Instant::now()) } else { None };
@@ -687,6 +808,17 @@ fn resolve_chunk<V: Clone + Ord>(
         let node = &arena.nodes[id as usize];
         let len = node.len as usize;
         let id = PathId(id);
+
+        // Strictly below the early-stop frontier nothing was filled and
+        // no ancestor reads the summary (the cut is downward-closed and
+        // frontier nodes resolve as leaves): skip the node entirely.
+        if node.parent != u32::MAX {
+            if let Some(mask) = early_stop {
+                if prunable_node(&arena.nodes[node.parent as usize], mask) {
+                    continue;
+                }
+            }
+        }
 
         // Effective own values (absent reads as V_d), plus uniformity.
         let mut own: Vec<AgreementValue<V>> = Vec::new();
@@ -706,12 +838,18 @@ fn resolve_chunk<V: Clone + Ord>(
             }
         }
 
-        if node.child_count == 0 {
+        let frontier = early_stop.is_some_and(|mask| prunable_node(node, mask));
+        if node.child_count == 0 || frontier {
             // Leaf: the resolution *is* the stored value; no vote. A
             // leaf whose path covers all n nodes has no receivers at
             // all (depth >= n); nothing ever reads its summary, so any
-            // uniform value serves.
-            debug_assert_eq!(len, arena.levels.len());
+            // uniform value serves. Prunable nodes resolve as leaves
+            // too: their subtree vote is certain to collapse to the
+            // stored value (and the fill skipped the subtree), and cut
+            // nodes below the frontier — themselves prunable by
+            // downward closure — get an all-absent row summarizing to
+            // V_d that no ancestor ever reads.
+            debug_assert!(frontier || len == arena.levels.len());
             *slot = Some(match first_receiver {
                 Some(r) if uniform => Summary::Uniform(own[r].clone()),
                 Some(_) => Summary::PerReceiver(own.into_boxed_slice()),
@@ -1071,5 +1209,217 @@ mod tests {
                 .workers(),
             8
         );
+    }
+
+    /// Random adversaries per shape: fault set, per-node strategies and
+    /// a fabricate closure over them.
+    fn random_adversary(
+        rng: &mut SimRng,
+        n: usize,
+        m: usize,
+    ) -> (BTreeSet<NodeId>, BTreeMap<NodeId, Strategy<u64>>) {
+        let f = rng.below(m as u64 + 1) as usize;
+        let faulty: BTreeSet<NodeId> = rng
+            .choose_indices(n, f)
+            .into_iter()
+            .map(NodeId::new)
+            .collect();
+        let battery = Strategy::battery(1, 2, rng.below(u64::MAX));
+        let strategies = faulty
+            .iter()
+            .map(|&f| {
+                let (_, s) = battery[rng.below(battery.len() as u64) as usize].clone();
+                (f, s)
+            })
+            .collect();
+        (faulty, strategies)
+    }
+
+    /// Early stopping: decisions bit-identical to the reference for
+    /// every adversary, and the prune counters satisfy the census
+    /// invariant `materialized + saved == full slot count`.
+    #[test]
+    fn early_stop_matches_reference_and_keeps_the_slot_census() {
+        let mut rng = SimRng::seed(0xE5E5);
+        for &(n, depth, m) in &[(4usize, 2usize, 1usize), (5, 2, 1), (7, 3, 2), (9, 3, 2)] {
+            let sender = NodeId::new(rng.below(n as u64) as usize);
+            let rule = VoteRule::Degradable { m };
+            let full_slots: u128 = (1..=depth)
+                .map(|l| path_count(n, l) * (n - l) as u128)
+                .sum();
+            for _ in 0..12 {
+                let (faulty, strategies) = random_adversary(&mut rng, n, m);
+                let mut fab = |path: &Path, r: NodeId, truthful: &Val| {
+                    strategies
+                        .get(&path.last())
+                        .map(|s| s.claim(path, r, truthful))
+                        .unwrap_or(*truthful)
+                };
+                let reference =
+                    run_eig_full(n, sender, depth, rule, &Val::Value(7), &faulty, &mut fab);
+                let engine = EigEngine::new(n, sender, depth).with_early_stop(&faulty);
+                let mut fab = |path: &Path, r: NodeId, truthful: &Val| {
+                    strategies
+                        .get(&path.last())
+                        .map(|s| s.claim(path, r, truthful))
+                        .unwrap_or(*truthful)
+                };
+                let run = engine.run(rule, &Val::Value(7), &faulty, &mut fab);
+                assert_eq!(
+                    run.decisions, reference.decisions,
+                    "n={n} faulty={faulty:?}"
+                );
+                assert_eq!(
+                    (run.perf.messages_materialized + run.perf.messages_saved) as u128,
+                    full_slots,
+                    "census at n={n} faulty={faulty:?}"
+                );
+                if faulty.is_empty() {
+                    assert!(run.perf.subtrees_pruned > 0, "fault-free prunes at n={n}");
+                    assert!(run.perf.messages_saved > 0, "fault-free saves at n={n}");
+                }
+            }
+        }
+    }
+
+    /// A fault-free early-stopped run at depth 3 collapses to the root
+    /// broadcast plus one relay level: everything below level 1 is cut.
+    #[test]
+    fn fault_free_early_stop_cuts_below_the_first_relay_level() {
+        let n = 7;
+        let engine = EigEngine::new(n, NodeId::new(0), 3).with_early_stop(&BTreeSet::new());
+        let mut fab = |_: &Path, _: NodeId, v: &Val| *v;
+        let run = engine.run(
+            VoteRule::Degradable { m: 2 },
+            &Val::Value(5),
+            &BTreeSet::new(),
+            &mut fab,
+        );
+        assert!(run.decisions.values().all(|d| *d == Val::Value(5)));
+        // With F = ∅ the root itself is prunable, so only its own
+        // broadcast materializes.
+        assert_eq!(run.perf.messages_materialized as u128, (n - 1) as u128);
+        assert_eq!(run.perf.subtrees_pruned, 1, "the root subtree");
+        let full_slots: u128 = (1..=3).map(|l| path_count(n, l) * (n - l) as u128).sum();
+        assert_eq!(
+            run.perf.messages_saved as u128,
+            full_slots - (n - 1) as u128
+        );
+    }
+
+    /// The knob is off by default and a disarmed engine reports zero
+    /// prune counters.
+    #[test]
+    fn prune_counters_are_zero_without_the_knob() {
+        let engine = EigEngine::new(5, NodeId::new(0), 2);
+        assert!(!engine.early_stop_enabled());
+        let mut fab = |_: &Path, _: NodeId, v: &Val| *v;
+        let run = engine.run(
+            VoteRule::Degradable { m: 1 },
+            &Val::Value(5),
+            &BTreeSet::new(),
+            &mut fab,
+        );
+        assert_eq!(run.perf.subtrees_pruned, 0);
+        assert_eq!(run.perf.messages_saved, 0);
+    }
+
+    /// Packed VOTE: decisions *and* deterministic counters bit-identical
+    /// to the scalar resolver over random adversaries, with and without
+    /// early stopping, across worker counts.
+    #[test]
+    fn packed_vote_is_bit_identical_to_scalar() {
+        let mut rng = SimRng::seed(0xB17B);
+        for &(n, depth, m) in &[(4usize, 2usize, 1usize), (7, 3, 2), (9, 3, 2)] {
+            let sender = NodeId::new(rng.below(n as u64) as usize);
+            let rule = VoteRule::Degradable { m };
+            for early in [false, true] {
+                for _ in 0..8 {
+                    let (faulty, strategies) = random_adversary(&mut rng, n, m);
+                    let run_with = |packed: bool, workers: usize| {
+                        let mut engine = EigEngine::new(n, sender, depth).with_workers(workers);
+                        if early {
+                            engine = engine.with_early_stop(&faulty);
+                        }
+                        if packed {
+                            engine = engine.with_packed_vote();
+                        }
+                        let mut fab = |path: &Path, r: NodeId, truthful: &Val| {
+                            strategies
+                                .get(&path.last())
+                                .map(|s| s.claim(path, r, truthful))
+                                .unwrap_or(*truthful)
+                        };
+                        engine.run(rule, &Val::Value(7), &faulty, &mut fab)
+                    };
+                    let scalar = run_with(false, 1);
+                    for workers in [1usize, 3] {
+                        let packed = run_with(true, workers);
+                        assert_eq!(
+                            packed.decisions, scalar.decisions,
+                            "n={n} early={early} workers={workers} faulty={faulty:?}"
+                        );
+                        assert_eq!(
+                            packed.perf.deterministic_counters(),
+                            scalar.perf.deterministic_counters(),
+                            "n={n} early={early} workers={workers} faulty={faulty:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Non-`Degradable` rules fall back to the scalar resolver: the
+    /// packed knob must be behaviour-preserving there too.
+    #[test]
+    fn packed_vote_falls_back_on_majority_rule() {
+        let faulty: BTreeSet<NodeId> = [NodeId::new(3)].into();
+        let run_with = |packed: bool| {
+            let mut engine = EigEngine::new(5, NodeId::new(0), 2);
+            if packed {
+                engine = engine.with_packed_vote();
+            }
+            let mut fab = |_: &Path, r: NodeId, _: &Val| Val::Value(r.index() as u64);
+            engine.run(VoteRule::Majority, &Val::Value(7), &faulty, &mut fab)
+        };
+        let scalar = run_with(false);
+        let packed = run_with(true);
+        assert_eq!(packed.decisions, scalar.decisions);
+        assert_eq!(
+            packed.perf.deterministic_counters(),
+            scalar.perf.deterministic_counters()
+        );
+    }
+
+    /// The packed resolver emits the same spans (names, args, logical
+    /// costs) and registry counters as the scalar one: observability
+    /// output is knob-independent after timing scrub.
+    #[test]
+    fn packed_observed_output_matches_scalar() {
+        let run_obs = |packed: bool, early: bool| {
+            let faulty: BTreeSet<NodeId> = [NodeId::new(2)].into();
+            let mut engine = EigEngine::new(5, NodeId::new(0), 3);
+            if early {
+                engine = engine.with_early_stop(&faulty);
+            }
+            if packed {
+                engine = engine.with_packed_vote();
+            }
+            let mut fab = |_: &Path, r: NodeId, _: &Val| Val::Value(r.index() as u64);
+            let mut obs = Obs::enabled();
+            engine.run_observed(
+                VoteRule::Degradable { m: 1 },
+                &Val::Value(7),
+                &faulty,
+                &mut fab,
+                &mut obs,
+            );
+            obs::scrub_timing(&mut obs);
+            obs
+        };
+        for early in [false, true] {
+            assert_eq!(run_obs(true, early), run_obs(false, early), "early={early}");
+        }
     }
 }

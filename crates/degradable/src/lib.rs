@@ -87,6 +87,7 @@ pub mod explain;
 pub mod ic;
 pub mod lower_bound;
 pub mod node;
+mod packed;
 pub mod params;
 pub mod path;
 pub mod protocol;
@@ -112,7 +113,7 @@ pub use conditions::{
 /// The recursive per-receiver evaluator, preserved verbatim as the
 /// differential oracle for the arena engine (`tests/engine_equivalence.rs`).
 pub use eig::run_eig_full as reference_eval;
-pub use eig::{run_eig, run_eig_full, EigOutcome, EigView, FoldStep, VoteRule};
+pub use eig::{prunable_path, run_eig, run_eig_full, EigOutcome, EigView, FoldStep, VoteRule};
 pub use engine::{EigEngine, EigStore, EngineRun, PathArena, PathId};
 pub use explain::explain_receiver;
 pub use ic::{check_degradable_ic, run_degradable_ic, IcOutcome, IcViolation};
@@ -121,8 +122,8 @@ pub use params::{Params, ParamsError};
 pub use path::{path_count, paths_of_length, Path};
 pub use protocol::{run_protocol, run_protocol_full, run_protocol_with, ByzMsg, ProtocolRun};
 pub use service::{
-    run_batch, run_batch_full, run_batch_observed, run_batch_reference, run_batch_with,
-    BatchInstance, BatchMsg, BatchRun,
+    run_batch, run_batch_full, run_batch_observed, run_batch_reference, run_batch_traced,
+    run_batch_with, BatchInstance, BatchMsg, BatchRun, BatchTraceEvent,
 };
 pub use sm::{run_sm, run_sm_honest, SmAdversary, SmRelayAction};
 pub use sparse::{

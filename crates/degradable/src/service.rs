@@ -46,14 +46,14 @@
 //! experiment E16 (`bench/src/bin/batch_throughput.rs`).
 
 use crate::adversary::Strategy;
-use crate::eig::EigView;
+use crate::eig::{prunable_path, EigView};
 use crate::engine::{EigEngine, EigStore};
 use crate::params::Params;
 use crate::path::Path;
 use crate::value::AgreementValue;
 use obs::Obs;
 use simnet::{EigPerf, NodeId, RoundEngine, Topology};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::hash::Hash;
 
 /// One instance of a batch: who sends what.
@@ -92,6 +92,46 @@ pub struct BatchRun<V: Ord> {
     /// instance's sender (cross-instance spoofing by a Byzantine relayer
     /// or a corrupting link).
     pub spoofs_rejected: u64,
+}
+
+/// One observable moment of a batched execution, as
+/// [`run_batch_traced`] reports it — the raw material for replaying a
+/// batch through one `SpecChecker` per instance.
+#[derive(Debug, Clone)]
+pub enum BatchTraceEvent<V> {
+    /// An envelope claiming `instance` was handed to `to`, folding at
+    /// the close of `round`. Emitted for every inbox envelope with an
+    /// in-range instance id, *before* any validation — the consumer's
+    /// checker performs its own classification (a cross-instance spoof
+    /// reads as malformed there too, since its path is not rooted at
+    /// the claimed instance's sender).
+    Deliver {
+        /// The claimed instance (in input order).
+        instance: usize,
+        /// The receiving node.
+        to: NodeId,
+        /// Transport-authenticated source.
+        src: NodeId,
+        /// The relay path.
+        path: Path,
+        /// The claimed value.
+        value: AgreementValue<V>,
+        /// The round at whose close this envelope folds.
+        round: usize,
+    },
+    /// Node `node` closed `round` for `instance`, emitting `sends`
+    /// (pre-chaos, possibly empty — emitted for every instance × node ×
+    /// round so phase tracking stays exact).
+    Close {
+        /// The instance (in input order).
+        instance: usize,
+        /// The closing node.
+        node: NodeId,
+        /// The closed round.
+        round: usize,
+        /// Every send of this instance at this close.
+        sends: Vec<(NodeId, Path, AgreementValue<V>)>,
+    },
 }
 
 /// Sending a fabricated (or truthful) value to one receiver; Silent
@@ -187,8 +227,22 @@ pub fn run_batch_full<V: Clone + Ord + Hash + Send + Sync>(
         engine_setup,
         &mut Obs::disabled(),
     );
+    let views = materialize_views(params, n, instances, &engines, &engine_idx, &stores);
+    (run, views)
+}
+
+/// Rebuilds every receiver's per-instance [`EigView`] from the shared
+/// stores (node `r`'s view of instance `k` is column `r` of `stores[k]`).
+fn materialize_views<V: Clone + Ord>(
+    params: Params,
+    n: usize,
+    instances: &[BatchInstance<V>],
+    engines: &[EigEngine],
+    engine_idx: &[usize],
+    stores: &[EigStore<V>],
+) -> Vec<BTreeMap<NodeId, EigView<V>>> {
     let depth = params.rounds();
-    let views = instances
+    instances
         .iter()
         .enumerate()
         .map(|(k, inst)| {
@@ -204,7 +258,39 @@ pub fn run_batch_full<V: Clone + Ord + Hash + Send + Sync>(
                 })
                 .collect()
         })
-        .collect();
+        .collect()
+}
+
+/// [`run_batch_full`] with conformance hooks: optional certified-fault-set
+/// early stopping (armed against the strategy key set, mirroring
+/// [`crate::NodeStateMachine::with_early_stop`]) and a trace callback
+/// receiving one [`BatchTraceEvent`] per delivery and per
+/// instance × node × round close — everything a per-instance
+/// `SpecChecker` replay needs.
+#[allow(clippy::too_many_arguments)]
+pub fn run_batch_traced<V: Clone + Ord + Hash + Send + Sync>(
+    params: Params,
+    n: usize,
+    instances: &[BatchInstance<V>],
+    strategies: &BTreeMap<NodeId, Strategy<V>>,
+    seed: u64,
+    early_stop: bool,
+    engine_setup: impl FnOnce(RoundEngine<BatchMsg<V>>) -> RoundEngine<BatchMsg<V>>,
+    trace: &mut dyn FnMut(BatchTraceEvent<V>),
+) -> (BatchRun<V>, Vec<BTreeMap<NodeId, EigView<V>>>) {
+    let (run, engines, engine_idx, stores) = run_batch_core(
+        params,
+        n,
+        instances,
+        strategies,
+        seed,
+        1,
+        early_stop,
+        Some(trace),
+        engine_setup,
+        &mut Obs::disabled(),
+    );
+    let views = materialize_views(params, n, instances, &engines, &engine_idx, &stores);
     (run, views)
 }
 
@@ -233,9 +319,37 @@ pub fn run_batch_observed<V: Clone + Ord + Hash + Send + Sync>(
     engine_setup: impl FnOnce(RoundEngine<BatchMsg<V>>) -> RoundEngine<BatchMsg<V>>,
     obs: &mut Obs,
 ) -> (BatchRun<V>, Vec<EigEngine>, Vec<usize>, Vec<EigStore<V>>) {
+    run_batch_core(
+        params,
+        n,
+        instances,
+        strategies,
+        seed,
+        workers,
+        false,
+        None,
+        engine_setup,
+        obs,
+    )
+}
+
+#[allow(clippy::too_many_arguments, clippy::type_complexity)]
+fn run_batch_core<V: Clone + Ord + Hash + Send + Sync>(
+    params: Params,
+    n: usize,
+    instances: &[BatchInstance<V>],
+    strategies: &BTreeMap<NodeId, Strategy<V>>,
+    seed: u64,
+    workers: usize,
+    early_stop: bool,
+    mut trace: Option<&mut dyn FnMut(BatchTraceEvent<V>)>,
+    engine_setup: impl FnOnce(RoundEngine<BatchMsg<V>>) -> RoundEngine<BatchMsg<V>>,
+    obs: &mut Obs,
+) -> (BatchRun<V>, Vec<EigEngine>, Vec<usize>, Vec<EigStore<V>>) {
     check_batch_bounds(params, n, instances);
     let depth = params.rounds();
     let rule = crate::eig::VoteRule::Degradable { m: params.m() };
+    let faulty: BTreeSet<NodeId> = strategies.keys().copied().collect();
 
     // One arena (and engine) per *distinct sender*: the path structure
     // depends only on (n, sender, depth), so every instance sharing a
@@ -247,7 +361,11 @@ pub fn run_batch_observed<V: Clone + Ord + Hash + Send + Sync>(
         let next = engines.len();
         let e = *engine_of_sender.entry(inst.sender).or_insert(next);
         if e == next {
-            engines.push(EigEngine::new(n, inst.sender, depth).with_workers(workers));
+            let mut eng = EigEngine::new(n, inst.sender, depth).with_workers(workers);
+            if early_stop {
+                eng = eng.with_early_stop(&faulty);
+            }
+            engines.push(eng);
         }
         engine_idx.push(e);
     }
@@ -275,11 +393,28 @@ pub fn run_batch_observed<V: Clone + Ord + Hash + Send + Sync>(
     let mut net = engine.run_with(depth + 1, |i, ctx| {
         let me = NodeId::new(i);
         let round = ctx.round();
+        let mut traced_sends: Vec<Vec<(NodeId, Path, AgreementValue<V>)>> = if trace.is_some() {
+            vec![Vec::new(); instances.len()]
+        } else {
+            Vec::new()
+        };
         // 1. Record this round's deliveries (level = round).
         let mut to_relay: Vec<(u32, Path, AgreementValue<V>)> = Vec::new();
         if round >= 1 {
             for (src, msg) in ctx.inbox().to_vec() {
                 let idx = msg.instance as usize;
+                if idx < instances.len() {
+                    if let Some(trace) = trace.as_deref_mut() {
+                        trace(BatchTraceEvent::Deliver {
+                            instance: idx,
+                            to: me,
+                            src,
+                            path: msg.path.clone(),
+                            value: msg.value.clone(),
+                            round,
+                        });
+                    }
+                }
                 // A path of level `< round` is an envelope the network
                 // delivered late (link reordering): its relay slot has
                 // passed, but the direct observation is still genuine, so
@@ -330,6 +465,9 @@ pub fn run_batch_observed<V: Clone + Ord + Hash + Send + Sync>(
                         continue;
                     }
                     if let Some(v) = claim_for(strategies, me, &root, r, &inst.value) {
+                        if !traced_sends.is_empty() {
+                            traced_sends[idx].push((r, root.clone(), v.clone()));
+                        }
                         ctx.send(
                             r,
                             BatchMsg {
@@ -343,12 +481,22 @@ pub fn run_batch_observed<V: Clone + Ord + Hash + Send + Sync>(
             }
         } else {
             for (instance, path, value) in to_relay {
+                // Certified-fault-set early stopping, mirroring
+                // `NodeStateMachine`: a path that exhausts the fault set
+                // with a fault-free last relayer fills its subtree
+                // uniformly, so the fan-out below it is skipped.
+                if early_stop && prunable_path(&path, &faulty) {
+                    continue;
+                }
                 let child = path.child(me);
                 for r in NodeId::all(n) {
                     if child.contains(r) {
                         continue;
                     }
                     if let Some(v) = claim_for(strategies, me, &child, r, &value) {
+                        if !traced_sends.is_empty() {
+                            traced_sends[instance as usize].push((r, child.clone(), v.clone()));
+                        }
                         ctx.send(
                             r,
                             BatchMsg {
@@ -359,6 +507,16 @@ pub fn run_batch_observed<V: Clone + Ord + Hash + Send + Sync>(
                         );
                     }
                 }
+            }
+        }
+        if let Some(trace) = trace.as_deref_mut() {
+            for (idx, sends) in traced_sends.into_iter().enumerate() {
+                trace(BatchTraceEvent::Close {
+                    instance: idx,
+                    node: me,
+                    round,
+                    sends,
+                });
             }
         }
     });
@@ -795,5 +953,115 @@ mod tests {
             value: Val::Value(1),
         }];
         run_batch(params(), 5, &instances, &BTreeMap::new(), 1);
+    }
+
+    #[test]
+    fn traced_batch_is_passive_and_covers_every_close() {
+        let strategies = lying_strategies();
+        let instances = mixed_instances();
+        let mut delivers = 0usize;
+        let mut closes = 0usize;
+        let mut sent_in_trace = 0usize;
+        let (run, views) = run_batch_traced(
+            params(),
+            5,
+            &instances,
+            &strategies,
+            1,
+            false,
+            |e| e,
+            &mut |ev| match ev {
+                BatchTraceEvent::Deliver { .. } => delivers += 1,
+                BatchTraceEvent::Close { sends, .. } => {
+                    closes += 1;
+                    sent_in_trace += sends.len();
+                }
+            },
+        );
+        let quiet = run_batch(params(), 5, &instances, &strategies, 1);
+        assert_eq!(run.decisions, quiet.decisions, "tracing is passive");
+        // Every instance closes at every node in every round, even when
+        // it has nothing to send — the checker needs the phase ticks.
+        let rounds = params().rounds() + 1;
+        assert_eq!(closes, instances.len() * 5 * rounds);
+        assert!(delivers > 0);
+        // Traced sends are pre-chaos; with no chaos plan they are
+        // exactly the engine's send count.
+        assert_eq!(sent_in_trace, run.net.sent);
+        assert_eq!(views.len(), instances.len());
+    }
+
+    #[test]
+    fn early_stopped_batch_matches_and_saves_messages() {
+        // Fault-free: every level-1 subtree prunes, and every saved
+        // message is a real envelope the engine never sent.
+        let instances = vec![
+            BatchInstance {
+                sender: n(0),
+                value: Val::Value(7),
+            },
+            BatchInstance {
+                sender: n(0),
+                value: Val::Value(8),
+            },
+        ];
+        let baseline = run_batch(params(), 5, &instances, &BTreeMap::new(), 3);
+        let (early, _) = run_batch_traced(
+            params(),
+            5,
+            &instances,
+            &BTreeMap::new(),
+            3,
+            true,
+            |e| e,
+            &mut |_| {},
+        );
+        assert_eq!(early.decisions, baseline.decisions);
+        assert!(early.net.eig.subtrees_pruned > 0);
+        assert!(early.net.eig.messages_saved > 0);
+        assert_eq!(
+            early.net.sent + early.net.eig.messages_saved as usize,
+            baseline.net.sent,
+            "conservation: sent + saved == baseline sent"
+        );
+    }
+
+    #[test]
+    fn early_stopped_batch_with_liars_stays_decision_identical() {
+        // Two relay liars at depth 2: no length-1 path can certify both
+        // faults, so the gate never fires — the runs must be identical.
+        let strategies = lying_strategies();
+        let instances = mixed_instances();
+        let full = run_batch(params(), 5, &instances, &strategies, 3);
+        let (stopped, _) = run_batch_traced(
+            params(),
+            5,
+            &instances,
+            &strategies,
+            3,
+            true,
+            |e| e,
+            &mut |_| {},
+        );
+        assert_eq!(stopped.decisions, full.decisions);
+        assert_eq!(stopped.net.sent, full.net.sent);
+
+        // A lying *sender* is a certified fault every path carries, so
+        // a depth-3 run prunes below the first relay level even faulty.
+        let p2 = Params::new(2, 2).unwrap();
+        let strategies: BTreeMap<NodeId, Strategy<u64>> =
+            [(n(0), Strategy::ConstantLie(Val::Value(9)))]
+                .into_iter()
+                .collect();
+        let instances = vec![BatchInstance {
+            sender: n(0),
+            value: Val::Value(5),
+        }];
+        let full = run_batch(p2, 7, &instances, &strategies, 9);
+        let (early, _) =
+            run_batch_traced(p2, 7, &instances, &strategies, 9, true, |e| e, &mut |_| {});
+        assert_eq!(early.decisions, full.decisions);
+        assert!(early.net.eig.messages_saved > 0);
+        assert!(early.net.sent < full.net.sent);
     }
 }

@@ -32,16 +32,18 @@
 
 use crate::report::JsonValue;
 use degradable::{
-    adversary_by_id, check_degradable, AdaptiveAdversary, ByzInstance, ByzMsg, NodeAction,
-    NodeEvent, NodeStateMachine, Params, RunRecord, SpecChecker, SpecInstance, Strategy, Val,
-    Verdict,
+    adversary_by_id, check_degradable, run_batch_traced, AdaptiveAdversary, BatchInstance,
+    BatchTraceEvent, ByzInstance, ByzMsg, NodeAction, NodeEvent, NodeStateMachine, Params,
+    RunRecord, SpecChecker, SpecInstance, Strategy, Val, Verdict,
 };
 use simnet::{LinkFaultKind, LinkFaultPlan, NodeId, SimRng};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::io;
 use std::path::{Path as FsPath, PathBuf};
-use transport::{Disposition, HotEdgeCutter, LinkChaos};
+use transport::{
+    Disposition, HotEdgeCutter, LinkChaos, LoggedEvent, MeshConfig, RunOptions, TransportKind,
+};
 
 /// The smallest cluster BYZ(1, 1) admits (`n ≥ 2m + u + 1`).
 pub const MIN_N: usize = 4;
@@ -85,24 +87,51 @@ pub enum Mutation {
     /// The first honest node with outgoing relays silently drops one of
     /// them (once per execution).
     SuppressRelay,
+    /// The first honest node with outgoing sends garbles the value of
+    /// one of them (once per execution) — a corrupted relay the checker
+    /// must flag against its expected relay multiset.
+    WrongValueRelay,
+    /// The first honest non-sender node snapshots its fold one round
+    /// before the tree is complete and reports that stale value as its
+    /// decision — a premature termination bug.
+    EarlyDecision,
+    /// The first honest non-sender decision is recomputed with the vote
+    /// threshold shifted by one (`VOTE(n-ℓ-m+1, ·)`), the classic
+    /// boundary slip in the fold.
+    VoteOffByOne,
 }
+
+/// Every mutation, in CLI help order.
+pub const ALL_MUTATIONS: [Mutation; 4] = [
+    Mutation::SuppressRelay,
+    Mutation::WrongValueRelay,
+    Mutation::EarlyDecision,
+    Mutation::VoteOffByOne,
+];
 
 impl Mutation {
     /// Stable name used in repro files and CLI flags.
     pub fn name(&self) -> &'static str {
         match self {
             Mutation::SuppressRelay => "relay-suppression",
+            Mutation::WrongValueRelay => "wrong-value-relay",
+            Mutation::EarlyDecision => "early-decision",
+            Mutation::VoteOffByOne => "vote-off-by-one",
         }
     }
 
     /// Parses a CLI/repro mutation name.
     pub fn from_name(name: &str) -> Result<Mutation, String> {
-        match name {
-            "relay-suppression" => Ok(Mutation::SuppressRelay),
-            other => Err(format!(
-                "unknown mutation '{other}' (expected relay-suppression)"
-            )),
-        }
+        ALL_MUTATIONS
+            .into_iter()
+            .find(|m| m.name() == name)
+            .ok_or_else(|| {
+                let names: Vec<&str> = ALL_MUTATIONS.iter().map(|m| m.name()).collect();
+                format!(
+                    "unknown mutation '{name}' (expected one of {})",
+                    names.join(", ")
+                )
+            })
     }
 }
 
@@ -130,6 +159,10 @@ pub struct FuzzPlan {
     pub hot_edge_threshold: Option<usize>,
     /// Seed for the chaos layer and any seeded static strategies.
     pub seed: u64,
+    /// When set, every machine *and* the checker run with
+    /// certified-fault-set early stopping armed (DESIGN.md §5h): pruned
+    /// relays become required omissions the referee enforces.
+    pub early_stop: bool,
 }
 
 impl FuzzPlan {
@@ -167,6 +200,8 @@ impl FuzzPlan {
             .collect();
         let drop_p = *rng.pick(&[0.0, 0.0, 0.05, 0.2]).expect("non-empty");
         let hot_edge_threshold = (rng.below(4) == 0).then(|| 2 + rng.below(4) as usize);
+        let seed = rng.below(u64::MAX);
+        let early_stop = rng.below(2) == 0;
         FuzzPlan {
             n,
             m,
@@ -176,7 +211,8 @@ impl FuzzPlan {
             faults,
             drop_p,
             hot_edge_threshold,
-            seed: rng.below(u64::MAX),
+            seed,
+            early_stop,
         }
     }
 
@@ -256,6 +292,7 @@ impl FuzzPlan {
                 },
             ),
             ("seed".into(), self.seed.into()),
+            ("early_stop".into(), u64::from(self.early_stop).into()),
         ])
     }
 
@@ -322,6 +359,17 @@ impl FuzzPlan {
                 ),
             },
             seed: uint("seed")?,
+            // Absent in version-1 repro files written before early
+            // stopping existed: those executions ran without it.
+            early_stop: match v.get("early_stop") {
+                None | Some(JsonValue::Null) => false,
+                Some(other) => {
+                    other
+                        .as_u64()
+                        .ok_or("field `early_stop` is not an integer")?
+                        != 0
+                }
+            },
         })
     }
 }
@@ -377,6 +425,9 @@ pub fn run_plan(plan: &FuzzPlan, mutation: Option<Mutation>) -> ExecReport {
         Val::Value(plan.sender_value),
         faulty.clone(),
     );
+    if plan.early_stop {
+        checker = checker.with_early_stop();
+    }
     let chaos = plan.chaos();
     let battery = Strategy::battery(plan.sender_value, plan.sender_value ^ 0xBAD, plan.seed);
     let mut adversaries: BTreeMap<NodeId, Box<dyn AdaptiveAdversary<u64>>> = BTreeMap::new();
@@ -393,7 +444,13 @@ pub fn run_plan(plan: &FuzzPlan, mutation: Option<Mutation>) -> ExecReport {
                 // their sends at the crash round.
                 Some(FaultSpec::Crash { .. }) | None => None,
             };
-            NodeStateMachine::new(&inst, node, Val::Value(plan.sender_value), strategy)
+            let machine =
+                NodeStateMachine::new(&inst, node, Val::Value(plan.sender_value), strategy);
+            if plan.early_stop {
+                machine.with_early_stop(&faulty)
+            } else {
+                machine
+            }
         })
         .collect();
 
@@ -416,6 +473,7 @@ pub fn run_plan(plan: &FuzzPlan, mutation: Option<Mutation>) -> ExecReport {
     let mut deliveries: Mailboxes = vec![vec![Vec::new(); n]; depth + 1];
     let mut decisions: BTreeMap<NodeId, Val> = BTreeMap::new();
     let mut mutated = false;
+    let mut early_decision: Option<(NodeId, Val)> = None;
     for round in 0..=depth {
         for i in 0..n {
             let node = NodeId::new(i);
@@ -461,15 +519,40 @@ pub fn run_plan(plan: &FuzzPlan, mutation: Option<Mutation>) -> ExecReport {
                     })
                     .collect();
             }
-            if mutation == Some(Mutation::SuppressRelay)
-                && !mutated
-                && checker.is_honest(node)
-                && !sends.is_empty()
-            {
-                // The implementation bug under test: one relay silently
-                // never leaves the node. The checker is NOT told.
-                sends.pop();
-                mutated = true;
+            // The implementation bugs under test, injected once per
+            // execution into an honest node. The checker is NOT told.
+            match mutation {
+                Some(Mutation::SuppressRelay)
+                    if !mutated && checker.is_honest(node) && !sends.is_empty() =>
+                {
+                    // One relay silently never leaves the node.
+                    sends.pop();
+                    mutated = true;
+                }
+                Some(Mutation::WrongValueRelay)
+                    if !mutated && checker.is_honest(node) && !sends.is_empty() =>
+                {
+                    // One outgoing claim is garbled in flight out of an
+                    // honest node.
+                    sends[0].1.value = match &sends[0].1.value {
+                        Val::Value(x) => Val::Value(x ^ 0x5A),
+                        Val::Default => Val::Value(0x5A),
+                    };
+                    mutated = true;
+                }
+                Some(Mutation::EarlyDecision)
+                    if early_decision.is_none()
+                        && round + 1 == depth
+                        && checker.is_honest(node)
+                        && node != plan.sender =>
+                {
+                    // Snapshot the fold one round before the leaves
+                    // arrive; this stale value is reported at decide.
+                    let rule = degradable::VoteRule::Degradable { m: plan.m };
+                    let stale = machine.view().resolve(plan.sender, rule);
+                    early_decision = Some((node, stale));
+                }
+                _ => {}
             }
             step += 1;
             checker.close_round(node, round, &sends);
@@ -480,10 +563,36 @@ pub fn run_plan(plan: &FuzzPlan, mutation: Option<Mutation>) -> ExecReport {
                 outgoing.push((node, to, msg));
             }
             if round == depth {
+                let mut reported = decided;
+                match mutation {
+                    Some(Mutation::EarlyDecision) => {
+                        if let Some((who, stale)) = &early_decision {
+                            if *who == node {
+                                reported = Some(*stale);
+                            }
+                        }
+                    }
+                    Some(Mutation::VoteOffByOne)
+                        if !mutated
+                            && checker.is_honest(node)
+                            && node != plan.sender
+                            && reported.is_some() =>
+                    {
+                        // Re-fold with the vote threshold raised by one
+                        // (`m - 1` in the rule shifts every alpha up).
+                        let rule = degradable::VoteRule::Degradable { m: plan.m - 1 };
+                        reported = Some(match plan.early_stop {
+                            true => machine.view().resolve_pruned(plan.sender, rule, &faulty),
+                            false => machine.view().resolve(plan.sender, rule),
+                        });
+                        mutated = true;
+                    }
+                    _ => {}
+                }
                 step += 1;
-                checker.decide(node, decided.as_ref());
+                checker.decide(node, reported.as_ref());
                 note(&checker, step, &|| format!("decide node={node}"));
-                if let Some(d) = decided {
+                if let Some(d) = reported {
                     decisions.insert(node, d);
                 }
             }
@@ -539,10 +648,343 @@ pub fn run_plan(plan: &FuzzPlan, mutation: Option<Mutation>) -> ExecReport {
     }
 }
 
+/// Coerces a plan's fault assignment to the static strategies the
+/// threaded transport backends and the batch service support: adaptive
+/// adversaries map to their battery cousin by index, churn crashes to
+/// permanent silence. The *set* of faulty nodes is preserved, which is
+/// all conformance checking constrains — faulty behavior is arbitrary
+/// by definition.
+fn static_strategies(plan: &FuzzPlan) -> BTreeMap<NodeId, Strategy<u64>> {
+    let battery = Strategy::battery(plan.sender_value, plan.sender_value ^ 0xBAD, plan.seed);
+    plan.faults
+        .iter()
+        .map(|(node, spec)| {
+            let s = match spec {
+                FaultSpec::Static(idx) => battery[idx % battery.len()].1.clone(),
+                FaultSpec::Adaptive(id) => battery[id % battery.len()].1.clone(),
+                FaultSpec::Crash { .. } => Strategy::Silent,
+            };
+            (*node, s)
+        })
+        .collect()
+}
+
+/// Runs `plan` (coerced to static faults) over a real transport backend
+/// with event recording, then replays every node's log through a fresh
+/// [`SpecChecker`] in the driver's canonical `(round, node)` order — so
+/// the threaded meshes answer to the same referee as the in-process
+/// lockstep driver. Early stopping arms machines and checker together.
+pub fn run_plan_transport(plan: &FuzzPlan, kind: TransportKind) -> ExecReport {
+    let inst = plan.instance();
+    let n = plan.n;
+    let depth = inst.depth();
+    let strategies = static_strategies(plan);
+    let faulty: BTreeSet<NodeId> = plan.faults.keys().copied().collect();
+    let options = RunOptions {
+        early_stop: plan.early_stop,
+        record_events: true,
+    };
+    let run = transport::run_kind_with(
+        kind,
+        &inst,
+        Val::Value(plan.sender_value),
+        &strategies,
+        plan.chaos(),
+        MeshConfig::default(),
+        options,
+    )
+    .expect("loopback transports are available");
+
+    let mut checker = SpecChecker::new(
+        SpecInstance::of(&inst),
+        Val::Value(plan.sender_value),
+        faulty.clone(),
+    );
+    if plan.early_stop {
+        checker = checker.with_early_stop();
+    }
+    // Segment each node's log into per-round (deliveries, close)
+    // batches: deliveries recorded after the close of round r-1 fold at
+    // the close of round r, which is exactly the log order.
+    type Segment = (
+        Vec<(NodeId, ByzMsg<u64>)>,
+        Vec<(NodeId, ByzMsg<u64>)>,
+        Option<Val>,
+    );
+    let mut per_node: BTreeMap<NodeId, BTreeMap<usize, Segment>> = BTreeMap::new();
+    for (node, events) in &run.node_events {
+        let slots = per_node.entry(*node).or_default();
+        let mut pending: Vec<(NodeId, ByzMsg<u64>)> = Vec::new();
+        for ev in events {
+            match ev {
+                LoggedEvent::Deliver { src, msg } => pending.push((*src, msg.clone())),
+                LoggedEvent::Close {
+                    round,
+                    sends,
+                    decided,
+                } => {
+                    slots.insert(
+                        *round,
+                        (std::mem::take(&mut pending), sends.clone(), *decided),
+                    );
+                }
+            }
+        }
+    }
+
+    let mut step = 0usize;
+    let mut first: Option<FuzzViolation> = None;
+    let mut note = |checker: &SpecChecker<u64>, step: usize, desc: &dyn Fn() -> String| {
+        if first.is_none() {
+            if let Some(v) = checker.first_violation() {
+                first = Some(FuzzViolation {
+                    step,
+                    step_desc: desc(),
+                    violation: v.to_string(),
+                });
+            }
+        }
+    };
+    let mut decisions: BTreeMap<NodeId, Val> = BTreeMap::new();
+    for round in 0..=depth {
+        for i in 0..n {
+            let node = NodeId::new(i);
+            let Some((delivers, sends, decided)) =
+                per_node.get(&node).and_then(|slots| slots.get(&round))
+            else {
+                continue;
+            };
+            for (src, msg) in delivers {
+                step += 1;
+                checker.deliver(node, *src, msg, round);
+                note(&checker, step, &|| {
+                    format!(
+                        "{kind:?} deliver round={round} to={node} src={src} path={}",
+                        msg.path
+                    )
+                });
+            }
+            step += 1;
+            checker.close_round(node, round, sends);
+            note(&checker, step, &|| {
+                format!("{kind:?} close node={node} round={round}")
+            });
+            if round == depth {
+                step += 1;
+                checker.decide(node, decided.as_ref());
+                note(&checker, step, &|| format!("{kind:?} decide node={node}"));
+                if let Some(d) = decided {
+                    decisions.insert(node, *d);
+                }
+            }
+        }
+    }
+    for (node, view) in &run.views {
+        step += 1;
+        checker.check_view(*node, view.entries());
+        note(&checker, step, &|| {
+            format!("{kind:?} check-view node={node}")
+        });
+    }
+
+    let verdict_checked = plan.is_model_clean() && first.is_none();
+    if verdict_checked {
+        let record = RunRecord {
+            params: Params::new(plan.m, plan.u).expect("valid plan"),
+            n,
+            sender: plan.sender,
+            sender_value: Val::Value(plan.sender_value),
+            faulty,
+            decisions: decisions.clone(),
+        };
+        if let Verdict::Violated(v) = check_degradable(&record) {
+            step += 1;
+            first = Some(FuzzViolation {
+                step,
+                step_desc: format!("{kind:?} model-check"),
+                violation: format!("degradable agreement violated with f <= u: {v:?}"),
+            });
+        }
+    }
+    ExecReport {
+        steps: step,
+        violation: first,
+        decisions,
+        verdict_checked,
+    }
+}
+
+/// Runs `plan` as a two-instance batched-service execution
+/// ([`run_batch_traced`]) and replays the trace through one
+/// [`SpecChecker`] per instance. The second instance shifts the sender
+/// by one and perturbs the value, so the multiplexer is exercised with
+/// genuinely distinct concurrent trees. Link chaos is not installed —
+/// the subject under test here is the multiplexer itself.
+pub fn run_plan_batch(plan: &FuzzPlan) -> ExecReport {
+    let params = Params::new(plan.m, plan.u).expect("valid plan");
+    let strategies = static_strategies(plan);
+    let faulty: BTreeSet<NodeId> = plan.faults.keys().copied().collect();
+    let sender2 = NodeId::new((plan.sender.index() + 1) % plan.n);
+    let instances = vec![
+        BatchInstance {
+            sender: plan.sender,
+            value: Val::Value(plan.sender_value),
+        },
+        BatchInstance {
+            sender: sender2,
+            value: Val::Value(plan.sender_value ^ 1),
+        },
+    ];
+    let mut checkers: Vec<SpecChecker<u64>> = instances
+        .iter()
+        .map(|bi| {
+            let inst = ByzInstance::new(plan.n, params, bi.sender).expect("valid plan");
+            let mut c = SpecChecker::new(SpecInstance::of(&inst), bi.value, faulty.clone());
+            if plan.early_stop {
+                c = c.with_early_stop();
+            }
+            c
+        })
+        .collect();
+
+    let mut step = 0usize;
+    let mut first: Option<FuzzViolation> = None;
+    let (run, views) = run_batch_traced(
+        params,
+        plan.n,
+        &instances,
+        &strategies,
+        plan.seed,
+        plan.early_stop,
+        |e| e,
+        &mut |ev| {
+            step += 1;
+            let k = match ev {
+                BatchTraceEvent::Deliver {
+                    instance,
+                    to,
+                    src,
+                    path,
+                    value,
+                    round,
+                } => {
+                    checkers[instance].deliver(to, src, &ByzMsg { path, value }, round);
+                    instance
+                }
+                BatchTraceEvent::Close {
+                    instance,
+                    node,
+                    round,
+                    sends,
+                } => {
+                    let sends: Vec<(NodeId, ByzMsg<u64>)> = sends
+                        .into_iter()
+                        .map(|(to, path, value)| (to, ByzMsg { path, value }))
+                        .collect();
+                    checkers[instance].close_round(node, round, &sends);
+                    instance
+                }
+            };
+            if first.is_none() {
+                if let Some(v) = checkers[k].first_violation() {
+                    first = Some(FuzzViolation {
+                        step,
+                        step_desc: format!("batch event instance={k}"),
+                        violation: v.to_string(),
+                    });
+                }
+            }
+        },
+    );
+    let mut note =
+        |checkers: &[SpecChecker<u64>], k: usize, step: usize, desc: &dyn Fn() -> String| {
+            if first.is_none() {
+                if let Some(v) = checkers[k].first_violation() {
+                    first = Some(FuzzViolation {
+                        step,
+                        step_desc: desc(),
+                        violation: v.to_string(),
+                    });
+                }
+            }
+        };
+    for (k, _) in instances.iter().enumerate() {
+        for i in 0..plan.n {
+            let node = NodeId::new(i);
+            step += 1;
+            checkers[k].decide(node, run.decisions[k].get(&node));
+            note(&checkers, k, step, &|| {
+                format!("batch decide instance={k} node={node}")
+            });
+        }
+        for (node, view) in &views[k] {
+            step += 1;
+            checkers[k].check_view(*node, view.entries());
+            note(&checkers, k, step, &|| {
+                format!("batch check-view instance={k} node={node}")
+            });
+        }
+    }
+
+    let verdict_checked = first.is_none();
+    if verdict_checked {
+        let record = RunRecord {
+            params,
+            n: plan.n,
+            sender: plan.sender,
+            sender_value: Val::Value(plan.sender_value),
+            faulty,
+            decisions: run.decisions[0].clone(),
+        };
+        if let Verdict::Violated(v) = check_degradable(&record) {
+            step += 1;
+            first = Some(FuzzViolation {
+                step,
+                step_desc: "batch model-check".into(),
+                violation: format!("degradable agreement violated with f <= u: {v:?}"),
+            });
+        }
+    }
+    ExecReport {
+        steps: step,
+        violation: first,
+        decisions: run.decisions[0].clone(),
+        verdict_checked,
+    }
+}
+
 /// The simplification ladder: each candidate is `plan` with one knob
 /// removed or silenced, in decreasing order of expected blast radius.
 fn shrink_candidates(plan: &FuzzPlan) -> Vec<FuzzPlan> {
     let mut out = Vec::new();
+    // Remove a fault-free bystander node entirely, remapping every
+    // NodeId above it down by one — the biggest single simplification,
+    // so it is tried first. Only legal while the shrunk cluster still
+    // admits BYZ(m, u).
+    if plan.n > MIN_N && 2 * plan.m + plan.u < plan.n - 1 {
+        let remap = |id: NodeId, gone: usize| {
+            if id.index() > gone {
+                NodeId::new(id.index() - 1)
+            } else {
+                id
+            }
+        };
+        for x in (0..plan.n).rev() {
+            let node = NodeId::new(x);
+            if node == plan.sender || plan.faults.contains_key(&node) {
+                continue;
+            }
+            let mut p = plan.clone();
+            p.n -= 1;
+            p.sender = remap(p.sender, x);
+            p.faults = p
+                .faults
+                .iter()
+                .map(|(k, v)| (remap(*k, x), v.clone()))
+                .collect();
+            out.push(p);
+        }
+    }
     for node in plan.faults.keys() {
         let mut p = plan.clone();
         p.faults.remove(node);
@@ -554,6 +996,11 @@ fn shrink_candidates(plan: &FuzzPlan) -> Vec<FuzzPlan> {
             p.faults.insert(*node, FaultSpec::Static(0));
             out.push(p);
         }
+    }
+    if plan.early_stop {
+        let mut p = plan.clone();
+        p.early_stop = false;
+        out.push(p);
     }
     if plan.hot_edge_threshold.is_some() {
         let mut p = plan.clone();
@@ -627,6 +1074,13 @@ pub struct FuzzConfig {
     pub max_n: usize,
     /// Deliberate bug to inject into every execution (mutant gate).
     pub mutation: Option<Mutation>,
+    /// Force [`FuzzPlan::early_stop`] on in every generated plan (the CI
+    /// fuzz-smoke early-stop campaign), instead of the generator's coin.
+    pub force_early_stop: bool,
+    /// Additionally replay every 4th mutation-free trial through the
+    /// batched service and the loopback TCP mesh, under the same
+    /// referee (counted in [`FuzzOutcome::backend_executions`]).
+    pub backends: bool,
 }
 
 impl Default for FuzzConfig {
@@ -636,6 +1090,8 @@ impl Default for FuzzConfig {
             budget: 200,
             max_n: DEFAULT_MAX_N,
             mutation: None,
+            force_early_stop: false,
+            backends: true,
         }
     }
 }
@@ -646,6 +1102,9 @@ pub struct FuzzOutcome {
     /// Executions actually performed (= budget unless the failure cap
     /// stopped the campaign early).
     pub executions: usize,
+    /// Batched-service and TCP-mesh replays performed on top (zero
+    /// unless [`FuzzConfig::backends`]).
+    pub backend_executions: usize,
     /// Every failure found, shrunk.
     pub failures: Vec<FuzzFailure>,
 }
@@ -666,8 +1125,12 @@ pub fn fuzz_trial(
     mut rng: SimRng,
     max_n: usize,
     mutation: Option<Mutation>,
+    force_early_stop: bool,
 ) -> Option<FuzzFailure> {
-    let plan = FuzzPlan::generate(&mut rng, max_n);
+    let mut plan = FuzzPlan::generate(&mut rng, max_n);
+    if force_early_stop {
+        plan.early_stop = true;
+    }
     let report = run_plan(&plan, mutation);
     report.violation.as_ref()?;
     let (shrunk, shrink_iters) = shrink(&plan, mutation);
@@ -688,11 +1151,45 @@ pub fn fuzz_trial(
 pub fn fuzz(config: &FuzzConfig) -> FuzzOutcome {
     let mut failures = Vec::new();
     let mut executions = 0usize;
+    let mut backend_executions = 0usize;
     for trial in 0..config.budget {
         executions += 1;
         let rng = SimRng::derive(config.seed, trial as u64);
-        if let Some(failure) = fuzz_trial(trial, rng, config.max_n, config.mutation) {
+        if let Some(failure) = fuzz_trial(
+            trial,
+            rng,
+            config.max_n,
+            config.mutation,
+            config.force_early_stop,
+        ) {
             failures.push(failure);
+            if failures.len() >= 8 {
+                break;
+            }
+        }
+        if config.backends && config.mutation.is_none() && trial % 4 == 0 {
+            // Same derivation, same plan — the backend replays exercise
+            // the trial's exact shape.
+            let mut rng = SimRng::derive(config.seed, trial as u64);
+            let mut plan = FuzzPlan::generate(&mut rng, config.max_n);
+            if config.force_early_stop {
+                plan.early_stop = true;
+            }
+            for report in [
+                run_plan_batch(&plan),
+                run_plan_transport(&plan, TransportKind::Tcp),
+            ] {
+                backend_executions += 1;
+                if let Some(violation) = report.violation {
+                    failures.push(FuzzFailure {
+                        trial,
+                        plan: plan.clone(),
+                        shrunk: plan.clone(),
+                        violation,
+                        shrink_iters: 0,
+                    });
+                }
+            }
             if failures.len() >= 8 {
                 break;
             }
@@ -700,6 +1197,7 @@ pub fn fuzz(config: &FuzzConfig) -> FuzzOutcome {
     }
     FuzzOutcome {
         executions,
+        backend_executions,
         failures,
     }
 }
@@ -853,6 +1351,7 @@ mod tests {
             drop_p: 0.0,
             hot_edge_threshold: None,
             seed: 3,
+            early_stop: false,
         };
         let report = run_plan(&plan, None);
         assert_eq!(report.violation, None);
@@ -870,6 +1369,8 @@ mod tests {
             budget: 48,
             max_n: 7,
             mutation: None,
+            force_early_stop: false,
+            backends: false,
         };
         let a = fuzz(&config);
         assert!(
@@ -893,6 +1394,8 @@ mod tests {
             budget: 16,
             max_n: 6,
             mutation: Some(Mutation::SuppressRelay),
+            force_early_stop: false,
+            backends: false,
         };
         let outcome = fuzz(&config);
         assert!(!outcome.clean(), "relay suppression must be detected");
@@ -914,6 +1417,8 @@ mod tests {
             budget: 8,
             max_n: 6,
             mutation: Some(Mutation::SuppressRelay),
+            force_early_stop: false,
+            backends: false,
         };
         let outcome = fuzz(&config);
         let failure = &outcome.failures[0];
@@ -943,6 +1448,7 @@ mod tests {
             drop_p: 0.0,
             hot_edge_threshold: None,
             seed: 11,
+            early_stop: false,
         };
         let report = run_plan(&plan, None);
         assert_eq!(report.violation, None, "{:?}", report.violation);
@@ -961,6 +1467,7 @@ mod tests {
             drop_p: 0.2,
             hot_edge_threshold: Some(2),
             seed: 5,
+            early_stop: false,
         };
         let report = run_plan(&plan, None);
         assert_eq!(report.violation, None, "{:?}", report.violation);
@@ -994,6 +1501,135 @@ mod tests {
             );
         }
         assert!(spent >= shrink_candidates(&shrunk).len());
+    }
+
+    #[test]
+    fn every_mutant_in_the_battery_is_caught() {
+        for mutation in ALL_MUTATIONS {
+            let config = FuzzConfig {
+                seed: 7,
+                budget: 16,
+                max_n: 6,
+                mutation: Some(mutation),
+                force_early_stop: false,
+                backends: false,
+            };
+            let outcome = fuzz(&config);
+            assert!(
+                !outcome.clean(),
+                "{} must be detected by the spec checker",
+                mutation.name()
+            );
+            let failure = &outcome.failures[0];
+            // The shrunk plan still reproduces.
+            assert!(
+                run_plan(&failure.shrunk, Some(mutation))
+                    .violation
+                    .is_some(),
+                "{}: shrunk plan no longer fails",
+                mutation.name()
+            );
+        }
+    }
+
+    #[test]
+    fn honest_early_stop_plan_is_conformant() {
+        let plan = FuzzPlan {
+            n: 5,
+            m: 1,
+            u: 2,
+            sender: NodeId::new(0),
+            sender_value: 7,
+            faults: BTreeMap::new(),
+            drop_p: 0.0,
+            hot_edge_threshold: None,
+            seed: 3,
+            early_stop: true,
+        };
+        let report = run_plan(&plan, None);
+        assert_eq!(report.violation, None, "{:?}", report.violation);
+        assert!(report.verdict_checked);
+        for d in report.decisions.values() {
+            assert_eq!(*d, Val::Value(7));
+        }
+    }
+
+    #[test]
+    fn backend_replays_match_the_spec_on_an_honest_plan() {
+        for early_stop in [false, true] {
+            let plan = FuzzPlan {
+                n: 5,
+                m: 1,
+                u: 2,
+                sender: NodeId::new(1),
+                sender_value: 4,
+                faults: BTreeMap::new(),
+                drop_p: 0.0,
+                hot_edge_threshold: None,
+                seed: 9,
+                early_stop,
+            };
+            let batch = run_plan_batch(&plan);
+            assert_eq!(batch.violation, None, "batch: {:?}", batch.violation);
+            let sim = run_plan_transport(&plan, TransportKind::Sim);
+            assert_eq!(sim.violation, None, "sim: {:?}", sim.violation);
+        }
+    }
+
+    #[test]
+    fn a_backend_campaign_is_clean_and_counts_replays() {
+        let config = FuzzConfig {
+            seed: 0xD06,
+            budget: 8,
+            max_n: 6,
+            mutation: None,
+            force_early_stop: true,
+            backends: true,
+        };
+        let outcome = fuzz(&config);
+        assert!(
+            outcome.clean(),
+            "unexpected violations: {:#?}",
+            outcome
+                .failures
+                .iter()
+                .map(|f| (&f.shrunk, &f.violation))
+                .collect::<Vec<_>>()
+        );
+        assert_eq!(outcome.executions, 8);
+        // Trials 0 and 4 replay through the batched service and the TCP mesh.
+        assert_eq!(outcome.backend_executions, 4);
+    }
+
+    #[test]
+    fn the_shrinker_can_reduce_n() {
+        let mut faults = BTreeMap::new();
+        faults.insert(NodeId::new(5), FaultSpec::Static(0));
+        let plan = FuzzPlan {
+            n: 7,
+            m: 1,
+            u: 3,
+            sender: NodeId::new(0),
+            sender_value: 7,
+            faults,
+            drop_p: 0.0,
+            hot_edge_threshold: None,
+            seed: 1,
+            early_stop: false,
+        };
+        let reduced: Vec<_> = shrink_candidates(&plan)
+            .into_iter()
+            .filter(|c| c.n < plan.n)
+            .collect();
+        assert!(!reduced.is_empty(), "n-reduction must produce candidates");
+        for c in &reduced {
+            assert!(2 * c.m + c.u < c.n, "shape invariant broken: {c:?}");
+            assert!(c.sender.index() < c.n, "sender out of range: {c:?}");
+            for id in c.faults.keys() {
+                assert!(id.index() < c.n, "fault id out of range: {c:?}");
+            }
+            assert_eq!(c.faults.len(), plan.faults.len(), "faults dropped: {c:?}");
+        }
     }
 
     #[test]

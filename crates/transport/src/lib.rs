@@ -42,7 +42,10 @@ pub mod sim;
 pub use chaos::{AdaptiveLink, Disposition, DropCause, HotEdgeCutter, LinkChaos};
 pub use frame::{Frame, FrameError};
 pub use mesh::{channel_mesh, reconnect_delay, tcp_join, tcp_mesh, MeshConfig, MeshTransport};
-pub use runner::{drive_mesh, run_channel, run_kind, run_sim, run_tcp, NodeOutcome, TransportRun};
+pub use runner::{
+    drive_mesh, drive_mesh_with, run_channel, run_channel_with, run_kind, run_kind_with, run_sim,
+    run_sim_with, run_tcp, run_tcp_with, LoggedEvent, NodeOutcome, RunOptions, TransportRun,
+};
 pub use sim::{RelaxedTiming, SimTransport, SimWorld};
 
 use degradable::{ByzMsg, NodeEvent};

@@ -14,12 +14,60 @@
 use crate::mesh::{channel_mesh, tcp_mesh, MeshConfig, MeshTransport};
 use crate::sim::{RelaxedTiming, SimWorld};
 use crate::{LinkChaos, PollOutcome, Transport, TransportKind, TransportStats};
-use degradable::{ByzInstance, EigView, NodeAction, NodeStateMachine, Strategy, Val};
+use degradable::{ByzInstance, ByzMsg, EigView, NodeAction, NodeStateMachine, Strategy, Val};
 use simnet::NodeId;
 use std::collections::{BTreeMap, BTreeSet};
 use std::io;
 use std::thread;
 use std::time::Duration;
+
+/// Backend-independent run knobs (all off by default).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunOptions {
+    /// Arm every machine with certified-fault-set early stopping
+    /// against the strategy key set (DESIGN.md §5h): relays below
+    /// prunable paths are skipped and the saving is reported in the
+    /// run's prune counters.
+    pub early_stop: bool,
+    /// Record a per-node [`LoggedEvent`] trace — the raw material for
+    /// replaying a threaded mesh run through `SpecChecker` one node at
+    /// a time.
+    pub record_events: bool,
+}
+
+impl RunOptions {
+    /// Options with early stopping armed.
+    pub fn early_stop() -> Self {
+        RunOptions {
+            early_stop: true,
+            ..RunOptions::default()
+        }
+    }
+}
+
+/// One entry of a node's event log: exactly what the machine saw and
+/// what it emitted, in machine order. Sends are recorded as the machine
+/// handed them to the transport — *before* any chaos disposition — so a
+/// spec replay judges the node, not the network.
+#[derive(Debug, Clone)]
+pub enum LoggedEvent {
+    /// An envelope was delivered to the machine.
+    Deliver {
+        /// Transport-authenticated source.
+        src: NodeId,
+        /// The envelope.
+        msg: ByzMsg<u64>,
+    },
+    /// A round timeout closed on the machine.
+    Close {
+        /// The closed round.
+        round: usize,
+        /// Every send the close emitted, pre-chaos.
+        sends: Vec<(NodeId, ByzMsg<u64>)>,
+        /// The decision, if this close made one.
+        decided: Option<Val>,
+    },
+}
 
 /// What one node produced over one run.
 #[derive(Debug, Clone)]
@@ -36,6 +84,14 @@ pub struct NodeOutcome {
     /// peer permanently gone after the reconnect budget (mesh backends
     /// only; always `None` on the simulator).
     pub failure: Option<String>,
+    /// The node's event log (empty unless
+    /// [`RunOptions::record_events`]).
+    pub events: Vec<LoggedEvent>,
+    /// Subtrees this node declined to relay below (zero unless
+    /// [`RunOptions::early_stop`]).
+    pub subtrees_pruned: u64,
+    /// Sends this node skipped via early stopping (zero unless armed).
+    pub messages_saved: u64,
 }
 
 /// The outcome of one scenario on one backend.
@@ -49,6 +105,12 @@ pub struct TransportRun {
     pub views: BTreeMap<NodeId, EigView<u64>>,
     /// Run-total traffic statistics.
     pub stats: TransportStats,
+    /// Run-total subtrees pruned by early stopping.
+    pub subtrees_pruned: u64,
+    /// Run-total sends skipped by early stopping.
+    pub messages_saved: u64,
+    /// Per-node event logs (empty unless [`RunOptions::record_events`]).
+    pub node_events: BTreeMap<NodeId, Vec<LoggedEvent>>,
 }
 
 impl TransportRun {
@@ -56,18 +118,29 @@ impl TransportRun {
         let mut decisions = BTreeMap::new();
         let mut views = BTreeMap::new();
         let mut stats = TransportStats::default();
+        let mut subtrees_pruned = 0;
+        let mut messages_saved = 0;
+        let mut node_events = BTreeMap::new();
         for o in outcomes {
             if let Some(d) = o.decision {
                 decisions.insert(o.node, d);
             }
             views.insert(o.node, o.view);
             stats.merge(&o.stats);
+            subtrees_pruned += o.subtrees_pruned;
+            messages_saved += o.messages_saved;
+            if !o.events.is_empty() {
+                node_events.insert(o.node, o.events);
+            }
         }
         TransportRun {
             kind,
             decisions,
             views,
             stats,
+            subtrees_pruned,
+            messages_saved,
+            node_events,
         }
     }
 }
@@ -76,25 +149,62 @@ fn machines_for(
     instance: &ByzInstance,
     sender_value: Val,
     strategies: &BTreeMap<NodeId, Strategy<u64>>,
+    options: RunOptions,
 ) -> Vec<NodeStateMachine<u64>> {
+    let faulty: BTreeSet<NodeId> = strategies.keys().copied().collect();
     NodeId::all(instance.n())
-        .map(|me| NodeStateMachine::new(instance, me, sender_value, strategies.get(&me).cloned()))
+        .map(|me| {
+            let machine =
+                NodeStateMachine::new(instance, me, sender_value, strategies.get(&me).cloned());
+            if options.early_stop {
+                machine.with_early_stop(&faulty)
+            } else {
+                machine
+            }
+        })
         .collect()
 }
 
 /// Feeds `event`-produced actions back into the transport; returns the
-/// decision if the machine made one.
+/// decision if the machine made one. With a log attached, records the
+/// delivery or the full close (round, pre-chaos sends, decision).
 fn perform<T: Transport>(
     transport: &mut T,
     machine: &mut NodeStateMachine<u64>,
     event: degradable::NodeEvent<u64>,
+    mut log: Option<&mut Vec<LoggedEvent>>,
 ) -> Option<Val> {
+    let closing_round = match &event {
+        degradable::NodeEvent::Timeout { round } => Some(*round),
+        degradable::NodeEvent::Deliver { src, msg } => {
+            if let Some(log) = log.as_deref_mut() {
+                log.push(LoggedEvent::Deliver {
+                    src: *src,
+                    msg: msg.clone(),
+                });
+            }
+            None
+        }
+    };
     let mut decision = None;
+    let mut sends = Vec::new();
     for action in machine.on_event(event) {
         match action {
-            NodeAction::Send { to, msg } => transport.send(to, msg),
+            NodeAction::Send { to, msg } => {
+                if log.is_some() && closing_round.is_some() {
+                    sends.push((to, msg.clone()));
+                }
+                transport.send(to, msg);
+            }
             NodeAction::Decide { value } => decision = Some(value),
         }
+    }
+    if let (Some(round), Some(log)) = (closing_round, log) {
+        log.push(LoggedEvent::Close {
+            round,
+            sends,
+            decided: decision,
+        });
     }
     decision
 }
@@ -111,11 +221,31 @@ pub fn run_sim(
     chaos: LinkChaos,
     relaxed: Option<RelaxedTiming>,
 ) -> TransportRun {
+    run_sim_with(
+        instance,
+        sender_value,
+        strategies,
+        chaos,
+        relaxed,
+        RunOptions::default(),
+    )
+}
+
+/// [`run_sim`] with explicit [`RunOptions`].
+pub fn run_sim_with(
+    instance: &ByzInstance,
+    sender_value: Val,
+    strategies: &BTreeMap<NodeId, Strategy<u64>>,
+    chaos: LinkChaos,
+    relaxed: Option<RelaxedTiming>,
+    options: RunOptions,
+) -> TransportRun {
     let n = instance.n();
     let faulty: BTreeSet<NodeId> = strategies.keys().copied().collect();
     let mut endpoints = SimWorld::endpoints(n, instance.depth(), chaos, relaxed, faulty);
-    let mut machines = machines_for(instance, sender_value, strategies);
+    let mut machines = machines_for(instance, sender_value, strategies, options);
     let mut decisions: Vec<Option<Val>> = vec![None; n];
+    let mut logs: Vec<Vec<LoggedEvent>> = vec![Vec::new(); n];
     loop {
         let mut all_closed = true;
         let mut progressed = false;
@@ -131,7 +261,8 @@ pub fn run_sim(
                             // stray event must not feed a finished machine.
                             continue;
                         }
-                        if let Some(d) = perform(&mut endpoints[i], &mut machines[i], event) {
+                        let log = options.record_events.then_some(&mut logs[i]);
+                        if let Some(d) = perform(&mut endpoints[i], &mut machines[i], event, log) {
                             decisions[i] = Some(d);
                         }
                     }
@@ -151,13 +282,17 @@ pub fn run_sim(
     let outcomes = machines
         .iter()
         .zip(&endpoints)
+        .zip(std::mem::take(&mut logs))
         .enumerate()
-        .map(|(i, (m, t))| NodeOutcome {
+        .map(|(i, ((m, t), events))| NodeOutcome {
             node: NodeId::new(i),
             decision: decisions[i],
             view: m.view().clone(),
             stats: t.stats(),
             failure: None,
+            events,
+            subtrees_pruned: m.subtrees_pruned(),
+            messages_saved: m.messages_saved(),
         })
         .collect();
     TransportRun::assemble(TransportKind::Sim, outcomes)
@@ -166,12 +301,24 @@ pub fn run_sim(
 /// Drives one mesh endpoint to completion on the current thread — the
 /// loop `dagree serve` runs after [`crate::tcp_join`] hands it a joined
 /// endpoint, and the per-node body of [`run_channel`]/[`run_tcp`].
-pub fn drive_mesh(mut transport: MeshTransport, mut machine: NodeStateMachine<u64>) -> NodeOutcome {
+pub fn drive_mesh(transport: MeshTransport, machine: NodeStateMachine<u64>) -> NodeOutcome {
+    drive_mesh_with(transport, machine, false)
+}
+
+/// [`drive_mesh`] with an optional event log (see
+/// [`RunOptions::record_events`]).
+pub fn drive_mesh_with(
+    mut transport: MeshTransport,
+    mut machine: NodeStateMachine<u64>,
+    record_events: bool,
+) -> NodeOutcome {
     let mut decision = None;
+    let mut events = Vec::new();
     loop {
         match transport.poll() {
             PollOutcome::Event(event) => {
-                if let Some(d) = perform(&mut transport, &mut machine, event) {
+                let log = record_events.then_some(&mut events);
+                if let Some(d) = perform(&mut transport, &mut machine, event, log) {
                     decision = Some(d);
                 }
             }
@@ -185,6 +332,9 @@ pub fn drive_mesh(mut transport: MeshTransport, mut machine: NodeStateMachine<u6
         view: machine.view().clone(),
         stats: transport.stats(),
         failure: transport.failure().map(str::to_owned),
+        events,
+        subtrees_pruned: machine.subtrees_pruned(),
+        messages_saved: machine.messages_saved(),
     }
 }
 
@@ -194,12 +344,13 @@ fn run_mesh(
     instance: &ByzInstance,
     sender_value: Val,
     strategies: &BTreeMap<NodeId, Strategy<u64>>,
+    options: RunOptions,
 ) -> TransportRun {
-    let machines = machines_for(instance, sender_value, strategies);
+    let machines = machines_for(instance, sender_value, strategies, options);
     let handles: Vec<_> = mesh
         .into_iter()
         .zip(machines)
-        .map(|(t, m)| thread::spawn(move || drive_mesh(t, m)))
+        .map(|(t, m)| thread::spawn(move || drive_mesh_with(t, m, options.record_events)))
         .collect();
     let outcomes = handles
         .into_iter()
@@ -216,6 +367,25 @@ pub fn run_channel(
     chaos: LinkChaos,
     config: MeshConfig,
 ) -> TransportRun {
+    run_channel_with(
+        instance,
+        sender_value,
+        strategies,
+        chaos,
+        config,
+        RunOptions::default(),
+    )
+}
+
+/// [`run_channel`] with explicit [`RunOptions`].
+pub fn run_channel_with(
+    instance: &ByzInstance,
+    sender_value: Val,
+    strategies: &BTreeMap<NodeId, Strategy<u64>>,
+    chaos: LinkChaos,
+    config: MeshConfig,
+    options: RunOptions,
+) -> TransportRun {
     let mesh = channel_mesh(instance.n(), instance.depth(), &chaos, config);
     run_mesh(
         TransportKind::Channel,
@@ -223,6 +393,7 @@ pub fn run_channel(
         instance,
         sender_value,
         strategies,
+        options,
     )
 }
 
@@ -234,6 +405,25 @@ pub fn run_tcp(
     chaos: LinkChaos,
     config: MeshConfig,
 ) -> io::Result<TransportRun> {
+    run_tcp_with(
+        instance,
+        sender_value,
+        strategies,
+        chaos,
+        config,
+        RunOptions::default(),
+    )
+}
+
+/// [`run_tcp`] with explicit [`RunOptions`].
+pub fn run_tcp_with(
+    instance: &ByzInstance,
+    sender_value: Val,
+    strategies: &BTreeMap<NodeId, Strategy<u64>>,
+    chaos: LinkChaos,
+    config: MeshConfig,
+    options: RunOptions,
+) -> io::Result<TransportRun> {
     let mesh = tcp_mesh(instance.n(), instance.depth(), &chaos, config)?;
     Ok(run_mesh(
         TransportKind::Tcp,
@@ -241,6 +431,7 @@ pub fn run_tcp(
         instance,
         sender_value,
         strategies,
+        options,
     ))
 }
 
@@ -254,16 +445,47 @@ pub fn run_kind(
     chaos: LinkChaos,
     config: MeshConfig,
 ) -> io::Result<TransportRun> {
+    run_kind_with(
+        kind,
+        instance,
+        sender_value,
+        strategies,
+        chaos,
+        config,
+        RunOptions::default(),
+    )
+}
+
+/// [`run_kind`] with explicit [`RunOptions`].
+pub fn run_kind_with(
+    kind: TransportKind,
+    instance: &ByzInstance,
+    sender_value: Val,
+    strategies: &BTreeMap<NodeId, Strategy<u64>>,
+    chaos: LinkChaos,
+    config: MeshConfig,
+    options: RunOptions,
+) -> io::Result<TransportRun> {
     match kind {
-        TransportKind::Sim => Ok(run_sim(instance, sender_value, strategies, chaos, None)),
-        TransportKind::Channel => Ok(run_channel(
+        TransportKind::Sim => Ok(run_sim_with(
+            instance,
+            sender_value,
+            strategies,
+            chaos,
+            None,
+            options,
+        )),
+        TransportKind::Channel => Ok(run_channel_with(
             instance,
             sender_value,
             strategies,
             chaos,
             config,
+            options,
         )),
-        TransportKind::Tcp => run_tcp(instance, sender_value, strategies, chaos, config),
+        TransportKind::Tcp => {
+            run_tcp_with(instance, sender_value, strategies, chaos, config, options)
+        }
     }
 }
 
@@ -342,6 +564,123 @@ mod tests {
         assert_eq!(chan.decisions, sim.decisions);
         assert_eq!(chan.views, sim.views);
         assert_eq!(chan.stats.chaos_signature(), sim.stats.chaos_signature());
+    }
+
+    #[test]
+    fn early_stop_saves_real_messages_on_every_backend() {
+        // Fault-free BYZ(1,2): early stopping must leave decisions
+        // untouched while genuinely shrinking the wire traffic, on the
+        // simulator and on both threaded mesh backends.
+        let inst = instance(5, 1, 2);
+        let strategies = BTreeMap::new();
+        let baseline = run_sim(
+            &inst,
+            Val::Value(42),
+            &strategies,
+            LinkChaos::healthy(),
+            None,
+        );
+        let runs = [
+            run_sim_with(
+                &inst,
+                Val::Value(42),
+                &strategies,
+                LinkChaos::healthy(),
+                None,
+                RunOptions::early_stop(),
+            ),
+            run_channel_with(
+                &inst,
+                Val::Value(42),
+                &strategies,
+                LinkChaos::healthy(),
+                MeshConfig::default(),
+                RunOptions::early_stop(),
+            ),
+            run_tcp_with(
+                &inst,
+                Val::Value(42),
+                &strategies,
+                LinkChaos::healthy(),
+                MeshConfig::default(),
+                RunOptions::early_stop(),
+            )
+            .unwrap(),
+        ];
+        for run in &runs {
+            assert_eq!(run.decisions, baseline.decisions, "{:?}", run.kind);
+            assert!(run.messages_saved > 0, "{:?} saved nothing", run.kind);
+            assert!(run.subtrees_pruned > 0, "{:?} pruned nothing", run.kind);
+            assert_eq!(
+                run.stats.sent + run.messages_saved,
+                baseline.stats.sent,
+                "{:?}: every skipped send is accounted for",
+                run.kind
+            );
+        }
+    }
+
+    #[test]
+    fn early_stop_with_liars_matches_the_full_run() {
+        // Non-empty certified fault sets: pruning fires only on paths
+        // that already exhaust the set, and decisions always match the
+        // full protocol. With two relay faults at depth 3 no
+        // relay-eligible path can exhaust the set, so nothing prunes; a
+        // faulty *sender* makes every level-2 path `[s, x]` prunable.
+        let inst = instance(7, 2, 2);
+        let two_liars: BTreeMap<_, _> = [
+            (NodeId::new(3), Strategy::ConstantLie(Val::Value(9))),
+            (NodeId::new(5), Strategy::Silent),
+        ]
+        .into_iter()
+        .collect();
+        let lying_sender: BTreeMap<_, _> = [(NodeId::new(0), Strategy::ConstantLie(Val::Value(9)))]
+            .into_iter()
+            .collect();
+        for (strategies, prunes) in [(two_liars, false), (lying_sender, true)] {
+            let oracle = run_protocol(&inst, &Val::Value(1), &strategies, 7);
+            let run = run_sim_with(
+                &inst,
+                Val::Value(1),
+                &strategies,
+                LinkChaos::healthy(),
+                None,
+                RunOptions::early_stop(),
+            );
+            assert_eq!(run.decisions, oracle.decisions, "{strategies:?}");
+            assert_eq!(
+                run.messages_saved > 0,
+                prunes,
+                "pruning opportunity under {strategies:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn recorded_events_cover_every_round_close() {
+        let inst = instance(4, 1, 1);
+        let run = run_sim_with(
+            &inst,
+            Val::Value(3),
+            &BTreeMap::new(),
+            LinkChaos::healthy(),
+            None,
+            RunOptions {
+                record_events: true,
+                ..RunOptions::default()
+            },
+        );
+        assert_eq!(run.node_events.len(), 4);
+        for (node, events) in &run.node_events {
+            let closes: Vec<usize> = events
+                .iter()
+                .filter_map(|e| match e {
+                    LoggedEvent::Close { round, .. } => Some(*round),
+                    LoggedEvent::Deliver { .. } => None,
+                })
+                .collect();
+            assert_eq!(closes, vec![0, 1, 2], "node {node}");
+        }
     }
 
     #[test]
