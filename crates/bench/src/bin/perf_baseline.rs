@@ -19,7 +19,7 @@
 //!   report is bit-identical across `--workers 1/2/8`.
 //!
 //! The run is observed end to end (`bench.cell` spans plus the sweep and
-//! engine registries; the registry snapshot lands in the report's v4
+//! engine registries; the registry snapshot lands in the report's v6
 //! `obs` section). With the shared `--trace-out PATH` flag a Chrome
 //! `trace_event` file is written too — wall-clock based normally,
 //! logical-clock based (and fully deterministic) under `--no-timing`.
@@ -446,10 +446,14 @@ fn main() {
     report.print_tables();
     if let Some(trace_path) = args.trace_out_path() {
         // Under --no-timing the exported trace is fully deterministic:
-        // wall times are scrubbed and timestamps derive from logical cost.
+        // wall times are scrubbed, timestamps derive from logical cost,
+        // and the per-worker fan-out spans (the only worker-count-
+        // dependent content) are stripped, so trace files cmp equal
+        // across --workers 1/2/8.
         let mode = if timing {
             TimeMode::Wall
         } else {
+            obs_rec = obs_rec.without_spans(&["sweep.worker"]);
             obs::scrub_timing(&mut obs_rec);
             TimeMode::Logical
         };

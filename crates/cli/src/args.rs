@@ -14,7 +14,8 @@ USAGE:
   dagree run --nodes N --m M --u U [--value V] [--faulty SPEC] [--explain NODE]
              [--transport sim|channel|tcp]
   dagree serve --index I --peers HOST:PORT,... --m M --u U [--value V]
-               [--faulty SPEC] [--round-timeout-ms T]
+               [--faulty SPEC] [--round-timeout-ms T] [--trace]
+               [--metrics-out PATH] [--trace-out PATH]
   dagree batch --nodes N --m M --u U [--k K] [--value V] [--faulty SPEC] [--seed S]
   dagree search --nodes N --m M --u U [--below-bound] [--method exhaustive|random|hillclimb]
   dagree table [--max-m M] [--max-u U]
@@ -22,7 +23,7 @@ USAGE:
   dagree topology --kind KIND [--m M --u U]
   dagree certify --m M --u U [--budget B]
   dagree flight --arch byzantine|degradable|crusader
-  dagree obs TRACE [--top N]
+  dagree obs TRACE [--top N] [--critical-path]
   dagree fuzz [--budget B] [--seed S] [--max-n N] [--mutate MUTATION]
               [--early-stop] [--repro-dir DIR] [--replay FILE]
   dagree help
@@ -57,7 +58,17 @@ EXAMPLES:
 OBS:
   summarizes a trace file written by an experiment's --trace-out flag
   (Chrome trace_event JSON or flat JSONL): top spans by logical cost,
-  then the embedded counter/gauge/histogram registry.
+  then the embedded counter/gauge/histogram registry. `--critical-path`
+  additionally reconstructs the longest causal send/deliver chain ending
+  in a decision from the trace's trace.* spans and prints it hop by hop.
+
+SERVE OBSERVABILITY:
+  `--trace` stamps every envelope with a causal trace context (carried on
+  the wire as tagged frames; malformed trace sections degrade to untraced
+  delivery, never kill the connection). `--metrics-out PATH` appends one
+  JSONL registry snapshot per closed round (node, round, counters).
+  `--trace-out PATH` writes this node's trace spans as JSONL at exit;
+  both imply `--trace` and are readable by `dagree obs`.
 
 FUZZ:
   drives randomized BYZ executions (N in 4..=--max-n, static + adaptive
@@ -112,6 +123,12 @@ pub enum Command {
         faulty: BTreeMap<NodeId, Strategy<u64>>,
         /// Per-round wall-clock budget before absent peers time out.
         round_timeout_ms: u64,
+        /// Stamp causal trace contexts on every envelope.
+        trace: bool,
+        /// Append per-round registry snapshots (JSONL) to this path.
+        metrics_out: Option<String>,
+        /// Write this node's trace spans (JSONL) to this path at exit.
+        trace_out: Option<String>,
     },
     /// `dagree batch`
     Batch {
@@ -183,6 +200,8 @@ pub enum Command {
         path: String,
         /// How many span groups to show, largest logical cost first.
         top: usize,
+        /// Reconstruct and print the longest causal chain to a decision.
+        critical_path: bool,
     },
     /// `dagree fuzz`
     Fuzz {
@@ -248,7 +267,7 @@ fn collect_flags(args: &[String]) -> Result<Flags<'_>, ParseError> {
             return err(format!("unexpected argument `{a}`"));
         }
         match a {
-            "--below-bound" | "--early-stop" => {
+            "--below-bound" | "--early-stop" | "--critical-path" | "--trace" => {
                 switches.push(a);
                 i += 1;
             }
@@ -405,6 +424,13 @@ pub fn parse_args(argv: &[String]) -> Result<Command, ParseError> {
                     .map(|v| parse_u64(v))
                     .transpose()?
                     .unwrap_or(5_000),
+                // Writing metrics or traces requires the tracer, so the
+                // output flags imply `--trace`.
+                trace: flags.switches.contains(&"--trace")
+                    || flags.pairs.contains_key("--metrics-out")
+                    || flags.pairs.contains_key("--trace-out"),
+                metrics_out: flags.pairs.get("--metrics-out").map(|s| s.to_string()),
+                trace_out: flags.pairs.get("--trace-out").map(|s| s.to_string()),
             })
         }
         "batch" => {
@@ -497,6 +523,7 @@ pub fn parse_args(argv: &[String]) -> Result<Command, ParseError> {
             Ok(Command::Obs {
                 path: path.clone(),
                 top: opt_usize(&flags, "--top", 10)?,
+                critical_path: flags.switches.contains(&"--critical-path"),
             })
         }
         "fuzz" => {
@@ -643,13 +670,54 @@ mod tests {
                 value,
                 faulty,
                 round_timeout_ms,
+                trace,
+                metrics_out,
+                trace_out,
             } => {
                 assert_eq!((index, m, u, value, round_timeout_ms), (1, 1, 1, 42, 250));
                 assert_eq!(peers.len(), 3);
                 assert_eq!(peers[2], "127.0.0.1:7103");
                 assert!(faulty.is_empty());
+                assert!(!trace);
+                assert!(metrics_out.is_none() && trace_out.is_none());
             }
             other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn serve_observability_flags_imply_tracing() {
+        let base = [
+            "serve",
+            "--index",
+            "0",
+            "--peers",
+            "127.0.0.1:1,127.0.0.1:2",
+            "--m",
+            "1",
+            "--u",
+            "1",
+        ];
+        for extra in [
+            &["--trace"][..],
+            &["--metrics-out", "m.jsonl"][..],
+            &["--trace-out", "t.jsonl"][..],
+        ] {
+            let mut argv = base.to_vec();
+            argv.extend_from_slice(extra);
+            match parse_args(&sv(&argv)).unwrap() {
+                Command::Serve {
+                    trace,
+                    metrics_out,
+                    trace_out,
+                    ..
+                } => {
+                    assert!(trace, "{extra:?} must arm the tracer");
+                    assert_eq!(metrics_out.is_some(), extra[0] == "--metrics-out");
+                    assert_eq!(trace_out.is_some(), extra[0] == "--trace-out");
+                }
+                other => panic!("{other:?}"),
+            }
         }
     }
 
@@ -873,14 +941,16 @@ mod tests {
             parse_args(&sv(&["obs", "trace.json"])).unwrap(),
             Command::Obs {
                 path: "trace.json".into(),
-                top: 10
+                top: 10,
+                critical_path: false,
             }
         );
         assert_eq!(
-            parse_args(&sv(&["obs", "t.jsonl", "--top", "3"])).unwrap(),
+            parse_args(&sv(&["obs", "t.jsonl", "--top", "3", "--critical-path"])).unwrap(),
             Command::Obs {
                 path: "t.jsonl".into(),
-                top: 3
+                top: 3,
+                critical_path: true,
             }
         );
         assert!(parse_args(&sv(&["obs"])).is_err());

@@ -30,7 +30,21 @@ pub fn dispatch(cmd: &Command) -> String {
             value,
             faulty,
             round_timeout_ms,
-        } => serve_cmd(*index, peers, *m, *u, *value, faulty, *round_timeout_ms),
+            trace,
+            metrics_out,
+            trace_out,
+        } => serve_cmd(
+            *index,
+            peers,
+            *m,
+            *u,
+            *value,
+            faulty,
+            *round_timeout_ms,
+            *trace,
+            metrics_out.as_deref(),
+            trace_out.as_deref(),
+        ),
         Command::Batch {
             nodes,
             m,
@@ -52,7 +66,11 @@ pub fn dispatch(cmd: &Command) -> String {
         Command::Topology { kind, params } => topology_cmd(kind, *params),
         Command::Certify { m, u, budget } => certify_cmd(*m, *u, *budget),
         Command::Flight { arch } => flight_cmd(arch),
-        Command::Obs { path, top } => obs_cmd(path, *top),
+        Command::Obs {
+            path,
+            top,
+            critical_path,
+        } => obs_cmd(path, *top, *critical_path),
         Command::Fuzz {
             budget,
             seed,
@@ -115,9 +133,15 @@ fn fuzz_replay_cmd(path: &str) -> String {
         outcome.mutation.map_or("none", |m| m.name())
     );
     let _ = writeln!(out, "recorded violation: {}", outcome.recorded);
+    if let Some(chain) = &outcome.recorded_trace {
+        let _ = writeln!(out, "recorded causal chain: {chain}");
+    }
     match &outcome.report.violation {
         Some(v) => {
             let _ = writeln!(out, "first divergent step: {v}");
+            if let Some(chain) = &v.trace {
+                let _ = writeln!(out, "  causal chain: {chain}");
+            }
             let _ = writeln!(out, "REPRODUCED ({} steps driven)", outcome.report.steps);
         }
         None => {
@@ -172,6 +196,9 @@ fn fuzz_cmd(
             "failure trial={}: {}",
             failure.trial, failure.violation
         );
+        if let Some(chain) = &failure.violation.trace {
+            let _ = writeln!(out, "  causal chain: {chain}");
+        }
         let _ = writeln!(out, "  shrunk plan: {}", fuzz_plan_line(&failure.shrunk));
         let _ = writeln!(out, "  shrink cost: {} executions", failure.shrink_iters);
         match harness::write_repro(std::path::Path::new(repro_dir), failure, seed, mutate) {
@@ -197,7 +224,7 @@ fn fuzz_cmd(
     out
 }
 
-fn obs_cmd(path: &str, top: usize) -> String {
+fn obs_cmd(path: &str, top: usize, critical_path: bool) -> String {
     // Every failure mode is exactly one line: these surface in scripts and
     // CI logs, where a multi-line parser dump buries the actual problem.
     let text = match std::fs::read_to_string(path) {
@@ -216,8 +243,106 @@ fn obs_cmd(path: &str, top: usize) -> String {
              at all?): {}",
             one_line(&e)
         ),
+        Ok(trace) if critical_path => critical_path_report(path, &trace),
         Ok(trace) => summarize_trace(path, &trace, top),
     }
+}
+
+/// Reconstructs the longest causal chain ending in a decision from the
+/// `trace.*` spans a traced run records (see `transport::NodeTracer`).
+///
+/// A context's ancestry is its own relay path — every prefix of the path
+/// is the context one hop earlier ([`obs::TraceCtx::is_parent_of`] is
+/// exactly one-hop path extension) — so the longest chain to a decision
+/// is the deepest context delivered to a node that recorded
+/// `trace.decide`. Ties break toward the lexicographically smallest
+/// path, keeping the output byte-identical across worker counts.
+fn critical_path_report(path: &str, trace: &obs::ParsedTrace) -> String {
+    use std::collections::BTreeSet;
+    let arg = |span: &obs::SpanRecord, name: &str| -> Option<u64> {
+        span.args.iter().find(|(k, _)| k == name).map(|&(_, v)| v)
+    };
+    let mut deciders: BTreeSet<u64> = BTreeSet::new();
+    let mut seen: BTreeSet<(u64, Vec<u64>)> = BTreeSet::new();
+    let mut delivered: Vec<(obs::TraceCtx, u64)> = Vec::new();
+    for span in &trace.spans {
+        match span.name.as_str() {
+            "trace.decide" => {
+                if let Some(node) = arg(span, "node") {
+                    deciders.insert(node);
+                }
+            }
+            "trace.send" | "trace.deliver" => {
+                if let Some(ctx) = obs::TraceCtx::from_span_args(&span.args) {
+                    seen.insert((ctx.instance, ctx.path.clone()));
+                    if span.name == "trace.deliver" {
+                        if let Some(node) = arg(span, "node") {
+                            delivered.push((ctx, node));
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    if seen.is_empty() {
+        return format!(
+            "error: `{path}` carries no trace contexts — was the run traced \
+             (--trace / RunOptions::traced)?"
+        );
+    }
+    let deeper =
+        |a: &(u64, &[u64]), b: &(u64, &[u64])| a.1.len().cmp(&b.1.len()).then_with(|| b.1.cmp(a.1));
+    // Deepest delivery into a decider wins; a trace with no decision
+    // (e.g. the designated sender's own file) falls back to the deepest
+    // context observed anywhere, clearly labelled.
+    let tip: Option<obs::TraceCtx> = delivered
+        .iter()
+        .filter(|(_, node)| deciders.contains(node))
+        .map(|(ctx, _)| ctx)
+        .max_by(|a, b| deeper(&(a.instance, &a.path), &(b.instance, &b.path)))
+        .cloned();
+    let (tip, decided) = match tip {
+        Some(t) => (t, true),
+        None => {
+            let (inst, p) = seen
+                .iter()
+                .map(|(inst, p)| (*inst, p.as_slice()))
+                .max_by(|a, b| deeper(a, b))
+                .expect("seen is non-empty");
+            (obs::TraceCtx::new(inst, p.to_vec()), false)
+        }
+    };
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{path}: critical path — {} hop(s){}",
+        tip.path.len(),
+        if decided {
+            " to a decision"
+        } else {
+            " (no decision observed; deepest chain shown)"
+        },
+    );
+    for k in 1..=tip.path.len() {
+        let prefix = obs::TraceCtx::new(tip.instance, tip.path[..k].to_vec());
+        let note = if seen.contains(&(prefix.instance, prefix.path.clone())) {
+            ""
+        } else {
+            "  (unobserved — inferred from the tip's path)"
+        };
+        let _ = writeln!(out, "  hop {k}: {prefix}{note}");
+    }
+    if decided {
+        let who: BTreeSet<u64> = delivered
+            .iter()
+            .filter(|(ctx, node)| *ctx == tip && deciders.contains(node))
+            .map(|(_, node)| *node)
+            .collect();
+        let who: Vec<String> = who.into_iter().map(|n| format!("n{n}")).collect();
+        let _ = writeln!(out, "  decided at {}", who.join(", "));
+    }
+    out
 }
 
 /// Collapses a (possibly multi-line) parser message onto one line.
@@ -453,6 +578,7 @@ fn run_cmd(
     out
 }
 
+#[allow(clippy::too_many_arguments)]
 fn serve_cmd(
     index: usize,
     peers: &[String],
@@ -461,6 +587,9 @@ fn serve_cmd(
     value: u64,
     faulty: &std::collections::BTreeMap<NodeId, degradable::Strategy<u64>>,
     round_timeout_ms: u64,
+    trace: bool,
+    metrics_out: Option<&str>,
+    trace_out: Option<&str>,
 ) -> String {
     use std::net::ToSocketAddrs;
     let mut addrs = Vec::with_capacity(peers.len());
@@ -499,7 +628,13 @@ fn serve_cmd(
         Val::Value(value),
         faulty.get(&me).cloned(),
     );
-    let outcome = transport::drive_mesh(endpoint, machine);
+    let drive = transport::MeshDriveOptions {
+        record_events: false,
+        trace,
+        instance: 0,
+        metrics_out: metrics_out.map(std::path::PathBuf::from),
+    };
+    let outcome = transport::drive_mesh_opts(endpoint, machine, &drive);
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -522,6 +657,31 @@ fn serve_cmd(
         "traffic: {} envelopes sent, {} delivered, {} round timeouts expired",
         outcome.stats.sent, outcome.stats.delivered, outcome.stats.false_timeouts
     );
+    if trace {
+        let reg = outcome.obs.registry();
+        let _ = writeln!(
+            out,
+            "trace: {} sends stamped, {} delivers ({} untraced), {} decides, {} spans dropped",
+            reg.counter("trace.sends"),
+            reg.counter("trace.delivers"),
+            reg.counter("trace.delivers_untraced"),
+            reg.counter("trace.decides"),
+            outcome.obs.dropped_spans(),
+        );
+    }
+    if let Some(path) = metrics_out {
+        let _ = writeln!(out, "metrics snapshots appended to {path}");
+    }
+    if let Some(path) = trace_out {
+        match std::fs::write(path, obs::jsonl(&outcome.obs)) {
+            Ok(()) => {
+                let _ = writeln!(out, "trace spans written to {path}");
+            }
+            Err(e) => {
+                let _ = writeln!(out, "error: cannot write trace to {path}: {e}");
+            }
+        }
+    }
     if let Some(failure) = &outcome.failure {
         let _ = writeln!(out, "error: {failure}");
     }
@@ -849,12 +1009,34 @@ mod tests {
     #[test]
     fn serve_rejects_unresolvable_peers_and_bad_shapes() {
         let peers: Vec<String> = vec!["not a host".into(), "127.0.0.1:1".into()];
-        let out = serve_cmd(0, &peers, 1, 1, 42, &Default::default(), 100);
+        let out = serve_cmd(
+            0,
+            &peers,
+            1,
+            1,
+            42,
+            &Default::default(),
+            100,
+            false,
+            None,
+            None,
+        );
         assert!(out.contains("error"), "{out}");
         assert!(out.contains("not a host"), "{out}");
         // Two peers cannot satisfy n >= 2m + u + 1 = 4.
         let peers: Vec<String> = vec!["127.0.0.1:1".into(), "127.0.0.1:2".into()];
-        let out = serve_cmd(0, &peers, 1, 1, 42, &Default::default(), 100);
+        let out = serve_cmd(
+            0,
+            &peers,
+            1,
+            1,
+            42,
+            &Default::default(),
+            100,
+            false,
+            None,
+            None,
+        );
         assert!(out.contains("error"), "{out}");
     }
 
@@ -873,7 +1055,18 @@ mod tests {
             .map(|i| {
                 let peers = addrs.clone();
                 std::thread::spawn(move || {
-                    serve_cmd(i, &peers, 1, 1, 9, &Default::default(), 5_000)
+                    serve_cmd(
+                        i,
+                        &peers,
+                        1,
+                        1,
+                        9,
+                        &Default::default(),
+                        5_000,
+                        false,
+                        None,
+                        None,
+                    )
                 })
             })
             .collect();
@@ -886,6 +1079,141 @@ mod tests {
         for out in &outputs[1..] {
             assert!(out.contains("decided 9"), "{out}");
         }
+    }
+
+    /// The full `dagree serve` observability loop: four traced nodes,
+    /// each appending metrics JSONL and writing a span trace, and the
+    /// decider traces feeding `dagree obs --critical-path`.
+    #[test]
+    fn serve_traced_mesh_emits_metrics_and_critical_path() {
+        let dir = std::env::temp_dir().join(format!("dagree-serve-obs-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let addrs: Vec<String> = (0..4)
+            .map(|_| {
+                let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+                l.local_addr().unwrap().to_string()
+            })
+            .collect();
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                let peers = addrs.clone();
+                let metrics = dir.join(format!("metrics-{i}.jsonl"));
+                let spans = dir.join(format!("trace-{i}.jsonl"));
+                std::thread::spawn(move || {
+                    serve_cmd(
+                        i,
+                        &peers,
+                        1,
+                        1,
+                        9,
+                        &Default::default(),
+                        5_000,
+                        true,
+                        Some(metrics.to_str().unwrap()),
+                        Some(spans.to_str().unwrap()),
+                    )
+                })
+            })
+            .collect();
+        let outputs: Vec<String> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for (i, out) in outputs.iter().enumerate() {
+            assert!(out.contains("trace: "), "node {i}: {out}");
+            assert!(out.contains("sends stamped"), "node {i}: {out}");
+            assert!(
+                out.contains("metrics snapshots appended"),
+                "node {i}: {out}"
+            );
+            assert!(out.contains("trace spans written"), "node {i}: {out}");
+        }
+        // Every metrics line is well-formed JSON carrying node, round,
+        // and a registry object — the contract CI's obs-smoke greps for.
+        for i in 0..4 {
+            let text = std::fs::read_to_string(dir.join(format!("metrics-{i}.jsonl"))).unwrap();
+            assert!(!text.trim().is_empty(), "node {i} wrote no metrics");
+            for line in text.lines() {
+                let v = obs::JsonValue::parse(line).unwrap();
+                assert_eq!(v.get("node").and_then(|n| n.as_u64()), Some(i as u64));
+                assert!(v.get("round").is_some(), "{line}");
+                assert!(v.get("registry").is_some(), "{line}");
+            }
+        }
+        // A receiver's trace reconstructs a causal chain ending at its
+        // own decision; the summary view still works on the same file.
+        let trace_path = dir.join("trace-1.jsonl");
+        let chain = obs_cmd(trace_path.to_str().unwrap(), 10, true);
+        assert!(chain.contains("critical path"), "{chain}");
+        assert!(chain.contains("to a decision"), "{chain}");
+        assert!(chain.contains("decided at n1"), "{chain}");
+        assert!(chain.contains("hop 1: inst 0 path 0 hop 1"), "{chain}");
+        let summary = obs_cmd(trace_path.to_str().unwrap(), 10, false);
+        assert!(summary.contains("trace.deliver"), "{summary}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Critical-path reconstruction on a hand-built trace: the deepest
+    /// context delivered to a decider wins, hop by hop, and prefixes
+    /// never observed on the wire are labelled as inferred.
+    #[test]
+    fn critical_path_walks_deepest_chain_to_the_decider() {
+        let mut o = obs::Obs::enabled();
+        let mut span = |name: &str, mut args: Vec<(String, u64)>, node: u64, clock: u64| {
+            args.push(("node".to_string(), node));
+            o.record_span(obs::SpanRecord {
+                name: name.to_string(),
+                args,
+                logical: clock,
+                wall_nanos: 0,
+            });
+        };
+        let root = obs::TraceCtx::new(0, vec![0]);
+        let relay = obs::TraceCtx::new(0, vec![0, 1]);
+        let deep = obs::TraceCtx::new(0, vec![0, 1, 3]);
+        span("trace.send", root.span_args(), 0, 1);
+        span("trace.deliver", root.span_args(), 2, 1);
+        span("trace.deliver", relay.span_args(), 2, 2);
+        // The three-hop relay is delivered but its middle hop was never
+        // seen as a send (e.g. the relaying node ran untraced).
+        span("trace.deliver", deep.span_args(), 2, 3);
+        span("trace.decide", vec![("instance".to_string(), 0)], 2, 4);
+        let trace = obs::parse_trace(&obs::jsonl(&o)).unwrap();
+        let out = critical_path_report("t", &trace);
+        assert!(
+            out.contains("critical path — 3 hop(s) to a decision"),
+            "{out}"
+        );
+        assert!(out.contains("hop 1: inst 0 path 0 hop 1"), "{out}");
+        assert!(out.contains("hop 2: inst 0 path 0->1 hop 2"), "{out}");
+        assert!(out.contains("hop 3: inst 0 path 0->1->3 hop 3"), "{out}");
+        assert!(
+            !out.contains("hop 2: inst 0 path 0->1 hop 2  (unobserved"),
+            "{out}"
+        );
+        assert!(out.contains("decided at n2"), "{out}");
+    }
+
+    /// A trace with sends but no decision still reports its deepest
+    /// chain, clearly labelled; a trace with no contexts errors.
+    #[test]
+    fn critical_path_handles_senders_and_untraced_files() {
+        let mut o = obs::Obs::enabled();
+        let ctx = obs::TraceCtx::new(0, vec![0]);
+        let mut args = ctx.span_args();
+        args.push(("node".to_string(), 0));
+        o.record_span(obs::SpanRecord {
+            name: "trace.send".to_string(),
+            args,
+            logical: 1,
+            wall_nanos: 0,
+        });
+        let trace = obs::parse_trace(&obs::jsonl(&o)).unwrap();
+        let out = critical_path_report("t", &trace);
+        assert!(out.contains("no decision observed"), "{out}");
+        assert!(out.contains("hop 1: inst 0 path 0 hop 1"), "{out}");
+
+        let untraced = obs::parse_trace(&obs::jsonl(&sample_obs())).unwrap();
+        let out = critical_path_report("t", &untraced);
+        assert!(out.starts_with("error:"), "{out}");
+        assert!(out.contains("no trace contexts"), "{out}");
     }
 
     #[test]
@@ -985,7 +1313,7 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("trace.json");
         std::fs::write(&path, obs::chrome_trace_json(&o, obs::TimeMode::Logical)).unwrap();
-        let out = obs_cmd(path.to_str().unwrap(), 10);
+        let out = obs_cmd(path.to_str().unwrap(), 10, false);
         std::fs::remove_dir_all(&dir).ok();
         assert!(out.contains("3 spans"), "{out}");
         // Sorted by total logical cost: the resolve group (12) first.
@@ -1012,12 +1340,12 @@ mod tests {
 
     #[test]
     fn obs_rejects_missing_and_malformed_files() {
-        assert!(obs_cmd("/nonexistent/trace.json", 5).contains("cannot read"));
+        assert!(obs_cmd("/nonexistent/trace.json", 5, false).contains("cannot read"));
         let dir = std::env::temp_dir().join(format!("dagree-obs-bad-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("bad.json");
         std::fs::write(&path, "not a trace at all").unwrap();
-        let out = obs_cmd(path.to_str().unwrap(), 5);
+        let out = obs_cmd(path.to_str().unwrap(), 5, false);
         std::fs::remove_dir_all(&dir).ok();
         assert!(out.contains("not a recognized trace"), "{out}");
     }
@@ -1031,14 +1359,14 @@ mod tests {
             assert!(out.starts_with("error:"), "{out}");
             assert_eq!(out.trim_end().lines().count(), 1, "{out}");
         };
-        one_line_err(&obs_cmd("/nonexistent/trace.json", 5));
+        one_line_err(&obs_cmd("/nonexistent/trace.json", 5, false));
 
         let dir = std::env::temp_dir().join(format!("dagree-obs-edge-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
 
         let empty = dir.join("empty.json");
         std::fs::write(&empty, "  \n").unwrap();
-        let out = obs_cmd(empty.to_str().unwrap(), 5);
+        let out = obs_cmd(empty.to_str().unwrap(), 5, false);
         one_line_err(&out);
         assert!(out.contains("is empty"), "{out}");
 
@@ -1047,7 +1375,7 @@ mod tests {
         let full = obs::chrome_trace_json(&sample_obs(), obs::TimeMode::Logical);
         let truncated = dir.join("truncated.json");
         std::fs::write(&truncated, &full[..full.len() / 2]).unwrap();
-        let out = obs_cmd(truncated.to_str().unwrap(), 5);
+        let out = obs_cmd(truncated.to_str().unwrap(), 5, false);
         std::fs::remove_dir_all(&dir).ok();
         one_line_err(&out);
         assert!(out.contains("not a recognized trace"), "{out}");
@@ -1079,6 +1407,9 @@ mod tests {
         );
         assert!(out.contains("MUTANT CAUGHT"), "{out}");
         assert!(out.contains("failed to relay"), "{out}");
+        // A relay violation names an offending path, so the failure
+        // report carries its causal chain.
+        assert!(out.contains("causal chain: inst 0 path "), "{out}");
         let repro_line = out
             .lines()
             .find(|l| l.trim_start().starts_with("repro: "))
@@ -1088,6 +1419,10 @@ mod tests {
         std::fs::remove_dir_all(&dir).ok();
         assert!(replay_out.contains("REPRODUCED"), "{replay_out}");
         assert!(replay_out.contains("first divergent step"), "{replay_out}");
+        assert!(
+            replay_out.contains("recorded causal chain: inst 0 path "),
+            "{replay_out}"
+        );
         assert!(
             replay_out.contains("mutation: relay-suppression"),
             "{replay_out}"

@@ -122,8 +122,9 @@ pub use params::{Params, ParamsError};
 pub use path::{path_count, paths_of_length, Path};
 pub use protocol::{run_protocol, run_protocol_full, run_protocol_with, ByzMsg, ProtocolRun};
 pub use service::{
-    run_batch, run_batch_full, run_batch_observed, run_batch_reference, run_batch_traced,
-    run_batch_with, BatchInstance, BatchMsg, BatchRun, BatchTraceEvent,
+    run_batch, run_batch_full, run_batch_observed, run_batch_observed_early_stop,
+    run_batch_reference, run_batch_traced, run_batch_with, BatchInstance, BatchMsg, BatchRun,
+    BatchTraceEvent,
 };
 pub use sm::{run_sm, run_sm_honest, SmAdversary, SmRelayAction};
 pub use sparse::{

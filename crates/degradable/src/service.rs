@@ -51,10 +51,34 @@ use crate::engine::{EigEngine, EigStore};
 use crate::params::Params;
 use crate::path::Path;
 use crate::value::AgreementValue;
-use obs::Obs;
+use obs::{Obs, SpanRecord};
 use simnet::{EigPerf, NodeId, RoundEngine, Topology};
 use std::collections::{BTreeMap, BTreeSet};
 use std::hash::Hash;
+
+/// Bucket bounds for the per-instance message-count histogram
+/// (`svc.instance.messages` and the regime split): powers of four from 8
+/// to half a million, wide enough for E16-scale batches.
+pub const SVC_MSG_BOUNDS: &[u64] = &[8, 32, 128, 512, 2048, 8192, 32768, 131_072, 524_288];
+
+/// Bucket bounds for the per-instance logical-cost histogram
+/// (`svc.instance.logical`): votes settled per instance.
+pub const SVC_LOGICAL_BOUNDS: &[u64] = &[16, 64, 256, 1024, 4096, 16384, 65536, 262_144, 1_048_576];
+
+/// Bucket bounds for the per-instance wall-latency histogram
+/// (`svc.instance.wall_ns`), 1µs to 10s. The name contains `wall`, so
+/// [`obs::ScrubTiming`] on the registry removes it under `--no-timing` —
+/// wall latency is carried for humans, never compared.
+pub const SVC_WALL_BOUNDS: &[u64] = &[
+    1_000,
+    10_000,
+    100_000,
+    1_000_000,
+    10_000_000,
+    100_000_000,
+    1_000_000_000,
+    10_000_000_000,
+];
 
 /// One instance of a batch: who sends what.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -333,6 +357,35 @@ pub fn run_batch_observed<V: Clone + Ord + Hash + Send + Sync>(
     )
 }
 
+/// [`run_batch_observed`] with certified-fault-set early stopping armed
+/// (the [`run_batch_traced`] hook), so observed runs attribute actual
+/// early-stop savings through the `svc.early_stop.*` counters instead
+/// of recording zeros.
+#[allow(clippy::too_many_arguments, clippy::type_complexity)]
+pub fn run_batch_observed_early_stop<V: Clone + Ord + Hash + Send + Sync>(
+    params: Params,
+    n: usize,
+    instances: &[BatchInstance<V>],
+    strategies: &BTreeMap<NodeId, Strategy<V>>,
+    seed: u64,
+    workers: usize,
+    engine_setup: impl FnOnce(RoundEngine<BatchMsg<V>>) -> RoundEngine<BatchMsg<V>>,
+    obs: &mut Obs,
+) -> (BatchRun<V>, Vec<EigEngine>, Vec<usize>, Vec<EigStore<V>>) {
+    run_batch_core(
+        params,
+        n,
+        instances,
+        strategies,
+        seed,
+        workers,
+        true,
+        None,
+        engine_setup,
+        obs,
+    )
+}
+
 #[allow(clippy::too_many_arguments, clippy::type_complexity)]
 fn run_batch_core<V: Clone + Ord + Hash + Send + Sync>(
     params: Params,
@@ -379,6 +432,10 @@ fn run_batch_core<V: Clone + Ord + Hash + Send + Sync>(
         .map(|(k, _)| EigStore::new(engines[engine_idx[k]].arena()))
         .collect();
     let mut spoofs_rejected = 0u64;
+    // Per-instance protocol sends, accumulated during the fill so the
+    // end-to-end histograms below can attribute network cost to the
+    // instance that incurred it.
+    let mut inst_sent: Vec<u64> = vec![0; instances.len()];
 
     let mut engine = engine_setup(RoundEngine::new(Topology::complete(n), seed));
     let fill_timer = obs.span(
@@ -468,6 +525,7 @@ fn run_batch_core<V: Clone + Ord + Hash + Send + Sync>(
                         if !traced_sends.is_empty() {
                             traced_sends[idx].push((r, root.clone(), v.clone()));
                         }
+                        inst_sent[idx] += 1;
                         ctx.send(
                             r,
                             BatchMsg {
@@ -497,6 +555,7 @@ fn run_batch_core<V: Clone + Ord + Hash + Send + Sync>(
                         if !traced_sends.is_empty() {
                             traced_sends[instance as usize].push((r, child.clone(), v.clone()));
                         }
+                        inst_sent[instance as usize] += 1;
                         ctx.send(
                             r,
                             BatchMsg {
@@ -525,6 +584,22 @@ fn run_batch_core<V: Clone + Ord + Hash + Send + Sync>(
 
     // 3. Memoized bottom-up resolve, one pass per instance over its
     // sender's shared arena.
+    //
+    // The fault regime is a whole-batch property: f = |faulty| nodes run a
+    // strategy, so every instance lands on the same side of the paper's
+    // degradation boundary (full agreement at f ≤ m, degraded at
+    // m < f ≤ u). The regime-prefixed histograms let a sweep that mixes
+    // regimes across *batches* compare their latency profiles from one
+    // merged registry.
+    let regime = if faulty.len() <= params.m() {
+        "full"
+    } else {
+        "degraded"
+    };
+    let regime_messages = format!("svc.regime.{regime}.messages");
+    let regime_logical = format!("svc.regime.{regime}.logical");
+    let regime_instances = format!("svc.regime.{regime}.instances");
+    let timing = obs.is_enabled();
     let mut decisions = Vec::with_capacity(instances.len());
     let mut agg = EigPerf::default();
     for (k, inst) in instances.iter().enumerate() {
@@ -535,11 +610,34 @@ fn run_batch_core<V: Clone + Ord + Hash + Send + Sync>(
                 ("sender", inst.sender.index() as u64),
             ],
         );
+        let resolve_start = timing.then(std::time::Instant::now);
         let resolved = engines[engine_idx[k]].resolve(rule, &stores[k]);
-        obs.finish(
-            timer,
-            resolved.perf.votes_evaluated + resolved.perf.votes_memo_hit,
-        );
+        let logical_k = resolved.perf.votes_evaluated + resolved.perf.votes_memo_hit;
+        obs.finish(timer, logical_k);
+
+        // End-to-end attribution for instance `k`: ingest (fill sends) to
+        // decision (resolve), as message count, deterministic logical
+        // cost, and wall latency (resolve share; the fill is batch-shared
+        // and reported by the `batch.fill` span).
+        let wall_k = resolve_start.map_or(0, |t| t.elapsed().as_nanos() as u64);
+        obs.observe("svc.instance.messages", SVC_MSG_BOUNDS, inst_sent[k]);
+        obs.observe("svc.instance.logical", SVC_LOGICAL_BOUNDS, logical_k);
+        obs.observe("svc.instance.wall_ns", SVC_WALL_BOUNDS, wall_k);
+        obs.observe(&regime_messages, SVC_MSG_BOUNDS, inst_sent[k]);
+        obs.observe(&regime_logical, SVC_LOGICAL_BOUNDS, logical_k);
+        obs.add(&regime_instances, 1);
+        // The decision anchor of the causal chain: `trace.send` /
+        // `trace.deliver` spans (transport layer) lead here.
+        obs.record_span(SpanRecord {
+            name: "trace.decide".to_string(),
+            args: vec![
+                ("instance".to_string(), k as u64),
+                ("deciders".to_string(), resolved.decisions.len() as u64),
+            ],
+            logical: logical_k,
+            wall_nanos: wall_k,
+        });
+
         agg.absorb(&resolved.perf);
         decisions.push(resolved.decisions);
     }
@@ -553,6 +651,12 @@ fn run_batch_core<V: Clone + Ord + Hash + Send + Sync>(
         (instances.len() - arena_builds) as u64,
     );
     obs.add("batch.spoofs_rejected", spoofs_rejected);
+    obs.add("svc.batch.sent", net.sent as u64);
+    // Early-stop savings attribution: what certified-fault-set pruning
+    // bought this batch, in envelopes never sent and subtrees never
+    // fanned out (zero when early stopping is off or never fired).
+    obs.add("svc.early_stop.messages_saved", net.eig.messages_saved);
+    obs.add("svc.early_stop.subtrees_pruned", net.eig.subtrees_pruned);
     if let Some(registry) = obs.registry_mut() {
         net.eig.fold_into(registry);
     }
@@ -927,8 +1031,11 @@ mod tests {
             [
                 "batch.fill",
                 "batch.resolve",
+                "trace.decide",
                 "batch.resolve",
-                "batch.resolve"
+                "trace.decide",
+                "batch.resolve",
+                "trace.decide"
             ]
         );
         let fill = &obs.spans()[0];
@@ -943,6 +1050,93 @@ mod tests {
             obs.registry().counter("eig.messages_materialized"),
             run.net.eig.messages_materialized
         );
+    }
+
+    #[test]
+    fn observed_batch_attributes_latency_per_instance_and_regime() {
+        let mut obs = Obs::enabled();
+        let instances = mixed_instances();
+        let (run, ..) = run_batch_observed(
+            params(),
+            5,
+            &instances,
+            &lying_strategies(),
+            1,
+            1,
+            |e| e,
+            &mut obs,
+        );
+        let reg = obs.registry();
+
+        // Per-instance end-to-end histograms: one observation per
+        // instance; total messages equal the engine's send count, and
+        // total logical cost equals the summed resolve work.
+        let msgs = reg.histogram("svc.instance.messages").unwrap();
+        assert_eq!(msgs.count(), instances.len() as u64);
+        assert_eq!(msgs.sum(), run.net.sent as u64);
+        let logical = reg.histogram("svc.instance.logical").unwrap();
+        assert_eq!(logical.count(), instances.len() as u64);
+        assert_eq!(
+            logical.sum(),
+            run.net.eig.votes_evaluated + run.net.eig.votes_memo_hit
+        );
+        assert!(reg.histogram("svc.instance.wall_ns").is_some());
+
+        // f = 2 liars > m = 1: the whole batch runs in the degraded
+        // regime, and the full-regime series stays untouched.
+        assert_eq!(
+            reg.counter("svc.regime.degraded.instances"),
+            instances.len() as u64
+        );
+        assert_eq!(reg.counter("svc.regime.full.instances"), 0);
+        assert!(reg.histogram("svc.regime.full.messages").is_none());
+        let degraded = reg.histogram("svc.regime.degraded.messages").unwrap();
+        assert_eq!(degraded.sum(), msgs.sum());
+
+        // A fault-free batch lands on the full side of the boundary and
+        // credits its early-stop savings.
+        let mut obs_full = Obs::enabled();
+        let (run_full, ..) = run_batch_core(
+            params(),
+            5,
+            &instances,
+            &BTreeMap::new(),
+            1,
+            1,
+            true,
+            None,
+            |e| e,
+            &mut obs_full,
+        );
+        let reg_full = obs_full.registry();
+        assert_eq!(
+            reg_full.counter("svc.regime.full.instances"),
+            instances.len() as u64
+        );
+        assert_eq!(reg_full.counter("svc.regime.degraded.instances"), 0);
+        assert_eq!(
+            reg_full.counter("svc.early_stop.messages_saved"),
+            run_full.net.eig.messages_saved
+        );
+        assert_eq!(
+            reg_full.counter("svc.early_stop.subtrees_pruned"),
+            run_full.net.eig.subtrees_pruned
+        );
+
+        // The decide spans anchor the causal chain: one per instance, in
+        // instance order, carrying the decider fan-out.
+        let decides: Vec<_> = obs
+            .spans()
+            .iter()
+            .filter(|s| s.name == "trace.decide")
+            .collect();
+        assert_eq!(decides.len(), instances.len());
+        for (k, span) in decides.iter().enumerate() {
+            assert_eq!(span.args[0], ("instance".to_string(), k as u64));
+            // Every correct node that is not the sender decides.
+            assert_eq!(span.args[1].0, "deciders");
+            assert!(span.args[1].1 > 0);
+        }
     }
 
     #[test]

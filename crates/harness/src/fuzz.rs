@@ -34,7 +34,7 @@ use crate::report::JsonValue;
 use degradable::{
     adversary_by_id, check_degradable, run_batch_traced, AdaptiveAdversary, BatchInstance,
     BatchTraceEvent, ByzInstance, ByzMsg, NodeAction, NodeEvent, NodeStateMachine, Params,
-    RunRecord, SpecChecker, SpecInstance, Strategy, Val, Verdict,
+    RunRecord, SpecChecker, SpecInstance, SpecViolation, Strategy, Val, Verdict,
 };
 use simnet::{LinkFaultKind, LinkFaultPlan, NodeId, SimRng};
 use std::collections::{BTreeMap, BTreeSet};
@@ -384,6 +384,43 @@ pub struct FuzzViolation {
     pub step_desc: String,
     /// The spec's complaint, rendered.
     pub violation: String,
+    /// Causal context of the first divergent step, as an
+    /// [`obs::TraceCtx`]: the relay path the spec's complaint names
+    /// (unexpected relay, missing relay, view divergence), or — when the
+    /// divergence surfaced at a delivery — the delivered envelope's
+    /// claimed path. Carried into repro files (format v2) so a minimized
+    /// repro pins the exact causal chain that first diverged. `None` for
+    /// complaints that name no envelope (wrong decision, phase skew,
+    /// model check).
+    pub trace: Option<obs::TraceCtx>,
+}
+
+/// The causal context of a delivery step: the envelope's claimed relay
+/// path, as the trace layer would have stamped it.
+fn delivery_ctx(instance: u64, msg: &ByzMsg<u64>) -> obs::TraceCtx {
+    obs::TraceCtx::new(
+        instance,
+        msg.path
+            .as_slice()
+            .iter()
+            .map(|id| id.index() as u64)
+            .collect(),
+    )
+}
+
+/// The causal chain a spec complaint names, when it names one: the
+/// offending relay path of `instance` as a trace context.
+fn violation_ctx(instance: u64, v: &SpecViolation) -> Option<obs::TraceCtx> {
+    let path = match v {
+        SpecViolation::UnexpectedRelay { path, .. }
+        | SpecViolation::MissingRelay { path, .. }
+        | SpecViolation::ViewDivergence { path, .. } => path,
+        SpecViolation::WrongDecision { .. } | SpecViolation::PhaseSkew { .. } => return None,
+    };
+    Some(obs::TraceCtx::new(
+        instance,
+        path.as_slice().iter().map(|id| id.index() as u64).collect(),
+    ))
 }
 
 impl fmt::Display for FuzzViolation {
@@ -456,13 +493,17 @@ pub fn run_plan(plan: &FuzzPlan, mutation: Option<Mutation>) -> ExecReport {
 
     let mut step = 0usize;
     let mut first: Option<FuzzViolation> = None;
-    let mut note = |checker: &SpecChecker<u64>, step: usize, desc: &dyn Fn() -> String| {
+    let mut note = |checker: &SpecChecker<u64>,
+                    step: usize,
+                    trace: Option<obs::TraceCtx>,
+                    desc: &dyn Fn() -> String| {
         if first.is_none() {
             if let Some(v) = checker.first_violation() {
                 first = Some(FuzzViolation {
                     step,
                     step_desc: desc(),
                     violation: v.to_string(),
+                    trace: violation_ctx(0, v).or(trace),
                 });
             }
         }
@@ -480,7 +521,7 @@ pub fn run_plan(plan: &FuzzPlan, mutation: Option<Mutation>) -> ExecReport {
             for (src, msg) in std::mem::take(&mut deliveries[round][i]) {
                 step += 1;
                 checker.deliver(node, src, &msg, round);
-                note(&checker, step, &|| {
+                note(&checker, step, Some(delivery_ctx(0, &msg)), &|| {
                     format!(
                         "deliver round={round} to={node} src={src} path={}",
                         msg.path
@@ -556,7 +597,7 @@ pub fn run_plan(plan: &FuzzPlan, mutation: Option<Mutation>) -> ExecReport {
             }
             step += 1;
             checker.close_round(node, round, &sends);
-            note(&checker, step, &|| {
+            note(&checker, step, None, &|| {
                 format!("close node={node} round={round}")
             });
             for (to, msg) in sends {
@@ -591,7 +632,7 @@ pub fn run_plan(plan: &FuzzPlan, mutation: Option<Mutation>) -> ExecReport {
                 }
                 step += 1;
                 checker.decide(node, reported.as_ref());
-                note(&checker, step, &|| format!("decide node={node}"));
+                note(&checker, step, None, &|| format!("decide node={node}"));
                 if let Some(d) = reported {
                     decisions.insert(node, d);
                 }
@@ -618,7 +659,7 @@ pub fn run_plan(plan: &FuzzPlan, mutation: Option<Mutation>) -> ExecReport {
         let node = NodeId::new(i);
         step += 1;
         checker.check_view(node, machine.view().entries());
-        note(&checker, step, &|| format!("check-view node={node}"));
+        note(&checker, step, None, &|| format!("check-view node={node}"));
     }
 
     let verdict_checked = plan.is_model_clean() && mutation.is_none() && first.is_none();
@@ -637,6 +678,7 @@ pub fn run_plan(plan: &FuzzPlan, mutation: Option<Mutation>) -> ExecReport {
                 step,
                 step_desc: "model-check".into(),
                 violation: format!("degradable agreement violated with f <= u: {v:?}"),
+                trace: None,
             });
         }
     }
@@ -683,6 +725,7 @@ pub fn run_plan_transport(plan: &FuzzPlan, kind: TransportKind) -> ExecReport {
     let options = RunOptions {
         early_stop: plan.early_stop,
         record_events: true,
+        ..RunOptions::default()
     };
     let run = transport::run_kind_with(
         kind,
@@ -734,13 +777,17 @@ pub fn run_plan_transport(plan: &FuzzPlan, kind: TransportKind) -> ExecReport {
 
     let mut step = 0usize;
     let mut first: Option<FuzzViolation> = None;
-    let mut note = |checker: &SpecChecker<u64>, step: usize, desc: &dyn Fn() -> String| {
+    let mut note = |checker: &SpecChecker<u64>,
+                    step: usize,
+                    trace: Option<obs::TraceCtx>,
+                    desc: &dyn Fn() -> String| {
         if first.is_none() {
             if let Some(v) = checker.first_violation() {
                 first = Some(FuzzViolation {
                     step,
                     step_desc: desc(),
                     violation: v.to_string(),
+                    trace: violation_ctx(0, v).or(trace),
                 });
             }
         }
@@ -757,7 +804,7 @@ pub fn run_plan_transport(plan: &FuzzPlan, kind: TransportKind) -> ExecReport {
             for (src, msg) in delivers {
                 step += 1;
                 checker.deliver(node, *src, msg, round);
-                note(&checker, step, &|| {
+                note(&checker, step, Some(delivery_ctx(0, msg)), &|| {
                     format!(
                         "{kind:?} deliver round={round} to={node} src={src} path={}",
                         msg.path
@@ -766,13 +813,15 @@ pub fn run_plan_transport(plan: &FuzzPlan, kind: TransportKind) -> ExecReport {
             }
             step += 1;
             checker.close_round(node, round, sends);
-            note(&checker, step, &|| {
+            note(&checker, step, None, &|| {
                 format!("{kind:?} close node={node} round={round}")
             });
             if round == depth {
                 step += 1;
                 checker.decide(node, decided.as_ref());
-                note(&checker, step, &|| format!("{kind:?} decide node={node}"));
+                note(&checker, step, None, &|| {
+                    format!("{kind:?} decide node={node}")
+                });
                 if let Some(d) = decided {
                     decisions.insert(node, *d);
                 }
@@ -782,7 +831,7 @@ pub fn run_plan_transport(plan: &FuzzPlan, kind: TransportKind) -> ExecReport {
     for (node, view) in &run.views {
         step += 1;
         checker.check_view(*node, view.entries());
-        note(&checker, step, &|| {
+        note(&checker, step, None, &|| {
             format!("{kind:?} check-view node={node}")
         });
     }
@@ -803,6 +852,7 @@ pub fn run_plan_transport(plan: &FuzzPlan, kind: TransportKind) -> ExecReport {
                 step,
                 step_desc: format!("{kind:?} model-check"),
                 violation: format!("degradable agreement violated with f <= u: {v:?}"),
+                trace: None,
             });
         }
     }
@@ -859,7 +909,7 @@ pub fn run_plan_batch(plan: &FuzzPlan) -> ExecReport {
         |e| e,
         &mut |ev| {
             step += 1;
-            let k = match ev {
+            let (k, trace) = match ev {
                 BatchTraceEvent::Deliver {
                     instance,
                     to,
@@ -868,8 +918,9 @@ pub fn run_plan_batch(plan: &FuzzPlan) -> ExecReport {
                     value,
                     round,
                 } => {
-                    checkers[instance].deliver(to, src, &ByzMsg { path, value }, round);
-                    instance
+                    let msg = ByzMsg { path, value };
+                    checkers[instance].deliver(to, src, &msg, round);
+                    (instance, Some(delivery_ctx(instance as u64, &msg)))
                 }
                 BatchTraceEvent::Close {
                     instance,
@@ -882,7 +933,7 @@ pub fn run_plan_batch(plan: &FuzzPlan) -> ExecReport {
                         .map(|(to, path, value)| (to, ByzMsg { path, value }))
                         .collect();
                     checkers[instance].close_round(node, round, &sends);
-                    instance
+                    (instance, None)
                 }
             };
             if first.is_none() {
@@ -891,6 +942,7 @@ pub fn run_plan_batch(plan: &FuzzPlan) -> ExecReport {
                         step,
                         step_desc: format!("batch event instance={k}"),
                         violation: v.to_string(),
+                        trace: violation_ctx(k as u64, v).or(trace),
                     });
                 }
             }
@@ -904,6 +956,7 @@ pub fn run_plan_batch(plan: &FuzzPlan) -> ExecReport {
                         step,
                         step_desc: desc(),
                         violation: v.to_string(),
+                        trace: violation_ctx(k as u64, v),
                     });
                 }
             }
@@ -942,6 +995,7 @@ pub fn run_plan_batch(plan: &FuzzPlan) -> ExecReport {
                 step,
                 step_desc: "batch model-check".into(),
                 violation: format!("degradable agreement violated with f <= u: {v:?}"),
+                trace: None,
             });
         }
     }
@@ -1204,8 +1258,11 @@ pub fn fuzz(config: &FuzzConfig) -> FuzzOutcome {
 
 /// Schema tag of repro files.
 pub const REPRO_SCHEMA: &str = "dagree-fuzz-repro";
-/// Version of the repro file format.
-pub const REPRO_VERSION: u64 = 1;
+/// Version of the repro file format. v2 added the `trace` field: the
+/// causal [`obs::TraceCtx`] of the first divergent step (`null` when the
+/// step was not a delivery). v1 files still replay — the field is
+/// optional on read.
+pub const REPRO_VERSION: u64 = 2;
 
 /// Renders a failure as a repro file: the minimized `(seed, plan)` pair
 /// plus enough context to re-run it bit-identically.
@@ -1236,6 +1293,13 @@ pub fn repro_json(
         (
             "step_desc".into(),
             failure.violation.step_desc.as_str().into(),
+        ),
+        (
+            "trace".into(),
+            match &failure.violation.trace {
+                Some(ctx) => ctx.to_json(),
+                None => JsonValue::Null,
+            },
         ),
         ("shrink_iters".into(), failure.shrink_iters.into()),
     ])
@@ -1271,6 +1335,10 @@ pub struct ReplayOutcome {
     pub mutation: Option<Mutation>,
     /// The divergence recorded in the file.
     pub recorded: String,
+    /// The causal chain of the recorded first divergent step, when the
+    /// repro carries one (format v2+; `None` for v1 files and
+    /// non-delivery steps).
+    pub recorded_trace: Option<obs::TraceCtx>,
     /// The fresh execution's report (its `violation` is the live first
     /// divergent step; `None` means the repro no longer reproduces).
     pub report: ExecReport,
@@ -1299,11 +1367,16 @@ pub fn replay(text: &str) -> Result<ReplayOutcome, String> {
         .and_then(JsonValue::as_str)
         .unwrap_or("")
         .to_string();
+    let recorded_trace = match v.get("trace") {
+        None | Some(JsonValue::Null) => None,
+        Some(t) => Some(obs::TraceCtx::from_json(t)?),
+    };
     let report = run_plan(&plan, mutation);
     Ok(ReplayOutcome {
         plan,
         mutation,
         recorded,
+        recorded_trace,
         report,
     })
 }
@@ -1428,6 +1501,41 @@ mod tests {
         assert_eq!(replayed.mutation, Some(Mutation::SuppressRelay));
         let live = replayed.report.violation.expect("repro must still fail");
         assert_eq!(live, failure.violation, "divergent step is stable");
+        // The causal chain recorded in the file (format v2) survives the
+        // JSON round trip and matches the live re-execution's.
+        assert_eq!(replayed.recorded_trace, failure.violation.trace);
+        assert_eq!(replayed.recorded_trace, live.trace);
+    }
+
+    #[test]
+    fn delivery_divergence_carries_its_causal_chain() {
+        // A garbled relay out of an honest node is caught when the bogus
+        // envelope is *delivered*, so its repro names the exact relay
+        // path that first diverged.
+        let config = FuzzConfig {
+            seed: 0xCAFE,
+            budget: 16,
+            max_n: 6,
+            mutation: Some(Mutation::WrongValueRelay),
+            force_early_stop: false,
+            backends: false,
+        };
+        let outcome = fuzz(&config);
+        assert!(!outcome.clean());
+        let traced = outcome
+            .failures
+            .iter()
+            .find(|f| f.violation.trace.is_some())
+            .expect("some failure diverges at a delivery");
+        let ctx = traced.violation.trace.as_ref().unwrap();
+        assert_eq!(ctx.instance, 0, "single-instance driver");
+        assert!(!ctx.path.is_empty());
+        assert_eq!(ctx.hop as usize, ctx.path.len());
+        // The chain in the repro file is the same object.
+        let text = repro_json(traced, config.seed, config.mutation).to_json_string();
+        let v = JsonValue::parse(&text).unwrap();
+        let back = obs::TraceCtx::from_json(v.get("trace").unwrap()).unwrap();
+        assert_eq!(&back, ctx);
     }
 
     #[test]

@@ -43,6 +43,7 @@ pub mod executor;
 pub mod fuzz;
 pub mod report;
 pub mod scenario;
+pub mod slo;
 pub mod sweep;
 
 pub use args::RunArgs;
@@ -54,5 +55,6 @@ pub use fuzz::{
 };
 pub use report::{pct, print_csv, print_table, JsonValue, Report, Table};
 pub use scenario::{ChaosConfig, Scenario, ScenarioError};
+pub use slo::{SloObjective, SloReport, SloResult, SloSpec};
 pub use sweep::SweepRunner;
 pub use transport::TransportKind;

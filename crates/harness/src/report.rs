@@ -27,6 +27,20 @@
 //!
 //! ### Version history
 //!
+//! * **v6** — SLO-aware reports. An optional `slo` object sits between
+//!   `obs` and `tables`, carrying an evaluated [`crate::slo::SloSpec`]
+//!   (`{"name", "passed", "objectives": [...]}` — see
+//!   [`crate::slo::SloReport::to_json`]) recorded via [`Report::set_slo`].
+//!   SLO verdicts are integer arithmetic over the deterministic registry,
+//!   so the section is bit-identical across worker counts; it is omitted
+//!   when no spec was evaluated, leaving a v5-shaped body under the v6
+//!   tag.
+//! * **v5** — quantile-annotated registry snapshots. Histograms in the
+//!   `obs` section gained `count`, `sum`, and fixed-point quantile
+//!   estimates (`p50_x100`/`p90_x100`/`p99_x100`) alongside the bucket
+//!   arrays (see `obs::Histogram::to_json`). Purely additive inside the
+//!   `obs` object, but strict consumers that enumerated histogram keys
+//!   must now skip the annotations, hence the bump.
 //! * **v4** — observability-aware reports. An optional `obs` object sits
 //!   between `perf` and `tables`, carrying an [`obs::Registry`] snapshot
 //!   (sorted-name counters/gauges/histograms — see
@@ -75,7 +89,7 @@ pub const SCHEMA: &str = "degradable-harness-report";
 
 /// Version of the report file format; bump on breaking layout changes.
 /// See the module docs for the version history.
-pub const SCHEMA_VERSION: u64 = 4;
+pub const SCHEMA_VERSION: u64 = 6;
 
 /// A titled table: the unit shared by ASCII printing and JSON reports.
 #[derive(Debug, Clone, PartialEq)]
@@ -202,6 +216,7 @@ pub struct Report {
     metrics: Vec<(String, JsonValue)>,
     perf: Vec<(String, JsonValue)>,
     obs: obs::Registry,
+    slo: Option<crate::slo::SloReport>,
     tables: Vec<Table>,
 }
 
@@ -289,6 +304,20 @@ impl Report {
         &self.obs
     }
 
+    /// Records an evaluated SLO spec (schema v6). The `slo` section is
+    /// emitted only when set; a second call replaces the first (one
+    /// verdict per report — evaluate one composite spec if an experiment
+    /// gates on several objectives).
+    pub fn set_slo(&mut self, slo: crate::slo::SloReport) -> &mut Self {
+        self.slo = Some(slo);
+        self
+    }
+
+    /// The evaluated SLO spec, if one was recorded.
+    pub fn slo(&self) -> Option<&crate::slo::SloReport> {
+        self.slo.as_ref()
+    }
+
     /// Appends a table.
     pub fn add_table(&mut self, table: Table) -> &mut Self {
         self.tables.push(table);
@@ -322,6 +351,9 @@ impl Report {
         }
         if !self.obs.is_empty() {
             fields.push(("obs".into(), self.obs.to_json()));
+        }
+        if let Some(slo) = &self.slo {
+            fields.push(("slo".into(), slo.to_json()));
         }
         fields.push((
             "tables".into(),
@@ -427,14 +459,35 @@ mod tests {
         r.add_table(t);
         let json = r.to_json_string();
         assert!(json.starts_with(
-            "{\"schema\":\"degradable-harness-report\",\"version\":4,\"experiment\":\"smoke\""
+            "{\"schema\":\"degradable-harness-report\",\"version\":6,\"experiment\":\"smoke\""
         ));
         assert!(json.contains("\"meta\":{\"master_seed\":7,\"trials\":10}"));
         assert!(json.contains("\"metrics\":{\"p\":0.5}"));
         assert!(json.contains("\"tables\":[{\"title\":\"tab\""));
-        // Nothing recorded in the optional sections: both are omitted.
+        // Nothing recorded in the optional sections: all are omitted.
         assert!(!json.contains("\"perf\""));
         assert!(!json.contains("\"obs\""));
+        assert!(!json.contains("\"slo\""));
+    }
+
+    #[test]
+    fn slo_section_sits_between_obs_and_tables() {
+        let mut r = Report::new("gated");
+        let mut reg = obs::Registry::default();
+        reg.add("sweep.trials", 9);
+        r.set_obs_registry(&reg);
+        r.set_slo(
+            crate::slo::SloSpec::new("gate")
+                .counter_at_least("sweep.trials", 9)
+                .evaluate(r.obs_registry()),
+        );
+        let json = r.to_json_string();
+        assert!(json.contains(
+            "\"obs\":{\"counters\":{\"sweep.trials\":9}},\
+             \"slo\":{\"name\":\"gate\",\"passed\":true,\"objectives\":[\
+             {\"objective\":\"sweep.trials >= 9\",\"observed\":9,\"pass\":true}]},\"tables\":[]"
+        ));
+        assert!(r.slo().unwrap().passed());
     }
 
     #[test]

@@ -31,11 +31,13 @@ pub mod export;
 pub mod json;
 pub mod registry;
 mod span;
+pub mod tracectx;
 
 pub use export::{chrome_trace_json, jsonl, parse_trace, ParsedTrace, TimeMode};
 pub use json::JsonValue;
 pub use registry::{Histogram, Registry};
 pub use span::{Obs, SpanRecord, SpanTimer};
+pub use tracectx::TraceCtx;
 
 /// Types that carry wall-clock measurements alongside deterministic
 /// counters, and can zero the former while keeping the latter.

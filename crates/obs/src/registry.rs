@@ -83,6 +83,50 @@ impl Histogram {
         self.sum
     }
 
+    /// A deterministic quantile estimate by linear interpolation within
+    /// the bucket holding the `q`-th observation (`0.0 < q <= 1.0`).
+    /// Observations in the overflow bucket are estimated at the last
+    /// finite bound (a stated underestimate — pick bounds that cover the
+    /// expected range). `None` when nothing was observed.
+    ///
+    /// The estimate is pure integer-count arithmetic over the bucket
+    /// table, so for a deterministic run it is bit-identical across
+    /// machines and worker counts — which is what lets SLO gates and
+    /// snapshots rely on it.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 || !(0.0..=1.0).contains(&q) || q == 0.0 {
+            return None;
+        }
+        // 1-based rank of the target observation.
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let before = seen;
+            seen += c;
+            if rank <= seen {
+                if i == self.bounds.len() {
+                    // Overflow bucket: no upper bound to interpolate to.
+                    return Some(self.bounds[self.bounds.len() - 1] as f64);
+                }
+                let lower = if i == 0 { 0 } else { self.bounds[i - 1] } as f64;
+                let upper = self.bounds[i] as f64;
+                let frac = (rank - before) as f64 / c as f64;
+                return Some(lower + (upper - lower) * frac);
+            }
+        }
+        None
+    }
+
+    /// [`Histogram::quantile`] in the workspace's fixed-point `_x100`
+    /// convention (rounded to the nearest hundredth), the form snapshots
+    /// embed so registry JSON stays integer-only.
+    pub fn quantile_x100(&self, q: f64) -> Option<u64> {
+        self.quantile(q).map(|v| (v * 100.0).round() as u64)
+    }
+
     /// Folds another histogram in. Bucket-wise when the bounds match;
     /// otherwise the other histogram's sum/count are preserved by
     /// re-observing its mean per observation (a lossy but total merge —
@@ -217,13 +261,19 @@ impl Registry {
     ///   "gauges": {"sweep.queue_depth_peak": 8},
     ///   "histograms": {
     ///     "span.logical": {"bounds": [10, 100], "buckets": [1, 2, 0],
-    ///                      "count": 3, "sum": 140}
+    ///                      "count": 3, "sum": 140,
+    ///                      "p50_x100": 5500, "p90_x100": 9100, "p99_x100": 9910}
     ///   }
     /// }
     /// ```
     ///
     /// Sections are omitted when empty; keys are in sorted-name order,
-    /// so two equal registries serialize to identical bytes.
+    /// so two equal registries serialize to identical bytes. The
+    /// `p50/p90/p99` fields are [`Histogram::quantile_x100`] estimates —
+    /// derived from the buckets (consumers no longer re-derive them),
+    /// emitted only when the histogram is non-empty, and ignored by
+    /// [`Registry::from_json`] (recomputed on re-serialization, so the
+    /// snapshot still round-trips byte-identically).
     pub fn to_json(&self) -> JsonValue {
         let mut fields = Vec::new();
         if !self.counters.is_empty() {
@@ -255,15 +305,20 @@ impl Registry {
                     self.histograms
                         .iter()
                         .map(|(k, h)| {
-                            (
-                                k.clone(),
-                                JsonValue::Object(vec![
-                                    ("bounds".into(), h.bounds.clone().into()),
-                                    ("buckets".into(), h.buckets.clone().into()),
-                                    ("count".into(), h.count.into()),
-                                    ("sum".into(), h.sum.into()),
-                                ]),
-                            )
+                            let mut fields = vec![
+                                ("bounds".into(), h.bounds.clone().into()),
+                                ("buckets".into(), h.buckets.clone().into()),
+                                ("count".into(), h.count.into()),
+                                ("sum".into(), h.sum.into()),
+                            ];
+                            for (key, q) in
+                                [("p50_x100", 0.5), ("p90_x100", 0.9), ("p99_x100", 0.99)]
+                            {
+                                if let Some(v) = h.quantile_x100(q) {
+                                    fields.push((key.into(), v.into()));
+                                }
+                            }
+                            (k.clone(), JsonValue::Object(fields))
                         })
                         .collect(),
                 ),
@@ -328,6 +383,20 @@ impl Registry {
             }
         }
         Ok(reg)
+    }
+}
+
+impl crate::ScrubTiming for Registry {
+    fn scrub_timing(&mut self) {
+        // Registries hold logical quantities by convention, with one
+        // sanctioned exception: metrics whose dotted name contains
+        // "wall" (e.g. `svc.instance.wall_ns`) carry wall-clock
+        // measurements for humans. Scrubbing removes those entries
+        // wholesale — a zeroed wall histogram would still perturb
+        // bucket counts, so removal is the only byte-stable scrub.
+        self.counters.retain(|k, _| !k.contains("wall"));
+        self.gauges.retain(|k, _| !k.contains("wall"));
+        self.histograms.retain(|k, _| !k.contains("wall"));
     }
 }
 
@@ -428,6 +497,64 @@ mod tests {
         let back = Registry::from_json(&json).unwrap();
         assert_eq!(back, r);
         assert_eq!(back.to_json().to_json_string(), json.to_json_string());
+    }
+
+    #[test]
+    fn quantile_interpolates_within_buckets() {
+        let mut h = Histogram::new(&[10, 100]);
+        assert_eq!(h.quantile(0.5), None, "empty histogram has no quantiles");
+        for v in [1, 2, 3, 4, 5, 6, 7, 8, 9, 10] {
+            h.observe(v);
+        }
+        // All ten observations sit in the (0, 10] bucket: the median is
+        // rank 5 of 10 → halfway through the bucket.
+        assert_eq!(h.quantile(0.5), Some(5.0));
+        assert_eq!(h.quantile(1.0), Some(10.0));
+        assert_eq!(h.quantile_x100(0.5), Some(500));
+        // Out-of-range q is refused.
+        assert_eq!(h.quantile(0.0), None);
+        assert_eq!(h.quantile(1.5), None);
+    }
+
+    #[test]
+    fn quantile_overflow_saturates_at_last_bound() {
+        let mut h = Histogram::new(&[10]);
+        h.observe(5);
+        h.observe(1_000);
+        // p99 lands in the overflow bucket: estimate saturates at the
+        // last finite bound (documented underestimate).
+        assert_eq!(h.quantile(0.99), Some(10.0));
+    }
+
+    #[test]
+    fn snapshot_embeds_quantiles_and_still_round_trips() {
+        let mut r = Registry::new();
+        r.observe("lat", &[10, 100], 5);
+        r.observe("lat", &[10, 100], 50);
+        let text = r.to_json().to_json_string();
+        assert!(text.contains("\"p50_x100\""), "{text}");
+        assert!(text.contains("\"p99_x100\""), "{text}");
+        // The quantile fields are derived: the parser ignores them and
+        // re-serialization recomputes identical bytes.
+        let back = Registry::from_json(&JsonValue::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, r);
+        assert_eq!(back.to_json().to_json_string(), text);
+    }
+
+    #[test]
+    fn scrub_timing_removes_wall_metrics_only() {
+        let mut r = Registry::new();
+        r.add("svc.instances", 4);
+        r.add("svc.batch.wall_ns_total", 999);
+        r.set_gauge("svc.wall_peak", 7);
+        r.observe("svc.instance.logical", &[10], 3);
+        r.observe("svc.instance.wall_ns", &[1000], 250);
+        crate::scrub_timing(&mut r);
+        assert_eq!(r.counter("svc.instances"), 4);
+        assert_eq!(r.counter("svc.batch.wall_ns_total"), 0);
+        assert_eq!(r.gauge("svc.wall_peak"), None);
+        assert!(r.histogram("svc.instance.logical").is_some());
+        assert!(r.histogram("svc.instance.wall_ns").is_none());
     }
 
     #[test]

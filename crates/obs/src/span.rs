@@ -139,26 +139,95 @@ pub struct SpanTimer {
 /// A disabled recorder (the [`Obs::disabled`] default) makes every
 /// call a no-op — no clock reads, no allocation — so call sites can be
 /// instrumented unconditionally.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+///
+/// The unbounded default retains every span. [`Obs::enabled_bounded`]
+/// caps retention: once full, recording a span evicts the oldest
+/// retained span, and every eviction is tallied in
+/// [`Obs::dropped_spans`] *and* mirrored into the registry as the
+/// `obs.dropped_spans` counter — so a truncated trace is detectable
+/// from the exported file itself, never silently short.
+#[derive(Debug, Clone, Default)]
 pub struct Obs {
     enabled: bool,
     registry: Registry,
     spans: Vec<SpanRecord>,
+    /// Maximum spans retained (`None` = unbounded).
+    span_capacity: Option<usize>,
+    /// Spans evicted by the bounded mode.
+    dropped_spans: u64,
 }
 
+impl PartialEq for Obs {
+    fn eq(&self, other: &Self) -> bool {
+        // Exhaustive destructuring: a new field must be classified
+        // here. The configured capacity is a representation detail;
+        // what was recorded (and how much was lost) is the content.
+        let Obs {
+            enabled,
+            registry,
+            spans,
+            span_capacity: _,
+            dropped_spans,
+        } = self;
+        *enabled == other.enabled
+            && *registry == other.registry
+            && *spans == other.spans
+            && *dropped_spans == other.dropped_spans
+    }
+}
+
+impl Eq for Obs {}
+
 impl Obs {
-    /// An enabled recorder.
+    /// An enabled recorder with unbounded span retention.
     pub fn enabled() -> Self {
         Obs {
             enabled: true,
             registry: Registry::new(),
             spans: Vec::new(),
+            span_capacity: None,
+            dropped_spans: 0,
+        }
+    }
+
+    /// An enabled recorder retaining at most `capacity` spans (oldest
+    /// evicted first). Evictions count into [`Obs::dropped_spans`] and
+    /// the `obs.dropped_spans` registry counter.
+    pub fn enabled_bounded(capacity: usize) -> Self {
+        Obs {
+            span_capacity: Some(capacity),
+            ..Obs::enabled()
         }
     }
 
     /// A disabled recorder; every method is a no-op.
     pub fn disabled() -> Self {
         Obs::default()
+    }
+
+    /// Spans evicted by the bounded ring (zero when unbounded).
+    pub fn dropped_spans(&self) -> u64 {
+        self.dropped_spans
+    }
+
+    /// Appends a span, honoring the retention cap: when full, the
+    /// oldest retained span is evicted (kept in logical order so
+    /// [`Obs::spans`] stays a plain slice) and the eviction is counted
+    /// both on the struct and as the `obs.dropped_spans` counter.
+    fn push_span(&mut self, span: SpanRecord) {
+        match self.span_capacity {
+            Some(0) => {
+                self.dropped_spans += 1;
+                self.registry.add("obs.dropped_spans", 1);
+            }
+            Some(cap) if self.spans.len() >= cap => {
+                self.spans.rotate_left(1);
+                *self.spans.last_mut().expect("cap > 0") = span;
+                self.dropped_spans += 1;
+                self.registry.add("obs.dropped_spans", 1);
+            }
+            _ => self.spans.push(span),
+        }
     }
 
     /// Whether this recorder records anything.
@@ -190,7 +259,7 @@ impl Obs {
             .start
             .map(|s| s.elapsed().as_nanos() as u64)
             .unwrap_or(0);
-        self.spans.push(SpanRecord {
+        self.push_span(SpanRecord {
             name: timer.name.to_string(),
             args: timer
                 .args
@@ -207,7 +276,7 @@ impl Obs {
     /// disabled.
     pub fn record_span(&mut self, span: SpanRecord) {
         if self.enabled {
-            self.spans.push(span);
+            self.push_span(span);
         }
     }
 
@@ -268,8 +337,27 @@ impl Obs {
         if !self.enabled {
             return;
         }
-        self.spans.extend(other.spans.iter().cloned());
+        // Registry first (it carries `other`'s own eviction counter);
+        // spans route through the cap, so merging can evict further —
+        // each such eviction counts on top.
         self.registry.merge(&other.registry);
+        self.dropped_spans += other.dropped_spans;
+        for span in &other.spans {
+            self.push_span(span.clone());
+        }
+    }
+
+    /// A copy of this recorder with every span whose name is in `names`
+    /// removed; the registry and drop tally carry over unchanged.
+    ///
+    /// Exporters use this to strip scheduling-dependent bookkeeping
+    /// spans (e.g. a sweep's per-worker fan-out records, which describe
+    /// the thread layout rather than the computation) from logical-mode
+    /// artifacts that must be byte-identical across worker counts.
+    pub fn without_spans(&self, names: &[&str]) -> Obs {
+        let mut out = self.clone();
+        out.spans.retain(|s| !names.contains(&s.name.as_str()));
+        out
     }
 }
 
@@ -292,6 +380,7 @@ impl crate::ScrubTiming for Obs {
         for span in &mut self.spans {
             crate::ScrubTiming::scrub_timing(span);
         }
+        crate::ScrubTiming::scrub_timing(&mut self.registry);
     }
 }
 
@@ -396,6 +485,76 @@ mod tests {
         assert_eq!(a.spans().len(), 2);
         assert_eq!(a.spans()[1].name, "second");
         assert_eq!(a.registry().counter("c"), 3);
+    }
+
+    fn named(name: &str) -> SpanRecord {
+        SpanRecord {
+            name: name.into(),
+            args: vec![],
+            logical: 1,
+            wall_nanos: 0,
+        }
+    }
+
+    #[test]
+    fn bounded_recorder_evicts_oldest_and_counts_drops() {
+        let mut obs = Obs::enabled_bounded(2);
+        for name in ["a", "b", "c", "d"] {
+            obs.record_span(named(name));
+        }
+        assert_eq!(obs.dropped_spans(), 2);
+        assert_eq!(obs.registry().counter("obs.dropped_spans"), 2);
+        let names: Vec<&str> = obs.spans().iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, ["c", "d"], "oldest evicted, order preserved");
+    }
+
+    #[test]
+    fn zero_capacity_recorder_drops_everything() {
+        let mut obs = Obs::enabled_bounded(0);
+        obs.record_span(named("a"));
+        assert!(obs.spans().is_empty());
+        assert_eq!(obs.dropped_spans(), 1);
+        assert_eq!(obs.registry().counter("obs.dropped_spans"), 1);
+    }
+
+    #[test]
+    fn unbounded_recorder_never_drops() {
+        let mut obs = Obs::enabled();
+        for _ in 0..100 {
+            obs.record_span(named("x"));
+        }
+        assert_eq!(obs.spans().len(), 100);
+        assert_eq!(obs.dropped_spans(), 0);
+        assert_eq!(obs.registry().counter("obs.dropped_spans"), 0);
+    }
+
+    #[test]
+    fn merge_into_bounded_recorder_keeps_accounting() {
+        let mut sink = Obs::enabled_bounded(2);
+        sink.record_span(named("old"));
+        let mut src = Obs::enabled_bounded(4);
+        for name in ["a", "b", "c"] {
+            src.record_span(named(name));
+        }
+        sink.merge(&src);
+        // "old" and "a" evicted on the way in; src dropped nothing.
+        assert_eq!(sink.dropped_spans(), 2);
+        assert_eq!(sink.registry().counter("obs.dropped_spans"), 2);
+        let names: Vec<&str> = sink.spans().iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, ["b", "c"]);
+    }
+
+    #[test]
+    fn equality_ignores_capacity_but_not_drops() {
+        let mut bounded = Obs::enabled_bounded(10);
+        bounded.record_span(named("a"));
+        let mut plain = Obs::enabled();
+        plain.record_span(named("a"));
+        assert_eq!(bounded, plain, "capacity is a representation detail");
+        let mut wrapped = Obs::enabled_bounded(1);
+        wrapped.record_span(named("x"));
+        wrapped.record_span(named("a"));
+        assert_ne!(wrapped, plain, "an eviction is observable state");
     }
 
     #[test]

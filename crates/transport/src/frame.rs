@@ -9,8 +9,10 @@
 //! frame    := tag:u8 body
 //! envelope := 0x01 src:u32 value path          (a BYZ protocol message)
 //! mark     := 0x02 src:u32 round:u32           (round-barrier control)
+//! traced   := 0x03 src:u32 value path trace    (envelope + causal context)
 //! value    := 0x00 | 0x01 v:u64                (V_d | Value(v))
 //! path     := len:u32 id:u32 ...               (relay path, sender first)
+//! trace    := instance:u64 hop:u32 len:u32 id:u64 ...
 //! ```
 //!
 //! Wire payloads are `u64` ([`Val`]); the experiments never need more, and
@@ -20,8 +22,16 @@
 //! codebase's threat model. The same frames travel over in-process
 //! channels un-encoded — the codec round-trip is exercised only by the TCP
 //! backend and the codec tests.
+//!
+//! Trace context is observability metadata, not protocol state, so its
+//! failure domain is deliberately smaller: a `0x03` frame whose envelope
+//! part decodes but whose trace section is truncated or malformed degrades
+//! to an **untraced** delivery (`trace: None`) instead of poisoning the
+//! connection. Corruption in the envelope part itself stays fatal, exactly
+//! as for `0x01`.
 
 use degradable::{AgreementValue, ByzMsg, Path, Val};
+use obs::TraceCtx;
 use simnet::NodeId;
 use std::io::{self, Read, Write};
 
@@ -31,6 +41,7 @@ pub const MAX_FRAME_LEN: u32 = 1 << 20;
 
 const TAG_ENVELOPE: u8 = 0x01;
 const TAG_MARK: u8 = 0x02;
+const TAG_TRACED: u8 = 0x03;
 const VAL_DEFAULT: u8 = 0x00;
 const VAL_VALUE: u8 = 0x01;
 
@@ -43,6 +54,11 @@ pub enum Frame {
         src: NodeId,
         /// The relay-path-tagged claim.
         msg: ByzMsg<u64>,
+        /// Causal trace context stamped by the sender, when tracing is
+        /// on. Untraced envelopes use wire tag `0x01`, traced ones
+        /// `0x03`; a malformed trace section on the wire decodes as
+        /// `None`, never as a frame error.
+        trace: Option<TraceCtx>,
     },
     /// "`src` has finished sending for `round`" — the barrier control
     /// frame real transports use for message-absence detection.
@@ -96,8 +112,12 @@ impl From<io::Error> for FrameError {
 pub fn encode(frame: &Frame) -> Vec<u8> {
     let mut body = Vec::with_capacity(32);
     match frame {
-        Frame::Envelope { src, msg } => {
-            body.push(TAG_ENVELOPE);
+        Frame::Envelope { src, msg, trace } => {
+            body.push(if trace.is_some() {
+                TAG_TRACED
+            } else {
+                TAG_ENVELOPE
+            });
             put_u32(&mut body, src.index() as u32);
             match msg.value {
                 AgreementValue::Default => body.push(VAL_DEFAULT),
@@ -110,6 +130,14 @@ pub fn encode(frame: &Frame) -> Vec<u8> {
             put_u32(&mut body, ids.len() as u32);
             for id in ids {
                 put_u32(&mut body, id.index() as u32);
+            }
+            if let Some(ctx) = trace {
+                body.extend_from_slice(&ctx.instance.to_le_bytes());
+                put_u32(&mut body, ctx.hop);
+                put_u32(&mut body, ctx.path.len() as u32);
+                for node in &ctx.path {
+                    body.extend_from_slice(&node.to_le_bytes());
+                }
             }
         }
         Frame::Mark { src, round } => {
@@ -157,7 +185,7 @@ pub fn read_frame(r: &mut impl Read) -> Result<Option<Frame>, FrameError> {
 pub fn decode(body: &[u8]) -> Result<Frame, FrameError> {
     let mut cur = Cursor { buf: body, pos: 0 };
     let frame = match cur.u8()? {
-        TAG_ENVELOPE => {
+        tag @ (TAG_ENVELOPE | TAG_TRACED) => {
             let src = NodeId::new(cur.u32()? as usize);
             let value: Val = match cur.u8()? {
                 VAL_DEFAULT => AgreementValue::Default,
@@ -172,9 +200,23 @@ pub fn decode(body: &[u8]) -> Result<Frame, FrameError> {
             for _ in 1..path_len {
                 path = path.child(NodeId::new(cur.u32()? as usize));
             }
+            let trace = if tag == TAG_TRACED {
+                // Observability metadata degrades instead of failing:
+                // whatever is wrong with the trace section, the envelope
+                // is still a valid protocol message, so consume the rest
+                // of the body and deliver it untraced.
+                let ctx = decode_trace_section(&mut cur);
+                if ctx.is_none() {
+                    cur.pos = body.len();
+                }
+                ctx
+            } else {
+                None
+            };
             Frame::Envelope {
                 src,
                 msg: ByzMsg { path, value },
+                trace,
             }
         }
         TAG_MARK => {
@@ -188,6 +230,27 @@ pub fn decode(body: &[u8]) -> Result<Frame, FrameError> {
         return Err(FrameError::Malformed("trailing bytes after frame body"));
     }
     Ok(frame)
+}
+
+/// Parses the trace section of a `0x03` frame. `None` on any truncation,
+/// oversized claim, or trailing garbage — the caller degrades the frame
+/// to an untraced envelope rather than surfacing an error.
+fn decode_trace_section(cur: &mut Cursor<'_>) -> Option<TraceCtx> {
+    let instance = cur.u64().ok()?;
+    let hop = cur.u32().ok()?;
+    let path_len = cur.u32().ok()? as usize;
+    let mut path = Vec::new();
+    for _ in 0..path_len {
+        path.push(cur.u64().ok()?);
+    }
+    if cur.pos != cur.buf.len() {
+        return None;
+    }
+    Some(TraceCtx {
+        instance,
+        path,
+        hop,
+    })
 }
 
 fn put_u32(out: &mut Vec<u8>, v: u32) {
@@ -265,6 +328,7 @@ mod tests {
                     path: Path::root(nid(0)),
                     value: AgreementValue::Value(u64::MAX),
                 },
+                trace: None,
             },
             Frame::Envelope {
                 src: nid(3),
@@ -272,6 +336,15 @@ mod tests {
                     path: Path::root(nid(0)).child(nid(2)).child(nid(3)),
                     value: AgreementValue::Default,
                 },
+                trace: None,
+            },
+            Frame::Envelope {
+                src: nid(3),
+                msg: ByzMsg {
+                    path: Path::root(nid(0)).child(nid(3)),
+                    value: AgreementValue::Value(42),
+                },
+                trace: Some(TraceCtx::new(5, vec![0, 3])),
             },
             Frame::Mark {
                 src: nid(7),
@@ -347,6 +420,65 @@ mod tests {
         body.push(VAL_DEFAULT);
         put_u32(&mut body, 0);
         assert!(matches!(decode(&body), Err(FrameError::Malformed(_))));
+    }
+
+    #[test]
+    fn untraced_envelopes_keep_the_v1_wire_tag() {
+        let wire = encode(&sample_frames()[0]);
+        assert_eq!(wire[4], TAG_ENVELOPE);
+        let wire = encode(&sample_frames()[2]);
+        assert_eq!(wire[4], TAG_TRACED);
+    }
+
+    #[test]
+    fn traced_envelope_round_trips_its_context() {
+        let frame = &sample_frames()[2];
+        let wire = encode(frame);
+        let back = decode(&wire[4..]).unwrap();
+        assert_eq!(&back, frame);
+        match back {
+            Frame::Envelope { trace, .. } => {
+                assert_eq!(trace, Some(TraceCtx::new(5, vec![0, 3])));
+            }
+            other => panic!("expected envelope, got {other:?}"),
+        }
+    }
+
+    /// The satellite invariant: a `0x03` frame whose trace section is
+    /// truncated, padded, or garbage still decodes — as an *untraced*
+    /// envelope — so one corrupt trace never kills a mesh connection.
+    #[test]
+    fn malformed_trace_sections_degrade_to_untraced() {
+        let frame = sample_frames()[2].clone();
+        let untraced = match &frame {
+            Frame::Envelope { src, msg, .. } => Frame::Envelope {
+                src: *src,
+                msg: msg.clone(),
+                trace: None,
+            },
+            other => panic!("expected envelope, got {other:?}"),
+        };
+        let body = &encode(&frame)[4..];
+        // Chop the trace section at every possible length, including
+        // removing it entirely; the envelope part is bytes [0, split).
+        let split = body.len() - (8 + 4 + 4 + 2 * 8);
+        for cut in split..body.len() {
+            let got = decode(&body[..cut])
+                .unwrap_or_else(|e| panic!("truncated trace at {cut} must degrade, got {e}"));
+            assert_eq!(got, untraced, "cut at {cut}");
+        }
+        // Trailing garbage after a complete trace section.
+        let mut padded = body.to_vec();
+        padded.push(0xAA);
+        assert_eq!(decode(&padded).unwrap(), untraced);
+        // An absurd path-length claim inside the trace section.
+        let mut bloated = body[..split].to_vec();
+        bloated.extend_from_slice(&7u64.to_le_bytes());
+        put_u32(&mut bloated, 2);
+        put_u32(&mut bloated, u32::MAX);
+        assert_eq!(decode(&bloated).unwrap(), untraced);
+        // But corruption in the *envelope* part stays fatal.
+        assert!(matches!(decode(&body[..3]), Err(FrameError::Truncated)));
     }
 
     #[test]

@@ -43,8 +43,9 @@ pub use chaos::{AdaptiveLink, Disposition, DropCause, HotEdgeCutter, LinkChaos};
 pub use frame::{Frame, FrameError};
 pub use mesh::{channel_mesh, reconnect_delay, tcp_join, tcp_mesh, MeshConfig, MeshTransport};
 pub use runner::{
-    drive_mesh, drive_mesh_with, run_channel, run_channel_with, run_kind, run_kind_with, run_sim,
-    run_sim_with, run_tcp, run_tcp_with, LoggedEvent, NodeOutcome, RunOptions, TransportRun,
+    drive_mesh, drive_mesh_opts, drive_mesh_with, run_channel, run_channel_with, run_kind,
+    run_kind_with, run_sim, run_sim_with, run_tcp, run_tcp_with, LoggedEvent, MeshDriveOptions,
+    NodeOutcome, NodeTracer, RunOptions, TransportRun,
 };
 pub use sim::{RelaxedTiming, SimTransport, SimWorld};
 
@@ -83,6 +84,28 @@ pub trait Transport {
     /// layer. Sends are fire-and-forget (the paper's absence handling
     /// lives in the machine, not in delivery errors).
     fn send(&mut self, to: NodeId, msg: ByzMsg<u64>);
+
+    /// [`send`](Self::send) with an attached causal [`TraceCtx`].
+    ///
+    /// Tracing is observability, not protocol: the default implementation
+    /// drops the context and delegates to `send`, so backends that cannot
+    /// carry metadata still work — they just deliver untraced. Backends
+    /// that do carry it surface the context to the receiving driver via
+    /// [`last_trace`](Self::last_trace).
+    fn send_traced(&mut self, to: NodeId, msg: ByzMsg<u64>, trace: Option<obs::TraceCtx>) {
+        let _ = trace;
+        self.send(to, msg);
+    }
+
+    /// The trace context attached to the most recent
+    /// [`Deliver`](NodeEvent::Deliver) event this endpoint produced, if
+    /// the sender stamped one and the backend carried it. Meaningful only
+    /// immediately after a `poll` that returned a delivery. Returned by
+    /// value: contexts are a few words and some backends keep theirs
+    /// behind interior mutability.
+    fn last_trace(&self) -> Option<obs::TraceCtx> {
+        None
+    }
 
     /// Produces the next event for this node, if any.
     fn poll(&mut self) -> PollOutcome;

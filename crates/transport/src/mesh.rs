@@ -35,6 +35,7 @@ use crate::chaos::LinkChaos;
 use crate::frame::{self, Frame, MAX_FRAME_LEN};
 use crate::{Disposition, DropCause, PollOutcome, Transport, TransportStats};
 use degradable::{ByzMsg, NodeEvent};
+use obs::TraceCtx;
 use simnet::NodeId;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::io::{self, Read};
@@ -165,6 +166,10 @@ impl PeerLink {
     }
 }
 
+/// An envelope awaiting delivery to the local machine: source, message,
+/// and the sender's causal trace context if one crossed the wire.
+type QueuedDelivery = (NodeId, ByzMsg<u64>, Option<TraceCtx>);
+
 /// One node's endpoint of a channel or TCP mesh.
 pub struct MeshTransport {
     me: NodeId,
@@ -184,9 +189,11 @@ pub struct MeshTransport {
     need_flush: bool,
     deadline: Instant,
     /// Ready envelopes, in arrival order.
-    deliver_queue: VecDeque<(NodeId, ByzMsg<u64>)>,
+    deliver_queue: VecDeque<QueuedDelivery>,
     /// Envelopes gated until `self.round` reaches their effective round.
-    future: BTreeMap<usize, VecDeque<(NodeId, ByzMsg<u64>)>>,
+    future: BTreeMap<usize, VecDeque<QueuedDelivery>>,
+    /// Trace context of the most recently surfaced delivery.
+    last_trace: Option<TraceCtx>,
     /// Peers heard finishing each round.
     marks: BTreeMap<usize, BTreeSet<NodeId>>,
     /// Peers declared permanently gone (link dead, reconnect budget
@@ -231,6 +238,7 @@ impl MeshTransport {
             deadline: Instant::now() + config.round_timeout,
             deliver_queue: VecDeque::new(),
             future: BTreeMap::new(),
+            last_trace: None,
             marks: BTreeMap::new(),
             gone: BTreeSet::new(),
             reconnects: 0,
@@ -319,7 +327,7 @@ impl MeshTransport {
                 Frame::Mark { src, round } => {
                     self.marks.entry(round).or_default().insert(src);
                 }
-                Frame::Envelope { src, msg } => {
+                Frame::Envelope { src, msg, trace } => {
                     // The sending round is encoded in the path: a level-k
                     // envelope is sent while round k-1 closes. Recompute
                     // the keyed chaos verdict to learn its reorder delay —
@@ -340,12 +348,12 @@ impl MeshTransport {
                         continue;
                     }
                     if effective <= self.round {
-                        self.deliver_queue.push_back((src, msg));
+                        self.deliver_queue.push_back((src, msg, trace));
                     } else {
                         self.future
                             .entry(effective)
                             .or_default()
-                            .push_back((src, msg));
+                            .push_back((src, msg, trace));
                     }
                 }
             }
@@ -382,6 +390,10 @@ impl Transport for MeshTransport {
     }
 
     fn send(&mut self, to: NodeId, msg: ByzMsg<u64>) {
+        self.send_traced(to, msg, None);
+    }
+
+    fn send_traced(&mut self, to: NodeId, msg: ByzMsg<u64>, trace: Option<TraceCtx>) {
         self.stats.sent += 1;
         let copies = match self.chaos.disposition(self.round, self.me, to, &msg.path) {
             Disposition::Dropped(cause) => {
@@ -405,10 +417,18 @@ impl Transport for MeshTransport {
                 copies
             }
         };
-        let frame = Frame::Envelope { src: self.me, msg };
+        let frame = Frame::Envelope {
+            src: self.me,
+            msg,
+            trace,
+        };
         for _ in 0..copies {
             self.link_send(to, &frame);
         }
+    }
+
+    fn last_trace(&self) -> Option<TraceCtx> {
+        self.last_trace.clone()
     }
 
     fn poll(&mut self) -> PollOutcome {
@@ -433,8 +453,9 @@ impl Transport for MeshTransport {
             return PollOutcome::Closed;
         }
         self.drain_inbox();
-        if let Some((src, msg)) = self.deliver_queue.pop_front() {
+        if let Some((src, msg, trace)) = self.deliver_queue.pop_front() {
             self.stats.delivered += 1;
+            self.last_trace = trace;
             return PollOutcome::Event(NodeEvent::Deliver { src, msg });
         }
         let heard = self.marks.get(&self.round).map_or(0, BTreeSet::len);
@@ -761,6 +782,7 @@ mod tests {
                 path,
                 value: AgreementValue::Value(v),
             },
+            trace: None,
         }
     }
 
@@ -1036,6 +1058,49 @@ mod tests {
                 "replacement link never delivered"
             );
         }
+    }
+
+    #[test]
+    fn traced_send_surfaces_last_trace_at_the_receiver() {
+        let mut mesh = channel_mesh(2, 2, &LinkChaos::healthy(), MeshConfig::default());
+        let mut n1 = mesh.pop().unwrap();
+        let mut n0 = mesh.pop().unwrap();
+        assert_eq!(
+            n0.poll(),
+            PollOutcome::Event(NodeEvent::Timeout { round: 0 })
+        );
+        assert_eq!(
+            n1.poll(),
+            PollOutcome::Event(NodeEvent::Timeout { round: 0 })
+        );
+        let ctx = TraceCtx::new(4, vec![0]);
+        n0.send_traced(
+            nid(1),
+            ByzMsg {
+                path: Path::root(nid(0)),
+                value: AgreementValue::Value(11u64),
+            },
+            Some(ctx.clone()),
+        );
+        match n1.poll() {
+            PollOutcome::Event(NodeEvent::Deliver { src, .. }) => assert_eq!(src, nid(0)),
+            other => panic!("expected delivery, got {other:?}"),
+        }
+        assert_eq!(n1.last_trace(), Some(ctx.clone()));
+        // Untraced traffic resets the slot: the context never outlives
+        // the delivery it was stamped on.
+        n0.send(
+            nid(1),
+            ByzMsg {
+                path: Path::root(nid(0)),
+                value: AgreementValue::Value(12u64),
+            },
+        );
+        match n1.poll() {
+            PollOutcome::Event(NodeEvent::Deliver { .. }) => {}
+            other => panic!("expected delivery, got {other:?}"),
+        }
+        assert_eq!(n1.last_trace(), None);
     }
 
     #[test]

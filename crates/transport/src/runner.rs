@@ -14,10 +14,14 @@
 use crate::mesh::{channel_mesh, tcp_mesh, MeshConfig, MeshTransport};
 use crate::sim::{RelaxedTiming, SimWorld};
 use crate::{LinkChaos, PollOutcome, Transport, TransportKind, TransportStats};
-use degradable::{ByzInstance, ByzMsg, EigView, NodeAction, NodeStateMachine, Strategy, Val};
+use degradable::{
+    AgreementValue, ByzInstance, ByzMsg, EigView, NodeAction, NodeStateMachine, Strategy, Val,
+};
+use obs::{Obs, SpanRecord, TraceCtx};
 use simnet::NodeId;
 use std::collections::{BTreeMap, BTreeSet};
-use std::io;
+use std::io::{self, Write};
+use std::path::PathBuf;
 use std::thread;
 use std::time::Duration;
 
@@ -33,6 +37,12 @@ pub struct RunOptions {
     /// replaying a threaded mesh run through `SpecChecker` one node at
     /// a time.
     pub record_events: bool,
+    /// Stamp every outgoing envelope with a causal [`TraceCtx`] and
+    /// record `trace.*` spans (send, deliver, close, decide) per node.
+    /// Spans carry a monotone per-node logical clock, so the merged
+    /// trace is deterministic across backends, worker counts, and
+    /// reruns in the logical dimension.
+    pub trace: bool,
 }
 
 impl RunOptions {
@@ -42,6 +52,127 @@ impl RunOptions {
             early_stop: true,
             ..RunOptions::default()
         }
+    }
+
+    /// Options with causal tracing armed.
+    pub fn traced() -> Self {
+        RunOptions {
+            trace: true,
+            ..RunOptions::default()
+        }
+    }
+}
+
+/// Per-node causal trace recorder behind [`RunOptions::trace`].
+///
+/// Every protocol-visible event on the node gets a point span —
+/// `trace.send` (with the stamped context and destination),
+/// `trace.deliver` (with the carried context, if the backend delivered
+/// one), `trace.close` (round barrier) and `trace.decide` — whose
+/// `logical` field is a monotone per-node event counter. Wall time is
+/// deliberately zero: these are point events in logical time, and the
+/// causal chain (`TraceCtx::is_parent_of`) plus the per-node clock is
+/// what the critical-path reconstruction consumes.
+#[derive(Debug)]
+pub struct NodeTracer {
+    obs: Obs,
+    instance: u64,
+    node: NodeId,
+    clock: u64,
+}
+
+impl NodeTracer {
+    /// A tracer for `node`, recording under agreement instance id
+    /// `instance`. Every span carries a `node` attribute, so merged
+    /// multi-node traces stay attributable.
+    pub fn new(instance: u64, node: NodeId) -> Self {
+        NodeTracer {
+            obs: Obs::enabled(),
+            instance,
+            node,
+            clock: 0,
+        }
+    }
+
+    /// A tracer retaining at most `capacity` spans (see
+    /// [`Obs::enabled_bounded`]); drops stay detectable through the
+    /// `obs.dropped_spans` counter.
+    pub fn bounded(instance: u64, node: NodeId, capacity: usize) -> Self {
+        NodeTracer {
+            obs: Obs::enabled_bounded(capacity),
+            instance,
+            node,
+            clock: 0,
+        }
+    }
+
+    /// The context this node stamps on an outgoing envelope.
+    pub fn ctx_for(&self, msg: &ByzMsg<u64>) -> TraceCtx {
+        TraceCtx::new(
+            self.instance,
+            msg.path
+                .as_slice()
+                .iter()
+                .map(|id| id.index() as u64)
+                .collect(),
+        )
+    }
+
+    fn record(&mut self, name: &'static str, mut args: Vec<(String, u64)>) {
+        self.clock += 1;
+        args.push(("node".to_string(), self.node.index() as u64));
+        self.obs.record_span(SpanRecord {
+            name: name.to_string(),
+            args,
+            logical: self.clock,
+            wall_nanos: 0,
+        });
+    }
+
+    fn record_send(&mut self, to: NodeId, ctx: &TraceCtx) {
+        let mut args = ctx.span_args();
+        args.push(("to".to_string(), to.index() as u64));
+        self.record("trace.send", args);
+        self.obs.add("trace.sends", 1);
+    }
+
+    fn record_deliver(&mut self, src: NodeId, ctx: Option<TraceCtx>) {
+        let mut args = match &ctx {
+            Some(ctx) => ctx.span_args(),
+            None => Vec::new(),
+        };
+        args.push(("src".to_string(), src.index() as u64));
+        self.record("trace.deliver", args);
+        self.obs.add("trace.delivers", 1);
+        if ctx.is_none() {
+            // Either the sender ran untraced or the wire trace section
+            // was malformed and degraded — both are worth counting.
+            self.obs.add("trace.delivers_untraced", 1);
+        }
+    }
+
+    fn record_close(&mut self, round: usize) {
+        self.record("trace.close", vec![("round".to_string(), round as u64)]);
+    }
+
+    fn record_decide(&mut self, value: &Val) {
+        let args = match value {
+            AgreementValue::Value(v) => vec![
+                ("instance".to_string(), self.instance),
+                ("value".to_string(), *v),
+            ],
+            AgreementValue::Default => vec![
+                ("instance".to_string(), self.instance),
+                ("is_default".to_string(), 1),
+            ],
+        };
+        self.record("trace.decide", args);
+        self.obs.add("trace.decides", 1);
+    }
+
+    /// Consumes the tracer, yielding the recorded spans and counters.
+    pub fn into_obs(self) -> Obs {
+        self.obs
     }
 }
 
@@ -92,6 +223,9 @@ pub struct NodeOutcome {
     pub subtrees_pruned: u64,
     /// Sends this node skipped via early stopping (zero unless armed).
     pub messages_saved: u64,
+    /// The node's trace recorder output (disabled unless
+    /// [`RunOptions::trace`]).
+    pub obs: Obs,
 }
 
 /// The outcome of one scenario on one backend.
@@ -111,6 +245,10 @@ pub struct TransportRun {
     pub messages_saved: u64,
     /// Per-node event logs (empty unless [`RunOptions::record_events`]).
     pub node_events: BTreeMap<NodeId, Vec<LoggedEvent>>,
+    /// All nodes' trace recorders merged in node order (disabled unless
+    /// [`RunOptions::trace`]); the deterministic input for critical-path
+    /// reconstruction and the SLO layer.
+    pub obs: Obs,
 }
 
 impl TransportRun {
@@ -121,6 +259,11 @@ impl TransportRun {
         let mut subtrees_pruned = 0;
         let mut messages_saved = 0;
         let mut node_events = BTreeMap::new();
+        let mut obs = if outcomes.iter().any(|o| o.obs.is_enabled()) {
+            Obs::enabled()
+        } else {
+            Obs::disabled()
+        };
         for o in outcomes {
             if let Some(d) = o.decision {
                 decisions.insert(o.node, d);
@@ -129,6 +272,7 @@ impl TransportRun {
             stats.merge(&o.stats);
             subtrees_pruned += o.subtrees_pruned;
             messages_saved += o.messages_saved;
+            obs.merge(&o.obs);
             if !o.events.is_empty() {
                 node_events.insert(o.node, o.events);
             }
@@ -141,6 +285,7 @@ impl TransportRun {
             subtrees_pruned,
             messages_saved,
             node_events,
+            obs,
         }
     }
 }
@@ -167,16 +312,29 @@ fn machines_for(
 
 /// Feeds `event`-produced actions back into the transport; returns the
 /// decision if the machine made one. With a log attached, records the
-/// delivery or the full close (round, pre-chaos sends, decision).
+/// delivery or the full close (round, pre-chaos sends, decision). With a
+/// tracer attached, stamps every send with its causal context and
+/// records the node's `trace.*` spans.
 fn perform<T: Transport>(
     transport: &mut T,
     machine: &mut NodeStateMachine<u64>,
     event: degradable::NodeEvent<u64>,
     mut log: Option<&mut Vec<LoggedEvent>>,
+    mut tracer: Option<&mut NodeTracer>,
 ) -> Option<Val> {
     let closing_round = match &event {
-        degradable::NodeEvent::Timeout { round } => Some(*round),
+        degradable::NodeEvent::Timeout { round } => {
+            if let Some(t) = tracer.as_deref_mut() {
+                t.record_close(*round);
+            }
+            Some(*round)
+        }
         degradable::NodeEvent::Deliver { src, msg } => {
+            if let Some(t) = tracer.as_deref_mut() {
+                // `last_trace` is the context of the delivery `poll`
+                // just surfaced — exactly this event.
+                t.record_deliver(*src, transport.last_trace());
+            }
             if let Some(log) = log.as_deref_mut() {
                 log.push(LoggedEvent::Deliver {
                     src: *src,
@@ -194,9 +352,21 @@ fn perform<T: Transport>(
                 if log.is_some() && closing_round.is_some() {
                     sends.push((to, msg.clone()));
                 }
-                transport.send(to, msg);
+                match tracer.as_deref_mut() {
+                    Some(t) => {
+                        let ctx = t.ctx_for(&msg);
+                        t.record_send(to, &ctx);
+                        transport.send_traced(to, msg, Some(ctx));
+                    }
+                    None => transport.send(to, msg),
+                }
             }
-            NodeAction::Decide { value } => decision = Some(value),
+            NodeAction::Decide { value } => {
+                if let Some(t) = tracer.as_deref_mut() {
+                    t.record_decide(&value);
+                }
+                decision = Some(value);
+            }
         }
     }
     if let (Some(round), Some(log)) = (closing_round, log) {
@@ -246,6 +416,9 @@ pub fn run_sim_with(
     let mut machines = machines_for(instance, sender_value, strategies, options);
     let mut decisions: Vec<Option<Val>> = vec![None; n];
     let mut logs: Vec<Vec<LoggedEvent>> = vec![Vec::new(); n];
+    let mut tracers: Vec<Option<NodeTracer>> = (0..n)
+        .map(|i| options.trace.then(|| NodeTracer::new(0, NodeId::new(i))))
+        .collect();
     loop {
         let mut all_closed = true;
         let mut progressed = false;
@@ -262,7 +435,13 @@ pub fn run_sim_with(
                             continue;
                         }
                         let log = options.record_events.then_some(&mut logs[i]);
-                        if let Some(d) = perform(&mut endpoints[i], &mut machines[i], event, log) {
+                        if let Some(d) = perform(
+                            &mut endpoints[i],
+                            &mut machines[i],
+                            event,
+                            log,
+                            tracers[i].as_mut(),
+                        ) {
                             decisions[i] = Some(d);
                         }
                     }
@@ -283,8 +462,9 @@ pub fn run_sim_with(
         .iter()
         .zip(&endpoints)
         .zip(std::mem::take(&mut logs))
+        .zip(std::mem::take(&mut tracers))
         .enumerate()
-        .map(|(i, ((m, t), events))| NodeOutcome {
+        .map(|(i, (((m, t), events), tracer))| NodeOutcome {
             node: NodeId::new(i),
             decision: decisions[i],
             view: m.view().clone(),
@@ -293,33 +473,95 @@ pub fn run_sim_with(
             events,
             subtrees_pruned: m.subtrees_pruned(),
             messages_saved: m.messages_saved(),
+            obs: tracer.map_or_else(Obs::disabled, NodeTracer::into_obs),
         })
         .collect();
     TransportRun::assemble(TransportKind::Sim, outcomes)
+}
+
+/// Knobs for [`drive_mesh_opts`] — one mesh endpoint's driver loop, as
+/// used per node by [`run_channel`]/[`run_tcp`] and standalone by
+/// `dagree serve`.
+#[derive(Debug, Clone, Default)]
+pub struct MeshDriveOptions {
+    /// Record a per-node [`LoggedEvent`] log.
+    pub record_events: bool,
+    /// Stamp sends with a [`TraceCtx`] and record `trace.*` spans.
+    pub trace: bool,
+    /// Agreement instance id stamped into contexts (0 outside batches).
+    pub instance: u64,
+    /// Append a JSONL registry snapshot to this file at every round
+    /// close — the `dagree serve --metrics-out` live-metrics hook. Each
+    /// line is `{"node":i,"round":r,"registry":{...}}`. Write failures
+    /// disable the sink with a stderr warning, never kill the run:
+    /// metrics are observability, not protocol.
+    pub metrics_out: Option<PathBuf>,
 }
 
 /// Drives one mesh endpoint to completion on the current thread — the
 /// loop `dagree serve` runs after [`crate::tcp_join`] hands it a joined
 /// endpoint, and the per-node body of [`run_channel`]/[`run_tcp`].
 pub fn drive_mesh(transport: MeshTransport, machine: NodeStateMachine<u64>) -> NodeOutcome {
-    drive_mesh_with(transport, machine, false)
+    drive_mesh_opts(transport, machine, &MeshDriveOptions::default())
 }
 
 /// [`drive_mesh`] with an optional event log (see
 /// [`RunOptions::record_events`]).
 pub fn drive_mesh_with(
-    mut transport: MeshTransport,
-    mut machine: NodeStateMachine<u64>,
+    transport: MeshTransport,
+    machine: NodeStateMachine<u64>,
     record_events: bool,
 ) -> NodeOutcome {
+    drive_mesh_opts(
+        transport,
+        machine,
+        &MeshDriveOptions {
+            record_events,
+            ..MeshDriveOptions::default()
+        },
+    )
+}
+
+/// [`drive_mesh`] with the full option set.
+pub fn drive_mesh_opts(
+    mut transport: MeshTransport,
+    mut machine: NodeStateMachine<u64>,
+    options: &MeshDriveOptions,
+) -> NodeOutcome {
+    let me = transport.me();
     let mut decision = None;
     let mut events = Vec::new();
+    let mut tracer = options.trace.then(|| NodeTracer::new(options.instance, me));
+    let mut sink = options.metrics_out.as_ref().and_then(|path| {
+        match std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+        {
+            Ok(f) => Some(f),
+            Err(e) => {
+                eprintln!("metrics-out: cannot open {}: {e}", path.display());
+                None
+            }
+        }
+    });
     loop {
         match transport.poll() {
             PollOutcome::Event(event) => {
-                let log = record_events.then_some(&mut events);
-                if let Some(d) = perform(&mut transport, &mut machine, event, log) {
+                let closed_round = match &event {
+                    degradable::NodeEvent::Timeout { round } => Some(*round),
+                    degradable::NodeEvent::Deliver { .. } => None,
+                };
+                let log = options.record_events.then_some(&mut events);
+                if let Some(d) = perform(&mut transport, &mut machine, event, log, tracer.as_mut())
+                {
                     decision = Some(d);
+                }
+                if let (Some(round), Some(f)) = (closed_round, sink.as_mut()) {
+                    if let Err(e) = write_metrics_line(f, me, round, tracer.as_ref(), &transport) {
+                        eprintln!("metrics-out: write failed, disabling: {e}");
+                        sink = None;
+                    }
                 }
             }
             PollOutcome::Pending => thread::sleep(Duration::from_micros(100)),
@@ -327,7 +569,7 @@ pub fn drive_mesh_with(
         }
     }
     NodeOutcome {
-        node: transport.me(),
+        node: me,
         decision,
         view: machine.view().clone(),
         stats: transport.stats(),
@@ -335,7 +577,31 @@ pub fn drive_mesh_with(
         events,
         subtrees_pruned: machine.subtrees_pruned(),
         messages_saved: machine.messages_saved(),
+        obs: tracer.map_or_else(Obs::disabled, NodeTracer::into_obs),
     }
+}
+
+/// One live-metrics JSONL line: the node's trace registry (when tracing)
+/// plus transport traffic counters, stamped with node and round.
+fn write_metrics_line(
+    f: &mut std::fs::File,
+    me: NodeId,
+    round: usize,
+    tracer: Option<&NodeTracer>,
+    transport: &MeshTransport,
+) -> io::Result<()> {
+    let mut registry = tracer.map_or_else(obs::Registry::new, |t| t.obs.registry().clone());
+    let stats = transport.stats();
+    registry.set_counter("net.sent", stats.sent);
+    registry.set_counter("net.delivered", stats.delivered);
+    registry.set_counter("net.dropped", stats.dropped());
+    registry.set_counter("net.false_timeouts", stats.false_timeouts);
+    let line = obs::JsonValue::Object(vec![
+        ("node".into(), (me.index() as u64).into()),
+        ("round".into(), (round as u64).into()),
+        ("registry".into(), registry.to_json()),
+    ]);
+    writeln!(f, "{}", line.to_json_string())
 }
 
 fn run_mesh(
@@ -347,10 +613,18 @@ fn run_mesh(
     options: RunOptions,
 ) -> TransportRun {
     let machines = machines_for(instance, sender_value, strategies, options);
+    let drive = MeshDriveOptions {
+        record_events: options.record_events,
+        trace: options.trace,
+        ..MeshDriveOptions::default()
+    };
     let handles: Vec<_> = mesh
         .into_iter()
         .zip(machines)
-        .map(|(t, m)| thread::spawn(move || drive_mesh_with(t, m, options.record_events)))
+        .map(|(t, m)| {
+            let drive = drive.clone();
+            thread::spawn(move || drive_mesh_opts(t, m, &drive))
+        })
         .collect();
     let outcomes = handles
         .into_iter()
@@ -680,6 +954,90 @@ mod tests {
                 })
                 .collect();
             assert_eq!(closes, vec![0, 1, 2], "node {node}");
+        }
+    }
+
+    #[test]
+    fn traced_sim_run_records_a_complete_deterministic_chain() {
+        let inst = instance(4, 1, 1);
+        let run = |_| {
+            run_sim_with(
+                &inst,
+                Val::Value(9),
+                &BTreeMap::new(),
+                LinkChaos::healthy(),
+                None,
+                RunOptions::traced(),
+            )
+        };
+        let a = run(());
+        let b = run(());
+        assert!(a.obs.is_enabled());
+        // Bit-stable: same scenario, same trace, logical dimension and all.
+        assert_eq!(a.obs, b.obs);
+        let reg = a.obs.registry();
+        assert_eq!(reg.counter("trace.sends"), a.stats.sent);
+        assert_eq!(reg.counter("trace.delivers"), a.stats.delivered);
+        // Every traced delivery carried its context on this backend.
+        assert_eq!(reg.counter("trace.delivers_untraced"), 0);
+        assert_eq!(reg.counter("trace.decides"), 3);
+        // Every delivery span parses back to a context that chains from
+        // some send span's context (send happens-before deliver).
+        let sends: Vec<TraceCtx> = a
+            .obs
+            .spans()
+            .iter()
+            .filter(|s| s.name == "trace.send")
+            .filter_map(|s| TraceCtx::from_span_args(&s.args))
+            .collect();
+        let delivers: Vec<TraceCtx> = a
+            .obs
+            .spans()
+            .iter()
+            .filter(|s| s.name == "trace.deliver")
+            .filter_map(|s| TraceCtx::from_span_args(&s.args))
+            .collect();
+        assert_eq!(delivers.len() as u64, a.stats.delivered);
+        for d in &delivers {
+            assert!(
+                sends.contains(d),
+                "delivered context {d} was never stamped on a send"
+            );
+        }
+    }
+
+    #[test]
+    fn traced_runs_decide_identically_on_every_backend() {
+        let inst = instance(5, 1, 2);
+        let strategies: BTreeMap<_, _> = [(NodeId::new(2), Strategy::ConstantLie(Val::Value(6)))]
+            .into_iter()
+            .collect();
+        let baseline = run_sim(
+            &inst,
+            Val::Value(4),
+            &strategies,
+            LinkChaos::healthy(),
+            None,
+        );
+        for kind in TransportKind::ALL {
+            let run = run_kind_with(
+                kind,
+                &inst,
+                Val::Value(4),
+                &strategies,
+                LinkChaos::healthy(),
+                MeshConfig::default(),
+                RunOptions::traced(),
+            )
+            .unwrap();
+            assert_eq!(run.decisions, baseline.decisions, "{kind}");
+            let reg = run.obs.registry();
+            assert_eq!(reg.counter("trace.sends"), run.stats.sent, "{kind}");
+            assert_eq!(reg.counter("trace.delivers"), run.stats.delivered, "{kind}");
+            // Meshes carry the context through frames (channel:
+            // in-memory, TCP: the 0x03 wire tag); nothing arrives
+            // untraced on a healthy network.
+            assert_eq!(reg.counter("trace.delivers_untraced"), 0, "{kind}");
         }
     }
 

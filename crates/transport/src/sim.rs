@@ -29,6 +29,7 @@
 use crate::chaos::{message_key, unit_f64, LinkChaos};
 use crate::{Disposition, DropCause, PollOutcome, Transport, TransportStats};
 use degradable::{ByzMsg, NodeEvent, Path};
+use obs::TraceCtx;
 use serde::{Deserialize, Serialize};
 use simnet::{EventClass, EventQueue, NodeId, SimTime};
 use std::cell::RefCell;
@@ -98,6 +99,7 @@ enum WorldEvent {
         src: NodeId,
         msg: ByzMsg<u64>,
         late: bool,
+        trace: Option<TraceCtx>,
     },
     /// Node `node`'s round-`round` timeout.
     Timer { node: NodeId, round: usize },
@@ -122,6 +124,8 @@ pub struct SimWorld {
     relaxed: Option<RelaxedTiming>,
     faulty: BTreeSet<NodeId>,
     stats: Vec<TransportStats>,
+    /// Per-node trace context of the most recently surfaced delivery.
+    last_trace: Vec<Option<TraceCtx>>,
 }
 
 impl SimWorld {
@@ -158,6 +162,7 @@ impl SimWorld {
             relaxed,
             faulty,
             stats: vec![TransportStats::default(); n],
+            last_trace: vec![None; n],
         }));
         NodeId::all(n)
             .map(|me| SimTransport {
@@ -167,7 +172,7 @@ impl SimWorld {
             .collect()
     }
 
-    fn send(&mut self, from: NodeId, to: NodeId, msg: ByzMsg<u64>) {
+    fn send(&mut self, from: NodeId, to: NodeId, msg: ByzMsg<u64>, trace: Option<TraceCtx>) {
         let round = (self.queue.now() / self.quantum) as usize;
         self.stats[from.index()].sent += 1;
         let (copies, delay) = match self.chaos.disposition(round, from, to, &msg.path) {
@@ -209,6 +214,7 @@ impl SimWorld {
                     src: from,
                     msg: msg.clone(),
                     late: skew > 0,
+                    trace: trace.clone(),
                 },
             );
         }
@@ -230,6 +236,7 @@ impl SimWorld {
                 src,
                 msg,
                 late,
+                trace,
             } => {
                 let s = &mut self.stats[dst.index()];
                 s.delivered += 1;
@@ -238,6 +245,7 @@ impl SimWorld {
                     // missed the timeout: §6's false absence detection.
                     s.false_timeouts += 1;
                 }
+                self.last_trace[dst.index()] = trace;
                 PollOutcome::Event(NodeEvent::Deliver { src, msg })
             }
         }
@@ -260,7 +268,15 @@ impl Transport for SimTransport {
     }
 
     fn send(&mut self, to: NodeId, msg: ByzMsg<u64>) {
-        self.world.borrow_mut().send(self.me, to, msg);
+        self.world.borrow_mut().send(self.me, to, msg, None);
+    }
+
+    fn send_traced(&mut self, to: NodeId, msg: ByzMsg<u64>, trace: Option<TraceCtx>) {
+        self.world.borrow_mut().send(self.me, to, msg, trace);
+    }
+
+    fn last_trace(&self) -> Option<TraceCtx> {
+        self.world.borrow().last_trace[self.me.index()].clone()
     }
 
     fn poll(&mut self) -> PollOutcome {

@@ -289,6 +289,127 @@ fn zero_skew_relaxed_timing_matches_exact_detection() {
 }
 
 #[test]
+fn malformed_trace_frames_over_live_tcp_degrade_to_untraced_deliveries() {
+    // The causal trace section of a `0x03` wire frame is observability
+    // metadata, not protocol state: whatever an adversary (or a cut cable)
+    // does to it, the enclosing envelope must still be delivered — as an
+    // *untraced* message — and the connection must survive to carry later
+    // traffic. The codec tests prove this at the byte level; this test
+    // proves it end to end, through a real listener, the id handshake, and
+    // the mesh reader thread.
+    use degradable::{ByzMsg, NodeEvent, Path};
+    use obs::TraceCtx;
+    use std::io::Write;
+    use std::net::{TcpListener, TcpStream};
+    use std::time::{Duration, Instant};
+    use transport::frame::{self, Frame};
+    use transport::{tcp_join, PollOutcome, Transport};
+
+    // Reserve a loopback port for node 0's listener, then release it for
+    // tcp_join to rebind.
+    let addr0 = {
+        let l = TcpListener::bind("127.0.0.1:0").unwrap();
+        l.local_addr().unwrap()
+    };
+    // Node 0 dials no one (lowest index), so peer 1's address is never
+    // used — any placeholder works.
+    let addr1 = "127.0.0.1:1".parse().unwrap();
+    let config = MeshConfig {
+        // Generous: the test collects deliveries by hand and must not race
+        // a deadline-driven round advance.
+        round_timeout: Duration::from_secs(30),
+        ..MeshConfig::default()
+    };
+    let joiner = std::thread::spawn(move || {
+        tcp_join(
+            NodeId::new(0),
+            &[addr0, addr1],
+            1,
+            LinkChaos::healthy(),
+            config,
+        )
+    });
+    // The test plays node 1 on a raw socket, so it can put arbitrary bytes
+    // on the wire after the 4-byte id handshake.
+    let mut wire = {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            match TcpStream::connect(addr0) {
+                Ok(s) => break s,
+                Err(e) if Instant::now() >= deadline => panic!("node 0 never listened: {e}"),
+                Err(_) => std::thread::sleep(Duration::from_millis(10)),
+            }
+        }
+    };
+    wire.write_all(&1u32.to_le_bytes()).unwrap();
+    let mut node0 = joiner.join().unwrap().expect("tcp_join failed");
+
+    let ctx = TraceCtx::new(3, vec![1]);
+    let traced = Frame::Envelope {
+        src: NodeId::new(1),
+        msg: ByzMsg {
+            path: Path::root(NodeId::new(1)),
+            value: Val::Value(5),
+        },
+        trace: Some(ctx.clone()),
+    };
+    // The frame body (after the u32 length prefix); its trace section for
+    // a length-1 path is instance:u64 hop:u32 len:u32 id:u64 = 24 bytes.
+    let good = frame::encode(&traced)[4..].to_vec();
+    let split = good.len() - (8 + 4 + 4 + 8);
+    let reframe = |body: &[u8]| {
+        let mut w = (body.len() as u32).to_le_bytes().to_vec();
+        w.extend_from_slice(body);
+        w
+    };
+    let mut bloated = good[..split].to_vec();
+    bloated.extend_from_slice(&7u64.to_le_bytes());
+    bloated.extend_from_slice(&1u32.to_le_bytes());
+    bloated.extend_from_slice(&u32::MAX.to_le_bytes());
+    let malformed = [
+        good[..split].to_vec(),      // trace section missing entirely
+        good[..split + 10].to_vec(), // truncated mid-section
+        bloated,                     // absurd path-length claim
+    ];
+    for body in &malformed {
+        wire.write_all(&reframe(body)).unwrap();
+    }
+    // A well-formed traced frame *after* the corrupt ones: its context
+    // arriving intact proves the connection and the codec state survived.
+    wire.write_all(&reframe(&good)).unwrap();
+
+    assert_eq!(
+        node0.poll(),
+        PollOutcome::Event(NodeEvent::Timeout { round: 0 })
+    );
+    let mut traces = Vec::new();
+    let start = Instant::now();
+    while traces.len() < 4 {
+        match node0.poll() {
+            PollOutcome::Event(NodeEvent::Deliver { src, msg }) => {
+                assert_eq!(src, NodeId::new(1));
+                assert_eq!(msg.value, Val::Value(5));
+                traces.push(node0.last_trace());
+            }
+            PollOutcome::Pending => std::thread::sleep(Duration::from_millis(1)),
+            other => panic!("expected deliveries only, got {other:?}"),
+        }
+        assert!(
+            start.elapsed() < Duration::from_secs(10),
+            "only {} of 4 frames arrived",
+            traces.len()
+        );
+    }
+    assert_eq!(traces, vec![None, None, None, Some(ctx)]);
+    assert!(
+        node0.failure().is_none(),
+        "corrupt traces must not kill links"
+    );
+    assert!(node0.gone_peers().is_empty());
+    assert_eq!(node0.stats().delivered, 4);
+}
+
+#[test]
 fn false_timeouts_are_counted_between_fault_free_pairs_only() {
     // Skew every envelope: the counter must still exclude pairs with a
     // faulty endpoint — §6's relaxation is about *fault-free* nodes
