@@ -45,6 +45,58 @@ pub fn dispatch(cmd: &Command) -> String {
             metrics_out.as_deref(),
             trace_out.as_deref(),
         ),
+        Command::ServeService {
+            nodes,
+            m,
+            u,
+            instances,
+            batch,
+            queue,
+            workers,
+            seed,
+            faulty,
+            no_timing,
+            metrics_out,
+        } => service_cmd(
+            "service",
+            *nodes,
+            *m,
+            *u,
+            *instances,
+            *batch,
+            *queue,
+            *workers,
+            *seed,
+            faulty,
+            *no_timing,
+            metrics_out.as_deref(),
+        ),
+        Command::Bombard {
+            nodes,
+            m,
+            u,
+            instances,
+            burst,
+            queue,
+            workers,
+            seed,
+            faulty,
+            no_timing,
+            metrics_out,
+        } => service_cmd(
+            "bombard",
+            *nodes,
+            *m,
+            *u,
+            *instances,
+            *burst,
+            *queue,
+            *workers,
+            *seed,
+            faulty,
+            *no_timing,
+            metrics_out.as_deref(),
+        ),
         Command::Batch {
             nodes,
             m,
@@ -766,6 +818,157 @@ fn batch_cmd(
     out
 }
 
+/// The `serve --service` / `bombard` driver: offers `instances` seeded
+/// agreement instances to a persistent [`degradable::ServiceState`] in
+/// waves of `wave`, draining after each wave. Senders round-robin over
+/// the cluster, values cycle a small domain so store memoization has
+/// something to reuse, and every 4th drain is re-decided through the
+/// one-shot [`degradable::run_batch`] oracle as a live equivalence
+/// sample. With `no_timing` the report (and any `--metrics-out` JSONL)
+/// is deterministic and worker-count-independent.
+#[allow(clippy::too_many_arguments)]
+fn service_cmd(
+    mode: &str,
+    nodes: usize,
+    m: usize,
+    u: usize,
+    instances: usize,
+    wave: usize,
+    queue: usize,
+    workers: usize,
+    seed: u64,
+    faulty: &std::collections::BTreeMap<NodeId, degradable::Strategy<u64>>,
+    no_timing: bool,
+    metrics_out: Option<&str>,
+) -> String {
+    let params = match Params::new(m, u) {
+        Ok(p) => p,
+        Err(e) => return format!("error: {e}"),
+    };
+    let config = degradable::ServiceConfig {
+        queue_capacity: queue,
+        workers,
+    };
+    let mut svc: degradable::ServiceState<u64> =
+        match degradable::ServiceState::new(params, nodes, config) {
+            Ok(s) => s,
+            Err(e) => return format!("error: {e}"),
+        };
+    let mut obs = obs::Obs::enabled();
+    let started = std::time::Instant::now();
+
+    // Mirror of the accepted-but-undrained queue, in ingestion order, so
+    // equivalence samples can replay the exact drained batch through the
+    // one-shot oracle.
+    let mut mirror: Vec<degradable::BatchInstance<u64>> = Vec::new();
+    let (mut offered, mut accepted, mut shed) = (0usize, 0usize, 0usize);
+    let mut next_id = 0u64;
+    let mut drains = 0u64;
+    let (mut samples, mut mismatches) = (0usize, 0usize);
+    let mut errors: Vec<String> = Vec::new();
+
+    while offered < instances {
+        let this_wave = wave.min(instances - offered);
+        for _ in 0..this_wave {
+            let inst = degradable::BatchInstance {
+                sender: NodeId::new((next_id as usize) % nodes),
+                value: Val::Value(next_id % 5),
+            };
+            match svc.ingest(next_id, inst.clone()) {
+                Ok(()) => {
+                    accepted += 1;
+                    mirror.push(inst);
+                }
+                Err(degradable::ServiceError::QueueFull { .. }) => shed += 1,
+                Err(e) => errors.push(format!("ingest {next_id}: {e}")),
+            }
+            next_id += 1;
+            offered += 1;
+        }
+        let drain_seed = seed.wrapping_add(drains);
+        let batch = svc.drain_observed(faulty, drain_seed, &mut obs);
+        let drained = std::mem::take(&mut mirror);
+        debug_assert_eq!(batch.ids.len(), drained.len());
+        if drains.is_multiple_of(4) && !drained.is_empty() {
+            samples += 1;
+            let oracle = degradable::run_batch(params, nodes, &drained, faulty, drain_seed);
+            if oracle.decisions != batch.run.decisions {
+                mismatches += 1;
+            }
+        }
+        drains += 1;
+    }
+
+    let stats = svc.stats();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{mode}: BYZ({m},{u}) with n = {nodes}, f = {} — offered {instances} instance(s) \
+         in wave(s) of {wave} (queue {queue}, workers {workers})",
+        faulty.len()
+    );
+    let _ = writeln!(
+        out,
+        "load: {offered} offered, {accepted} accepted, {shed} shed ({} queued at exit)",
+        svc.pending_len()
+    );
+    let _ = writeln!(
+        out,
+        "decided: {} instance(s) over {} drain(s); equivalence samples {samples}, \
+         mismatches {mismatches}",
+        stats.decided, stats.batches
+    );
+    let arena_requests = stats.arena_builds + stats.arena_reuses;
+    let store_requests = stats.store_builds + stats.store_reuses;
+    let _ =
+        writeln!(
+        out,
+        "pool: arenas {} built / {} reused ({}% reuse), stores {} built / {} reused ({}% reuse)",
+        stats.arena_builds,
+        stats.arena_reuses,
+        (stats.arena_reuses * 100).checked_div(arena_requests).unwrap_or(0),
+        stats.store_builds,
+        stats.store_reuses,
+        (stats.store_reuses * 100).checked_div(store_requests).unwrap_or(0),
+    );
+    for name in ["svc.instance.logical", "svc.instance.messages"] {
+        if let Some(h) = obs.registry().histogram(name) {
+            let _ = writeln!(
+                out,
+                "{name}: p50 <= {}, p99 <= {}",
+                h.quantile(0.5).map_or(0, |v| v as u64),
+                h.quantile(0.99).map_or(0, |v| v as u64),
+            );
+        }
+    }
+    for e in &errors {
+        let _ = writeln!(out, "error: {e}");
+    }
+    if !no_timing {
+        let elapsed = started.elapsed();
+        let rate = stats.decided as f64 / elapsed.as_secs_f64().max(1e-9);
+        let _ = writeln!(
+            out,
+            "timing: {:.1} ms wall, {rate:.0} instances/sec",
+            elapsed.as_secs_f64() * 1e3
+        );
+    }
+    if let Some(path) = metrics_out {
+        if no_timing {
+            obs::scrub_timing(&mut obs);
+        }
+        match std::fs::write(path, obs::jsonl(&obs)) {
+            Ok(()) => {
+                let _ = writeln!(out, "metrics: wrote registry JSONL to {path}");
+            }
+            Err(e) => {
+                let _ = writeln!(out, "error: cannot write metrics to {path}: {e}");
+            }
+        }
+    }
+    out
+}
+
 fn search_cmd(nodes: usize, m: usize, u: usize, below_bound: bool, method: SearchMethod) -> String {
     let instance = match make_instance(nodes, m, u, below_bound) {
         Ok(i) => i,
@@ -969,6 +1172,118 @@ mod tests {
         assert!(out.contains("decided 45"), "{out}");
         assert!(out.contains("arena: 1 built, 3 reused"), "{out}");
         assert!(out.contains("0 cross-instance spoofs rejected"), "{out}");
+    }
+
+    #[test]
+    fn service_mode_report_is_worker_count_independent() {
+        let faulty = parse_faulty("3:constant-lie:7").unwrap();
+        let base = service_cmd("service", 5, 1, 2, 48, 16, 100, 1, 7, &faulty, true, None);
+        assert!(base.contains("48 offered, 48 accepted, 0 shed"), "{base}");
+        assert!(base.contains("mismatches 0"), "{base}");
+        // 5 distinct senders -> 5 arena builds; everything else reuses.
+        assert!(base.contains("arenas 5 built"), "{base}");
+        assert!(base.contains("svc.instance.logical: p50 <= "), "{base}");
+        assert!(!base.contains("timing:"), "{base}");
+        // Identical modulo the banner line, which echoes the worker count.
+        let strip = |s: &str| {
+            s.lines()
+                .filter(|l| !l.contains("workers"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        for workers in [2, 8] {
+            let other = service_cmd(
+                "service", 5, 1, 2, 48, 16, 100, workers, 7, &faulty, true, None,
+            );
+            assert_eq!(strip(&base), strip(&other), "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn bombard_sheds_without_losing_equivalence() {
+        // Burst 24 against queue 16: every full wave sheds 8.
+        let out = service_cmd(
+            "bombard",
+            5,
+            1,
+            2,
+            72,
+            24,
+            16,
+            2,
+            3,
+            &Default::default(),
+            true,
+            None,
+        );
+        assert!(out.contains("72 offered, 48 accepted, 24 shed"), "{out}");
+        assert!(out.contains("mismatches 0"), "{out}");
+        assert!(out.contains("(0 queued at exit)"), "{out}");
+    }
+
+    #[test]
+    fn service_metrics_out_is_identical_across_workers() {
+        let dir = std::env::temp_dir();
+        let read = |workers: usize| {
+            let path = dir.join(format!("dagree_svc_metrics_{workers}.jsonl"));
+            let path = path.to_str().unwrap().to_string();
+            let out = service_cmd(
+                "service",
+                5,
+                1,
+                2,
+                32,
+                8,
+                100,
+                workers,
+                5,
+                &Default::default(),
+                true,
+                Some(&path),
+            );
+            assert!(out.contains("metrics: wrote registry JSONL"), "{out}");
+            let text = std::fs::read_to_string(&path).unwrap();
+            let _ = std::fs::remove_file(&path);
+            text
+        };
+        let one = read(1);
+        assert!(one.contains("svc.pool.arena_reuses"), "{one}");
+        assert_eq!(one, read(8));
+    }
+
+    #[test]
+    fn service_mode_rejects_bad_shapes() {
+        let out = service_cmd(
+            "service",
+            4,
+            1,
+            2,
+            8,
+            4,
+            16,
+            1,
+            1,
+            &Default::default(),
+            true,
+            None,
+        );
+        assert!(out.contains("error"), "{out}");
+        let out = service_cmd(
+            "service",
+            70,
+            1,
+            2,
+            8,
+            4,
+            16,
+            1,
+            1,
+            &Default::default(),
+            true,
+            None,
+        );
+        assert!(out.contains("error"), "{out}");
+        assert!(out.contains("64"), "{out}");
     }
 
     #[test]

@@ -57,6 +57,59 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::ops::Range;
 use std::time::Instant;
 
+/// Typed construction errors for the arena-backed engine.
+///
+/// The engine packs per-path membership and fault sets into `u64`
+/// bitmasks (`ArenaNode::members`, the early-stop mask), which bounds
+/// every arena to `n <= 64` nodes. The panicking constructors
+/// ([`PathArena::new`], [`EigEngine::new`]) keep their historical
+/// assert-style contract for internal callers that already validated
+/// their shape; callers handling external configuration should use the
+/// `try_*` variants and get one of these values instead of a panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// `n` exceeds the 64-node ceiling of the `u64` fault/membership
+    /// masks (or is zero).
+    TooManyNodes {
+        /// The rejected system size.
+        n: usize,
+    },
+    /// `sender` is not a node of the `n`-node system.
+    SenderOutOfRange {
+        /// The rejected sender.
+        sender: NodeId,
+        /// System size the sender was checked against.
+        n: usize,
+    },
+    /// `depth` was zero — at least the sender round is required.
+    ZeroDepth,
+    /// The interned label count would overflow the `u32` [`PathId`]
+    /// space.
+    ArenaOverflow {
+        /// Labels the requested shape would intern.
+        labels: u128,
+    },
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::TooManyNodes { n } => {
+                write!(f, "arena supports 1 <= n <= 64, got n = {n}")
+            }
+            EngineError::SenderOutOfRange { sender, n } => {
+                write!(f, "sender {sender} out of range for {n} nodes")
+            }
+            EngineError::ZeroDepth => write!(f, "at least the sender round is required"),
+            EngineError::ArenaOverflow { labels } => {
+                write!(f, "arena would overflow u32 ids ({labels} labels)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
 /// Compact index of an interned relay label in a [`PathArena`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct PathId(u32);
@@ -121,13 +174,31 @@ impl PathArena {
     /// # Panics
     ///
     /// If `n` is not in `1..=64`, `sender` is out of range, or `depth`
-    /// is zero.
+    /// is zero. Use [`PathArena::try_new`] to get a typed
+    /// [`EngineError`] instead.
     pub fn new(n: usize, sender: NodeId, depth: usize) -> Self {
-        assert!((1..=64).contains(&n), "arena supports 1 <= n <= 64");
-        assert!(sender.index() < n, "sender out of range");
-        assert!(depth >= 1, "at least the sender round is required");
+        Self::try_new(n, sender, depth).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`PathArena::new`]: rejects the shapes the
+    /// panicking constructor asserts on. In particular the `u64`
+    /// membership masks (`u64::MAX >> (64 - n)`, `1 << j`) silently
+    /// assume `n <= 64`; wider configurations come back as
+    /// [`EngineError::TooManyNodes`] instead of a shift panic.
+    pub fn try_new(n: usize, sender: NodeId, depth: usize) -> Result<Self, EngineError> {
+        if !(1..=64).contains(&n) {
+            return Err(EngineError::TooManyNodes { n });
+        }
+        if sender.index() >= n {
+            return Err(EngineError::SenderOutOfRange { sender, n });
+        }
+        if depth == 0 {
+            return Err(EngineError::ZeroDepth);
+        }
         let expected: u128 = (1..=depth).map(|l| path_count(n, l)).sum();
-        assert!(expected < u32::MAX as u128, "arena would overflow u32 ids");
+        if expected >= u32::MAX as u128 {
+            return Err(EngineError::ArenaOverflow { labels: expected });
+        }
 
         let mask = u64::MAX >> (64 - n);
         let mut nodes = vec![ArenaNode {
@@ -165,14 +236,14 @@ impl PathArena {
             levels.push(start..nodes.len() as u32);
         }
         debug_assert_eq!(nodes.len() as u128, expected);
-        PathArena {
+        Ok(PathArena {
             n,
             sender,
             depth,
             mask,
             nodes,
             levels,
-        }
+        })
     }
 
     /// System size.
@@ -347,6 +418,20 @@ impl<V> EigStore<V> {
     pub fn materialized(&self) -> u64 {
         self.materialized
     }
+
+    /// Resets every slot to absent without releasing the allocation, so
+    /// a pooled store can be refilled for the next instance of the same
+    /// arena shape. After `clear` the store is indistinguishable from a
+    /// fresh [`EigStore::new`] over the same arena — first-write-wins
+    /// semantics restart from scratch — but the slot table is reused
+    /// instead of rebuilt (the point of [`crate::service::ServiceState`]
+    /// pooling).
+    pub fn clear(&mut self) {
+        for slot in &mut self.slots {
+            *slot = None;
+        }
+        self.materialized = 0;
+    }
 }
 
 /// Per-node resolution result covering all receivers at once.
@@ -418,14 +503,27 @@ pub struct EigEngine {
 impl EigEngine {
     /// Single-threaded engine for an `n`-node system with the given
     /// sender and tree depth.
+    ///
+    /// # Panics
+    ///
+    /// On the shapes [`PathArena::new`] rejects (`n` outside `1..=64`,
+    /// sender out of range, zero depth). Use [`EigEngine::try_new`] for
+    /// a typed [`EngineError`] instead.
     pub fn new(n: usize, sender: NodeId, depth: usize) -> Self {
-        EigEngine {
-            arena: PathArena::new(n, sender, depth),
+        Self::try_new(n, sender, depth).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`EigEngine::new`]: invalid shapes — most
+    /// notably `n > 64`, which the `u64` fault masks cannot represent —
+    /// come back as an [`EngineError`] instead of a panic.
+    pub fn try_new(n: usize, sender: NodeId, depth: usize) -> Result<Self, EngineError> {
+        Ok(EigEngine {
+            arena: PathArena::try_new(n, sender, depth)?,
             workers: 1,
             worker_spans: false,
             early_stop: None,
             packed_vote: false,
-        }
+        })
     }
 
     /// Sets the resolution worker count (0 is clamped to 1). Results
@@ -461,14 +559,29 @@ impl EigEngine {
     ///
     /// The mask is per-run state: re-derive the engine (or call this
     /// again) when the fault set changes.
-    pub fn with_early_stop(mut self, faulty: &BTreeSet<NodeId>) -> Self {
+    ///
+    /// # Panics
+    ///
+    /// If any certified id is >= 64 (the `u64` mask ceiling). Use
+    /// [`EigEngine::try_with_early_stop`] for a typed error.
+    pub fn with_early_stop(self, faulty: &BTreeSet<NodeId>) -> Self {
+        self.try_with_early_stop(faulty)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`EigEngine::with_early_stop`]: a certified id
+    /// the `u64` mask cannot hold (index >= 64) is rejected as
+    /// [`EngineError::TooManyNodes`] instead of a shift panic.
+    pub fn try_with_early_stop(mut self, faulty: &BTreeSet<NodeId>) -> Result<Self, EngineError> {
         let mut mask = 0u64;
         for f in faulty {
-            assert!(f.index() < 64, "early stop supports n <= 64");
+            if f.index() >= 64 {
+                return Err(EngineError::TooManyNodes { n: f.index() + 1 });
+            }
             mask |= 1u64 << f.index();
         }
         self.early_stop = Some(mask);
-        self
+        Ok(self)
     }
 
     /// Whether early stopping is armed (and with which fault mask).
@@ -995,6 +1108,75 @@ mod tests {
         // Out-of-range node.
         let foreign = Path::root(NodeId::new(0)).child(NodeId::new(9));
         assert_eq!(arena.intern(&foreign), None);
+    }
+
+    #[test]
+    fn mask_width_boundary_is_typed_not_a_shift_panic() {
+        // n = 64 is the widest shape the u64 masks represent: the full
+        // mask is `u64::MAX >> 0` and the highest member bit is
+        // `1 << 63` — both legal shifts.
+        let arena = PathArena::try_new(64, NodeId::new(63), 2).expect("n = 64 is supported");
+        assert_eq!(arena.node_count() as u128, 1 + path_count(64, 2));
+        assert!(EigEngine::try_new(64, NodeId::new(0), 2).is_ok());
+        // n = 65 would need `u64::MAX >> (64 - 65)` — a typed error now,
+        // not a shift overflow.
+        assert_eq!(
+            PathArena::try_new(65, NodeId::new(0), 2).err(),
+            Some(EngineError::TooManyNodes { n: 65 })
+        );
+        assert!(matches!(
+            EigEngine::try_new(65, NodeId::new(0), 2),
+            Err(EngineError::TooManyNodes { n: 65 })
+        ));
+        assert_eq!(
+            PathArena::try_new(0, NodeId::new(0), 2).err(),
+            Some(EngineError::TooManyNodes { n: 0 })
+        );
+        assert_eq!(
+            PathArena::try_new(4, NodeId::new(4), 2).err(),
+            Some(EngineError::SenderOutOfRange {
+                sender: NodeId::new(4),
+                n: 4
+            })
+        );
+        assert_eq!(
+            PathArena::try_new(4, NodeId::new(0), 0).err(),
+            Some(EngineError::ZeroDepth)
+        );
+    }
+
+    #[test]
+    fn early_stop_mask_boundary_is_typed() {
+        // Id 63 is the last representable bit; id 64 would be
+        // `1u64 << 64`.
+        let ok: BTreeSet<NodeId> = [NodeId::new(63)].into();
+        assert!(EigEngine::try_new(64, NodeId::new(0), 2)
+            .unwrap()
+            .try_with_early_stop(&ok)
+            .is_ok());
+        let wide: BTreeSet<NodeId> = [NodeId::new(64)].into();
+        assert!(matches!(
+            EigEngine::try_new(64, NodeId::new(0), 2)
+                .unwrap()
+                .try_with_early_stop(&wide),
+            Err(EngineError::TooManyNodes { n: 65 })
+        ));
+    }
+
+    #[test]
+    fn cleared_store_matches_a_fresh_one() {
+        let arena = arena_4_2();
+        let mut store: EigStore<u64> = EigStore::new(&arena);
+        let r = NodeId::new(2);
+        store.record(&arena, PathId::ROOT, r, Val::Value(7));
+        assert_eq!(store.materialized(), 1);
+        store.clear();
+        assert_eq!(store.materialized(), 0);
+        assert_eq!(store.get(PathId::ROOT, r), None);
+        assert_eq!(store.column(r).count(), 0);
+        // First-write-wins restarts from scratch after the clear.
+        assert!(store.record(&arena, PathId::ROOT, r, Val::Value(9)));
+        assert_eq!(store.get(PathId::ROOT, r), Some(&Val::Value(9)));
     }
 
     #[test]

@@ -114,7 +114,7 @@ pub use conditions::{
 /// differential oracle for the arena engine (`tests/engine_equivalence.rs`).
 pub use eig::run_eig_full as reference_eval;
 pub use eig::{prunable_path, run_eig, run_eig_full, EigOutcome, EigView, FoldStep, VoteRule};
-pub use engine::{EigEngine, EigStore, EngineRun, PathArena, PathId};
+pub use engine::{EigEngine, EigStore, EngineError, EngineRun, PathArena, PathId};
 pub use explain::explain_receiver;
 pub use ic::{check_degradable_ic, run_degradable_ic, IcOutcome, IcViolation};
 pub use node::{Action as NodeAction, Event as NodeEvent, NodeStateMachine};
@@ -123,8 +123,9 @@ pub use path::{path_count, paths_of_length, Path};
 pub use protocol::{run_protocol, run_protocol_full, run_protocol_with, ByzMsg, ProtocolRun};
 pub use service::{
     run_batch, run_batch_full, run_batch_observed, run_batch_observed_early_stop,
-    run_batch_reference, run_batch_traced, run_batch_with, BatchInstance, BatchMsg, BatchRun,
-    BatchTraceEvent,
+    run_batch_reference, run_batch_traced, run_batch_with, try_run_batch, BatchInstance, BatchMsg,
+    BatchRun, BatchTraceEvent, ServiceBatch, ServiceConfig, ServiceError, ServiceState,
+    ServiceStats,
 };
 pub use sm::{run_sm, run_sm_honest, SmAdversary, SmRelayAction};
 pub use sparse::{

@@ -395,13 +395,12 @@ fn run_batch_core<V: Clone + Ord + Hash + Send + Sync>(
     seed: u64,
     workers: usize,
     early_stop: bool,
-    mut trace: Option<&mut dyn FnMut(BatchTraceEvent<V>)>,
+    trace: Option<&mut dyn FnMut(BatchTraceEvent<V>)>,
     engine_setup: impl FnOnce(RoundEngine<BatchMsg<V>>) -> RoundEngine<BatchMsg<V>>,
     obs: &mut Obs,
 ) -> (BatchRun<V>, Vec<EigEngine>, Vec<usize>, Vec<EigStore<V>>) {
     check_batch_bounds(params, n, instances);
     let depth = params.rounds();
-    let rule = crate::eig::VoteRule::Degradable { m: params.m() };
     let faulty: BTreeSet<NodeId> = strategies.keys().copied().collect();
 
     // One arena (and engine) per *distinct sender*: the path structure
@@ -431,6 +430,56 @@ fn run_batch_core<V: Clone + Ord + Hash + Send + Sync>(
         .enumerate()
         .map(|(k, _)| EigStore::new(engines[engine_idx[k]].arena()))
         .collect();
+
+    let run = fill_and_resolve(
+        params,
+        n,
+        instances,
+        strategies,
+        seed,
+        early_stop,
+        trace,
+        engine_setup,
+        obs,
+        &engines,
+        &engine_idx,
+        &mut stores,
+        arena_builds,
+        1,
+    );
+    (run, engines, engine_idx, stores)
+}
+
+/// The execution shared by the one-shot batch entry points and the
+/// persistent [`ServiceState`]: one multiplexed fill over the provided
+/// (fresh or pooled) engines and stores, then one memoized bottom-up
+/// resolve per instance. With `shard_workers > 1` the resolution is
+/// sharded *by sender* across worker threads — every instance of a
+/// sender resolves on the thread that owns its arena — and results are
+/// folded back in instance order, so decisions, deterministic counters
+/// and spans are independent of the shard count (the engine-internal
+/// level fan-out of [`EigEngine::with_workers`] covers the
+/// `shard_workers == 1` one-shot path instead).
+#[allow(clippy::too_many_arguments)]
+fn fill_and_resolve<V: Clone + Ord + Hash + Send + Sync>(
+    params: Params,
+    n: usize,
+    instances: &[BatchInstance<V>],
+    strategies: &BTreeMap<NodeId, Strategy<V>>,
+    seed: u64,
+    early_stop: bool,
+    mut trace: Option<&mut dyn FnMut(BatchTraceEvent<V>)>,
+    engine_setup: impl FnOnce(RoundEngine<BatchMsg<V>>) -> RoundEngine<BatchMsg<V>>,
+    obs: &mut Obs,
+    engines: &[EigEngine],
+    engine_idx: &[usize],
+    stores: &mut [EigStore<V>],
+    arena_builds: usize,
+    shard_workers: usize,
+) -> BatchRun<V> {
+    let depth = params.rounds();
+    let rule = crate::eig::VoteRule::Degradable { m: params.m() };
+    let faulty: BTreeSet<NodeId> = strategies.keys().copied().collect();
     let mut spoofs_rejected = 0u64;
     // Per-instance protocol sends, accumulated during the fill so the
     // end-to-end histograms below can attribute network cost to the
@@ -583,8 +632,52 @@ fn run_batch_core<V: Clone + Ord + Hash + Send + Sync>(
     obs.finish(fill_timer, stores.iter().map(EigStore::materialized).sum());
 
     // 3. Memoized bottom-up resolve, one pass per instance over its
-    // sender's shared arena.
-    //
+    // sender's shared arena — inline, or sharded by sender across
+    // `shard_workers` threads (results fold back in instance order, so
+    // everything but wall time is shard-count-independent).
+    let timing = obs.is_enabled();
+    let mut resolved: Vec<Option<(crate::engine::EngineRun<V>, u64)>> =
+        (0..instances.len()).map(|_| None).collect();
+    if shard_workers <= 1 {
+        for (k, slot) in resolved.iter_mut().enumerate() {
+            let resolve_start = timing.then(std::time::Instant::now);
+            let run = engines[engine_idx[k]].resolve(rule, &stores[k]);
+            let wall = resolve_start.map_or(0, |t| t.elapsed().as_nanos() as u64);
+            *slot = Some((run, wall));
+        }
+    } else {
+        let mut shards: Vec<Vec<usize>> = vec![Vec::new(); shard_workers];
+        for k in 0..instances.len() {
+            shards[engine_idx[k] % shard_workers].push(k);
+        }
+        let stores_ref: &[EigStore<V>] = stores;
+        std::thread::scope(|s| {
+            let handles: Vec<_> = shards
+                .iter()
+                .filter(|shard| !shard.is_empty())
+                .map(|shard| {
+                    s.spawn(move || {
+                        shard
+                            .iter()
+                            .map(|&k| {
+                                let resolve_start = timing.then(std::time::Instant::now);
+                                let run = engines[engine_idx[k]].resolve(rule, &stores_ref[k]);
+                                let wall =
+                                    resolve_start.map_or(0, |t| t.elapsed().as_nanos() as u64);
+                                (k, run, wall)
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            for handle in handles {
+                for (k, run, wall) in handle.join().expect("resolve shard panicked") {
+                    resolved[k] = Some((run, wall));
+                }
+            }
+        });
+    }
+
     // The fault regime is a whole-batch property: f = |faulty| nodes run a
     // strategy, so every instance lands on the same side of the paper's
     // degradation boundary (full agreement at f ≤ m, degraded at
@@ -599,27 +692,25 @@ fn run_batch_core<V: Clone + Ord + Hash + Send + Sync>(
     let regime_messages = format!("svc.regime.{regime}.messages");
     let regime_logical = format!("svc.regime.{regime}.logical");
     let regime_instances = format!("svc.regime.{regime}.instances");
-    let timing = obs.is_enabled();
     let mut decisions = Vec::with_capacity(instances.len());
     let mut agg = EigPerf::default();
     for (k, inst) in instances.iter().enumerate() {
-        let timer = obs.span(
-            "batch.resolve",
-            vec![
-                ("instance", k as u64),
-                ("sender", inst.sender.index() as u64),
+        let (resolved_k, wall_k) = resolved[k].take().expect("every instance resolves");
+        let logical_k = resolved_k.perf.votes_evaluated + resolved_k.perf.votes_memo_hit;
+        obs.record_span(SpanRecord {
+            name: "batch.resolve".to_string(),
+            args: vec![
+                ("instance".to_string(), k as u64),
+                ("sender".to_string(), inst.sender.index() as u64),
             ],
-        );
-        let resolve_start = timing.then(std::time::Instant::now);
-        let resolved = engines[engine_idx[k]].resolve(rule, &stores[k]);
-        let logical_k = resolved.perf.votes_evaluated + resolved.perf.votes_memo_hit;
-        obs.finish(timer, logical_k);
+            logical: logical_k,
+            wall_nanos: wall_k,
+        });
 
         // End-to-end attribution for instance `k`: ingest (fill sends) to
         // decision (resolve), as message count, deterministic logical
         // cost, and wall latency (resolve share; the fill is batch-shared
         // and reported by the `batch.fill` span).
-        let wall_k = resolve_start.map_or(0, |t| t.elapsed().as_nanos() as u64);
         obs.observe("svc.instance.messages", SVC_MSG_BOUNDS, inst_sent[k]);
         obs.observe("svc.instance.logical", SVC_LOGICAL_BOUNDS, logical_k);
         obs.observe("svc.instance.wall_ns", SVC_WALL_BOUNDS, wall_k);
@@ -632,14 +723,14 @@ fn run_batch_core<V: Clone + Ord + Hash + Send + Sync>(
             name: "trace.decide".to_string(),
             args: vec![
                 ("instance".to_string(), k as u64),
-                ("deciders".to_string(), resolved.decisions.len() as u64),
+                ("deciders".to_string(), resolved_k.decisions.len() as u64),
             ],
             logical: logical_k,
             wall_nanos: wall_k,
         });
 
-        agg.absorb(&resolved.perf);
-        decisions.push(resolved.decisions);
+        agg.absorb(&resolved_k.perf);
+        decisions.push(resolved_k.decisions);
     }
     agg.fill_nanos = fill_nanos;
     net.eig = agg;
@@ -661,17 +752,12 @@ fn run_batch_core<V: Clone + Ord + Hash + Send + Sync>(
         net.eig.fold_into(registry);
     }
 
-    (
-        BatchRun {
-            decisions,
-            net,
-            arena_builds,
-            spoofs_rejected,
-        },
-        engines,
-        engine_idx,
-        stores,
-    )
+    BatchRun {
+        decisions,
+        net,
+        arena_builds,
+        spoofs_rejected,
+    }
 }
 
 /// The legacy batch executor, preserved verbatim: one [`EigView`] per
@@ -783,6 +869,428 @@ pub fn run_batch_reference<V: Clone + Ord + Hash>(
         net,
         arena_builds: 0,
         spoofs_rejected: 0,
+    }
+}
+
+/// Fallible form of [`run_batch`]: the bounds [`run_batch`] asserts on
+/// — the node bound `n >= 2m + u + 1`, the 64-node engine ceiling, and
+/// per-instance sender range — are validated up front and come back as
+/// [`ServiceError`] values instead of panics. An empty batch (K = 0) is
+/// a valid, trivial batch, not an error.
+pub fn try_run_batch<V: Clone + Ord + Hash + Send + Sync>(
+    params: Params,
+    n: usize,
+    instances: &[BatchInstance<V>],
+    strategies: &BTreeMap<NodeId, Strategy<V>>,
+    seed: u64,
+) -> Result<BatchRun<V>, ServiceError> {
+    check_service_bounds(params, n)?;
+    for inst in instances {
+        if inst.sender.index() >= n {
+            return Err(ServiceError::SenderOutOfRange {
+                sender: inst.sender,
+                n,
+            });
+        }
+    }
+    Ok(run_batch(params, n, instances, strategies, seed))
+}
+
+fn check_service_bounds(params: Params, n: usize) -> Result<(), ServiceError> {
+    if !params.admits(n) {
+        return Err(ServiceError::NodeBound {
+            n,
+            min_nodes: params.min_nodes(),
+        });
+    }
+    if !(1..=64).contains(&n) {
+        return Err(ServiceError::Engine(
+            crate::engine::EngineError::TooManyNodes { n },
+        ));
+    }
+    Ok(())
+}
+
+/// Bucket bounds for the queue-depth histogram (`svc.queue.depth`):
+/// pending instances observed at each drain, powers of four up to the
+/// 10k-in-flight scale the service bench drives.
+pub const SVC_QUEUE_BOUNDS: &[u64] = &[1, 4, 16, 64, 256, 1024, 4096, 16384, 65536];
+
+/// Typed failures of the persistent agreement service (and of
+/// [`try_run_batch`]). Everything a caller can provoke with bad or
+/// excessive input is a value here, never a panic: panics in this
+/// module are reserved for internal invariants.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServiceError {
+    /// The bounded ingestion queue is at capacity. The instance was
+    /// shed and counted ([`ServiceStats::shed`], `svc.queue.shed`);
+    /// callers block (retry after a drain) or drop it — the queue never
+    /// grows without bound.
+    QueueFull {
+        /// The configured queue capacity that was hit.
+        capacity: usize,
+    },
+    /// An instance with this caller-assigned id is already pending.
+    DuplicateInstance {
+        /// The rejected id.
+        id: u64,
+    },
+    /// The instance's sender is not a node of the `n`-node system.
+    SenderOutOfRange {
+        /// The rejected sender.
+        sender: NodeId,
+        /// System size it was checked against.
+        n: usize,
+    },
+    /// `n` violates the node bound `n >= 2m + u + 1` of the service's
+    /// parameters.
+    NodeBound {
+        /// The rejected system size.
+        n: usize,
+        /// Minimum admissible size for the parameters.
+        min_nodes: usize,
+    },
+    /// The engine rejected the shape (e.g. `n > 64`, beyond the `u64`
+    /// fault-mask ceiling).
+    Engine(crate::engine::EngineError),
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::QueueFull { capacity } => {
+                write!(f, "ingestion queue full ({capacity} instances pending)")
+            }
+            ServiceError::DuplicateInstance { id } => {
+                write!(f, "instance id {id} is already pending")
+            }
+            ServiceError::SenderOutOfRange { sender, n } => {
+                write!(f, "sender {sender} out of range for {n} nodes")
+            }
+            ServiceError::NodeBound { n, min_nodes } => {
+                write!(f, "need at least {min_nodes} nodes, got {n}")
+            }
+            ServiceError::Engine(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServiceError::Engine(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<crate::engine::EngineError> for ServiceError {
+    fn from(e: crate::engine::EngineError) -> Self {
+        ServiceError::Engine(e)
+    }
+}
+
+/// Configuration of a persistent [`ServiceState`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Bound of the ingestion queue: [`ServiceState::ingest`] sheds
+    /// with [`ServiceError::QueueFull`] once this many instances are
+    /// pending.
+    pub queue_capacity: usize,
+    /// Resolution shards per drain: instances are resolved in parallel
+    /// across this many threads, sharded by sender (each sender's
+    /// instances stay on the thread that owns its arena). Decisions,
+    /// deterministic counters and spans are independent of this knob;
+    /// only wall time changes.
+    pub workers: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            queue_capacity: 10_000,
+            workers: 1,
+        }
+    }
+}
+
+/// Cumulative counters of one [`ServiceState`]'s lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Instances accepted by [`ServiceState::ingest`].
+    pub ingested: u64,
+    /// Instances shed with [`ServiceError::QueueFull`].
+    pub shed: u64,
+    /// Instances decided across all drains.
+    pub decided: u64,
+    /// Drains executed (including empty ones).
+    pub batches: u64,
+    /// Arenas built — one per sender first seen, ever.
+    pub arena_builds: u64,
+    /// Instances served by an arena that already existed.
+    pub arena_reuses: u64,
+    /// Stores allocated fresh (per-sender free list was dry).
+    pub store_builds: u64,
+    /// Stores reused (cleared, never rebuilt) from the pool.
+    pub store_reuses: u64,
+}
+
+/// One drained batch: caller-assigned ids plus the batch result
+/// (decisions are index-aligned with `ids`, in ingestion order).
+#[derive(Debug, Clone)]
+pub struct ServiceBatch<V: Ord> {
+    /// The ids of the drained instances, in ingestion order.
+    pub ids: Vec<u64>,
+    /// The execution result — for the same instances and seed,
+    /// decision-identical to a fresh one-shot [`run_batch`].
+    pub run: BatchRun<V>,
+    /// Arenas built by this drain (senders first seen here).
+    pub arenas_built: u64,
+    /// Instances of this drain served by a pooled arena.
+    pub arenas_reused: u64,
+    /// Stores allocated fresh by this drain.
+    pub stores_built: u64,
+    /// Stores reused from the pool by this drain.
+    pub stores_reused: u64,
+}
+
+/// A persistent, pipelined agreement service over the batched executor.
+///
+/// Where [`run_batch`] builds its arenas, decides K instances and
+/// throws everything away, a `ServiceState` owns its [`PathArena`]s
+/// (keyed by sender — `(n, m)` are fixed per service) and a free list
+/// of [`EigStore`]s per arena, reusing both across batches: stores come
+/// back **cleared, never rebuilt**, so after a warmup batch that has
+/// seen every sender the arena-reuse ratio of a sustained stream is
+/// 100%.
+///
+/// Ingestion is bounded and explicit: [`ServiceState::ingest`] queues
+/// up to [`ServiceConfig::queue_capacity`] instances and sheds beyond
+/// that with a counted [`ServiceError::QueueFull`] — the queue never
+/// grows without bound. [`ServiceState::drain`] decides everything
+/// pending in one multiplexed execution, sharding resolution by sender
+/// across [`ServiceConfig::workers`] threads; for the same instances
+/// and seed the decisions are bit-identical to a fresh one-shot
+/// [`run_batch`], independent of the worker count.
+///
+/// [`PathArena`]: crate::engine::PathArena
+#[derive(Debug)]
+pub struct ServiceState<V> {
+    params: Params,
+    n: usize,
+    config: ServiceConfig,
+    /// Pooled engines, one per sender ever seen, append-only.
+    engines: Vec<EigEngine>,
+    engine_of_sender: BTreeMap<NodeId, usize>,
+    /// Per-engine free lists of cleared stores.
+    free_stores: Vec<Vec<EigStore<V>>>,
+    pending: Vec<(u64, BatchInstance<V>)>,
+    pending_ids: BTreeSet<u64>,
+    stats: ServiceStats,
+    /// Sheds since the last drain (reported as `svc.queue.shed` there).
+    shed_unreported: u64,
+}
+
+impl<V: Clone + Ord + Hash + Send + Sync> ServiceState<V> {
+    /// A fresh service for `params` over `n` nodes. The node bound and
+    /// the 64-node engine ceiling are validated here, so later drains
+    /// cannot fail on shape.
+    pub fn new(params: Params, n: usize, config: ServiceConfig) -> Result<Self, ServiceError> {
+        check_service_bounds(params, n)?;
+        Ok(ServiceState {
+            params,
+            n,
+            config,
+            engines: Vec::new(),
+            engine_of_sender: BTreeMap::new(),
+            free_stores: Vec::new(),
+            pending: Vec::new(),
+            pending_ids: BTreeSet::new(),
+            stats: ServiceStats::default(),
+            shed_unreported: 0,
+        })
+    }
+
+    /// The service parameters.
+    pub fn params(&self) -> Params {
+        self.params
+    }
+
+    /// System size.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Instances currently pending.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// The configured queue bound.
+    pub fn queue_capacity(&self) -> usize {
+        self.config.queue_capacity
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> ServiceStats {
+        self.stats
+    }
+
+    /// Queues one instance under a caller-assigned id. Fails — without
+    /// queuing — on an out-of-range sender, a duplicate pending id, or
+    /// a full queue (the shed is counted; retry after a drain to
+    /// block-on-backpressure instead of dropping).
+    pub fn ingest(&mut self, id: u64, instance: BatchInstance<V>) -> Result<(), ServiceError> {
+        if instance.sender.index() >= self.n {
+            return Err(ServiceError::SenderOutOfRange {
+                sender: instance.sender,
+                n: self.n,
+            });
+        }
+        if self.pending_ids.contains(&id) {
+            return Err(ServiceError::DuplicateInstance { id });
+        }
+        if self.pending.len() >= self.config.queue_capacity {
+            self.stats.shed += 1;
+            self.shed_unreported += 1;
+            return Err(ServiceError::QueueFull {
+                capacity: self.config.queue_capacity,
+            });
+        }
+        self.pending_ids.insert(id);
+        self.pending.push((id, instance));
+        self.stats.ingested += 1;
+        Ok(())
+    }
+
+    /// [`ServiceState::drain_observed`] with a disabled recorder.
+    pub fn drain(
+        &mut self,
+        strategies: &BTreeMap<NodeId, Strategy<V>>,
+        seed: u64,
+    ) -> ServiceBatch<V> {
+        self.drain_observed(strategies, seed, &mut Obs::disabled())
+    }
+
+    /// Decides everything pending in one multiplexed execution and
+    /// empties the queue. An empty drain is a valid no-op batch.
+    ///
+    /// Engines and stores come from the pool (missing ones are built
+    /// and retained); after the resolve every store is cleared and
+    /// returned to its free list. On top of the usual `batch.*` /
+    /// `svc.instance.*` evidence this records the pooling counters
+    /// (`svc.pool.{arena,store}_{builds,reuses,requests}`), the sheds
+    /// since the last drain (`svc.queue.shed`) and the drained depth
+    /// (`svc.queue.depth`).
+    pub fn drain_observed(
+        &mut self,
+        strategies: &BTreeMap<NodeId, Strategy<V>>,
+        seed: u64,
+        obs: &mut Obs,
+    ) -> ServiceBatch<V> {
+        let pending = std::mem::take(&mut self.pending);
+        self.pending_ids.clear();
+        let mut ids = Vec::with_capacity(pending.len());
+        let mut instances = Vec::with_capacity(pending.len());
+        for (id, inst) in pending {
+            ids.push(id);
+            instances.push(inst);
+        }
+
+        // Engines: pooled per sender. Per-instance attribution matches
+        // `run_batch` (builds = senders first seen, reuses = the rest),
+        // except that here "seen" spans the whole service lifetime.
+        let depth = self.params.rounds();
+        let mut engine_idx = Vec::with_capacity(instances.len());
+        let mut arenas_built = 0u64;
+        let mut arenas_reused = 0u64;
+        for inst in &instances {
+            let e = match self.engine_of_sender.get(&inst.sender) {
+                Some(&e) => {
+                    arenas_reused += 1;
+                    e
+                }
+                None => {
+                    // Bounds were validated at `new`/`ingest`, so arena
+                    // construction cannot fail on shape here.
+                    let eng = EigEngine::new(self.n, inst.sender, depth);
+                    let e = self.engines.len();
+                    self.engines.push(eng);
+                    self.free_stores.push(Vec::new());
+                    self.engine_of_sender.insert(inst.sender, e);
+                    arenas_built += 1;
+                    e
+                }
+            };
+            engine_idx.push(e);
+        }
+
+        // Stores: cleared pool entries first, fresh allocations only
+        // when a free list runs dry.
+        let mut stores_built = 0u64;
+        let mut stores_reused = 0u64;
+        let mut stores: Vec<EigStore<V>> = engine_idx
+            .iter()
+            .map(|&e| match self.free_stores[e].pop() {
+                Some(store) => {
+                    stores_reused += 1;
+                    store
+                }
+                None => {
+                    stores_built += 1;
+                    EigStore::new(self.engines[e].arena())
+                }
+            })
+            .collect();
+
+        let queue_depth = instances.len() as u64;
+        let run = fill_and_resolve(
+            self.params,
+            self.n,
+            &instances,
+            strategies,
+            seed,
+            false,
+            None,
+            |e| e,
+            obs,
+            &self.engines,
+            &engine_idx,
+            &mut stores,
+            arenas_built as usize,
+            self.config.workers.max(1),
+        );
+
+        // Recycle: stores go back cleared, never rebuilt.
+        for (k, mut store) in stores.into_iter().enumerate() {
+            store.clear();
+            self.free_stores[engine_idx[k]].push(store);
+        }
+
+        self.stats.arena_builds += arenas_built;
+        self.stats.arena_reuses += arenas_reused;
+        self.stats.store_builds += stores_built;
+        self.stats.store_reuses += stores_reused;
+        self.stats.decided += run.decisions.len() as u64;
+        self.stats.batches += 1;
+
+        obs.add("svc.pool.arena_builds", arenas_built);
+        obs.add("svc.pool.arena_reuses", arenas_reused);
+        obs.add("svc.pool.arena_requests", arenas_built + arenas_reused);
+        obs.add("svc.pool.store_builds", stores_built);
+        obs.add("svc.pool.store_reuses", stores_reused);
+        obs.add("svc.pool.store_requests", stores_built + stores_reused);
+        obs.add("svc.queue.shed", std::mem::take(&mut self.shed_unreported));
+        obs.observe("svc.queue.depth", SVC_QUEUE_BOUNDS, queue_depth);
+
+        ServiceBatch {
+            ids,
+            run,
+            arenas_built,
+            arenas_reused,
+            stores_built,
+            stores_reused,
+        }
     }
 }
 
@@ -1257,5 +1765,198 @@ mod tests {
         assert_eq!(early.decisions, full.decisions);
         assert!(early.net.eig.messages_saved > 0);
         assert!(early.net.sent < full.net.sent);
+    }
+
+    fn inst(sender: usize, value: u64) -> BatchInstance<u64> {
+        BatchInstance {
+            sender: n(sender),
+            value: Val::Value(value),
+        }
+    }
+
+    /// Restart/drain semantics: ingest, drain, re-ingest on the same
+    /// `ServiceState` decides identically to a fresh one-shot
+    /// `run_batch` per wave, and the whole observable output is
+    /// bit-identical across worker counts 1/2/8 after timing scrub.
+    #[test]
+    fn service_drain_matches_one_shot_run_batch_across_workers() {
+        let strategies = lying_strategies();
+        let wave_a: Vec<BatchInstance<u64>> = vec![inst(0, 10), inst(1, 20), inst(0, 30)];
+        let wave_b: Vec<BatchInstance<u64>> = vec![inst(4, 40), inst(1, 50)];
+        let oracle_a = run_batch(params(), 5, &wave_a, &strategies, 11);
+        let oracle_b = run_batch(params(), 5, &wave_b, &strategies, 12);
+
+        let mut outputs = Vec::new();
+        for workers in [1usize, 2, 8] {
+            let config = ServiceConfig {
+                queue_capacity: 16,
+                workers,
+            };
+            let mut svc: ServiceState<u64> = ServiceState::new(params(), 5, config).unwrap();
+            let mut obs = Obs::enabled();
+
+            for (id, i) in wave_a.iter().enumerate() {
+                svc.ingest(id as u64, i.clone()).unwrap();
+            }
+            let batch_a = svc.drain_observed(&strategies, 11, &mut obs);
+            assert_eq!(batch_a.ids, vec![0, 1, 2]);
+            assert_eq!(batch_a.run.decisions, oracle_a.decisions, "w={workers}");
+            assert_eq!(batch_a.run.net.sent, oracle_a.net.sent);
+
+            // Re-ingest on the *same* state: ids are free again, pooled
+            // arenas and stores serve the second wave.
+            for (id, i) in wave_b.iter().enumerate() {
+                svc.ingest(id as u64, i.clone()).unwrap();
+            }
+            let batch_b = svc.drain_observed(&strategies, 12, &mut obs);
+            assert_eq!(batch_b.run.decisions, oracle_b.decisions, "w={workers}");
+            // Wave A warmed senders {0, 1}; wave B brings sender 4 (one
+            // fresh arena, one fresh store — pools are per sender) and
+            // serves sender 1 entirely from wave A's cleared pool.
+            assert_eq!(batch_b.arenas_built, 1);
+            assert_eq!(batch_b.arenas_reused, 1);
+            assert_eq!(batch_b.stores_reused, 1);
+            assert_eq!(batch_b.stores_built, 1);
+
+            obs::scrub_timing(&mut obs);
+            outputs.push(obs);
+        }
+        assert_eq!(outputs[0], outputs[1], "workers 1 vs 2");
+        assert_eq!(outputs[0], outputs[2], "workers 1 vs 8");
+    }
+
+    #[test]
+    fn service_queue_full_sheds_with_typed_error() {
+        let config = ServiceConfig {
+            queue_capacity: 2,
+            workers: 1,
+        };
+        let mut svc: ServiceState<u64> = ServiceState::new(params(), 5, config).unwrap();
+        svc.ingest(0, inst(0, 1)).unwrap();
+        svc.ingest(1, inst(1, 2)).unwrap();
+        assert_eq!(
+            svc.ingest(2, inst(2, 3)),
+            Err(ServiceError::QueueFull { capacity: 2 })
+        );
+        assert_eq!(svc.stats().shed, 1);
+        assert_eq!(svc.pending_len(), 2);
+
+        // Draining relieves the backpressure; the shed is reported once.
+        let mut obs = Obs::enabled();
+        let batch = svc.drain_observed(&BTreeMap::new(), 5, &mut obs);
+        assert_eq!(batch.ids, vec![0, 1]);
+        assert_eq!(obs.registry().counter("svc.queue.shed"), 1);
+        svc.ingest(2, inst(2, 3)).unwrap();
+        let mut obs2 = Obs::enabled();
+        svc.drain_observed(&BTreeMap::new(), 6, &mut obs2);
+        assert_eq!(obs2.registry().counter("svc.queue.shed"), 0);
+    }
+
+    #[test]
+    fn service_rejects_duplicate_ids_until_drained() {
+        let mut svc: ServiceState<u64> =
+            ServiceState::new(params(), 5, ServiceConfig::default()).unwrap();
+        svc.ingest(7, inst(0, 1)).unwrap();
+        assert_eq!(
+            svc.ingest(7, inst(1, 2)),
+            Err(ServiceError::DuplicateInstance { id: 7 })
+        );
+        svc.drain(&BTreeMap::new(), 1);
+        // The id is free again after its instance decided.
+        svc.ingest(7, inst(1, 2)).unwrap();
+    }
+
+    #[test]
+    fn service_shape_errors_are_typed() {
+        // Node bound: BYZ(1, 2) needs n >= 5.
+        assert_eq!(
+            ServiceState::<u64>::new(params(), 4, ServiceConfig::default()).err(),
+            Some(ServiceError::NodeBound { n: 4, min_nodes: 5 })
+        );
+        // Engine ceiling: the u64 fault masks stop at n = 64.
+        assert!(matches!(
+            ServiceState::<u64>::new(params(), 65, ServiceConfig::default()),
+            Err(ServiceError::Engine(
+                crate::engine::EngineError::TooManyNodes { n: 65 }
+            ))
+        ));
+        // Sender range is checked at ingest, before anything queues.
+        let mut svc: ServiceState<u64> =
+            ServiceState::new(params(), 5, ServiceConfig::default()).unwrap();
+        assert_eq!(
+            svc.ingest(0, inst(5, 1)),
+            Err(ServiceError::SenderOutOfRange { sender: n(5), n: 5 })
+        );
+        assert_eq!(svc.pending_len(), 0);
+    }
+
+    #[test]
+    fn empty_drain_is_a_valid_noop_batch() {
+        let mut svc: ServiceState<u64> =
+            ServiceState::new(params(), 5, ServiceConfig::default()).unwrap();
+        let batch = svc.drain(&BTreeMap::new(), 1);
+        assert!(batch.ids.is_empty());
+        assert!(batch.run.decisions.is_empty());
+        assert_eq!(svc.stats().batches, 1);
+        assert_eq!(svc.stats().decided, 0);
+    }
+
+    #[test]
+    fn try_run_batch_covers_every_degenerate_input() {
+        let strategies: BTreeMap<NodeId, Strategy<u64>> = BTreeMap::new();
+        // Empty batch (K = 0) is a valid, trivial batch.
+        let empty = try_run_batch(params(), 5, &[], &strategies, 1).unwrap();
+        assert!(empty.decisions.is_empty());
+        // Node bound and sender range come back typed, not as panics.
+        assert_eq!(
+            try_run_batch(params(), 4, &[], &strategies, 1).err(),
+            Some(ServiceError::NodeBound { n: 4, min_nodes: 5 })
+        );
+        assert_eq!(
+            try_run_batch(params(), 5, &[inst(9, 1)], &strategies, 1).err(),
+            Some(ServiceError::SenderOutOfRange { sender: n(9), n: 5 })
+        );
+        assert!(matches!(
+            try_run_batch(params(), 70, &[], &strategies, 1),
+            Err(ServiceError::Engine(
+                crate::engine::EngineError::TooManyNodes { n: 70 }
+            ))
+        ));
+        // The happy path is exactly run_batch.
+        let instances = mixed_instances();
+        let fallible = try_run_batch(params(), 5, &instances, &lying_strategies(), 3).unwrap();
+        let oracle = run_batch(params(), 5, &instances, &lying_strategies(), 3);
+        assert_eq!(fallible.decisions, oracle.decisions);
+    }
+
+    /// The 95%-after-warmup gate of the service bench, in miniature:
+    /// one warmup drain builds every arena and store, every later drain
+    /// reuses 100% of both.
+    #[test]
+    fn pool_reuse_is_total_after_warmup() {
+        let mut svc: ServiceState<u64> =
+            ServiceState::new(params(), 5, ServiceConfig::default()).unwrap();
+        let strategies = lying_strategies();
+        let wave = |svc: &mut ServiceState<u64>| {
+            for id in 0..6u64 {
+                svc.ingest(id, inst((id % 3) as usize, id)).unwrap();
+            }
+        };
+        wave(&mut svc);
+        let warmup = svc.drain(&strategies, 21);
+        assert_eq!(warmup.arenas_built, 3);
+        assert_eq!(warmup.stores_built, 6);
+        for round in 0..3u64 {
+            wave(&mut svc);
+            let batch = svc.drain(&strategies, 22 + round);
+            assert_eq!(batch.arenas_built, 0, "round {round}");
+            assert_eq!(batch.arenas_reused, 6);
+            assert_eq!(batch.stores_built, 0);
+            assert_eq!(batch.stores_reused, 6);
+        }
+        let stats = svc.stats();
+        assert_eq!(stats.arena_builds, 3);
+        assert_eq!(stats.store_builds, 6);
+        assert_eq!(stats.decided, 24);
     }
 }

@@ -41,7 +41,10 @@ pub mod sim;
 
 pub use chaos::{AdaptiveLink, Disposition, DropCause, HotEdgeCutter, LinkChaos};
 pub use frame::{Frame, FrameError};
-pub use mesh::{channel_mesh, reconnect_delay, tcp_join, tcp_mesh, MeshConfig, MeshTransport};
+pub use mesh::{
+    channel_mesh, reconnect_delay, tcp_join, tcp_mesh, MeshConfig, MeshTransport,
+    RECONNECT_DELAY_CAP,
+};
 pub use runner::{
     drive_mesh, drive_mesh_opts, drive_mesh_with, run_channel, run_channel_with, run_kind,
     run_kind_with, run_sim, run_sim_with, run_tcp, run_tcp_with, LoggedEvent, MeshDriveOptions,

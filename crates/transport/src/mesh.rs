@@ -61,7 +61,8 @@ pub struct MeshConfig {
     pub reconnect_attempts: u32,
     /// Base delay of the deterministic exponential backoff between
     /// reconnect attempts: attempt `k` (0-based) waits
-    /// [`reconnect_delay`]`(base, k)` = `base << k`.
+    /// [`reconnect_delay`]`(base, k)` = `min(base << k, `
+    /// [`RECONNECT_DELAY_CAP`]`)`.
     pub reconnect_backoff: Duration,
 }
 
@@ -76,12 +77,21 @@ impl Default for MeshConfig {
     }
 }
 
+/// Hard ceiling on one reconnect wait. The doubling schedule used to
+/// saturate only at `base * u32::MAX` — roughly 49 days at the default
+/// 10ms base — so a link that flapped long enough would sleep for an
+/// absurd span instead of retrying. No single backoff sleep may exceed
+/// this cap.
+pub const RECONNECT_DELAY_CAP: Duration = Duration::from_secs(30);
+
 /// The deterministic backoff schedule: attempt `k` (0-based) waits
-/// `base * 2^k`. Pure, so operators and tests can predict the exact
-/// schedule from the config — no jitter by design (the mesh is a
-/// reproducibility instrument, not an internet service).
+/// `base * 2^k`, clamped to [`RECONNECT_DELAY_CAP`]. Pure, so operators
+/// and tests can predict the exact schedule from the config — no jitter
+/// by design (the mesh is a reproducibility instrument, not an internet
+/// service).
 pub fn reconnect_delay(base: Duration, attempt: u32) -> Duration {
     base.saturating_mul(1u32.checked_shl(attempt).unwrap_or(u32::MAX))
+        .min(RECONNECT_DELAY_CAP)
 }
 
 /// Redial material for links this endpoint originally dialed.
@@ -937,8 +947,21 @@ mod tests {
         assert_eq!(reconnect_delay(base, 1), Duration::from_millis(20));
         assert_eq!(reconnect_delay(base, 2), Duration::from_millis(40));
         assert_eq!(reconnect_delay(base, 3), Duration::from_millis(80));
-        // Absurd attempt counts saturate instead of overflowing.
-        let _ = reconnect_delay(base, 63);
+        // The schedule is clamped: attempt 11 would be 10ms << 11 =
+        // 20.48s, attempt 12 crosses the 30s cap, and absurd attempt
+        // counts (including the shift-overflow range >= 32) all pin at
+        // exactly the cap instead of sleeping for days.
+        assert_eq!(reconnect_delay(base, 11), Duration::from_millis(20_480));
+        assert_eq!(reconnect_delay(base, 12), RECONNECT_DELAY_CAP);
+        assert_eq!(reconnect_delay(base, 31), RECONNECT_DELAY_CAP);
+        assert_eq!(reconnect_delay(base, 32), RECONNECT_DELAY_CAP);
+        assert_eq!(reconnect_delay(base, 63), RECONNECT_DELAY_CAP);
+        assert_eq!(reconnect_delay(base, u32::MAX), RECONNECT_DELAY_CAP);
+        // A base already above the cap is clamped from attempt 0.
+        assert_eq!(
+            reconnect_delay(Duration::from_secs(60), 0),
+            RECONNECT_DELAY_CAP
+        );
     }
 
     #[test]
